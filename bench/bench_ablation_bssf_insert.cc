@@ -1,0 +1,80 @@
+// Ablation — BSSF insertion: the paper's worst case vs. the sparse mode.
+//
+// §6: "the insert costs of BSSF are based on the worst case assumption.
+// Therefore, it may be possible to improve the insertion cost."  The sparse
+// mode touches only the slices where the new signature has a one bit
+// (appends land on zeroed bits), cutting UC_I from F+1 to ~m_t+1.
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/cost_bssf.h"
+#include "model/false_drop.h"
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+namespace {
+
+void Run() {
+  TablePrinter table({"Dt", "F", "m", "model F+1", "model m_t+1",
+                      "naive writes", "sparse writes", "speedup"});
+  struct Config {
+    int64_t dt;
+    uint32_t f;
+    uint32_t m;
+  };
+  for (const Config& c : {Config{10, 250, 2}, Config{10, 500, 2},
+                          Config{100, 1000, 2}, Config{100, 2500, 3}}) {
+    StorageManager storage;
+    auto naive = ValueOrDie(
+        BitSlicedSignatureFile::Create({c.f, c.m}, 4096,
+                                       storage.CreateOrOpen("n.slices"),
+                                       storage.CreateOrOpen("n.oid"),
+                                       BssfInsertMode::kTouchAllSlices),
+        "naive");
+    auto sparse = ValueOrDie(
+        BitSlicedSignatureFile::Create({c.f, c.m}, 4096,
+                                       storage.CreateOrOpen("s.slices"),
+                                       storage.CreateOrOpen("s.oid"),
+                                       BssfInsertMode::kSparse),
+        "sparse");
+    Rng rng(c.f);
+    const int kTrials = 50;
+    uint64_t naive_writes = 0, sparse_writes = 0;
+    for (int t = 0; t < kTrials; ++t) {
+      ElementSet set = rng.SampleWithoutReplacement(
+          13000, static_cast<uint64_t>(c.dt));
+      Oid oid = Oid::FromLocation(static_cast<PageId>(t), 0);
+      storage.ResetStats();
+      CheckOk(naive->Insert(oid, set), "naive insert");
+      naive_writes += storage.TotalStats().page_writes;
+      storage.ResetStats();
+      CheckOk(sparse->Insert(oid, set), "sparse insert");
+      sparse_writes += storage.TotalStats().page_writes;
+    }
+    double naive_mean = static_cast<double>(naive_writes) / kTrials;
+    double sparse_mean = static_cast<double>(sparse_writes) / kTrials;
+    table.AddRow({TablePrinter::Int(c.dt), TablePrinter::Int(c.f),
+                  TablePrinter::Int(c.m),
+                  TablePrinter::Num(BssfInsertCost({c.f, c.m})),
+                  TablePrinter::Num(BssfInsertCostSparse({c.f, c.m}, c.dt)),
+                  TablePrinter::Num(naive_mean),
+                  TablePrinter::Num(sparse_mean),
+                  TablePrinter::Num(naive_mean / sparse_mean, 1) + "x"});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nSparse insertion removes the paper's \"only problem with BSSF\" "
+      "(§6): insert cost drops from ~F to ~m_t page writes.\n");
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main() {
+  sigsetdb::PrintBenchHeader("Ablation",
+                             "BSSF insertion: worst case vs. sparse mode");
+  sigsetdb::Run();
+  return 0;
+}

@@ -1,0 +1,123 @@
+// Extension — WAH-compressed bit slices at scale.
+//
+// At the paper's N = 32,000 a bit slice is one page and compression cannot
+// help.  This bench scales N to the point where uncompressed slices span
+// many pages (⌈N/(P·b)⌉) and shows that run-length compressing the sparse
+// slices (the lineage from 1993 signature files to modern compressed
+// bitmap indexes) restores near-constant per-slice cost: storage and
+// superset-query page reads for plain vs. WAH slices, with identical
+// candidate sets.
+
+#include <cmath>
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "sig/compressed_bssf.h"
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+namespace {
+
+void RunSweep(const SignatureConfig& sig, int64_t dt) {
+  const int64_t v = 13000;
+  double density =
+      1.0 - std::pow(1.0 - static_cast<double>(sig.m) / sig.f,
+                     static_cast<double>(dt));
+  std::printf("\nConfig F=%u m=%u Dt=%lld — slice one-bit density %.2f%%:\n",
+              sig.f, sig.m, static_cast<long long>(dt), 100.0 * density);
+
+  TablePrinter table({"N", "pages/slice", "plain pages", "WAH pages",
+                      "ratio", "plain RC(Dq=2)", "WAH RC(Dq=2)"});
+  for (int64_t n : {32000, 131072, 262144}) {
+    StorageManager storage;
+    WorkloadConfig wconfig{n, v, CardinalitySpec::Fixed(dt),
+                           SkewKind::kUniform, 0.99,
+                           static_cast<uint64_t>(n) + sig.f};
+    auto sets = MakeDatabase(wconfig);
+    std::vector<Oid> oids;
+    oids.reserve(sets.size());
+    for (int64_t i = 0; i < n; ++i) {
+      oids.push_back(Oid::FromLocation(static_cast<PageId>(i >> 9),
+                                       static_cast<uint16_t>(i & 0x1ff)));
+    }
+    auto plain = ValueOrDie(
+        BitSlicedSignatureFile::Create(sig, static_cast<uint64_t>(n),
+                                       storage.CreateOrOpen("p.slices"),
+                                       storage.CreateOrOpen("p.oid"),
+                                       BssfInsertMode::kSparse),
+        "plain");
+    CheckOk(plain->BulkLoad(oids, sets), "plain bulk");
+    auto wah = ValueOrDie(
+        CompressedBitSlicedSignatureFile::Create(
+            sig, storage.CreateOrOpen("c.slices"),
+            storage.CreateOrOpen("c.oid")),
+        "wah");
+    CheckOk(wah->BulkLoad(oids, sets), "wah bulk");
+
+    // Mean slice reads for Dq=2 superset queries.
+    Rng rng(9);
+    const int kTrials = 10;
+    uint64_t plain_reads = 0, wah_reads = 0;
+    PageFile* p_file = *storage.Open("p.slices");
+    PageFile* c_file = *storage.Open("c.slices");
+    for (int t = 0; t < kTrials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(v), 2);
+      BitVector query_sig = MakeSetSignature(query, sig);
+      p_file->stats().Reset();
+      CheckOk(plain->SupersetCandidateSlots(query_sig).status(), "plain q");
+      plain_reads += p_file->stats().page_reads;
+      c_file->stats().Reset();
+      auto wah_slots = wah->SupersetCandidateSlots(query_sig);
+      CheckOk(wah_slots.status(), "wah q");
+      wah_reads += c_file->stats().page_reads;
+      // Sanity: identical candidates.
+      auto plain_slots = plain->SupersetCandidateSlots(query_sig);
+      CheckOk(plain_slots.status(), "plain q2");
+      if (*plain_slots != *wah_slots) {
+        std::fprintf(stderr, "FATAL: candidate mismatch\n");
+        std::abort();
+      }
+    }
+    table.AddRow(
+        {TablePrinter::Int(n),
+         TablePrinter::Int(plain->pages_per_slice()),
+         TablePrinter::Int(static_cast<int64_t>(plain->SlicePages())),
+         TablePrinter::Int(static_cast<int64_t>(wah->SlicePages())),
+         TablePrinter::Num(static_cast<double>(wah->SlicePages()) /
+                               static_cast<double>(plain->SlicePages()),
+                           2),
+         TablePrinter::Num(static_cast<double>(plain_reads) / kTrials),
+         TablePrinter::Num(static_cast<double>(wah_reads) / kTrials)});
+  }
+  table.Print(std::cout);
+}
+
+void Run() {
+  // The paper's recommended design: small F, small m — slices too dense
+  // (≈8%) for run-length coding; WAH *loses* (literal words carry 31 of 32
+  // bits, and the directory adds pages).
+  RunSweep({250, 2}, 10);
+  // A sparse design (large F): WAH wins and keeps per-slice reads ~1 page
+  // as N grows past the one-page slice regime.
+  RunSweep({2500, 2}, 10);
+  std::printf(
+      "\nFinding: compression pays only below ~2-3%% slice density "
+      "(F >> m·Dt).  The paper's small-m/small-F sweet spot produces "
+      "slices that are already near-incompressible — its raw bit slices "
+      "are the right design at that operating point, while large-F "
+      "configurations (lower false drops at equal storage) become viable "
+      "once slices are compressed.  Candidate sets verified identical "
+      "throughout.\n");
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main() {
+  sigsetdb::PrintBenchHeader("Extension",
+                             "WAH-compressed bit slices at large N");
+  sigsetdb::Run();
+  return 0;
+}

@@ -1,0 +1,119 @@
+// Micro-benchmarks (google-benchmark) for the in-memory hot paths: element
+// signature hashing, set-signature construction, bit-packed extraction,
+// slice combination, and B+-tree look-ups.  These are CPU-cost complements
+// to the page-access experiments (the paper's model is I/O-only).
+
+#include <benchmark/benchmark.h>
+
+#include "bench_util.h"
+#include "nix/btree.h"
+#include "sig/bitpack.h"
+#include "sig/signature.h"
+
+namespace sigsetdb {
+namespace {
+
+void BM_ElementSignature(benchmark::State& state) {
+  SignatureConfig config{static_cast<uint32_t>(state.range(0)),
+                         static_cast<uint32_t>(state.range(1))};
+  uint64_t e = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeElementSignature(e++, config));
+  }
+}
+BENCHMARK(BM_ElementSignature)->Args({250, 2})->Args({500, 35})->Args({2500, 17});
+
+void BM_SetSignature(benchmark::State& state) {
+  SignatureConfig config{static_cast<uint32_t>(state.range(0)), 2};
+  Rng rng(1);
+  ElementSet set = rng.SampleWithoutReplacement(13000,
+                                                static_cast<uint64_t>(
+                                                    state.range(1)));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MakeSetSignature(set, config));
+  }
+}
+BENCHMARK(BM_SetSignature)->Args({250, 10})->Args({500, 10})->Args({2500, 100});
+
+void BM_BitpackExtract(benchmark::State& state) {
+  const size_t f = static_cast<size_t>(state.range(0));
+  std::vector<uint8_t> page(kPageSize, 0xa5);
+  BitVector out(f);
+  size_t slot = 0;
+  const size_t slots = kPageBits / f;
+  for (auto _ : state) {
+    ExtractBits(page.data(), (slot++ % slots) * f, &out);
+    benchmark::DoNotOptimize(out);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(f / 8));
+}
+BENCHMARK(BM_BitpackExtract)->Arg(250)->Arg(500)->Arg(2500);
+
+void BM_SupersetMatch(benchmark::State& state) {
+  SignatureConfig config{500, 2};
+  Rng rng(2);
+  BitVector target = MakeSetSignature(
+      rng.SampleWithoutReplacement(13000, 10), config);
+  BitVector query = MakeSetSignature(
+      rng.SampleWithoutReplacement(13000, 3), config);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(MatchesSuperset(target, query));
+  }
+}
+BENCHMARK(BM_SupersetMatch);
+
+void BM_SliceAndCombine(benchmark::State& state) {
+  // Word-wise AND of a page worth of slice bits into an accumulator —
+  // the inner loop of every BSSF superset query.
+  std::vector<uint64_t> slice(kPageSize / 8, ~0ull);
+  BitVector acc(kPageBits);
+  acc.SetAll();
+  for (auto _ : state) {
+    uint64_t* words = acc.mutable_words();
+    for (size_t i = 0; i < slice.size(); ++i) words[i] &= slice[i];
+    benchmark::DoNotOptimize(words);
+  }
+  state.SetBytesProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(kPageSize));
+}
+BENCHMARK(BM_SliceAndCombine);
+
+void BM_BTreeLookup(benchmark::State& state) {
+  static StorageManager storage;
+  static std::unique_ptr<BTree> tree = [] {
+    auto t = ValueOrDie(BTree::Create(storage.CreateOrOpen("bt")), "create");
+    std::vector<BTreeEntry> entries;
+    for (uint64_t k = 0; k < 13000; ++k) {
+      entries.push_back({k, {Oid::FromLocation(static_cast<PageId>(k), 0)}});
+    }
+    CheckOk(t->BulkLoad(entries), "bulk");
+    return t;
+  }();
+  Rng rng(3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(tree->Lookup(rng.NextBelow(13000)));
+  }
+}
+BENCHMARK(BM_BTreeLookup);
+
+void BM_BTreeInsert(benchmark::State& state) {
+  StorageManager storage;
+  int file_id = 0;
+  auto tree = ValueOrDie(
+      BTree::Create(storage.CreateOrOpen("bt" + std::to_string(file_id++))),
+      "create");
+  Rng rng(4);
+  uint64_t i = 0;
+  for (auto _ : state) {
+    CheckOk(tree->Insert(rng.NextBelow(100000),
+                         Oid::FromLocation(static_cast<PageId>(i++), 0)),
+            "insert");
+  }
+}
+BENCHMARK(BM_BTreeInsert);
+
+}  // namespace
+}  // namespace sigsetdb
+
+BENCHMARK_MAIN();

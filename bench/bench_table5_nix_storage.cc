@@ -1,0 +1,56 @@
+// Table 5 — storage cost of NIX (lp, nlp, SC) for Dt ∈ {10, 100}.
+//
+// Model values must be exactly the paper's (685/5/690 and 6500/31/6531).
+// The empirical columns bulk-build the real B+-tree at full scale with the
+// paper's fanout cap and report its actual page counts; small deviations
+// come from the binomial spread of posting-list lengths around d = Dt·N/V
+// (the model assumes every key has exactly d postings).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/cost_nix.h"
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+namespace {
+
+void Run() {
+  const DatabaseParams db;
+  const NixParams nix;
+
+  TablePrinter table({"Dt", "lp", "nlp", "SC", "lp meas", "nlp meas",
+                      "SC meas", "height meas"});
+  for (int64_t dt : {10, 100}) {
+    BenchDb::Options options;
+    options.dt = dt;
+    options.sig = {250, 2};
+    options.build_ssf = false;
+    options.build_bssf = false;
+    BenchDb bench(options);
+    const BTree& tree = bench.nix().tree();
+    table.AddRow({TablePrinter::Int(dt),
+                  TablePrinter::Int(NixLeafPages(db, nix, dt)),
+                  TablePrinter::Int(NixNonLeafPages(db, nix, dt)),
+                  TablePrinter::Int(NixStorageCost(db, nix, dt)),
+                  TablePrinter::Int(static_cast<int64_t>(tree.leaf_pages())),
+                  TablePrinter::Int(
+                      static_cast<int64_t>(tree.internal_pages())),
+                  TablePrinter::Int(static_cast<int64_t>(tree.total_pages())),
+                  TablePrinter::Int(tree.height())});
+  }
+  table.Print(std::cout);
+  std::printf(
+      "\nPaper values: Dt=10 -> 685/5/690; Dt=100 -> 6500/31/6531; height 2 "
+      "(rc = 3) in both cases.\n");
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main() {
+  sigsetdb::PrintBenchHeader("Table 5", "storage cost of NIX");
+  sigsetdb::Run();
+  return 0;
+}

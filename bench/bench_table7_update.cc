@@ -1,0 +1,153 @@
+// Table 7 — update costs UC_I (insert) and UC_D (delete) of the three
+// facilities, model and measured.
+//
+// Measurement notes (see EXPERIMENTS.md):
+//  * the paper's 1993 model counts one "disk access" per touched page; the
+//    measured columns therefore report page *writes* for inserts (the
+//    read half of a read-modify-write is listed separately) and page reads
+//    for the delete-flag scan;
+//  * BSSF is measured in both the paper's worst case (touch all F slices)
+//    and the sparse mode the paper anticipates in §6 (touch only the m_t
+//    one-bit slices).
+
+#include <cstdio>
+#include <iostream>
+
+#include "bench_util.h"
+#include "model/cost_bssf.h"
+#include "model/cost_nix.h"
+#include "model/cost_ssf.h"
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+namespace {
+
+// Measures the mean write/read cost of inserting `trials` fresh objects.
+struct MeasuredUpdate {
+  double writes;
+  double reads;
+};
+
+MeasuredUpdate MeasureInserts(StorageManager& storage,
+                              SetAccessFacility* facility, int64_t v,
+                              int64_t dt, int trials, uint64_t seed) {
+  Rng rng(seed);
+  uint64_t writes = 0, reads = 0;
+  for (int t = 0; t < trials; ++t) {
+    ElementSet set = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(v), static_cast<uint64_t>(dt));
+    storage.ResetStats();
+    CheckOk(facility->Insert(Oid::FromLocation(50000 + t, 0), set),
+            "insert");
+    IoStats io = storage.TotalStats();
+    writes += io.page_writes;
+    reads += io.page_reads;
+  }
+  return {static_cast<double>(writes) / trials,
+          static_cast<double>(reads) / trials};
+}
+
+void Run() {
+  const DatabaseParams db;
+  const NixParams nix;
+
+  struct Config {
+    int64_t dt;
+    uint32_t f;
+    uint32_t m;
+  };
+  const Config configs[] = {
+      {10, 250, 2}, {10, 500, 2}, {100, 1000, 2}, {100, 2500, 3}};
+
+  TablePrinter table({"Dt", "F", "SSF UC_I", "BSSF UC_I", "BSSF UC_I sparse",
+                      "NIX UC_I", "UC_D (sig)", "NIX UC_D"});
+  for (const Config& c : configs) {
+    table.AddRow({TablePrinter::Int(c.dt), TablePrinter::Int(c.f),
+                  TablePrinter::Num(SsfInsertCost()),
+                  TablePrinter::Num(BssfInsertCost({c.f, c.m})),
+                  TablePrinter::Num(BssfInsertCostSparse({c.f, c.m}, c.dt)),
+                  TablePrinter::Num(NixInsertCost(db, nix, c.dt)),
+                  TablePrinter::Num(SsfDeleteCost(db)),
+                  TablePrinter::Num(NixDeleteCost(db, nix, c.dt))});
+  }
+  std::printf("Model (paper Table 7):\n");
+  table.Print(std::cout);
+
+  // --- measured, for the Dt=10, F=250 configuration at full scale ---
+  std::printf("\nMeasured (Dt=10, F=250, m=2, full scale):\n");
+  BenchDb::Options options;
+  options.dt = 10;
+  options.sig = {250, 2};
+  BenchDb bench(options);
+
+  // Fresh naive-mode and sparse-mode BSSFs (insert cost is independent of
+  // the population, so empty facilities measure it cleanly).
+  StorageManager extra;
+  auto naive = ValueOrDie(
+      BitSlicedSignatureFile::Create({250, 2}, 1024,
+                                     extra.CreateOrOpen("naive.slices"),
+                                     extra.CreateOrOpen("naive.oid"),
+                                     BssfInsertMode::kTouchAllSlices),
+      "naive bssf");
+  auto sparse = ValueOrDie(
+      BitSlicedSignatureFile::Create({250, 2}, 1024,
+                                     extra.CreateOrOpen("sparse.slices"),
+                                     extra.CreateOrOpen("sparse.oid"),
+                                     BssfInsertMode::kSparse),
+      "sparse bssf");
+
+  const int kTrials = 10;
+  MeasuredUpdate ssf_ins =
+      MeasureInserts(bench.storage(), &bench.ssf(), 13000, 10, kTrials, 1);
+  MeasuredUpdate naive_ins =
+      MeasureInserts(extra, naive.get(), 13000, 10, kTrials, 2);
+  MeasuredUpdate sparse_ins =
+      MeasureInserts(extra, sparse.get(), 13000, 10, kTrials, 3);
+  MeasuredUpdate nix_ins =
+      MeasureInserts(bench.storage(), &bench.nix(), 13000, 10, kTrials, 4);
+  std::printf("  SSF insert:         %.1f writes (model UC_I = 2)\n",
+              ssf_ins.writes);
+  std::printf(
+      "  BSSF insert naive:  %.1f writes + %.1f RMW reads (model F+1 = "
+      "251)\n",
+      naive_ins.writes, naive_ins.reads);
+  std::printf(
+      "  BSSF insert sparse: %.1f writes + %.1f RMW reads (model m_t+1 = "
+      "%.1f)\n",
+      sparse_ins.writes, sparse_ins.reads,
+      BssfInsertCostSparse({250, 2}, 10));
+  std::printf(
+      "  NIX insert:         %.1f writes + %.1f traversal reads (model "
+      "rc*Dt = 30)\n",
+      nix_ins.writes, nix_ins.reads);
+
+  // Delete-flag scan cost, averaged over random victims.
+  Rng rng(5);
+  double scan_reads = 0;
+  const int kDeletes = 10;
+  for (int t = 0; t < kDeletes; ++t) {
+    size_t victim = rng.NextBelow(bench.oids().size());
+    bench.storage().ResetStats();
+    Status status =
+        bench.ssf().Remove(bench.oids()[victim], bench.sets()[victim]);
+    if (!status.ok()) {
+      --t;  // duplicate victim across trials; pick another
+      continue;
+    }
+    scan_reads += static_cast<double>(
+        bench.storage().TotalStats().page_reads);
+  }
+  std::printf(
+      "  SSF/BSSF delete:    %.1f scan reads on average (model SC_OID/2 = "
+      "%.1f)\n",
+      scan_reads / kDeletes, SsfDeleteCost(db));
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main() {
+  sigsetdb::PrintBenchHeader("Table 7", "update costs UC_I and UC_D");
+  sigsetdb::Run();
+  return 0;
+}

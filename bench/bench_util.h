@@ -1,0 +1,211 @@
+// Shared infrastructure for the figure/table reproduction benches: builds
+// the paper's database (N objects, V-element domain, Dt-element sets) at
+// full scale, materializes the requested access facilities, and measures
+// page accesses per query.
+
+#ifndef SIGSET_BENCH_BENCH_UTIL_H_
+#define SIGSET_BENCH_BENCH_UTIL_H_
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+#include "nix/nested_index.h"
+#include "obj/object_store.h"
+#include "query/executor.h"
+#include "sig/bssf.h"
+#include "sig/ssf.h"
+#include "storage/storage_manager.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+
+// Aborts with a message on error status — benches have no error recovery.
+inline void CheckOk(const Status& status, const char* what) {
+  if (!status.ok()) {
+    std::fprintf(stderr, "FATAL %s: %s\n", what, status.ToString().c_str());
+    std::abort();
+  }
+}
+
+template <typename T>
+T ValueOrDie(StatusOr<T> v, const char* what) {
+  CheckOk(v.status(), what);
+  return std::move(v).value();
+}
+
+// A fully materialized experimental database.
+class BenchDb {
+ public:
+  struct Options {
+    int64_t n = 32000;
+    int64_t v = 13000;
+    int64_t dt = 10;
+    SignatureConfig sig{250, 2};
+    uint32_t nix_fanout = kPaperFanout;
+    uint64_t seed = 19930526;  // SIGMOD'93
+    bool build_ssf = true;
+    bool build_bssf = true;
+    bool build_nix = true;
+  };
+
+  explicit BenchDb(const Options& options) : options_(options) {
+    WorkloadConfig wconfig{options.n, options.v,
+                           CardinalitySpec::Fixed(options.dt),
+                           SkewKind::kUniform, 0.99, options.seed};
+    sets_ = MakeDatabase(wconfig);
+    store_ = std::make_unique<ObjectStore>(storage_.CreateOrOpen("objects"));
+    oids_.reserve(sets_.size());
+    for (const auto& set : sets_) {
+      oids_.push_back(ValueOrDie(store_->Insert(set), "object insert"));
+    }
+    if (options.build_ssf) {
+      ssf_ = ValueOrDie(
+          SequentialSignatureFile::Create(options.sig,
+                                          storage_.CreateOrOpen("ssf.sig"),
+                                          storage_.CreateOrOpen("ssf.oid")),
+          "ssf create");
+      for (size_t i = 0; i < sets_.size(); ++i) {
+        CheckOk(ssf_->Insert(oids_[i], sets_[i]), "ssf insert");
+      }
+    }
+    if (options.build_bssf) {
+      bssf_ = ValueOrDie(
+          BitSlicedSignatureFile::Create(
+              options.sig, static_cast<uint64_t>(options.n) + 64,
+              storage_.CreateOrOpen("bssf.slices"),
+              storage_.CreateOrOpen("bssf.oid"), BssfInsertMode::kSparse),
+          "bssf create");
+      CheckOk(bssf_->BulkLoad(oids_, sets_), "bssf bulk load");
+    }
+    if (options.build_nix) {
+      nix_ = ValueOrDie(
+          NestedIndex::Create(storage_.CreateOrOpen("nix"),
+                              options.nix_fanout),
+          "nix create");
+      CheckOk(nix_->BulkBuild(oids_, sets_), "nix bulk build");
+    }
+    storage_.ResetStats();
+  }
+
+  // Mean measured page accesses per query over `trials` random Dq-element
+  // query sets (the paper's mostly-unsuccessful-search regime).
+  double MeasureMean(SetAccessFacility* facility, QueryKind kind, int64_t dq,
+                     int trials, uint64_t seed) {
+    Rng rng(seed);
+    uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
+      storage_.ResetStats();
+      CheckOk(ExecuteSetQuery(facility, *store_, kind, query).status(),
+              "query");
+      total += storage_.TotalStats().total();
+    }
+    return static_cast<double>(total) / trials;
+  }
+
+  // Measured smart strategies (paper §5.1.3 / §5.2.2).
+  double MeasureMeanSmartSupersetBssf(int64_t dq, size_t use_elements,
+                                      int trials, uint64_t seed) {
+    Rng rng(seed);
+    uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
+      storage_.ResetStats();
+      CheckOk(ExecuteSmartSupersetBssf(bssf_.get(), *store_, query,
+                                       use_elements)
+                  .status(),
+              "smart superset bssf");
+      total += storage_.TotalStats().total();
+    }
+    return static_cast<double>(total) / trials;
+  }
+
+  double MeasureMeanSmartSubsetBssf(int64_t dq, size_t max_slices, int trials,
+                                    uint64_t seed) {
+    Rng rng(seed);
+    uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
+      storage_.ResetStats();
+      CheckOk(
+          ExecuteSmartSubsetBssf(bssf_.get(), *store_, query, max_slices)
+              .status(),
+          "smart subset bssf");
+      total += storage_.TotalStats().total();
+    }
+    return static_cast<double>(total) / trials;
+  }
+
+  double MeasureMeanSmartSupersetNix(int64_t dq, size_t use_elements,
+                                     int trials, uint64_t seed) {
+    Rng rng(seed);
+    uint64_t total = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
+      storage_.ResetStats();
+      CheckOk(ExecuteSmartSupersetNix(nix_.get(), *store_, query,
+                                      use_elements)
+                  .status(),
+              "smart superset nix");
+      total += storage_.TotalStats().total();
+    }
+    return static_cast<double>(total) / trials;
+  }
+
+  const Options& options() const { return options_; }
+  StorageManager& storage() { return storage_; }
+  ObjectStore& store() { return *store_; }
+  SequentialSignatureFile& ssf() { return *ssf_; }
+  BitSlicedSignatureFile& bssf() { return *bssf_; }
+  NestedIndex& nix() { return *nix_; }
+  const std::vector<ElementSet>& sets() const { return sets_; }
+  const std::vector<Oid>& oids() const { return oids_; }
+
+  // Model-parameter view of this database.
+  DatabaseParams ModelDb() const {
+    DatabaseParams db;
+    db.n = options_.n;
+    db.v = options_.v;
+    return db;
+  }
+  SignatureParams ModelSig() const {
+    return SignatureParams{options_.sig.f, options_.sig.m};
+  }
+
+ private:
+  Options options_;
+  StorageManager storage_;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<SequentialSignatureFile> ssf_;
+  std::unique_ptr<BitSlicedSignatureFile> bssf_;
+  std::unique_ptr<NestedIndex> nix_;
+  std::vector<ElementSet> sets_;
+  std::vector<Oid> oids_;
+};
+
+// Rounds m_opt = F·ln2/Dt to the nearest integer >= 1.
+inline uint32_t RoundedMopt(int64_t f, int64_t dt) {
+  double m = static_cast<double>(f) * std::log(2.0) / static_cast<double>(dt);
+  long rounded = std::lround(m);
+  return rounded < 1 ? 1u : static_cast<uint32_t>(rounded);
+}
+
+// Prints the standard bench header.
+inline void PrintBenchHeader(const char* id, const char* title) {
+  std::printf("==================================================\n");
+  std::printf("%s — %s\n", id, title);
+  std::printf("==================================================\n");
+}
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,141 @@
+// oql_shell: the paper's query language, runnable.
+//
+// Builds the §1 university database (Courses referenced by OID, string
+// hobbies) inside a two-attribute Database, then executes queries written
+// in the paper's SQL-like syntax — either the built-in demo script or lines
+// read from stdin.
+//
+//   $ ./oql_shell
+//   $ echo '<query>' | ./oql_shell -     (reads queries from stdin)
+//
+// Supported operators: has-subset (⊇), in-subset (⊆), has-proper-subset
+// (⊋), in-proper-subset (⊊), equals, overlaps; conjunctions with `and`.
+
+#include <cstdio>
+#include <cstring>
+#include <iostream>
+#include <map>
+#include <string>
+
+#include "query/language.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+struct Shell {
+  StorageManager storage;
+  std::unique_ptr<Database> db;
+  std::map<Oid, std::string> names;
+  std::map<std::string, uint64_t> course_ids;  // name -> element id (OID)
+
+  Status Build() {
+    Database::Options options;
+    Database::AttributeOptions courses;
+    courses.name = "courses";
+    courses.sig = {128, 2};
+    courses.domain_estimate = 64;
+    Database::AttributeOptions hobbies;
+    hobbies.name = "hobbies";
+    hobbies.sig = {128, 2};
+    hobbies.domain_estimate = 64;
+    options.attributes = {courses, hobbies};
+    options.capacity = 1024;
+    SIGSET_ASSIGN_OR_RETURN(db, Database::Create(&storage, "Student",
+                                                 options));
+
+    // Courses get synthetic OIDs (their element ids).
+    const char* kCourses[] = {"DBTheory", "DBSystems", "Datalog",
+                              "Compilers", "Graphics"};
+    for (size_t i = 0; i < 5; ++i) {
+      course_ids[kCourses[i]] = 1000 + i;
+    }
+    ElementDictionary& hobby_dict = db->dictionary(1);
+
+    struct Student {
+      const char* name;
+      std::vector<const char*> courses;
+      std::vector<const char*> hobbies;
+    };
+    const Student kStudents[] = {
+        {"Jeff", {"DBTheory", "Datalog", "Compilers"},
+         {"Baseball", "Fishing"}},
+        {"Aiko", {"DBTheory", "DBSystems", "Datalog"}, {"Tennis"}},
+        {"Maria", {"DBTheory", "DBSystems"}, {"Baseball", "Golf"}},
+        {"Chen", {"Compilers", "Graphics"}, {"Fishing"}},
+        {"Tom", {"DBSystems"}, {"Baseball", "Fishing", "Tennis"}},
+    };
+    for (const Student& s : kStudents) {
+      ElementSet course_set, hobby_set;
+      for (const char* c : s.courses) course_set.push_back(course_ids[c]);
+      for (const char* h : s.hobbies) {
+        hobby_set.push_back(hobby_dict.IdForString(h));
+      }
+      SIGSET_ASSIGN_OR_RETURN(Oid oid, db->Insert({course_set, hobby_set}));
+      names[oid] = s.name;
+    }
+    return Status::OK();
+  }
+
+  void RunLine(const std::string& line) {
+    if (line.empty()) return;
+    std::printf("oql> %s\n", line.c_str());
+    auto result = ExecuteQueryText(line, db.get());
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("  %zu result(s) | driver: %s | %llu page accesses\n",
+                result->oids.size(), result->driver.c_str(),
+                static_cast<unsigned long long>(result->page_accesses));
+    for (Oid oid : result->oids) {
+      std::printf("    %s\n", names.count(oid) ? names[oid].c_str()
+                                               : oid.ToString().c_str());
+    }
+  }
+};
+
+int Run(int argc, char** argv) {
+  Shell shell;
+  if (Status status = shell.Build(); !status.ok()) {
+    std::fprintf(stderr, "setup failed: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("Students: Jeff, Aiko, Maria, Chen, Tom\n");
+  std::printf("Courses (element ids): DBTheory=1000 DBSystems=1001 "
+              "Datalog=1002 Compilers=1003 Graphics=1004\n\n");
+
+  if (argc > 1 && std::strcmp(argv[1], "-") == 0) {
+    std::string line;
+    while (std::getline(std::cin, line)) shell.RunLine(line);
+    return 0;
+  }
+  // Demo script: the paper's two sample queries and friends.
+  const char* kScript[] = {
+      // Q1 (paper §2): T ⊇ Q on a string set attribute.
+      "select Student where hobbies has-subset (\"Baseball\", \"Fishing\")",
+      // Q2 (paper §2): T ⊆ Q.
+      "select Student where hobbies in-subset (\"Baseball\", \"Fishing\", "
+      "\"Tennis\")",
+      // §1's first query, with the category pre-resolved to an OID list:
+      // students taking ALL DB-category lectures {DBTheory, DBSystems}.
+      "select Student where courses has-subset (1000, 1001)",
+      // §1's second query with the strict operator.
+      "select Student where courses in-proper-subset (1000, 1001, 1002)",
+      // A conjunction across both set attributes.
+      "select Student where courses overlaps (1000) and hobbies has-subset "
+      "(\"Baseball\")",
+      // Exact-match and error handling.
+      "select Student where hobbies equals (\"Tennis\")",
+      "select Student where hobbies has-subset (\"Cricket\")",
+      "select Student where gpa has-subset (1)",
+      "select Student where hobbies resembles (\"Baseball\")",
+  };
+  for (const char* line : kScript) shell.RunLine(line);
+  return 0;
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main(int argc, char** argv) { return sigsetdb::Run(argc, argv); }

@@ -1,0 +1,434 @@
+#include "db/database.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+
+namespace sigsetdb {
+
+namespace {
+
+constexpr char kKeyObjects[] = "num_objects";
+constexpr char kKeyAttrs[] = "num_attributes";
+
+std::string AttrKey(size_t i, const char* suffix) {
+  return "attr" + std::to_string(i) + "." + suffix;
+}
+
+bool Satisfies(const ElementSet& value, QueryKind kind,
+               const ElementSet& query) {
+  StoredObject probe;
+  probe.set_value = value;
+  switch (kind) {
+    case QueryKind::kSuperset:
+      return SatisfiesSuperset(probe, query);
+    case QueryKind::kSubset:
+      return SatisfiesSubset(probe, query);
+    case QueryKind::kProperSuperset:
+      return SatisfiesProperSuperset(probe, query);
+    case QueryKind::kProperSubset:
+      return SatisfiesProperSubset(probe, query);
+    case QueryKind::kEquals:
+      return SatisfiesEquals(probe, query);
+    case QueryKind::kOverlaps:
+      return SatisfiesOverlap(probe, query);
+  }
+  return false;
+}
+
+}  // namespace
+
+Status Database::ValidateOptions(const Options& options) {
+  if (options.attributes.empty()) {
+    return Status::InvalidArgument("at least one attribute required");
+  }
+  for (const AttributeOptions& attr : options.attributes) {
+    if (attr.name.empty()) {
+      return Status::InvalidArgument("attribute name must not be empty");
+    }
+    if (!attr.maintain_ssf && !attr.maintain_bssf && !attr.maintain_nix) {
+      return Status::InvalidArgument("attribute " + attr.name +
+                                     ": enable at least one facility");
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::InitFacilities(const std::string& name,
+                                const Manifest::Values* recovered) {
+  attrs_.resize(options_.attributes.size());
+  dictionaries_.resize(options_.attributes.size());
+  for (size_t i = 0; i < options_.attributes.size(); ++i) {
+    const AttributeOptions& spec = options_.attributes[i];
+    AttributeState& state = attrs_[i];
+    std::string prefix = name + "." + spec.name;
+    uint64_t sigs = 0;
+    if (recovered != nullptr) {
+      SIGSET_ASSIGN_OR_RETURN(
+          sigs, Manifest::Get(*recovered, AttrKey(i, "signatures")));
+      SIGSET_ASSIGN_OR_RETURN(
+          state.total_elements,
+          Manifest::Get(*recovered, AttrKey(i, "elements")));
+    }
+    if (spec.maintain_ssf) {
+      if (recovered == nullptr) {
+        SIGSET_ASSIGN_OR_RETURN(
+            state.ssf, SequentialSignatureFile::Create(
+                           spec.sig, storage_->CreateOrOpen(prefix + ".sig"),
+                           storage_->CreateOrOpen(prefix + ".sig.oid")));
+      } else {
+        SIGSET_ASSIGN_OR_RETURN(
+            state.ssf, SequentialSignatureFile::CreateFromExisting(
+                           spec.sig, storage_->CreateOrOpen(prefix + ".sig"),
+                           storage_->CreateOrOpen(prefix + ".sig.oid"),
+                           sigs));
+      }
+    }
+    if (spec.maintain_bssf) {
+      if (recovered == nullptr) {
+        SIGSET_ASSIGN_OR_RETURN(
+            state.bssf,
+            BitSlicedSignatureFile::Create(
+                spec.sig, options_.capacity,
+                storage_->CreateOrOpen(prefix + ".slices"),
+                storage_->CreateOrOpen(prefix + ".slices.oid"),
+                spec.bssf_mode));
+      } else {
+        SIGSET_ASSIGN_OR_RETURN(
+            state.bssf,
+            BitSlicedSignatureFile::CreateFromExisting(
+                spec.sig, options_.capacity,
+                storage_->CreateOrOpen(prefix + ".slices"),
+                storage_->CreateOrOpen(prefix + ".slices.oid"),
+                spec.bssf_mode, sigs));
+      }
+    }
+    if (spec.maintain_nix) {
+      if (recovered == nullptr) {
+        SIGSET_ASSIGN_OR_RETURN(
+            state.nix, NestedIndex::Create(
+                           storage_->CreateOrOpen(prefix + ".nix"),
+                           spec.nix_fanout));
+      } else {
+        SIGSET_ASSIGN_OR_RETURN(
+            uint64_t root, Manifest::Get(*recovered, AttrKey(i, "nix_root")));
+        SIGSET_ASSIGN_OR_RETURN(
+            uint64_t height,
+            Manifest::Get(*recovered, AttrKey(i, "nix_height")));
+        SIGSET_ASSIGN_OR_RETURN(
+            uint64_t leaves,
+            Manifest::Get(*recovered, AttrKey(i, "nix_leaves")));
+        SIGSET_ASSIGN_OR_RETURN(
+            uint64_t internal,
+            Manifest::Get(*recovered, AttrKey(i, "nix_internal")));
+        SIGSET_ASSIGN_OR_RETURN(
+            uint64_t overflow,
+            Manifest::Get(*recovered, AttrKey(i, "nix_overflow")));
+        SIGSET_ASSIGN_OR_RETURN(
+            state.nix,
+            NestedIndex::CreateFromExisting(
+                storage_->CreateOrOpen(prefix + ".nix"), spec.nix_fanout,
+                static_cast<PageId>(root), static_cast<uint32_t>(height),
+                leaves, internal, overflow));
+        auto free_head = Manifest::Get(*recovered, AttrKey(i, "nix_free_head"));
+        auto free_pages =
+            Manifest::Get(*recovered, AttrKey(i, "nix_free_pages"));
+        if (free_head.ok() && free_pages.ok()) {
+          state.nix->mutable_tree().RestoreFreeList(
+              static_cast<PageId>(*free_head), *free_pages);
+        }
+      }
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
+                                                     const std::string& name,
+                                                     const Options& options) {
+  SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
+  std::unique_ptr<Database> db(new Database(storage, options));
+  db->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
+  db->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  db->store_ = std::make_unique<MultiObjectStore>(
+      storage->CreateOrOpen(name + ".objects"),
+      static_cast<uint16_t>(options.attributes.size()));
+  SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, nullptr));
+  return db;
+}
+
+StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
+                                                   const std::string& name,
+                                                   const Options& options) {
+  SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
+  std::unique_ptr<Database> db(new Database(storage, options));
+  db->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
+  db->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  SIGSET_ASSIGN_OR_RETURN(Manifest::Values values,
+                          Manifest::Read(db->manifest_file_));
+  SIGSET_ASSIGN_OR_RETURN(uint64_t attrs, Manifest::Get(values, kKeyAttrs));
+  if (attrs != options.attributes.size()) {
+    return Status::FailedPrecondition(
+        "attribute count does not match the checkpoint");
+  }
+  SIGSET_ASSIGN_OR_RETURN(uint64_t objects,
+                          Manifest::Get(values, kKeyObjects));
+  db->store_ = std::make_unique<MultiObjectStore>(
+      storage->CreateOrOpen(name + ".objects"),
+      static_cast<uint16_t>(options.attributes.size()));
+  db->store_->RecoverCount(objects);
+  SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, &values));
+  // Restore the per-attribute domain sketches (page i = attribute i).
+  if (db->sketch_file_->num_pages() >=
+      static_cast<PageId>(db->attrs_.size())) {
+    Page page;
+    for (size_t i = 0; i < db->attrs_.size(); ++i) {
+      SIGSET_RETURN_IF_ERROR(
+          db->sketch_file_->Read(static_cast<PageId>(i), &page));
+      if (!db->attrs_[i].domain_sketch.LoadRegisters(
+              page.data(), db->attrs_[i].domain_sketch.num_registers())) {
+        return Status::Corruption("domain sketch size mismatch");
+      }
+    }
+  }
+  return db;
+}
+
+Status Database::Checkpoint() {
+  Manifest::Values values;
+  values[kKeyObjects] = num_objects();
+  values[kKeyAttrs] = attrs_.size();
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeState& state = attrs_[i];
+    uint64_t sigs = 0;
+    if (state.ssf != nullptr) {
+      sigs = state.ssf->num_signatures();
+    } else if (state.bssf != nullptr) {
+      sigs = state.bssf->num_signatures();
+    }
+    values[AttrKey(i, "signatures")] = sigs;
+    values[AttrKey(i, "elements")] = state.total_elements;
+    if (state.nix != nullptr) {
+      const BTree& tree = state.nix->tree();
+      values[AttrKey(i, "nix_root")] = tree.root();
+      values[AttrKey(i, "nix_height")] = tree.height();
+      values[AttrKey(i, "nix_leaves")] = tree.leaf_pages();
+      values[AttrKey(i, "nix_internal")] = tree.internal_pages();
+      values[AttrKey(i, "nix_overflow")] = tree.overflow_pages();
+      values[AttrKey(i, "nix_free_head")] = tree.free_list_head();
+      values[AttrKey(i, "nix_free_pages")] = tree.free_pages();
+    }
+  }
+  // Persist the per-attribute domain sketches (one page each).
+  while (sketch_file_->num_pages() < attrs_.size()) {
+    SIGSET_ASSIGN_OR_RETURN(PageId id, sketch_file_->Allocate());
+    (void)id;
+  }
+  Page page;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    page.Zero();
+    std::memcpy(page.data(), attrs_[i].domain_sketch.registers().data(),
+                attrs_[i].domain_sketch.num_registers());
+    SIGSET_RETURN_IF_ERROR(
+        sketch_file_->Write(static_cast<PageId>(i), page));
+  }
+  return Manifest::Write(manifest_file_, values);
+}
+
+StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
+  if (attr_values.size() != attrs_.size()) {
+    return Status::InvalidArgument("attribute count mismatch");
+  }
+  for (ElementSet& set : attr_values) NormalizeSet(&set);
+  SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(attr_values));
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttributeState& state = attrs_[i];
+    if (state.ssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.ssf->Insert(oid, attr_values[i]));
+    }
+    if (state.bssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.bssf->Insert(oid, attr_values[i]));
+    }
+    if (state.nix != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.nix->Insert(oid, attr_values[i]));
+    }
+    state.total_elements += attr_values[i].size();
+    for (uint64_t element : attr_values[i]) state.domain_sketch.Add(element);
+  }
+  return oid;
+}
+
+Status Database::Delete(Oid oid) {
+  SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttributeState& state = attrs_[i];
+    if (state.ssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.ssf->Remove(oid, obj.attrs[i]));
+    }
+    if (state.bssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.bssf->Remove(oid, obj.attrs[i]));
+    }
+    if (state.nix != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.nix->Remove(oid, obj.attrs[i]));
+    }
+    if (state.total_elements >= obj.attrs[i].size()) {
+      state.total_elements -= obj.attrs[i].size();
+    }
+  }
+  return Status::OK();
+}
+
+StatusOr<size_t> Database::AttributeIndex(const std::string& attribute) const {
+  for (size_t i = 0; i < options_.attributes.size(); ++i) {
+    if (options_.attributes[i].name == attribute) return i;
+  }
+  return Status::NotFound("no such attribute: " + attribute);
+}
+
+int64_t Database::DomainEstimate(size_t attr) const {
+  if (options_.attributes[attr].domain_estimate > 0) {
+    return options_.attributes[attr].domain_estimate;
+  }
+  int64_t estimate = static_cast<int64_t>(
+      std::llround(attrs_[attr].domain_sketch.Estimate()));
+  return std::max<int64_t>(estimate, 2);
+}
+
+StatusOr<AccessPathChoice> Database::PlanPredicate(
+    size_t attr, const SetPredicate& predicate, double* cost) const {
+  const AttributeOptions& spec = options_.attributes[attr];
+  const AttributeState& state = attrs_[attr];
+  DatabaseParams db;
+  db.n = std::max<int64_t>(1, static_cast<int64_t>(num_objects()));
+  db.v = DomainEstimate(attr);
+  SignatureParams sig{spec.sig.f, spec.sig.m};
+  NixParams nix;
+  nix.fanout = spec.nix_fanout;
+  int64_t dt = num_objects() == 0
+                   ? 1
+                   : std::max<int64_t>(
+                         1, static_cast<int64_t>(std::llround(
+                                static_cast<double>(state.total_elements) /
+                                static_cast<double>(num_objects()))));
+  if (db.v < dt + 1) db.v = dt + 1;  // the combinatorics need V >= Dt
+  QueryKind ck = CandidateKind(predicate.kind);
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<AccessPathChoice> choices,
+      AdviseAccessPaths(db, sig, nix, dt,
+                        static_cast<int64_t>(predicate.query.size()), ck,
+                        /*allow_smart=*/true));
+  for (const AccessPathChoice& choice : choices) {
+    if (choice.facility == "ssf" && state.ssf == nullptr) continue;
+    if (choice.facility == "bssf" && state.bssf == nullptr) continue;
+    if (choice.facility == "nix" && state.nix == nullptr) continue;
+    *cost = choice.cost_pages;
+    return choice;
+  }
+  return Status::Internal("no maintained facility for attribute");
+}
+
+StatusOr<std::vector<Oid>> Database::DriverCandidates(
+    size_t attr, const AccessPathChoice& plan, QueryKind candidate_kind,
+    const ElementSet& query) {
+  AttributeState& state = attrs_[attr];
+  if (plan.facility == "ssf") {
+    SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
+                            state.ssf->Candidates(candidate_kind, query));
+    return result.oids;
+  }
+  if (plan.facility == "nix") {
+    if (plan.param > 0 && candidate_kind == QueryKind::kSuperset) {
+      SIGSET_ASSIGN_OR_RETURN(
+          CandidateResult result,
+          state.nix->CandidatesSmartSuperset(
+              query, static_cast<size_t>(plan.param)));
+      return result.oids;
+    }
+    SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
+                            state.nix->Candidates(candidate_kind, query));
+    return result.oids;
+  }
+  // bssf
+  if (plan.param > 0 && candidate_kind == QueryKind::kSuperset) {
+    BitVector sig = MakePartialQuerySignature(
+        query, static_cast<size_t>(plan.param), state.bssf->config());
+    SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                            state.bssf->SupersetCandidateSlots(sig));
+    return state.bssf->ResolveSlots(slots);
+  }
+  if (plan.param > 0 && candidate_kind == QueryKind::kSubset) {
+    BitVector sig = MakeSetSignature(query, state.bssf->config());
+    SIGSET_ASSIGN_OR_RETURN(
+        std::vector<uint64_t> slots,
+        state.bssf->SubsetCandidateSlots(sig,
+                                         static_cast<size_t>(plan.param)));
+    return state.bssf->ResolveSlots(slots);
+  }
+  SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
+                          state.bssf->Candidates(candidate_kind, query));
+  return result.oids;
+}
+
+StatusOr<DatabaseQueryResult> Database::Query(
+    const std::vector<SetPredicate>& predicates) {
+  if (predicates.empty()) {
+    return Status::InvalidArgument("at least one predicate required");
+  }
+  // Normalize queries and resolve attribute indexes.
+  std::vector<SetPredicate> preds = predicates;
+  std::vector<size_t> attr_index(preds.size());
+  for (size_t i = 0; i < preds.size(); ++i) {
+    NormalizeSet(&preds[i].query);
+    if (preds[i].query.empty()) {
+      return Status::InvalidArgument("query set must not be empty");
+    }
+    SIGSET_ASSIGN_OR_RETURN(attr_index[i],
+                            AttributeIndex(preds[i].attribute));
+  }
+
+  // Pick the cheapest predicate as the candidate driver.
+  size_t driver = 0;
+  double best_cost = 0;
+  AccessPathChoice driver_plan;
+  for (size_t i = 0; i < preds.size(); ++i) {
+    double cost = 0;
+    SIGSET_ASSIGN_OR_RETURN(AccessPathChoice plan,
+                            PlanPredicate(attr_index[i], preds[i], &cost));
+    if (i == 0 || cost < best_cost) {
+      best_cost = cost;
+      driver = i;
+      driver_plan = plan;
+    }
+  }
+
+  IoStats before = storage_->TotalStats();
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<Oid> candidates,
+      DriverCandidates(attr_index[driver], driver_plan,
+                       CandidateKind(preds[driver].kind),
+                       preds[driver].query));
+
+  // Resolution: one fetch per candidate, all predicates checked.
+  DatabaseQueryResult out;
+  out.num_candidates = candidates.size();
+  for (Oid oid : candidates) {
+    SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+    bool ok = true;
+    for (size_t i = 0; i < preds.size() && ok; ++i) {
+      ok = Satisfies(obj.attrs[attr_index[i]], preds[i].kind,
+                     preds[i].query);
+    }
+    if (ok) {
+      out.oids.push_back(oid);
+    } else {
+      ++out.num_false_drops;
+    }
+  }
+  out.driver = preds[driver].attribute + " via " + driver_plan.facility +
+               " " + driver_plan.strategy;
+  out.page_accesses = (storage_->TotalStats() - before).total();
+  return out;
+}
+
+}  // namespace sigsetdb

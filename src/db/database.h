@@ -1,0 +1,159 @@
+// Database: one OODB class with several indexed set attributes.
+//
+// The paper's motivating schema is exactly this shape — Student objects
+// with `courses` (set of OIDs) and `hobbies` (set of strings), each wanting
+// its own set access facility.  A Database owns one multi-attribute object
+// store plus, per attribute, any combination of SSF/BSSF/NIX, and evaluates
+// *conjunctions* of set predicates:
+//
+//   select Student
+//   where courses has-subset (c1, c3) and hobbies in-subset ("a","b","c")
+//
+// Execution is cost-based: the advisor prices every (predicate, facility,
+// strategy) combination, the cheapest predicate drives candidate selection,
+// and the surviving candidates are fetched once and checked against the
+// whole conjunction.
+
+#ifndef SIGSET_DB_DATABASE_H_
+#define SIGSET_DB_DATABASE_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "db/manifest.h"
+#include "model/params.h"
+#include "nix/nested_index.h"
+#include "obj/multi_object_store.h"
+#include "obj/schema.h"
+#include "query/advisor.h"
+#include "sig/bssf.h"
+#include "sig/ssf.h"
+#include "storage/storage_manager.h"
+#include "util/hyperloglog.h"
+
+namespace sigsetdb {
+
+// One conjunct: <attribute> <operator> <query set>.
+struct SetPredicate {
+  std::string attribute;
+  QueryKind kind;
+  ElementSet query;  // normalized by the evaluator
+};
+
+// Result of a (possibly multi-predicate) query.
+struct DatabaseQueryResult {
+  std::vector<Oid> oids;        // objects satisfying every predicate
+  uint64_t num_candidates = 0;  // candidates fetched from the driver
+  uint64_t num_false_drops = 0;  // candidates failing the conjunction
+  std::string driver;           // "courses via bssf smart(k=2)"
+  uint64_t page_accesses = 0;   // measured for this query
+};
+
+// One OODB class with indexed set attributes.
+class Database {
+ public:
+  // Per-attribute index configuration.
+  struct AttributeOptions {
+    std::string name;
+    bool maintain_ssf = false;
+    bool maintain_bssf = true;
+    bool maintain_nix = true;
+    SignatureConfig sig{250, 2};
+    BssfInsertMode bssf_mode = BssfInsertMode::kSparse;
+    uint32_t nix_fanout = kPaperFanout;
+    // Domain-cardinality estimate for the cost model (the paper's V).
+    // <= 0 (default): estimated live via a per-attribute HyperLogLog.
+    int64_t domain_estimate = 0;
+  };
+
+  struct Options {
+    std::vector<AttributeOptions> attributes;  // at least one
+    uint64_t capacity = 1 << 20;  // max objects (bit-slice store size)
+  };
+
+  // Creates the class storage under the file prefix `class_name`.
+  static StatusOr<std::unique_ptr<Database>> Create(StorageManager* storage,
+                                                    const std::string& name,
+                                                    const Options& options);
+
+  // Reopens a checkpointed database (same storage/directory and options).
+  static StatusOr<std::unique_ptr<Database>> Open(StorageManager* storage,
+                                                  const std::string& name,
+                                                  const Options& options);
+
+  // Persists facility metadata; see SetIndex::Checkpoint for semantics.
+  Status Checkpoint();
+
+  // Stores an object; `attr_values[i]` is the value of attribute i (the
+  // order of Options::attributes).  Values are normalized in place.
+  StatusOr<Oid> Insert(std::vector<ElementSet> attr_values);
+
+  // Deletes an object and de-indexes all its attributes.
+  Status Delete(Oid oid);
+
+  StatusOr<MultiSetObject> Get(Oid oid) const { return store_->Get(oid); }
+
+  // Evaluates the conjunction of `predicates` (at least one, attributes may
+  // repeat).  Unknown attribute names fail with kNotFound.
+  StatusOr<DatabaseQueryResult> Query(
+      const std::vector<SetPredicate>& predicates);
+
+  // The V the advisor uses for attribute `attr`: configured or sketched.
+  int64_t DomainEstimate(size_t attr) const;
+
+  // Index of `attribute` in the schema, or kNotFound.
+  StatusOr<size_t> AttributeIndex(const std::string& attribute) const;
+
+  // Per-attribute string-element dictionary (in-memory; used by the query
+  // language to map string literals to element ids).
+  ElementDictionary& dictionary(size_t attr) { return dictionaries_[attr]; }
+
+  uint64_t num_objects() const { return store_->num_objects(); }
+  size_t num_attributes() const { return attrs_.size(); }
+  const std::string& attribute_name(size_t i) const {
+    return options_.attributes[i].name;
+  }
+
+ private:
+  // Everything maintained for one attribute.
+  struct AttributeState {
+    std::unique_ptr<SequentialSignatureFile> ssf;
+    std::unique_ptr<BitSlicedSignatureFile> bssf;
+    std::unique_ptr<NestedIndex> nix;
+    uint64_t total_elements = 0;  // for the live Dt estimate
+    HyperLogLog domain_sketch{12};  // for the live V estimate
+  };
+
+  Database(StorageManager* storage, Options options)
+      : storage_(storage), options_(std::move(options)) {}
+
+  static Status ValidateOptions(const Options& options);
+
+  // Builds the per-attribute facilities; `recovered_sigs` non-null on Open.
+  Status InitFacilities(const std::string& name,
+                        const Manifest::Values* recovered);
+
+  // Prices the best access path for one predicate.
+  StatusOr<AccessPathChoice> PlanPredicate(size_t attr,
+                                           const SetPredicate& predicate,
+                                           double* cost) const;
+
+  // Runs the chosen plan, returning candidate OIDs (no resolution).
+  StatusOr<std::vector<Oid>> DriverCandidates(size_t attr,
+                                              const AccessPathChoice& plan,
+                                              QueryKind candidate_kind,
+                                              const ElementSet& query);
+
+  StorageManager* storage_;
+  Options options_;
+  PageFile* manifest_file_ = nullptr;
+  PageFile* sketch_file_ = nullptr;
+  std::unique_ptr<MultiObjectStore> store_;
+  std::vector<AttributeState> attrs_;
+  std::vector<ElementDictionary> dictionaries_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_DB_DATABASE_H_

@@ -1,0 +1,74 @@
+#include "db/manifest.h"
+
+#include <cstring>
+
+namespace sigsetdb {
+
+namespace {
+constexpr uint32_t kMagic = 0x53494753;  // "SIGS"
+constexpr uint32_t kVersion = 1;
+}  // namespace
+
+Status Manifest::Write(PageFile* file, const Values& values) {
+  Page page;
+  page.WriteAt<uint32_t>(0, kMagic);
+  page.WriteAt<uint32_t>(4, kVersion);
+  page.WriteAt<uint32_t>(8, static_cast<uint32_t>(values.size()));
+  size_t off = 12;
+  for (const auto& [key, value] : values) {
+    size_t need = 2 + key.size() + 8;
+    if (off + need > kPageSize) {
+      return Status::OutOfRange("manifest exceeds one page");
+    }
+    page.WriteAt<uint16_t>(off, static_cast<uint16_t>(key.size()));
+    std::memcpy(page.data() + off + 2, key.data(), key.size());
+    page.WriteAt<uint64_t>(off + 2 + key.size(), value);
+    off += need;
+  }
+  if (file->num_pages() == 0) {
+    SIGSET_ASSIGN_OR_RETURN(PageId id, file->Allocate());
+    if (id != 0) return Status::Internal("manifest page must be page 0");
+  }
+  return file->Write(0, page);
+}
+
+StatusOr<Manifest::Values> Manifest::Read(PageFile* file) {
+  if (file->num_pages() == 0) {
+    return Status::NotFound("no manifest page");
+  }
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file->Read(0, &page));
+  if (page.ReadAt<uint32_t>(0) != kMagic) {
+    return Status::Corruption("bad manifest magic");
+  }
+  if (page.ReadAt<uint32_t>(4) != kVersion) {
+    return Status::Corruption("unsupported manifest version");
+  }
+  uint32_t count = page.ReadAt<uint32_t>(8);
+  Values values;
+  size_t off = 12;
+  for (uint32_t i = 0; i < count; ++i) {
+    if (off + 2 > kPageSize) return Status::Corruption("manifest truncated");
+    uint16_t key_len = page.ReadAt<uint16_t>(off);
+    if (off + 2 + key_len + 8 > kPageSize) {
+      return Status::Corruption("manifest truncated");
+    }
+    std::string key(reinterpret_cast<const char*>(page.data() + off + 2),
+                    key_len);
+    uint64_t value = page.ReadAt<uint64_t>(off + 2 + key_len);
+    values[key] = value;
+    off += 2 + key_len + 8;
+  }
+  return values;
+}
+
+StatusOr<uint64_t> Manifest::Get(const Values& values,
+                                 const std::string& key) {
+  auto it = values.find(key);
+  if (it == values.end()) {
+    return Status::NotFound("manifest key missing: " + key);
+  }
+  return it->second;
+}
+
+}  // namespace sigsetdb

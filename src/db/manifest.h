@@ -1,0 +1,40 @@
+// Manifest: a one-page key/value snapshot of facility metadata.
+//
+// The page-file layer persists page contents, but each facility also keeps
+// a little derived state (signature counts, B-tree root/height, object
+// counts) that must survive a restart.  SetIndex::Checkpoint() serializes
+// that state into a manifest page file; SetIndex::Open() reads it back and
+// reconstructs the facilities.  The design mirrors the MANIFEST of
+// LSM engines at miniature scale: durability is checkpoint-granular.
+
+#ifndef SIGSET_DB_MANIFEST_H_
+#define SIGSET_DB_MANIFEST_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// Reads/writes a string->uint64 map in page 0 of a page file.
+// Layout: magic(4) version(4) count(4) then per entry:
+// key_len(2) key bytes value(8).  Must fit one page.
+class Manifest {
+ public:
+  using Values = std::map<std::string, uint64_t>;
+
+  // Serializes `values` into page 0 of `file` (allocating it if needed).
+  static Status Write(PageFile* file, const Values& values);
+
+  // Parses page 0 of `file`.
+  static StatusOr<Values> Read(PageFile* file);
+
+  // Convenience: fetches a required key from parsed values.
+  static StatusOr<uint64_t> Get(const Values& values, const std::string& key);
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_DB_MANIFEST_H_

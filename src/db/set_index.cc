@@ -1,0 +1,319 @@
+#include "db/set_index.h"
+
+#include <cmath>
+#include <cstring>
+
+namespace sigsetdb {
+
+StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
+                                                     const std::string& name,
+                                                     const Options& options) {
+  if (!options.maintain_ssf && !options.maintain_bssf &&
+      !options.maintain_nix) {
+    return Status::InvalidArgument("enable at least one facility");
+  }
+  std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
+  index->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
+  index->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  index->store_ = std::make_unique<ObjectStore>(
+      storage->CreateOrOpen(name + ".objects"));
+  if (options.maintain_ssf) {
+    SIGSET_ASSIGN_OR_RETURN(
+        index->ssf_,
+        SequentialSignatureFile::Create(
+            options.sig, storage->CreateOrOpen(name + ".ssf.sig"),
+            storage->CreateOrOpen(name + ".ssf.oid")));
+  }
+  if (options.maintain_bssf) {
+    SIGSET_ASSIGN_OR_RETURN(
+        index->bssf_,
+        BitSlicedSignatureFile::Create(
+            options.sig, options.capacity,
+            storage->CreateOrOpen(name + ".bssf.slices"),
+            storage->CreateOrOpen(name + ".bssf.oid"), options.bssf_mode));
+  }
+  if (options.maintain_nix) {
+    SIGSET_ASSIGN_OR_RETURN(
+        index->nix_, NestedIndex::Create(storage->CreateOrOpen(name + ".nix"),
+                                         options.nix_fanout));
+  }
+  return index;
+}
+
+namespace {
+// Manifest keys.
+constexpr char kKeyObjects[] = "num_objects";
+constexpr char kKeyElements[] = "total_elements";
+constexpr char kKeySignatures[] = "num_signatures";
+constexpr char kKeyNixRoot[] = "nix_root";
+constexpr char kKeyNixHeight[] = "nix_height";
+constexpr char kKeyNixLeaves[] = "nix_leaf_pages";
+constexpr char kKeyNixInternal[] = "nix_internal_pages";
+constexpr char kKeyNixOverflow[] = "nix_overflow_pages";
+constexpr char kKeyNixFreeHead[] = "nix_free_head";
+constexpr char kKeyNixFreePages[] = "nix_free_pages";
+constexpr char kKeyF[] = "config_f";
+constexpr char kKeyM[] = "config_m";
+constexpr char kKeyFacilities[] = "config_facilities";
+
+uint64_t FacilityMask(const SetIndex::Options& options) {
+  return (options.maintain_ssf ? 1u : 0u) |
+         (options.maintain_bssf ? 2u : 0u) |
+         (options.maintain_nix ? 4u : 0u);
+}
+}  // namespace
+
+Status SetIndex::Checkpoint() {
+  Manifest::Values values;
+  values[kKeyObjects] = num_objects();
+  values[kKeyElements] = total_elements_;
+  values[kKeyF] = static_cast<uint64_t>(options_.sig.f);
+  values[kKeyM] = static_cast<uint64_t>(options_.sig.m);
+  values[kKeyFacilities] = FacilityMask(options_);
+  if (ssf_ != nullptr || bssf_ != nullptr) {
+    uint64_t sigs = ssf_ != nullptr ? ssf_->num_signatures()
+                                    : bssf_->num_signatures();
+    values[kKeySignatures] = sigs;
+  }
+  if (nix_ != nullptr) {
+    const BTree& tree = nix_->tree();
+    values[kKeyNixRoot] = tree.root();
+    values[kKeyNixHeight] = tree.height();
+    values[kKeyNixLeaves] = tree.leaf_pages();
+    values[kKeyNixInternal] = tree.internal_pages();
+    values[kKeyNixOverflow] = tree.overflow_pages();
+    values[kKeyNixFreeHead] = tree.free_list_head();
+    values[kKeyNixFreePages] = tree.free_pages();
+  }
+  // The domain sketch's 4 KiB register file is exactly one page.
+  if (sketch_file_ != nullptr &&
+      domain_sketch_.num_registers() <= kPageSize) {
+    if (sketch_file_->num_pages() == 0) {
+      SIGSET_ASSIGN_OR_RETURN(PageId id, sketch_file_->Allocate());
+      (void)id;
+    }
+    Page page;
+    std::memcpy(page.data(), domain_sketch_.registers().data(),
+                domain_sketch_.num_registers());
+    SIGSET_RETURN_IF_ERROR(sketch_file_->Write(0, page));
+  }
+  return Manifest::Write(manifest_file_, values);
+}
+
+StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
+                                                   const std::string& name,
+                                                   const Options& options) {
+  std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
+  index->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
+  index->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  if (index->sketch_file_->num_pages() > 0) {
+    Page page;
+    SIGSET_RETURN_IF_ERROR(index->sketch_file_->Read(0, &page));
+    if (!index->domain_sketch_.LoadRegisters(
+            page.data(), index->domain_sketch_.num_registers())) {
+      return Status::Corruption("domain sketch size mismatch");
+    }
+  }
+  SIGSET_ASSIGN_OR_RETURN(Manifest::Values values,
+                          Manifest::Read(index->manifest_file_));
+  SIGSET_ASSIGN_OR_RETURN(uint64_t f, Manifest::Get(values, kKeyF));
+  SIGSET_ASSIGN_OR_RETURN(uint64_t m, Manifest::Get(values, kKeyM));
+  SIGSET_ASSIGN_OR_RETURN(uint64_t mask, Manifest::Get(values,
+                                                       kKeyFacilities));
+  if (f != options.sig.f || m != options.sig.m ||
+      mask != FacilityMask(options)) {
+    return Status::FailedPrecondition(
+        "options do not match the checkpointed configuration");
+  }
+  SIGSET_ASSIGN_OR_RETURN(uint64_t num_objects,
+                          Manifest::Get(values, kKeyObjects));
+  SIGSET_ASSIGN_OR_RETURN(index->total_elements_,
+                          Manifest::Get(values, kKeyElements));
+  index->store_ = std::make_unique<ObjectStore>(
+      storage->CreateOrOpen(name + ".objects"));
+  index->store_->RecoverCount(num_objects);
+  if (options.maintain_ssf || options.maintain_bssf) {
+    SIGSET_ASSIGN_OR_RETURN(uint64_t sigs,
+                            Manifest::Get(values, kKeySignatures));
+    if (options.maintain_ssf) {
+      SIGSET_ASSIGN_OR_RETURN(
+          index->ssf_,
+          SequentialSignatureFile::CreateFromExisting(
+              options.sig, storage->CreateOrOpen(name + ".ssf.sig"),
+              storage->CreateOrOpen(name + ".ssf.oid"), sigs));
+    }
+    if (options.maintain_bssf) {
+      SIGSET_ASSIGN_OR_RETURN(
+          index->bssf_,
+          BitSlicedSignatureFile::CreateFromExisting(
+              options.sig, options.capacity,
+              storage->CreateOrOpen(name + ".bssf.slices"),
+              storage->CreateOrOpen(name + ".bssf.oid"), options.bssf_mode,
+              sigs));
+    }
+  }
+  if (options.maintain_nix) {
+    SIGSET_ASSIGN_OR_RETURN(uint64_t root, Manifest::Get(values, kKeyNixRoot));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t height,
+                            Manifest::Get(values, kKeyNixHeight));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t leaves,
+                            Manifest::Get(values, kKeyNixLeaves));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t internal,
+                            Manifest::Get(values, kKeyNixInternal));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t overflow,
+                            Manifest::Get(values, kKeyNixOverflow));
+    SIGSET_ASSIGN_OR_RETURN(
+        index->nix_,
+        NestedIndex::CreateFromExisting(
+            storage->CreateOrOpen(name + ".nix"), options.nix_fanout,
+            static_cast<PageId>(root), static_cast<uint32_t>(height), leaves,
+            internal, overflow));
+    auto free_head = Manifest::Get(values, kKeyNixFreeHead);
+    auto free_pages = Manifest::Get(values, kKeyNixFreePages);
+    if (free_head.ok() && free_pages.ok()) {
+      index->nix_->mutable_tree().RestoreFreeList(
+          static_cast<PageId>(*free_head), *free_pages);
+    }
+  }
+  return index;
+}
+
+StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
+  ElementSet normalized = set_value;
+  NormalizeSet(&normalized);
+  SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized));
+  if (ssf_ != nullptr) SIGSET_RETURN_IF_ERROR(ssf_->Insert(oid, normalized));
+  if (bssf_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(bssf_->Insert(oid, normalized));
+  }
+  if (nix_ != nullptr) SIGSET_RETURN_IF_ERROR(nix_->Insert(oid, normalized));
+  total_elements_ += normalized.size();
+  for (uint64_t element : normalized) domain_sketch_.Add(element);
+  return oid;
+}
+
+Status SetIndex::Delete(Oid oid) {
+  SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
+  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  if (ssf_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(ssf_->Remove(oid, obj.set_value));
+  }
+  if (bssf_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(bssf_->Remove(oid, obj.set_value));
+  }
+  if (nix_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(nix_->Remove(oid, obj.set_value));
+  }
+  if (total_elements_ >= obj.set_value.size()) {
+    total_elements_ -= obj.set_value.size();
+  }
+  return Status::OK();
+}
+
+int64_t SetIndex::DomainEstimate() const {
+  if (options_.domain_estimate > 0) return options_.domain_estimate;
+  int64_t estimate =
+      static_cast<int64_t>(std::llround(domain_sketch_.Estimate()));
+  return std::max<int64_t>(estimate, 2);
+}
+
+DatabaseParams SetIndex::LiveDbParams() const {
+  DatabaseParams db;
+  db.n = static_cast<int64_t>(num_objects());
+  if (db.n < 1) db.n = 1;
+  db.v = DomainEstimate();
+  // The combinatorial actual-drop formulas need V >= Dt.
+  int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (db.v < dt + 1) db.v = dt + 1;
+  return db;
+}
+
+StatusOr<AccessPathChoice> SetIndex::Plan(QueryKind kind, int64_t dq) const {
+  DatabaseParams db = LiveDbParams();
+  SignatureParams sig{options_.sig.f, options_.sig.m};
+  NixParams nix;
+  nix.fanout = options_.nix_fanout;
+  int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (dt < 1) dt = 1;
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<AccessPathChoice> choices,
+      AdviseAccessPaths(db, sig, nix, dt, dq, kind, /*allow_smart=*/true));
+  for (const AccessPathChoice& choice : choices) {
+    if (choice.facility == "ssf" && ssf_ == nullptr) continue;
+    if (choice.facility == "bssf" && bssf_ == nullptr) continue;
+    if (choice.facility == "nix" && nix_ == nullptr) continue;
+    return choice;
+  }
+  return Status::Internal("no maintained facility matched the plan");
+}
+
+StatusOr<QueryResult> SetIndex::RunPlan(const AccessPathChoice& plan,
+                                        QueryKind kind,
+                                        const ElementSet& query) {
+  if (plan.facility == "ssf") {
+    return ExecuteSetQuery(ssf_.get(), *store_, kind, query);
+  }
+  QueryKind ck = CandidateKind(kind);
+  if (plan.facility == "nix") {
+    if (plan.param > 0 && ck == QueryKind::kSuperset) {
+      return ExecuteSmartSupersetNix(nix_.get(), *store_, query,
+                                     static_cast<size_t>(plan.param), kind);
+    }
+    return ExecuteSetQuery(nix_.get(), *store_, kind, query);
+  }
+  // bssf
+  if (plan.param > 0 && ck == QueryKind::kSuperset) {
+    return ExecuteSmartSupersetBssf(bssf_.get(), *store_, query,
+                                    static_cast<size_t>(plan.param), kind);
+  }
+  if (plan.param > 0 && ck == QueryKind::kSubset) {
+    return ExecuteSmartSubsetBssf(bssf_.get(), *store_, query,
+                                  static_cast<size_t>(plan.param), kind);
+  }
+  return ExecuteSetQuery(bssf_.get(), *store_, kind, query);
+}
+
+StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,
+                                         const ElementSet& query,
+                                         PlanMode mode) {
+  ElementSet normalized = query;
+  NormalizeSet(&normalized);
+  if (normalized.empty()) {
+    return Status::InvalidArgument("query set must not be empty");
+  }
+
+  AccessPathChoice plan;
+  switch (mode) {
+    case PlanMode::kForceSsf:
+      if (ssf_ == nullptr) return Status::FailedPrecondition("no ssf");
+      plan = {"ssf", "plain", 0.0, 0};
+      break;
+    case PlanMode::kForceBssf:
+      if (bssf_ == nullptr) return Status::FailedPrecondition("no bssf");
+      plan = {"bssf", "plain", 0.0, 0};
+      break;
+    case PlanMode::kForceNix:
+      if (nix_ == nullptr) return Status::FailedPrecondition("no nix");
+      plan = {"nix", "plain", 0.0, 0};
+      break;
+    case PlanMode::kAuto: {
+      SIGSET_ASSIGN_OR_RETURN(
+          plan, Plan(CandidateKind(kind),
+                     static_cast<int64_t>(normalized.size())));
+      break;
+    }
+  }
+
+  IoStats before = storage_->TotalStats();
+  SIGSET_ASSIGN_OR_RETURN(QueryResult result,
+                          RunPlan(plan, kind, normalized));
+  IoStats delta = storage_->TotalStats() - before;
+
+  SetIndexResult out;
+  out.result = std::move(result);
+  out.plan = plan.facility + " " + plan.strategy;
+  out.page_accesses = delta.total();
+  return out;
+}
+
+}  // namespace sigsetdb

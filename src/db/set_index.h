@@ -1,0 +1,158 @@
+// SetIndex: the library's top-level facade — one indexed set attribute,
+// managed end to end.
+//
+// This is the component a downstream OODB would embed: it owns the object
+// store and any combination of the three access facilities over one set
+// attribute, keeps them consistent across inserts/deletes, routes queries
+// to the cheapest facility using the paper's cost model (including the §5
+// smart strategies), and reports per-query page-access statistics.
+//
+//   StorageManager storage;
+//   auto index = SetIndex::Create(&storage, "hobbies", options);
+//   Oid oid = index->Insert({tag1, tag2, ...}).value();
+//   auto result = index->Query(QueryKind::kSubset, allowlist);
+//   // result->plan tells you which facility/strategy ran.
+
+#ifndef SIGSET_DB_SET_INDEX_H_
+#define SIGSET_DB_SET_INDEX_H_
+
+#include <memory>
+#include <string>
+
+#include "db/manifest.h"
+#include "model/params.h"
+#include "nix/nested_index.h"
+#include "obj/object_store.h"
+#include "query/advisor.h"
+#include "query/executor.h"
+#include "sig/bssf.h"
+#include "sig/ssf.h"
+#include "storage/storage_manager.h"
+#include "util/hyperloglog.h"
+
+namespace sigsetdb {
+
+// How Query() picks its access path.
+enum class PlanMode {
+  // Cost-based: the advisor ranks all maintained facilities (with smart
+  // strategies) using live statistics and runs the cheapest.
+  kAuto,
+  // Force a specific facility with its plain strategy.
+  kForceSsf,
+  kForceBssf,
+  kForceNix,
+};
+
+// A query answer annotated with the plan that produced it.
+struct SetIndexResult {
+  QueryResult result;
+  std::string plan;          // e.g. "bssf smart(s=91)"
+  uint64_t page_accesses = 0;  // measured for this query
+};
+
+// End-to-end manager of one indexed set attribute.
+class SetIndex {
+ public:
+  struct Options {
+    // Which facilities to maintain.  At least one must be enabled; kAuto
+    // planning works best with bssf + nix (the paper's verdict: BSSF for
+    // most shapes, NIX for Dq=1 supersets).
+    bool maintain_ssf = false;
+    bool maintain_bssf = true;
+    bool maintain_nix = true;
+    SignatureConfig sig{250, 2};
+    BssfInsertMode bssf_mode = BssfInsertMode::kSparse;
+    uint32_t nix_fanout = kPaperFanout;
+    // Capacity of the bit-sliced store (max objects).
+    uint64_t capacity = 1 << 20;
+    // Domain-cardinality estimate used by the cost model (the paper's V).
+    // <= 0 (the default) means "estimate it live": every inserted element
+    // feeds a HyperLogLog sketch and the advisor uses its estimate.
+    int64_t domain_estimate = 0;
+  };
+
+  // Creates the index inside `storage` (not owned) under the file-name
+  // prefix `name` ("<name>.objects", "<name>.ssf.sig", ...).
+  static StatusOr<std::unique_ptr<SetIndex>> Create(StorageManager* storage,
+                                                    const std::string& name,
+                                                    const Options& options);
+
+  // Reopens an index previously checkpointed in `storage` (typically a
+  // disk-backed StorageManager pointed at the same directory).  `options`
+  // must match the configuration the index was created with.
+  static StatusOr<std::unique_ptr<SetIndex>> Open(StorageManager* storage,
+                                                  const std::string& name,
+                                                  const Options& options);
+
+  // Persists facility metadata (counts, B-tree root/shape) into the
+  // "<name>.manifest" file so that Open() can reconstruct the index.
+  // Durability is checkpoint-granular: inserts after the last checkpoint
+  // are not recovered.
+  Status Checkpoint();
+
+  // Stores `set_value` as a new object and indexes it in every maintained
+  // facility.  Returns the new OID.
+  StatusOr<Oid> Insert(const ElementSet& set_value);
+
+  // Deletes the object and de-indexes it everywhere.
+  Status Delete(Oid oid);
+
+  // Fetches the stored set value.
+  StatusOr<StoredObject> Get(Oid oid) const { return store_->Get(oid); }
+
+  // Runs a set query.  `mode` selects planning behaviour (default: cost
+  // based).  The result reports the chosen plan and measured page accesses.
+  StatusOr<SetIndexResult> Query(QueryKind kind, const ElementSet& query,
+                                 PlanMode mode = PlanMode::kAuto);
+
+  // Live statistics feeding the advisor.
+  uint64_t num_objects() const { return store_->num_objects(); }
+
+  // The V the advisor currently uses: the configured estimate, or the live
+  // HyperLogLog estimate (~1.6 % relative error) when auto.
+  int64_t DomainEstimate() const;
+  double mean_cardinality() const {
+    return num_objects() == 0
+               ? 0.0
+               : static_cast<double>(total_elements_) /
+                     static_cast<double>(num_objects());
+  }
+
+  // Storage cost (pages) of each maintained facility; 0 when absent.
+  uint64_t SsfPages() const { return ssf_ ? ssf_->StoragePages() : 0; }
+  uint64_t BssfPages() const { return bssf_ ? bssf_->StoragePages() : 0; }
+  uint64_t NixPages() const { return nix_ ? nix_->StoragePages() : 0; }
+
+  SequentialSignatureFile* ssf() { return ssf_.get(); }
+  BitSlicedSignatureFile* bssf() { return bssf_.get(); }
+  NestedIndex* nix() { return nix_.get(); }
+  const Options& options() const { return options_; }
+
+ private:
+  SetIndex(StorageManager* storage, Options options)
+      : storage_(storage), options_(options) {}
+
+  // The cost-model view of the current database state.
+  DatabaseParams LiveDbParams() const;
+
+  // Picks (facility, strategy) for kAuto mode.
+  StatusOr<AccessPathChoice> Plan(QueryKind kind, int64_t dq) const;
+
+  StatusOr<QueryResult> RunPlan(const AccessPathChoice& plan, QueryKind kind,
+                                const ElementSet& query);
+
+  StorageManager* storage_;
+  Options options_;
+  PageFile* manifest_file_ = nullptr;
+  PageFile* sketch_file_ = nullptr;
+  std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<SequentialSignatureFile> ssf_;
+  std::unique_ptr<BitSlicedSignatureFile> bssf_;
+  std::unique_ptr<NestedIndex> nix_;
+  uint64_t total_elements_ = 0;
+  HyperLogLog domain_sketch_{12};
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_DB_SET_INDEX_H_

@@ -1,0 +1,35 @@
+#include "model/actual_drops.h"
+
+namespace sigsetdb {
+
+double ActualDropsSuperset(const DatabaseParams& db, int64_t dt, int64_t dq) {
+  if (dq > dt) return 0.0;
+  return static_cast<double>(db.n) *
+         ChooseRatio(db.v - dq, dt - dq, db.v, dt);
+}
+
+double ActualDropsSubset(const DatabaseParams& db, int64_t dt, int64_t dq) {
+  if (dt > dq) return 0.0;
+  return static_cast<double>(db.n) * ChooseRatio(dq, dt, db.v, dt);
+}
+
+double ActualDropsEquals(const DatabaseParams& db, int64_t dt, int64_t dq) {
+  if (dt != dq) return 0.0;
+  return static_cast<double>(db.n) * ChooseRatio(db.v, 0, db.v, dt);
+}
+
+double ActualDropsOverlap(const DatabaseParams& db, int64_t dt, int64_t dq) {
+  return static_cast<double>(db.n) *
+         (1.0 - ChooseRatio(db.v - dq, dt, db.v, dt));
+}
+
+double NixSubsetFailingCandidates(const DatabaseParams& db, int64_t dt,
+                                  int64_t dq) {
+  double sum = 0.0;
+  for (int64_t j = 1; j < dt; ++j) {
+    sum += HypergeometricPmf(db.v, dq, dt, j);
+  }
+  return static_cast<double>(db.n) * sum;
+}
+
+}  // namespace sigsetdb

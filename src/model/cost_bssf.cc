@@ -1,0 +1,120 @@
+#include "model/cost_bssf.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/actual_drops.h"
+#include "model/cost_ssf.h"
+#include "model/false_drop.h"
+
+namespace sigsetdb {
+
+int64_t BssfSlicePages(const DatabaseParams& db) {
+  return CeilDiv(db.n, db.PageBits());
+}
+
+double BssfRetrievalSuperset(const DatabaseParams& db,
+                             const SignatureParams& sig, int64_t dt,
+                             int64_t dq) {
+  double m_q = ExpectedSignatureWeight(sig, dq);
+  double fd = FalseDropSuperset(sig, dt, dq);
+  double a = ActualDropsSuperset(db, dt, dq);
+  double n = static_cast<double>(db.n);
+  return static_cast<double>(BssfSlicePages(db)) * m_q +
+         OidLookupCost(db, fd, a) + db.p_s * a + db.p_u * fd * (n - a);
+}
+
+double BssfRetrievalSubset(const DatabaseParams& db,
+                           const SignatureParams& sig, int64_t dt,
+                           int64_t dq) {
+  double m_q = ExpectedSignatureWeight(sig, dq);
+  double fd = FalseDropSubset(sig, dt, dq);
+  double a = ActualDropsSubset(db, dt, dq);
+  double n = static_cast<double>(db.n);
+  return static_cast<double>(BssfSlicePages(db)) *
+             (static_cast<double>(sig.f) - m_q) +
+         OidLookupCost(db, fd, a) + db.p_s * a + db.p_u * fd * (n - a);
+}
+
+double BssfSmartSupersetCost(const DatabaseParams& db,
+                             const SignatureParams& sig, int64_t dt,
+                             int64_t dq, int64_t* best_k) {
+  double best = BssfRetrievalSuperset(db, sig, dt, dq);
+  int64_t arg = dq;
+  for (int64_t k = 1; k < dq; ++k) {
+    // Using k elements is equivalent to running the plain strategy for a
+    // query of cardinality k: candidates = A(k) + Fd(k)·(N − A(k)) and all
+    // of them are fetched once (the full Dq-element check happens on the
+    // fetched object at no extra I/O).
+    double cost = BssfRetrievalSuperset(db, sig, dt, k);
+    if (cost < best) {
+      best = cost;
+      arg = k;
+    }
+  }
+  if (best_k != nullptr) *best_k = arg;
+  return best;
+}
+
+double BssfSmartSubsetCost(const DatabaseParams& db,
+                           const SignatureParams& sig, int64_t dt, int64_t dq,
+                           int64_t* best_s) {
+  double m_q = ExpectedSignatureWeight(sig, dq);
+  int64_t max_s = static_cast<int64_t>(
+      std::floor(static_cast<double>(sig.f) - m_q));
+  double a = ActualDropsSubset(db, dt, dq);
+  double n = static_cast<double>(db.n);
+  double spp = static_cast<double>(BssfSlicePages(db));
+  // The plain strategy (scan every zero slice, eq. 8) is always available
+  // as a fallback, so the smart cost can never exceed it; starting from it
+  // also irons out the tiny mismatch between the partial-scan false-drop
+  // approximation at s = F − m_q and eq. 6.
+  double best = BssfRetrievalSubset(db, sig, dt, dq);
+  int64_t arg = max_s;
+  for (int64_t s = 0; s <= max_s; ++s) {
+    double fd = FalseDropSubsetPartial(sig, dt, static_cast<double>(s));
+    double cost = spp * static_cast<double>(s) + OidLookupCost(db, fd, a) +
+                  db.p_s * a + db.p_u * fd * (n - a);
+    if (cost < best) {
+      best = cost;
+      arg = s;
+    }
+  }
+  if (best_s != nullptr) *best_s = arg;
+  return best;
+}
+
+double BssfDqOpt(const DatabaseParams& db, const SignatureParams& sig,
+                 int64_t dt) {
+  // Minimize RC(Dq) ≈ spp·F·u + C·(1−u)^(m·Dt) over u = e^(−m·Dq/F), where
+  // C = SC_OID + P_u·N.  Setting dRC/du = 0:
+  //   (1−u*)^(m·Dt−1) = spp·F / (C·m·Dt).
+  double f = static_cast<double>(sig.f);
+  double m = static_cast<double>(sig.m);
+  double mdt = m * static_cast<double>(dt);
+  double c = static_cast<double>(db.OidFilePages()) +
+             db.p_u * static_cast<double>(db.n);
+  double spp = static_cast<double>(BssfSlicePages(db));
+  double rhs = spp * f / (c * mdt);
+  double u_star = 1.0 - std::pow(rhs, 1.0 / (mdt - 1.0));
+  if (u_star <= 0.0) return 0.0;  // scanning slices never pays off
+  return -(f / m) * std::log(u_star);
+}
+
+int64_t BssfStorageCost(const DatabaseParams& db, const SignatureParams& sig) {
+  return BssfSlicePages(db) * sig.f + db.OidFilePages();
+}
+
+double BssfInsertCost(const SignatureParams& sig) {
+  return static_cast<double>(sig.f) + 1.0;
+}
+
+double BssfInsertCostSparse(const SignatureParams& sig, int64_t dt) {
+  return ExpectedSignatureWeight(sig, dt) + 1.0;
+}
+
+double BssfDeleteCost(const DatabaseParams& db) {
+  return static_cast<double>(db.OidFilePages()) / 2.0;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,57 @@
+// Cost-model extension: the set-equality and overlap operators the paper
+// lists as future work (§6), priced in the same page-access framework.
+//
+// Derivations (same ideal-hash independence assumptions as §3.2):
+//
+//  * Equality prefilter.  Candidates are targets whose *entire signature*
+//    equals the query signature.  With per-bit one-probabilities
+//    p_t = 1−(1−m/F)^Dt and p_q (with Dq), independent across bits, the
+//    probability that an unrelated target agrees on every bit is
+//        Fd_eq = (p_t·p_q + (1−p_t)(1−p_q))^F,
+//    which is astronomically small at any realistic F — equality is the
+//    signature filter's best case.  SSF still scans SC_SIG pages; BSSF
+//    must read all F slices (every bit position participates).
+//
+//  * Overlap.  The filter drops a target when any of the Dq element
+//    signatures is covered by the target signature; per element that is
+//    the Dq=1 superset false-drop rate, so
+//        Fd_ov = 1 − (1 − Fd_sup(Dq=1))^Dq.
+//    BSSF reads m slices per element (the per-element filters are run
+//    independently, matching the implementation); NIX answers exactly via
+//    the union of postings.
+
+#ifndef SIGSET_MODEL_COST_EXT_H_
+#define SIGSET_MODEL_COST_EXT_H_
+
+#include "model/params.h"
+
+namespace sigsetdb {
+
+// Probability that the signatures of two unrelated sets (cardinalities dt,
+// dq) are bit-for-bit equal.
+double FalseDropEquals(const SignatureParams& sig, int64_t dt, int64_t dq);
+
+// Probability that a target set signature covers at least one of the Dq
+// query-element signatures while sharing no element.
+double FalseDropOverlap(const SignatureParams& sig, int64_t dt, int64_t dq);
+
+// Retrieval costs for T = Q.
+double SsfRetrievalEquals(const DatabaseParams& db, const SignatureParams& sig,
+                          int64_t dt, int64_t dq);
+double BssfRetrievalEquals(const DatabaseParams& db,
+                           const SignatureParams& sig, int64_t dt, int64_t dq);
+double NixRetrievalEquals(const DatabaseParams& db, const NixParams& nix,
+                          int64_t dt, int64_t dq);
+
+// Retrieval costs for T ∩ Q ≠ ∅.
+double SsfRetrievalOverlap(const DatabaseParams& db,
+                           const SignatureParams& sig, int64_t dt, int64_t dq);
+double BssfRetrievalOverlap(const DatabaseParams& db,
+                            const SignatureParams& sig, int64_t dt,
+                            int64_t dq);
+double NixRetrievalOverlap(const DatabaseParams& db, const NixParams& nix,
+                           int64_t dt, int64_t dq);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_EXT_H_

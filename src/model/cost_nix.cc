@@ -1,0 +1,108 @@
+#include "model/cost_nix.h"
+
+#include <cmath>
+#include <limits>
+
+#include "model/actual_drops.h"
+
+namespace sigsetdb {
+
+double NixPostingsPerKey(const DatabaseParams& db, int64_t dt) {
+  return static_cast<double>(dt) * static_cast<double>(db.n) /
+         static_cast<double>(db.v);
+}
+
+double NixLeafEntryBytes(const DatabaseParams& db, const NixParams& nix,
+                         int64_t dt) {
+  return NixPostingsPerKey(db, dt) * static_cast<double>(db.oid_bytes) +
+         static_cast<double>(nix.key_bytes) +
+         static_cast<double>(nix.count_bytes);
+}
+
+int64_t NixLeafPages(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt) {
+  double il = NixLeafEntryBytes(db, nix, dt);
+  int64_t entries_per_page =
+      static_cast<int64_t>(std::floor(static_cast<double>(db.page_bytes) / il));
+  if (entries_per_page < 1) entries_per_page = 1;
+  return CeilDiv(db.v, entries_per_page);
+}
+
+int64_t NixNonLeafPages(const DatabaseParams& db, const NixParams& nix,
+                        int64_t dt) {
+  int64_t level = NixLeafPages(db, nix, dt);
+  int64_t nlp = 0;
+  while (level > 1) {
+    level = CeilDiv(level, nix.fanout);
+    nlp += level;
+  }
+  return nlp;
+}
+
+int64_t NixHeight(const DatabaseParams& db, const NixParams& nix, int64_t dt) {
+  int64_t level = NixLeafPages(db, nix, dt);
+  int64_t height = 0;
+  while (level > 1) {
+    level = CeilDiv(level, nix.fanout);
+    ++height;
+  }
+  return height;
+}
+
+int64_t NixLookupCost(const DatabaseParams& db, const NixParams& nix,
+                      int64_t dt) {
+  return NixHeight(db, nix, dt) + 1;
+}
+
+double NixRetrievalSuperset(const DatabaseParams& db, const NixParams& nix,
+                            int64_t dt, int64_t dq) {
+  double rc = static_cast<double>(NixLookupCost(db, nix, dt));
+  return rc * static_cast<double>(dq) +
+         db.p_s * ActualDropsSuperset(db, dt, dq);
+}
+
+double NixRetrievalSubset(const DatabaseParams& db, const NixParams& nix,
+                          int64_t dt, int64_t dq) {
+  double rc = static_cast<double>(NixLookupCost(db, nix, dt));
+  return rc * static_cast<double>(dq) +
+         db.p_u * NixSubsetFailingCandidates(db, dt, dq) +
+         db.p_s * ActualDropsSubset(db, dt, dq);
+}
+
+double NixSmartSupersetCost(const DatabaseParams& db, const NixParams& nix,
+                            int64_t dt, int64_t dq, int64_t* best_k) {
+  double rc = static_cast<double>(NixLookupCost(db, nix, dt));
+  double best = std::numeric_limits<double>::infinity();
+  int64_t arg = dq;
+  for (int64_t k = 1; k <= dq; ++k) {
+    // Intersecting k postings yields A(k) candidates (objects containing
+    // the k chosen query elements); each is fetched once and, for k < Dq,
+    // re-checked against the remaining elements during resolution.
+    double candidates = ActualDropsSuperset(db, dt, k);
+    double cost = rc * static_cast<double>(k) + db.p_s * candidates;
+    if (cost < best) {
+      best = cost;
+      arg = k;
+    }
+  }
+  if (best_k != nullptr) *best_k = arg;
+  return best;
+}
+
+int64_t NixStorageCost(const DatabaseParams& db, const NixParams& nix,
+                       int64_t dt) {
+  return NixLeafPages(db, nix, dt) + NixNonLeafPages(db, nix, dt);
+}
+
+double NixInsertCost(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt) {
+  return static_cast<double>(NixLookupCost(db, nix, dt)) *
+         static_cast<double>(dt);
+}
+
+double NixDeleteCost(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt) {
+  return NixInsertCost(db, nix, dt);
+}
+
+}  // namespace sigsetdb

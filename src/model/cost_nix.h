@@ -1,0 +1,62 @@
+// Analytical costs of the Nested Index (paper §4.3, Appendix B) and its
+// smart superset strategy (§5.1.3).
+
+#ifndef SIGSET_MODEL_COST_NIX_H_
+#define SIGSET_MODEL_COST_NIX_H_
+
+#include "model/params.h"
+
+namespace sigsetdb {
+
+// d: average number of objects whose indexed set attribute contains a given
+// element value, d = Dt·N/V (Table 4).
+double NixPostingsPerKey(const DatabaseParams& db, int64_t dt);
+
+// Il = d·oid + kl + count field — average leaf entry size in bytes.
+double NixLeafEntryBytes(const DatabaseParams& db, const NixParams& nix,
+                         int64_t dt);
+
+// lp = ⌈V / ⌊P/Il⌋⌉ — leaf pages (685 / 6500 for Dt = 10 / 100).
+int64_t NixLeafPages(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt);
+
+// nlp = ⌈lp/f⌉ + ⌈⌈lp/f⌉/f⌉ + ... down to a single root (5 / 31).
+int64_t NixNonLeafPages(const DatabaseParams& db, const NixParams& nix,
+                        int64_t dt);
+
+// Number of non-leaf levels (2 for both paper configurations).
+int64_t NixHeight(const DatabaseParams& db, const NixParams& nix, int64_t dt);
+
+// rc = height + 1 — page reads per key look-up (3).
+int64_t NixLookupCost(const DatabaseParams& db, const NixParams& nix,
+                      int64_t dt);
+
+// T ⊇ Q: RC = rc·Dq + P_s·A (the intersection is exact, so only actual
+// drops are fetched).
+double NixRetrievalSuperset(const DatabaseParams& db, const NixParams& nix,
+                            int64_t dt, int64_t dq);
+
+// T ⊆ Q (Appendix B): RC = rc·Dq + P_u·(failing candidates) + P_s·A, where
+// the candidates are all objects sharing ≥1 element with Q.
+double NixRetrievalSubset(const DatabaseParams& db, const NixParams& nix,
+                          int64_t dt, int64_t dq);
+
+// Smart T ⊇ Q (paper §5.1.3): intersect only k ≤ Dq postings and resolve;
+// cost(k) = rc·k + P·A(k) with A(k) the superset actual drops at query
+// cardinality k.  Returns the minimum over k; `*best_k` the minimizer.
+double NixSmartSupersetCost(const DatabaseParams& db, const NixParams& nix,
+                            int64_t dt, int64_t dq, int64_t* best_k = nullptr);
+
+// SC = lp + nlp (Table 5).
+int64_t NixStorageCost(const DatabaseParams& db, const NixParams& nix,
+                       int64_t dt);
+
+// UC_I = UC_D = rc·Dt (one traversal per element; node splits ignored).
+double NixInsertCost(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt);
+double NixDeleteCost(const DatabaseParams& db, const NixParams& nix,
+                     int64_t dt);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_NIX_H_

@@ -1,0 +1,46 @@
+#include "model/cost_ssf.h"
+
+#include <algorithm>
+
+#include "model/actual_drops.h"
+#include "model/false_drop.h"
+
+namespace sigsetdb {
+
+int64_t SsfSignaturePages(const DatabaseParams& db,
+                          const SignatureParams& sig) {
+  int64_t sigs_per_page = db.PageBits() / sig.f;
+  return CeilDiv(db.n, sigs_per_page);
+}
+
+double OidLookupCost(const DatabaseParams& db, double fd, double a) {
+  double sc_oid = static_cast<double>(db.OidFilePages());
+  double alpha = a / sc_oid;  // actual drops per OID-file page
+  double per_page =
+      std::min(fd * (static_cast<double>(db.OidsPerPage()) - alpha) + alpha,
+               1.0);
+  return sc_oid * per_page;
+}
+
+double SsfRetrievalCost(const DatabaseParams& db, const SignatureParams& sig,
+                        int64_t dt, int64_t dq, QueryKind kind) {
+  double fd = kind == QueryKind::kSuperset ? FalseDropSuperset(sig, dt, dq)
+                                           : FalseDropSubset(sig, dt, dq);
+  double a = kind == QueryKind::kSuperset ? ActualDropsSuperset(db, dt, dq)
+                                          : ActualDropsSubset(db, dt, dq);
+  double n = static_cast<double>(db.n);
+  return static_cast<double>(SsfSignaturePages(db, sig)) +
+         OidLookupCost(db, fd, a) + db.p_s * a + db.p_u * fd * (n - a);
+}
+
+int64_t SsfStorageCost(const DatabaseParams& db, const SignatureParams& sig) {
+  return SsfSignaturePages(db, sig) + db.OidFilePages();
+}
+
+double SsfInsertCost() { return 2.0; }
+
+double SsfDeleteCost(const DatabaseParams& db) {
+  return static_cast<double>(db.OidFilePages()) / 2.0;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,35 @@
+// Analytical costs of the Sequential Signature File (paper §4.1).
+
+#ifndef SIGSET_MODEL_COST_SSF_H_
+#define SIGSET_MODEL_COST_SSF_H_
+
+#include "model/params.h"
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+// SC_SIG = ⌈N / ⌊P·b/F⌋⌉ — signature-file pages (a full scan's cost).
+int64_t SsfSignaturePages(const DatabaseParams& db, const SignatureParams& sig);
+
+// LC_OID = SC_OID · min(Fd·(O_d − α) + α, 1) with α = A/SC_OID — the
+// expected OID-file look-up cost for false-drop rate `fd` and actual-drop
+// count `a` (shared by SSF and BSSF).
+double OidLookupCost(const DatabaseParams& db, double fd, double a);
+
+// RC = SC_SIG + LC_OID + P_s·A + P_u·Fd·(N − A)  (paper eq. 7).
+// Valid for both query types; `kind` selects the false-drop formula.
+double SsfRetrievalCost(const DatabaseParams& db, const SignatureParams& sig,
+                        int64_t dt, int64_t dq, QueryKind kind);
+
+// SC = SC_SIG + SC_OID.
+int64_t SsfStorageCost(const DatabaseParams& db, const SignatureParams& sig);
+
+// UC_I = 2 (append one signature page + one OID page).
+double SsfInsertCost();
+
+// UC_D = SC_OID / 2 (expected scan to set the delete flag).
+double SsfDeleteCost(const DatabaseParams& db);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_SSF_H_

@@ -1,0 +1,50 @@
+// Constant parameters of the paper's cost model (Table 2) and their derived
+// quantities.  Defaults reproduce the paper exactly; tests use scaled-down
+// instances to cross-validate the model against the executable structures.
+
+#ifndef SIGSET_MODEL_PARAMS_H_
+#define SIGSET_MODEL_PARAMS_H_
+
+#include <cstdint>
+
+#include "util/math.h"
+
+namespace sigsetdb {
+
+// Database-wide constants (paper Table 2).
+struct DatabaseParams {
+  int64_t n = 32000;        // N: total number of objects
+  int64_t page_bytes = 4096;  // P: disk page size
+  int64_t oid_bytes = 8;    // oid: OID size
+  int64_t v = 13000;        // V: cardinality of the set domain
+  int64_t bits_per_byte = 8;  // b
+  double p_s = 1.0;         // page accesses per object, successful retrieval
+  double p_u = 1.0;         // page accesses per object, unsuccessful retrieval
+
+  // O_d = ⌊P/oid⌋ (512 for the paper's values).
+  int64_t OidsPerPage() const { return page_bytes / oid_bytes; }
+
+  // SC_OID = ⌈N/O_d⌉ (63).
+  int64_t OidFilePages() const { return CeilDiv(n, OidsPerPage()); }
+
+  // Bits per page, P·b (32768).
+  int64_t PageBits() const { return page_bytes * bits_per_byte; }
+};
+
+// Signature design parameters used by the model (mirrors sig::SignatureConfig
+// but lives here so the model library has no dependency on the executables).
+struct SignatureParams {
+  int64_t f;  // F: signature size in bits
+  int64_t m;  // m: one bits per element signature
+};
+
+// NIX-specific constants (paper Table 4).
+struct NixParams {
+  int64_t key_bytes = 8;    // kl
+  int64_t count_bytes = 2;  // field holding the number of OID entries
+  int64_t fanout = 218;     // f: average non-leaf fanout
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_PARAMS_H_

@@ -1,0 +1,671 @@
+#include "nix/btree.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace sigsetdb {
+
+namespace {
+
+constexpr uint8_t kLeafType = 1;
+constexpr uint8_t kInternalType = 2;
+constexpr size_t kHeaderBytes = 8;      // type, pad, num_entries, next_leaf
+constexpr size_t kInternalEntryStride = 12;  // key(8) + child(4)
+constexpr size_t kInternalFixed = kHeaderBytes + 4;  // + child0
+
+// Leaf record count-field sentinel marking an overflow record.
+constexpr uint16_t kOverflowMarker = 0xffff;
+// Largest inline posting list: the record (8 key + 2 count + 8n) plus its
+// 2-byte directory slot must fit a leaf page.
+constexpr size_t kMaxInlinePostings =
+    (kPageSize - kHeaderBytes - 2 - 10) / 8;  // 509
+// Overflow page: next(4) + count(2) + pad(2), then OIDs.
+constexpr size_t kOverflowHeader = 8;
+constexpr size_t kOverflowCapacity = (kPageSize - kOverflowHeader) / 8;  // 511
+
+uint8_t NodeType(const Page& page) { return page.ReadAt<uint8_t>(0); }
+uint16_t NumEntries(const Page& page) { return page.ReadAt<uint16_t>(2); }
+
+// ---- internal node serialization ----
+
+struct ParsedInternal {
+  std::vector<uint64_t> keys;
+  std::vector<PageId> children;  // keys.size() + 1
+};
+
+ParsedInternal ParseInternal(const Page& page) {
+  ParsedInternal node;
+  uint16_t n = NumEntries(page);
+  node.keys.reserve(n);
+  node.children.reserve(n + 1);
+  node.children.push_back(page.ReadAt<uint32_t>(kHeaderBytes));
+  size_t off = kInternalFixed;
+  for (uint16_t i = 0; i < n; ++i, off += kInternalEntryStride) {
+    node.keys.push_back(page.ReadAt<uint64_t>(off));
+    node.children.push_back(page.ReadAt<uint32_t>(off + 8));
+  }
+  return node;
+}
+
+void WriteInternal(const ParsedInternal& node, Page* page) {
+  page->Zero();
+  page->WriteAt<uint8_t>(0, kInternalType);
+  page->WriteAt<uint16_t>(2, static_cast<uint16_t>(node.keys.size()));
+  page->WriteAt<uint32_t>(4, kInvalidPage);
+  page->WriteAt<uint32_t>(kHeaderBytes, node.children[0]);
+  size_t off = kInternalFixed;
+  for (size_t i = 0; i < node.keys.size(); ++i, off += kInternalEntryStride) {
+    page->WriteAt<uint64_t>(off, node.keys[i]);
+    page->WriteAt<uint32_t>(off + 8, node.children[i + 1]);
+  }
+}
+
+// Maximum number of keys per internal node given the fanout cap and the
+// page's byte capacity.
+size_t InternalMaxKeys(uint32_t max_fanout) {
+  size_t by_bytes = (kPageSize - kInternalFixed) / kInternalEntryStride;
+  size_t by_fanout = max_fanout - 1;
+  return std::min(by_bytes, by_fanout);
+}
+
+// ---- leaf node serialization ----
+
+// Parsed leaf record: either an inline posting list or a pointer to an
+// overflow chain.
+struct LeafRecord {
+  uint64_t key = 0;
+  bool overflow = false;
+  std::vector<Oid> inline_postings;   // when !overflow
+  uint32_t total = 0;                 // when overflow
+  PageId first_page = kInvalidPage;   // when overflow
+};
+
+// Serialized bytes of one leaf record including its directory slot.
+size_t LeafRecordBytes(const LeafRecord& record) {
+  if (record.overflow) return 2 + 8 + 2 + 4 + 4;
+  return 2 + 8 + 2 + record.inline_postings.size() * 8;
+}
+
+size_t LeafBytes(const std::vector<LeafRecord>& records) {
+  size_t total = kHeaderBytes;
+  for (const auto& r : records) total += LeafRecordBytes(r);
+  return total;
+}
+
+PageId LeafNext(const Page& page) { return page.ReadAt<uint32_t>(4); }
+
+std::vector<LeafRecord> ParseLeaf(const Page& page) {
+  uint16_t n = NumEntries(page);
+  std::vector<LeafRecord> records;
+  records.reserve(n);
+  for (uint16_t i = 0; i < n; ++i) {
+    uint16_t off = page.ReadAt<uint16_t>(kHeaderBytes + i * 2);
+    LeafRecord record;
+    record.key = page.ReadAt<uint64_t>(off);
+    uint16_t count = page.ReadAt<uint16_t>(off + 8);
+    if (count == kOverflowMarker) {
+      record.overflow = true;
+      record.total = page.ReadAt<uint32_t>(off + 10);
+      record.first_page = page.ReadAt<uint32_t>(off + 14);
+    } else {
+      record.inline_postings.reserve(count);
+      for (uint16_t j = 0; j < count; ++j) {
+        record.inline_postings.push_back(
+            Oid(page.ReadAt<uint64_t>(off + 10 + j * 8)));
+      }
+    }
+    records.push_back(std::move(record));
+  }
+  return records;
+}
+
+// Serializes `records` (sorted by key) into `page`; returns false when they
+// do not fit.
+bool WriteLeaf(const std::vector<LeafRecord>& records, PageId next_leaf,
+               Page* page) {
+  if (LeafBytes(records) > kPageSize) return false;
+  page->Zero();
+  page->WriteAt<uint8_t>(0, kLeafType);
+  page->WriteAt<uint16_t>(2, static_cast<uint16_t>(records.size()));
+  page->WriteAt<uint32_t>(4, next_leaf);
+  size_t heap = kPageSize;
+  for (size_t i = 0; i < records.size(); ++i) {
+    const LeafRecord& r = records[i];
+    size_t rec = LeafRecordBytes(r) - 2;  // minus the directory slot
+    heap -= rec;
+    page->WriteAt<uint16_t>(kHeaderBytes + i * 2, static_cast<uint16_t>(heap));
+    page->WriteAt<uint64_t>(heap, r.key);
+    if (r.overflow) {
+      page->WriteAt<uint16_t>(heap + 8, kOverflowMarker);
+      page->WriteAt<uint32_t>(heap + 10, r.total);
+      page->WriteAt<uint32_t>(heap + 14, r.first_page);
+    } else {
+      page->WriteAt<uint16_t>(
+          heap + 8, static_cast<uint16_t>(r.inline_postings.size()));
+      for (size_t j = 0; j < r.inline_postings.size(); ++j) {
+        page->WriteAt<uint64_t>(heap + 10 + j * 8,
+                                r.inline_postings[j].value());
+      }
+    }
+  }
+  return true;
+}
+
+// Index of the child to follow for `key`.
+size_t ChildIndex(const ParsedInternal& node, uint64_t key) {
+  // children[i] holds keys < keys[i]; children[n] holds keys >= keys[n-1].
+  return static_cast<size_t>(
+      std::upper_bound(node.keys.begin(), node.keys.end(), key) -
+      node.keys.begin());
+}
+
+// lower_bound over parsed leaf records.
+std::vector<LeafRecord>::iterator FindRecord(std::vector<LeafRecord>& records,
+                                             uint64_t key) {
+  return std::lower_bound(
+      records.begin(), records.end(), key,
+      [](const LeafRecord& r, uint64_t k) { return r.key < k; });
+}
+
+}  // namespace
+
+// ---- page recycling ----
+
+StatusOr<PageId> BTree::AllocatePage() {
+  if (free_list_head_ == kInvalidPage) return file_->Allocate();
+  PageId id = free_list_head_;
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(id, &page));
+  free_list_head_ = page.ReadAt<uint32_t>(0);
+  --free_pages_;
+  return id;
+}
+
+Status BTree::FreeChain(PageId first) {
+  // Walk to the chain's tail, then splice the whole chain onto the list.
+  Page page;
+  PageId current = first;
+  while (true) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    ++free_pages_;
+    --overflow_pages_;
+    PageId next = page.ReadAt<uint32_t>(0);
+    if (next == kInvalidPage) break;
+    current = next;
+  }
+  page.WriteAt<uint32_t>(0, free_list_head_);
+  SIGSET_RETURN_IF_ERROR(file_->Write(current, page));
+  free_list_head_ = first;
+  return Status::OK();
+}
+
+// ---- overflow chains ----
+
+Status BTree::ReadOverflowChain(PageId first, uint32_t expected,
+                                std::vector<Oid>* out) const {
+  out->reserve(out->size() + expected);
+  Page page;
+  PageId current = first;
+  while (current != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    uint16_t count = page.ReadAt<uint16_t>(4);
+    for (uint16_t i = 0; i < count; ++i) {
+      out->push_back(Oid(page.ReadAt<uint64_t>(kOverflowHeader + i * 8)));
+    }
+    current = page.ReadAt<uint32_t>(0);
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> BTree::WriteOverflowChain(const std::vector<Oid>& postings) {
+  // Build the chain back to front so each page links to the next.
+  PageId next = kInvalidPage;
+  Page page;
+  size_t remaining = postings.size();
+  while (remaining > 0) {
+    size_t chunk = remaining % kOverflowCapacity;
+    if (chunk == 0) chunk = kOverflowCapacity;
+    size_t begin = remaining - chunk;
+    page.Zero();
+    page.WriteAt<uint32_t>(0, next);
+    page.WriteAt<uint16_t>(4, static_cast<uint16_t>(chunk));
+    for (size_t i = 0; i < chunk; ++i) {
+      page.WriteAt<uint64_t>(kOverflowHeader + i * 8,
+                             postings[begin + i].value());
+    }
+    SIGSET_ASSIGN_OR_RETURN(PageId id, AllocatePage());
+    SIGSET_RETURN_IF_ERROR(file_->Write(id, page));
+    ++overflow_pages_;
+    next = id;
+    remaining = begin;
+  }
+  return next;
+}
+
+Status BTree::AppendToOverflowChain(PageId* first, Oid oid) {
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(*first, &page));
+  uint16_t count = page.ReadAt<uint16_t>(4);
+  if (count < kOverflowCapacity) {
+    page.WriteAt<uint64_t>(kOverflowHeader + count * 8, oid.value());
+    page.WriteAt<uint16_t>(4, static_cast<uint16_t>(count + 1));
+    return file_->Write(*first, page);
+  }
+  // Head page full: prepend a fresh page so appends stay O(1).
+  page.Zero();
+  page.WriteAt<uint32_t>(0, *first);
+  page.WriteAt<uint16_t>(4, 1);
+  page.WriteAt<uint64_t>(kOverflowHeader, oid.value());
+  SIGSET_ASSIGN_OR_RETURN(PageId id, AllocatePage());
+  SIGSET_RETURN_IF_ERROR(file_->Write(id, page));
+  ++overflow_pages_;
+  *first = id;
+  return Status::OK();
+}
+
+Status BTree::RemoveFromOverflowChain(PageId first, Oid oid, bool* removed) {
+  *removed = false;
+  Page page;
+  PageId current = first;
+  while (current != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    uint16_t count = page.ReadAt<uint16_t>(4);
+    for (uint16_t i = 0; i < count; ++i) {
+      if (page.ReadAt<uint64_t>(kOverflowHeader + i * 8) == oid.value()) {
+        // Swap in the page's last OID and shrink (order within a chain is
+        // not meaningful; readers sort postings as needed).
+        page.WriteAt<uint64_t>(
+            kOverflowHeader + i * 8,
+            page.ReadAt<uint64_t>(kOverflowHeader + (count - 1) * 8));
+        page.WriteAt<uint16_t>(4, static_cast<uint16_t>(count - 1));
+        SIGSET_RETURN_IF_ERROR(file_->Write(current, page));
+        *removed = true;
+        return Status::OK();
+      }
+    }
+    current = page.ReadAt<uint32_t>(0);
+  }
+  return Status::OK();
+}
+
+// ---- tree lifecycle ----
+
+StatusOr<std::unique_ptr<BTree>> BTree::Create(PageFile* file,
+                                               uint32_t max_fanout) {
+  if (max_fanout < 2) {
+    return Status::InvalidArgument("fanout must be at least 2");
+  }
+  if (file->num_pages() != 0) {
+    return Status::InvalidArgument("BTree::Create requires an empty file");
+  }
+  std::unique_ptr<BTree> tree(new BTree(file, max_fanout));
+  SIGSET_ASSIGN_OR_RETURN(tree->root_, file->Allocate());
+  Page page;
+  if (!WriteLeaf({}, kInvalidPage, &page)) {
+    return Status::Internal("empty leaf must fit");
+  }
+  SIGSET_RETURN_IF_ERROR(file->Write(tree->root_, page));
+  tree->leaf_pages_ = 1;
+  // Creation I/O is setup, not an experiment cost.
+  file->stats().Reset();
+  return tree;
+}
+
+StatusOr<std::unique_ptr<BTree>> BTree::CreateFromExisting(
+    PageFile* file, uint32_t max_fanout, PageId root, uint32_t height,
+    uint64_t leaf_pages, uint64_t internal_pages, uint64_t overflow_pages) {
+  if (max_fanout < 2) {
+    return Status::InvalidArgument("fanout must be at least 2");
+  }
+  if (root >= file->num_pages()) {
+    return Status::Corruption("recovered root page out of range");
+  }
+  std::unique_ptr<BTree> tree(new BTree(file, max_fanout));
+  tree->root_ = root;
+  tree->height_ = height;
+  tree->leaf_pages_ = leaf_pages;
+  tree->internal_pages_ = internal_pages;
+  tree->overflow_pages_ = overflow_pages;
+  // Sanity check: the root page must parse as a node of the right kind.
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file->Read(root, &page));
+  uint8_t type = page.ReadAt<uint8_t>(0);
+  if ((height == 0 && type != kLeafType) ||
+      (height > 0 && type != kInternalType)) {
+    return Status::Corruption("recovered root has wrong node type");
+  }
+  file->stats().Reset();
+  return tree;
+}
+
+// ---- operations ----
+
+StatusOr<std::vector<Oid>> BTree::Lookup(uint64_t key) const {
+  Page page;
+  PageId current = root_;
+  while (true) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    if (NodeType(page) == kLeafType) break;
+    ParsedInternal node = ParseInternal(page);
+    current = node.children[ChildIndex(node, key)];
+  }
+  std::vector<LeafRecord> records = ParseLeaf(page);
+  auto it = FindRecord(records, key);
+  if (it == records.end() || it->key != key) return std::vector<Oid>{};
+  if (!it->overflow) return std::move(it->inline_postings);
+  std::vector<Oid> out;
+  SIGSET_RETURN_IF_ERROR(ReadOverflowChain(it->first_page, it->total, &out));
+  return out;
+}
+
+Status BTree::LeafInsert(PageId page_id, Page* page, uint64_t key, Oid oid,
+                         bool* split, uint64_t* promoted, PageId* new_child) {
+  std::vector<LeafRecord> records = ParseLeaf(*page);
+  PageId next_leaf = LeafNext(*page);
+  auto it = FindRecord(records, key);
+  if (it != records.end() && it->key == key) {
+    if (it->overflow) {
+      PageId first = it->first_page;
+      SIGSET_RETURN_IF_ERROR(AppendToOverflowChain(&first, oid));
+      it->first_page = first;
+      ++it->total;
+    } else {
+      it->inline_postings.push_back(oid);
+      if (it->inline_postings.size() > kMaxInlinePostings) {
+        // Spill the whole posting list into an overflow chain.
+        SIGSET_ASSIGN_OR_RETURN(PageId first,
+                                WriteOverflowChain(it->inline_postings));
+        it->overflow = true;
+        it->total = static_cast<uint32_t>(it->inline_postings.size());
+        it->first_page = first;
+        it->inline_postings.clear();
+        it->inline_postings.shrink_to_fit();
+      }
+    }
+  } else {
+    LeafRecord record;
+    record.key = key;
+    record.inline_postings = {oid};
+    records.insert(it, std::move(record));
+  }
+  if (WriteLeaf(records, next_leaf, page)) {
+    SIGSET_RETURN_IF_ERROR(file_->Write(page_id, *page));
+    *split = false;
+    return Status::OK();
+  }
+  // Split by bytes so both halves fit even with skewed posting sizes.
+  size_t total = LeafBytes(records) - kHeaderBytes;
+  size_t acc = 0;
+  size_t cut = 0;
+  while (cut + 1 < records.size() && acc < total / 2) {
+    acc += LeafRecordBytes(records[cut]);
+    ++cut;
+  }
+  if (cut == 0) cut = 1;
+  std::vector<LeafRecord> left(records.begin(),
+                               records.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<LeafRecord> right(records.begin() + static_cast<ptrdiff_t>(cut),
+                                records.end());
+  SIGSET_ASSIGN_OR_RETURN(PageId right_id, file_->Allocate());
+  Page right_page;
+  if (!WriteLeaf(right, next_leaf, &right_page) ||
+      !WriteLeaf(left, right_id, page)) {
+    return Status::Internal("leaf split halves do not fit");
+  }
+  SIGSET_RETURN_IF_ERROR(file_->Write(page_id, *page));
+  SIGSET_RETURN_IF_ERROR(file_->Write(right_id, right_page));
+  ++leaf_pages_;
+  *split = true;
+  *promoted = right.front().key;
+  *new_child = right_id;
+  return Status::OK();
+}
+
+Status BTree::InsertRec(PageId page_id, uint64_t key, Oid oid, bool* split,
+                        uint64_t* promoted, PageId* new_child) {
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(page_id, &page));
+  if (NodeType(page) == kLeafType) {
+    return LeafInsert(page_id, &page, key, oid, split, promoted, new_child);
+  }
+  ParsedInternal node = ParseInternal(page);
+  size_t ci = ChildIndex(node, key);
+  bool child_split = false;
+  uint64_t child_promoted = 0;
+  PageId child_new = kInvalidPage;
+  SIGSET_RETURN_IF_ERROR(InsertRec(node.children[ci], key, oid, &child_split,
+                                   &child_promoted, &child_new));
+  if (!child_split) {
+    *split = false;
+    return Status::OK();
+  }
+  node.keys.insert(node.keys.begin() + static_cast<ptrdiff_t>(ci),
+                   child_promoted);
+  node.children.insert(node.children.begin() + static_cast<ptrdiff_t>(ci) + 1,
+                       child_new);
+  if (node.keys.size() <= InternalMaxKeys(max_fanout_)) {
+    WriteInternal(node, &page);
+    SIGSET_RETURN_IF_ERROR(file_->Write(page_id, page));
+    *split = false;
+    return Status::OK();
+  }
+  // Split the internal node; the middle key moves up (is not copied).
+  size_t mid = node.keys.size() / 2;
+  ParsedInternal left;
+  left.keys.assign(node.keys.begin(), node.keys.begin() + mid);
+  left.children.assign(node.children.begin(),
+                       node.children.begin() + mid + 1);
+  ParsedInternal right;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1,
+                        node.children.end());
+  SIGSET_ASSIGN_OR_RETURN(PageId right_id, file_->Allocate());
+  Page right_page;
+  WriteInternal(left, &page);
+  WriteInternal(right, &right_page);
+  SIGSET_RETURN_IF_ERROR(file_->Write(page_id, page));
+  SIGSET_RETURN_IF_ERROR(file_->Write(right_id, right_page));
+  ++internal_pages_;
+  *split = true;
+  *promoted = node.keys[mid];
+  *new_child = right_id;
+  return Status::OK();
+}
+
+Status BTree::Insert(uint64_t key, Oid oid) {
+  bool split = false;
+  uint64_t promoted = 0;
+  PageId new_child = kInvalidPage;
+  SIGSET_RETURN_IF_ERROR(
+      InsertRec(root_, key, oid, &split, &promoted, &new_child));
+  if (!split) return Status::OK();
+  ParsedInternal new_root;
+  new_root.keys = {promoted};
+  new_root.children = {root_, new_child};
+  SIGSET_ASSIGN_OR_RETURN(PageId root_id, file_->Allocate());
+  Page page;
+  WriteInternal(new_root, &page);
+  SIGSET_RETURN_IF_ERROR(file_->Write(root_id, page));
+  root_ = root_id;
+  ++internal_pages_;
+  ++height_;
+  return Status::OK();
+}
+
+Status BTree::Remove(uint64_t key, Oid oid) {
+  Page page;
+  PageId current = root_;
+  while (true) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    if (NodeType(page) == kLeafType) break;
+    ParsedInternal node = ParseInternal(page);
+    current = node.children[ChildIndex(node, key)];
+  }
+  std::vector<LeafRecord> records = ParseLeaf(page);
+  PageId next_leaf = LeafNext(page);
+  auto it = FindRecord(records, key);
+  if (it == records.end() || it->key != key) {
+    return Status::NotFound("key not in index: " + std::to_string(key));
+  }
+  if (it->overflow) {
+    bool removed = false;
+    SIGSET_RETURN_IF_ERROR(
+        RemoveFromOverflowChain(it->first_page, oid, &removed));
+    if (!removed) {
+      return Status::NotFound("oid not in posting list of key " +
+                              std::to_string(key));
+    }
+    --it->total;
+    if (it->total == 0) {
+      // Recycle the drained chain's pages and drop the record.
+      SIGSET_RETURN_IF_ERROR(FreeChain(it->first_page));
+      records.erase(it);
+    }
+  } else {
+    auto oid_it = std::find(it->inline_postings.begin(),
+                            it->inline_postings.end(), oid);
+    if (oid_it == it->inline_postings.end()) {
+      return Status::NotFound("oid not in posting list of key " +
+                              std::to_string(key));
+    }
+    it->inline_postings.erase(oid_it);
+    if (it->inline_postings.empty()) records.erase(it);
+  }
+  if (!WriteLeaf(records, next_leaf, &page)) {
+    return Status::Internal("leaf shrank but does not fit");
+  }
+  return file_->Write(current, page);
+}
+
+Status BTree::BulkLoad(const std::vector<BTreeEntry>& sorted_entries) {
+  if (leaf_pages_ != 1 || internal_pages_ != 0) {
+    return Status::FailedPrecondition("BulkLoad requires an empty tree");
+  }
+  {
+    Page root_page;
+    SIGSET_RETURN_IF_ERROR(file_->Read(root_, &root_page));
+    if (NumEntries(root_page) != 0) {
+      return Status::FailedPrecondition("BulkLoad requires an empty tree");
+    }
+  }
+  for (size_t i = 0; i + 1 < sorted_entries.size(); ++i) {
+    if (sorted_entries[i].key >= sorted_entries[i + 1].key) {
+      return Status::InvalidArgument("BulkLoad input must be sorted unique");
+    }
+  }
+  // Convert to leaf records, spilling giant postings into overflow chains.
+  std::vector<LeafRecord> records;
+  records.reserve(sorted_entries.size());
+  for (const BTreeEntry& e : sorted_entries) {
+    LeafRecord record;
+    record.key = e.key;
+    if (e.postings.size() > kMaxInlinePostings) {
+      SIGSET_ASSIGN_OR_RETURN(record.first_page,
+                              WriteOverflowChain(e.postings));
+      record.overflow = true;
+      record.total = static_cast<uint32_t>(e.postings.size());
+    } else {
+      record.inline_postings = e.postings;
+    }
+    records.push_back(std::move(record));
+  }
+
+  // Pack leaves greedily to capacity (the model's ⌊P/Il⌋ per page).
+  struct NodeRef {
+    uint64_t min_key;
+    PageId id;
+  };
+  std::vector<std::vector<LeafRecord>> leaf_groups;
+  std::vector<LeafRecord> current;
+  size_t bytes = kHeaderBytes;
+  for (LeafRecord& r : records) {
+    size_t rb = LeafRecordBytes(r);
+    if (bytes + rb > kPageSize) {
+      leaf_groups.push_back(std::move(current));
+      current.clear();
+      bytes = kHeaderBytes;
+    }
+    current.push_back(std::move(r));
+    bytes += rb;
+  }
+  leaf_groups.push_back(std::move(current));  // may be empty for empty input
+
+  // Allocate page ids: group 0 reuses the root page, the rest are fresh.
+  std::vector<NodeRef> level;
+  level.reserve(leaf_groups.size());
+  for (size_t i = 0; i < leaf_groups.size(); ++i) {
+    PageId id = root_;
+    if (i > 0) {
+      SIGSET_ASSIGN_OR_RETURN(id, file_->Allocate());
+    }
+    uint64_t min_key = leaf_groups[i].empty() ? 0 : leaf_groups[i].front().key;
+    level.push_back(NodeRef{min_key, id});
+  }
+  Page page;
+  for (size_t i = 0; i < leaf_groups.size(); ++i) {
+    PageId next = (i + 1 < level.size()) ? level[i + 1].id : kInvalidPage;
+    if (!WriteLeaf(leaf_groups[i], next, &page)) {
+      return Status::Internal("bulk leaf does not fit");
+    }
+    SIGSET_RETURN_IF_ERROR(file_->Write(level[i].id, page));
+  }
+  leaf_pages_ = leaf_groups.size();
+
+  // Build packed internal levels until one node remains.
+  size_t max_children = InternalMaxKeys(max_fanout_) + 1;
+  height_ = 0;
+  while (level.size() > 1) {
+    std::vector<NodeRef> parent_level;
+    for (size_t start = 0; start < level.size(); start += max_children) {
+      size_t end = std::min(start + max_children, level.size());
+      ParsedInternal node;
+      node.children.push_back(level[start].id);
+      for (size_t i = start + 1; i < end; ++i) {
+        node.keys.push_back(level[i].min_key);
+        node.children.push_back(level[i].id);
+      }
+      SIGSET_ASSIGN_OR_RETURN(PageId id, file_->Allocate());
+      WriteInternal(node, &page);
+      SIGSET_RETURN_IF_ERROR(file_->Write(id, page));
+      ++internal_pages_;
+      parent_level.push_back(NodeRef{level[start].min_key, id});
+    }
+    level = std::move(parent_level);
+    ++height_;
+  }
+  root_ = level.front().id;
+  // Bulk-build I/O is setup, not an experiment cost.
+  file_->stats().Reset();
+  return Status::OK();
+}
+
+Status BTree::ForEachEntry(
+    const std::function<void(const BTreeEntry&)>& fn) const {
+  // Descend to the leftmost leaf, then follow the chain.
+  Page page;
+  PageId current = root_;
+  while (true) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    if (NodeType(page) == kLeafType) break;
+    current = ParseInternal(page).children.front();
+  }
+  while (true) {
+    for (LeafRecord& r : ParseLeaf(page)) {
+      BTreeEntry entry;
+      entry.key = r.key;
+      if (r.overflow) {
+        SIGSET_RETURN_IF_ERROR(
+            ReadOverflowChain(r.first_page, r.total, &entry.postings));
+      } else {
+        entry.postings = std::move(r.inline_postings);
+      }
+      fn(entry);
+    }
+    PageId next = LeafNext(page);
+    if (next == kInvalidPage) break;
+    SIGSET_RETURN_IF_ERROR(file_->Read(next, &page));
+  }
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

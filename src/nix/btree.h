@@ -1,0 +1,151 @@
+// A page-based B+-tree mapping 64-bit keys to OID posting lists — the
+// storage engine behind the nested index (paper §4.3).
+//
+// Layout
+//   Internal node:  header | child0 | (key, child)*        (fanout-capped)
+//   Leaf node:      header | sorted offset directory | record heap
+//   Leaf record:    key (8) | count (2) | count × OID (8)
+//
+// The paper's NIX stores, per distinct set-element value, the list of OIDs
+// of objects containing it ("[DB], {s1, s2}").  Leaf entries are exactly
+// that: Il = d·oid + kl + oidn bytes.  The internal fanout is capped at the
+// paper's f = 218 by default so that the reproduced tree has the same page
+// counts (Table 5) and height (rc = 3) as the model.
+//
+// Modifications rewrite whole nodes (parse → modify → repack), splitting on
+// overflow.  Deletion removes an OID from a posting (and the entry when the
+// posting empties) without rebalancing — matching the paper's update model,
+// which "does not consider node splits".
+//
+// Posting lists larger than one page spill into *overflow chains*: the leaf
+// entry then stores [key | marker | total | first-overflow-page] and the
+// OIDs live in chained overflow pages.  The paper's parameters (d = Dt·N/V
+// ≤ 246 postings) never overflow, so the reproduced page counts are
+// unaffected; the chains make the index robust under skewed workloads.
+//
+// BulkLoad packs leaves to capacity and builds packed upper levels, which is
+// what the paper's storage formulas assume (lp = ⌈V / ⌊P/Il⌋⌉).
+
+#ifndef SIGSET_NIX_BTREE_H_
+#define SIGSET_NIX_BTREE_H_
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "obj/oid.h"
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// The paper's non-leaf fanout (Table 4: f = 218).
+inline constexpr uint32_t kPaperFanout = 218;
+
+// One leaf entry in parsed form.
+struct BTreeEntry {
+  uint64_t key;
+  std::vector<Oid> postings;
+};
+
+// B+-tree with OID posting lists.
+class BTree {
+ public:
+  // Creates an empty tree in `file` (not owned; must be empty).
+  // `max_fanout` caps the number of children per internal node.
+  static StatusOr<std::unique_ptr<BTree>> Create(
+      PageFile* file, uint32_t max_fanout = kPaperFanout);
+
+  // Reopens a tree over a previously populated file.  The structural
+  // metadata (root page, height, page counts) comes from the manifest
+  // written by SetIndex::Checkpoint().
+  static StatusOr<std::unique_ptr<BTree>> CreateFromExisting(
+      PageFile* file, uint32_t max_fanout, PageId root, uint32_t height,
+      uint64_t leaf_pages, uint64_t internal_pages,
+      uint64_t overflow_pages = 0);
+
+  // The current root page id (persisted at checkpoint time).
+  PageId root() const { return root_; }
+
+  // Head of the free-page list (drained overflow pages are recycled;
+  // persisted at checkpoint time).  kInvalidPage when empty.
+  PageId free_list_head() const { return free_list_head_; }
+
+  // Restores the free list after reopen (metadata from the manifest).
+  void RestoreFreeList(PageId head, uint64_t pages) {
+    free_list_head_ = head;
+    free_pages_ = pages;
+  }
+
+  // Number of pages currently parked on the free list.
+  uint64_t free_pages() const { return free_pages_; }
+
+  // Adds `oid` to the posting list of `key` (creating the entry if absent).
+  Status Insert(uint64_t key, Oid oid);
+
+  // Removes one occurrence of `oid` from `key`'s posting list; removes the
+  // entry when the posting empties.  kNotFound if absent.
+  Status Remove(uint64_t key, Oid oid);
+
+  // Returns the posting list of `key` (empty vector when the key is absent;
+  // the traversal still costs height()+1 page reads).
+  StatusOr<std::vector<Oid>> Lookup(uint64_t key) const;
+
+  // Bulk-builds a packed tree from entries sorted by strictly increasing
+  // key.  The tree must be freshly created (empty).
+  Status BulkLoad(const std::vector<BTreeEntry>& sorted_entries);
+
+  // Visits every entry in key order (used by tests and integrity checks).
+  Status ForEachEntry(
+      const std::function<void(const BTreeEntry&)>& fn) const;
+
+  // Structural counters (the model's lp / nlp / height).
+  uint64_t leaf_pages() const { return leaf_pages_; }
+  uint64_t internal_pages() const { return internal_pages_; }
+  uint64_t overflow_pages() const { return overflow_pages_; }
+  uint64_t total_pages() const {
+    return leaf_pages_ + internal_pages_ + overflow_pages_;
+  }
+  // Number of internal levels above the leaves (paper: 2 at V = 13,000, so
+  // a lookup costs height()+1 = 3 page reads).
+  uint32_t height() const { return height_; }
+
+ private:
+  BTree(PageFile* file, uint32_t max_fanout)
+      : file_(file), max_fanout_(max_fanout) {}
+
+  // Recursive insert; sets `*promoted`/`*new_child` when `page_id` split.
+  Status InsertRec(PageId page_id, uint64_t key, Oid oid, bool* split,
+                   uint64_t* promoted, PageId* new_child);
+
+  Status LeafInsert(PageId page_id, Page* page, uint64_t key, Oid oid,
+                    bool* split, uint64_t* promoted, PageId* new_child);
+
+  // Overflow-chain helpers (declared here because they touch file_ and the
+  // overflow page counter); see btree.cc for the record/page formats.
+  Status ReadOverflowChain(PageId first, uint32_t expected,
+                           std::vector<Oid>* out) const;
+  StatusOr<PageId> WriteOverflowChain(const std::vector<Oid>& postings);
+  Status AppendToOverflowChain(PageId* first, Oid oid);
+  Status RemoveFromOverflowChain(PageId first, Oid oid, bool* removed);
+
+  // Page recycling: drained overflow chains go onto a free list (linked
+  // through each page's first word) and are reused before growing the file.
+  StatusOr<PageId> AllocatePage();
+  Status FreeChain(PageId first);
+
+  PageFile* file_;
+  uint32_t max_fanout_;
+  PageId root_ = kInvalidPage;
+  uint64_t leaf_pages_ = 0;
+  uint64_t internal_pages_ = 0;
+  uint64_t overflow_pages_ = 0;
+  PageId free_list_head_ = kInvalidPage;
+  uint64_t free_pages_ = 0;
+  uint32_t height_ = 0;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_NIX_BTREE_H_

@@ -1,0 +1,77 @@
+// NestedIndex (NIX): the paper's baseline access facility (§4.3).
+//
+// A B-tree maps each set-element value to the OIDs of the objects whose
+// indexed set attribute contains it.  Query evaluation:
+//
+//   T ⊇ Q: look up every query element (rc·Dq page reads) and intersect the
+//          OID lists — the result is exact, no resolution needed;
+//   T ⊆ Q: look up every query element and union the OID lists — every
+//          object sharing at least one element with Q is a candidate and
+//          must be resolved against the stored set.
+//
+// The smart strategy of §5.1.3 intersects the postings of just two query
+// elements and resolves the (small) remainder, capping the index cost at
+// 2·rc for any Dq ≥ 2.
+
+#ifndef SIGSET_NIX_NESTED_INDEX_H_
+#define SIGSET_NIX_NESTED_INDEX_H_
+
+#include <memory>
+
+#include "nix/btree.h"
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+// Nested index over one indexed set attribute.
+class NestedIndex : public SetAccessFacility {
+ public:
+  // `file` is not owned and must be empty.
+  static StatusOr<std::unique_ptr<NestedIndex>> Create(
+      PageFile* file, uint32_t max_fanout = kPaperFanout);
+
+  // Reopens an index over a previously populated file (metadata from the
+  // manifest written by SetIndex::Checkpoint()).
+  static StatusOr<std::unique_ptr<NestedIndex>> CreateFromExisting(
+      PageFile* file, uint32_t max_fanout, PageId root, uint32_t height,
+      uint64_t leaf_pages, uint64_t internal_pages,
+      uint64_t overflow_pages = 0);
+
+  const std::string& name() const override { return name_; }
+
+  // Inserts/removes one posting per set element (the model's
+  // UC_I = UC_D = rc·Dt).
+  Status Insert(Oid oid, const ElementSet& set_value) override;
+  Status Remove(Oid oid, const ElementSet& set_value) override;
+
+  StatusOr<CandidateResult> Candidates(QueryKind kind,
+                                       const ElementSet& query) override;
+
+  // SC = lp + nlp.
+  uint64_t StoragePages() const override { return tree_->total_pages(); }
+
+  // Smart T ⊇ Q (paper §5.1.3): intersect the postings of only
+  // min(use_elements, Dq) query elements; the result is exact only when all
+  // elements were used.
+  StatusOr<CandidateResult> CandidatesSmartSuperset(const ElementSet& query,
+                                                    size_t use_elements);
+
+  // Bulk-builds the index from the full database: `sets[i]` is the set
+  // value of the object with OID `oids[i]`.  Produces the packed tree the
+  // paper's storage formulas assume (Table 5).
+  Status BulkBuild(const std::vector<Oid>& oids,
+                   const std::vector<ElementSet>& sets);
+
+  const BTree& tree() const { return *tree_; }
+  BTree& mutable_tree() { return *tree_; }
+
+ private:
+  explicit NestedIndex(std::unique_ptr<BTree> tree) : tree_(std::move(tree)) {}
+
+  std::string name_ = "nix";
+  std::unique_ptr<BTree> tree_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_NIX_NESTED_INDEX_H_

@@ -1,0 +1,127 @@
+#include "obj/multi_object_store.h"
+
+#include <cstring>
+
+#include "storage/slotted_page.h"
+
+namespace sigsetdb {
+
+namespace {
+
+// Record layout: [num_attrs:u16] then per attribute [count:u32][elems:u64*].
+std::vector<uint8_t> Serialize(const std::vector<ElementSet>& attrs) {
+  size_t bytes = 2;
+  for (const ElementSet& set : attrs) bytes += 4 + set.size() * 8;
+  std::vector<uint8_t> buf(bytes);
+  uint16_t n = static_cast<uint16_t>(attrs.size());
+  std::memcpy(buf.data(), &n, 2);
+  size_t off = 2;
+  for (const ElementSet& set : attrs) {
+    uint32_t count = static_cast<uint32_t>(set.size());
+    std::memcpy(buf.data() + off, &count, 4);
+    std::memcpy(buf.data() + off + 4, set.data(), set.size() * 8);
+    off += 4 + set.size() * 8;
+  }
+  return buf;
+}
+
+Status Deserialize(const uint8_t* data, uint16_t len,
+                   std::vector<ElementSet>* out) {
+  if (len < 2) return Status::Corruption("object record too short");
+  uint16_t n;
+  std::memcpy(&n, data, 2);
+  out->clear();
+  out->reserve(n);
+  size_t off = 2;
+  for (uint16_t i = 0; i < n; ++i) {
+    if (off + 4 > len) return Status::Corruption("truncated attribute count");
+    uint32_t count;
+    std::memcpy(&count, data + off, 4);
+    off += 4;
+    if (off + static_cast<size_t>(count) * 8 > len) {
+      return Status::Corruption("truncated attribute elements");
+    }
+    ElementSet set(count);
+    std::memcpy(set.data(), data + off, static_cast<size_t>(count) * 8);
+    off += static_cast<size_t>(count) * 8;
+    out->push_back(std::move(set));
+  }
+  if (off != len) return Status::Corruption("trailing bytes in record");
+  return Status::OK();
+}
+
+}  // namespace
+
+MultiObjectStore::MultiObjectStore(PageFile* file, uint16_t num_attributes)
+    : file_(file), num_attributes_(num_attributes) {
+  if (file_->num_pages() > 0) tail_page_ = file_->num_pages() - 1;
+}
+
+StatusOr<Oid> MultiObjectStore::Insert(
+    const std::vector<ElementSet>& attr_values) {
+  if (attr_values.size() != num_attributes_) {
+    return Status::InvalidArgument("attribute count mismatch");
+  }
+  std::vector<uint8_t> record = Serialize(attr_values);
+  if (record.size() > kPageSize - 8) {
+    return Status::InvalidArgument("object too large for one page");
+  }
+  Page page;
+  if (tail_page_ != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &page));
+    SlottedPage sp(&page);
+    if (auto slot = sp.Insert(record.data(),
+                              static_cast<uint16_t>(record.size()))) {
+      SIGSET_RETURN_IF_ERROR(file_->Write(tail_page_, page));
+      ++num_objects_;
+      return Oid::FromLocation(tail_page_, *slot);
+    }
+  }
+  SIGSET_ASSIGN_OR_RETURN(PageId new_page, file_->Allocate());
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  auto slot = sp.Insert(record.data(), static_cast<uint16_t>(record.size()));
+  if (!slot.has_value()) {
+    return Status::Internal("record does not fit in an empty page");
+  }
+  SIGSET_RETURN_IF_ERROR(file_->Write(new_page, page));
+  tail_page_ = new_page;
+  ++num_objects_;
+  return Oid::FromLocation(new_page, *slot);
+}
+
+StatusOr<MultiSetObject> MultiObjectStore::Get(Oid oid) const {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  const uint8_t* rec = sp.Get(oid.slot(), &len);
+  if (rec == nullptr) {
+    return Status::NotFound("no object at " + oid.ToString());
+  }
+  MultiSetObject obj;
+  obj.oid = oid;
+  SIGSET_RETURN_IF_ERROR(Deserialize(rec, len, &obj.attrs));
+  if (obj.attrs.size() != num_attributes_) {
+    return Status::Corruption("stored attribute count mismatch");
+  }
+  return obj;
+}
+
+Status MultiObjectStore::Delete(Oid oid) {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  if (sp.Get(oid.slot(), &len) == nullptr) {
+    return Status::NotFound("no object at " + oid.ToString());
+  }
+  sp.Delete(oid.slot());
+  SIGSET_RETURN_IF_ERROR(file_->Write(oid.page(), page));
+  if (num_objects_ > 0) --num_objects_;
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

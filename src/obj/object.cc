@@ -1,0 +1,50 @@
+#include "obj/object.h"
+
+namespace sigsetdb {
+
+bool IsSubset(const ElementSet& sub, const ElementSet& super) {
+  return std::includes(super.begin(), super.end(), sub.begin(), sub.end());
+}
+
+bool Overlaps(const ElementSet& a, const ElementSet& b) {
+  auto ia = a.begin();
+  auto ib = b.begin();
+  while (ia != a.end() && ib != b.end()) {
+    if (*ia == *ib) return true;
+    if (*ia < *ib) {
+      ++ia;
+    } else {
+      ++ib;
+    }
+  }
+  return false;
+}
+
+bool SatisfiesSuperset(const StoredObject& obj, const ElementSet& query) {
+  return IsSubset(query, obj.set_value);
+}
+
+bool SatisfiesSubset(const StoredObject& obj, const ElementSet& query) {
+  return IsSubset(obj.set_value, query);
+}
+
+bool SatisfiesProperSuperset(const StoredObject& obj,
+                             const ElementSet& query) {
+  return obj.set_value.size() > query.size() &&
+         IsSubset(query, obj.set_value);
+}
+
+bool SatisfiesProperSubset(const StoredObject& obj, const ElementSet& query) {
+  return obj.set_value.size() < query.size() &&
+         IsSubset(obj.set_value, query);
+}
+
+bool SatisfiesEquals(const StoredObject& obj, const ElementSet& query) {
+  return obj.set_value == query;
+}
+
+bool SatisfiesOverlap(const StoredObject& obj, const ElementSet& query) {
+  return Overlaps(obj.set_value, query);
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,57 @@
+// The stored object: an OID plus an indexed set attribute.
+//
+// In the paper's running example objects are Students whose `hobbies`
+// attribute holds a set drawn from a V-element domain.  Set elements are
+// modeled as 64-bit values: either dense domain ids produced by the workload
+// generator, or hashes of strings / OIDs of referenced objects when the
+// schema layer (schema.h) maps application values into the domain.
+
+#ifndef SIGSET_OBJ_OBJECT_H_
+#define SIGSET_OBJ_OBJECT_H_
+
+#include <algorithm>
+#include <cstdint>
+#include <vector>
+
+#include "obj/oid.h"
+
+namespace sigsetdb {
+
+// A set-attribute value: sorted unique 64-bit element ids.
+using ElementSet = std::vector<uint64_t>;
+
+// Normalizes `set` to sorted-unique form (the canonical representation used
+// throughout the library).
+inline void NormalizeSet(ElementSet* set) {
+  std::sort(set->begin(), set->end());
+  set->erase(std::unique(set->begin(), set->end()), set->end());
+}
+
+// Returns true iff `sub` ⊆ `super`.  Both must be normalized.
+bool IsSubset(const ElementSet& sub, const ElementSet& super);
+
+// Returns true iff the sets share at least one element.  Both normalized.
+bool Overlaps(const ElementSet& a, const ElementSet& b);
+
+// An object as stored in the object file.
+struct StoredObject {
+  Oid oid;            // assigned by ObjectStore::Insert
+  ElementSet set_value;  // the indexed set attribute (normalized)
+
+  // Serialized size: count (4 bytes) + 8 bytes per element.
+  size_t SerializedBytes() const { return 4 + set_value.size() * 8; }
+};
+
+// Evaluates the paper's predicates against a stored object's set value.
+// `query` must be normalized.
+bool SatisfiesSuperset(const StoredObject& obj, const ElementSet& query);
+bool SatisfiesSubset(const StoredObject& obj, const ElementSet& query);
+bool SatisfiesProperSuperset(const StoredObject& obj,
+                             const ElementSet& query);
+bool SatisfiesProperSubset(const StoredObject& obj, const ElementSet& query);
+bool SatisfiesEquals(const StoredObject& obj, const ElementSet& query);
+bool SatisfiesOverlap(const StoredObject& obj, const ElementSet& query);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBJ_OBJECT_H_

@@ -1,0 +1,100 @@
+#include "obj/object_store.h"
+
+#include <cstring>
+
+#include "storage/slotted_page.h"
+
+namespace sigsetdb {
+
+namespace {
+
+// Serializes a set value as [count:u32][elem:u64]*.
+std::vector<uint8_t> SerializeSet(const ElementSet& set) {
+  std::vector<uint8_t> buf(4 + set.size() * 8);
+  uint32_t count = static_cast<uint32_t>(set.size());
+  std::memcpy(buf.data(), &count, 4);
+  std::memcpy(buf.data() + 4, set.data(), set.size() * 8);
+  return buf;
+}
+
+Status DeserializeSet(const uint8_t* data, uint16_t len, ElementSet* out) {
+  if (len < 4) return Status::Corruption("object record too short");
+  uint32_t count;
+  std::memcpy(&count, data, 4);
+  if (4 + static_cast<size_t>(count) * 8 != len) {
+    return Status::Corruption("object record length mismatch");
+  }
+  out->resize(count);
+  std::memcpy(out->data(), data + 4, static_cast<size_t>(count) * 8);
+  return Status::OK();
+}
+
+}  // namespace
+
+ObjectStore::ObjectStore(PageFile* file) : file_(file) {
+  // When reopening a populated file, keep appending to its last page.
+  if (file_->num_pages() > 0) tail_page_ = file_->num_pages() - 1;
+}
+
+StatusOr<Oid> ObjectStore::Insert(const ElementSet& set_value) {
+  std::vector<uint8_t> record = SerializeSet(set_value);
+  if (record.size() > kPageSize - 8) {
+    return Status::InvalidArgument("set value too large for one page");
+  }
+  Page page;
+  if (tail_page_ != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &page));
+    SlottedPage sp(&page);
+    if (auto slot = sp.Insert(record.data(),
+                              static_cast<uint16_t>(record.size()))) {
+      SIGSET_RETURN_IF_ERROR(file_->Write(tail_page_, page));
+      ++num_objects_;
+      return Oid::FromLocation(tail_page_, *slot);
+    }
+  }
+  // Tail page full (or no page yet): start a fresh page.
+  SIGSET_ASSIGN_OR_RETURN(PageId new_page, file_->Allocate());
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  auto slot = sp.Insert(record.data(), static_cast<uint16_t>(record.size()));
+  if (!slot.has_value()) {
+    return Status::Internal("record does not fit in an empty page");
+  }
+  SIGSET_RETURN_IF_ERROR(file_->Write(new_page, page));
+  tail_page_ = new_page;
+  ++num_objects_;
+  return Oid::FromLocation(new_page, *slot);
+}
+
+StatusOr<StoredObject> ObjectStore::Get(Oid oid) const {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  const uint8_t* rec = sp.Get(oid.slot(), &len);
+  if (rec == nullptr) {
+    return Status::NotFound("no object at " + oid.ToString());
+  }
+  StoredObject obj;
+  obj.oid = oid;
+  SIGSET_RETURN_IF_ERROR(DeserializeSet(rec, len, &obj.set_value));
+  return obj;
+}
+
+Status ObjectStore::Delete(Oid oid) {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  if (sp.Get(oid.slot(), &len) == nullptr) {
+    return Status::NotFound("no object at " + oid.ToString());
+  }
+  sp.Delete(oid.slot());
+  SIGSET_RETURN_IF_ERROR(file_->Write(oid.page(), page));
+  if (num_objects_ > 0) --num_objects_;
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

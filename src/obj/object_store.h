@@ -1,0 +1,55 @@
+// ObjectStore: the object file.
+//
+// Objects are stored in slotted pages ("objects are straightforwardly stored
+// in the object file; no type of decomposition is applied" — paper §4).
+// OIDs are physical (page, slot), so Get costs exactly one page read,
+// realizing the model's P_s = P_u = 1 page access per object retrieval.
+
+#ifndef SIGSET_OBJ_OBJECT_STORE_H_
+#define SIGSET_OBJ_OBJECT_STORE_H_
+
+#include <vector>
+
+#include "obj/object.h"
+#include "obj/oid.h"
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// A heap file of objects with physical OIDs.
+class ObjectStore {
+ public:
+  // Does not take ownership of `file`; `file` must outlive the store.
+  // `file` must be empty or a file previously populated by an ObjectStore.
+  explicit ObjectStore(PageFile* file);
+
+  // Appends an object, assigning and returning its OID.
+  StatusOr<Oid> Insert(const ElementSet& set_value);
+
+  // Fetches the object with `oid` (one page read).
+  StatusOr<StoredObject> Get(Oid oid) const;
+
+  // Removes the object (one page read + one page write).  The OID becomes
+  // dangling; access facilities are responsible for their own bookkeeping.
+  Status Delete(Oid oid);
+
+  // Restores the live-object counter after reopening a populated file
+  // (physical OIDs need no other recovery; the page data is the state).
+  void RecoverCount(uint64_t num_objects) { num_objects_ = num_objects; }
+
+  // Number of live objects inserted through this store instance.
+  uint64_t num_objects() const { return num_objects_; }
+
+  // The number of pages in the object file.
+  PageId num_pages() const { return file_->num_pages(); }
+
+ private:
+  PageFile* file_;
+  // Page currently being filled by Insert (kInvalidPage before first insert).
+  PageId tail_page_ = kInvalidPage;
+  uint64_t num_objects_ = 0;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBJ_OBJECT_STORE_H_

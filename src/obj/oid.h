@@ -1,0 +1,68 @@
+// Object identifiers.
+//
+// Following the paper ("Each object has a unique OID.  We can directly
+// access any object by its OID"), OIDs are *physical*: the 8-byte value
+// encodes the object's page number and slot within the object file, so a
+// fetch costs exactly one page access — the paper's P_s = P_u = 1.
+
+#ifndef SIGSET_OBJ_OID_H_
+#define SIGSET_OBJ_OID_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+
+#include "storage/page.h"
+
+namespace sigsetdb {
+
+// 8-byte object identifier (paper Table 2: oid = 8 bytes).
+class Oid {
+ public:
+  constexpr Oid() : value_(kInvalidValue) {}
+  constexpr explicit Oid(uint64_t value) : value_(value) {}
+
+  // Builds a physical OID from (page, slot).
+  static constexpr Oid FromLocation(PageId page, uint16_t slot) {
+    return Oid((static_cast<uint64_t>(page) << 16) | slot);
+  }
+
+  constexpr bool valid() const { return value_ != kInvalidValue; }
+  constexpr uint64_t value() const { return value_; }
+  constexpr PageId page() const {
+    return static_cast<PageId>(value_ >> 16);
+  }
+  constexpr uint16_t slot() const {
+    return static_cast<uint16_t>(value_ & 0xffff);
+  }
+
+  std::string ToString() const {
+    return "oid(" + std::to_string(page()) + "," + std::to_string(slot()) + ")";
+  }
+
+  friend constexpr bool operator==(Oid a, Oid b) {
+    return a.value_ == b.value_;
+  }
+  friend constexpr bool operator!=(Oid a, Oid b) {
+    return a.value_ != b.value_;
+  }
+  friend constexpr bool operator<(Oid a, Oid b) { return a.value_ < b.value_; }
+
+ private:
+  static constexpr uint64_t kInvalidValue = ~uint64_t{0};
+  uint64_t value_;
+};
+
+// Size of a serialized OID in bytes (paper Table 2).
+inline constexpr size_t kOidBytes = 8;
+
+}  // namespace sigsetdb
+
+template <>
+struct std::hash<sigsetdb::Oid> {
+  size_t operator()(sigsetdb::Oid oid) const noexcept {
+    return std::hash<uint64_t>{}(oid.value());
+  }
+};
+
+#endif  // SIGSET_OBJ_OID_H_

@@ -1,0 +1,91 @@
+#include "obj/oid_file.h"
+
+namespace sigsetdb {
+
+OidFile::OidFile(PageFile* file) : file_(file) {}
+
+Status OidFile::Recover(uint64_t num_entries) {
+  uint64_t expected_pages =
+      (num_entries + kOidsPerPage - 1) / kOidsPerPage;
+  if (expected_pages != file_->num_pages()) {
+    return Status::Corruption(
+        "oid file page count does not match recovered entry count");
+  }
+  num_entries_ = num_entries;
+  if (num_entries_ > 0 && num_entries_ % kOidsPerPage != 0) {
+    // The tail page is partially filled: reload the appender image.
+    tail_page_ = file_->num_pages() - 1;
+    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &tail_));
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> OidFile::Append(Oid oid) {
+  uint64_t slot = num_entries_;
+  uint32_t offset_in_page = static_cast<uint32_t>(slot % kOidsPerPage);
+  if (offset_in_page == 0) {
+    SIGSET_ASSIGN_OR_RETURN(tail_page_, file_->Allocate());
+    tail_.Zero();
+  }
+  tail_.WriteAt<uint64_t>(offset_in_page * kOidBytes, oid.value());
+  SIGSET_RETURN_IF_ERROR(file_->Write(tail_page_, tail_));
+  ++num_entries_;
+  return slot;
+}
+
+StatusOr<Oid> OidFile::Get(uint64_t slot) const {
+  if (slot >= num_entries_) {
+    return Status::OutOfRange("oid slot out of range");
+  }
+  Page page;
+  SIGSET_RETURN_IF_ERROR(
+      file_->Read(static_cast<PageId>(slot / kOidsPerPage), &page));
+  uint64_t raw =
+      page.ReadAt<uint64_t>((slot % kOidsPerPage) * kOidBytes);
+  if (raw & kDeleteFlag) return Oid();
+  return Oid(raw);
+}
+
+StatusOr<std::vector<Oid>> OidFile::GetMany(
+    const std::vector<uint64_t>& slots) const {
+  std::vector<Oid> out;
+  out.reserve(slots.size());
+  Page page;
+  PageId loaded = kInvalidPage;
+  for (uint64_t slot : slots) {
+    if (slot >= num_entries_) {
+      return Status::OutOfRange("oid slot out of range");
+    }
+    PageId page_no = static_cast<PageId>(slot / kOidsPerPage);
+    if (page_no != loaded) {
+      SIGSET_RETURN_IF_ERROR(file_->Read(page_no, &page));
+      loaded = page_no;
+    }
+    uint64_t raw = page.ReadAt<uint64_t>((slot % kOidsPerPage) * kOidBytes);
+    if ((raw & kDeleteFlag) == 0) out.push_back(Oid(raw));
+  }
+  return out;
+}
+
+Status OidFile::MarkDeleted(Oid oid) {
+  Page page;
+  for (PageId p = 0; p < file_->num_pages(); ++p) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
+    uint64_t entries_on_page =
+        std::min<uint64_t>(kOidsPerPage,
+                           num_entries_ - uint64_t{p} * kOidsPerPage);
+    for (uint64_t i = 0; i < entries_on_page; ++i) {
+      uint64_t raw = page.ReadAt<uint64_t>(i * kOidBytes);
+      if (raw == oid.value()) {
+        page.WriteAt<uint64_t>(i * kOidBytes, raw | kDeleteFlag);
+        SIGSET_RETURN_IF_ERROR(file_->Write(p, page));
+        // Keep the appender's tail image coherent if we touched it.
+        if (p == tail_page_) tail_ = page;
+        return Status::OK();
+      }
+    }
+  }
+  return Status::NotFound("oid not present: " + oid.ToString());
+}
+
+}  // namespace sigsetdb

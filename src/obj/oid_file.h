@@ -1,0 +1,73 @@
+// OidFile: the OID file shared by both signature-file organizations.
+//
+// The paper's signature files store, for the i-th signature, the OID of the
+// corresponding object as the i-th entry of a sequential OID file
+// (O_d = ⌊P/oid⌋ = 512 entries per page).  Deletion sets a delete flag in
+// the OID entry (found by sequential scan, expected SC_OID/2 page accesses),
+// leaving a dangling signature that is filtered at lookup time.
+
+#ifndef SIGSET_OBJ_OID_FILE_H_
+#define SIGSET_OBJ_OID_FILE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obj/oid.h"
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// Number of OID entries per page (paper Table 2: O_d = 512).
+inline constexpr uint32_t kOidsPerPage = kPageSize / kOidBytes;
+
+// Sequential file of 8-byte OID entries addressed by slot number.
+class OidFile {
+ public:
+  // Does not take ownership of `file`.  The appender buffers its tail page in
+  // memory, so Append costs exactly one page write — the model's UC_I charge
+  // of one access for the OID file.  `file` is assumed empty; to reopen a
+  // populated file call Recover() with the persisted entry count.
+  explicit OidFile(PageFile* file);
+
+  // Restores appender state over a populated file: validates the page count
+  // against `num_entries` and reloads the tail-page image (one page read;
+  // callers treat recovery I/O as setup).
+  Status Recover(uint64_t num_entries);
+
+  // Appends `oid`, returning its slot number (== signature position).
+  StatusOr<uint64_t> Append(Oid oid);
+
+  // Reads the entry at `slot` (one page read).  Returns an invalid Oid if
+  // the entry is delete-flagged.
+  StatusOr<Oid> Get(uint64_t slot) const;
+
+  // Resolves many slots to OIDs with one page read per *distinct page*
+  // (`slots` must be sorted ascending) — this is the behaviour behind the
+  // paper's look-up cost LC_OID = SC_OID · min(Fd(O_d−α)+α, 1).
+  // Delete-flagged entries are skipped.
+  StatusOr<std::vector<Oid>> GetMany(const std::vector<uint64_t>& slots) const;
+
+  // Scans from the start for the entry holding `oid` and sets its delete
+  // flag.  Costs (slot/O_d + 1) page reads + 1 write; averaged over uniform
+  // victims this is the model's UC_D = SC_OID/2.
+  Status MarkDeleted(Oid oid);
+
+  // Total entries appended (including delete-flagged ones).
+  uint64_t num_entries() const { return num_entries_; }
+
+  // Pages in the file (== ⌈num_entries/O_d⌉), the model's SC_OID.
+  PageId num_pages() const { return file_->num_pages(); }
+
+ private:
+  static constexpr uint64_t kDeleteFlag = uint64_t{1} << 63;
+
+  PageFile* file_;
+  uint64_t num_entries_ = 0;
+  // In-memory image of the tail page being filled.
+  Page tail_;
+  PageId tail_page_ = kInvalidPage;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBJ_OID_FILE_H_

@@ -1,0 +1,44 @@
+#include "obj/schema.h"
+
+namespace sigsetdb {
+
+Status Schema::AddClass(ClassDef def) {
+  auto [it, inserted] = classes_.try_emplace(def.name, std::move(def));
+  (void)it;
+  if (!inserted) {
+    return Status::AlreadyExists("class already defined: " + it->first);
+  }
+  return Status::OK();
+}
+
+const ClassDef* Schema::FindClass(const std::string& name) const {
+  auto it = classes_.find(name);
+  return it == classes_.end() ? nullptr : &it->second;
+}
+
+uint64_t ElementDictionary::IdForString(const std::string& text) {
+  auto it = by_string_.find(text);
+  if (it != by_string_.end()) return it->second;
+  uint64_t id = by_id_.size();
+  by_string_.emplace(text, id);
+  by_id_.push_back(text);
+  return id;
+}
+
+StatusOr<uint64_t> ElementDictionary::LookupString(
+    const std::string& text) const {
+  auto it = by_string_.find(text);
+  if (it == by_string_.end()) {
+    return Status::NotFound("element not interned: " + text);
+  }
+  return it->second;
+}
+
+StatusOr<std::string> ElementDictionary::StringForId(uint64_t id) const {
+  if (id >= by_id_.size()) {
+    return Status::NotFound("no interned string for id " + std::to_string(id));
+  }
+  return by_id_[id];
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,94 @@
+// A lightweight OODB schema layer.
+//
+// The core experiments operate directly on dense element ids, but the
+// paper's motivation is object-oriented: classes such as Student with
+// set-valued attributes (`hobbies`: set of strings, `courses`: set of
+// Course OIDs).  This layer gives the examples that vocabulary: it maps
+// application-level set elements (strings or OIDs) to the 64-bit element
+// ids indexed by the access facilities, and remembers class/attribute
+// definitions for introspection.
+
+#ifndef SIGSET_OBJ_SCHEMA_H_
+#define SIGSET_OBJ_SCHEMA_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "obj/oid.h"
+#include "util/hashing.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// Kinds of attribute values supported by the example schema.
+enum class AttributeKind {
+  kString,   // primitive string
+  kInt,      // primitive integer
+  kRef,      // reference to another object (OID)
+  kSetOfString,  // set of strings (e.g. Student.hobbies)
+  kSetOfRef,     // set of OIDs (e.g. Student.courses)
+};
+
+// One attribute of a class.
+struct AttributeDef {
+  std::string name;
+  AttributeKind kind;
+  // For kRef/kSetOfRef: the referenced class name.
+  std::string target_class;
+};
+
+// One class of the schema.
+struct ClassDef {
+  std::string name;
+  std::vector<AttributeDef> attributes;
+
+  // Returns the attribute definition or nullptr.
+  const AttributeDef* FindAttribute(const std::string& attr_name) const {
+    for (const auto& a : attributes) {
+      if (a.name == attr_name) return &a;
+    }
+    return nullptr;
+  }
+};
+
+// A set of class definitions.
+class Schema {
+ public:
+  // Registers a class; fails on duplicate names.
+  Status AddClass(ClassDef def);
+
+  const ClassDef* FindClass(const std::string& name) const;
+
+ private:
+  std::unordered_map<std::string, ClassDef> classes_;
+};
+
+// ElementDictionary maps application-level set elements to the dense 64-bit
+// element ids consumed by the access facilities and back.  String elements
+// are interned; OID elements use the OID value directly (already 64-bit).
+class ElementDictionary {
+ public:
+  // Returns a stable id for `text`, interning it on first use.
+  uint64_t IdForString(const std::string& text);
+
+  // Returns the id for `text` if interned, or status kNotFound.
+  StatusOr<uint64_t> LookupString(const std::string& text) const;
+
+  // Returns the interned string for `id`, or kNotFound.
+  StatusOr<std::string> StringForId(uint64_t id) const;
+
+  // OIDs are their own ids.
+  static uint64_t IdForOid(Oid oid) { return oid.value(); }
+
+  size_t size() const { return by_id_.size(); }
+
+ private:
+  std::unordered_map<std::string, uint64_t> by_string_;
+  std::vector<std::string> by_id_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBJ_SCHEMA_H_

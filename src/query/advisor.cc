@@ -1,0 +1,89 @@
+#include "query/advisor.h"
+
+#include <algorithm>
+
+#include "model/cost_bssf.h"
+#include "model/cost_nix.h"
+#include "model/cost_ext.h"
+#include "model/cost_ssf.h"
+
+namespace sigsetdb {
+
+StatusOr<std::vector<AccessPathChoice>> AdviseAccessPaths(
+    const DatabaseParams& db, const SignatureParams& sig,
+    const NixParams& nix, int64_t dt, int64_t dq, QueryKind kind,
+    bool allow_smart) {
+  if (dq < 1) return Status::InvalidArgument("Dq must be >= 1");
+  // Proper variants share their non-strict candidate costs.
+  kind = CandidateKind(kind);
+
+  std::vector<AccessPathChoice> choices;
+  if (kind == QueryKind::kEquals || kind == QueryKind::kOverlaps) {
+    // §6-extension operators (model/cost_ext.h); no smart variants.
+    if (kind == QueryKind::kEquals) {
+      choices.push_back(
+          {"ssf", "plain", SsfRetrievalEquals(db, sig, dt, dq)});
+      choices.push_back(
+          {"bssf", "plain", BssfRetrievalEquals(db, sig, dt, dq)});
+      choices.push_back(
+          {"nix", "plain", NixRetrievalEquals(db, nix, dt, dq)});
+    } else {
+      choices.push_back(
+          {"ssf", "plain", SsfRetrievalOverlap(db, sig, dt, dq)});
+      choices.push_back(
+          {"bssf", "plain", BssfRetrievalOverlap(db, sig, dt, dq)});
+      choices.push_back(
+          {"nix", "plain", NixRetrievalOverlap(db, nix, dt, dq)});
+    }
+    std::stable_sort(choices.begin(), choices.end(),
+                     [](const AccessPathChoice& a, const AccessPathChoice& b) {
+                       return a.cost_pages < b.cost_pages;
+                     });
+    return choices;
+  }
+
+  choices.push_back(
+      {"ssf", "plain", SsfRetrievalCost(db, sig, dt, dq, kind)});
+  if (kind == QueryKind::kSuperset) {
+    choices.push_back(
+        {"bssf", "plain", BssfRetrievalSuperset(db, sig, dt, dq)});
+    choices.push_back(
+        {"nix", "plain", NixRetrievalSuperset(db, nix, dt, dq)});
+    if (allow_smart) {
+      int64_t k = 0;
+      double cost = BssfSmartSupersetCost(db, sig, dt, dq, &k);
+      choices.push_back(
+          {"bssf", "smart(k=" + std::to_string(k) + ")", cost, k});
+      cost = NixSmartSupersetCost(db, nix, dt, dq, &k);
+      choices.push_back(
+          {"nix", "smart(k=" + std::to_string(k) + ")", cost, k});
+    }
+  } else {
+    choices.push_back({"bssf", "plain", BssfRetrievalSubset(db, sig, dt, dq)});
+    choices.push_back({"nix", "plain", NixRetrievalSubset(db, nix, dt, dq)});
+    if (allow_smart) {
+      int64_t s = 0;
+      double cost = BssfSmartSubsetCost(db, sig, dt, dq, &s);
+      choices.push_back(
+          {"bssf", "smart(s=" + std::to_string(s) + ")", cost, s});
+    }
+  }
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const AccessPathChoice& a, const AccessPathChoice& b) {
+                     return a.cost_pages < b.cost_pages;
+                   });
+  return choices;
+}
+
+StatusOr<AccessPathChoice> BestAccessPath(const DatabaseParams& db,
+                                          const SignatureParams& sig,
+                                          const NixParams& nix, int64_t dt,
+                                          int64_t dq, QueryKind kind,
+                                          bool allow_smart) {
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<AccessPathChoice> choices,
+      AdviseAccessPaths(db, sig, nix, dt, dq, kind, allow_smart));
+  return choices.front();
+}
+
+}  // namespace sigsetdb

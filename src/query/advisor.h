@@ -1,0 +1,48 @@
+// Cost-based access-path advisor.
+//
+// The paper's conclusion is a decision rule ("BSSF with a small m is a very
+// promising set access facility... except for Dq = 1, where NIX wins").
+// The advisor operationalizes it: given the database statistics and a query
+// shape, it ranks the facilities/strategies by modeled page accesses — the
+// piece a query optimizer would consult.
+
+#ifndef SIGSET_QUERY_ADVISOR_H_
+#define SIGSET_QUERY_ADVISOR_H_
+
+#include <string>
+#include <vector>
+
+#include "model/params.h"
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+// One candidate access path with its modeled retrieval cost.
+struct AccessPathChoice {
+  std::string facility;   // "ssf", "bssf", "nix"
+  std::string strategy;   // "plain", "smart(k=2)", "smart(s=150)", ...
+  double cost_pages;      // modeled RC
+  // Numeric strategy parameter: k (elements used) for smart supersets,
+  // s (slices scanned) for smart subsets; 0 for plain strategies.
+  int64_t param = 0;
+};
+
+// Returns all applicable access paths sorted by ascending cost.
+// `allow_smart` includes the §5 smart strategies.  Supported kinds:
+// kSuperset and kSubset (the kinds the paper models); other kinds return
+// kUnimplemented.
+StatusOr<std::vector<AccessPathChoice>> AdviseAccessPaths(
+    const DatabaseParams& db, const SignatureParams& sig,
+    const NixParams& nix, int64_t dt, int64_t dq, QueryKind kind,
+    bool allow_smart);
+
+// Convenience: the cheapest access path.
+StatusOr<AccessPathChoice> BestAccessPath(const DatabaseParams& db,
+                                          const SignatureParams& sig,
+                                          const NixParams& nix, int64_t dt,
+                                          int64_t dq, QueryKind kind,
+                                          bool allow_smart);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_QUERY_ADVISOR_H_

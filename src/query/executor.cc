@@ -1,0 +1,111 @@
+#include "query/executor.h"
+
+namespace sigsetdb {
+
+namespace {
+
+bool Satisfies(const StoredObject& obj, QueryKind kind,
+               const ElementSet& query) {
+  switch (kind) {
+    case QueryKind::kSuperset:
+      return SatisfiesSuperset(obj, query);
+    case QueryKind::kSubset:
+      return SatisfiesSubset(obj, query);
+    case QueryKind::kProperSuperset:
+      return SatisfiesProperSuperset(obj, query);
+    case QueryKind::kProperSubset:
+      return SatisfiesProperSubset(obj, query);
+    case QueryKind::kEquals:
+      return SatisfiesEquals(obj, query);
+    case QueryKind::kOverlaps:
+      return SatisfiesOverlap(obj, query);
+  }
+  return false;
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
+                                        const ObjectStore& store,
+                                        QueryKind kind,
+                                        const ElementSet& query) {
+  QueryResult result;
+  result.num_candidates = candidates.oids.size();
+  result.oids.reserve(candidates.oids.size());
+  for (Oid oid : candidates.oids) {
+    SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store.Get(oid));
+    if (Satisfies(obj, kind, query)) {
+      result.oids.push_back(oid);
+    } else {
+      if (candidates.exact) {
+        return Status::Internal(
+            "facility reported exact candidates but " + oid.ToString() +
+            " fails the predicate");
+      }
+      ++result.num_false_drops;
+    }
+  }
+  return result;
+}
+
+StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
+                                      const ObjectStore& store,
+                                      QueryKind kind,
+                                      const ElementSet& query) {
+  // Proper inclusion (⊋/⊊, paper §1's second sample query) reuses the
+  // non-strict candidate sets; the strictness check happens at resolution,
+  // where the stored cardinality is known.
+  SIGSET_ASSIGN_OR_RETURN(CandidateResult candidates,
+                          facility->Candidates(CandidateKind(kind), query));
+  if (kind != CandidateKind(kind)) candidates.exact = false;
+  return ResolveCandidates(candidates, store, kind, query);
+}
+
+StatusOr<QueryResult> ExecuteSmartSupersetBssf(BitSlicedSignatureFile* bssf,
+                                               const ObjectStore& store,
+                                               const ElementSet& query,
+                                               size_t use_elements,
+                                               QueryKind kind) {
+  if (CandidateKind(kind) != QueryKind::kSuperset) {
+    return Status::InvalidArgument("kind must be a superset variant");
+  }
+  BitVector query_sig =
+      MakePartialQuerySignature(query, use_elements, bssf->config());
+  SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                          bssf->SupersetCandidateSlots(query_sig));
+  CandidateResult candidates;
+  SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
+  return ResolveCandidates(candidates, store, kind, query);
+}
+
+StatusOr<QueryResult> ExecuteSmartSubsetBssf(BitSlicedSignatureFile* bssf,
+                                             const ObjectStore& store,
+                                             const ElementSet& query,
+                                             size_t max_slices,
+                                             QueryKind kind) {
+  if (CandidateKind(kind) != QueryKind::kSubset) {
+    return Status::InvalidArgument("kind must be a subset variant");
+  }
+  BitVector query_sig = MakeSetSignature(query, bssf->config());
+  SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                          bssf->SubsetCandidateSlots(query_sig, max_slices));
+  CandidateResult candidates;
+  SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
+  return ResolveCandidates(candidates, store, kind, query);
+}
+
+StatusOr<QueryResult> ExecuteSmartSupersetNix(NestedIndex* nix,
+                                              const ObjectStore& store,
+                                              const ElementSet& query,
+                                              size_t use_elements,
+                                              QueryKind kind) {
+  if (CandidateKind(kind) != QueryKind::kSuperset) {
+    return Status::InvalidArgument("kind must be a superset variant");
+  }
+  SIGSET_ASSIGN_OR_RETURN(CandidateResult candidates,
+                          nix->CandidatesSmartSuperset(query, use_elements));
+  if (kind != QueryKind::kSuperset) candidates.exact = false;
+  return ResolveCandidates(candidates, store, kind, query);
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,66 @@
+// Query execution: candidate selection through an access facility followed
+// by false-drop resolution (paper §3.1).
+//
+// The executor fetches every candidate object (one page access each — the
+// paper charges P_s/P_u per object even for true drops, since qualified
+// objects are returned to the user) and re-checks the set predicate against
+// the stored value, counting false drops.
+
+#ifndef SIGSET_QUERY_EXECUTOR_H_
+#define SIGSET_QUERY_EXECUTOR_H_
+
+#include <cstdint>
+
+#include "nix/nested_index.h"
+#include "obj/object_store.h"
+#include "sig/bssf.h"
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+// Outcome of one set query.
+struct QueryResult {
+  std::vector<Oid> oids;       // objects satisfying the predicate
+  uint64_t num_candidates = 0;  // drops delivered by the facility
+  uint64_t num_false_drops = 0;  // candidates that failed resolution
+};
+
+// Runs `kind` with `query` through `facility`, then resolves candidates
+// against `store`.  `query` must be normalized (sorted unique).
+StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
+                                      const ObjectStore& store,
+                                      QueryKind kind, const ElementSet& query);
+
+// Smart T ⊇ Q on BSSF (paper §5.1.3): build the query signature from only
+// `use_elements` query elements; resolution enforces the full predicate.
+// `kind` may also be kProperSuperset (same candidates, strict resolution).
+StatusOr<QueryResult> ExecuteSmartSupersetBssf(
+    BitSlicedSignatureFile* bssf, const ObjectStore& store,
+    const ElementSet& query, size_t use_elements,
+    QueryKind kind = QueryKind::kSuperset);
+
+// Smart T ⊆ Q on BSSF (paper §5.2.2): scan at most `max_slices` of the
+// query signature's zero slices.  `kind` may also be kProperSubset.
+StatusOr<QueryResult> ExecuteSmartSubsetBssf(
+    BitSlicedSignatureFile* bssf, const ObjectStore& store,
+    const ElementSet& query, size_t max_slices,
+    QueryKind kind = QueryKind::kSubset);
+
+// Smart T ⊇ Q on NIX (paper §5.1.3): intersect the postings of only
+// `use_elements` query elements.  `kind` may also be kProperSuperset.
+StatusOr<QueryResult> ExecuteSmartSupersetNix(
+    NestedIndex* nix, const ObjectStore& store, const ElementSet& query,
+    size_t use_elements, QueryKind kind = QueryKind::kSuperset);
+
+// The resolution step alone: fetches each candidate from `store`, keeps
+// those satisfying (`kind`, `query`).  Exposed for the smart strategies and
+// for tests.  When `exact` is true a failing candidate is an internal error
+// (the facility promised no false drops).
+StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
+                                        const ObjectStore& store,
+                                        QueryKind kind,
+                                        const ElementSet& query);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_QUERY_EXECUTOR_H_

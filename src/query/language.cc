@@ -1,0 +1,261 @@
+#include "query/language.h"
+
+#include <cctype>
+
+#include "util/hashing.h"
+
+namespace sigsetdb {
+
+namespace {
+
+// ---- lexer ----
+
+enum class TokenKind {
+  kIdent,    // identifiers, keywords and operator words (may contain '-')
+  kString,   // "..."
+  kNumber,   // [0-9]+
+  kLParen,
+  kRParen,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind;
+  std::string text;
+  uint64_t number = 0;
+  size_t pos = 0;  // byte offset, for error messages
+};
+
+class Lexer {
+ public:
+  explicit Lexer(const std::string& text) : text_(text) {}
+
+  StatusOr<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    size_t i = 0;
+    while (i < text_.size()) {
+      char c = text_[i];
+      if (std::isspace(static_cast<unsigned char>(c))) {
+        ++i;
+        continue;
+      }
+      if (c == '(') {
+        tokens.push_back({TokenKind::kLParen, "(", 0, i++});
+      } else if (c == ')') {
+        tokens.push_back({TokenKind::kRParen, ")", 0, i++});
+      } else if (c == ',') {
+        tokens.push_back({TokenKind::kComma, ",", 0, i++});
+      } else if (c == '"') {
+        size_t start = i++;
+        std::string value;
+        while (i < text_.size() && text_[i] != '"') value.push_back(text_[i++]);
+        if (i >= text_.size()) {
+          return Status::InvalidArgument(
+              "unterminated string literal at offset " +
+              std::to_string(start));
+        }
+        ++i;  // closing quote
+        tokens.push_back({TokenKind::kString, value, 0, start});
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        size_t start = i;
+        uint64_t value = 0;
+        while (i < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[i]))) {
+          value = value * 10 + static_cast<uint64_t>(text_[i] - '0');
+          ++i;
+        }
+        tokens.push_back({TokenKind::kNumber, text_.substr(start, i - start),
+                          value, start});
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        size_t start = i;
+        while (i < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[i])) ||
+                text_[i] == '_' || text_[i] == '-')) {
+          ++i;
+        }
+        tokens.push_back(
+            {TokenKind::kIdent, text_.substr(start, i - start), 0, start});
+      } else {
+        return Status::InvalidArgument("unexpected character '" +
+                                       std::string(1, c) + "' at offset " +
+                                       std::to_string(i));
+      }
+    }
+    tokens.push_back({TokenKind::kEnd, "", 0, text_.size()});
+    return tokens;
+  }
+
+ private:
+  const std::string& text_;
+};
+
+// ---- parser ----
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  StatusOr<ParsedQuery> Parse() {
+    ParsedQuery query;
+    SIGSET_RETURN_IF_ERROR(ExpectKeyword("select"));
+    SIGSET_ASSIGN_OR_RETURN(query.class_name, ExpectIdent("class name"));
+    SIGSET_RETURN_IF_ERROR(ExpectKeyword("where"));
+    while (true) {
+      SIGSET_ASSIGN_OR_RETURN(ParsedPredicate predicate, ParsePredicate());
+      query.predicates.push_back(std::move(predicate));
+      if (Peek().kind == TokenKind::kIdent && Peek().text == "and") {
+        ++index_;
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input");
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+
+  Status Err(const std::string& what) const {
+    return Status::InvalidArgument(what + " at offset " +
+                                   std::to_string(Peek().pos));
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (Peek().kind != TokenKind::kIdent || Peek().text != keyword) {
+      return Err("expected '" + keyword + "'");
+    }
+    ++index_;
+    return Status::OK();
+  }
+
+  StatusOr<std::string> ExpectIdent(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Err("expected " + what);
+    }
+    return tokens_[index_++].text;
+  }
+
+  StatusOr<QueryKind> ParseOperator() {
+    if (Peek().kind != TokenKind::kIdent) return Err("expected operator");
+    const std::string& word = Peek().text;
+    QueryKind kind;
+    if (word == "has-subset") {
+      kind = QueryKind::kSuperset;
+    } else if (word == "in-subset") {
+      kind = QueryKind::kSubset;
+    } else if (word == "has-proper-subset") {
+      kind = QueryKind::kProperSuperset;
+    } else if (word == "in-proper-subset") {
+      kind = QueryKind::kProperSubset;
+    } else if (word == "equals") {
+      kind = QueryKind::kEquals;
+    } else if (word == "overlaps") {
+      kind = QueryKind::kOverlaps;
+    } else {
+      return Err("unknown operator '" + word + "'");
+    }
+    ++index_;
+    return kind;
+  }
+
+  StatusOr<ParsedPredicate> ParsePredicate() {
+    ParsedPredicate predicate;
+    SIGSET_ASSIGN_OR_RETURN(predicate.attribute,
+                            ExpectIdent("attribute name"));
+    SIGSET_ASSIGN_OR_RETURN(predicate.kind, ParseOperator());
+    if (Peek().kind != TokenKind::kLParen) return Err("expected '('");
+    ++index_;
+    while (true) {
+      QueryLiteral literal;
+      if (Peek().kind == TokenKind::kString) {
+        literal.is_string = true;
+        literal.text = Peek().text;
+      } else if (Peek().kind == TokenKind::kNumber) {
+        literal.number = Peek().number;
+      } else {
+        return Err("expected string or integer literal");
+      }
+      ++index_;
+      predicate.literals.push_back(std::move(literal));
+      if (Peek().kind == TokenKind::kComma) {
+        ++index_;
+        continue;
+      }
+      break;
+    }
+    if (Peek().kind != TokenKind::kRParen) return Err("expected ')'");
+    ++index_;
+    return predicate;
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+// Element id guaranteed (modulo 2^-64 hash collisions) not to match any
+// interned string or physical OID: high bit set + mixed hash of the text.
+uint64_t UnmatchableId(const std::string& text) {
+  uint64_t h = 0xcbf29ce484222325ULL;  // FNV-1a offset basis
+  for (char c : text) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001b3ULL;
+  }
+  return Mix64(h) | (uint64_t{1} << 63);
+}
+
+}  // namespace
+
+StatusOr<ParsedQuery> ParseQuery(const std::string& text) {
+  Lexer lexer(text);
+  SIGSET_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.Parse();
+}
+
+StatusOr<std::vector<SetPredicate>> BindQuery(
+    const ParsedQuery& query, Database* db,
+    std::vector<std::string>* unknown_strings) {
+  std::vector<SetPredicate> predicates;
+  predicates.reserve(query.predicates.size());
+  for (const ParsedPredicate& parsed : query.predicates) {
+    SIGSET_ASSIGN_OR_RETURN(size_t attr, db->AttributeIndex(parsed.attribute));
+    SetPredicate predicate;
+    predicate.attribute = parsed.attribute;
+    predicate.kind = parsed.kind;
+    for (const QueryLiteral& literal : parsed.literals) {
+      if (!literal.is_string) {
+        predicate.query.push_back(literal.number);
+        continue;
+      }
+      StatusOr<uint64_t> id =
+          db->dictionary(attr).LookupString(literal.text);
+      if (id.ok()) {
+        predicate.query.push_back(*id);
+      } else {
+        // Unknown strings match nothing but must not fail the query: for
+        // T ⊇ Q they empty the result; for T ⊆ Q they merely widen Q.
+        predicate.query.push_back(UnmatchableId(literal.text));
+        if (unknown_strings != nullptr) {
+          unknown_strings->push_back(literal.text);
+        }
+      }
+    }
+    NormalizeSet(&predicate.query);
+    predicates.push_back(std::move(predicate));
+  }
+  return predicates;
+}
+
+StatusOr<DatabaseQueryResult> ExecuteQueryText(const std::string& text,
+                                               Database* db) {
+  SIGSET_ASSIGN_OR_RETURN(ParsedQuery parsed, ParseQuery(text));
+  SIGSET_ASSIGN_OR_RETURN(std::vector<SetPredicate> predicates,
+                          BindQuery(parsed, db));
+  return db->Query(predicates);
+}
+
+}  // namespace sigsetdb

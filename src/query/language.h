@@ -1,0 +1,74 @@
+// The paper's SQL-like set-query language (§2, after [Kim90]):
+//
+//   select Student where hobbies has-subset ("Baseball", "Fishing")
+//   select Student where hobbies in-subset ("Baseball", "Fishing", "Tennis")
+//
+// Grammar (case-sensitive keywords, one class, conjunctions with `and`):
+//
+//   query     := "select" IDENT "where" predicate ("and" predicate)*
+//   predicate := IDENT operator "(" literal ("," literal)* ")"
+//   operator  := "has-subset"          (T ⊇ Q)
+//              | "in-subset"           (T ⊆ Q)
+//              | "has-proper-subset"   (T ⊋ Q; the paper's §1 ⊊ variant,
+//              | "in-proper-subset"     T ⊊ Q,  mirrored)
+//              | "equals"              (T = Q)
+//              | "overlaps"            (T ∩ Q ≠ ∅)
+//   literal   := STRING ("...")  |  INTEGER
+//
+// ParseQuery turns text into a syntax tree; BindQuery resolves attribute
+// names and string literals against a Database (its per-attribute element
+// dictionaries) producing executable SetPredicates.
+
+#ifndef SIGSET_QUERY_LANGUAGE_H_
+#define SIGSET_QUERY_LANGUAGE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "db/database.h"
+#include "sig/facility.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// One literal in a query set: a string or an unsigned integer.
+struct QueryLiteral {
+  bool is_string = false;
+  std::string text;   // when is_string
+  uint64_t number = 0;  // otherwise
+};
+
+// One parsed predicate (unbound: attribute and literals are still names).
+struct ParsedPredicate {
+  std::string attribute;
+  QueryKind kind;
+  std::vector<QueryLiteral> literals;
+};
+
+// A parsed query.
+struct ParsedQuery {
+  std::string class_name;
+  std::vector<ParsedPredicate> predicates;
+};
+
+// Parses `text`; returns kInvalidArgument with a position-annotated message
+// on syntax errors.
+StatusOr<ParsedQuery> ParseQuery(const std::string& text);
+
+// Resolves attribute names and literals against `db`.  String literals are
+// looked up in the attribute's dictionary; unknown strings yield an element
+// id that matches nothing (NotFound would reject queries that should simply
+// return an empty/filtered result), reported via `*unknown_strings` when
+// non-null.  Integer literals are used verbatim (element ids / OID values).
+StatusOr<std::vector<SetPredicate>> BindQuery(
+    const ParsedQuery& query, Database* db,
+    std::vector<std::string>* unknown_strings = nullptr);
+
+// Convenience: parse, bind and execute in one step.
+StatusOr<DatabaseQueryResult> ExecuteQueryText(const std::string& text,
+                                               Database* db);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_QUERY_LANGUAGE_H_

@@ -1,0 +1,46 @@
+#include "sig/bitpack.h"
+
+namespace sigsetdb {
+
+void ExtractBits(const uint8_t* src, size_t bit_off, BitVector* out) {
+  const size_t n = out->size();
+  out->ClearAll();
+  // Word-at-a-time gather: assemble each destination word from the two
+  // source bytes spanning it.  Simple byte loop with shift; fast enough for
+  // full SSF scans (tens of MB/s of signature data per millisecond).
+  size_t src_byte = bit_off >> 3;
+  unsigned shift = static_cast<unsigned>(bit_off & 7);
+  uint64_t* words = out->mutable_words();
+  size_t full_bytes = (n + 7) / 8;
+  for (size_t i = 0; i < full_bytes; ++i) {
+    uint8_t b = static_cast<uint8_t>(src[src_byte + i] >> shift);
+    // Pull the high bits from the following byte only when bits of this
+    // destination byte actually come from it; the guard also keeps the read
+    // inside the source buffer when the extraction ends at its last byte.
+    if (shift != 0 && i * 8 + 8 - shift < n) {
+      b = static_cast<uint8_t>(b | (src[src_byte + i + 1] << (8 - shift)));
+    }
+    words[i >> 3] |= static_cast<uint64_t>(b) << ((i & 7) * 8);
+  }
+  // Zero any bits beyond n in the last word.
+  size_t tail = n & 63;
+  if (tail != 0) {
+    words[(n - 1) >> 6] &= (uint64_t{1} << tail) - 1;
+  }
+}
+
+void DepositBits(const BitVector& in, uint8_t* dst, size_t bit_off) {
+  // Per-bit store: deposits happen once per insert (not per scan), so
+  // simplicity wins over speed here.
+  for (size_t i = 0; i < in.size(); ++i) {
+    size_t pos = bit_off + i;
+    uint8_t mask = static_cast<uint8_t>(1u << (pos & 7));
+    if (in.Test(i)) {
+      dst[pos >> 3] |= mask;
+    } else {
+      dst[pos >> 3] &= static_cast<uint8_t>(~mask);
+    }
+  }
+}
+
+}  // namespace sigsetdb

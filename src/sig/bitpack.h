@@ -1,0 +1,26 @@
+// Bit-level packing helpers for the sequential signature file.
+//
+// SSF packs ⌊P·b/F⌋ signatures per page at arbitrary bit offsets (the paper
+// computes SC_SIG = ⌈N / ⌊P·b/F⌋⌉, which only holds with bit-exact packing:
+// e.g. 131 signatures of 250 bits in one 4 KiB page).
+
+#ifndef SIGSET_SIG_BITPACK_H_
+#define SIGSET_SIG_BITPACK_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitvector.h"
+
+namespace sigsetdb {
+
+// Copies `out->size()` bits from `src` starting at absolute bit offset
+// `bit_off` (bit i of byte j is bit (j*8 + i), little-endian bit order).
+void ExtractBits(const uint8_t* src, size_t bit_off, BitVector* out);
+
+// Writes all bits of `in` into `dst` starting at bit offset `bit_off`.
+void DepositBits(const BitVector& in, uint8_t* dst, size_t bit_off);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_BITPACK_H_

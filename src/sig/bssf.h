@@ -1,0 +1,133 @@
+// Bit-Sliced Signature File (paper §4.2).
+//
+// Signatures are stored column-wise: slice j holds bit j of every stored
+// signature, so a query touches only the slices its search condition needs —
+//   T ⊇ Q: the m_q slices where the query signature is 1 (AND-combined;
+//          candidates are slots whose accumulated bit stays 1);
+//   T ⊆ Q: the F − m_q slices where the query signature is 0 (OR-combined;
+//          candidates are slots whose accumulated bit stays 0).
+//
+// Smart retrieval (paper §5.1.3 and §5.2.2) is exposed through two knobs:
+// building the query signature from only k query elements (superset
+// queries), and scanning only s of the zero slices (subset queries).  Both
+// keep completeness — they can only increase the number of candidates.
+//
+// Insertion supports the paper's worst-case mode (touch all F slices, giving
+// UC_I = F + 1) and a sparse mode that writes only the m_t one-bit slices,
+// realizing the improvement the paper anticipates in §6.
+
+#ifndef SIGSET_SIG_BSSF_H_
+#define SIGSET_SIG_BSSF_H_
+
+#include <limits>
+#include <memory>
+
+#include "obj/oid_file.h"
+#include "sig/facility.h"
+#include "sig/signature.h"
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// How Insert touches the slice store.
+enum class BssfInsertMode {
+  // Read-modify-write every one of the F slices (paper's worst case).
+  kTouchAllSlices,
+  // Touch only the slices where the new signature has a 1 bit (appends land
+  // on zero-initialized bits, so skipping zero slices is lossless).
+  kSparse,
+};
+
+// Bit-sliced signature file over one indexed set attribute.
+class BitSlicedSignatureFile : public SetAccessFacility {
+ public:
+  // `capacity` is the maximum number of signatures the slice store can hold;
+  // slices are pre-allocated (F · ⌈capacity/(P·b)⌉ pages, all zero).
+  // Neither file is owned.
+  static StatusOr<std::unique_ptr<BitSlicedSignatureFile>> Create(
+      const SignatureConfig& config, uint64_t capacity, PageFile* slice_file,
+      PageFile* oid_file,
+      BssfInsertMode insert_mode = BssfInsertMode::kTouchAllSlices);
+
+  // Reopens a facility over previously populated files; `num_signatures`
+  // comes from the manifest written by SetIndex::Checkpoint().
+  static StatusOr<std::unique_ptr<BitSlicedSignatureFile>>
+  CreateFromExisting(const SignatureConfig& config, uint64_t capacity,
+                     PageFile* slice_file, PageFile* oid_file,
+                     BssfInsertMode insert_mode, uint64_t num_signatures);
+
+  const std::string& name() const override { return name_; }
+
+  Status Insert(Oid oid, const ElementSet& set_value) override;
+  Status Remove(Oid oid, const ElementSet& set_value) override;
+  StatusOr<CandidateResult> Candidates(QueryKind kind,
+                                       const ElementSet& query) override;
+  uint64_t StoragePages() const override;
+
+  // Bulk-builds the slice store from the full database (one pass over the
+  // sets, one write per slice page) — the experiment-setup path used by the
+  // paper-scale benchmarks.  Requires an empty facility; `sets[i]` is the
+  // set value of `oids[i]`.  Setup I/O is excluded from the access counters.
+  Status BulkLoad(const std::vector<Oid>& oids,
+                  const std::vector<ElementSet>& sets);
+
+  // --- smart-retrieval and measurement API ---
+
+  // Slots whose signature covers `query_sig` (T ⊇ Q condition).  Reads one
+  // slice per set bit of `query_sig`.  Callers implement the smart k-element
+  // strategy by passing MakePartialQuerySignature(...).
+  StatusOr<std::vector<uint64_t>> SupersetCandidateSlots(
+      const BitVector& query_sig) const;
+
+  // Slots whose signature is covered by `query_sig` (T ⊆ Q condition),
+  // scanning at most `max_slices` of the zero slices (the paper's partial
+  // slice scan; default scans them all).
+  StatusOr<std::vector<uint64_t>> SubsetCandidateSlots(
+      const BitVector& query_sig,
+      size_t max_slices = std::numeric_limits<size_t>::max()) const;
+
+  // Slots whose signature equals `query_sig` (set-equality prefilter,
+  // extension).  Reads all F slices.
+  StatusOr<std::vector<uint64_t>> EqualsCandidateSlots(
+      const BitVector& query_sig) const;
+
+  StatusOr<std::vector<Oid>> ResolveSlots(
+      const std::vector<uint64_t>& slots) const {
+    return oid_file_.GetMany(slots);
+  }
+
+  uint64_t num_signatures() const { return num_signatures_; }
+  uint64_t capacity() const { return capacity_; }
+  const SignatureConfig& config() const { return config_; }
+
+  // Pages per bit slice — the paper's ⌈N/(P·b)⌉ term (1 for N = 32,000).
+  uint32_t pages_per_slice() const { return pages_per_slice_; }
+
+  // Pages of the slice store alone (= F · pages_per_slice()).
+  uint64_t SlicePages() const { return slice_file_->num_pages(); }
+
+ private:
+  BitSlicedSignatureFile(const SignatureConfig& config, uint64_t capacity,
+                         PageFile* slice_file, PageFile* oid_file,
+                         BssfInsertMode insert_mode);
+
+  Status SetBitInSlice(uint32_t slice, uint64_t slot);
+  Status TouchSlice(uint32_t slice, uint64_t slot, bool set_bit);
+
+  // Reads slice `slice` and combines it into `acc` (num bits = capacity):
+  // AND when `and_combine`, OR otherwise.
+  Status CombineSlice(uint32_t slice, bool and_combine, BitVector* acc) const;
+
+  std::string name_ = "bssf";
+  SignatureConfig config_;
+  uint64_t capacity_;
+  uint32_t pages_per_slice_;
+  PageFile* slice_file_;
+  OidFile oid_file_;
+  BssfInsertMode insert_mode_;
+  uint64_t num_signatures_ = 0;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_BSSF_H_

@@ -1,0 +1,87 @@
+// CompressedBitSlicedSignatureFile: a BSSF whose bit slices are WAH
+// run-length compressed (extension; see sig/wah.h for the motivation).
+//
+// Each slice's encoded words occupy their own page run, so reading slice j
+// costs its *compressed* page count — usually 1 page at small-m densities
+// even when the uncompressed slice spans many pages.  The organization is
+// bulk-built (one pass over the database, like the benchmark setup of the
+// uncompressed BSSF); incremental insertion into compressed slices is a
+// known hard problem in bitmap indexing and out of scope here.
+//
+// The slice directory (per-slice page ranges and word counts) lives in a
+// directory page block at the front of the file so the structure is
+// self-describing.
+
+#ifndef SIGSET_SIG_COMPRESSED_BSSF_H_
+#define SIGSET_SIG_COMPRESSED_BSSF_H_
+
+#include <limits>
+#include <memory>
+
+#include "obj/oid_file.h"
+#include "sig/facility.h"
+#include "sig/signature.h"
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// WAH-compressed bit-sliced signature file (read-mostly).
+class CompressedBitSlicedSignatureFile {
+ public:
+  // Neither file is owned; both must be empty.
+  static StatusOr<std::unique_ptr<CompressedBitSlicedSignatureFile>> Create(
+      const SignatureConfig& config, PageFile* slice_file, PageFile* oid_file);
+
+  // Builds all slices from the database in one pass.  May be called once.
+  Status BulkLoad(const std::vector<Oid>& oids,
+                  const std::vector<ElementSet>& sets);
+
+  // Candidate slots for T ⊇ Q / T ⊆ Q (same semantics as the uncompressed
+  // BSSF, including the partial-scan knob).
+  StatusOr<std::vector<uint64_t>> SupersetCandidateSlots(
+      const BitVector& query_sig) const;
+  StatusOr<std::vector<uint64_t>> SubsetCandidateSlots(
+      const BitVector& query_sig,
+      size_t max_slices = std::numeric_limits<size_t>::max()) const;
+
+  StatusOr<std::vector<Oid>> ResolveSlots(
+      const std::vector<uint64_t>& slots) const {
+    return oid_file_.GetMany(slots);
+  }
+
+  uint64_t num_signatures() const { return num_signatures_; }
+  const SignatureConfig& config() const { return config_; }
+
+  // Compressed pages of slice j (what one slice read costs).
+  uint32_t PagesForSlice(uint32_t slice) const;
+
+  // Total pages: directory + all compressed slices (+ OID file elsewhere).
+  uint64_t SlicePages() const { return slice_file_->num_pages(); }
+  uint64_t StoragePages() const {
+    return SlicePages() + oid_file_.num_pages();
+  }
+
+ private:
+  CompressedBitSlicedSignatureFile(const SignatureConfig& config,
+                                   PageFile* slice_file, PageFile* oid_file)
+      : config_(config), slice_file_(slice_file), oid_file_(oid_file) {}
+
+  // Reads and decodes slice j into `out` (num_signatures_ bits).
+  Status ReadSlice(uint32_t slice, BitVector* out) const;
+
+  struct SliceRef {
+    PageId first_page = kInvalidPage;
+    uint32_t num_pages = 0;
+    uint32_t num_words = 0;
+  };
+
+  SignatureConfig config_;
+  PageFile* slice_file_;
+  OidFile oid_file_;
+  uint64_t num_signatures_ = 0;
+  std::vector<SliceRef> directory_;  // F entries after BulkLoad
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_COMPRESSED_BSSF_H_

@@ -1,0 +1,34 @@
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+const char* QueryKindName(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kSuperset:
+      return "superset";
+    case QueryKind::kSubset:
+      return "subset";
+    case QueryKind::kProperSuperset:
+      return "proper-superset";
+    case QueryKind::kProperSubset:
+      return "proper-subset";
+    case QueryKind::kEquals:
+      return "equals";
+    case QueryKind::kOverlaps:
+      return "overlaps";
+  }
+  return "unknown";
+}
+
+QueryKind CandidateKind(QueryKind kind) {
+  switch (kind) {
+    case QueryKind::kProperSuperset:
+      return QueryKind::kSuperset;
+    case QueryKind::kProperSubset:
+      return QueryKind::kSubset;
+    default:
+      return kind;
+  }
+}
+
+}  // namespace sigsetdb

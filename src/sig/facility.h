@@ -1,0 +1,74 @@
+// SetAccessFacility: the common interface of the three access methods the
+// paper compares (SSF, BSSF, NIX).
+//
+// A facility maps a set-predicate query to a *candidate* OID list.  When
+// `exact` is false the list may contain false drops and the caller must run
+// false-drop resolution (fetch each object and re-check the predicate) —
+// query/executor.h implements that step.
+
+#ifndef SIGSET_SIG_FACILITY_H_
+#define SIGSET_SIG_FACILITY_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obj/object.h"
+#include "obj/oid.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// The set-comparison queries studied by the paper (§2) plus the two
+// operators listed as future work in §6 (equality and overlap), which this
+// reproduction implements as extensions.
+enum class QueryKind {
+  kSuperset,        // T ⊇ Q  ("has-subset")
+  kSubset,          // T ⊆ Q  ("in-subset")
+  kProperSuperset,  // T ⊋ Q  (the paper's §1 "only the lectures" variant)
+  kProperSubset,    // T ⊊ Q
+  kEquals,          // T = Q
+  kOverlaps,        // T ∩ Q ≠ ∅
+};
+
+// The non-strict predicate whose candidates are a superset of `kind`'s
+// (proper variants filter during resolution; others are themselves).
+QueryKind CandidateKind(QueryKind kind);
+
+const char* QueryKindName(QueryKind kind);
+
+// Result of the candidate-selection phase.
+struct CandidateResult {
+  std::vector<Oid> oids;
+  // True when the facility guarantees no false drops (e.g. NIX intersection
+  // for T ⊇ Q); resolution can then skip the re-check.
+  bool exact = false;
+};
+
+// Abstract access facility over one indexed set attribute.
+class SetAccessFacility {
+ public:
+  virtual ~SetAccessFacility() = default;
+
+  // Human-readable facility name ("ssf", "bssf", "nix").
+  virtual const std::string& name() const = 0;
+
+  // Indexes `set_value` for object `oid`.
+  virtual Status Insert(Oid oid, const ElementSet& set_value) = 0;
+
+  // Removes the index information for `oid` (whose indexed value was
+  // `set_value`; signature facilities ignore it, NIX needs it).
+  virtual Status Remove(Oid oid, const ElementSet& set_value) = 0;
+
+  // Returns candidate OIDs for the query.  `query` must be normalized.
+  virtual StatusOr<CandidateResult> Candidates(QueryKind kind,
+                                               const ElementSet& query) = 0;
+
+  // Pages occupied by the facility's files (the paper's storage cost SC,
+  // excluding the object file).
+  virtual uint64_t StoragePages() const = 0;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_FACILITY_H_

@@ -1,0 +1,65 @@
+#include "sig/signature.h"
+
+#include <algorithm>
+
+#include "util/hashing.h"
+
+namespace sigsetdb {
+
+std::vector<uint32_t> ElementSignaturePositions(
+    uint64_t element, const SignatureConfig& config) {
+  // Counter-mode hashing with rejection of duplicates gives m distinct,
+  // uniformly distributed positions — the paper's "ideal hash" assumption.
+  // The seed folds in (F, m) so signatures under different configurations
+  // are decorrelated (h mod 256 and h mod 512 of the same h are not).
+  std::vector<uint32_t> positions;
+  positions.reserve(config.m);
+  const uint64_t seed =
+      Mix64(element ^ (static_cast<uint64_t>(config.f) << 32 | config.m));
+  uint64_t counter = 0;
+  while (positions.size() < config.m) {
+    uint64_t h = HashCombine(seed, counter++);
+    uint32_t pos = static_cast<uint32_t>(h % config.f);
+    if (std::find(positions.begin(), positions.end(), pos) ==
+        positions.end()) {
+      positions.push_back(pos);
+    }
+  }
+  std::sort(positions.begin(), positions.end());
+  return positions;
+}
+
+BitVector MakeElementSignature(uint64_t element,
+                               const SignatureConfig& config) {
+  BitVector sig(config.f);
+  for (uint32_t pos : ElementSignaturePositions(element, config)) {
+    sig.Set(pos);
+  }
+  return sig;
+}
+
+BitVector MakeSetSignature(const ElementSet& set,
+                           const SignatureConfig& config) {
+  BitVector sig(config.f);
+  for (uint64_t element : set) {
+    for (uint32_t pos : ElementSignaturePositions(element, config)) {
+      sig.Set(pos);
+    }
+  }
+  return sig;
+}
+
+BitVector MakePartialQuerySignature(const ElementSet& query,
+                                    size_t use_elements,
+                                    const SignatureConfig& config) {
+  BitVector sig(config.f);
+  size_t n = std::min(use_elements, query.size());
+  for (size_t i = 0; i < n; ++i) {
+    for (uint32_t pos : ElementSignaturePositions(query[i], config)) {
+      sig.Set(pos);
+    }
+  }
+  return sig;
+}
+
+}  // namespace sigsetdb

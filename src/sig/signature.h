@@ -1,0 +1,82 @@
+// Superimposed-coding signatures for set values (paper §3.1).
+//
+// Each set element yields an *element signature*: an F-bit pattern with
+// exactly m one bits at pseudo-random positions determined by the element
+// value.  A *set signature* is the bitwise OR of the element signatures of
+// the set's members.  The two search conditions of the paper are:
+//
+//   T ⊇ Q:  every 1 bit of the query signature is set in the target
+//           signature (query_sig ⊆ target_sig as bit sets);
+//   T ⊆ Q:  every 1 bit of the target signature is set in the query
+//           signature (target_sig ⊆ query_sig).
+//
+// Both conditions are *complete* (no false negatives) and *unsound* (false
+// drops), which is what makes signatures a filter: candidate objects must be
+// verified against the stored set in the false-drop-resolution step.
+
+#ifndef SIGSET_SIG_SIGNATURE_H_
+#define SIGSET_SIG_SIGNATURE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obj/object.h"
+#include "util/bitvector.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// Signature design parameters (paper Table 1: F and m).
+struct SignatureConfig {
+  uint32_t f;  // signature size in bits
+  uint32_t m;  // one bits per element signature
+
+  Status Validate() const {
+    if (f == 0) return Status::InvalidArgument("F must be positive");
+    if (m == 0 || m > f) {
+      return Status::InvalidArgument("m must be in [1, F]");
+    }
+    return Status::OK();
+  }
+};
+
+// Returns the m distinct bit positions (sorted) of `element`'s signature.
+// A pure function of (element, config): targets and queries always agree.
+std::vector<uint32_t> ElementSignaturePositions(uint64_t element,
+                                                const SignatureConfig& config);
+
+// Builds the F-bit element signature of `element`.
+BitVector MakeElementSignature(uint64_t element,
+                               const SignatureConfig& config);
+
+// Builds the set signature of `set` (OR of element signatures).
+BitVector MakeSetSignature(const ElementSet& set,
+                           const SignatureConfig& config);
+
+// Builds a query signature from only the first `use_elements` elements of
+// `query` — the paper's smart object-retrieval strategy for T ⊇ Q (§5.1.3)
+// deliberately under-specifies the query signature to reduce the number of
+// bit slices that must be scanned.  `use_elements` is clamped to
+// query.size().
+BitVector MakePartialQuerySignature(const ElementSet& query,
+                                    size_t use_elements,
+                                    const SignatureConfig& config);
+
+// Search conditions (see file comment).
+inline bool MatchesSuperset(const BitVector& target_sig,
+                            const BitVector& query_sig) {
+  return query_sig.IsSubsetOf(target_sig);
+}
+inline bool MatchesSubset(const BitVector& target_sig,
+                          const BitVector& query_sig) {
+  return target_sig.IsSubsetOf(query_sig);
+}
+// Equality prefilter: equal sets have equal signatures.
+inline bool MatchesEquals(const BitVector& target_sig,
+                          const BitVector& query_sig) {
+  return target_sig == query_sig;
+}
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_SIGNATURE_H_

@@ -1,0 +1,141 @@
+#include "sig/ssf.h"
+
+#include "sig/bitpack.h"
+
+namespace sigsetdb {
+
+StatusOr<std::unique_ptr<SequentialSignatureFile>>
+SequentialSignatureFile::Create(const SignatureConfig& config,
+                                PageFile* signature_file, PageFile* oid_file) {
+  SIGSET_RETURN_IF_ERROR(config.Validate());
+  if (config.f > kPageBits) {
+    return Status::InvalidArgument("F exceeds one page worth of bits");
+  }
+  return std::unique_ptr<SequentialSignatureFile>(
+      new SequentialSignatureFile(config, signature_file, oid_file));
+}
+
+StatusOr<std::unique_ptr<SequentialSignatureFile>>
+SequentialSignatureFile::CreateFromExisting(const SignatureConfig& config,
+                                            PageFile* signature_file,
+                                            PageFile* oid_file,
+                                            uint64_t num_signatures) {
+  SIGSET_ASSIGN_OR_RETURN(std::unique_ptr<SequentialSignatureFile> ssf,
+                          Create(config, signature_file, oid_file));
+  uint64_t expected_pages =
+      (num_signatures + ssf->sigs_per_page_ - 1) / ssf->sigs_per_page_;
+  if (expected_pages != signature_file->num_pages()) {
+    return Status::Corruption(
+        "signature file page count does not match recovered count");
+  }
+  SIGSET_RETURN_IF_ERROR(ssf->oid_file_.Recover(num_signatures));
+  ssf->num_signatures_ = num_signatures;
+  if (num_signatures > 0 && num_signatures % ssf->sigs_per_page_ != 0) {
+    ssf->tail_page_ = signature_file->num_pages() - 1;
+    SIGSET_RETURN_IF_ERROR(signature_file->Read(ssf->tail_page_, &ssf->tail_));
+  }
+  // Recovery I/O is setup, not an experiment cost.
+  signature_file->stats().Reset();
+  oid_file->stats().Reset();
+  return ssf;
+}
+
+SequentialSignatureFile::SequentialSignatureFile(const SignatureConfig& config,
+                                                 PageFile* signature_file,
+                                                 PageFile* oid_file)
+    : config_(config),
+      sigs_per_page_(static_cast<uint32_t>(kPageBits / config.f)),
+      signature_file_(signature_file),
+      oid_file_(oid_file) {}
+
+Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
+  BitVector sig = MakeSetSignature(set_value, config_);
+  uint32_t slot_in_page =
+      static_cast<uint32_t>(num_signatures_ % sigs_per_page_);
+  if (slot_in_page == 0) {
+    SIGSET_ASSIGN_OR_RETURN(tail_page_, signature_file_->Allocate());
+    tail_.Zero();
+  }
+  DepositBits(sig, tail_.data(), static_cast<size_t>(slot_in_page) * config_.f);
+  SIGSET_RETURN_IF_ERROR(signature_file_->Write(tail_page_, tail_));
+  SIGSET_ASSIGN_OR_RETURN(uint64_t oid_slot, oid_file_.Append(oid));
+  if (oid_slot != num_signatures_) {
+    return Status::Internal("signature/OID slot mismatch");
+  }
+  ++num_signatures_;
+  return Status::OK();
+}
+
+Status SequentialSignatureFile::Remove(Oid oid,
+                                       const ElementSet& /*set_value*/) {
+  return oid_file_.MarkDeleted(oid);
+}
+
+StatusOr<std::vector<uint64_t>> SequentialSignatureFile::ScanMatchingSlots(
+    const std::function<bool(const BitVector&)>& matches) const {
+  std::vector<uint64_t> slots;
+  Page page;
+  BitVector sig(config_.f);
+  uint64_t slot = 0;
+  for (PageId p = 0; p < signature_file_->num_pages() && slot < num_signatures_;
+       ++p) {
+    SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
+    for (uint32_t i = 0; i < sigs_per_page_ && slot < num_signatures_;
+         ++i, ++slot) {
+      ExtractBits(page.data(), static_cast<size_t>(i) * config_.f, &sig);
+      if (matches(sig)) slots.push_back(slot);
+    }
+  }
+  return slots;
+}
+
+StatusOr<CandidateResult> SequentialSignatureFile::Candidates(
+    QueryKind kind, const ElementSet& query) {
+  BitVector query_sig = MakeSetSignature(query, config_);
+  std::function<bool(const BitVector&)> matches;
+  switch (kind) {
+    case QueryKind::kSuperset:
+    case QueryKind::kProperSuperset:  // strictness checked at resolution
+      matches = [&](const BitVector& t) {
+        return MatchesSuperset(t, query_sig);
+      };
+      break;
+    case QueryKind::kSubset:
+    case QueryKind::kProperSubset:  // strictness checked at resolution
+      matches = [&](const BitVector& t) { return MatchesSubset(t, query_sig); };
+      break;
+    case QueryKind::kEquals:
+      matches = [&](const BitVector& t) { return MatchesEquals(t, query_sig); };
+      break;
+    case QueryKind::kOverlaps: {
+      // T ∩ Q ≠ ∅ ⟹ some element signature of Q is covered by the target
+      // signature, so testing coverage per query element is a complete
+      // filter (extension; paper §6 future work).
+      std::vector<BitVector> element_sigs;
+      element_sigs.reserve(query.size());
+      for (uint64_t e : query) {
+        element_sigs.push_back(MakeElementSignature(e, config_));
+      }
+      matches = [element_sigs = std::move(element_sigs)](const BitVector& t) {
+        for (const BitVector& es : element_sigs) {
+          if (es.IsSubsetOf(t)) return true;
+        }
+        return false;
+      };
+      break;
+    }
+  }
+  SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                          ScanMatchingSlots(matches));
+  CandidateResult result;
+  result.exact = false;
+  SIGSET_ASSIGN_OR_RETURN(result.oids, oid_file_.GetMany(slots));
+  return result;
+}
+
+uint64_t SequentialSignatureFile::StoragePages() const {
+  return static_cast<uint64_t>(signature_file_->num_pages()) +
+         oid_file_.num_pages();
+}
+
+}  // namespace sigsetdb

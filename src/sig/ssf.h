@@ -1,0 +1,93 @@
+// Sequential Signature File (paper §4.1).
+//
+// The simplest signature organization: set signatures are stored
+// sequentially, ⌊P·b/F⌋ per page, with a parallel OID file mapping signature
+// slot i to the i-th object's OID.  Every query scans the whole signature
+// file (SC_SIG pages), which is why the paper finds SSF dominated by BSSF in
+// retrieval cost, while its insertion cost (2 page accesses) is the lowest.
+
+#ifndef SIGSET_SIG_SSF_H_
+#define SIGSET_SIG_SSF_H_
+
+#include <functional>
+#include <memory>
+
+#include "obj/oid_file.h"
+#include "sig/facility.h"
+#include "sig/signature.h"
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// Sequential signature file over one indexed set attribute.
+class SequentialSignatureFile : public SetAccessFacility {
+ public:
+  // Neither file is owned; both must be empty on first use and outlive the
+  // facility.
+  static StatusOr<std::unique_ptr<SequentialSignatureFile>> Create(
+      const SignatureConfig& config, PageFile* signature_file,
+      PageFile* oid_file);
+
+  // Reopens a facility over previously populated files (e.g. after a
+  // restart of a disk-backed StorageManager).  `num_signatures` comes from
+  // the manifest written by SetIndex::Checkpoint().
+  static StatusOr<std::unique_ptr<SequentialSignatureFile>>
+  CreateFromExisting(const SignatureConfig& config, PageFile* signature_file,
+                     PageFile* oid_file, uint64_t num_signatures);
+
+  const std::string& name() const override { return name_; }
+
+  // Appends the signature of `set_value` and the OID (2 page writes — the
+  // paper's UC_I = 2).
+  Status Insert(Oid oid, const ElementSet& set_value) override;
+
+  // Sets the delete flag in the OID file (expected SC_OID/2 page reads plus
+  // one write — the paper's UC_D).  The dangling signature remains and is
+  // filtered by the OID lookup.
+  Status Remove(Oid oid, const ElementSet& set_value) override;
+
+  StatusOr<CandidateResult> Candidates(QueryKind kind,
+                                       const ElementSet& query) override;
+
+  // SC = SC_SIG + SC_OID.
+  uint64_t StoragePages() const override;
+
+  // --- lower-level API used by tests and the smart strategies ---
+
+  // Scans the signature file and returns the slots whose signature satisfies
+  // `matches` (costs exactly SC_SIG page reads).
+  StatusOr<std::vector<uint64_t>> ScanMatchingSlots(
+      const std::function<bool(const BitVector&)>& matches) const;
+
+  // Resolves slots (sorted) to OIDs via the OID file.
+  StatusOr<std::vector<Oid>> ResolveSlots(
+      const std::vector<uint64_t>& slots) const {
+    return oid_file_.GetMany(slots);
+  }
+
+  uint64_t num_signatures() const { return num_signatures_; }
+  uint32_t signatures_per_page() const { return sigs_per_page_; }
+  const SignatureConfig& config() const { return config_; }
+
+  // Pages of the signature file alone (the paper's SC_SIG).
+  uint64_t SignaturePages() const { return signature_file_->num_pages(); }
+
+ private:
+  SequentialSignatureFile(const SignatureConfig& config,
+                          PageFile* signature_file, PageFile* oid_file);
+
+  std::string name_ = "ssf";
+  SignatureConfig config_;
+  uint32_t sigs_per_page_;
+  PageFile* signature_file_;
+  OidFile oid_file_;
+  uint64_t num_signatures_ = 0;
+  // In-memory image of the tail signature page (appender buffer, so that an
+  // insert costs one signature-page write, matching the model).
+  Page tail_;
+  PageId tail_page_ = kInvalidPage;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_SSF_H_

@@ -1,0 +1,107 @@
+#include "sig/wah.h"
+
+namespace sigsetdb {
+
+namespace {
+
+constexpr uint32_t kFillFlag = 0x80000000u;
+constexpr uint32_t kFillValueBit = 0x40000000u;
+constexpr uint32_t kRunMask = 0x3fffffffu;
+constexpr uint32_t kAllOnes = 0x7fffffffu;
+
+// Extracts group `g` (31 bits) from `bits`.
+uint32_t ExtractGroup(const BitVector& bits, size_t g) {
+  uint32_t group = 0;
+  size_t base = g * 31;
+  size_t end = std::min(base + 31, bits.size());
+  for (size_t i = base; i < end; ++i) {
+    if (bits.Test(i)) group |= 1u << (i - base);
+  }
+  return group;
+}
+
+}  // namespace
+
+void WahBuilder::AppendFill(bool value, uint64_t count) {
+  while (count > 0) {
+    // Try to extend a preceding fill of the same value.
+    if (!words_.empty() && (words_.back() & kFillFlag) != 0 &&
+        ((words_.back() & kFillValueBit) != 0) == value &&
+        (words_.back() & kRunMask) < kMaxRun) {
+      uint32_t room = kMaxRun - (words_.back() & kRunMask);
+      uint32_t take = static_cast<uint32_t>(
+          std::min<uint64_t>(count, room));
+      words_.back() += take;
+      count -= take;
+      continue;
+    }
+    uint32_t take = static_cast<uint32_t>(
+        std::min<uint64_t>(count, kMaxRun));
+    words_.push_back(kFillFlag | (value ? kFillValueBit : 0u) | take);
+    count -= take;
+  }
+}
+
+void WahBuilder::AppendGroup(uint32_t group) {
+  group &= kAllOnes;
+  ++num_groups_;
+  if (group == 0) {
+    AppendFill(false, 1);
+  } else if (group == kAllOnes) {
+    AppendFill(true, 1);
+  } else {
+    words_.push_back(group);
+  }
+}
+
+void WahBuilder::AppendZeroGroups(uint64_t count) {
+  num_groups_ += count;
+  AppendFill(false, count);
+}
+
+std::vector<uint32_t> WahEncode(const BitVector& bits) {
+  WahBuilder builder;
+  size_t groups = (bits.size() + 30) / 31;
+  for (size_t g = 0; g < groups; ++g) {
+    builder.AppendGroup(ExtractGroup(bits, g));
+  }
+  return builder.TakeWords();
+}
+
+bool WahDecode(const std::vector<uint32_t>& words, size_t num_bits,
+               BitVector* out) {
+  *out = BitVector(num_bits);
+  const size_t total_groups = (num_bits + 30) / 31;
+  size_t g = 0;
+  for (uint32_t word : words) {
+    if ((word & kFillFlag) != 0) {
+      uint64_t run = word & kRunMask;
+      if (run == 0) return false;
+      bool value = (word & kFillValueBit) != 0;
+      if (g + run > total_groups) return false;
+      if (value) {
+        for (uint64_t k = 0; k < run; ++k, ++g) {
+          size_t base = g * 31;
+          size_t end = std::min(base + 31, num_bits);
+          for (size_t i = base; i < end; ++i) out->Set(i);
+        }
+      } else {
+        g += run;
+      }
+    } else {
+      if (g >= total_groups) return false;
+      size_t base = g * 31;
+      for (int b = 0; b < 31; ++b) {
+        if ((word >> b) & 1u) {
+          size_t pos = base + static_cast<size_t>(b);
+          if (pos >= num_bits) return false;  // padding bits must be zero
+          out->Set(pos);
+        }
+      }
+      ++g;
+    }
+  }
+  return g == total_groups;
+}
+
+}  // namespace sigsetdb

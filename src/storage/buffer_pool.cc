@@ -1,0 +1,55 @@
+#include "storage/buffer_pool.h"
+
+namespace sigsetdb {
+
+Status CachedPageFile::Read(PageId id, Page* out) {
+  ++logical_stats_.page_reads;
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    ++hits_;
+    Touch(id);
+    *out = lru_.front().page;
+    return Status::OK();
+  }
+  ++misses_;
+  SIGSET_RETURN_IF_ERROR(base_->Read(id, out));
+  InsertFrame(id, *out);
+  return Status::OK();
+}
+
+Status CachedPageFile::Write(PageId id, const Page& page) {
+  ++logical_stats_.page_writes;
+  // Write-through: the base file always sees the write.
+  SIGSET_RETURN_IF_ERROR(base_->Write(id, page));
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->page = page;
+    Touch(id);
+  } else {
+    InsertFrame(id, page);
+  }
+  return Status::OK();
+}
+
+void CachedPageFile::Invalidate() {
+  lru_.clear();
+  index_.clear();
+}
+
+void CachedPageFile::Touch(PageId id) {
+  auto it = index_.find(id);
+  lru_.splice(lru_.begin(), lru_, it->second);
+  it->second = lru_.begin();
+}
+
+void CachedPageFile::InsertFrame(PageId id, const Page& page) {
+  if (capacity_ == 0) return;
+  if (lru_.size() >= capacity_) {
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+  }
+  lru_.push_front(Frame{id, page});
+  index_[id] = lru_.begin();
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,70 @@
+// CachedPageFile: an LRU buffer pool layered over a PageFile.
+//
+// The paper's cost model deliberately assumes *no* caching (every logical
+// page access costs one I/O).  This decorator exists for the buffer-pool
+// ablation bench: it shows how far a modest cache moves the measured access
+// counts away from the model's predictions.  Cache hits do not propagate to
+// the underlying file's counters; the decorator's own stats() counts logical
+// accesses, while the wrapped file's stats() counts misses (i.e. "physical"
+// accesses).
+
+#ifndef SIGSET_STORAGE_BUFFER_POOL_H_
+#define SIGSET_STORAGE_BUFFER_POOL_H_
+
+#include <list>
+#include <unordered_map>
+
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// Write-through LRU cache over `base` holding up to `capacity` pages.
+class CachedPageFile : public PageFile {
+ public:
+  // Does not take ownership of `base`, which must outlive this object.
+  CachedPageFile(PageFile* base, size_t capacity)
+      : base_(base), capacity_(capacity) {}
+
+  const std::string& name() const override { return base_->name(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+
+  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+
+  // Logical accesses issued against this decorator.
+  IoStats& stats() override { return logical_stats_; }
+  const IoStats& stats() const override { return logical_stats_; }
+
+  // Physical (miss) accesses are the base file's counters.
+  const IoStats& physical_stats() const { return base_->stats(); }
+
+  uint64_t hits() const { return hits_; }
+  uint64_t misses() const { return misses_; }
+
+  // Drops all cached pages (counters are kept).
+  void Invalidate();
+
+ private:
+  void Touch(PageId id);
+  void InsertFrame(PageId id, const Page& page);
+
+  PageFile* base_;
+  size_t capacity_;
+  IoStats logical_stats_;
+  uint64_t hits_ = 0;
+  uint64_t misses_ = 0;
+
+  // LRU list front = most recent.  Map values point into the list.
+  struct Frame {
+    PageId id;
+    Page page;
+  };
+  std::list<Frame> lru_;
+  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_BUFFER_POOL_H_

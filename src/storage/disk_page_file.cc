@@ -1,0 +1,92 @@
+#include "storage/disk_page_file.h"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace sigsetdb {
+
+namespace {
+
+std::string Errno(const std::string& op, const std::string& path) {
+  return op + " " + path + ": " + std::strerror(errno);
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<OnDiskPageFile>> OnDiskPageFile::Open(
+    const std::string& name, const std::string& path) {
+  int fd = ::open(path.c_str(), O_RDWR | O_CREAT | O_CLOEXEC, 0644);
+  if (fd < 0) {
+    return Status::IoError(Errno("open", path));
+  }
+  off_t size = ::lseek(fd, 0, SEEK_END);
+  if (size < 0) {
+    ::close(fd);
+    return Status::IoError(Errno("lseek", path));
+  }
+  if (size % static_cast<off_t>(kPageSize) != 0) {
+    ::close(fd);
+    return Status::Corruption("file size is not page aligned: " + path);
+  }
+  PageId pages = static_cast<PageId>(size / static_cast<off_t>(kPageSize));
+  return std::unique_ptr<OnDiskPageFile>(
+      new OnDiskPageFile(name, fd, pages));
+}
+
+OnDiskPageFile::~OnDiskPageFile() {
+  if (fd_ >= 0) ::close(fd_);
+}
+
+StatusOr<PageId> OnDiskPageFile::Allocate() {
+  if (num_pages_ >= kInvalidPage) {
+    return Status::OutOfRange("page file full: " + name_);
+  }
+  // Extend by one zeroed page.
+  static const Page kZero{};
+  off_t offset = static_cast<off_t>(num_pages_) * kPageSize;
+  ssize_t written = ::pwrite(fd_, kZero.data(), kPageSize, offset);
+  if (written != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pwrite(allocate)", name_));
+  }
+  return num_pages_++;
+}
+
+Status OnDiskPageFile::Read(PageId id, Page* out) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("read past end of " + name_ + " page " +
+                              std::to_string(id));
+  }
+  ssize_t n = ::pread(fd_, out->data(), kPageSize,
+                      static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pread", name_));
+  }
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status OnDiskPageFile::Write(PageId id, const Page& page) {
+  if (id >= num_pages_) {
+    return Status::OutOfRange("write past end of " + name_ + " page " +
+                              std::to_string(id));
+  }
+  ssize_t n = ::pwrite(fd_, page.data(), kPageSize,
+                       static_cast<off_t>(id) * kPageSize);
+  if (n != static_cast<ssize_t>(kPageSize)) {
+    return Status::IoError(Errno("pwrite", name_));
+  }
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+Status OnDiskPageFile::Sync() {
+  if (::fsync(fd_) != 0) {
+    return Status::IoError(Errno("fsync", name_));
+  }
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,56 @@
+// OnDiskPageFile: a PageFile backed by a real file via POSIX pread/pwrite.
+//
+// The experiments default to InMemoryPageFile (the metrics are access
+// counts, not wall-clock), but the library is also usable as a persistent
+// store: a StorageManager constructed with a directory creates these, and
+// reopening the directory recovers every page written before.  Access
+// counting is identical to the in-memory variant.
+
+#ifndef SIGSET_STORAGE_DISK_PAGE_FILE_H_
+#define SIGSET_STORAGE_DISK_PAGE_FILE_H_
+
+#include <memory>
+#include <string>
+
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// A page file stored at a filesystem path.
+class OnDiskPageFile : public PageFile {
+ public:
+  // Opens (or creates) the file at `path`.  An existing file must be a
+  // whole number of pages.
+  static StatusOr<std::unique_ptr<OnDiskPageFile>> Open(
+      const std::string& name, const std::string& path);
+
+  ~OnDiskPageFile() override;
+  OnDiskPageFile(const OnDiskPageFile&) = delete;
+  OnDiskPageFile& operator=(const OnDiskPageFile&) = delete;
+
+  const std::string& name() const override { return name_; }
+  PageId num_pages() const override { return num_pages_; }
+
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out) override;
+  Status Write(PageId id, const Page& page) override;
+
+  IoStats& stats() override { return stats_; }
+  const IoStats& stats() const override { return stats_; }
+
+  // Flushes OS buffers to stable storage.
+  Status Sync();
+
+ private:
+  OnDiskPageFile(std::string name, int fd, PageId num_pages)
+      : name_(std::move(name)), fd_(fd), num_pages_(num_pages) {}
+
+  std::string name_;
+  int fd_;
+  PageId num_pages_;
+  IoStats stats_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_DISK_PAGE_FILE_H_

@@ -1,0 +1,39 @@
+// Page-access accounting: the instrument behind every reproduced experiment.
+//
+// The paper measures all costs in *page accesses*.  Each PageFile owns an
+// IoStats, incremented on every logical read/write.  Benchmarks snapshot the
+// counters around a query and compare the delta with the analytical model.
+
+#ifndef SIGSET_STORAGE_IO_STATS_H_
+#define SIGSET_STORAGE_IO_STATS_H_
+
+#include <cstdint>
+
+namespace sigsetdb {
+
+// Read/write page-access counters for one file.
+struct IoStats {
+  uint64_t page_reads = 0;
+  uint64_t page_writes = 0;
+
+  uint64_t total() const { return page_reads + page_writes; }
+
+  void Reset() {
+    page_reads = 0;
+    page_writes = 0;
+  }
+
+  IoStats operator-(const IoStats& other) const {
+    return IoStats{page_reads - other.page_reads,
+                   page_writes - other.page_writes};
+  }
+  IoStats& operator+=(const IoStats& other) {
+    page_reads += other.page_reads;
+    page_writes += other.page_writes;
+    return *this;
+  }
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_IO_STATS_H_

@@ -1,0 +1,52 @@
+// The unit of I/O: a fixed 4 KiB page, matching the paper's parameter
+// P = 4096 bytes.  All access facilities are built on files of such pages,
+// and every experiment metric is a count of page accesses.
+
+#ifndef SIGSET_STORAGE_PAGE_H_
+#define SIGSET_STORAGE_PAGE_H_
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+
+namespace sigsetdb {
+
+// Page size in bytes (paper Table 2: P = 4096).
+inline constexpr size_t kPageSize = 4096;
+// Bits per byte (paper Table 2: b = 8).
+inline constexpr size_t kBitsPerByte = 8;
+// Bits per page.
+inline constexpr size_t kPageBits = kPageSize * kBitsPerByte;
+
+// Page numbers within a file.  Valid pages are 0-based; kInvalidPage marks
+// "no page" (e.g. an absent child pointer).
+using PageId = uint32_t;
+inline constexpr PageId kInvalidPage = 0xffffffffu;
+
+// A raw page buffer with typed little-endian accessors.  The storage layer
+// moves Pages by value only at the I/O boundary; higher layers operate on
+// references.
+struct Page {
+  std::array<uint8_t, kPageSize> bytes{};
+
+  void Zero() { bytes.fill(0); }
+
+  uint8_t* data() { return bytes.data(); }
+  const uint8_t* data() const { return bytes.data(); }
+
+  // Unaligned little-endian reads/writes at byte offset `off`.
+  template <typename T>
+  T ReadAt(size_t off) const {
+    T v;
+    std::memcpy(&v, bytes.data() + off, sizeof(T));
+    return v;
+  }
+  template <typename T>
+  void WriteAt(size_t off, T v) {
+    std::memcpy(bytes.data() + off, &v, sizeof(T));
+  }
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_PAGE_H_

@@ -1,0 +1,33 @@
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+StatusOr<PageId> InMemoryPageFile::Allocate() {
+  if (pages_.size() >= kInvalidPage) {
+    return Status::OutOfRange("page file full: " + name_);
+  }
+  pages_.push_back(std::make_unique<Page>());
+  return static_cast<PageId>(pages_.size() - 1);
+}
+
+Status InMemoryPageFile::Read(PageId id, Page* out) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("read past end of " + name_ + " page " +
+                              std::to_string(id));
+  }
+  *out = *pages_[id];
+  ++stats_.page_reads;
+  return Status::OK();
+}
+
+Status InMemoryPageFile::Write(PageId id, const Page& page) {
+  if (id >= pages_.size()) {
+    return Status::OutOfRange("write past end of " + name_ + " page " +
+                              std::to_string(id));
+  }
+  *pages_[id] = page;
+  ++stats_.page_writes;
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

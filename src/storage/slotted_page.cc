@@ -1,0 +1,65 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+
+namespace sigsetdb {
+
+void SlottedPage::Init(Page* page) {
+  page->Zero();
+  page->WriteAt<uint16_t>(0, 0);                             // num_slots
+  page->WriteAt<uint16_t>(2, static_cast<uint16_t>(kPageSize));  // heap start
+}
+
+size_t SlottedPage::FreeSpace() const {
+  size_t dir_end = SlotDirOffset(num_slots());
+  size_t heap_start = page_->ReadAt<uint16_t>(2);
+  if (heap_start < dir_end + kSlotEntryBytes) return 0;
+  return heap_start - dir_end - kSlotEntryBytes;
+}
+
+std::optional<uint16_t> SlottedPage::Insert(const uint8_t* data, uint16_t len) {
+  uint16_t slots = num_slots();
+  size_t dir_end = SlotDirOffset(slots);
+  size_t heap_start = page_->ReadAt<uint16_t>(2);
+  // New directory entry plus the record must fit between dir_end and heap.
+  if (dir_end + kSlotEntryBytes + len > heap_start) return std::nullopt;
+  uint16_t rec_off = static_cast<uint16_t>(heap_start - len);
+  std::memcpy(page_->data() + rec_off, data, len);
+  page_->WriteAt<uint16_t>(SlotDirOffset(slots), rec_off);
+  page_->WriteAt<uint16_t>(SlotDirOffset(slots) + 2, len);
+  page_->WriteAt<uint16_t>(0, static_cast<uint16_t>(slots + 1));
+  page_->WriteAt<uint16_t>(2, rec_off);
+  return slots;
+}
+
+const uint8_t* SlottedPage::Get(uint16_t slot, uint16_t* len) const {
+  if (slot >= num_slots()) return nullptr;
+  uint16_t off = page_->ReadAt<uint16_t>(SlotDirOffset(slot));
+  uint16_t l = page_->ReadAt<uint16_t>(SlotDirOffset(slot) + 2);
+  if (l == 0) return nullptr;  // tombstone
+  if (off + static_cast<size_t>(l) > kPageSize) return nullptr;
+  *len = l;
+  return page_->data() + off;
+}
+
+uint8_t* SlottedPage::GetMutable(uint16_t slot, uint16_t* len) {
+  return const_cast<uint8_t*>(
+      static_cast<const SlottedPage*>(this)->Get(slot, len));
+}
+
+void SlottedPage::Delete(uint16_t slot) {
+  if (slot >= num_slots()) return;
+  page_->WriteAt<uint16_t>(SlotDirOffset(slot) + 2, 0);
+}
+
+bool SlottedPage::UpdateInPlace(uint16_t slot, const uint8_t* data,
+                                uint16_t len) {
+  uint16_t old_len = 0;
+  uint8_t* dst = GetMutable(slot, &old_len);
+  if (dst == nullptr || len > old_len) return false;
+  std::memcpy(dst, data, len);
+  page_->WriteAt<uint16_t>(SlotDirOffset(slot) + 2, len);
+  return true;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,68 @@
+// SlottedPage: the classic variable-length record page layout used by the
+// object store and the NIX leaf pages.
+//
+// Layout (offsets in bytes):
+//   [0..2)   uint16 num_slots
+//   [2..4)   uint16 free_space_offset (start of the record heap, grows down)
+//   [4..)    slot directory: num_slots entries of (uint16 offset, uint16 len)
+//   ...      free space
+//   [free_space_offset..kPageSize)  record heap (records grow downward)
+//
+// A slot with length 0 is a tombstone.  Records never span pages.
+
+#ifndef SIGSET_STORAGE_SLOTTED_PAGE_H_
+#define SIGSET_STORAGE_SLOTTED_PAGE_H_
+
+#include <cstdint>
+#include <optional>
+
+#include "storage/page.h"
+
+namespace sigsetdb {
+
+// A non-owning view manipulating `page` in slotted layout.  All methods are
+// bounds-checked against kPageSize; Insert returns nullopt when the record
+// (plus a directory entry) does not fit.
+class SlottedPage {
+ public:
+  // Wraps an existing page without reformatting it.
+  explicit SlottedPage(Page* page) : page_(page) {}
+
+  // Formats `page` as an empty slotted page.
+  static void Init(Page* page);
+
+  uint16_t num_slots() const { return page_->ReadAt<uint16_t>(0); }
+
+  // Bytes available for one more record (including its directory entry).
+  size_t FreeSpace() const;
+
+  // Appends a record; returns its slot number, or nullopt if full.
+  std::optional<uint16_t> Insert(const uint8_t* data, uint16_t len);
+
+  // Returns a pointer into the page for slot `slot`, or nullptr for
+  // tombstones / out-of-range slots.  `*len` receives the record length.
+  const uint8_t* Get(uint16_t slot, uint16_t* len) const;
+  uint8_t* GetMutable(uint16_t slot, uint16_t* len);
+
+  // Marks `slot` as deleted (space is not reclaimed; callers that need
+  // compaction rebuild the page).
+  void Delete(uint16_t slot);
+
+  // Replaces the record in `slot` when the new record has length <= the old
+  // one (in-place); returns false otherwise.
+  bool UpdateInPlace(uint16_t slot, const uint8_t* data, uint16_t len);
+
+ private:
+  static constexpr size_t kHeaderBytes = 4;
+  static constexpr size_t kSlotEntryBytes = 4;
+
+  size_t SlotDirOffset(uint16_t slot) const {
+    return kHeaderBytes + static_cast<size_t>(slot) * kSlotEntryBytes;
+  }
+
+  Page* page_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_SLOTTED_PAGE_H_

@@ -1,0 +1,70 @@
+#include "storage/storage_manager.h"
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "storage/disk_page_file.h"
+
+namespace sigsetdb {
+
+StatusOr<std::unique_ptr<PageFile>> StorageManager::MakeFile(
+    const std::string& name) const {
+  if (directory_.empty()) {
+    return std::unique_ptr<PageFile>(
+        std::make_unique<InMemoryPageFile>(name));
+  }
+  SIGSET_ASSIGN_OR_RETURN(
+      std::unique_ptr<OnDiskPageFile> file,
+      OnDiskPageFile::Open(name, directory_ + "/" + name + ".pages"));
+  return std::unique_ptr<PageFile>(std::move(file));
+}
+
+StatusOr<PageFile*> StorageManager::Create(const std::string& name) {
+  if (files_.count(name) != 0) {
+    return Status::AlreadyExists("file exists: " + name);
+  }
+  SIGSET_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file, MakeFile(name));
+  PageFile* raw = file.get();
+  files_.emplace(name, std::move(file));
+  return raw;
+}
+
+StatusOr<PageFile*> StorageManager::Open(const std::string& name) const {
+  auto it = files_.find(name);
+  if (it == files_.end()) {
+    return Status::NotFound("no such file: " + name);
+  }
+  return it->second.get();
+}
+
+PageFile* StorageManager::CreateOrOpen(const std::string& name) {
+  auto it = files_.find(name);
+  if (it != files_.end()) return it->second.get();
+  StatusOr<std::unique_ptr<PageFile>> file = MakeFile(name);
+  if (!file.ok()) {
+    std::fprintf(stderr, "StorageManager::CreateOrOpen(%s): %s\n",
+                 name.c_str(), file.status().ToString().c_str());
+    std::abort();
+  }
+  PageFile* raw = file->get();
+  files_.emplace(name, std::move(*file));
+  return raw;
+}
+
+IoStats StorageManager::TotalStats() const {
+  IoStats total;
+  for (const auto& [name, file] : files_) total += file->stats();
+  return total;
+}
+
+void StorageManager::ResetStats() {
+  for (auto& [name, file] : files_) file->stats().Reset();
+}
+
+uint64_t StorageManager::TotalPages() const {
+  uint64_t total = 0;
+  for (const auto& [name, file] : files_) total += file->num_pages();
+  return total;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,74 @@
+// StorageManager: a registry of named page files forming one "database".
+//
+// Each access facility asks the manager for its files (signature file, OID
+// file, bit-slice store, index file, object file...).  The manager owns them
+// and can aggregate or reset access counters across the whole database — the
+// benches use this to isolate the cost of a single query.
+//
+// Two backends:
+//   StorageManager()            — in-memory pages (default; the experiment
+//                                 metrics are access counts, not time)
+//   StorageManager(directory)   — each file persisted at
+//                                 <directory>/<name>.pages via
+//                                 OnDiskPageFile; reopening the same
+//                                 directory recovers the data.
+
+#ifndef SIGSET_STORAGE_STORAGE_MANAGER_H_
+#define SIGSET_STORAGE_STORAGE_MANAGER_H_
+
+#include <map>
+#include <memory>
+#include <string>
+
+#include "storage/page_file.h"
+
+namespace sigsetdb {
+
+// Owns a set of page files addressed by name.
+class StorageManager {
+ public:
+  // In-memory backend.
+  StorageManager() = default;
+
+  // Disk backend rooted at `directory` (must already exist).
+  explicit StorageManager(std::string directory)
+      : directory_(std::move(directory)) {}
+
+  StorageManager(const StorageManager&) = delete;
+  StorageManager& operator=(const StorageManager&) = delete;
+
+  // Creates a new empty file (or, on the disk backend, opens the backing
+  // file which may already hold pages).  Fails with kAlreadyExists when the
+  // name is already registered in this manager.
+  StatusOr<PageFile*> Create(const std::string& name);
+
+  // Returns a file previously registered in this manager, or kNotFound.
+  StatusOr<PageFile*> Open(const std::string& name) const;
+
+  // Creates the file if absent, otherwise returns the existing one.
+  // Aborts on backend I/O errors (use Create for checked operation).
+  PageFile* CreateOrOpen(const std::string& name);
+
+  // Sum of access counters over all files.
+  IoStats TotalStats() const;
+
+  // Zeroes every file's counters.
+  void ResetStats();
+
+  // Total allocated pages over all files (database size).
+  uint64_t TotalPages() const;
+
+  // True when backed by a directory.
+  bool persistent() const { return !directory_.empty(); }
+
+ private:
+  // Builds the backend-appropriate PageFile.
+  StatusOr<std::unique_ptr<PageFile>> MakeFile(const std::string& name) const;
+
+  std::string directory_;
+  std::map<std::string, std::unique_ptr<PageFile>> files_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_STORAGE_MANAGER_H_

@@ -1,0 +1,158 @@
+// A fixed-size dynamic bit vector with the word-wise operations needed by
+// signature processing: OR (superimposing element signatures), AND/AND-NOT
+// (bit-slice combination and inclusion tests), popcount (signature weight),
+// and raw byte access (for storing signatures in pages).
+
+#ifndef SIGSET_UTIL_BITVECTOR_H_
+#define SIGSET_UTIL_BITVECTOR_H_
+
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <cstring>
+#include <vector>
+
+namespace sigsetdb {
+
+// BitVector stores `size()` bits packed into 64-bit words.  Bits beyond
+// size() inside the last word are kept at zero (an invariant maintained by
+// all mutators), so word-wise comparisons and popcounts are exact.
+class BitVector {
+ public:
+  BitVector() = default;
+
+  // Creates a vector of `num_bits` zero bits.
+  explicit BitVector(size_t num_bits)
+      : num_bits_(num_bits), words_((num_bits + 63) / 64, 0) {}
+
+  BitVector(const BitVector&) = default;
+  BitVector& operator=(const BitVector&) = default;
+  BitVector(BitVector&&) noexcept = default;
+  BitVector& operator=(BitVector&&) noexcept = default;
+
+  size_t size() const { return num_bits_; }
+  size_t num_words() const { return words_.size(); }
+
+  bool Test(size_t i) const {
+    return (words_[i >> 6] >> (i & 63)) & 1u;
+  }
+  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
+  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Assign(size_t i, bool value) {
+    if (value) {
+      Set(i);
+    } else {
+      Clear(i);
+    }
+  }
+
+  // Sets every bit to zero (one) respectively.  SetAll keeps the tail-bit
+  // invariant by masking the last word.
+  void ClearAll() { std::fill(words_.begin(), words_.end(), 0); }
+  void SetAll() {
+    std::fill(words_.begin(), words_.end(), ~uint64_t{0});
+    MaskTail();
+  }
+
+  // Number of one bits.
+  size_t Count() const {
+    size_t n = 0;
+    for (uint64_t w : words_) n += static_cast<size_t>(std::popcount(w));
+    return n;
+  }
+
+  bool AnySet() const {
+    for (uint64_t w : words_) {
+      if (w != 0) return true;
+    }
+    return false;
+  }
+
+  // In-place word-wise operations.  All operands must have equal size().
+  void OrWith(const BitVector& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] |= other.words_[i];
+  }
+  void AndWith(const BitVector& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= other.words_[i];
+  }
+  void AndNotWith(const BitVector& other) {
+    for (size_t i = 0; i < words_.size(); ++i) words_[i] &= ~other.words_[i];
+  }
+
+  // Returns true iff every one bit of this vector is also set in `super`
+  // (i.e. this ⊆ super viewed as bit sets).  This is exactly the signature
+  // search condition of the paper: a target signature is a drop for
+  //   T ⊇ Q  when  query_sig.IsSubsetOf(target_sig), and for
+  //   T ⊆ Q  when  target_sig.IsSubsetOf(query_sig).
+  bool IsSubsetOf(const BitVector& super) const {
+    for (size_t i = 0; i < words_.size(); ++i) {
+      if ((words_[i] & ~super.words_[i]) != 0) return false;
+    }
+    return true;
+  }
+
+  // Returns the number of one bits shared with `other`.
+  size_t CountAnd(const BitVector& other) const {
+    size_t n = 0;
+    for (size_t i = 0; i < words_.size(); ++i) {
+      n += static_cast<size_t>(std::popcount(words_[i] & other.words_[i]));
+    }
+    return n;
+  }
+
+  // Calls `fn(index)` for every set bit in increasing index order.
+  template <typename Fn>
+  void ForEachSetBit(Fn&& fn) const {
+    for (size_t w = 0; w < words_.size(); ++w) {
+      uint64_t word = words_[w];
+      while (word != 0) {
+        int bit = std::countr_zero(word);
+        fn(w * 64 + static_cast<size_t>(bit));
+        word &= word - 1;
+      }
+    }
+  }
+
+  // Returns the indices of all set bits.
+  std::vector<size_t> SetBits() const {
+    std::vector<size_t> out;
+    out.reserve(Count());
+    ForEachSetBit([&](size_t i) { out.push_back(i); });
+    return out;
+  }
+
+  // Serializes into exactly NumBytes() bytes at `dst` / restores from `src`.
+  // Layout is little-endian bit order within bytes (bit i of the vector is
+  // bit (i % 8) of byte (i / 8)), which is stable across platforms we target.
+  size_t NumBytes() const { return (num_bits_ + 7) / 8; }
+  void CopyToBytes(uint8_t* dst) const {
+    std::memcpy(dst, words_.data(), NumBytes());
+  }
+  void LoadFromBytes(const uint8_t* src) {
+    ClearAll();
+    std::memcpy(words_.data(), src, NumBytes());
+    MaskTail();
+  }
+
+  bool operator==(const BitVector& other) const {
+    return num_bits_ == other.num_bits_ && words_ == other.words_;
+  }
+
+  const uint64_t* words() const { return words_.data(); }
+  uint64_t* mutable_words() { return words_.data(); }
+
+ private:
+  void MaskTail() {
+    size_t tail = num_bits_ & 63;
+    if (tail != 0 && !words_.empty()) {
+      words_.back() &= (uint64_t{1} << tail) - 1;
+    }
+  }
+
+  size_t num_bits_ = 0;
+  std::vector<uint64_t> words_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_BITVECTOR_H_

@@ -1,0 +1,35 @@
+// Hash utilities for signature generation.
+//
+// The paper assumes an "ideal" hash: the m one-bits of an element signature
+// are uniformly distributed over the F bit positions.  We realize this with
+// a counter-mode SplitMix64 finalizer keyed by the element value: position i
+// of element e is derived from Mix(e, i) and rejection-sampled to m distinct
+// positions.  The mapping is a pure function of (element, F, m), so target
+// and query signatures of equal elements always agree — signature search can
+// therefore never produce a false negative.
+
+#ifndef SIGSET_UTIL_HASHING_H_
+#define SIGSET_UTIL_HASHING_H_
+
+#include <cstdint>
+
+namespace sigsetdb {
+
+// A strong 64->64 bit mixer (SplitMix64 finalizer).
+constexpr uint64_t Mix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xbf58476d1ce4e5b9ULL;
+  x ^= x >> 27;
+  x *= 0x94d049bb133111ebULL;
+  x ^= x >> 31;
+  return x;
+}
+
+// Combines two 64-bit values into one hash.
+constexpr uint64_t HashCombine(uint64_t a, uint64_t b) {
+  return Mix64(a ^ (b + 0x9e3779b97f4a7c15ULL + (a << 6) + (a >> 2)));
+}
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_HASHING_H_

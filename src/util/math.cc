@@ -1,0 +1,33 @@
+#include "util/math.h"
+
+#include <cmath>
+#include <limits>
+
+namespace sigsetdb {
+
+double LogFactorial(int64_t n) {
+  if (n <= 1) return 0.0;
+  return std::lgamma(static_cast<double>(n) + 1.0);
+}
+
+double LogChoose(int64_t n, int64_t k) {
+  if (k < 0 || k > n || n < 0) {
+    return -std::numeric_limits<double>::infinity();
+  }
+  return LogFactorial(n) - LogFactorial(k) - LogFactorial(n - k);
+}
+
+double ChooseRatio(int64_t a, int64_t b, int64_t c, int64_t d) {
+  double log_num = LogChoose(a, b);
+  double log_den = LogChoose(c, d);
+  if (std::isinf(log_num) && log_num < 0) return 0.0;
+  return std::exp(log_num - log_den);
+}
+
+double HypergeometricPmf(int64_t v, int64_t dq, int64_t dt, int64_t j) {
+  double log_p = LogChoose(dq, j) + LogChoose(v - dq, dt - j) - LogChoose(v, dt);
+  if (std::isinf(log_p) && log_p < 0) return 0.0;
+  return std::exp(log_p);
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,35 @@
+// Numeric helpers used by the analytical cost model: log-gamma based
+// combinatorics (the paper's probabilities involve ratios of binomial
+// coefficients with V = 13,000 elements, far beyond what fits in a double
+// without working in log space) and a few convenience functions.
+
+#ifndef SIGSET_UTIL_MATH_H_
+#define SIGSET_UTIL_MATH_H_
+
+#include <cstdint>
+
+namespace sigsetdb {
+
+// Natural log of n! (exact for small n, lgamma otherwise).
+double LogFactorial(int64_t n);
+
+// Natural log of the binomial coefficient C(n, k).  Returns -infinity when
+// the coefficient is zero (k < 0 or k > n).
+double LogChoose(int64_t n, int64_t k);
+
+// C(a, b) / C(c, d) computed in log space; returns 0 when the numerator is
+// zero and +infinity is never produced for the parameter ranges used by the
+// model (numerator <= denominator in all call sites).
+double ChooseRatio(int64_t a, int64_t b, int64_t c, int64_t d);
+
+// Hypergeometric point mass: probability that a uniform random Dt-subset of a
+// V-element domain has exactly j elements inside a fixed Dq-subset,
+//   P(j) = C(Dq, j) * C(V - Dq, Dt - j) / C(V, Dt).
+double HypergeometricPmf(int64_t v, int64_t dq, int64_t dt, int64_t j);
+
+// Integer ceiling division for non-negative operands.
+constexpr int64_t CeilDiv(int64_t a, int64_t b) { return (a + b - 1) / b; }
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_MATH_H_

@@ -1,0 +1,43 @@
+// Deterministic pseudo-random number generation for workload synthesis.
+//
+// All experiments are seeded so that every bench/test run is reproducible.
+// The generator is SplitMix64-seeded xoshiro256**, which is fast, has a tiny
+// state, and passes BigCrush — more than adequate for sampling synthetic set
+// attributes.
+
+#ifndef SIGSET_UTIL_RNG_H_
+#define SIGSET_UTIL_RNG_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace sigsetdb {
+
+// xoshiro256** 1.0 (Blackman & Vigna), seeded via SplitMix64.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed = 0x5167536574u /* "SigSet" */) { Seed(seed); }
+
+  void Seed(uint64_t seed);
+
+  // Uniform 64-bit value.
+  uint64_t Next();
+
+  // Uniform integer in [0, bound), bound > 0.  Uses Lemire's multiply-shift
+  // rejection method to avoid modulo bias.
+  uint64_t NextBelow(uint64_t bound);
+
+  // Uniform double in [0, 1).
+  double NextDouble();
+
+  // Samples `k` distinct values uniformly from [0, n) in increasing order
+  // (Floyd's algorithm followed by a sort).  Requires k <= n.
+  std::vector<uint64_t> SampleWithoutReplacement(uint64_t n, uint64_t k);
+
+ private:
+  uint64_t state_[4];
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_RNG_H_

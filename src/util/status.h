@@ -1,0 +1,184 @@
+// Status and StatusOr: exception-free error handling for the sigset library.
+//
+// All fallible operations in the library return a Status (or a StatusOr<T>
+// when they also produce a value).  The style follows the familiar
+// absl/RocksDB idiom: a Status is cheap to copy in the OK case, carries an
+// error code plus a human-readable message otherwise, and is annotated
+// [[nodiscard]] so that ignoring an error is a compile-time warning.
+
+#ifndef SIGSET_UTIL_STATUS_H_
+#define SIGSET_UTIL_STATUS_H_
+
+#include <cassert>
+#include <cstdlib>
+#include <memory>
+#include <string>
+#include <utility>
+
+namespace sigsetdb {
+
+// Error categories used across the library.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kOutOfRange,
+  kAlreadyExists,
+  kFailedPrecondition,
+  kCorruption,
+  kIoError,
+  kUnimplemented,
+  kInternal,
+};
+
+// Returns a stable lower-case name for `code` ("ok", "invalid_argument", ...).
+const char* StatusCodeName(StatusCode code);
+
+// A Status holds either success (OK) or an error code with a message.
+class [[nodiscard]] Status {
+ public:
+  // Constructs an OK status.
+  Status() = default;
+
+  Status(StatusCode code, std::string message)
+      : rep_(code == StatusCode::kOk
+                 ? nullptr
+                 : std::make_shared<Rep>(code, std::move(message))) {}
+
+  Status(const Status&) = default;
+  Status& operator=(const Status&) = default;
+  Status(Status&&) noexcept = default;
+  Status& operator=(Status&&) noexcept = default;
+
+  // Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status OutOfRange(std::string msg) {
+    return Status(StatusCode::kOutOfRange, std::move(msg));
+  }
+  static Status AlreadyExists(std::string msg) {
+    return Status(StatusCode::kAlreadyExists, std::move(msg));
+  }
+  static Status FailedPrecondition(std::string msg) {
+    return Status(StatusCode::kFailedPrecondition, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+  static Status IoError(std::string msg) {
+    return Status(StatusCode::kIoError, std::move(msg));
+  }
+  static Status Unimplemented(std::string msg) {
+    return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status Internal(std::string msg) {
+    return Status(StatusCode::kInternal, std::move(msg));
+  }
+
+  bool ok() const { return rep_ == nullptr; }
+  StatusCode code() const { return rep_ == nullptr ? StatusCode::kOk : rep_->code; }
+
+  // Returns the error message; empty for OK.
+  const std::string& message() const {
+    static const std::string kEmpty;
+    return rep_ == nullptr ? kEmpty : rep_->message;
+  }
+
+  // Returns "ok" or "<code_name>: <message>".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code() == other.code() && message() == other.message();
+  }
+
+ private:
+  struct Rep {
+    Rep(StatusCode c, std::string m) : code(c), message(std::move(m)) {}
+    StatusCode code;
+    std::string message;
+  };
+  // Null for OK so that the common case is a single null pointer.
+  std::shared_ptr<const Rep> rep_;
+};
+
+// StatusOr<T> holds either a value of type T or a non-OK Status.
+// Accessing the value of an errored StatusOr aborts the process (the library
+// does not use exceptions), so callers must check ok() first.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Constructs from a value (implicit by design, mirroring absl::StatusOr).
+  StatusOr(T value) : status_(), value_(std::move(value)) {}  // NOLINT
+
+  // Constructs from an error; aborts if `status` is OK, because an OK
+  // StatusOr must carry a value.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      assert(false && "StatusOr constructed from OK status without a value");
+      std::abort();
+    }
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    CheckOk();
+    return value_;
+  }
+  T& value() & {
+    CheckOk();
+    return value_;
+  }
+  T&& value() && {
+    CheckOk();
+    return std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void CheckOk() const {
+    if (!status_.ok()) {
+      assert(false && "accessing value of errored StatusOr");
+      std::abort();
+    }
+  }
+
+  Status status_;
+  T value_{};
+};
+
+// Propagates a non-OK status to the caller.  Usage:
+//   SIGSET_RETURN_IF_ERROR(file->Write(page, buf));
+#define SIGSET_RETURN_IF_ERROR(expr)                \
+  do {                                              \
+    ::sigsetdb::Status _sigset_status = (expr);       \
+    if (!_sigset_status.ok()) return _sigset_status; \
+  } while (false)
+
+// Evaluates `rexpr` (a StatusOr<T>), propagating errors, else moves the value
+// into `lhs`.  Usage:
+//   SIGSET_ASSIGN_OR_RETURN(auto page_no, file->Allocate());
+#define SIGSET_ASSIGN_OR_RETURN(lhs, rexpr)                   \
+  SIGSET_ASSIGN_OR_RETURN_IMPL_(                              \
+      SIGSET_STATUS_CONCAT_(_sigset_statusor, __LINE__), lhs, rexpr)
+
+#define SIGSET_STATUS_CONCAT_INNER_(a, b) a##b
+#define SIGSET_STATUS_CONCAT_(a, b) SIGSET_STATUS_CONCAT_INNER_(a, b)
+#define SIGSET_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, rexpr) \
+  auto tmp = (rexpr);                                  \
+  if (!tmp.ok()) return tmp.status();                  \
+  lhs = std::move(tmp).value()
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_STATUS_H_

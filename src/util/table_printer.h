@@ -1,0 +1,41 @@
+// TablePrinter renders the bench output tables (the reproduced figures and
+// tables of the paper) as aligned fixed-width text.
+
+#ifndef SIGSET_UTIL_TABLE_PRINTER_H_
+#define SIGSET_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace sigsetdb {
+
+// Collects rows of string cells and prints them with per-column alignment.
+// Numeric convenience overloads format doubles with a fixed precision.
+//
+// Example:
+//   TablePrinter t({"Dq", "SSF", "BSSF", "NIX"});
+//   t.AddRow({"1", "245.0", "138.8", "27.6"});
+//   t.Print(std::cout);
+class TablePrinter {
+ public:
+  explicit TablePrinter(std::vector<std::string> header);
+
+  // Appends a data row; must have the same arity as the header.
+  void AddRow(std::vector<std::string> cells);
+
+  // Formats a double with `precision` digits after the point.
+  static std::string Num(double v, int precision = 1);
+  static std::string Int(int64_t v);
+
+  // Writes the table (header, rule, rows) to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_TABLE_PRINTER_H_

@@ -1,0 +1,88 @@
+#include "workload/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <unordered_set>
+
+namespace sigsetdb {
+
+SetGenerator::SetGenerator(const WorkloadConfig& config)
+    : config_(config), rng_(config.seed) {
+  if (config_.skew == SkewKind::kZipf) {
+    zipf_cdf_.resize(static_cast<size_t>(config_.domain));
+    double acc = 0.0;
+    for (int64_t i = 0; i < config_.domain; ++i) {
+      acc += 1.0 / std::pow(static_cast<double>(i + 1), config_.zipf_theta);
+      zipf_cdf_[static_cast<size_t>(i)] = acc;
+    }
+    for (double& c : zipf_cdf_) c /= acc;
+  }
+}
+
+uint64_t SetGenerator::DrawElement() {
+  if (config_.skew == SkewKind::kUniform) {
+    return rng_.NextBelow(static_cast<uint64_t>(config_.domain));
+  }
+  double u = rng_.NextDouble();
+  auto it = std::lower_bound(zipf_cdf_.begin(), zipf_cdf_.end(), u);
+  return static_cast<uint64_t>(it - zipf_cdf_.begin());
+}
+
+ElementSet SetGenerator::NextSet() {
+  int64_t span = config_.cardinality.max - config_.cardinality.min + 1;
+  int64_t d = config_.cardinality.min +
+              static_cast<int64_t>(rng_.NextBelow(
+                  static_cast<uint64_t>(span)));
+  return QuerySet(d);
+}
+
+ElementSet SetGenerator::QuerySet(int64_t dq) {
+  if (config_.skew == SkewKind::kUniform) {
+    // Exact uniform dq-subset.
+    return rng_.SampleWithoutReplacement(static_cast<uint64_t>(config_.domain),
+                                         static_cast<uint64_t>(dq));
+  }
+  // Skewed draw with rejection of duplicates.
+  std::unordered_set<uint64_t> chosen;
+  while (chosen.size() < static_cast<size_t>(dq)) {
+    chosen.insert(DrawElement());
+  }
+  ElementSet set(chosen.begin(), chosen.end());
+  NormalizeSet(&set);
+  return set;
+}
+
+std::vector<ElementSet> MakeDatabase(const WorkloadConfig& config) {
+  SetGenerator gen(config);
+  std::vector<ElementSet> sets;
+  sets.reserve(static_cast<size_t>(config.num_objects));
+  for (int64_t i = 0; i < config.num_objects; ++i) {
+    sets.push_back(gen.NextSet());
+  }
+  return sets;
+}
+
+ElementSet MakeHittingSupersetQuery(const ElementSet& target, int64_t dq,
+                                    Rng& rng) {
+  std::vector<uint64_t> idx = rng.SampleWithoutReplacement(
+      target.size(), static_cast<uint64_t>(dq));
+  ElementSet query;
+  query.reserve(idx.size());
+  for (uint64_t i : idx) query.push_back(target[i]);
+  NormalizeSet(&query);
+  return query;
+}
+
+ElementSet MakeHittingSubsetQuery(const ElementSet& target, int64_t domain,
+                                  int64_t dq, Rng& rng) {
+  ElementSet query = target;
+  std::unordered_set<uint64_t> present(target.begin(), target.end());
+  while (query.size() < static_cast<size_t>(dq)) {
+    uint64_t e = rng.NextBelow(static_cast<uint64_t>(domain));
+    if (present.insert(e).second) query.push_back(e);
+  }
+  NormalizeSet(&query);
+  return query;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,82 @@
+// Synthetic workload generation (paper §4 assumptions, plus the §6
+// "varying target-set cardinality" extension and a Zipf skew option).
+//
+// The paper's database: N objects, each with a set attribute of exactly Dt
+// elements drawn uniformly from a V-element domain.  Queries are Dq-element
+// sets, either drawn uniformly (the unsuccessful-search regime the model
+// assumes) or biased to hit a stored object (for correctness tests).
+
+#ifndef SIGSET_WORKLOAD_GENERATOR_H_
+#define SIGSET_WORKLOAD_GENERATOR_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "obj/object.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// How set cardinalities are chosen.
+struct CardinalitySpec {
+  int64_t min;  // inclusive
+  int64_t max;  // inclusive; == min for the paper's fixed-Dt setting
+
+  static CardinalitySpec Fixed(int64_t dt) { return {dt, dt}; }
+};
+
+// Element-popularity skew.
+enum class SkewKind {
+  kUniform,  // the paper's assumption
+  kZipf,     // extension: element e drawn ∝ 1/(e+1)^theta
+};
+
+// Configuration for one synthetic database.
+struct WorkloadConfig {
+  int64_t num_objects;       // N
+  int64_t domain;            // V
+  CardinalitySpec cardinality;  // Dt
+  SkewKind skew = SkewKind::kUniform;
+  double zipf_theta = 0.99;  // used when skew == kZipf
+  uint64_t seed = 42;
+};
+
+// Draws element ids with the configured skew, without replacement per set.
+class SetGenerator {
+ public:
+  explicit SetGenerator(const WorkloadConfig& config);
+
+  // Next target-set value (normalized, cardinality per the spec).
+  ElementSet NextSet();
+
+  // A query set of exactly `dq` elements with the same skew.
+  ElementSet QuerySet(int64_t dq);
+
+  Rng& rng() { return rng_; }
+
+ private:
+  uint64_t DrawElement();
+
+  WorkloadConfig config_;
+  Rng rng_;
+  // Precomputed Zipf CDF (lazily built for kZipf).
+  std::vector<double> zipf_cdf_;
+};
+
+// Generates the full database: `n` set values.
+std::vector<ElementSet> MakeDatabase(const WorkloadConfig& config);
+
+// A superset-query guaranteed to succeed against `target`: a uniform
+// dq-subset of it (requires dq <= |target|).
+ElementSet MakeHittingSupersetQuery(const ElementSet& target, int64_t dq,
+                                    Rng& rng);
+
+// A subset-query guaranteed to succeed against `target`: `target` plus
+// dq − |target| fresh domain elements (requires dq >= |target|).
+ElementSet MakeHittingSubsetQuery(const ElementSet& target, int64_t domain,
+                                  int64_t dq, Rng& rng);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_WORKLOAD_GENERATOR_H_

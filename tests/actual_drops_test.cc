@@ -1,0 +1,123 @@
+#include "model/actual_drops.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+namespace {
+
+DatabaseParams Paper() { return DatabaseParams{}; }
+
+TEST(ActualDropsTest, SupersetPaperValues) {
+  DatabaseParams db = Paper();
+  // Dq=1: A = N·Dt/V = 32000·10/13000 ≈ 24.6.
+  EXPECT_NEAR(ActualDropsSuperset(db, 10, 1), 24.615, 0.01);
+  // Dq=2: A = N·Dt(Dt-1)/(V(V-1)) ≈ 0.017.
+  EXPECT_NEAR(ActualDropsSuperset(db, 10, 2), 0.01704, 0.0005);
+  // Dt=100, Dq=1: 32000·100/13000 ≈ 246.2.
+  EXPECT_NEAR(ActualDropsSuperset(db, 100, 1), 246.15, 0.01);
+}
+
+TEST(ActualDropsTest, SupersetZeroWhenQueryBiggerThanTarget) {
+  EXPECT_DOUBLE_EQ(ActualDropsSuperset(Paper(), 10, 11), 0.0);
+}
+
+TEST(ActualDropsTest, SupersetMonotoneDecreasingInDq) {
+  DatabaseParams db = Paper();
+  double prev = static_cast<double>(db.n);
+  for (int64_t dq = 1; dq <= 10; ++dq) {
+    double a = ActualDropsSuperset(db, 10, dq);
+    EXPECT_LT(a, prev);
+    prev = a;
+  }
+}
+
+TEST(ActualDropsTest, SubsetNegligibleAtPaperScale) {
+  DatabaseParams db = Paper();
+  // "This actual drop value is almost negligible for probable values."
+  EXPECT_LT(ActualDropsSubset(db, 10, 100), 1e-6);
+  EXPECT_LT(ActualDropsSubset(db, 10, 300), 1e-3);
+}
+
+TEST(ActualDropsTest, SubsetZeroWhenTargetBiggerThanQuery) {
+  EXPECT_DOUBLE_EQ(ActualDropsSubset(Paper(), 10, 9), 0.0);
+}
+
+TEST(ActualDropsTest, SubsetFullDomainQueryMatchesEverything) {
+  DatabaseParams db = Paper();
+  EXPECT_NEAR(ActualDropsSubset(db, 10, db.v), static_cast<double>(db.n),
+              1e-6);
+}
+
+TEST(ActualDropsTest, EqualsOnlyAtMatchingCardinality) {
+  DatabaseParams db = Paper();
+  EXPECT_DOUBLE_EQ(ActualDropsEquals(db, 10, 9), 0.0);
+  EXPECT_GT(ActualDropsEquals(db, 10, 10), 0.0);
+  EXPECT_LT(ActualDropsEquals(db, 10, 10), 1e-20);  // 32000 / C(13000,10)
+}
+
+TEST(ActualDropsTest, OverlapBounds) {
+  DatabaseParams db = Paper();
+  double a = ActualDropsOverlap(db, 10, 100);
+  EXPECT_GT(a, 0.0);
+  EXPECT_LT(a, static_cast<double>(db.n));
+  // Querying the whole domain overlaps everything.
+  EXPECT_NEAR(ActualDropsOverlap(db, 10, db.v), static_cast<double>(db.n),
+              1e-6);
+}
+
+TEST(ActualDropsTest, NixSubsetDecomposition) {
+  // failing + satisfying + disjoint = N.
+  DatabaseParams db = Paper();
+  int64_t dt = 10, dq = 200;
+  double failing = NixSubsetFailingCandidates(db, dt, dq);
+  double satisfying = ActualDropsSubset(db, dt, dq);
+  double overlapping = ActualDropsOverlap(db, dt, dq);
+  EXPECT_NEAR(failing + satisfying, overlapping, 1e-6);
+}
+
+// Monte-Carlo cross-check of the superset actual-drop formula on a small
+// domain: the combinatorics must match simulation.
+TEST(ActualDropsTest, EmpiricalSupersetCount) {
+  DatabaseParams db;
+  db.n = 20000;
+  db.v = 100;
+  int64_t dt = 10, dq = 2;
+  WorkloadConfig config{db.n, db.v, CardinalitySpec::Fixed(dt),
+                        SkewKind::kUniform, 0.99, 77};
+  auto sets = MakeDatabase(config);
+  Rng rng(5);
+  ElementSet query = rng.SampleWithoutReplacement(
+      static_cast<uint64_t>(db.v), static_cast<uint64_t>(dq));
+  int hits = 0;
+  for (const auto& s : sets) {
+    if (IsSubset(query, s)) ++hits;
+  }
+  double expected = ActualDropsSuperset(db, dt, dq);
+  EXPECT_NEAR(hits, expected, 4 * std::sqrt(expected) + 5);
+}
+
+TEST(ActualDropsTest, EmpiricalSubsetCount) {
+  DatabaseParams db;
+  db.n = 20000;
+  db.v = 60;
+  int64_t dt = 3, dq = 30;
+  WorkloadConfig config{db.n, db.v, CardinalitySpec::Fixed(dt),
+                        SkewKind::kUniform, 0.99, 78};
+  auto sets = MakeDatabase(config);
+  Rng rng(6);
+  ElementSet query = rng.SampleWithoutReplacement(
+      static_cast<uint64_t>(db.v), static_cast<uint64_t>(dq));
+  int hits = 0;
+  for (const auto& s : sets) {
+    if (IsSubset(s, query)) ++hits;
+  }
+  double expected = ActualDropsSubset(db, dt, dq);
+  EXPECT_NEAR(hits, expected, 4 * std::sqrt(expected) + 5);
+}
+
+}  // namespace
+}  // namespace sigsetdb

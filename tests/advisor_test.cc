@@ -1,0 +1,143 @@
+#include "query/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include "model/cost_bssf.h"
+#include "model/cost_nix.h"
+#include "model/cost_ssf.h"
+
+namespace sigsetdb {
+namespace {
+
+DatabaseParams Paper() { return DatabaseParams{}; }
+
+TEST(AdvisorTest, RanksAscendingByCost) {
+  auto choices = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 3,
+                                   QueryKind::kSuperset, true);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_GE(choices->size(), 3u);
+  for (size_t i = 1; i < choices->size(); ++i) {
+    EXPECT_LE((*choices)[i - 1].cost_pages, (*choices)[i].cost_pages);
+  }
+}
+
+TEST(AdvisorTest, NixWinsSingleElementSuperset) {
+  // Paper §6: "for Dq = 1, NIX is more efficient than BSSF in all cases."
+  auto best = BestAccessPath(Paper(), {500, 2}, NixParams{}, 10, 1,
+                             QueryKind::kSuperset, true);
+  ASSERT_TRUE(best.ok());
+  EXPECT_EQ(best->facility, "nix");
+}
+
+TEST(AdvisorTest, BssfWinsSubsetQueries) {
+  // Paper §6: "For the query T ⊆ Q, BSSF ... overwhelms NIX."
+  for (int64_t dq : {20, 50, 100, 300}) {
+    auto best = BestAccessPath(Paper(), {500, 2}, NixParams{}, 10, dq,
+                               QueryKind::kSubset, true);
+    ASSERT_TRUE(best.ok());
+    EXPECT_EQ(best->facility, "bssf") << "dq=" << dq;
+  }
+}
+
+TEST(AdvisorTest, SsfNeverWinsRetrieval) {
+  // SSF's full scan dominates; it should never be the best retrieval plan
+  // at the paper's operating points.
+  for (int64_t dq : {1, 2, 5, 10}) {
+    auto best = BestAccessPath(Paper(), {250, 2}, NixParams{}, 10, dq,
+                               QueryKind::kSuperset, true);
+    ASSERT_TRUE(best.ok());
+    EXPECT_NE(best->facility, "ssf") << "dq=" << dq;
+  }
+}
+
+TEST(AdvisorTest, SmartStrategiesOnlyWhenRequested) {
+  auto plain = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 5,
+                                 QueryKind::kSuperset, false);
+  ASSERT_TRUE(plain.ok());
+  for (const auto& c : *plain) EXPECT_EQ(c.strategy, "plain");
+  auto smart = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 5,
+                                 QueryKind::kSuperset, true);
+  ASSERT_TRUE(smart.ok());
+  bool has_smart = false;
+  for (const auto& c : *smart) {
+    if (c.strategy.rfind("smart", 0) == 0) has_smart = true;
+  }
+  EXPECT_TRUE(has_smart);
+}
+
+TEST(AdvisorTest, CostsMatchModelFunctions) {
+  DatabaseParams db = Paper();
+  SignatureParams sig{500, 2};
+  NixParams nix;
+  auto choices =
+      AdviseAccessPaths(db, sig, nix, 10, 4, QueryKind::kSuperset, false);
+  ASSERT_TRUE(choices.ok());
+  for (const auto& c : *choices) {
+    if (c.facility == "ssf") {
+      EXPECT_DOUBLE_EQ(c.cost_pages,
+                       SsfRetrievalCost(db, sig, 10, 4, QueryKind::kSuperset));
+    } else if (c.facility == "bssf") {
+      EXPECT_DOUBLE_EQ(c.cost_pages, BssfRetrievalSuperset(db, sig, 10, 4));
+    } else {
+      EXPECT_DOUBLE_EQ(c.cost_pages, NixRetrievalSuperset(db, nix, 10, 4));
+    }
+  }
+}
+
+TEST(AdvisorTest, RejectsEmptyQueries) {
+  EXPECT_EQ(AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 0,
+                              QueryKind::kSuperset, true)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(AdvisorTest, ExtensionOperatorsPriced) {
+  // Equality: NIX's Dq intersections beat BSSF's all-F slice scan at the
+  // paper's parameters; SSF's full scan never wins.
+  auto eq = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 10,
+                              QueryKind::kEquals, true);
+  ASSERT_TRUE(eq.ok());
+  EXPECT_EQ((*eq)[0].facility, "nix");
+  // Overlap: the NIX union is exact, but fetching every overlapping object
+  // (A ≈ N·Dq·Dt/V) dominates; BSSF pays the same fetches plus m·Dq slice
+  // reads, so NIX should rank first among the three.
+  auto ov = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 5,
+                              QueryKind::kOverlaps, true);
+  ASSERT_TRUE(ov.ok());
+  EXPECT_EQ((*ov)[0].facility, "nix");
+  for (const auto& c : *ov) EXPECT_GT(c.cost_pages, 0.0);
+}
+
+TEST(AdvisorTest, ProperVariantsPriceLikeNonStrict) {
+  auto strict = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 3,
+                                  QueryKind::kProperSuperset, true);
+  auto plain = AdviseAccessPaths(Paper(), {500, 2}, NixParams{}, 10, 3,
+                                 QueryKind::kSuperset, true);
+  ASSERT_TRUE(strict.ok());
+  ASSERT_TRUE(plain.ok());
+  ASSERT_EQ(strict->size(), plain->size());
+  for (size_t i = 0; i < strict->size(); ++i) {
+    EXPECT_DOUBLE_EQ((*strict)[i].cost_pages, (*plain)[i].cost_pages);
+  }
+}
+
+TEST(AdvisorTest, SmartBssfCompetitiveForMultiElementSuperset) {
+  // The paper's headline conclusion, as the advisor sees it: with smart
+  // strategies enabled, BSSF is within a whisker of the winner for
+  // Dq >= 2 superset queries.
+  for (int64_t dq = 2; dq <= 10; ++dq) {
+    auto choices = AdviseAccessPaths(Paper(), {250, 2}, NixParams{}, 10, dq,
+                                     QueryKind::kSuperset, true);
+    ASSERT_TRUE(choices.ok());
+    double best = (*choices)[0].cost_pages;
+    double bssf_best = 1e18;
+    for (const auto& c : *choices) {
+      if (c.facility == "bssf") bssf_best = std::min(bssf_best, c.cost_pages);
+    }
+    EXPECT_LE(bssf_best, best * 1.1) << "dq=" << dq;
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,96 @@
+#include "sig/bitpack.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/page.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+BitVector RandomVector(size_t bits, Rng& rng) {
+  BitVector v(bits);
+  for (size_t i = 0; i < bits / 3 + 1; ++i) v.Set(rng.NextBelow(bits));
+  return v;
+}
+
+TEST(BitpackTest, RoundTripAtZeroOffset) {
+  Rng rng(1);
+  std::vector<uint8_t> buf(64, 0);
+  BitVector v = RandomVector(100, rng);
+  DepositBits(v, buf.data(), 0);
+  BitVector w(100);
+  ExtractBits(buf.data(), 0, &w);
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitpackTest, RoundTripAtUnalignedOffsets) {
+  Rng rng(2);
+  for (size_t off : {1u, 3u, 7u, 8u, 13u, 250u, 333u}) {
+    std::vector<uint8_t> buf(256, 0);
+    BitVector v = RandomVector(250, rng);
+    DepositBits(v, buf.data(), off);
+    BitVector w(250);
+    ExtractBits(buf.data(), off, &w);
+    EXPECT_EQ(v, w) << "offset " << off;
+  }
+}
+
+TEST(BitpackTest, AdjacentSignaturesDoNotInterfere) {
+  Rng rng(3);
+  constexpr size_t kF = 250;
+  std::vector<uint8_t> buf(4096, 0);
+  std::vector<BitVector> sigs;
+  for (size_t i = 0; i < 10; ++i) {
+    sigs.push_back(RandomVector(kF, rng));
+    DepositBits(sigs.back(), buf.data(), i * kF);
+  }
+  for (size_t i = 0; i < 10; ++i) {
+    BitVector w(kF);
+    ExtractBits(buf.data(), i * kF, &w);
+    EXPECT_EQ(w, sigs[i]) << "slot " << i;
+  }
+}
+
+TEST(BitpackTest, DepositOverwritesPreviousContent) {
+  std::vector<uint8_t> buf(16, 0xff);
+  BitVector zero(32);
+  DepositBits(zero, buf.data(), 4);
+  BitVector w(32);
+  ExtractBits(buf.data(), 4, &w);
+  EXPECT_EQ(w.Count(), 0u);
+  // Bits outside the deposited window keep their old value.
+  EXPECT_EQ(buf[0] & 0x0f, 0x0f);
+}
+
+TEST(BitpackTest, ExtractionAtExactBufferEnd) {
+  // The last signature on a full page must not read past the buffer: F=4
+  // divides the page into bit-slots whose final extraction ends exactly at
+  // the last byte.
+  constexpr size_t kF = 4;
+  std::vector<uint8_t> buf(kPageSize, 0xff);
+  size_t last_slot = kPageBits / kF - 1;
+  BitVector w(kF);
+  ExtractBits(buf.data(), last_slot * kF, &w);
+  EXPECT_EQ(w.Count(), kF);
+}
+
+TEST(BitpackTest, FullPageRoundTripAllSlots) {
+  Rng rng(4);
+  constexpr size_t kF = 500;
+  constexpr size_t kSlots = kPageBits / kF;  // 65
+  std::vector<uint8_t> buf(kPageSize, 0);
+  std::vector<BitVector> sigs;
+  for (size_t i = 0; i < kSlots; ++i) {
+    sigs.push_back(RandomVector(kF, rng));
+    DepositBits(sigs[i], buf.data(), i * kF);
+  }
+  for (size_t i = 0; i < kSlots; ++i) {
+    BitVector w(kF);
+    ExtractBits(buf.data(), i * kF, &w);
+    EXPECT_EQ(w, sigs[i]) << "slot " << i;
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,165 @@
+#include "util/bitvector.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(BitVectorTest, StartsAllZero) {
+  BitVector v(100);
+  EXPECT_EQ(v.size(), 100u);
+  EXPECT_EQ(v.Count(), 0u);
+  EXPECT_FALSE(v.AnySet());
+  for (size_t i = 0; i < 100; ++i) EXPECT_FALSE(v.Test(i));
+}
+
+TEST(BitVectorTest, SetClearTest) {
+  BitVector v(130);
+  v.Set(0);
+  v.Set(64);
+  v.Set(129);
+  EXPECT_TRUE(v.Test(0));
+  EXPECT_TRUE(v.Test(64));
+  EXPECT_TRUE(v.Test(129));
+  EXPECT_FALSE(v.Test(1));
+  EXPECT_EQ(v.Count(), 3u);
+  v.Clear(64);
+  EXPECT_FALSE(v.Test(64));
+  EXPECT_EQ(v.Count(), 2u);
+}
+
+TEST(BitVectorTest, AssignDispatches) {
+  BitVector v(8);
+  v.Assign(3, true);
+  EXPECT_TRUE(v.Test(3));
+  v.Assign(3, false);
+  EXPECT_FALSE(v.Test(3));
+}
+
+TEST(BitVectorTest, SetAllRespectsTailInvariant) {
+  BitVector v(70);  // 6 tail bits in the second word
+  v.SetAll();
+  EXPECT_EQ(v.Count(), 70u);
+  v.ClearAll();
+  EXPECT_EQ(v.Count(), 0u);
+}
+
+TEST(BitVectorTest, OrAndAndNot) {
+  BitVector a(128), b(128);
+  a.Set(1);
+  a.Set(100);
+  b.Set(100);
+  b.Set(101);
+
+  BitVector or_ab = a;
+  or_ab.OrWith(b);
+  EXPECT_TRUE(or_ab.Test(1));
+  EXPECT_TRUE(or_ab.Test(100));
+  EXPECT_TRUE(or_ab.Test(101));
+  EXPECT_EQ(or_ab.Count(), 3u);
+
+  BitVector and_ab = a;
+  and_ab.AndWith(b);
+  EXPECT_EQ(and_ab.Count(), 1u);
+  EXPECT_TRUE(and_ab.Test(100));
+
+  BitVector diff = a;
+  diff.AndNotWith(b);
+  EXPECT_EQ(diff.Count(), 1u);
+  EXPECT_TRUE(diff.Test(1));
+}
+
+TEST(BitVectorTest, IsSubsetOf) {
+  BitVector small(64), big(64);
+  small.Set(5);
+  big.Set(5);
+  big.Set(9);
+  EXPECT_TRUE(small.IsSubsetOf(big));
+  EXPECT_FALSE(big.IsSubsetOf(small));
+  EXPECT_TRUE(small.IsSubsetOf(small));
+  BitVector empty(64);
+  EXPECT_TRUE(empty.IsSubsetOf(small));
+}
+
+TEST(BitVectorTest, CountAnd) {
+  BitVector a(256), b(256);
+  for (size_t i = 0; i < 256; i += 2) a.Set(i);
+  for (size_t i = 0; i < 256; i += 4) b.Set(i);
+  EXPECT_EQ(a.CountAnd(b), 64u);
+}
+
+TEST(BitVectorTest, ForEachSetBitInOrder) {
+  BitVector v(200);
+  v.Set(3);
+  v.Set(63);
+  v.Set(64);
+  v.Set(199);
+  std::vector<size_t> seen;
+  v.ForEachSetBit([&](size_t i) { seen.push_back(i); });
+  EXPECT_EQ(seen, (std::vector<size_t>{3, 63, 64, 199}));
+  EXPECT_EQ(v.SetBits(), seen);
+}
+
+TEST(BitVectorTest, ByteRoundTrip) {
+  Rng rng(7);
+  BitVector v(250);
+  for (int i = 0; i < 50; ++i) v.Set(rng.NextBelow(250));
+  std::vector<uint8_t> bytes(v.NumBytes());
+  v.CopyToBytes(bytes.data());
+  BitVector w(250);
+  w.LoadFromBytes(bytes.data());
+  EXPECT_EQ(v, w);
+}
+
+TEST(BitVectorTest, LoadFromBytesMasksTail) {
+  // All-ones source must not set bits beyond size().
+  std::vector<uint8_t> bytes(32, 0xff);
+  BitVector v(250);
+  v.LoadFromBytes(bytes.data());
+  EXPECT_EQ(v.Count(), 250u);
+}
+
+TEST(BitVectorTest, EqualityRequiresSameSize) {
+  BitVector a(10), b(11);
+  EXPECT_FALSE(a == b);
+  BitVector c(10);
+  EXPECT_TRUE(a == c);
+  c.Set(9);
+  EXPECT_FALSE(a == c);
+}
+
+// Property sweep: random vectors obey De Morgan-ish subset identities.
+class BitVectorPropertyTest : public ::testing::TestWithParam<size_t> {};
+
+TEST_P(BitVectorPropertyTest, SubsetIffAndNotEmpty) {
+  size_t bits = GetParam();
+  Rng rng(bits);
+  for (int trial = 0; trial < 20; ++trial) {
+    BitVector a(bits), b(bits);
+    for (size_t i = 0; i < bits / 3 + 1; ++i) {
+      a.Set(rng.NextBelow(bits));
+      b.Set(rng.NextBelow(bits));
+    }
+    BitVector diff = a;
+    diff.AndNotWith(b);
+    EXPECT_EQ(a.IsSubsetOf(b), !diff.AnySet());
+    // a ⊆ a∪b and a∩b ⊆ a.
+    BitVector uni = a;
+    uni.OrWith(b);
+    EXPECT_TRUE(a.IsSubsetOf(uni));
+    BitVector inter = a;
+    inter.AndWith(b);
+    EXPECT_TRUE(inter.IsSubsetOf(a));
+    // |a∩b| from CountAnd matches materialized intersection.
+    EXPECT_EQ(a.CountAnd(b), inter.Count());
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,
+                         ::testing::Values(1, 7, 63, 64, 65, 127, 128, 250,
+                                           500, 1000, 2500));
+
+}  // namespace
+}  // namespace sigsetdb

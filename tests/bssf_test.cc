@@ -1,0 +1,236 @@
+#include "sig/bssf.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+class BssfTest : public ::testing::Test {
+ protected:
+  void MakeBssf(SignatureConfig config, uint64_t capacity,
+                BssfInsertMode mode = BssfInsertMode::kTouchAllSlices) {
+    auto bssf = BitSlicedSignatureFile::Create(config, capacity, &slice_file_,
+                                               &oid_file_, mode);
+    ASSERT_TRUE(bssf.ok()) << bssf.status().ToString();
+    bssf_ = std::move(*bssf);
+  }
+
+  static Oid MakeOid(uint64_t i) {
+    return Oid::FromLocation(static_cast<PageId>(i), 0);
+  }
+
+  InMemoryPageFile slice_file_{"bssf.slices"};
+  InMemoryPageFile oid_file_{"bssf.oid"};
+  std::unique_ptr<BitSlicedSignatureFile> bssf_;
+};
+
+TEST_F(BssfTest, CreatePreallocatesSliceStore) {
+  MakeBssf({250, 2}, 1000);
+  EXPECT_EQ(bssf_->pages_per_slice(), 1u);
+  EXPECT_EQ(bssf_->SlicePages(), 250u);
+  // Allocation I/O was reset: a fresh facility reports zero accesses.
+  EXPECT_EQ(slice_file_.stats().total(), 0u);
+}
+
+TEST_F(BssfTest, MultiPageSlices) {
+  // Capacity above one page of bits forces 2 pages per slice.
+  MakeBssf({64, 2}, kPageBits + 5);
+  EXPECT_EQ(bssf_->pages_per_slice(), 2u);
+  EXPECT_EQ(bssf_->SlicePages(), 128u);
+}
+
+TEST_F(BssfTest, NaiveInsertTouchesAllSlices) {
+  MakeBssf({64, 2}, 100, BssfInsertMode::kTouchAllSlices);
+  slice_file_.stats().Reset();
+  oid_file_.stats().Reset();
+  ASSERT_TRUE(bssf_->Insert(MakeOid(0), {1, 2, 3}).ok());
+  // Worst-case mode: every slice written once (reads are the RMW cost the
+  // coarse 1993 model folds into "about F disk accesses").
+  EXPECT_EQ(slice_file_.stats().page_writes, 64u);
+  EXPECT_EQ(oid_file_.stats().page_writes, 1u);
+}
+
+TEST_F(BssfTest, SparseInsertTouchesOnlySetBits) {
+  MakeBssf({64, 2}, 100, BssfInsertMode::kSparse);
+  BitVector sig = MakeSetSignature({1, 2, 3}, {64, 2});
+  slice_file_.stats().Reset();
+  ASSERT_TRUE(bssf_->Insert(MakeOid(0), {1, 2, 3}).ok());
+  EXPECT_EQ(slice_file_.stats().page_writes, sig.Count());
+}
+
+TEST_F(BssfTest, CapacityEnforced) {
+  MakeBssf({32, 1}, 2);
+  ASSERT_TRUE(bssf_->Insert(MakeOid(0), {1}).ok());
+  ASSERT_TRUE(bssf_->Insert(MakeOid(1), {2}).ok());
+  EXPECT_EQ(bssf_->Insert(MakeOid(2), {3}).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(BssfTest, SupersetCandidatesComplete) {
+  MakeBssf({500, 5}, 500);
+  Rng rng(1);
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 300; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(200, 10));
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), sets.back()).ok());
+  }
+  ElementSet query = {sets[42][1], sets[42][8]};
+  NormalizeSet(&query);
+  auto result = bssf_->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(result.ok());
+  std::set<Oid> candidates(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (IsSubset(query, sets[i])) {
+      EXPECT_TRUE(candidates.count(MakeOid(i))) << "missing true match " << i;
+    }
+  }
+}
+
+TEST_F(BssfTest, SupersetReadsOneSlicePerQueryBit) {
+  MakeBssf({250, 2}, 1000);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), {i}).ok());
+  }
+  BitVector query_sig = MakeSetSignature({3, 7}, bssf_->config());
+  slice_file_.stats().Reset();
+  ASSERT_TRUE(bssf_->SupersetCandidateSlots(query_sig).ok());
+  EXPECT_EQ(slice_file_.stats().page_reads, query_sig.Count());
+}
+
+TEST_F(BssfTest, SubsetReadsOneSlicePerZeroBit) {
+  MakeBssf({250, 2}, 1000);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), {i}).ok());
+  }
+  BitVector query_sig = MakeSetSignature({3, 7, 9}, bssf_->config());
+  slice_file_.stats().Reset();
+  ASSERT_TRUE(bssf_->SubsetCandidateSlots(query_sig).ok());
+  EXPECT_EQ(slice_file_.stats().page_reads, 250u - query_sig.Count());
+}
+
+TEST_F(BssfTest, SubsetPartialScanLimitsSliceReads) {
+  MakeBssf({250, 2}, 1000);
+  for (uint64_t i = 0; i < 100; ++i) {
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), {i, i + 500}).ok());
+  }
+  BitVector query_sig = MakeSetSignature({3, 7}, bssf_->config());
+  slice_file_.stats().Reset();
+  auto limited = bssf_->SubsetCandidateSlots(query_sig, 10);
+  ASSERT_TRUE(limited.ok());
+  EXPECT_EQ(slice_file_.stats().page_reads, 10u);
+  // Fewer slices scanned => a superset of the full-scan candidates.
+  auto full = bssf_->SubsetCandidateSlots(query_sig);
+  ASSERT_TRUE(full.ok());
+  EXPECT_TRUE(std::includes(limited->begin(), limited->end(), full->begin(),
+                            full->end()));
+}
+
+TEST_F(BssfTest, SubsetCandidatesComplete) {
+  MakeBssf({500, 3}, 300);
+  Rng rng(2);
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 200; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(100, 5));
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), sets.back()).ok());
+  }
+  ElementSet query = rng.SampleWithoutReplacement(100, 40);
+  auto result = bssf_->Candidates(QueryKind::kSubset, query);
+  ASSERT_TRUE(result.ok());
+  std::set<Oid> candidates(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (IsSubset(sets[i], query)) {
+      EXPECT_TRUE(candidates.count(MakeOid(i))) << "missing true match " << i;
+    }
+  }
+}
+
+TEST_F(BssfTest, EqualsCandidatesFilterBothDirections) {
+  MakeBssf({250, 4}, 200);
+  Rng rng(3);
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 100; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(60, 4));
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), sets.back()).ok());
+  }
+  BitVector query_sig = MakeSetSignature(sets[10], bssf_->config());
+  auto slots = bssf_->EqualsCandidateSlots(query_sig);
+  ASSERT_TRUE(slots.ok());
+  EXPECT_TRUE(std::find(slots->begin(), slots->end(), 10u) != slots->end());
+  // Every candidate's signature must equal the query signature.
+  for (uint64_t slot : *slots) {
+    EXPECT_EQ(MakeSetSignature(sets[slot], bssf_->config()), query_sig);
+  }
+}
+
+TEST_F(BssfTest, OverlapCandidatesComplete) {
+  MakeBssf({250, 3}, 200);
+  Rng rng(4);
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 100; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(60, 5));
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), sets.back()).ok());
+  }
+  ElementSet query = {sets[0][0], sets[50][2]};
+  NormalizeSet(&query);
+  auto result = bssf_->Candidates(QueryKind::kOverlaps, query);
+  ASSERT_TRUE(result.ok());
+  std::set<Oid> candidates(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (Overlaps(sets[i], query)) {
+      EXPECT_TRUE(candidates.count(MakeOid(i))) << "missing overlap " << i;
+    }
+  }
+}
+
+TEST_F(BssfTest, RemoveHidesObject) {
+  MakeBssf({128, 2}, 10);
+  ASSERT_TRUE(bssf_->Insert(MakeOid(0), {1}).ok());
+  ASSERT_TRUE(bssf_->Insert(MakeOid(1), {1}).ok());
+  ASSERT_TRUE(bssf_->Remove(MakeOid(0), {1}).ok());
+  auto result = bssf_->Candidates(QueryKind::kSuperset, {1});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->oids, std::vector<Oid>{MakeOid(1)});
+}
+
+TEST_F(BssfTest, AgreesWithDirectSignatureTest) {
+  // BSSF slots must match exactly the slots a sequential signature scan
+  // would produce: the two organizations store the same information.
+  SignatureConfig config{250, 3};
+  MakeBssf(config, 300);
+  Rng rng(5);
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 200; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(80, 6));
+    ASSERT_TRUE(bssf_->Insert(MakeOid(i), sets.back()).ok());
+  }
+  ElementSet query = rng.SampleWithoutReplacement(80, 3);
+  BitVector query_sig = MakeSetSignature(query, config);
+  auto super = bssf_->SupersetCandidateSlots(query_sig);
+  ASSERT_TRUE(super.ok());
+  std::vector<uint64_t> expected;
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (MatchesSuperset(MakeSetSignature(sets[i], config), query_sig)) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(*super, expected);
+
+  ElementSet big_query = rng.SampleWithoutReplacement(80, 30);
+  BitVector big_sig = MakeSetSignature(big_query, config);
+  auto sub = bssf_->SubsetCandidateSlots(big_sig);
+  ASSERT_TRUE(sub.ok());
+  expected.clear();
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (MatchesSubset(MakeSetSignature(sets[i], config), big_sig)) {
+      expected.push_back(i);
+    }
+  }
+  EXPECT_EQ(*sub, expected);
+}
+
+}  // namespace
+}  // namespace sigsetdb

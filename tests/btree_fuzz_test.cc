@@ -1,0 +1,158 @@
+// Randomized B+-tree oracle test: thousands of interleaved inserts,
+// removes and look-ups cross-checked against a std::map reference, across
+// fanouts, key skews (including overflow-chain-inducing hot keys) and
+// bulk-loaded starting states.  Structural invariants (key order, counts)
+// are verified via ForEachEntry after every phase.
+
+#include <algorithm>
+#include <map>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "nix/btree.h"
+#include "storage/page_file.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+Oid MakeOid(uint64_t i) {
+  return Oid::FromLocation(static_cast<PageId>(i >> 16),
+                           static_cast<uint16_t>(i & 0xffff));
+}
+
+using Oracle = std::map<uint64_t, std::vector<Oid>>;
+
+// Verifies the full tree contents and ordering against the oracle.
+void VerifyAgainstOracle(const BTree& tree, const Oracle& oracle) {
+  std::vector<uint64_t> visited_keys;
+  uint64_t visited_postings = 0;
+  ASSERT_TRUE(tree
+                  .ForEachEntry([&](const BTreeEntry& e) {
+                    visited_keys.push_back(e.key);
+                    visited_postings += e.postings.size();
+                    auto it = oracle.find(e.key);
+                    ASSERT_NE(it, oracle.end()) << "phantom key " << e.key;
+                    std::vector<Oid> got = e.postings;
+                    std::sort(got.begin(), got.end());
+                    std::vector<Oid> want = it->second;
+                    std::sort(want.begin(), want.end());
+                    EXPECT_EQ(got, want) << "key " << e.key;
+                  })
+                  .ok());
+  EXPECT_TRUE(std::is_sorted(visited_keys.begin(), visited_keys.end()));
+  EXPECT_EQ(visited_keys.size(), oracle.size());
+  uint64_t oracle_postings = 0;
+  for (const auto& [k, v] : oracle) oracle_postings += v.size();
+  EXPECT_EQ(visited_postings, oracle_postings);
+}
+
+struct FuzzParams {
+  uint32_t fanout;
+  uint64_t key_space;  // small => hot keys => deep postings / overflow
+  int operations;
+  uint64_t seed;
+};
+
+class BTreeFuzzTest : public ::testing::TestWithParam<FuzzParams> {};
+
+TEST_P(BTreeFuzzTest, RandomOpsMatchOracle) {
+  const FuzzParams& params = GetParam();
+  InMemoryPageFile file("fuzz");
+  auto tree = BTree::Create(&file, params.fanout);
+  ASSERT_TRUE(tree.ok());
+  Oracle oracle;
+  Rng rng(params.seed);
+  uint64_t next_oid = 0;
+
+  for (int op = 0; op < params.operations; ++op) {
+    uint64_t key = rng.NextBelow(params.key_space);
+    uint64_t dice = rng.NextBelow(100);
+    if (dice < 60) {
+      // Insert a fresh OID.
+      Oid oid = MakeOid(next_oid++);
+      ASSERT_TRUE((*tree)->Insert(key, oid).ok()) << "op " << op;
+      oracle[key].push_back(oid);
+    } else if (dice < 85) {
+      // Remove a random existing OID of this key (if any).
+      auto it = oracle.find(key);
+      if (it == oracle.end() || it->second.empty()) {
+        EXPECT_EQ((*tree)->Remove(key, MakeOid(next_oid + 1)).code(),
+                  StatusCode::kNotFound);
+      } else {
+        size_t victim = rng.NextBelow(it->second.size());
+        Oid oid = it->second[victim];
+        ASSERT_TRUE((*tree)->Remove(key, oid).ok()) << "op " << op;
+        it->second.erase(it->second.begin() +
+                         static_cast<ptrdiff_t>(victim));
+        if (it->second.empty()) oracle.erase(it);
+      }
+    } else {
+      // Point look-up.
+      auto postings = (*tree)->Lookup(key);
+      ASSERT_TRUE(postings.ok());
+      auto it = oracle.find(key);
+      size_t expected = it == oracle.end() ? 0 : it->second.size();
+      EXPECT_EQ(postings->size(), expected) << "key " << key;
+    }
+    if (op % 1000 == 999) VerifyAgainstOracle(**tree, oracle);
+  }
+  VerifyAgainstOracle(**tree, oracle);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, BTreeFuzzTest,
+    ::testing::Values(
+        FuzzParams{4, 200, 4000, 1},      // tiny fanout: deep tree, splits
+        FuzzParams{8, 5000, 4000, 2},     // sparse keys: singleton postings
+        FuzzParams{kPaperFanout, 40, 5000, 3},   // hot keys: fat postings
+        FuzzParams{kPaperFanout, 3, 4000, 4},    // 3 keys: overflow chains
+        FuzzParams{16, 1000, 6000, 5}),
+    [](const ::testing::TestParamInfo<FuzzParams>& info) {
+      return "fanout" + std::to_string(info.param.fanout) + "_keys" +
+             std::to_string(info.param.key_space);
+    });
+
+TEST(BTreeFuzzBulkTest, BulkLoadThenFuzz) {
+  InMemoryPageFile file("fuzz");
+  auto tree = BTree::Create(&file, 8);
+  ASSERT_TRUE(tree.ok());
+  Oracle oracle;
+  Rng rng(77);
+  uint64_t next_oid = 0;
+  // Bulk-loaded base: every 3rd key with 1-5 postings.
+  std::vector<BTreeEntry> entries;
+  for (uint64_t key = 0; key < 900; key += 3) {
+    BTreeEntry entry;
+    entry.key = key;
+    uint64_t count = 1 + rng.NextBelow(5);
+    for (uint64_t i = 0; i < count; ++i) {
+      entry.postings.push_back(MakeOid(next_oid++));
+    }
+    oracle[key] = entry.postings;
+    entries.push_back(std::move(entry));
+  }
+  ASSERT_TRUE((*tree)->BulkLoad(entries).ok());
+  VerifyAgainstOracle(**tree, oracle);
+  // Fuzz on top of the packed tree (every insert into a full leaf splits).
+  for (int op = 0; op < 3000; ++op) {
+    uint64_t key = rng.NextBelow(900);
+    if (rng.NextBelow(2) == 0) {
+      Oid oid = MakeOid(next_oid++);
+      ASSERT_TRUE((*tree)->Insert(key, oid).ok());
+      oracle[key].push_back(oid);
+    } else {
+      auto it = oracle.find(key);
+      if (it != oracle.end() && !it->second.empty()) {
+        ASSERT_TRUE((*tree)->Remove(key, it->second.back()).ok());
+        it->second.pop_back();
+        if (it->second.empty()) oracle.erase(it);
+      }
+    }
+  }
+  VerifyAgainstOracle(**tree, oracle);
+}
+
+}  // namespace
+}  // namespace sigsetdb

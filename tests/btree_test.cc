@@ -1,0 +1,296 @@
+#include "nix/btree.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+Oid MakeOid(uint64_t i) {
+  return Oid::FromLocation(static_cast<PageId>(i >> 16),
+                           static_cast<uint16_t>(i & 0xffff));
+}
+
+class BTreeTest : public ::testing::Test {
+ protected:
+  void MakeTree(uint32_t fanout = kPaperFanout) {
+    auto tree = BTree::Create(&file_, fanout);
+    ASSERT_TRUE(tree.ok()) << tree.status().ToString();
+    tree_ = std::move(*tree);
+  }
+
+  InMemoryPageFile file_{"nix"};
+  std::unique_ptr<BTree> tree_;
+};
+
+TEST_F(BTreeTest, EmptyTreeLookupReturnsEmpty) {
+  MakeTree();
+  auto postings = tree_->Lookup(42);
+  ASSERT_TRUE(postings.ok());
+  EXPECT_TRUE(postings->empty());
+  EXPECT_EQ(tree_->height(), 0u);
+  EXPECT_EQ(tree_->leaf_pages(), 1u);
+}
+
+TEST_F(BTreeTest, InsertThenLookup) {
+  MakeTree();
+  ASSERT_TRUE(tree_->Insert(5, MakeOid(100)).ok());
+  ASSERT_TRUE(tree_->Insert(5, MakeOid(200)).ok());
+  ASSERT_TRUE(tree_->Insert(9, MakeOid(300)).ok());
+  auto p5 = tree_->Lookup(5);
+  ASSERT_TRUE(p5.ok());
+  EXPECT_EQ(*p5, (std::vector<Oid>{MakeOid(100), MakeOid(200)}));
+  auto p9 = tree_->Lookup(9);
+  ASSERT_TRUE(p9.ok());
+  EXPECT_EQ(*p9, std::vector<Oid>{MakeOid(300)});
+  EXPECT_TRUE(tree_->Lookup(7)->empty());
+}
+
+TEST_F(BTreeTest, CreateRequiresEmptyFile) {
+  MakeTree();
+  EXPECT_EQ(BTree::Create(&file_).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, ManyKeysSplitLeavesAndGrowHeight) {
+  MakeTree(/*fanout=*/8);  // small fanout to exercise internal splits
+  std::map<uint64_t, std::vector<Oid>> reference;
+  Rng rng(1);
+  for (int i = 0; i < 5000; ++i) {
+    uint64_t key = rng.NextBelow(800);
+    Oid oid = MakeOid(static_cast<uint64_t>(i));
+    ASSERT_TRUE(tree_->Insert(key, oid).ok()) << "i=" << i;
+    reference[key].push_back(oid);
+  }
+  EXPECT_GT(tree_->height(), 1u);
+  EXPECT_GT(tree_->leaf_pages(), 1u);
+  for (const auto& [key, expected] : reference) {
+    auto got = tree_->Lookup(key);
+    ASSERT_TRUE(got.ok());
+    EXPECT_EQ(*got, expected) << "key " << key;
+  }
+}
+
+TEST_F(BTreeTest, ForEachEntryVisitsKeysInOrder) {
+  MakeTree(/*fanout=*/4);
+  Rng rng(2);
+  std::set<uint64_t> keys;
+  for (int i = 0; i < 1000; ++i) {
+    uint64_t key = rng.NextBelow(10000);
+    ASSERT_TRUE(tree_->Insert(key, MakeOid(key)).ok());
+    keys.insert(key);
+  }
+  std::vector<uint64_t> visited;
+  ASSERT_TRUE(tree_
+                  ->ForEachEntry([&](const BTreeEntry& e) {
+                    visited.push_back(e.key);
+                  })
+                  .ok());
+  std::vector<uint64_t> expected(keys.begin(), keys.end());
+  EXPECT_EQ(visited, expected);
+}
+
+TEST_F(BTreeTest, LookupCostsHeightPlusOneReads) {
+  MakeTree(/*fanout=*/4);
+  for (uint64_t k = 0; k < 2000; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeOid(k)).ok());
+  }
+  uint32_t height = tree_->height();
+  ASSERT_GE(height, 2u);
+  file_.stats().Reset();
+  ASSERT_TRUE(tree_->Lookup(1234).ok());
+  EXPECT_EQ(file_.stats().page_reads, height + 1u);
+}
+
+TEST_F(BTreeTest, RemoveOidAndEntry) {
+  MakeTree();
+  ASSERT_TRUE(tree_->Insert(5, MakeOid(1)).ok());
+  ASSERT_TRUE(tree_->Insert(5, MakeOid(2)).ok());
+  ASSERT_TRUE(tree_->Remove(5, MakeOid(1)).ok());
+  EXPECT_EQ(*tree_->Lookup(5), std::vector<Oid>{MakeOid(2)});
+  ASSERT_TRUE(tree_->Remove(5, MakeOid(2)).ok());
+  EXPECT_TRUE(tree_->Lookup(5)->empty());
+  EXPECT_EQ(tree_->Remove(5, MakeOid(2)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(tree_->Remove(99, MakeOid(1)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, RemoveAcrossSplitTree) {
+  MakeTree(/*fanout=*/4);
+  for (uint64_t k = 0; k < 500; ++k) {
+    ASSERT_TRUE(tree_->Insert(k, MakeOid(k)).ok());
+  }
+  for (uint64_t k = 0; k < 500; k += 2) {
+    ASSERT_TRUE(tree_->Remove(k, MakeOid(k)).ok());
+  }
+  for (uint64_t k = 0; k < 500; ++k) {
+    auto postings = tree_->Lookup(k);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(postings->size(), k % 2 == 0 ? 0u : 1u) << "key " << k;
+  }
+}
+
+TEST_F(BTreeTest, PostingListSpillsToOverflowChain) {
+  MakeTree();
+  // One leaf page holds at most 509 inline postings; beyond that the list
+  // spills into an overflow chain and keeps growing.
+  constexpr uint64_t kPostings = 2000;
+  for (uint64_t i = 0; i < kPostings; ++i) {
+    ASSERT_TRUE(tree_->Insert(7, MakeOid(i)).ok()) << "i=" << i;
+  }
+  EXPECT_GT(tree_->overflow_pages(), 0u);
+  auto postings = tree_->Lookup(7);
+  ASSERT_TRUE(postings.ok());
+  ASSERT_EQ(postings->size(), kPostings);
+  std::set<Oid> unique(postings->begin(), postings->end());
+  EXPECT_EQ(unique.size(), kPostings);
+}
+
+TEST_F(BTreeTest, OverflowChainSupportsRemove) {
+  MakeTree();
+  for (uint64_t i = 0; i < 1500; ++i) {
+    ASSERT_TRUE(tree_->Insert(7, MakeOid(i)).ok());
+  }
+  for (uint64_t i = 0; i < 1500; i += 3) {
+    ASSERT_TRUE(tree_->Remove(7, MakeOid(i)).ok()) << "i=" << i;
+  }
+  auto postings = tree_->Lookup(7);
+  ASSERT_TRUE(postings.ok());
+  EXPECT_EQ(postings->size(), 1000u);
+  for (Oid oid : *postings) {
+    uint64_t i = (static_cast<uint64_t>(oid.page()) << 16) | oid.slot();
+    EXPECT_NE(i % 3, 0u);
+  }
+  EXPECT_EQ(tree_->Remove(7, MakeOid(0)).code(), StatusCode::kNotFound);
+}
+
+TEST_F(BTreeTest, DrainedOverflowChainsAreRecycled) {
+  MakeTree();
+  for (uint64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(tree_->Insert(7, MakeOid(i)).ok());
+  }
+  uint64_t chain_pages = tree_->overflow_pages();
+  ASSERT_GE(chain_pages, 2u);
+  PageId pages_before = file_.num_pages();
+  for (uint64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(tree_->Remove(7, MakeOid(i)).ok());
+  }
+  EXPECT_EQ(tree_->overflow_pages(), 0u);
+  EXPECT_EQ(tree_->free_pages(), chain_pages);
+  // Building a new chain reuses the freed pages instead of growing the
+  // file.
+  for (uint64_t i = 0; i < 1200; ++i) {
+    ASSERT_TRUE(tree_->Insert(9, MakeOid(i)).ok());
+  }
+  EXPECT_EQ(file_.num_pages(), pages_before);
+  EXPECT_EQ(tree_->Lookup(9)->size(), 1200u);
+}
+
+TEST_F(BTreeTest, OverflowDrainsToEmptyEntry) {
+  MakeTree();
+  for (uint64_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(tree_->Insert(7, MakeOid(i)).ok());
+  }
+  for (uint64_t i = 0; i < 600; ++i) {
+    ASSERT_TRUE(tree_->Remove(7, MakeOid(i)).ok());
+  }
+  EXPECT_TRUE(tree_->Lookup(7)->empty());
+  // Reinsertion after drain starts a fresh inline record.
+  ASSERT_TRUE(tree_->Insert(7, MakeOid(9)).ok());
+  EXPECT_EQ(tree_->Lookup(7)->size(), 1u);
+}
+
+TEST_F(BTreeTest, BulkLoadSpillsGiantPostings) {
+  MakeTree();
+  std::vector<BTreeEntry> entries;
+  BTreeEntry giant;
+  giant.key = 5;
+  for (uint64_t i = 0; i < 1200; ++i) giant.postings.push_back(MakeOid(i));
+  entries.push_back(giant);
+  entries.push_back({9, {MakeOid(1)}});
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  EXPECT_GT(tree_->overflow_pages(), 1u);
+  auto postings = tree_->Lookup(5);
+  ASSERT_TRUE(postings.ok());
+  EXPECT_EQ(postings->size(), 1200u);
+  // Bulk-loaded chains preserve order.
+  EXPECT_EQ(*postings, giant.postings);
+  EXPECT_EQ(tree_->Lookup(9)->size(), 1u);
+}
+
+TEST_F(BTreeTest, BulkLoadSmall) {
+  MakeTree();
+  std::vector<BTreeEntry> entries;
+  for (uint64_t k = 0; k < 100; ++k) {
+    entries.push_back({k * 10, {MakeOid(k), MakeOid(k + 1000)}});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  for (uint64_t k = 0; k < 100; ++k) {
+    auto postings = tree_->Lookup(k * 10);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(*postings, entries[k].postings);
+  }
+  EXPECT_TRUE(tree_->Lookup(5)->empty());
+}
+
+TEST_F(BTreeTest, BulkLoadPacksLeaves) {
+  MakeTree();
+  // 100 entries of 2 postings: 2+8+2+16 = 28 bytes each; ~146 fit per page.
+  std::vector<BTreeEntry> entries;
+  for (uint64_t k = 0; k < 1000; ++k) {
+    entries.push_back({k, {MakeOid(k), MakeOid(k + 1)}});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  // Packed: ceil(1000/146) = 7 leaves.
+  EXPECT_EQ(tree_->leaf_pages(), 7u);
+  EXPECT_EQ(tree_->height(), 1u);
+  EXPECT_EQ(tree_->internal_pages(), 1u);
+}
+
+TEST_F(BTreeTest, BulkLoadRejectsUnsortedInput) {
+  MakeTree();
+  std::vector<BTreeEntry> entries = {{5, {MakeOid(1)}}, {3, {MakeOid(2)}}};
+  EXPECT_EQ(tree_->BulkLoad(entries).code(), StatusCode::kInvalidArgument);
+}
+
+TEST_F(BTreeTest, BulkLoadRejectsNonEmptyTree) {
+  MakeTree();
+  ASSERT_TRUE(tree_->Insert(1, MakeOid(1)).ok());
+  std::vector<BTreeEntry> entries = {{5, {MakeOid(1)}}};
+  EXPECT_EQ(tree_->BulkLoad(entries).code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(BTreeTest, BulkLoadThenIncrementalInserts) {
+  MakeTree(/*fanout=*/8);
+  std::vector<BTreeEntry> entries;
+  for (uint64_t k = 0; k < 2000; k += 2) {
+    entries.push_back({k, {MakeOid(k)}});
+  }
+  ASSERT_TRUE(tree_->BulkLoad(entries).ok());
+  // Odd keys inserted incrementally (leaves are packed => every insert
+  // splits, a worst case for the split paths).
+  for (uint64_t k = 1; k < 2000; k += 2) {
+    ASSERT_TRUE(tree_->Insert(k, MakeOid(k)).ok()) << "key " << k;
+  }
+  for (uint64_t k = 0; k < 2000; ++k) {
+    auto postings = tree_->Lookup(k);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(*postings, std::vector<Oid>{MakeOid(k)}) << "key " << k;
+  }
+  std::vector<uint64_t> visited;
+  ASSERT_TRUE(tree_
+                  ->ForEachEntry([&](const BTreeEntry& e) {
+                    visited.push_back(e.key);
+                  })
+                  .ok());
+  EXPECT_EQ(visited.size(), 2000u);
+  EXPECT_TRUE(std::is_sorted(visited.begin(), visited.end()));
+}
+
+}  // namespace
+}  // namespace sigsetdb

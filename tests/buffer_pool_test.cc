@@ -1,0 +1,96 @@
+#include "storage/buffer_pool.h"
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+class BufferPoolTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    for (int i = 0; i < 8; ++i) ASSERT_TRUE(base_.Allocate().ok());
+  }
+  InMemoryPageFile base_{"base"};
+};
+
+TEST_F(BufferPoolTest, HitAvoidsPhysicalRead) {
+  CachedPageFile cache(&base_, 4);
+  Page page;
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  EXPECT_EQ(cache.stats().page_reads, 2u);       // logical
+  EXPECT_EQ(cache.physical_stats().page_reads, 1u);  // one miss
+  EXPECT_EQ(cache.hits(), 1u);
+  EXPECT_EQ(cache.misses(), 1u);
+}
+
+TEST_F(BufferPoolTest, EvictsLeastRecentlyUsed) {
+  CachedPageFile cache(&base_, 2);
+  Page page;
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  ASSERT_TRUE(cache.Read(1, &page).ok());
+  ASSERT_TRUE(cache.Read(0, &page).ok());  // 0 now most recent
+  ASSERT_TRUE(cache.Read(2, &page).ok());  // evicts 1
+  ASSERT_TRUE(cache.Read(0, &page).ok());  // still cached
+  ASSERT_TRUE(cache.Read(1, &page).ok());  // miss again
+  EXPECT_EQ(cache.misses(), 4u);  // 0, 1, 2, 1
+  EXPECT_EQ(cache.hits(), 2u);    // 0, 0
+}
+
+TEST_F(BufferPoolTest, WriteThroughUpdatesBaseAndCache) {
+  CachedPageFile cache(&base_, 4);
+  Page page;
+  page.WriteAt<uint32_t>(0, 123u);
+  ASSERT_TRUE(cache.Write(3, page).ok());
+  // Base sees the write immediately.
+  Page check;
+  ASSERT_TRUE(base_.Read(3, &check).ok());
+  EXPECT_EQ(check.ReadAt<uint32_t>(0), 123u);
+  // Subsequent read is a cache hit with the written content.
+  uint64_t misses_before = cache.misses();
+  Page reread;
+  ASSERT_TRUE(cache.Read(3, &reread).ok());
+  EXPECT_EQ(cache.misses(), misses_before);
+  EXPECT_EQ(reread.ReadAt<uint32_t>(0), 123u);
+}
+
+TEST_F(BufferPoolTest, WriteToCachedPageRefreshesFrame) {
+  CachedPageFile cache(&base_, 4);
+  Page page;
+  ASSERT_TRUE(cache.Read(2, &page).ok());
+  page.WriteAt<uint32_t>(8, 9u);
+  ASSERT_TRUE(cache.Write(2, page).ok());
+  Page reread;
+  ASSERT_TRUE(cache.Read(2, &reread).ok());
+  EXPECT_EQ(reread.ReadAt<uint32_t>(8), 9u);
+  EXPECT_EQ(cache.hits(), 1u);
+}
+
+TEST_F(BufferPoolTest, InvalidateDropsFrames) {
+  CachedPageFile cache(&base_, 4);
+  Page page;
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  cache.Invalidate();
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(BufferPoolTest, ZeroCapacityNeverCaches) {
+  CachedPageFile cache(&base_, 0);
+  Page page;
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  ASSERT_TRUE(cache.Read(0, &page).ok());
+  EXPECT_EQ(cache.hits(), 0u);
+  EXPECT_EQ(cache.misses(), 2u);
+}
+
+TEST_F(BufferPoolTest, AllocatePassesThrough) {
+  CachedPageFile cache(&base_, 2);
+  auto id = cache.Allocate();
+  ASSERT_TRUE(id.ok());
+  EXPECT_EQ(*id, 8u);
+  EXPECT_EQ(cache.num_pages(), 9u);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,135 @@
+// Tests for the §6-extension cost models (equality and overlap), including
+// empirical cross-checks of the new false-drop formulas.
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "model/actual_drops.h"
+#include "model/cost_ext.h"
+#include "model/false_drop.h"
+#include "sig/signature.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+DatabaseParams Paper() { return DatabaseParams{}; }
+
+TEST(CostExtTest, EqualityFalseDropIsAstronomicallySmall) {
+  // Per-bit agreement probability ~0.86 over F=250 bits.
+  double fd = FalseDropEquals({250, 2}, 10, 10);
+  EXPECT_GT(fd, 0.0);
+  EXPECT_LT(fd, 1e-12);
+  // Tiny signatures leave measurable rates.
+  EXPECT_GT(FalseDropEquals({8, 1}, 2, 2), 1e-3);
+}
+
+TEST(CostExtTest, EqualityFalseDropSymmetricInCardinalities) {
+  EXPECT_DOUBLE_EQ(FalseDropEquals({250, 2}, 5, 12),
+                   FalseDropEquals({250, 2}, 12, 5));
+}
+
+TEST(CostExtTest, OverlapFalseDropGrowsWithDq) {
+  SignatureParams sig{500, 2};
+  double prev = 0.0;
+  for (int64_t dq = 1; dq <= 50; dq += 7) {
+    double fd = FalseDropOverlap(sig, 10, dq);
+    EXPECT_GT(fd, prev);
+    EXPECT_LE(fd, 1.0);
+    prev = fd;
+  }
+  // Single element: the Dq=1 superset rate (up to rounding in 1-(1-x)^1).
+  EXPECT_NEAR(FalseDropOverlap(sig, 10, 1), FalseDropSuperset(sig, 10, 1),
+              1e-12);
+}
+
+TEST(CostExtTest, EmpiricalEqualityFalseDropRate) {
+  // Small F so agreements actually happen; compare measured rate with the
+  // independence model (4-sigma band).
+  SignatureConfig config{16, 1};
+  SignatureParams sig{16, 1};
+  const int64_t dt = 3, dq = 3;
+  const int kTrials = 20000;
+  Rng rng(1);
+  ElementSet query = {900001, 900002, 900003};
+  BitVector qs = MakeSetSignature(query, config);
+  int agree = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    ElementSet target = rng.SampleWithoutReplacement(100000, dt);
+    if (MakeSetSignature(target, config) == qs) ++agree;
+  }
+  double measured = static_cast<double>(agree) / kTrials;
+  double expected = FalseDropEquals(sig, dt, dq);
+  double sigma = std::sqrt(expected * (1 - expected) / kTrials);
+  EXPECT_NEAR(measured, expected, 4 * sigma + 0.002);
+}
+
+TEST(CostExtTest, EmpiricalOverlapFalseDropRate) {
+  SignatureConfig config{64, 2};
+  SignatureParams sig{64, 2};
+  const int64_t dt = 5, dq = 3;
+  const int kTrials = 8000;
+  Rng rng(2);
+  ElementSet query = {800001, 800002, 800003};
+  std::vector<BitVector> element_sigs;
+  for (uint64_t e : query) {
+    element_sigs.push_back(MakeElementSignature(e, config));
+  }
+  int drops = 0;
+  for (int i = 0; i < kTrials; ++i) {
+    ElementSet target = rng.SampleWithoutReplacement(100000, dt);
+    BitVector ts = MakeSetSignature(target, config);
+    for (const BitVector& es : element_sigs) {
+      if (es.IsSubsetOf(ts)) {
+        ++drops;
+        break;
+      }
+    }
+  }
+  double measured = static_cast<double>(drops) / kTrials;
+  double expected = FalseDropOverlap(sig, dt, dq);
+  double sigma = std::sqrt(expected * (1 - expected) / kTrials);
+  EXPECT_NEAR(measured, expected, 4 * sigma + 0.005);
+}
+
+TEST(CostExtTest, EqualityCostShapes) {
+  DatabaseParams db = Paper();
+  NixParams nix;
+  // BSSF reads all F slices; SSF its full scan; NIX rc·Dq + tiny A.
+  EXPECT_NEAR(BssfRetrievalEquals(db, {250, 2}, 10, 10), 250.0, 1.0);
+  EXPECT_NEAR(SsfRetrievalEquals(db, {250, 2}, 10, 10), 245.0, 1.0);
+  EXPECT_NEAR(NixRetrievalEquals(db, nix, 10, 10), 30.0, 0.5);
+  // NIX wins equality at paper scale.
+  EXPECT_LT(NixRetrievalEquals(db, nix, 10, 10),
+            BssfRetrievalEquals(db, {250, 2}, 10, 10));
+}
+
+TEST(CostExtTest, OverlapCostShapes) {
+  DatabaseParams db = Paper();
+  NixParams nix;
+  int64_t dt = 10, dq = 3;
+  double a = ActualDropsOverlap(db, dt, dq);
+  // All three pay the A fetches; they differ in the filter cost.
+  double nix_cost = NixRetrievalOverlap(db, nix, dt, dq);
+  double bssf_cost = BssfRetrievalOverlap(db, {250, 2}, dt, dq);
+  double ssf_cost = SsfRetrievalOverlap(db, {250, 2}, dt, dq);
+  EXPECT_NEAR(nix_cost, 3.0 * dq + a, 1.0);
+  EXPECT_GT(bssf_cost, 2.0 * dq);  // m·Dq slice reads at least
+  EXPECT_GT(ssf_cost, 245.0);      // full scan at least
+  EXPECT_LT(nix_cost, bssf_cost);
+  EXPECT_LT(bssf_cost, ssf_cost);
+}
+
+TEST(CostExtTest, OverlapCostDominatedByActualDropsAtLargeDq) {
+  DatabaseParams db = Paper();
+  NixParams nix;
+  // A_ov ≈ N(1 − C(V−Dq,Dt)/C(V,Dt)) grows toward N; every facility's cost
+  // follows because the answers themselves must be fetched.
+  double a100 = ActualDropsOverlap(db, 10, 100);
+  EXPECT_NEAR(NixRetrievalOverlap(db, nix, 10, 100), 300.0 + a100, 1.0);
+  EXPECT_GT(a100, 2000.0);
+}
+
+}  // namespace
+}  // namespace sigsetdb

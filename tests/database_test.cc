@@ -1,0 +1,262 @@
+#include "db/database.h"
+
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+// Two attributes mirroring the paper's Student class: `courses` (dense ids
+// standing in for Course OIDs) and `hobbies` (small string-ish domain).
+Database::Options StudentOptions() {
+  Database::Options options;
+  Database::AttributeOptions courses;
+  courses.name = "courses";
+  courses.sig = {128, 2};
+  courses.domain_estimate = 300;
+  Database::AttributeOptions hobbies;
+  hobbies.name = "hobbies";
+  hobbies.sig = {128, 2};
+  hobbies.domain_estimate = 40;
+  options.attributes = {courses, hobbies};
+  options.capacity = 4096;
+  return options;
+}
+
+class DatabaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto db = Database::Create(&storage_, "Student", StudentOptions());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+    Rng rng(1);
+    for (int i = 0; i < 400; ++i) {
+      std::vector<ElementSet> attrs = {
+          rng.SampleWithoutReplacement(300, 6),   // courses
+          rng.SampleWithoutReplacement(40, 3)};   // hobbies
+      auto oid = db_->Insert(attrs);
+      ASSERT_TRUE(oid.ok());
+      oids_.push_back(*oid);
+      values_.push_back(std::move(attrs));
+    }
+  }
+
+  std::vector<Oid> BruteForce(const std::vector<SetPredicate>& preds) {
+    std::vector<Oid> out;
+    for (size_t i = 0; i < values_.size(); ++i) {
+      bool ok = true;
+      for (const SetPredicate& p : preds) {
+        size_t attr = p.attribute == "courses" ? 0 : 1;
+        ElementSet query = p.query;
+        NormalizeSet(&query);
+        StoredObject probe{oids_[i], values_[i][attr]};
+        bool hit = false;
+        switch (p.kind) {
+          case QueryKind::kSuperset:
+            hit = SatisfiesSuperset(probe, query);
+            break;
+          case QueryKind::kSubset:
+            hit = SatisfiesSubset(probe, query);
+            break;
+          case QueryKind::kProperSuperset:
+            hit = SatisfiesProperSuperset(probe, query);
+            break;
+          case QueryKind::kProperSubset:
+            hit = SatisfiesProperSubset(probe, query);
+            break;
+          case QueryKind::kEquals:
+            hit = SatisfiesEquals(probe, query);
+            break;
+          case QueryKind::kOverlaps:
+            hit = SatisfiesOverlap(probe, query);
+            break;
+        }
+        if (!hit) {
+          ok = false;
+          break;
+        }
+      }
+      if (ok) out.push_back(oids_[i]);
+    }
+    return out;
+  }
+
+  void ExpectQueryMatches(const std::vector<SetPredicate>& preds) {
+    auto result = db_->Query(preds);
+    ASSERT_TRUE(result.ok()) << result.status().ToString();
+    std::vector<Oid> got = result->oids;
+    std::sort(got.begin(), got.end());
+    std::vector<Oid> want = BruteForce(preds);
+    std::sort(want.begin(), want.end());
+    EXPECT_EQ(got, want);
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<Database> db_;
+  std::vector<Oid> oids_;
+  std::vector<std::vector<ElementSet>> values_;
+};
+
+TEST_F(DatabaseTest, ValidationRejectsBadOptions) {
+  StorageManager storage;
+  Database::Options empty;
+  EXPECT_EQ(Database::Create(&storage, "X", empty).status().code(),
+            StatusCode::kInvalidArgument);
+  Database::Options unnamed = StudentOptions();
+  unnamed.attributes[0].name = "";
+  EXPECT_EQ(Database::Create(&storage, "X", unnamed).status().code(),
+            StatusCode::kInvalidArgument);
+  Database::Options no_facility = StudentOptions();
+  no_facility.attributes[1].maintain_bssf = false;
+  no_facility.attributes[1].maintain_nix = false;
+  EXPECT_EQ(Database::Create(&storage, "X", no_facility).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, SingleAttributeQueriesMatchBruteForce) {
+  ExpectQueryMatches({{"courses", QueryKind::kSuperset,
+                       {values_[5][0][0], values_[5][0][2]}}});
+  Rng rng(2);
+  ExpectQueryMatches(
+      {{"hobbies", QueryKind::kSubset, rng.SampleWithoutReplacement(40, 20)}});
+  ExpectQueryMatches({{"hobbies", QueryKind::kOverlaps, {1, 2}}});
+  ExpectQueryMatches({{"courses", QueryKind::kEquals, values_[9][0]}});
+}
+
+TEST_F(DatabaseTest, ConjunctionAcrossAttributes) {
+  // The paper's flagship compound query shape: courses ⊇ X and hobbies ⊆ Y.
+  Rng rng(3);
+  std::vector<SetPredicate> preds = {
+      {"courses", QueryKind::kSuperset, {values_[7][0][1]}},
+      {"hobbies", QueryKind::kSubset, rng.SampleWithoutReplacement(40, 25)}};
+  ExpectQueryMatches(preds);
+  auto result = db_->Query(preds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->driver.empty());
+  EXPECT_EQ(result->num_candidates,
+            result->oids.size() + result->num_false_drops);
+}
+
+TEST_F(DatabaseTest, ConjunctionOnSameAttribute) {
+  std::vector<SetPredicate> preds = {
+      {"courses", QueryKind::kSuperset, {values_[11][0][0]}},
+      {"courses", QueryKind::kSuperset, {values_[11][0][3]}}};
+  ExpectQueryMatches(preds);
+}
+
+TEST_F(DatabaseTest, DriverPicksCheaperPredicate) {
+  // A 2-element superset predicate is far more selective (and cheaper)
+  // than a huge subset predicate; the driver should be the former.
+  Rng rng(4);
+  std::vector<SetPredicate> preds = {
+      {"hobbies", QueryKind::kSubset, rng.SampleWithoutReplacement(40, 35)},
+      {"courses", QueryKind::kSuperset,
+       {values_[3][0][0], values_[3][0][1]}}};
+  auto result = db_->Query(preds);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->driver.rfind("courses", 0), 0u) << result->driver;
+}
+
+TEST_F(DatabaseTest, UnknownAttributeRejected) {
+  EXPECT_EQ(db_->Query({{"gpa", QueryKind::kSuperset, {1}}}).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(DatabaseTest, EmptyInputsRejected) {
+  EXPECT_EQ(db_->Query({}).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(db_->Query({{"courses", QueryKind::kSuperset, {}}})
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(DatabaseTest, DeleteRemovesFromAllAttributes) {
+  ASSERT_TRUE(db_->Delete(oids_[0]).ok());
+  auto by_course = db_->Query(
+      {{"courses", QueryKind::kSuperset, {values_[0][0][0]}}});
+  ASSERT_TRUE(by_course.ok());
+  EXPECT_TRUE(std::find(by_course->oids.begin(), by_course->oids.end(),
+                        oids_[0]) == by_course->oids.end());
+  auto by_hobby = db_->Query(
+      {{"hobbies", QueryKind::kSuperset, {values_[0][1][0]}}});
+  ASSERT_TRUE(by_hobby.ok());
+  EXPECT_TRUE(std::find(by_hobby->oids.begin(), by_hobby->oids.end(),
+                        oids_[0]) == by_hobby->oids.end());
+  // Re-run a brute-force-checked query over the survivors.
+  values_.erase(values_.begin());
+  oids_.erase(oids_.begin());
+  ExpectQueryMatches({{"courses", QueryKind::kSuperset, {values_[4][0][0]}}});
+}
+
+TEST_F(DatabaseTest, CheckpointAndReopenOnDisk) {
+  std::string dir = "/tmp/sigsetdb_dbtest_" + std::to_string(::getpid());
+  ASSERT_EQ(::mkdir(dir.c_str(), 0755), 0);
+  std::vector<Oid> expected;
+  {
+    StorageManager storage(dir);
+    auto db = Database::Create(&storage, "Student", StudentOptions());
+    ASSERT_TRUE(db.ok());
+    Rng rng(5);
+    for (int i = 0; i < 200; ++i) {
+      ASSERT_TRUE((*db)
+                      ->Insert({rng.SampleWithoutReplacement(300, 6),
+                                rng.SampleWithoutReplacement(40, 3)})
+                      .ok());
+    }
+    auto result = (*db)->Query({{"courses", QueryKind::kOverlaps, {5, 6}}});
+    ASSERT_TRUE(result.ok());
+    expected = result->oids;
+    ASSERT_TRUE((*db)->Checkpoint().ok());
+  }
+  {
+    StorageManager storage(dir);
+    auto db = Database::Open(&storage, "Student", StudentOptions());
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    EXPECT_EQ((*db)->num_objects(), 200u);
+    auto result = (*db)->Query({{"courses", QueryKind::kOverlaps, {5, 6}}});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->oids, expected);
+  }
+  std::string cmd = "rm -rf '" + dir + "'";
+  ASSERT_EQ(std::system(cmd.c_str()), 0);
+}
+
+TEST_F(DatabaseTest, AutoDomainEstimatePerAttribute) {
+  Database::Options options = StudentOptions();
+  options.attributes[0].domain_estimate = 0;  // auto
+  options.attributes[1].domain_estimate = 0;
+  StorageManager storage;
+  auto db = Database::Create(&storage, "Auto", options);
+  ASSERT_TRUE(db.ok());
+  Rng rng(41);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*db)
+                    ->Insert({rng.SampleWithoutReplacement(300, 6),
+                              rng.SampleWithoutReplacement(40, 3)})
+                    .ok());
+  }
+  EXPECT_NEAR(static_cast<double>((*db)->DomainEstimate(0)), 300.0, 30.0);
+  EXPECT_NEAR(static_cast<double>((*db)->DomainEstimate(1)), 40.0, 6.0);
+  auto result = (*db)->Query({{"hobbies", QueryKind::kSuperset, {1, 2}}});
+  ASSERT_TRUE(result.ok());
+}
+
+TEST_F(DatabaseTest, AttributeIndexLookup) {
+  auto courses = db_->AttributeIndex("courses");
+  ASSERT_TRUE(courses.ok());
+  EXPECT_EQ(*courses, 0u);
+  auto hobbies = db_->AttributeIndex("hobbies");
+  ASSERT_TRUE(hobbies.ok());
+  EXPECT_EQ(*hobbies, 1u);
+  EXPECT_EQ(db_->attribute_name(1), "hobbies");
+  EXPECT_EQ(db_->num_attributes(), 2u);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,115 @@
+#include "storage/disk_page_file.h"
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+// Creates a unique temp path per test.
+std::string TempPath(const std::string& tag) {
+  const char* tmp = std::getenv("TMPDIR");
+  std::string dir = tmp != nullptr ? tmp : "/tmp";
+  return dir + "/sigsetdb_" + tag + "_" + std::to_string(::getpid()) +
+         ".pages";
+}
+
+class DiskPageFileTest : public ::testing::Test {
+ protected:
+  void TearDown() override {
+    if (!path_.empty()) std::remove(path_.c_str());
+  }
+  std::string path_;
+};
+
+TEST_F(DiskPageFileTest, CreateEmptyFile) {
+  path_ = TempPath("create");
+  auto file = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(file.ok()) << file.status().ToString();
+  EXPECT_EQ((*file)->num_pages(), 0u);
+}
+
+TEST_F(DiskPageFileTest, WriteReadRoundTrip) {
+  path_ = TempPath("roundtrip");
+  auto file = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(file.ok());
+  auto id = (*file)->Allocate();
+  ASSERT_TRUE(id.ok());
+  Page out;
+  out.WriteAt<uint64_t>(100, 0xfeedfaceULL);
+  ASSERT_TRUE((*file)->Write(*id, out).ok());
+  Page in;
+  ASSERT_TRUE((*file)->Read(*id, &in).ok());
+  EXPECT_EQ(in.ReadAt<uint64_t>(100), 0xfeedfaceULL);
+}
+
+TEST_F(DiskPageFileTest, AllocatedPagesAreZeroed) {
+  path_ = TempPath("zeroed");
+  auto file = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Allocate().ok());
+  Page page;
+  page.bytes.fill(0xcc);
+  ASSERT_TRUE((*file)->Read(0, &page).ok());
+  for (uint8_t b : page.bytes) ASSERT_EQ(b, 0);
+}
+
+TEST_F(DiskPageFileTest, PersistsAcrossReopen) {
+  path_ = TempPath("reopen");
+  {
+    auto file = OnDiskPageFile::Open("t", path_);
+    ASSERT_TRUE(file.ok());
+    for (int i = 0; i < 3; ++i) ASSERT_TRUE((*file)->Allocate().ok());
+    Page page;
+    page.WriteAt<uint32_t>(0, 42u);
+    ASSERT_TRUE((*file)->Write(2, page).ok());
+    ASSERT_TRUE((*file)->Sync().ok());
+  }
+  auto reopened = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(reopened.ok());
+  EXPECT_EQ((*reopened)->num_pages(), 3u);
+  Page page;
+  ASSERT_TRUE((*reopened)->Read(2, &page).ok());
+  EXPECT_EQ(page.ReadAt<uint32_t>(0), 42u);
+}
+
+TEST_F(DiskPageFileTest, OutOfRangeAccessRejected) {
+  path_ = TempPath("oob");
+  auto file = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(file.ok());
+  Page page;
+  EXPECT_EQ((*file)->Read(0, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ((*file)->Write(0, page).code(), StatusCode::kOutOfRange);
+}
+
+TEST_F(DiskPageFileTest, MisalignedFileRejected) {
+  path_ = TempPath("misaligned");
+  FILE* f = std::fopen(path_.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  std::fputs("not a page", f);
+  std::fclose(f);
+  auto file = OnDiskPageFile::Open("t", path_);
+  EXPECT_EQ(file.status().code(), StatusCode::kCorruption);
+}
+
+TEST_F(DiskPageFileTest, CountsAccesses) {
+  path_ = TempPath("stats");
+  auto file = OnDiskPageFile::Open("t", path_);
+  ASSERT_TRUE(file.ok());
+  ASSERT_TRUE((*file)->Allocate().ok());
+  Page page;
+  ASSERT_TRUE((*file)->Read(0, &page).ok());
+  ASSERT_TRUE((*file)->Write(0, page).ok());
+  EXPECT_EQ((*file)->stats().page_reads, 1u);
+  EXPECT_EQ((*file)->stats().page_writes, 1u);
+}
+
+TEST_F(DiskPageFileTest, OpenFailsOnBadDirectory) {
+  auto file = OnDiskPageFile::Open("t", "/nonexistent_dir_xyz/file.pages");
+  EXPECT_EQ(file.status().code(), StatusCode::kIoError);
+}
+
+}  // namespace
+}  // namespace sigsetdb

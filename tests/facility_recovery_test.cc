@@ -1,0 +1,189 @@
+// Direct tests of the facility recovery factories (CreateFromExisting):
+// round trips over populated files, partially filled tail pages, and the
+// corruption guards that reject inconsistent metadata.
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "nix/btree.h"
+#include "sig/bssf.h"
+#include "sig/ssf.h"
+#include "storage/page_file.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+Oid MakeOid(uint64_t i) {
+  return Oid::FromLocation(static_cast<PageId>(i), 0);
+}
+
+TEST(SsfRecoveryTest, RoundTripAcrossPartialTailPages) {
+  InMemoryPageFile sig_file("sig"), oid_file("oid");
+  const SignatureConfig config{250, 2};
+  Rng rng(1);
+  std::vector<ElementSet> sets;
+  // 200 signatures: 131 fill page 0, 69 leave page 1 partially filled, and
+  // the OID file tail page holds 200 < 512 entries.
+  {
+    auto ssf = SequentialSignatureFile::Create(config, &sig_file, &oid_file);
+    ASSERT_TRUE(ssf.ok());
+    for (uint64_t i = 0; i < 200; ++i) {
+      sets.push_back(rng.SampleWithoutReplacement(500, 6));
+      ASSERT_TRUE((*ssf)->Insert(MakeOid(i), sets.back()).ok());
+    }
+  }
+  auto reopened = SequentialSignatureFile::CreateFromExisting(
+      config, &sig_file, &oid_file, 200);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_signatures(), 200u);
+  // Existing data answers queries.
+  ElementSet query = {sets[42][0], sets[42][3]};
+  NormalizeSet(&query);
+  auto result = (*reopened)->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::find(result->oids.begin(), result->oids.end(),
+                        MakeOid(42)) != result->oids.end());
+  // Appends continue on the partial tail pages without clobbering them.
+  ASSERT_TRUE((*reopened)->Insert(MakeOid(200), {1, 2, 3}).ok());
+  auto again = (*reopened)->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->oids, result->oids);
+}
+
+TEST(SsfRecoveryTest, RejectsWrongCount) {
+  InMemoryPageFile sig_file("sig"), oid_file("oid");
+  const SignatureConfig config{250, 2};
+  {
+    auto ssf = SequentialSignatureFile::Create(config, &sig_file, &oid_file);
+    ASSERT_TRUE(ssf.ok());
+    for (uint64_t i = 0; i < 50; ++i) {
+      ASSERT_TRUE((*ssf)->Insert(MakeOid(i), {i}).ok());
+    }
+  }
+  // A count implying a different page tally must be rejected.
+  EXPECT_EQ(SequentialSignatureFile::CreateFromExisting(config, &sig_file,
+                                                        &oid_file, 600)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BssfRecoveryTest, RoundTripAndContinuedInserts) {
+  InMemoryPageFile slice_file("slices"), oid_file("oid");
+  const SignatureConfig config{128, 2};
+  Rng rng(2);
+  std::vector<ElementSet> sets;
+  {
+    auto bssf = BitSlicedSignatureFile::Create(
+        config, 1024, &slice_file, &oid_file, BssfInsertMode::kSparse);
+    ASSERT_TRUE(bssf.ok());
+    for (uint64_t i = 0; i < 300; ++i) {
+      sets.push_back(rng.SampleWithoutReplacement(200, 5));
+      ASSERT_TRUE((*bssf)->Insert(MakeOid(i), sets.back()).ok());
+    }
+  }
+  auto reopened = BitSlicedSignatureFile::CreateFromExisting(
+      config, 1024, &slice_file, &oid_file, BssfInsertMode::kSparse, 300);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  EXPECT_EQ((*reopened)->num_signatures(), 300u);
+  ElementSet query = {sets[7][1], sets[7][4]};
+  NormalizeSet(&query);
+  auto result = (*reopened)->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(std::find(result->oids.begin(), result->oids.end(),
+                        MakeOid(7)) != result->oids.end());
+  ASSERT_TRUE((*reopened)->Insert(MakeOid(300), sets[7]).ok());
+  auto after = (*reopened)->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->oids.size(), result->oids.size() + 1);
+}
+
+TEST(BssfRecoveryTest, Guards) {
+  InMemoryPageFile slice_file("slices"), oid_file("oid");
+  const SignatureConfig config{128, 2};
+  {
+    auto bssf = BitSlicedSignatureFile::Create(
+        config, 1024, &slice_file, &oid_file, BssfInsertMode::kSparse);
+    ASSERT_TRUE(bssf.ok());
+    ASSERT_TRUE((*bssf)->Insert(MakeOid(0), {1}).ok());
+  }
+  // Count above capacity.
+  EXPECT_EQ(BitSlicedSignatureFile::CreateFromExisting(
+                config, 1024, &slice_file, &oid_file,
+                BssfInsertMode::kSparse, 2048)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+  // Wrong F: slice store page count mismatch.
+  EXPECT_EQ(BitSlicedSignatureFile::CreateFromExisting(
+                {256, 2}, 1024, &slice_file, &oid_file,
+                BssfInsertMode::kSparse, 1)
+                .status()
+                .code(),
+            StatusCode::kCorruption);
+}
+
+TEST(BTreeRecoveryTest, RoundTripWithFreeList) {
+  InMemoryPageFile file("tree");
+  PageId root;
+  uint32_t height;
+  uint64_t leaves, internal, overflow, free_pages;
+  PageId free_head;
+  {
+    auto tree = BTree::Create(&file, 8);
+    ASSERT_TRUE(tree.ok());
+    for (uint64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE((*tree)->Insert(7, MakeOid(i)).ok());
+      ASSERT_TRUE((*tree)->Insert(10000 + i, MakeOid(i)).ok());
+    }
+    // Drain the hot key so the free list is non-empty at "checkpoint".
+    for (uint64_t i = 0; i < 800; ++i) {
+      ASSERT_TRUE((*tree)->Remove(7, MakeOid(i)).ok());
+    }
+    ASSERT_GT((*tree)->free_pages(), 0u);
+    root = (*tree)->root();
+    height = (*tree)->height();
+    leaves = (*tree)->leaf_pages();
+    internal = (*tree)->internal_pages();
+    overflow = (*tree)->overflow_pages();
+    free_head = (*tree)->free_list_head();
+    free_pages = (*tree)->free_pages();
+  }
+  auto reopened = BTree::CreateFromExisting(&file, 8, root, height, leaves,
+                                            internal, overflow);
+  ASSERT_TRUE(reopened.ok()) << reopened.status().ToString();
+  (*reopened)->RestoreFreeList(free_head, free_pages);
+  // Contents intact: the drained hot key is gone, the others answer.
+  EXPECT_TRUE((*reopened)->Lookup(7)->empty());
+  for (uint64_t i = 0; i < 800; i += 97) {
+    auto postings = (*reopened)->Lookup(10000 + i);
+    ASSERT_TRUE(postings.ok());
+    EXPECT_EQ(postings->size(), 1u) << i;
+  }
+  // New overflow chains recycle the freed pages.
+  PageId pages_before = file.num_pages();
+  for (uint64_t i = 0; i < 800; ++i) {
+    ASSERT_TRUE((*reopened)->Insert(9999, MakeOid(i)).ok());
+  }
+  EXPECT_EQ(file.num_pages(), pages_before);
+}
+
+TEST(BTreeRecoveryTest, RejectsBadMetadata) {
+  InMemoryPageFile file("tree");
+  {
+    auto tree = BTree::Create(&file, 8);
+    ASSERT_TRUE(tree.ok());
+    ASSERT_TRUE((*tree)->Insert(1, MakeOid(1)).ok());
+  }
+  // Root out of range.
+  EXPECT_EQ(BTree::CreateFromExisting(&file, 8, 99, 0, 1, 0).status().code(),
+            StatusCode::kCorruption);
+  // Height claims an internal root but page 0 is a leaf.
+  EXPECT_EQ(BTree::CreateFromExisting(&file, 8, 0, 2, 1, 2).status().code(),
+            StatusCode::kCorruption);
+}
+
+}  // namespace
+}  // namespace sigsetdb

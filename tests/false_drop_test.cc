@@ -1,0 +1,167 @@
+#include "model/false_drop.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "sig/signature.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(FalseDropTest, WeightMatchesClosedForm) {
+  SignatureParams sig{500, 2};
+  // m_t = 500(1-(1-2/500)^10) = 19.65...
+  EXPECT_NEAR(ExpectedSignatureWeight(sig, 10), 19.65, 0.05);
+  // Approximation close to exact for m/F << 1.
+  EXPECT_NEAR(ExpectedSignatureWeightApprox(sig, 10),
+              ExpectedSignatureWeight(sig, 10), 0.1);
+}
+
+TEST(FalseDropTest, WeightSaturatesAtF) {
+  SignatureParams sig{64, 8};
+  EXPECT_LT(ExpectedSignatureWeight(sig, 1000), 64.0 + 1e-9);
+  EXPECT_GT(ExpectedSignatureWeight(sig, 1000), 63.9);
+}
+
+TEST(FalseDropTest, SupersetFalseDropDecreasesWithDq) {
+  SignatureParams sig{500, 2};
+  double prev = 1.0;
+  for (int64_t dq = 1; dq <= 10; ++dq) {
+    double fd = FalseDropSuperset(sig, 10, dq);
+    EXPECT_GT(fd, 0.0);
+    EXPECT_LT(fd, prev);
+    prev = fd;
+  }
+}
+
+TEST(FalseDropTest, SubsetFalseDropIncreasesWithDq) {
+  SignatureParams sig{500, 2};
+  double prev = 0.0;
+  for (int64_t dq = 10; dq <= 1000; dq *= 2) {
+    double fd = FalseDropSubset(sig, 10, dq);
+    EXPECT_GT(fd, prev);
+    EXPECT_LE(fd, 1.0);
+    prev = fd;
+  }
+}
+
+TEST(FalseDropTest, SupersetSubsetSymmetry) {
+  // Eq. (6) is eq. (2) with Dt and Dq swapped.
+  SignatureParams sig{250, 3};
+  EXPECT_DOUBLE_EQ(FalseDropSuperset(sig, 10, 4),
+                   FalseDropSubset(sig, 4, 10));
+}
+
+TEST(FalseDropTest, Fig5OperatingPointIsNegligible) {
+  // Fig. 5: BSSF m=2, F=500, Dt=10 has tiny false-drop rates.
+  SignatureParams sig{500, 2};
+  EXPECT_LT(FalseDropSuperset(sig, 10, 3), 1e-7);
+  // At Dq=1 the rate is noticeable: (1-e^{-0.04})^2 ≈ 1.5e-3.
+  EXPECT_NEAR(FalseDropSuperset(sig, 10, 1), 1.54e-3, 2e-4);
+}
+
+TEST(FalseDropTest, PartialSliceFormulaReducesToEq6) {
+  SignatureParams sig{500, 2};
+  int64_t dq = 50;
+  double m_q = ExpectedSignatureWeightApprox(sig, dq);
+  double full = FalseDropSubsetPartial(sig, 10, 500.0 - m_q);
+  EXPECT_NEAR(full, FalseDropSubsetApprox(sig, 10, dq), 0.1 * full + 1e-12);
+}
+
+TEST(FalseDropTest, PartialSliceMonotoneInScannedSlices) {
+  SignatureParams sig{500, 2};
+  double prev = 1.0;
+  for (double s : {0.0, 10.0, 50.0, 150.0, 300.0, 500.0}) {
+    double fd = FalseDropSubsetPartial(sig, 10, s);
+    EXPECT_LE(fd, prev);
+    prev = fd;
+  }
+  EXPECT_DOUBLE_EQ(FalseDropSubsetPartial(sig, 10, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(FalseDropSubsetPartial(sig, 10, 500.0), 0.0);
+}
+
+TEST(FalseDropTest, OptimalMPaperValues) {
+  // m_opt = F ln2 / Dt: ~17.3 for F=250, Dt=10; ~34.7 for F=500.
+  EXPECT_NEAR(OptimalM(250, 10), 17.33, 0.01);
+  EXPECT_NEAR(OptimalM(500, 10), 34.66, 0.01);
+  EXPECT_NEAR(OptimalM(2500, 100), 17.33, 0.01);
+}
+
+TEST(FalseDropTest, OptimalMMinimizesSupersetFd) {
+  // m_opt = F·ln2/Dt is derived from the exponential approximation (paper
+  // eq. 3), so it is the exact argmin of the *approximate* Fd; for the
+  // exact ideal-hash formula it is near-optimal (within a small factor).
+  int64_t f = 500, dt = 10, dq = 2;
+  int64_t m_opt = static_cast<int64_t>(std::llround(OptimalM(f, dt)));
+  double approx_at_opt = FalseDropSupersetApprox({f, m_opt}, dt, dq);
+  double exact_at_opt = FalseDropSuperset({f, m_opt}, dt, dq);
+  double exact_min = exact_at_opt;
+  for (int64_t m = 1; m <= 100; ++m) {
+    EXPECT_GE(FalseDropSupersetApprox({f, m}, dt, dq),
+              approx_at_opt * 0.999)
+        << "m=" << m;
+    exact_min = std::min(exact_min, FalseDropSuperset({f, m}, dt, dq));
+  }
+  EXPECT_LT(exact_at_opt, exact_min * 1.3);
+}
+
+TEST(FalseDropTest, Eq4ApproximatesExactAtMopt) {
+  int64_t f = 250, dt = 10, dq = 1;
+  double eq4 = FalseDropSupersetAtOptimalM(f, dt, dq);
+  int64_t m_opt = static_cast<int64_t>(std::llround(OptimalM(f, dt)));
+  double exact = FalseDropSuperset({f, m_opt}, dt, dq);
+  // Same order of magnitude (both astronomically small).
+  EXPECT_NEAR(std::log10(eq4), std::log10(exact), 0.5);
+}
+
+// Empirical check: simulate the superset filter and compare the measured
+// false-drop rate with eq. (2).  Uses a generous F to keep variance sane.
+TEST(FalseDropTest, EmpiricalSupersetRateMatchesModel) {
+  SignatureConfig config{64, 2};
+  SignatureParams sig{64, 2};
+  const int64_t dt = 5, dq = 2;
+  const int kTargets = 6000;
+  Rng rng(9);
+  // Unsuccessful search: query elements outside the target element range.
+  ElementSet query = {100001, 100002};
+  BitVector query_sig = MakeSetSignature(query, config);
+  int drops = 0;
+  for (int i = 0; i < kTargets; ++i) {
+    ElementSet target = rng.SampleWithoutReplacement(100000, dt);
+    if (MatchesSuperset(MakeSetSignature(target, config), query_sig)) {
+      ++drops;
+    }
+  }
+  double measured = static_cast<double>(drops) / kTargets;
+  double expected = FalseDropSuperset(sig, dt, dq);
+  // Binomial std-dev tolerance (4 sigma).
+  double sigma = std::sqrt(expected * (1 - expected) / kTargets);
+  EXPECT_NEAR(measured, expected, 4 * sigma + 0.002);
+}
+
+TEST(FalseDropTest, EmpiricalSubsetRateMatchesModel) {
+  SignatureConfig config{64, 2};
+  SignatureParams sig{64, 2};
+  const int64_t dt = 4, dq = 20;
+  const int kTargets = 6000;
+  Rng rng(10);
+  ElementSet query;
+  for (uint64_t e = 200000; e < 200000 + static_cast<uint64_t>(dq); ++e) {
+    query.push_back(e);
+  }
+  BitVector query_sig = MakeSetSignature(query, config);
+  int drops = 0;
+  for (int i = 0; i < kTargets; ++i) {
+    ElementSet target = rng.SampleWithoutReplacement(100000, dt);
+    if (MatchesSubset(MakeSetSignature(target, config), query_sig)) ++drops;
+  }
+  double measured = static_cast<double>(drops) / kTargets;
+  double expected = FalseDropSubset(sig, dt, dq);
+  double sigma = std::sqrt(expected * (1 - expected) / kTargets);
+  EXPECT_NEAR(measured, expected, 4 * sigma + 0.005);
+}
+
+}  // namespace
+}  // namespace sigsetdb

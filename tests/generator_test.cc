@@ -1,0 +1,134 @@
+#include "workload/generator.h"
+#include <cmath>
+
+#include <algorithm>
+#include <map>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+TEST(GeneratorTest, FixedCardinalityRespected) {
+  WorkloadConfig config{100, 1000, CardinalitySpec::Fixed(10),
+                        SkewKind::kUniform, 0.99, 1};
+  SetGenerator gen(config);
+  for (int i = 0; i < 100; ++i) {
+    ElementSet set = gen.NextSet();
+    EXPECT_EQ(set.size(), 10u);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_TRUE(std::adjacent_find(set.begin(), set.end()) == set.end());
+    for (uint64_t e : set) EXPECT_LT(e, 1000u);
+  }
+}
+
+TEST(GeneratorTest, VariableCardinalityInRange) {
+  WorkloadConfig config{100, 1000, {5, 15}, SkewKind::kUniform, 0.99, 2};
+  SetGenerator gen(config);
+  bool saw_min = false, saw_max = false;
+  for (int i = 0; i < 300; ++i) {
+    ElementSet set = gen.NextSet();
+    EXPECT_GE(set.size(), 5u);
+    EXPECT_LE(set.size(), 15u);
+    if (set.size() == 5) saw_min = true;
+    if (set.size() == 15) saw_max = true;
+  }
+  EXPECT_TRUE(saw_min);
+  EXPECT_TRUE(saw_max);
+}
+
+TEST(GeneratorTest, DeterministicBySeed) {
+  WorkloadConfig config{10, 500, CardinalitySpec::Fixed(5),
+                        SkewKind::kUniform, 0.99, 7};
+  auto a = MakeDatabase(config);
+  auto b = MakeDatabase(config);
+  EXPECT_EQ(a, b);
+  config.seed = 8;
+  auto c = MakeDatabase(config);
+  EXPECT_NE(a, c);
+}
+
+TEST(GeneratorTest, MakeDatabaseProducesNObjects) {
+  WorkloadConfig config{250, 100, CardinalitySpec::Fixed(4),
+                        SkewKind::kUniform, 0.99, 3};
+  auto sets = MakeDatabase(config);
+  EXPECT_EQ(sets.size(), 250u);
+}
+
+TEST(GeneratorTest, UniformCoverageOfDomain) {
+  WorkloadConfig config{2000, 50, CardinalitySpec::Fixed(5),
+                        SkewKind::kUniform, 0.99, 4};
+  auto sets = MakeDatabase(config);
+  std::map<uint64_t, int> counts;
+  for (const auto& s : sets) {
+    for (uint64_t e : s) ++counts[e];
+  }
+  EXPECT_EQ(counts.size(), 50u);
+  // Expected count per element: 2000*5/50 = 200.
+  for (const auto& [e, c] : counts) {
+    EXPECT_NEAR(c, 200, 5 * std::sqrt(200.0)) << "element " << e;
+  }
+}
+
+TEST(GeneratorTest, ZipfSkewsTowardSmallIds) {
+  WorkloadConfig config{3000, 1000, CardinalitySpec::Fixed(5),
+                        SkewKind::kZipf, 0.99, 5};
+  auto sets = MakeDatabase(config);
+  uint64_t low = 0, high = 0;
+  for (const auto& s : sets) {
+    for (uint64_t e : s) {
+      if (e < 100) {
+        ++low;
+      } else {
+        ++high;
+      }
+    }
+  }
+  // With theta≈1, the first 10% of the domain draws far more than 10%.
+  EXPECT_GT(low, high);
+}
+
+TEST(GeneratorTest, ZipfSetsStillDistinctAndSorted) {
+  WorkloadConfig config{100, 200, CardinalitySpec::Fixed(8), SkewKind::kZipf,
+                        0.99, 6};
+  SetGenerator gen(config);
+  for (int i = 0; i < 100; ++i) {
+    ElementSet set = gen.NextSet();
+    EXPECT_EQ(set.size(), 8u);
+    EXPECT_TRUE(std::is_sorted(set.begin(), set.end()));
+    EXPECT_TRUE(std::adjacent_find(set.begin(), set.end()) == set.end());
+  }
+}
+
+TEST(GeneratorTest, HittingSupersetQueryIsSubsetOfTarget) {
+  Rng rng(9);
+  ElementSet target = {2, 4, 8, 16, 32, 64};
+  for (int64_t dq = 1; dq <= 6; ++dq) {
+    ElementSet query = MakeHittingSupersetQuery(target, dq, rng);
+    EXPECT_EQ(query.size(), static_cast<size_t>(dq));
+    EXPECT_TRUE(IsSubset(query, target));
+  }
+}
+
+TEST(GeneratorTest, HittingSubsetQueryIsSupersetOfTarget) {
+  Rng rng(10);
+  ElementSet target = {5, 10, 15};
+  for (int64_t dq : {3, 5, 20}) {
+    ElementSet query = MakeHittingSubsetQuery(target, 1000, dq, rng);
+    EXPECT_EQ(query.size(), static_cast<size_t>(dq));
+    EXPECT_TRUE(IsSubset(target, query));
+    for (uint64_t e : query) EXPECT_LT(e, 1000u);
+  }
+}
+
+TEST(GeneratorTest, QuerySetHasRequestedCardinality) {
+  WorkloadConfig config{1, 13000, CardinalitySpec::Fixed(10),
+                        SkewKind::kUniform, 0.99, 11};
+  SetGenerator gen(config);
+  for (int64_t dq : {1, 2, 10, 100, 1000}) {
+    EXPECT_EQ(gen.QuerySet(dq).size(), static_cast<size_t>(dq));
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

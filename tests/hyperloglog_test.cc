@@ -1,0 +1,107 @@
+#include "util/hyperloglog.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(HyperLogLogTest, EmptyEstimatesZero) {
+  HyperLogLog hll(12);
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, SmallCardinalitiesExactViaLinearCounting) {
+  HyperLogLog hll(12);
+  for (uint64_t v = 0; v < 50; ++v) hll.Add(v * 977 + 13);
+  EXPECT_NEAR(hll.Estimate(), 50.0, 3.0);
+}
+
+TEST(HyperLogLogTest, DuplicatesDoNotInflate) {
+  HyperLogLog hll(12);
+  for (int round = 0; round < 100; ++round) {
+    for (uint64_t v = 0; v < 200; ++v) hll.Add(v);
+  }
+  EXPECT_NEAR(hll.Estimate(), 200.0, 10.0);
+}
+
+// Accuracy sweep: relative error must stay within ~5 sigma of the HLL bound
+// 1.04/sqrt(m) across magnitudes.
+class HllAccuracyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(HllAccuracyTest, RelativeErrorWithinBound) {
+  const uint64_t n = GetParam();
+  HyperLogLog hll(12);
+  Rng rng(n);
+  for (uint64_t i = 0; i < n; ++i) hll.Add(rng.Next());
+  // rng.Next() collisions are negligible at these sizes.
+  double error = std::abs(hll.Estimate() - static_cast<double>(n)) /
+                 static_cast<double>(n);
+  double bound = 1.04 / std::sqrt(4096.0);  // ≈ 1.6 %
+  EXPECT_LT(error, 5 * bound) << "n=" << n;
+}
+
+INSTANTIATE_TEST_SUITE_P(Magnitudes, HllAccuracyTest,
+                         ::testing::Values(1000, 13000, 100000, 1000000));
+
+TEST(HyperLogLogTest, PaperDomainCardinality) {
+  // The paper's V = 13,000 dense domain ids.
+  HyperLogLog hll(12);
+  for (uint64_t v = 0; v < 13000; ++v) hll.Add(v);
+  EXPECT_NEAR(hll.Estimate(), 13000.0, 13000.0 * 0.08);
+}
+
+TEST(HyperLogLogTest, MergeEqualsUnion) {
+  HyperLogLog a(10), b(10), u(10);
+  for (uint64_t v = 0; v < 5000; ++v) {
+    a.Add(v);
+    u.Add(v);
+  }
+  for (uint64_t v = 2500; v < 9000; ++v) {
+    b.Add(v);
+    u.Add(v);
+  }
+  a.Merge(b);
+  EXPECT_DOUBLE_EQ(a.Estimate(), u.Estimate());
+}
+
+TEST(HyperLogLogTest, ClearResets) {
+  HyperLogLog hll(8);
+  for (uint64_t v = 0; v < 1000; ++v) hll.Add(v);
+  hll.Clear();
+  EXPECT_DOUBLE_EQ(hll.Estimate(), 0.0);
+}
+
+TEST(HyperLogLogTest, RegisterRoundTrip) {
+  HyperLogLog a(12);
+  for (uint64_t v = 0; v < 7777; ++v) a.Add(v * 31 + 1);
+  HyperLogLog b(12);
+  ASSERT_TRUE(b.LoadRegisters(a.registers().data(), a.registers().size()));
+  EXPECT_DOUBLE_EQ(b.Estimate(), a.Estimate());
+  // Size mismatch rejected.
+  HyperLogLog c(10);
+  EXPECT_FALSE(c.LoadRegisters(a.registers().data(), a.registers().size()));
+}
+
+TEST(HyperLogLogTest, PrecisionTradesStateForAccuracy) {
+  Rng rng(5);
+  std::vector<uint64_t> values;
+  for (int i = 0; i < 50000; ++i) values.push_back(rng.Next());
+  HyperLogLog coarse(6), fine(14);
+  for (uint64_t v : values) {
+    coarse.Add(v);
+    fine.Add(v);
+  }
+  double coarse_err = std::abs(coarse.Estimate() - 50000.0) / 50000.0;
+  double fine_err = std::abs(fine.Estimate() - 50000.0) / 50000.0;
+  EXPECT_LT(fine_err, 0.05);
+  EXPECT_LT(coarse_err, 0.6);
+  EXPECT_EQ(coarse.num_registers(), 64u);
+  EXPECT_EQ(fine.num_registers(), 16384u);
+}
+
+}  // namespace
+}  // namespace sigsetdb

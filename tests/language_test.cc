@@ -1,0 +1,248 @@
+#include "query/language.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+// ---- parser ----
+
+TEST(ParseQueryTest, PaperSampleQueryOne) {
+  auto parsed = ParseQuery(
+      "select Student where hobbies has-subset (\"Baseball\", \"Fishing\")");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->class_name, "Student");
+  ASSERT_EQ(parsed->predicates.size(), 1u);
+  const ParsedPredicate& p = parsed->predicates[0];
+  EXPECT_EQ(p.attribute, "hobbies");
+  EXPECT_EQ(p.kind, QueryKind::kSuperset);
+  ASSERT_EQ(p.literals.size(), 2u);
+  EXPECT_TRUE(p.literals[0].is_string);
+  EXPECT_EQ(p.literals[0].text, "Baseball");
+  EXPECT_EQ(p.literals[1].text, "Fishing");
+}
+
+TEST(ParseQueryTest, PaperSampleQueryTwo) {
+  auto parsed = ParseQuery(
+      "select Student where hobbies in-subset (\"Baseball\", \"Fishing\", "
+      "\"Tennis\")");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->predicates[0].kind, QueryKind::kSubset);
+  EXPECT_EQ(parsed->predicates[0].literals.size(), 3u);
+}
+
+TEST(ParseQueryTest, AllOperators) {
+  struct Case {
+    const char* op;
+    QueryKind kind;
+  };
+  for (const Case& c :
+       {Case{"has-subset", QueryKind::kSuperset},
+        Case{"in-subset", QueryKind::kSubset},
+        Case{"has-proper-subset", QueryKind::kProperSuperset},
+        Case{"in-proper-subset", QueryKind::kProperSubset},
+        Case{"equals", QueryKind::kEquals},
+        Case{"overlaps", QueryKind::kOverlaps}}) {
+    auto parsed = ParseQuery(std::string("select C where a ") + c.op +
+                             " (1, 2)");
+    ASSERT_TRUE(parsed.ok()) << c.op;
+    EXPECT_EQ(parsed->predicates[0].kind, c.kind) << c.op;
+  }
+}
+
+TEST(ParseQueryTest, IntegerLiterals) {
+  auto parsed = ParseQuery("select C where courses has-subset (42, 7)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_FALSE(parsed->predicates[0].literals[0].is_string);
+  EXPECT_EQ(parsed->predicates[0].literals[0].number, 42u);
+  EXPECT_EQ(parsed->predicates[0].literals[1].number, 7u);
+}
+
+TEST(ParseQueryTest, Conjunction) {
+  auto parsed = ParseQuery(
+      "select Student where courses has-subset (1, 3) and hobbies "
+      "in-subset (\"a\", \"b\")");
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->predicates.size(), 2u);
+  EXPECT_EQ(parsed->predicates[0].attribute, "courses");
+  EXPECT_EQ(parsed->predicates[1].attribute, "hobbies");
+}
+
+TEST(ParseQueryTest, WhitespaceAndMixedLiterals) {
+  auto parsed = ParseQuery(
+      "  select   C\nwhere a overlaps (\"x\" ,  3,\"y\")  ");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(parsed->predicates[0].literals.size(), 3u);
+}
+
+TEST(ParseQueryTest, SyntaxErrors) {
+  const char* bad[] = {
+      "",
+      "select",
+      "select Student",
+      "select Student where",
+      "select Student where hobbies",
+      "select Student where hobbies has-subset",
+      "select Student where hobbies has-subset (",
+      "select Student where hobbies has-subset ()",
+      "select Student where hobbies has-subset (\"a\"",
+      "select Student where hobbies has-subset (\"a\",)",
+      "select Student where hobbies frobnicates (\"a\")",
+      "select Student where hobbies has-subset (\"a\") garbage",
+      "select Student where hobbies has-subset (\"unterminated)",
+      "select Student where hobbies has-subset (\"a\") and",
+      "pick Student where hobbies has-subset (\"a\")",
+      "select Student where hobbies has-subset (#)",
+  };
+  for (const char* text : bad) {
+    auto parsed = ParseQuery(text);
+    EXPECT_FALSE(parsed.ok()) << "accepted: " << text;
+    EXPECT_EQ(parsed.status().code(), StatusCode::kInvalidArgument) << text;
+  }
+}
+
+// ---- binder + end-to-end ----
+
+class LanguageBindingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::Options options;
+    Database::AttributeOptions courses;
+    courses.name = "courses";
+    courses.sig = {128, 2};
+    courses.domain_estimate = 100;
+    Database::AttributeOptions hobbies;
+    hobbies.name = "hobbies";
+    hobbies.sig = {128, 2};
+    hobbies.domain_estimate = 20;
+    options.attributes = {courses, hobbies};
+    options.capacity = 1024;
+    auto db = Database::Create(&storage_, "Student", options);
+    ASSERT_TRUE(db.ok());
+    db_ = std::move(*db);
+
+    // The paper's hobby vocabulary plus Jeff/Aiko-style students.
+    ElementDictionary& dict = db_->dictionary(1);
+    uint64_t baseball = dict.IdForString("Baseball");
+    uint64_t fishing = dict.IdForString("Fishing");
+    uint64_t tennis = dict.IdForString("Tennis");
+    uint64_t golf = dict.IdForString("Golf");
+    struct Row {
+      ElementSet courses;
+      ElementSet hobbies;
+    };
+    const Row rows[] = {
+        {{1, 3, 4}, {baseball, fishing}},          // Jeff
+        {{1, 2}, {baseball, fishing, golf}},        // ...
+        {{2, 5}, {tennis}},
+        {{1, 3}, {baseball, tennis}},
+        {{4}, {fishing}},
+    };
+    for (const Row& row : rows) {
+      auto oid = db_->Insert({row.courses, row.hobbies});
+      ASSERT_TRUE(oid.ok());
+      oids_.push_back(*oid);
+    }
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<Database> db_;
+  std::vector<Oid> oids_;
+};
+
+TEST_F(LanguageBindingTest, BindResolvesStringsAndIntegers) {
+  auto parsed = ParseQuery(
+      "select Student where hobbies has-subset (\"Baseball\") and courses "
+      "has-subset (1)");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BindQuery(*parsed, db_.get());
+  ASSERT_TRUE(bound.ok());
+  ASSERT_EQ(bound->size(), 2u);
+  EXPECT_EQ((*bound)[0].query.size(), 1u);
+  EXPECT_EQ((*bound)[1].query, ElementSet{1});
+}
+
+TEST_F(LanguageBindingTest, PaperQueryOneEndToEnd) {
+  // "Find all Students whose hobbies include {Baseball, Fishing}".
+  auto result = ExecuteQueryText(
+      "select Student where hobbies has-subset (\"Baseball\", \"Fishing\")",
+      db_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  std::vector<Oid> got = result->oids;
+  std::sort(got.begin(), got.end());
+  std::vector<Oid> want = {oids_[0], oids_[1]};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(LanguageBindingTest, PaperQueryTwoEndToEnd) {
+  // "Find all Students whose hobbies are a subset of {Baseball, Fishing,
+  // Tennis}" — excludes the Golf player.
+  auto result = ExecuteQueryText(
+      "select Student where hobbies in-subset (\"Baseball\", \"Fishing\", "
+      "\"Tennis\")",
+      db_.get());
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->oids.size(), 4u);  // everyone except the golfer
+}
+
+TEST_F(LanguageBindingTest, ConjunctionEndToEnd) {
+  auto result = ExecuteQueryText(
+      "select Student where courses has-subset (1) and hobbies has-subset "
+      "(\"Baseball\")",
+      db_.get());
+  ASSERT_TRUE(result.ok());
+  std::vector<Oid> got = result->oids;
+  std::sort(got.begin(), got.end());
+  std::vector<Oid> want = {oids_[0], oids_[1], oids_[3]};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+TEST_F(LanguageBindingTest, UnknownStringMatchesNothing) {
+  std::vector<std::string> unknown;
+  auto parsed = ParseQuery(
+      "select Student where hobbies has-subset (\"Cricket\")");
+  ASSERT_TRUE(parsed.ok());
+  auto bound = BindQuery(*parsed, db_.get(), &unknown);
+  ASSERT_TRUE(bound.ok());
+  EXPECT_EQ(unknown, std::vector<std::string>{"Cricket"});
+  auto result = db_->Query(*bound);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->oids.empty());
+  // In a subset query an unknown string only widens Q: all-Tennis players
+  // still qualify.
+  auto subset = ExecuteQueryText(
+      "select Student where hobbies in-subset (\"Tennis\", \"Cricket\")",
+      db_.get());
+  ASSERT_TRUE(subset.ok());
+  EXPECT_EQ(subset->oids, std::vector<Oid>{oids_[2]});
+}
+
+TEST_F(LanguageBindingTest, UnknownAttributeFailsBinding) {
+  auto parsed = ParseQuery("select Student where gpa has-subset (1)");
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(BindQuery(*parsed, db_.get()).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST_F(LanguageBindingTest, ProperSubsetOperatorEndToEnd) {
+  // The golfer's exact hobby set must not satisfy the strict operator.
+  auto result = ExecuteQueryText(
+      "select Student where hobbies in-proper-subset (\"Baseball\", "
+      "\"Fishing\", \"Golf\")",
+      db_.get());
+  ASSERT_TRUE(result.ok());
+  // Jeff {Baseball,Fishing} and the lone fisher qualify strictly; the
+  // golfer's set equals Q so it is excluded.
+  std::vector<Oid> got = result->oids;
+  std::sort(got.begin(), got.end());
+  std::vector<Oid> want = {oids_[0], oids_[4]};
+  std::sort(want.begin(), want.end());
+  EXPECT_EQ(got, want);
+}
+
+}  // namespace
+}  // namespace sigsetdb

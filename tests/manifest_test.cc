@@ -1,0 +1,83 @@
+#include "db/manifest.h"
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+TEST(ManifestTest, RoundTrip) {
+  InMemoryPageFile file("m");
+  Manifest::Values values = {{"a", 1}, {"num_objects", 32000},
+                             {"nix_root", 690}};
+  ASSERT_TRUE(Manifest::Write(&file, values).ok());
+  auto read = Manifest::Read(&file);
+  ASSERT_TRUE(read.ok()) << read.status().ToString();
+  EXPECT_EQ(*read, values);
+}
+
+TEST(ManifestTest, OverwriteReplacesValues) {
+  InMemoryPageFile file("m");
+  ASSERT_TRUE(Manifest::Write(&file, {{"x", 1}}).ok());
+  ASSERT_TRUE(Manifest::Write(&file, {{"y", 2}}).ok());
+  auto read = Manifest::Read(&file);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(read->size(), 1u);
+  EXPECT_EQ((*read)["y"], 2u);
+}
+
+TEST(ManifestTest, EmptyValuesAllowed) {
+  InMemoryPageFile file("m");
+  ASSERT_TRUE(Manifest::Write(&file, {}).ok());
+  auto read = Manifest::Read(&file);
+  ASSERT_TRUE(read.ok());
+  EXPECT_TRUE(read->empty());
+}
+
+TEST(ManifestTest, MissingFileReportsNotFound) {
+  InMemoryPageFile file("m");
+  EXPECT_EQ(Manifest::Read(&file).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ManifestTest, CorruptMagicRejected) {
+  InMemoryPageFile file("m");
+  ASSERT_TRUE(Manifest::Write(&file, {{"x", 1}}).ok());
+  Page page;
+  ASSERT_TRUE(file.Read(0, &page).ok());
+  page.WriteAt<uint32_t>(0, 0xdeadbeef);
+  ASSERT_TRUE(file.Write(0, page).ok());
+  EXPECT_EQ(Manifest::Read(&file).status().code(), StatusCode::kCorruption);
+}
+
+TEST(ManifestTest, GetFetchesRequiredKeys) {
+  Manifest::Values values = {{"present", 7}};
+  auto got = Manifest::Get(values, "present");
+  ASSERT_TRUE(got.ok());
+  EXPECT_EQ(*got, 7u);
+  EXPECT_EQ(Manifest::Get(values, "absent").status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(ManifestTest, ManyKeysFitOnePage) {
+  InMemoryPageFile file("m");
+  Manifest::Values values;
+  for (int i = 0; i < 200; ++i) {
+    values["key_" + std::to_string(i)] = static_cast<uint64_t>(i);
+  }
+  ASSERT_TRUE(Manifest::Write(&file, values).ok());
+  auto read = Manifest::Read(&file);
+  ASSERT_TRUE(read.ok());
+  EXPECT_EQ(*read, values);
+}
+
+TEST(ManifestTest, OversizeRejected) {
+  InMemoryPageFile file("m");
+  Manifest::Values values;
+  std::string long_key(200, 'k');
+  for (int i = 0; i < 40; ++i) {
+    values[long_key + std::to_string(i)] = 0;
+  }
+  EXPECT_EQ(Manifest::Write(&file, values).code(), StatusCode::kOutOfRange);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,73 @@
+#include "util/math.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+TEST(MathTest, LogFactorialSmallValues) {
+  EXPECT_DOUBLE_EQ(LogFactorial(0), 0.0);
+  EXPECT_DOUBLE_EQ(LogFactorial(1), 0.0);
+  EXPECT_NEAR(LogFactorial(5), std::log(120.0), 1e-12);
+  EXPECT_NEAR(LogFactorial(10), std::log(3628800.0), 1e-9);
+}
+
+TEST(MathTest, LogChooseMatchesSmallCases) {
+  EXPECT_NEAR(std::exp(LogChoose(5, 2)), 10.0, 1e-9);
+  EXPECT_NEAR(std::exp(LogChoose(10, 5)), 252.0, 1e-6);
+  EXPECT_NEAR(std::exp(LogChoose(52, 5)), 2598960.0, 1e-3);
+}
+
+TEST(MathTest, LogChooseBoundaryCases) {
+  EXPECT_DOUBLE_EQ(LogChoose(7, 0), 0.0);
+  EXPECT_DOUBLE_EQ(LogChoose(7, 7), 0.0);
+  EXPECT_TRUE(std::isinf(LogChoose(7, 8)));
+  EXPECT_TRUE(std::isinf(LogChoose(7, -1)));
+  EXPECT_TRUE(std::isinf(LogChoose(-1, 0)));
+}
+
+TEST(MathTest, ChooseRatioExactSmallCase) {
+  // C(4,2)/C(6,3) = 6/20.
+  EXPECT_NEAR(ChooseRatio(4, 2, 6, 3), 0.3, 1e-12);
+}
+
+TEST(MathTest, ChooseRatioZeroNumerator) {
+  EXPECT_DOUBLE_EQ(ChooseRatio(3, 5, 6, 3), 0.0);
+}
+
+TEST(MathTest, ChooseRatioPaperScale) {
+  // Probability a fixed element is in a uniform 10-subset of 13000:
+  // C(12999,9)/C(13000,10) = 10/13000.
+  EXPECT_NEAR(ChooseRatio(12999, 9, 13000, 10), 10.0 / 13000.0, 1e-12);
+}
+
+TEST(MathTest, HypergeometricSumsToOne) {
+  double sum = 0.0;
+  for (int j = 0; j <= 10; ++j) sum += HypergeometricPmf(13000, 100, 10, j);
+  EXPECT_NEAR(sum, 1.0, 1e-9);
+}
+
+TEST(MathTest, HypergeometricSmallCase) {
+  // Draw 2 from {1..4} with 2 marked: P(exactly 1 marked) = 4/6.
+  EXPECT_NEAR(HypergeometricPmf(4, 2, 2, 1), 4.0 / 6.0, 1e-12);
+  EXPECT_NEAR(HypergeometricPmf(4, 2, 2, 2), 1.0 / 6.0, 1e-12);
+  EXPECT_NEAR(HypergeometricPmf(4, 2, 2, 0), 1.0 / 6.0, 1e-12);
+}
+
+TEST(MathTest, HypergeometricImpossibleOutcomes) {
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(10, 3, 5, 4), 0.0);  // j > dq
+  EXPECT_DOUBLE_EQ(HypergeometricPmf(10, 9, 5, 0), 0.0);  // dt - j > v - dq
+}
+
+TEST(MathTest, CeilDiv) {
+  EXPECT_EQ(CeilDiv(0, 4), 0);
+  EXPECT_EQ(CeilDiv(1, 4), 1);
+  EXPECT_EQ(CeilDiv(4, 4), 1);
+  EXPECT_EQ(CeilDiv(5, 4), 2);
+  EXPECT_EQ(CeilDiv(32000, 512), 63);  // the paper's SC_OID
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,181 @@
+#include "nix/nested_index.h"
+
+#include <algorithm>
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+Oid MakeOid(uint64_t i) {
+  return Oid::FromLocation(static_cast<PageId>(i), 0);
+}
+
+class NestedIndexTest : public ::testing::Test {
+ protected:
+  void MakeIndex(uint32_t fanout = kPaperFanout) {
+    auto nix = NestedIndex::Create(&file_, fanout);
+    ASSERT_TRUE(nix.ok()) << nix.status().ToString();
+    nix_ = std::move(*nix);
+  }
+
+  // Populates `count` random sets and returns them.
+  std::vector<ElementSet> Populate(uint64_t count, uint64_t domain,
+                                   uint64_t dt, uint64_t seed) {
+    Rng rng(seed);
+    std::vector<ElementSet> sets;
+    for (uint64_t i = 0; i < count; ++i) {
+      sets.push_back(rng.SampleWithoutReplacement(domain, dt));
+      EXPECT_TRUE(nix_->Insert(MakeOid(i), sets.back()).ok());
+    }
+    return sets;
+  }
+
+  InMemoryPageFile file_{"nix"};
+  std::unique_ptr<NestedIndex> nix_;
+};
+
+TEST_F(NestedIndexTest, SupersetCandidatesAreExact) {
+  MakeIndex();
+  auto sets = Populate(300, 100, 5, 1);
+  ElementSet query = {sets[10][0], sets[10][3]};
+  NormalizeSet(&query);
+  auto result = nix_->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+  std::set<Oid> got(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(got.count(MakeOid(i)) > 0, IsSubset(query, sets[i]))
+        << "object " << i;
+  }
+}
+
+TEST_F(NestedIndexTest, SubsetCandidatesAreUnionOfPostings) {
+  MakeIndex();
+  auto sets = Populate(200, 60, 4, 2);
+  Rng rng(3);
+  ElementSet query = rng.SampleWithoutReplacement(60, 20);
+  auto result = nix_->Candidates(QueryKind::kSubset, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  std::set<Oid> got(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(got.count(MakeOid(i)) > 0, Overlaps(sets[i], query))
+        << "object " << i;
+    if (IsSubset(sets[i], query)) {
+      EXPECT_TRUE(got.count(MakeOid(i))) << "missing true subset match " << i;
+    }
+  }
+}
+
+TEST_F(NestedIndexTest, OverlapCandidatesAreExact) {
+  MakeIndex();
+  auto sets = Populate(150, 50, 3, 4);
+  ElementSet query = {sets[0][0], sets[99][2]};
+  NormalizeSet(&query);
+  auto result = nix_->Candidates(QueryKind::kOverlaps, query);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->exact);
+  std::set<Oid> got(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    EXPECT_EQ(got.count(MakeOid(i)) > 0, Overlaps(sets[i], query));
+  }
+}
+
+TEST_F(NestedIndexTest, EqualsCandidatesContainTrueMatches) {
+  MakeIndex();
+  auto sets = Populate(100, 40, 3, 5);
+  auto result = nix_->Candidates(QueryKind::kEquals, sets[17]);
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->exact);
+  EXPECT_TRUE(std::find(result->oids.begin(), result->oids.end(),
+                        MakeOid(17)) != result->oids.end());
+  // All candidates are supersets of the query.
+  std::set<Oid> got(result->oids.begin(), result->oids.end());
+  for (uint64_t i = 0; i < sets.size(); ++i) {
+    if (got.count(MakeOid(i))) {
+      EXPECT_TRUE(IsSubset(sets[17], sets[i]));
+    }
+  }
+}
+
+TEST_F(NestedIndexTest, SmartSupersetUsesRequestedLookups) {
+  MakeIndex();
+  auto sets = Populate(300, 100, 6, 6);
+  ElementSet query = {sets[5][0], sets[5][2], sets[5][4]};
+  NormalizeSet(&query);
+  auto smart = nix_->CandidatesSmartSuperset(query, 2);
+  ASSERT_TRUE(smart.ok());
+  EXPECT_FALSE(smart->exact);
+  // Smart candidates are a superset of the exact answer.
+  auto exact = nix_->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(exact.ok());
+  EXPECT_TRUE(std::includes(smart->oids.begin(), smart->oids.end(),
+                            exact->oids.begin(), exact->oids.end()));
+}
+
+TEST_F(NestedIndexTest, SmartSupersetRejectsEmptyQuery) {
+  MakeIndex();
+  EXPECT_EQ(nix_->CandidatesSmartSuperset({}, 2).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(NestedIndexTest, RemoveDropsPostings) {
+  MakeIndex();
+  ASSERT_TRUE(nix_->Insert(MakeOid(0), {1, 2}).ok());
+  ASSERT_TRUE(nix_->Insert(MakeOid(1), {2, 3}).ok());
+  ASSERT_TRUE(nix_->Remove(MakeOid(0), {1, 2}).ok());
+  auto result = nix_->Candidates(QueryKind::kSuperset, {2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->oids, std::vector<Oid>{MakeOid(1)});
+}
+
+TEST_F(NestedIndexTest, BulkBuildMatchesIncremental) {
+  MakeIndex();
+  Rng rng(7);
+  std::vector<Oid> oids;
+  std::vector<ElementSet> sets;
+  for (uint64_t i = 0; i < 400; ++i) {
+    oids.push_back(MakeOid(i));
+    sets.push_back(rng.SampleWithoutReplacement(80, 5));
+  }
+  ASSERT_TRUE(nix_->BulkBuild(oids, sets).ok());
+
+  InMemoryPageFile file2("nix2");
+  auto nix2 = NestedIndex::Create(&file2);
+  ASSERT_TRUE(nix2.ok());
+  for (uint64_t i = 0; i < 400; ++i) {
+    ASSERT_TRUE((*nix2)->Insert(oids[i], sets[i]).ok());
+  }
+  for (uint64_t e = 0; e < 80; ++e) {
+    auto a = nix_->tree().Lookup(e);
+    auto b = (*nix2)->tree().Lookup(e);
+    ASSERT_TRUE(a.ok());
+    ASSERT_TRUE(b.ok());
+    std::sort(b->begin(), b->end());
+    EXPECT_EQ(*a, *b) << "element " << e;
+  }
+}
+
+TEST_F(NestedIndexTest, BulkBuildSizeMismatchRejected) {
+  MakeIndex();
+  EXPECT_EQ(nix_->BulkBuild({MakeOid(0)}, {}).code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(NestedIndexTest, SupersetLookupCostMatchesRcTimesDq) {
+  MakeIndex(/*fanout=*/8);
+  Populate(2000, 300, 5, 8);
+  // With small fanout the tree is at least height 2 => rc = height+1.
+  uint32_t rc = nix_->tree().height() + 1;
+  ElementSet query = {5, 17, 200};
+  file_.stats().Reset();
+  ASSERT_TRUE(nix_->Candidates(QueryKind::kSuperset, query).ok());
+  EXPECT_EQ(file_.stats().page_reads, rc * query.size());
+}
+
+}  // namespace
+}  // namespace sigsetdb

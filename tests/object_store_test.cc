@@ -1,0 +1,140 @@
+#include "obj/object_store.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(ObjectStoreTest, InsertAssignsPhysicalOid) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  auto oid = store.Insert({1, 2, 3});
+  ASSERT_TRUE(oid.ok());
+  EXPECT_TRUE(oid->valid());
+  EXPECT_EQ(oid->page(), 0u);
+  EXPECT_EQ(oid->slot(), 0u);
+  EXPECT_EQ(store.num_objects(), 1u);
+}
+
+TEST(ObjectStoreTest, GetRoundTripsSetValue) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  ElementSet set = {5, 10, 10000000000ULL};
+  auto oid = store.Insert(set);
+  ASSERT_TRUE(oid.ok());
+  auto obj = store.Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->set_value, set);
+  EXPECT_EQ(obj->oid, *oid);
+}
+
+TEST(ObjectStoreTest, EmptySetSupported) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  auto oid = store.Insert({});
+  ASSERT_TRUE(oid.ok());
+  auto obj = store.Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_TRUE(obj->set_value.empty());
+}
+
+TEST(ObjectStoreTest, GetCostsExactlyOnePageRead) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  auto oid = store.Insert({1, 2, 3});
+  ASSERT_TRUE(oid.ok());
+  file.stats().Reset();
+  ASSERT_TRUE(store.Get(*oid).ok());
+  EXPECT_EQ(file.stats().page_reads, 1u);
+  EXPECT_EQ(file.stats().page_writes, 0u);
+}
+
+TEST(ObjectStoreTest, ObjectsPackIntoPages) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  // 100-element sets: 804-byte records + 4-byte slots => 5 per page.
+  ElementSet set(100);
+  for (int i = 0; i < 100; ++i) set[static_cast<size_t>(i)] = i;
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(store.Insert(set).ok());
+  EXPECT_EQ(store.num_pages(), 2u);
+}
+
+TEST(ObjectStoreTest, GetInvalidOidFails) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  EXPECT_EQ(store.Get(Oid()).status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(store.Get(Oid::FromLocation(9, 0)).ok());
+}
+
+TEST(ObjectStoreTest, DeleteMakesOidDangling) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  auto oid = store.Insert({7});
+  ASSERT_TRUE(oid.ok());
+  ASSERT_TRUE(store.Delete(*oid).ok());
+  EXPECT_EQ(store.Get(*oid).status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.Delete(*oid).code(), StatusCode::kNotFound);
+  EXPECT_EQ(store.num_objects(), 0u);
+}
+
+TEST(ObjectStoreTest, OversizeSetRejected) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  ElementSet huge(600);
+  for (size_t i = 0; i < huge.size(); ++i) huge[i] = i;
+  EXPECT_EQ(store.Insert(huge).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ObjectStoreTest, ManyObjectsRoundTrip) {
+  InMemoryPageFile file("obj");
+  ObjectStore store(&file);
+  Rng rng(3);
+  std::vector<Oid> oids;
+  std::vector<ElementSet> sets;
+  for (int i = 0; i < 500; ++i) {
+    ElementSet set = rng.SampleWithoutReplacement(1000, 10);
+    auto oid = store.Insert(set);
+    ASSERT_TRUE(oid.ok());
+    oids.push_back(*oid);
+    sets.push_back(std::move(set));
+  }
+  for (size_t i = 0; i < oids.size(); ++i) {
+    auto obj = store.Get(oids[i]);
+    ASSERT_TRUE(obj.ok());
+    EXPECT_EQ(obj->set_value, sets[i]);
+  }
+}
+
+TEST(ObjectPredicatesTest, SubsetAndOverlap) {
+  EXPECT_TRUE(IsSubset({1, 3}, {1, 2, 3}));
+  EXPECT_FALSE(IsSubset({1, 4}, {1, 2, 3}));
+  EXPECT_TRUE(IsSubset({}, {1}));
+  EXPECT_TRUE(Overlaps({1, 5}, {5, 9}));
+  EXPECT_FALSE(Overlaps({1, 5}, {2, 6}));
+  EXPECT_FALSE(Overlaps({}, {1}));
+}
+
+TEST(ObjectPredicatesTest, StoredObjectPredicates) {
+  StoredObject obj;
+  obj.set_value = {2, 4, 6};
+  EXPECT_TRUE(SatisfiesSuperset(obj, {2, 6}));
+  EXPECT_FALSE(SatisfiesSuperset(obj, {2, 5}));
+  EXPECT_TRUE(SatisfiesSubset(obj, {1, 2, 3, 4, 5, 6}));
+  EXPECT_FALSE(SatisfiesSubset(obj, {2, 4}));
+  EXPECT_TRUE(SatisfiesEquals(obj, {2, 4, 6}));
+  EXPECT_FALSE(SatisfiesEquals(obj, {2, 4}));
+  EXPECT_TRUE(SatisfiesOverlap(obj, {6, 7}));
+  EXPECT_FALSE(SatisfiesOverlap(obj, {1, 3}));
+}
+
+TEST(ObjectPredicatesTest, NormalizeSet) {
+  ElementSet s = {5, 1, 5, 3, 1};
+  NormalizeSet(&s);
+  EXPECT_EQ(s, (ElementSet{1, 3, 5}));
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,115 @@
+#include "storage/page_file.h"
+
+#include <gtest/gtest.h>
+
+#include "storage/storage_manager.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(InMemoryPageFileTest, AllocateGrowsFile) {
+  InMemoryPageFile f("t");
+  EXPECT_EQ(f.num_pages(), 0u);
+  auto p0 = f.Allocate();
+  ASSERT_TRUE(p0.ok());
+  EXPECT_EQ(*p0, 0u);
+  auto p1 = f.Allocate();
+  ASSERT_TRUE(p1.ok());
+  EXPECT_EQ(*p1, 1u);
+  EXPECT_EQ(f.num_pages(), 2u);
+}
+
+TEST(InMemoryPageFileTest, AllocatedPagesAreZeroed) {
+  InMemoryPageFile f("t");
+  ASSERT_TRUE(f.Allocate().ok());
+  Page page;
+  page.bytes.fill(0xab);
+  ASSERT_TRUE(f.Read(0, &page).ok());
+  for (uint8_t b : page.bytes) EXPECT_EQ(b, 0);
+}
+
+TEST(InMemoryPageFileTest, WriteReadRoundTrip) {
+  InMemoryPageFile f("t");
+  ASSERT_TRUE(f.Allocate().ok());
+  Page out;
+  out.WriteAt<uint64_t>(0, 0xdeadbeefULL);
+  out.WriteAt<uint32_t>(kPageSize - 4, 77u);
+  ASSERT_TRUE(f.Write(0, out).ok());
+  Page in;
+  ASSERT_TRUE(f.Read(0, &in).ok());
+  EXPECT_EQ(in.ReadAt<uint64_t>(0), 0xdeadbeefULL);
+  EXPECT_EQ(in.ReadAt<uint32_t>(kPageSize - 4), 77u);
+}
+
+TEST(InMemoryPageFileTest, OutOfRangeAccessFails) {
+  InMemoryPageFile f("t");
+  Page page;
+  EXPECT_EQ(f.Read(0, &page).code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(f.Write(0, page).code(), StatusCode::kOutOfRange);
+}
+
+TEST(InMemoryPageFileTest, StatsCountEveryAccess) {
+  InMemoryPageFile f("t");
+  ASSERT_TRUE(f.Allocate().ok());
+  Page page;
+  ASSERT_TRUE(f.Read(0, &page).ok());
+  ASSERT_TRUE(f.Read(0, &page).ok());
+  ASSERT_TRUE(f.Write(0, page).ok());
+  EXPECT_EQ(f.stats().page_reads, 2u);
+  EXPECT_EQ(f.stats().page_writes, 1u);
+  EXPECT_EQ(f.stats().total(), 3u);
+  f.stats().Reset();
+  EXPECT_EQ(f.stats().total(), 0u);
+}
+
+TEST(InMemoryPageFileTest, FailedAccessDoesNotCount) {
+  InMemoryPageFile f("t");
+  Page page;
+  (void)f.Read(5, &page);
+  EXPECT_EQ(f.stats().total(), 0u);
+}
+
+TEST(IoStatsTest, DeltaArithmetic) {
+  IoStats a{10, 5};
+  IoStats b{4, 2};
+  IoStats d = a - b;
+  EXPECT_EQ(d.page_reads, 6u);
+  EXPECT_EQ(d.page_writes, 3u);
+  b += d;
+  EXPECT_EQ(b.page_reads, 10u);
+  EXPECT_EQ(b.page_writes, 5u);
+}
+
+TEST(StorageManagerTest, CreateOpenLifecycle) {
+  StorageManager mgr;
+  auto created = mgr.Create("a");
+  ASSERT_TRUE(created.ok());
+  EXPECT_EQ(mgr.Create("a").status().code(), StatusCode::kAlreadyExists);
+  auto opened = mgr.Open("a");
+  ASSERT_TRUE(opened.ok());
+  EXPECT_EQ(*created, *opened);
+  EXPECT_EQ(mgr.Open("b").status().code(), StatusCode::kNotFound);
+  PageFile* b = mgr.CreateOrOpen("b");
+  EXPECT_EQ(mgr.CreateOrOpen("b"), b);
+}
+
+TEST(StorageManagerTest, AggregatesStatsAndPages) {
+  StorageManager mgr;
+  PageFile* a = mgr.CreateOrOpen("a");
+  PageFile* b = mgr.CreateOrOpen("b");
+  ASSERT_TRUE(a->Allocate().ok());
+  ASSERT_TRUE(b->Allocate().ok());
+  ASSERT_TRUE(b->Allocate().ok());
+  Page page;
+  ASSERT_TRUE(a->Read(0, &page).ok());
+  ASSERT_TRUE(b->Write(1, page).ok());
+  IoStats total = mgr.TotalStats();
+  EXPECT_EQ(total.page_reads, 1u);
+  EXPECT_EQ(total.page_writes, 1u);
+  EXPECT_EQ(mgr.TotalPages(), 3u);
+  mgr.ResetStats();
+  EXPECT_EQ(mgr.TotalStats().total(), 0u);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,99 @@
+#include "util/rng.h"
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+TEST(RngTest, DeterministicForSeed) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 64; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+TEST(RngTest, NextBelowRespectsBound) {
+  Rng rng(9);
+  for (uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull, 1ull << 40}) {
+    for (int i = 0; i < 200; ++i) EXPECT_LT(rng.NextBelow(bound), bound);
+  }
+}
+
+TEST(RngTest, NextBelowOneIsAlwaysZero) {
+  Rng rng(4);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(rng.NextBelow(1), 0u);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(5);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, NextBelowRoughlyUniform) {
+  Rng rng(77);
+  constexpr int kBuckets = 10;
+  constexpr int kDraws = 100000;
+  int counts[kBuckets] = {};
+  for (int i = 0; i < kDraws; ++i) ++counts[rng.NextBelow(kBuckets)];
+  for (int c : counts) {
+    EXPECT_NEAR(c, kDraws / kBuckets, 5 * std::sqrt(kDraws / kBuckets));
+  }
+}
+
+TEST(RngTest, SampleWithoutReplacementBasicContract) {
+  Rng rng(11);
+  auto sample = rng.SampleWithoutReplacement(100, 20);
+  EXPECT_EQ(sample.size(), 20u);
+  EXPECT_TRUE(std::is_sorted(sample.begin(), sample.end()));
+  std::set<uint64_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 20u);
+  for (uint64_t v : sample) EXPECT_LT(v, 100u);
+}
+
+TEST(RngTest, SampleWithoutReplacementFullRange) {
+  Rng rng(12);
+  auto sample = rng.SampleWithoutReplacement(10, 10);
+  EXPECT_EQ(sample.size(), 10u);
+  for (uint64_t i = 0; i < 10; ++i) EXPECT_EQ(sample[i], i);
+}
+
+TEST(RngTest, SampleWithoutReplacementEmpty) {
+  Rng rng(13);
+  EXPECT_TRUE(rng.SampleWithoutReplacement(10, 0).empty());
+}
+
+TEST(RngTest, SampleWithoutReplacementCoversDomain) {
+  // Every element should appear in some sample over many trials.
+  Rng rng(14);
+  std::set<uint64_t> seen;
+  for (int trial = 0; trial < 200; ++trial) {
+    for (uint64_t v : rng.SampleWithoutReplacement(20, 5)) seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 20u);
+}
+
+TEST(RngTest, ReseedResetsSequence) {
+  Rng rng(99);
+  uint64_t first = rng.Next();
+  rng.Next();
+  rng.Seed(99);
+  EXPECT_EQ(rng.Next(), first);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,89 @@
+#include "obj/schema.h"
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+ClassDef StudentClass() {
+  return ClassDef{
+      "Student",
+      {
+          {"name", AttributeKind::kString, ""},
+          {"courses", AttributeKind::kSetOfRef, "Course"},
+          {"hobbies", AttributeKind::kSetOfString, ""},
+      }};
+}
+
+TEST(SchemaTest, AddAndFindClass) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(StudentClass()).ok());
+  const ClassDef* cls = schema.FindClass("Student");
+  ASSERT_NE(cls, nullptr);
+  EXPECT_EQ(cls->attributes.size(), 3u);
+  EXPECT_EQ(schema.FindClass("Course"), nullptr);
+}
+
+TEST(SchemaTest, DuplicateClassRejected) {
+  Schema schema;
+  ASSERT_TRUE(schema.AddClass(StudentClass()).ok());
+  EXPECT_EQ(schema.AddClass(StudentClass()).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(SchemaTest, FindAttribute) {
+  ClassDef cls = StudentClass();
+  const AttributeDef* attr = cls.FindAttribute("hobbies");
+  ASSERT_NE(attr, nullptr);
+  EXPECT_EQ(attr->kind, AttributeKind::kSetOfString);
+  const AttributeDef* ref = cls.FindAttribute("courses");
+  ASSERT_NE(ref, nullptr);
+  EXPECT_EQ(ref->target_class, "Course");
+  EXPECT_EQ(cls.FindAttribute("gpa"), nullptr);
+}
+
+TEST(ElementDictionaryTest, InternsStringsStably) {
+  ElementDictionary dict;
+  uint64_t baseball = dict.IdForString("Baseball");
+  uint64_t fishing = dict.IdForString("Fishing");
+  EXPECT_NE(baseball, fishing);
+  EXPECT_EQ(dict.IdForString("Baseball"), baseball);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(ElementDictionaryTest, LookupAndReverse) {
+  ElementDictionary dict;
+  uint64_t id = dict.IdForString("Tennis");
+  auto looked = dict.LookupString("Tennis");
+  ASSERT_TRUE(looked.ok());
+  EXPECT_EQ(*looked, id);
+  auto name = dict.StringForId(id);
+  ASSERT_TRUE(name.ok());
+  EXPECT_EQ(*name, "Tennis");
+  EXPECT_EQ(dict.LookupString("Golf").status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(dict.StringForId(99).status().code(), StatusCode::kNotFound);
+}
+
+TEST(ElementDictionaryTest, OidsAreTheirOwnIds) {
+  Oid oid = Oid::FromLocation(3, 4);
+  EXPECT_EQ(ElementDictionary::IdForOid(oid), oid.value());
+}
+
+TEST(OidTest, LocationRoundTrip) {
+  Oid oid = Oid::FromLocation(123456, 789);
+  EXPECT_EQ(oid.page(), 123456u);
+  EXPECT_EQ(oid.slot(), 789u);
+  EXPECT_TRUE(oid.valid());
+  EXPECT_FALSE(Oid().valid());
+}
+
+TEST(OidTest, OrderingAndHash) {
+  Oid a = Oid::FromLocation(1, 0);
+  Oid b = Oid::FromLocation(1, 1);
+  EXPECT_LT(a, b);
+  EXPECT_NE(std::hash<Oid>{}(a), std::hash<Oid>{}(b));
+  EXPECT_EQ(a, Oid::FromLocation(1, 0));
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,223 @@
+#include "db/set_index.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+namespace {
+
+SetIndex::Options SmallOptions() {
+  SetIndex::Options options;
+  options.maintain_ssf = true;
+  options.maintain_bssf = true;
+  options.maintain_nix = true;
+  options.sig = {128, 2};
+  options.capacity = 4096;
+  options.domain_estimate = 200;
+  return options;
+}
+
+class SetIndexTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    auto index = SetIndex::Create(&storage_, "attr", SmallOptions());
+    ASSERT_TRUE(index.ok()) << index.status().ToString();
+    index_ = std::move(*index);
+    Rng rng(1);
+    for (int i = 0; i < 500; ++i) {
+      sets_.push_back(rng.SampleWithoutReplacement(200, 6));
+      auto oid = index_->Insert(sets_.back());
+      ASSERT_TRUE(oid.ok());
+      oids_.push_back(*oid);
+    }
+  }
+
+  std::vector<Oid> BruteForce(QueryKind kind, const ElementSet& query) {
+    std::vector<Oid> out;
+    for (size_t i = 0; i < sets_.size(); ++i) {
+      StoredObject obj{oids_[i], sets_[i]};
+      bool hit = kind == QueryKind::kSuperset ? SatisfiesSuperset(obj, query)
+                 : kind == QueryKind::kSubset ? SatisfiesSubset(obj, query)
+                 : kind == QueryKind::kEquals ? SatisfiesEquals(obj, query)
+                                              : SatisfiesOverlap(obj, query);
+      if (hit) out.push_back(oids_[i]);
+    }
+    return out;
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<SetIndex> index_;
+  std::vector<ElementSet> sets_;
+  std::vector<Oid> oids_;
+};
+
+TEST_F(SetIndexTest, RequiresAtLeastOneFacility) {
+  SetIndex::Options options;
+  options.maintain_ssf = false;
+  options.maintain_bssf = false;
+  options.maintain_nix = false;
+  StorageManager storage;
+  EXPECT_EQ(SetIndex::Create(&storage, "x", options).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SetIndexTest, TracksStatistics) {
+  EXPECT_EQ(index_->num_objects(), 500u);
+  EXPECT_DOUBLE_EQ(index_->mean_cardinality(), 6.0);
+  EXPECT_GT(index_->SsfPages(), 0u);
+  EXPECT_GT(index_->BssfPages(), 0u);
+  EXPECT_GT(index_->NixPages(), 0u);
+}
+
+TEST_F(SetIndexTest, GetReturnsStoredValue) {
+  auto obj = index_->Get(oids_[42]);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->set_value, sets_[42]);
+}
+
+TEST_F(SetIndexTest, AutoQueryMatchesBruteForceAllKinds) {
+  Rng rng(2);
+  for (QueryKind kind : {QueryKind::kSuperset, QueryKind::kSubset,
+                         QueryKind::kEquals, QueryKind::kOverlaps}) {
+    ElementSet query;
+    switch (kind) {
+      case QueryKind::kSuperset:
+      case QueryKind::kProperSuperset:
+      case QueryKind::kOverlaps:
+        query = {sets_[3][0], sets_[3][2]};
+        break;
+      case QueryKind::kSubset:
+      case QueryKind::kProperSubset:
+        query = MakeHittingSubsetQuery(sets_[3], 200, 40, rng);
+        break;
+      case QueryKind::kEquals:
+        query = sets_[3];
+        break;
+    }
+    NormalizeSet(&query);
+    auto result = index_->Query(kind, query);
+    ASSERT_TRUE(result.ok()) << QueryKindName(kind);
+    std::vector<Oid> got = result->result.oids;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, BruteForce(kind, query)) << QueryKindName(kind);
+    EXPECT_FALSE(result->plan.empty());
+    EXPECT_GT(result->page_accesses, 0u);
+  }
+}
+
+TEST_F(SetIndexTest, ForcedModesAgree) {
+  ElementSet query = {sets_[9][1], sets_[9][4]};
+  NormalizeSet(&query);
+  std::vector<Oid> expected = BruteForce(QueryKind::kSuperset, query);
+  for (PlanMode mode : {PlanMode::kForceSsf, PlanMode::kForceBssf,
+                        PlanMode::kForceNix, PlanMode::kAuto}) {
+    auto result = index_->Query(QueryKind::kSuperset, query, mode);
+    ASSERT_TRUE(result.ok());
+    std::vector<Oid> got = result->result.oids;
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, expected);
+  }
+}
+
+TEST_F(SetIndexTest, AutoPlanTracksDatabaseScale) {
+  // At 500 objects the whole SSF is 2 pages, so a full scan can genuinely
+  // be the cheapest plan — the advisor may pick it.  After growing the
+  // database past a few thousand objects the scan loses and kAuto must
+  // switch away from SSF (the paper's regime).
+  Rng rng(3);
+  for (int i = 0; i < 3500; ++i) {
+    ASSERT_TRUE(index_->Insert(rng.SampleWithoutReplacement(200, 6)).ok());
+  }
+  for (int trial = 0; trial < 5; ++trial) {
+    ElementSet query = rng.SampleWithoutReplacement(200, 2);
+    auto result = index_->Query(QueryKind::kSuperset, query);
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->plan.rfind("ssf", 0), std::string::npos)
+        << result->plan;
+  }
+}
+
+TEST_F(SetIndexTest, AutoPlanCheaperOrEqualToForcedPlans) {
+  Rng rng(4);
+  ElementSet query = rng.SampleWithoutReplacement(200, 40);
+  auto auto_result = index_->Query(QueryKind::kSubset, query);
+  ASSERT_TRUE(auto_result.ok());
+  for (PlanMode mode : {PlanMode::kForceSsf, PlanMode::kForceNix}) {
+    auto forced = index_->Query(QueryKind::kSubset, query, mode);
+    ASSERT_TRUE(forced.ok());
+    EXPECT_LE(auto_result->page_accesses, forced->page_accesses * 2)
+        << "auto plan " << auto_result->plan;
+  }
+}
+
+TEST_F(SetIndexTest, DeleteRemovesEverywhere) {
+  ElementSet query = {sets_[0][0], sets_[0][1]};
+  NormalizeSet(&query);
+  ASSERT_TRUE(index_->Delete(oids_[0]).ok());
+  for (PlanMode mode : {PlanMode::kForceSsf, PlanMode::kForceBssf,
+                        PlanMode::kForceNix}) {
+    auto result = index_->Query(QueryKind::kSuperset, query, mode);
+    ASSERT_TRUE(result.ok());
+    EXPECT_TRUE(std::find(result->result.oids.begin(),
+                          result->result.oids.end(),
+                          oids_[0]) == result->result.oids.end());
+  }
+  EXPECT_EQ(index_->num_objects(), 499u);
+}
+
+TEST_F(SetIndexTest, EmptyQueryRejected) {
+  EXPECT_EQ(index_->Query(QueryKind::kSuperset, {}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST_F(SetIndexTest, ForcedModeWithoutFacilityRejected) {
+  SetIndex::Options options = SmallOptions();
+  options.maintain_ssf = false;
+  StorageManager storage;
+  auto index = SetIndex::Create(&storage, "x", options);
+  ASSERT_TRUE(index.ok());
+  ASSERT_TRUE((*index)->Insert({1, 2}).ok());
+  EXPECT_EQ((*index)
+                ->Query(QueryKind::kSuperset, {1}, PlanMode::kForceSsf)
+                .status()
+                .code(),
+            StatusCode::kFailedPrecondition);
+}
+
+TEST_F(SetIndexTest, AutoDomainEstimateTracksData) {
+  // With domain_estimate unset the advisor's V comes from the live
+  // HyperLogLog: our fixture draws from a 200-element domain.
+  SetIndex::Options options = SmallOptions();
+  options.domain_estimate = 0;
+  StorageManager storage;
+  auto index = SetIndex::Create(&storage, "auto", options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(21);
+  for (int i = 0; i < 500; ++i) {
+    ASSERT_TRUE((*index)->Insert(rng.SampleWithoutReplacement(200, 6)).ok());
+  }
+  EXPECT_NEAR(static_cast<double>((*index)->DomainEstimate()), 200.0, 20.0);
+  // Queries still plan and answer correctly under the sketched V.
+  auto result = (*index)->Query(QueryKind::kSuperset, {5, 9});
+  ASSERT_TRUE(result.ok());
+  EXPECT_FALSE(result->plan.empty());
+}
+
+TEST_F(SetIndexTest, ExplicitDomainEstimateWins) {
+  EXPECT_EQ(index_->DomainEstimate(), 200);  // fixture sets it explicitly
+}
+
+TEST_F(SetIndexTest, InsertNormalizesInput) {
+  auto oid = index_->Insert({9, 3, 9, 1});
+  ASSERT_TRUE(oid.ok());
+  auto obj = index_->Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->set_value, (ElementSet{1, 3, 9}));
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,121 @@
+// Statistical quality of the signature hash — the paper's analysis assumes
+// an "ideal" hash whose one bits are uniformly distributed.  These tests
+// quantify how close the implementation comes: chi-square uniformity of
+// bit positions, independence across elements, and signature-weight
+// distribution against the binomial model.
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sig/signature.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+// Chi-square statistic for observed counts vs a uniform expectation.
+double ChiSquare(const std::vector<uint64_t>& counts, double expected) {
+  double chi = 0;
+  for (uint64_t c : counts) {
+    double d = static_cast<double>(c) - expected;
+    chi += d * d / expected;
+  }
+  return chi;
+}
+
+TEST(SignatureDistributionTest, BitPositionsUniformChiSquare) {
+  // 20,000 elements × m=2 positions over F=250 buckets: expected 160 per
+  // bucket.  For 249 degrees of freedom the 99.9th percentile of chi² is
+  // ~330; allow a wide margin (test must be deterministic, not flaky).
+  const SignatureConfig config{250, 2};
+  std::vector<uint64_t> counts(config.f, 0);
+  for (uint64_t e = 0; e < 20000; ++e) {
+    for (uint32_t pos : ElementSignaturePositions(e, config)) ++counts[pos];
+  }
+  double expected = 20000.0 * config.m / config.f;
+  EXPECT_LT(ChiSquare(counts, expected), 400.0);
+}
+
+TEST(SignatureDistributionTest, UniformAcrossLargeF) {
+  const SignatureConfig config{2500, 3};
+  std::vector<uint64_t> counts(config.f, 0);
+  for (uint64_t e = 0; e < 50000; ++e) {
+    for (uint32_t pos : ElementSignaturePositions(e, config)) ++counts[pos];
+  }
+  double expected = 50000.0 * config.m / config.f;  // 60
+  // 2499 dof; 99.9th percentile ≈ 2680.
+  EXPECT_LT(ChiSquare(counts, expected), 2800.0);
+}
+
+TEST(SignatureDistributionTest, SequentialElementsAreIndependent) {
+  // Consecutive integers (the workload's dense domain ids) must not share
+  // positions more often than random pairs: count pairwise collisions.
+  const SignatureConfig config{250, 2};
+  int collisions = 0;
+  const int kPairs = 5000;
+  for (uint64_t e = 0; e < kPairs; ++e) {
+    BitVector a = MakeElementSignature(e, config);
+    BitVector b = MakeElementSignature(e + 1, config);
+    collisions += static_cast<int>(a.CountAnd(b));
+  }
+  // Expected shared bits per pair ≈ m²/F = 0.016 => ~80 over 5000 pairs.
+  EXPECT_NEAR(collisions, 80, 45);
+}
+
+TEST(SignatureDistributionTest, SignatureWeightMatchesBinomialTail) {
+  // Weight of a Dt=10 set signature: mean F(1-(1-m/F)^Dt), variance from
+  // the occupancy distribution.  Check mean and that the spread is sane.
+  const SignatureConfig config{500, 2};
+  Rng rng(9);
+  const int kTrials = 2000;
+  double sum = 0, sum_sq = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    ElementSet set = rng.SampleWithoutReplacement(13000, 10);
+    double w = static_cast<double>(MakeSetSignature(set, config).Count());
+    sum += w;
+    sum_sq += w * w;
+  }
+  double mean = sum / kTrials;
+  double var = sum_sq / kTrials - mean * mean;
+  double expected_mean = 500.0 * (1.0 - std::pow(1.0 - 2.0 / 500.0, 10));
+  EXPECT_NEAR(mean, expected_mean, 0.15);
+  // Occupancy variance for n=20 balls in F=500 bins ≈ 0.73; allow slack.
+  EXPECT_GT(var, 0.2);
+  EXPECT_LT(var, 2.5);
+}
+
+TEST(SignatureDistributionTest, QueryAndTargetSignaturesAgreeOnElements) {
+  // The same element id must hash identically regardless of which set it
+  // appears in — sampled widely (this is the no-false-negative bedrock).
+  const SignatureConfig config{1000, 3};
+  Rng rng(4);
+  for (int t = 0; t < 200; ++t) {
+    uint64_t e = rng.Next();
+    EXPECT_EQ(ElementSignaturePositions(e, config),
+              ElementSignaturePositions(e, config));
+  }
+}
+
+TEST(SignatureDistributionTest, DifferentConfigsDecorrelated) {
+  // The same element under different (F, m) must not produce systematically
+  // aligned positions (guards against F-dependent hash reuse bugs).
+  const SignatureConfig a{256, 2};
+  const SignatureConfig b{512, 2};
+  int aligned = 0;
+  for (uint64_t e = 0; e < 2000; ++e) {
+    auto pa = ElementSignaturePositions(e, a);
+    auto pb = ElementSignaturePositions(e, b);
+    for (uint32_t x : pa) {
+      for (uint32_t y : pb) {
+        if (x == y) ++aligned;
+      }
+    }
+  }
+  // Expected alignments ≈ 2000 · 4 pairs · (1/512) ≈ 15.6.
+  EXPECT_LT(aligned, 60);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,146 @@
+#include "sig/signature.h"
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+TEST(SignatureConfigTest, Validation) {
+  EXPECT_TRUE((SignatureConfig{250, 17}).Validate().ok());
+  EXPECT_FALSE((SignatureConfig{0, 1}).Validate().ok());
+  EXPECT_FALSE((SignatureConfig{8, 0}).Validate().ok());
+  EXPECT_FALSE((SignatureConfig{8, 9}).Validate().ok());
+  EXPECT_TRUE((SignatureConfig{8, 8}).Validate().ok());
+}
+
+TEST(SignatureTest, ElementSignatureHasExactlyMDistinctBits) {
+  for (uint32_t m : {1u, 2u, 5u, 17u}) {
+    SignatureConfig config{250, m};
+    for (uint64_t e = 0; e < 50; ++e) {
+      auto positions = ElementSignaturePositions(e, config);
+      EXPECT_EQ(positions.size(), m);
+      EXPECT_TRUE(std::is_sorted(positions.begin(), positions.end()));
+      for (size_t i = 1; i < positions.size(); ++i) {
+        EXPECT_NE(positions[i - 1], positions[i]);
+      }
+      for (uint32_t p : positions) EXPECT_LT(p, config.f);
+      EXPECT_EQ(MakeElementSignature(e, config).Count(), m);
+    }
+  }
+}
+
+TEST(SignatureTest, ElementSignatureIsDeterministic) {
+  SignatureConfig config{500, 3};
+  EXPECT_EQ(MakeElementSignature(42, config), MakeElementSignature(42, config));
+  EXPECT_FALSE(MakeElementSignature(42, config) ==
+               MakeElementSignature(43, config));
+}
+
+TEST(SignatureTest, SetSignatureIsOrOfElementSignatures) {
+  SignatureConfig config{128, 4};
+  ElementSet set = {3, 9, 12345};
+  BitVector expected(config.f);
+  for (uint64_t e : set) expected.OrWith(MakeElementSignature(e, config));
+  EXPECT_EQ(MakeSetSignature(set, config), expected);
+}
+
+TEST(SignatureTest, EmptySetSignatureIsZero) {
+  SignatureConfig config{64, 2};
+  EXPECT_EQ(MakeSetSignature({}, config).Count(), 0u);
+}
+
+TEST(SignatureTest, DegenerateFullWidthSignature) {
+  // m == F: every element saturates the signature.
+  SignatureConfig config{8, 8};
+  EXPECT_EQ(MakeElementSignature(1, config).Count(), 8u);
+  EXPECT_EQ(MakeSetSignature({1, 2, 3}, config).Count(), 8u);
+}
+
+TEST(SignatureTest, PartialQuerySignatureUsesPrefix) {
+  SignatureConfig config{256, 3};
+  ElementSet query = {10, 20, 30, 40};
+  BitVector two = MakePartialQuerySignature(query, 2, config);
+  BitVector expected(config.f);
+  expected.OrWith(MakeElementSignature(10, config));
+  expected.OrWith(MakeElementSignature(20, config));
+  EXPECT_EQ(two, expected);
+  // Clamping: asking for more elements than exist gives the full signature.
+  EXPECT_EQ(MakePartialQuerySignature(query, 99, config),
+            MakeSetSignature(query, config));
+  EXPECT_EQ(MakePartialQuerySignature(query, 0, config).Count(), 0u);
+}
+
+// The completeness property at the heart of signature filtering: the search
+// conditions can never reject a truly qualifying target.
+class SignatureNoFalseNegativeTest
+    : public ::testing::TestWithParam<std::tuple<uint32_t, uint32_t>> {};
+
+TEST_P(SignatureNoFalseNegativeTest, SupersetConditionComplete) {
+  auto [f, m] = GetParam();
+  SignatureConfig config{f, m};
+  Rng rng(f * 131 + m);
+  for (int trial = 0; trial < 50; ++trial) {
+    ElementSet target = rng.SampleWithoutReplacement(1000, 10);
+    // Query: subset of the target, so T ⊇ Q holds.
+    ElementSet query = {target[0], target[4], target[9]};
+    NormalizeSet(&query);
+    BitVector ts = MakeSetSignature(target, config);
+    BitVector qs = MakeSetSignature(query, config);
+    EXPECT_TRUE(MatchesSuperset(ts, qs));
+  }
+}
+
+TEST_P(SignatureNoFalseNegativeTest, SubsetConditionComplete) {
+  auto [f, m] = GetParam();
+  SignatureConfig config{f, m};
+  Rng rng(f * 977 + m);
+  for (int trial = 0; trial < 50; ++trial) {
+    ElementSet query = rng.SampleWithoutReplacement(1000, 30);
+    // Target: subset of the query, so T ⊆ Q holds.
+    ElementSet target = {query[0], query[10], query[29]};
+    NormalizeSet(&target);
+    BitVector ts = MakeSetSignature(target, config);
+    BitVector qs = MakeSetSignature(query, config);
+    EXPECT_TRUE(MatchesSubset(ts, qs));
+  }
+}
+
+TEST_P(SignatureNoFalseNegativeTest, EqualSetsHaveEqualSignatures) {
+  auto [f, m] = GetParam();
+  SignatureConfig config{f, m};
+  Rng rng(f * 31 + m);
+  ElementSet set = rng.SampleWithoutReplacement(1000, 10);
+  EXPECT_TRUE(MatchesEquals(MakeSetSignature(set, config),
+                            MakeSetSignature(set, config)));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Configs, SignatureNoFalseNegativeTest,
+    ::testing::Values(std::make_tuple(64u, 1u), std::make_tuple(250u, 2u),
+                      std::make_tuple(250u, 17u), std::make_tuple(500u, 2u),
+                      std::make_tuple(500u, 35u), std::make_tuple(1000u, 3u),
+                      std::make_tuple(2500u, 3u), std::make_tuple(2500u, 17u)));
+
+TEST(SignatureStatisticsTest, WeightTracksExpectation) {
+  // Mean signature weight over many random sets should approach
+  // F(1-(1-m/F)^Dt) under the ideal-hash assumption.
+  SignatureConfig config{500, 2};
+  Rng rng(5);
+  const int kTrials = 300;
+  const int kDt = 10;
+  double total = 0;
+  for (int t = 0; t < kTrials; ++t) {
+    ElementSet set = rng.SampleWithoutReplacement(13000, kDt);
+    total += static_cast<double>(MakeSetSignature(set, config).Count());
+  }
+  double mean = total / kTrials;
+  double expected =
+      500.0 * (1.0 - std::pow(1.0 - 2.0 / 500.0, kDt));  // ≈ 19.6
+  EXPECT_NEAR(mean, expected, 1.0);
+}
+
+}  // namespace
+}  // namespace sigsetdb

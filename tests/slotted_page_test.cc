@@ -1,0 +1,143 @@
+#include "storage/slotted_page.h"
+
+#include <cstring>
+#include <string>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+std::string GetRecord(const SlottedPage& sp, uint16_t slot) {
+  uint16_t len = 0;
+  const uint8_t* data = sp.Get(slot, &len);
+  if (data == nullptr) return "";
+  return std::string(reinterpret_cast<const char*>(data), len);
+}
+
+uint16_t MustInsert(SlottedPage* sp, const std::string& rec) {
+  auto slot = sp->Insert(reinterpret_cast<const uint8_t*>(rec.data()),
+                         static_cast<uint16_t>(rec.size()));
+  EXPECT_TRUE(slot.has_value());
+  return *slot;
+}
+
+TEST(SlottedPageTest, InitProducesEmptyPage) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  EXPECT_EQ(sp.num_slots(), 0u);
+  EXPECT_GT(sp.FreeSpace(), kPageSize - 16);
+}
+
+TEST(SlottedPageTest, InsertAndGet) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  uint16_t s0 = MustInsert(&sp, "hello");
+  uint16_t s1 = MustInsert(&sp, "world!");
+  EXPECT_EQ(s0, 0u);
+  EXPECT_EQ(s1, 1u);
+  EXPECT_EQ(GetRecord(sp, 0), "hello");
+  EXPECT_EQ(GetRecord(sp, 1), "world!");
+}
+
+TEST(SlottedPageTest, GetOutOfRangeReturnsNull) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  EXPECT_EQ(sp.Get(0, &len), nullptr);
+  MustInsert(&sp, "x");
+  EXPECT_EQ(sp.Get(1, &len), nullptr);
+}
+
+TEST(SlottedPageTest, DeleteLeavesTombstone) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  MustInsert(&sp, "a");
+  MustInsert(&sp, "b");
+  sp.Delete(0);
+  EXPECT_EQ(GetRecord(sp, 0), "");
+  EXPECT_EQ(GetRecord(sp, 1), "b");
+  EXPECT_EQ(sp.num_slots(), 2u);  // slot numbers are stable
+}
+
+TEST(SlottedPageTest, FillsUntilFull) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  std::string rec(100, 'r');
+  int inserted = 0;
+  while (sp.Insert(reinterpret_cast<const uint8_t*>(rec.data()),
+                   static_cast<uint16_t>(rec.size()))
+             .has_value()) {
+    ++inserted;
+  }
+  // 104 bytes per record (100 + 4-byte slot entry) into ~4092 usable bytes.
+  EXPECT_EQ(inserted, 39);
+  // All records intact after filling.
+  for (int i = 0; i < inserted; ++i) {
+    EXPECT_EQ(GetRecord(sp, static_cast<uint16_t>(i)), rec);
+  }
+}
+
+TEST(SlottedPageTest, FreeSpaceDecreasesMonotonically) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  size_t prev = sp.FreeSpace();
+  for (int i = 0; i < 10; ++i) {
+    MustInsert(&sp, "0123456789");
+    size_t now = sp.FreeSpace();
+    EXPECT_LT(now, prev);
+    prev = now;
+  }
+}
+
+TEST(SlottedPageTest, UpdateInPlaceShrinkOk) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  MustInsert(&sp, "long-record");
+  EXPECT_TRUE(sp.UpdateInPlace(0, reinterpret_cast<const uint8_t*>("tiny"),
+                               4));
+  EXPECT_EQ(GetRecord(sp, 0), "tiny");
+}
+
+TEST(SlottedPageTest, UpdateInPlaceGrowRejected) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  MustInsert(&sp, "tiny");
+  EXPECT_FALSE(sp.UpdateInPlace(
+      0, reinterpret_cast<const uint8_t*>("much-longer-record"), 18));
+  EXPECT_EQ(GetRecord(sp, 0), "tiny");
+}
+
+TEST(SlottedPageTest, MaxSizeRecordFits) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  // Header (4) + one slot entry (4) leaves kPageSize - 8 bytes.
+  std::string rec(kPageSize - 8, 'm');
+  auto slot = sp.Insert(reinterpret_cast<const uint8_t*>(rec.data()),
+                        static_cast<uint16_t>(rec.size()));
+  ASSERT_TRUE(slot.has_value());
+  EXPECT_EQ(GetRecord(sp, 0).size(), kPageSize - 8);
+  EXPECT_EQ(sp.FreeSpace(), 0u);
+}
+
+TEST(SlottedPageTest, OversizeRecordRejected) {
+  Page page;
+  SlottedPage::Init(&page);
+  SlottedPage sp(&page);
+  std::string rec(kPageSize - 7, 'm');
+  EXPECT_FALSE(sp.Insert(reinterpret_cast<const uint8_t*>(rec.data()),
+                         static_cast<uint16_t>(rec.size()))
+                   .has_value());
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,124 @@
+#include "db/synchronized_set_index.h"
+
+#include <atomic>
+#include <thread>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+SetIndex::Options Options() {
+  SetIndex::Options options;
+  options.sig = {128, 2};
+  options.capacity = 1 << 16;
+  options.domain_estimate = 300;
+  return options;
+}
+
+TEST(SynchronizedSetIndexTest, BasicOperationsWork) {
+  StorageManager storage;
+  auto index = SynchronizedSetIndex::Create(&storage, "attr", Options());
+  ASSERT_TRUE(index.ok());
+  auto oid = (*index)->Insert({1, 2, 3});
+  ASSERT_TRUE(oid.ok());
+  auto obj = (*index)->Get(*oid);
+  ASSERT_TRUE(obj.ok());
+  EXPECT_EQ(obj->set_value, (ElementSet{1, 2, 3}));
+  auto result = (*index)->Query(QueryKind::kSuperset, {2});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.oids.size(), 1u);
+  ASSERT_TRUE((*index)->Delete(*oid).ok());
+  EXPECT_EQ((*index)->num_objects(), 0u);
+}
+
+TEST(SynchronizedSetIndexTest, ConcurrentInsertersAndReaders) {
+  StorageManager storage;
+  auto index = SynchronizedSetIndex::Create(&storage, "attr", Options());
+  ASSERT_TRUE(index.ok());
+  constexpr int kWriters = 4;
+  constexpr int kReaders = 4;
+  constexpr int kInsertsPerWriter = 300;
+  std::atomic<int> insert_failures{0};
+  std::atomic<int> query_failures{0};
+  std::atomic<bool> done{false};
+
+  std::vector<std::thread> threads;
+  for (int w = 0; w < kWriters; ++w) {
+    threads.emplace_back([&, w] {
+      Rng rng(static_cast<uint64_t>(w) + 1);
+      for (int i = 0; i < kInsertsPerWriter; ++i) {
+        ElementSet set = rng.SampleWithoutReplacement(300, 5);
+        // Every set contains a per-writer marker element for the check.
+        set.push_back(1000 + static_cast<uint64_t>(w));
+        NormalizeSet(&set);
+        if (!(*index)->Insert(set).ok()) ++insert_failures;
+      }
+    });
+  }
+  for (int r = 0; r < kReaders; ++r) {
+    threads.emplace_back([&, r] {
+      Rng rng(static_cast<uint64_t>(r) + 100);
+      while (!done.load()) {
+        ElementSet query = rng.SampleWithoutReplacement(300, 2);
+        if (!(*index)->Query(QueryKind::kSuperset, query).ok()) {
+          ++query_failures;
+        }
+      }
+    });
+  }
+  for (int w = 0; w < kWriters; ++w) threads[static_cast<size_t>(w)].join();
+  done.store(true);
+  for (size_t r = kWriters; r < threads.size(); ++r) threads[r].join();
+
+  EXPECT_EQ(insert_failures.load(), 0);
+  EXPECT_EQ(query_failures.load(), 0);
+  EXPECT_EQ((*index)->num_objects(),
+            static_cast<uint64_t>(kWriters) * kInsertsPerWriter);
+  // Every writer's marker finds exactly its inserts.
+  for (int w = 0; w < kWriters; ++w) {
+    auto result = (*index)->Query(QueryKind::kSuperset,
+                                  {1000 + static_cast<uint64_t>(w)});
+    ASSERT_TRUE(result.ok());
+    EXPECT_EQ(result->result.oids.size(),
+              static_cast<size_t>(kInsertsPerWriter));
+  }
+}
+
+TEST(SynchronizedSetIndexTest, ConcurrentMixedWorkloadStaysConsistent) {
+  StorageManager storage;
+  auto index = SynchronizedSetIndex::Create(&storage, "attr", Options());
+  ASSERT_TRUE(index.ok());
+  // Pre-populate, then concurrently delete half while querying.
+  std::vector<Oid> oids;
+  Rng rng(9);
+  for (int i = 0; i < 600; ++i) {
+    ElementSet set = rng.SampleWithoutReplacement(300, 5);
+    set.push_back(7777);
+    NormalizeSet(&set);
+    oids.push_back((*index)->Insert(set).value());
+  }
+  std::atomic<int> failures{0};
+  std::thread deleter([&] {
+    for (size_t i = 0; i < oids.size(); i += 2) {
+      if (!(*index)->Delete(oids[i]).ok()) ++failures;
+    }
+  });
+  std::thread querier([&] {
+    for (int i = 0; i < 200; ++i) {
+      auto result = (*index)->Query(QueryKind::kSuperset, {7777});
+      if (!result.ok()) ++failures;
+    }
+  });
+  deleter.join();
+  querier.join();
+  EXPECT_EQ(failures.load(), 0);
+  auto result = (*index)->Query(QueryKind::kSuperset, {7777});
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->result.oids.size(), 300u);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,49 @@
+#include "util/table_printer.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace sigsetdb {
+namespace {
+
+TEST(TablePrinterTest, NumFormatsPrecision) {
+  EXPECT_EQ(TablePrinter::Num(3.14159, 2), "3.14");
+  EXPECT_EQ(TablePrinter::Num(3.0, 1), "3.0");
+  EXPECT_EQ(TablePrinter::Num(0.000123, 6), "0.000123");
+}
+
+TEST(TablePrinterTest, IntFormats) {
+  EXPECT_EQ(TablePrinter::Int(0), "0");
+  EXPECT_EQ(TablePrinter::Int(-42), "-42");
+  EXPECT_EQ(TablePrinter::Int(32000), "32000");
+}
+
+TEST(TablePrinterTest, PrintsHeaderRuleAndRows) {
+  TablePrinter t({"Dq", "RC"});
+  t.AddRow({"1", "27.6"});
+  t.AddRow({"10", "30.0"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  EXPECT_NE(out.find("Dq"), std::string::npos);
+  EXPECT_NE(out.find("RC"), std::string::npos);
+  EXPECT_NE(out.find("27.6"), std::string::npos);
+  EXPECT_NE(out.find("---"), std::string::npos);
+  // 4 lines: header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TablePrinterTest, ColumnsAlignToWidestCell) {
+  TablePrinter t({"a", "b"});
+  t.AddRow({"wide-cell", "1"});
+  std::ostringstream os;
+  t.Print(os);
+  std::string out = os.str();
+  std::string header = out.substr(0, out.find('\n'));
+  // Header cell "a" must be padded to the width of "wide-cell".
+  EXPECT_GE(header.size(), std::string("  wide-cell  b").size());
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,137 @@
+#include "sig/wah.h"
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+BitVector RoundTrip(const BitVector& in) {
+  std::vector<uint32_t> words = WahEncode(in);
+  BitVector out;
+  EXPECT_TRUE(WahDecode(words, in.size(), &out));
+  return out;
+}
+
+TEST(WahTest, EmptyBitmap) {
+  BitVector v(0);
+  EXPECT_TRUE(WahEncode(v).empty());
+  BitVector out;
+  EXPECT_TRUE(WahDecode({}, 0, &out));
+}
+
+TEST(WahTest, AllZerosCompressToOneFill) {
+  BitVector v(31 * 1000);
+  std::vector<uint32_t> words = WahEncode(v);
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(WahTest, AllOnesCompressToOneFill) {
+  BitVector v(31 * 500);
+  v.SetAll();
+  std::vector<uint32_t> words = WahEncode(v);
+  EXPECT_EQ(words.size(), 1u);
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(WahTest, NonMultipleOf31Sizes) {
+  Rng rng(1);
+  for (size_t bits : {1u, 7u, 30u, 31u, 32u, 61u, 62u, 63u, 100u, 1000u}) {
+    BitVector v(bits);
+    for (size_t i = 0; i < bits / 4 + 1; ++i) v.Set(rng.NextBelow(bits));
+    EXPECT_EQ(RoundTrip(v), v) << bits << " bits";
+  }
+}
+
+TEST(WahTest, SparseBitmapRoundTripAndCompresses) {
+  Rng rng(2);
+  BitVector v(200000);
+  for (int i = 0; i < 500; ++i) v.Set(rng.NextBelow(200000));
+  std::vector<uint32_t> words = WahEncode(v);
+  EXPECT_EQ(RoundTrip(v), v);
+  // 200000 bits = 6452 groups uncompressed; 500 scattered bits need at most
+  // ~500 literals + ~501 fills.
+  EXPECT_LT(words.size(), 1100u);
+}
+
+TEST(WahTest, DenseRandomBitmapRoundTrip) {
+  Rng rng(3);
+  BitVector v(5000);
+  for (int i = 0; i < 2500; ++i) v.Set(rng.NextBelow(5000));
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(WahTest, AlternatingRunsRoundTrip) {
+  BitVector v(31 * 40);
+  for (size_t g = 0; g < 40; g += 2) {
+    for (size_t i = 0; i < 31; ++i) v.Set(g * 31 + i);
+  }
+  std::vector<uint32_t> words = WahEncode(v);
+  // Alternating 1-group fills cannot merge: 40 words.
+  EXPECT_EQ(words.size(), 40u);
+  EXPECT_EQ(RoundTrip(v), v);
+}
+
+TEST(WahTest, DecodeRejectsWrongGroupCount) {
+  BitVector v(310);
+  std::vector<uint32_t> words = WahEncode(v);
+  BitVector out;
+  EXPECT_FALSE(WahDecode(words, 311 + 31, &out));  // one group short
+  words.push_back(words.back());                   // one fill too many
+  EXPECT_FALSE(WahDecode(words, 310, &out));
+}
+
+TEST(WahTest, DecodeRejectsZeroLengthFill) {
+  BitVector out;
+  EXPECT_FALSE(WahDecode({0x80000000u}, 31, &out));
+}
+
+TEST(WahTest, DecodeRejectsPaddingBitsSet) {
+  // 10 bits => 1 group; a literal with bit 15 set claims out-of-range bits.
+  BitVector out;
+  EXPECT_FALSE(WahDecode({1u << 15}, 10, &out));
+}
+
+TEST(WahTest, BuilderMatchesBulkEncoder) {
+  Rng rng(4);
+  BitVector v(31 * 97);
+  for (int i = 0; i < 200; ++i) v.Set(rng.NextBelow(v.size()));
+  WahBuilder builder;
+  for (size_t g = 0; g < 97; ++g) {
+    uint32_t group = 0;
+    for (size_t i = 0; i < 31; ++i) {
+      if (v.Test(g * 31 + i)) group |= 1u << i;
+    }
+    builder.AppendGroup(group);
+  }
+  EXPECT_EQ(builder.words(), WahEncode(v));
+  EXPECT_EQ(builder.num_groups(), 97u);
+}
+
+TEST(WahTest, BuilderZeroGroupBatches) {
+  WahBuilder builder;
+  builder.AppendZeroGroups(1000);
+  builder.AppendGroup(5);
+  builder.AppendZeroGroups(1);
+  EXPECT_EQ(builder.num_groups(), 1002u);
+  BitVector out;
+  ASSERT_TRUE(WahDecode(builder.words(), 1002 * 31, &out));
+  EXPECT_EQ(out.Count(), 2u);  // group value 5 = bits 0 and 2
+  EXPECT_TRUE(out.Test(1000 * 31 + 0));
+  EXPECT_TRUE(out.Test(1000 * 31 + 2));
+}
+
+TEST(WahTest, VeryLongRunsSplitAcrossFillWords) {
+  WahBuilder builder;
+  uint64_t groups = (uint64_t{1} << 30) + 5;  // exceeds one fill's capacity
+  builder.AppendZeroGroups(groups);
+  ASSERT_EQ(builder.words().size(), 2u);
+  EXPECT_EQ(builder.words()[0] & 0x3fffffffu, 0x3fffffffu);
+  EXPECT_EQ(builder.words()[1] & 0x3fffffffu,
+            static_cast<uint32_t>(groups - 0x3fffffffu));
+}
+
+}  // namespace
+}  // namespace sigsetdb
