@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_bssf_insert.dir/bench_ablation_bssf_insert.cc.o"
+  "CMakeFiles/bench_ablation_bssf_insert.dir/bench_ablation_bssf_insert.cc.o.d"
+  "bench_ablation_bssf_insert"
+  "bench_ablation_bssf_insert.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_bssf_insert.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_m_sweep.dir/bench_ablation_m_sweep.cc.o"
+  "CMakeFiles/bench_ablation_m_sweep.dir/bench_ablation_m_sweep.cc.o.d"
+  "bench_ablation_m_sweep"
+  "bench_ablation_m_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_m_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ablation_nix_fanout.dir/bench_ablation_nix_fanout.cc.o"
+  "CMakeFiles/bench_ablation_nix_fanout.dir/bench_ablation_nix_fanout.cc.o.d"
+  "bench_ablation_nix_fanout"
+  "bench_ablation_nix_fanout.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ablation_nix_fanout.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_compressed_slices.dir/bench_ext_compressed_slices.cc.o"
+  "CMakeFiles/bench_ext_compressed_slices.dir/bench_ext_compressed_slices.cc.o.d"
+  "bench_ext_compressed_slices"
+  "bench_ext_compressed_slices.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_compressed_slices.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_other_operators.dir/bench_ext_other_operators.cc.o"
+  "CMakeFiles/bench_ext_other_operators.dir/bench_ext_other_operators.cc.o.d"
+  "bench_ext_other_operators"
+  "bench_ext_other_operators.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_other_operators.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

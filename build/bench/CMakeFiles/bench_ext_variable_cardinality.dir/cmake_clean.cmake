@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_ext_variable_cardinality.dir/bench_ext_variable_cardinality.cc.o"
+  "CMakeFiles/bench_ext_variable_cardinality.dir/bench_ext_variable_cardinality.cc.o.d"
+  "bench_ext_variable_cardinality"
+  "bench_ext_variable_cardinality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_ext_variable_cardinality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

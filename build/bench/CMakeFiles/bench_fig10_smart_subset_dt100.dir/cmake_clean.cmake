@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig10_smart_subset_dt100.dir/bench_fig10_smart_subset_dt100.cc.o"
+  "CMakeFiles/bench_fig10_smart_subset_dt100.dir/bench_fig10_smart_subset_dt100.cc.o.d"
+  "bench_fig10_smart_subset_dt100"
+  "bench_fig10_smart_subset_dt100.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig10_smart_subset_dt100.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig1_fig2_drops.dir/bench_fig1_fig2_drops.cc.o"
+  "CMakeFiles/bench_fig1_fig2_drops.dir/bench_fig1_fig2_drops.cc.o.d"
+  "bench_fig1_fig2_drops"
+  "bench_fig1_fig2_drops.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig1_fig2_drops.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

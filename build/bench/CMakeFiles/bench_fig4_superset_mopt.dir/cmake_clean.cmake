@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig4_superset_mopt.dir/bench_fig4_superset_mopt.cc.o"
+  "CMakeFiles/bench_fig4_superset_mopt.dir/bench_fig4_superset_mopt.cc.o.d"
+  "bench_fig4_superset_mopt"
+  "bench_fig4_superset_mopt.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig4_superset_mopt.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig5_superset_small_m.dir/bench_fig5_superset_small_m.cc.o"
+  "CMakeFiles/bench_fig5_superset_small_m.dir/bench_fig5_superset_small_m.cc.o.d"
+  "bench_fig5_superset_small_m"
+  "bench_fig5_superset_small_m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig5_superset_small_m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig7_smart_superset_dt100.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig8_subset_trend.dir/bench_fig8_subset_trend.cc.o"
+  "CMakeFiles/bench_fig8_subset_trend.dir/bench_fig8_subset_trend.cc.o.d"
+  "bench_fig8_subset_trend"
+  "bench_fig8_subset_trend.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig8_subset_trend.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig9_smart_subset_dt10.dir/bench_fig9_smart_subset_dt10.cc.o"
+  "CMakeFiles/bench_fig9_smart_subset_dt10.dir/bench_fig9_smart_subset_dt10.cc.o.d"
+  "bench_fig9_smart_subset_dt10"
+  "bench_fig9_smart_subset_dt10.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig9_smart_subset_dt10.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/access_advisor.dir/access_advisor.cpp.o"
+  "CMakeFiles/access_advisor.dir/access_advisor.cpp.o.d"
+  "access_advisor"
+  "access_advisor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/access_advisor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oql_shell.dir/oql_shell.cpp.o"
+  "CMakeFiles/oql_shell.dir/oql_shell.cpp.o.d"
+  "oql_shell"
+  "oql_shell.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oql_shell.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/tag_search.dir/tag_search.cpp.o"
+  "CMakeFiles/tag_search.dir/tag_search.cpp.o.d"
+  "tag_search"
+  "tag_search.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/tag_search.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_db.dir/database.cc.o"
+  "CMakeFiles/sigset_db.dir/database.cc.o.d"
+  "CMakeFiles/sigset_db.dir/manifest.cc.o"
+  "CMakeFiles/sigset_db.dir/manifest.cc.o.d"
+  "CMakeFiles/sigset_db.dir/set_index.cc.o"
+  "CMakeFiles/sigset_db.dir/set_index.cc.o.d"
+  "libsigset_db.a"
+  "libsigset_db.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_db.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

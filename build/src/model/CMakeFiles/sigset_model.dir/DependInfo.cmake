@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/model/actual_drops.cc" "src/model/CMakeFiles/sigset_model.dir/actual_drops.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/actual_drops.cc.o.d"
+  "/root/repo/src/model/cost_bssf.cc" "src/model/CMakeFiles/sigset_model.dir/cost_bssf.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/cost_bssf.cc.o.d"
+  "/root/repo/src/model/cost_ext.cc" "src/model/CMakeFiles/sigset_model.dir/cost_ext.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/cost_ext.cc.o.d"
+  "/root/repo/src/model/cost_nix.cc" "src/model/CMakeFiles/sigset_model.dir/cost_nix.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/cost_nix.cc.o.d"
+  "/root/repo/src/model/cost_ssf.cc" "src/model/CMakeFiles/sigset_model.dir/cost_ssf.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/cost_ssf.cc.o.d"
+  "/root/repo/src/model/false_drop.cc" "src/model/CMakeFiles/sigset_model.dir/false_drop.cc.o" "gcc" "src/model/CMakeFiles/sigset_model.dir/false_drop.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sig/CMakeFiles/sigset_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigset_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/sigset_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sigset_storage.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_model.dir/actual_drops.cc.o"
+  "CMakeFiles/sigset_model.dir/actual_drops.cc.o.d"
+  "CMakeFiles/sigset_model.dir/cost_bssf.cc.o"
+  "CMakeFiles/sigset_model.dir/cost_bssf.cc.o.d"
+  "CMakeFiles/sigset_model.dir/cost_ext.cc.o"
+  "CMakeFiles/sigset_model.dir/cost_ext.cc.o.d"
+  "CMakeFiles/sigset_model.dir/cost_nix.cc.o"
+  "CMakeFiles/sigset_model.dir/cost_nix.cc.o.d"
+  "CMakeFiles/sigset_model.dir/cost_ssf.cc.o"
+  "CMakeFiles/sigset_model.dir/cost_ssf.cc.o.d"
+  "CMakeFiles/sigset_model.dir/false_drop.cc.o"
+  "CMakeFiles/sigset_model.dir/false_drop.cc.o.d"
+  "libsigset_model.a"
+  "libsigset_model.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_model.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

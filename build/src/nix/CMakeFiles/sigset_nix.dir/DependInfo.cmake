@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nix/btree.cc" "src/nix/CMakeFiles/sigset_nix.dir/btree.cc.o" "gcc" "src/nix/CMakeFiles/sigset_nix.dir/btree.cc.o.d"
+  "/root/repo/src/nix/nested_index.cc" "src/nix/CMakeFiles/sigset_nix.dir/nested_index.cc.o" "gcc" "src/nix/CMakeFiles/sigset_nix.dir/nested_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sig/CMakeFiles/sigset_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/sigset_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sigset_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigset_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_nix.dir/btree.cc.o"
+  "CMakeFiles/sigset_nix.dir/btree.cc.o.d"
+  "CMakeFiles/sigset_nix.dir/nested_index.cc.o"
+  "CMakeFiles/sigset_nix.dir/nested_index.cc.o.d"
+  "libsigset_nix.a"
+  "libsigset_nix.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_nix.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/obj/multi_object_store.cc" "src/obj/CMakeFiles/sigset_obj.dir/multi_object_store.cc.o" "gcc" "src/obj/CMakeFiles/sigset_obj.dir/multi_object_store.cc.o.d"
+  "/root/repo/src/obj/object.cc" "src/obj/CMakeFiles/sigset_obj.dir/object.cc.o" "gcc" "src/obj/CMakeFiles/sigset_obj.dir/object.cc.o.d"
+  "/root/repo/src/obj/object_store.cc" "src/obj/CMakeFiles/sigset_obj.dir/object_store.cc.o" "gcc" "src/obj/CMakeFiles/sigset_obj.dir/object_store.cc.o.d"
+  "/root/repo/src/obj/oid_file.cc" "src/obj/CMakeFiles/sigset_obj.dir/oid_file.cc.o" "gcc" "src/obj/CMakeFiles/sigset_obj.dir/oid_file.cc.o.d"
+  "/root/repo/src/obj/schema.cc" "src/obj/CMakeFiles/sigset_obj.dir/schema.cc.o" "gcc" "src/obj/CMakeFiles/sigset_obj.dir/schema.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/storage/CMakeFiles/sigset_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigset_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

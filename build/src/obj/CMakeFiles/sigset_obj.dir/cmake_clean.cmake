@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_obj.dir/multi_object_store.cc.o"
+  "CMakeFiles/sigset_obj.dir/multi_object_store.cc.o.d"
+  "CMakeFiles/sigset_obj.dir/object.cc.o"
+  "CMakeFiles/sigset_obj.dir/object.cc.o.d"
+  "CMakeFiles/sigset_obj.dir/object_store.cc.o"
+  "CMakeFiles/sigset_obj.dir/object_store.cc.o.d"
+  "CMakeFiles/sigset_obj.dir/oid_file.cc.o"
+  "CMakeFiles/sigset_obj.dir/oid_file.cc.o.d"
+  "CMakeFiles/sigset_obj.dir/schema.cc.o"
+  "CMakeFiles/sigset_obj.dir/schema.cc.o.d"
+  "libsigset_obj.a"
+  "libsigset_obj.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_obj.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

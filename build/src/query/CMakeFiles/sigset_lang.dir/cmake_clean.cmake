@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_lang.dir/language.cc.o"
+  "CMakeFiles/sigset_lang.dir/language.cc.o.d"
+  "libsigset_lang.a"
+  "libsigset_lang.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_lang.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_query.dir/advisor.cc.o"
+  "CMakeFiles/sigset_query.dir/advisor.cc.o.d"
+  "CMakeFiles/sigset_query.dir/executor.cc.o"
+  "CMakeFiles/sigset_query.dir/executor.cc.o.d"
+  "libsigset_query.a"
+  "libsigset_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sig/bitpack.cc" "src/sig/CMakeFiles/sigset_sig.dir/bitpack.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/bitpack.cc.o.d"
+  "/root/repo/src/sig/bssf.cc" "src/sig/CMakeFiles/sigset_sig.dir/bssf.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/bssf.cc.o.d"
+  "/root/repo/src/sig/compressed_bssf.cc" "src/sig/CMakeFiles/sigset_sig.dir/compressed_bssf.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/compressed_bssf.cc.o.d"
+  "/root/repo/src/sig/facility.cc" "src/sig/CMakeFiles/sigset_sig.dir/facility.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/facility.cc.o.d"
+  "/root/repo/src/sig/signature.cc" "src/sig/CMakeFiles/sigset_sig.dir/signature.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/signature.cc.o.d"
+  "/root/repo/src/sig/ssf.cc" "src/sig/CMakeFiles/sigset_sig.dir/ssf.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/ssf.cc.o.d"
+  "/root/repo/src/sig/wah.cc" "src/sig/CMakeFiles/sigset_sig.dir/wah.cc.o" "gcc" "src/sig/CMakeFiles/sigset_sig.dir/wah.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/obj/CMakeFiles/sigset_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sigset_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigset_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_sig.dir/bitpack.cc.o"
+  "CMakeFiles/sigset_sig.dir/bitpack.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/bssf.cc.o"
+  "CMakeFiles/sigset_sig.dir/bssf.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/compressed_bssf.cc.o"
+  "CMakeFiles/sigset_sig.dir/compressed_bssf.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/facility.cc.o"
+  "CMakeFiles/sigset_sig.dir/facility.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/signature.cc.o"
+  "CMakeFiles/sigset_sig.dir/signature.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/ssf.cc.o"
+  "CMakeFiles/sigset_sig.dir/ssf.cc.o.d"
+  "CMakeFiles/sigset_sig.dir/wah.cc.o"
+  "CMakeFiles/sigset_sig.dir/wah.cc.o.d"
+  "libsigset_sig.a"
+  "libsigset_sig.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_sig.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

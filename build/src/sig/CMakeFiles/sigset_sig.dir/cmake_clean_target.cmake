@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libsigset_sig.a"
+)

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_storage.dir/buffer_pool.cc.o"
+  "CMakeFiles/sigset_storage.dir/buffer_pool.cc.o.d"
+  "CMakeFiles/sigset_storage.dir/disk_page_file.cc.o"
+  "CMakeFiles/sigset_storage.dir/disk_page_file.cc.o.d"
+  "CMakeFiles/sigset_storage.dir/page_file.cc.o"
+  "CMakeFiles/sigset_storage.dir/page_file.cc.o.d"
+  "CMakeFiles/sigset_storage.dir/slotted_page.cc.o"
+  "CMakeFiles/sigset_storage.dir/slotted_page.cc.o.d"
+  "CMakeFiles/sigset_storage.dir/storage_manager.cc.o"
+  "CMakeFiles/sigset_storage.dir/storage_manager.cc.o.d"
+  "libsigset_storage.a"
+  "libsigset_storage.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_storage.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

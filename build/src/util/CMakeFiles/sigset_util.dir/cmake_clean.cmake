@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_util.dir/hyperloglog.cc.o"
+  "CMakeFiles/sigset_util.dir/hyperloglog.cc.o.d"
+  "CMakeFiles/sigset_util.dir/math.cc.o"
+  "CMakeFiles/sigset_util.dir/math.cc.o.d"
+  "CMakeFiles/sigset_util.dir/rng.cc.o"
+  "CMakeFiles/sigset_util.dir/rng.cc.o.d"
+  "CMakeFiles/sigset_util.dir/status.cc.o"
+  "CMakeFiles/sigset_util.dir/status.cc.o.d"
+  "CMakeFiles/sigset_util.dir/table_printer.cc.o"
+  "CMakeFiles/sigset_util.dir/table_printer.cc.o.d"
+  "libsigset_util.a"
+  "libsigset_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

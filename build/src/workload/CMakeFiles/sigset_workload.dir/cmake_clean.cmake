@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sigset_workload.dir/generator.cc.o"
+  "CMakeFiles/sigset_workload.dir/generator.cc.o.d"
+  "libsigset_workload.a"
+  "libsigset_workload.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sigset_workload.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

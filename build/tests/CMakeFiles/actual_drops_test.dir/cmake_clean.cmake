@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/actual_drops_test.dir/actual_drops_test.cc.o"
+  "CMakeFiles/actual_drops_test.dir/actual_drops_test.cc.o.d"
+  "actual_drops_test"
+  "actual_drops_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/actual_drops_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/advisor_validation_test.dir/advisor_validation_test.cc.o"
+  "CMakeFiles/advisor_validation_test.dir/advisor_validation_test.cc.o.d"
+  "advisor_validation_test"
+  "advisor_validation_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/advisor_validation_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

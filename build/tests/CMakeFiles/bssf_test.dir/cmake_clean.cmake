@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bssf_test.dir/bssf_test.cc.o"
+  "CMakeFiles/bssf_test.dir/bssf_test.cc.o.d"
+  "bssf_test"
+  "bssf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bssf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/compressed_bssf_test.dir/compressed_bssf_test.cc.o"
+  "CMakeFiles/compressed_bssf_test.dir/compressed_bssf_test.cc.o.d"
+  "compressed_bssf_test"
+  "compressed_bssf_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/compressed_bssf_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

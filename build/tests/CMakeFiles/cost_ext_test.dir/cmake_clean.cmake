@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/cost_ext_test.dir/cost_ext_test.cc.o"
+  "CMakeFiles/cost_ext_test.dir/cost_ext_test.cc.o.d"
+  "cost_ext_test"
+  "cost_ext_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/cost_ext_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

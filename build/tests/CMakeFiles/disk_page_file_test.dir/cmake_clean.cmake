@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/disk_page_file_test.dir/disk_page_file_test.cc.o"
+  "CMakeFiles/disk_page_file_test.dir/disk_page_file_test.cc.o.d"
+  "disk_page_file_test"
+  "disk_page_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/disk_page_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

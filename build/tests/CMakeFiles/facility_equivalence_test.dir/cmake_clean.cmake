@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_equivalence_test.dir/facility_equivalence_test.cc.o"
+  "CMakeFiles/facility_equivalence_test.dir/facility_equivalence_test.cc.o.d"
+  "facility_equivalence_test"
+  "facility_equivalence_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_equivalence_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/facility_recovery_test.dir/facility_recovery_test.cc.o"
+  "CMakeFiles/facility_recovery_test.dir/facility_recovery_test.cc.o.d"
+  "facility_recovery_test"
+  "facility_recovery_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/facility_recovery_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

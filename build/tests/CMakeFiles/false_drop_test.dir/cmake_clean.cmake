@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/false_drop_test.dir/false_drop_test.cc.o"
+  "CMakeFiles/false_drop_test.dir/false_drop_test.cc.o.d"
+  "false_drop_test"
+  "false_drop_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/false_drop_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

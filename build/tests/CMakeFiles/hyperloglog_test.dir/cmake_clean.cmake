@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/hyperloglog_test.dir/hyperloglog_test.cc.o"
+  "CMakeFiles/hyperloglog_test.dir/hyperloglog_test.cc.o.d"
+  "hyperloglog_test"
+  "hyperloglog_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/hyperloglog_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/integration_scale_test.cc" "tests/CMakeFiles/integration_scale_test.dir/integration_scale_test.cc.o" "gcc" "tests/CMakeFiles/integration_scale_test.dir/integration_scale_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/query/CMakeFiles/sigset_lang.dir/DependInfo.cmake"
+  "/root/repo/build/src/db/CMakeFiles/sigset_db.dir/DependInfo.cmake"
+  "/root/repo/build/src/query/CMakeFiles/sigset_query.dir/DependInfo.cmake"
+  "/root/repo/build/src/workload/CMakeFiles/sigset_workload.dir/DependInfo.cmake"
+  "/root/repo/build/src/model/CMakeFiles/sigset_model.dir/DependInfo.cmake"
+  "/root/repo/build/src/nix/CMakeFiles/sigset_nix.dir/DependInfo.cmake"
+  "/root/repo/build/src/sig/CMakeFiles/sigset_sig.dir/DependInfo.cmake"
+  "/root/repo/build/src/obj/CMakeFiles/sigset_obj.dir/DependInfo.cmake"
+  "/root/repo/build/src/storage/CMakeFiles/sigset_storage.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/sigset_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/language_fuzz_test.dir/language_fuzz_test.cc.o"
+  "CMakeFiles/language_fuzz_test.dir/language_fuzz_test.cc.o.d"
+  "language_fuzz_test"
+  "language_fuzz_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/language_fuzz_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_object_store_test.dir/multi_object_store_test.cc.o"
+  "CMakeFiles/multi_object_store_test.dir/multi_object_store_test.cc.o.d"
+  "multi_object_store_test"
+  "multi_object_store_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_object_store_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

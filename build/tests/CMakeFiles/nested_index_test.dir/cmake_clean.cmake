@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/nested_index_test.dir/nested_index_test.cc.o"
+  "CMakeFiles/nested_index_test.dir/nested_index_test.cc.o.d"
+  "nested_index_test"
+  "nested_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/nested_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/oid_file_test.dir/oid_file_test.cc.o"
+  "CMakeFiles/oid_file_test.dir/oid_file_test.cc.o.d"
+  "oid_file_test"
+  "oid_file_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/oid_file_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/set_index_test.dir/set_index_test.cc.o"
+  "CMakeFiles/set_index_test.dir/set_index_test.cc.o.d"
+  "set_index_test"
+  "set_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/set_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/smart_strategy_model_test.dir/smart_strategy_model_test.cc.o"
+  "CMakeFiles/smart_strategy_model_test.dir/smart_strategy_model_test.cc.o.d"
+  "smart_strategy_model_test"
+  "smart_strategy_model_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/smart_strategy_model_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

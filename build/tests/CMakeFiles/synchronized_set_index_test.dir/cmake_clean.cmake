@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/synchronized_set_index_test.dir/synchronized_set_index_test.cc.o"
+  "CMakeFiles/synchronized_set_index_test.dir/synchronized_set_index_test.cc.o.d"
+  "synchronized_set_index_test"
+  "synchronized_set_index_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/synchronized_set_index_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

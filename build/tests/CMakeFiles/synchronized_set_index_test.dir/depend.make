@@ -1,0 +1,2 @@
+# Empty dependencies file for synchronized_set_index_test.
+# This may be replaced when dependencies are built.

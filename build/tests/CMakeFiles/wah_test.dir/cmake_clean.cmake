@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wah_test.dir/wah_test.cc.o"
+  "CMakeFiles/wah_test.dir/wah_test.cc.o.d"
+  "wah_test"
+  "wah_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wah_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
