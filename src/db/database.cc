@@ -38,6 +38,14 @@ bool Satisfies(const ElementSet& value, QueryKind kind,
 
 }  // namespace
 
+Database::Database(StorageManager* storage, Options options)
+    : storage_(storage), options_(std::move(options)) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    ctx_.pool = pool_.get();
+  }
+}
+
 Status Database::ValidateOptions(const Options& options) {
   if (options.attributes.empty()) {
     return Status::InvalidArgument("at least one attribute required");
@@ -332,6 +340,7 @@ StatusOr<std::vector<Oid>> Database::DriverCandidates(
     size_t attr, const AccessPathChoice& plan, QueryKind candidate_kind,
     const ElementSet& query) {
   AttributeState& state = attrs_[attr];
+  const ParallelExecutionContext* ctx = execution_context();
   if (plan.facility == "ssf") {
     SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
                             state.ssf->Candidates(candidate_kind, query));
@@ -349,24 +358,24 @@ StatusOr<std::vector<Oid>> Database::DriverCandidates(
                             state.nix->Candidates(candidate_kind, query));
     return result.oids;
   }
-  // bssf
+  // bssf — slice scans fan out over the pool.
   if (plan.param > 0 && candidate_kind == QueryKind::kSuperset) {
     BitVector sig = MakePartialQuerySignature(
         query, static_cast<size_t>(plan.param), state.bssf->config());
     SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
-                            state.bssf->SupersetCandidateSlots(sig));
+                            state.bssf->SupersetCandidateSlots(sig, ctx));
     return state.bssf->ResolveSlots(slots);
   }
   if (plan.param > 0 && candidate_kind == QueryKind::kSubset) {
     BitVector sig = MakeSetSignature(query, state.bssf->config());
     SIGSET_ASSIGN_OR_RETURN(
         std::vector<uint64_t> slots,
-        state.bssf->SubsetCandidateSlots(sig,
-                                         static_cast<size_t>(plan.param)));
+        state.bssf->SubsetCandidateSlots(
+            sig, static_cast<size_t>(plan.param), ctx));
     return state.bssf->ResolveSlots(slots);
   }
   SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
-                          state.bssf->Candidates(candidate_kind, query));
+                          state.bssf->Candidates(candidate_kind, query, ctx));
   return result.oids;
 }
 
@@ -409,20 +418,62 @@ StatusOr<DatabaseQueryResult> Database::Query(
                        CandidateKind(preds[driver].kind),
                        preds[driver].query));
 
-  // Resolution: one fetch per candidate, all predicates checked.
+  // Resolution: one fetch per candidate, all predicates checked.  With a
+  // pool, contiguous candidate ranges are resolved concurrently through
+  // thread-local IoStats (merged below), so the kept-OID order and the
+  // page-access total match the serial loop.
   DatabaseQueryResult out;
   out.num_candidates = candidates.size();
-  for (Oid oid : candidates) {
-    SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
-    bool ok = true;
-    for (size_t i = 0; i < preds.size() && ok; ++i) {
-      ok = Satisfies(obj.attrs[attr_index[i]], preds[i].kind,
-                     preds[i].query);
+  auto check_all = [&](const MultiSetObject& obj) {
+    for (size_t i = 0; i < preds.size(); ++i) {
+      if (!Satisfies(obj.attrs[attr_index[i]], preds[i].kind,
+                     preds[i].query)) {
+        return false;
+      }
     }
-    if (ok) {
-      out.oids.push_back(oid);
-    } else {
-      ++out.num_false_drops;
+    return true;
+  };
+  const ParallelExecutionContext* ctx = execution_context();
+  const size_t workers =
+      ctx == nullptr ? 1 : ctx->WorkersFor(candidates.size());
+  if (workers <= 1) {
+    for (Oid oid : candidates) {
+      SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+      if (check_all(obj)) {
+        out.oids.push_back(oid);
+      } else {
+        ++out.num_false_drops;
+      }
+    }
+  } else {
+    struct WorkerState {
+      std::vector<Oid> kept;
+      uint64_t false_drops = 0;
+      IoStats io;
+      Status status;
+    };
+    std::vector<WorkerState> states(workers);
+    ctx->pool->ParallelFor(
+        candidates.size(), workers, [&](size_t w, size_t begin, size_t end) {
+          WorkerState& ws = states[w];
+          for (size_t i = begin; i < end; ++i) {
+            StatusOr<MultiSetObject> obj = store_->Get(candidates[i], &ws.io);
+            if (!obj.ok()) {
+              ws.status = obj.status();
+              return;
+            }
+            if (check_all(*obj)) {
+              ws.kept.push_back(candidates[i]);
+            } else {
+              ++ws.false_drops;
+            }
+          }
+        });
+    for (const WorkerState& ws : states) store_->stats() += ws.io;
+    for (const WorkerState& ws : states) SIGSET_RETURN_IF_ERROR(ws.status);
+    for (WorkerState& ws : states) {
+      out.oids.insert(out.oids.end(), ws.kept.begin(), ws.kept.end());
+      out.num_false_drops += ws.false_drops;
     }
   }
   out.driver = preds[driver].attribute + " via " + driver_plan.facility +

@@ -70,6 +70,10 @@ class Database {
   struct Options {
     std::vector<AttributeOptions> attributes;  // at least one
     uint64_t capacity = 1 << 20;  // max objects (bit-slice store size)
+    // Worker threads for query execution (BSSF slice scans and conjunction
+    // resolution).  1 (the default) is fully serial.  Results and logical
+    // page-access counts are identical at any setting.
+    size_t num_threads = 1;
   };
 
   // Creates the class storage under the file prefix `class_name`.
@@ -125,8 +129,12 @@ class Database {
     HyperLogLog domain_sketch{12};  // for the live V estimate
   };
 
-  Database(StorageManager* storage, Options options)
-      : storage_(storage), options_(std::move(options)) {}
+  Database(StorageManager* storage, Options options);
+
+  // nullptr when num_threads <= 1.
+  const ParallelExecutionContext* execution_context() const {
+    return pool_ != nullptr ? &ctx_ : nullptr;
+  }
 
   static Status ValidateOptions(const Options& options);
 
@@ -147,6 +155,8 @@ class Database {
 
   StorageManager* storage_;
   Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
   std::unique_ptr<MultiObjectStore> store_;

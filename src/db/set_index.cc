@@ -5,6 +5,14 @@
 
 namespace sigsetdb {
 
+SetIndex::SetIndex(StorageManager* storage, Options options)
+    : storage_(storage), options_(options) {
+  if (options_.num_threads > 1) {
+    pool_ = std::make_unique<ThreadPool>(options_.num_threads);
+    ctx_.pool = pool_.get();
+  }
+}
+
 StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
                                                      const std::string& name,
                                                      const Options& options) {
@@ -250,27 +258,30 @@ StatusOr<AccessPathChoice> SetIndex::Plan(QueryKind kind, int64_t dq) const {
 StatusOr<QueryResult> SetIndex::RunPlan(const AccessPathChoice& plan,
                                         QueryKind kind,
                                         const ElementSet& query) {
+  const ParallelExecutionContext* ctx = execution_context();
   if (plan.facility == "ssf") {
-    return ExecuteSetQuery(ssf_.get(), *store_, kind, query);
+    return ExecuteSetQuery(ssf_.get(), *store_, kind, query, ctx);
   }
   QueryKind ck = CandidateKind(kind);
   if (plan.facility == "nix") {
     if (plan.param > 0 && ck == QueryKind::kSuperset) {
       return ExecuteSmartSupersetNix(nix_.get(), *store_, query,
-                                     static_cast<size_t>(plan.param), kind);
+                                     static_cast<size_t>(plan.param), kind,
+                                     ctx);
     }
-    return ExecuteSetQuery(nix_.get(), *store_, kind, query);
+    return ExecuteSetQuery(nix_.get(), *store_, kind, query, ctx);
   }
   // bssf
   if (plan.param > 0 && ck == QueryKind::kSuperset) {
     return ExecuteSmartSupersetBssf(bssf_.get(), *store_, query,
-                                    static_cast<size_t>(plan.param), kind);
+                                    static_cast<size_t>(plan.param), kind,
+                                    ctx);
   }
   if (plan.param > 0 && ck == QueryKind::kSubset) {
     return ExecuteSmartSubsetBssf(bssf_.get(), *store_, query,
-                                  static_cast<size_t>(plan.param), kind);
+                                  static_cast<size_t>(plan.param), kind, ctx);
   }
-  return ExecuteSetQuery(bssf_.get(), *store_, kind, query);
+  return ExecuteSetQuery(bssf_.get(), *store_, kind, query, ctx);
 }
 
 StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,

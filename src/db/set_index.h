@@ -69,6 +69,11 @@ class SetIndex {
     // <= 0 (the default) means "estimate it live": every inserted element
     // feeds a HyperLogLog sketch and the advisor uses its estimate.
     int64_t domain_estimate = 0;
+    // Worker threads for query execution.  1 (the default) runs every query
+    // serially; > 1 spawns a thread pool used to partition BSSF slice scans
+    // and false-drop resolution.  Results and logical page-access counts
+    // are identical at any setting.
+    size_t num_threads = 1;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name
@@ -128,9 +133,14 @@ class SetIndex {
   NestedIndex* nix() { return nix_.get(); }
   const Options& options() const { return options_; }
 
+  // The execution context queries run under (pool == nullptr when
+  // num_threads <= 1).  Exposed for tests and benchmarks.
+  const ParallelExecutionContext* execution_context() const {
+    return pool_ != nullptr ? &ctx_ : nullptr;
+  }
+
  private:
-  SetIndex(StorageManager* storage, Options options)
-      : storage_(storage), options_(options) {}
+  SetIndex(StorageManager* storage, Options options);
 
   // The cost-model view of the current database state.
   DatabaseParams LiveDbParams() const;
@@ -143,6 +153,8 @@ class SetIndex {
 
   StorageManager* storage_;
   Options options_;
+  std::unique_ptr<ThreadPool> pool_;
+  ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
   std::unique_ptr<ObjectStore> store_;

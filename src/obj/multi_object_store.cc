@@ -90,10 +90,11 @@ StatusOr<Oid> MultiObjectStore::Insert(
   return Oid::FromLocation(new_page, *slot);
 }
 
-StatusOr<MultiSetObject> MultiObjectStore::Get(Oid oid) const {
+StatusOr<MultiSetObject> MultiObjectStore::Get(Oid oid, IoStats* io) const {
   if (!oid.valid()) return Status::InvalidArgument("invalid oid");
   Page page;
-  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SIGSET_RETURN_IF_ERROR(
+      file_->Read(oid.page(), &page, io != nullptr ? io : &file_->stats()));
   SlottedPage sp(&page);
   uint16_t len = 0;
   const uint8_t* rec = sp.Get(oid.slot(), &len);

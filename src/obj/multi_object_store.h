@@ -32,8 +32,10 @@ class MultiObjectStore {
   // Appends an object; `attr_values.size()` must equal num_attributes().
   StatusOr<Oid> Insert(const std::vector<ElementSet>& attr_values);
 
-  // Fetches an object (one page read).
-  StatusOr<MultiSetObject> Get(Oid oid) const;
+  // Fetches an object (one page read).  A non-null `io` receives the charge
+  // instead of the file's counters (thread-local accounting for parallel
+  // resolution workers).
+  StatusOr<MultiSetObject> Get(Oid oid, IoStats* io = nullptr) const;
 
   // Removes the object.
   Status Delete(Oid oid);
@@ -44,6 +46,10 @@ class MultiObjectStore {
   uint16_t num_attributes() const { return num_attributes_; }
   uint64_t num_objects() const { return num_objects_; }
   PageId num_pages() const { return file_->num_pages(); }
+
+  // The backing file's access counters (parallel workers merge their
+  // thread-local stats here on join).
+  IoStats& stats() const { return file_->stats(); }
 
  private:
   PageFile* file_;

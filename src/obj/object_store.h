@@ -26,8 +26,10 @@ class ObjectStore {
   // Appends an object, assigning and returning its OID.
   StatusOr<Oid> Insert(const ElementSet& set_value);
 
-  // Fetches the object with `oid` (one page read).
-  StatusOr<StoredObject> Get(Oid oid) const;
+  // Fetches the object with `oid` (one page read).  When `io` is non-null
+  // the read is charged there instead of the file's counters — parallel
+  // resolution workers pass a thread-local IoStats and merge via stats().
+  StatusOr<StoredObject> Get(Oid oid, IoStats* io = nullptr) const;
 
   // Removes the object (one page read + one page write).  The OID becomes
   // dangling; access facilities are responsible for their own bookkeeping.
@@ -42,6 +44,10 @@ class ObjectStore {
 
   // The number of pages in the object file.
   PageId num_pages() const { return file_->num_pages(); }
+
+  // The backing file's access counters (parallel workers merge their
+  // thread-local stats here on join).
+  IoStats& stats() const { return file_->stats(); }
 
  private:
   PageFile* file_;

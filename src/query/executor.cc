@@ -1,5 +1,7 @@
 #include "query/executor.h"
 
+#include <vector>
+
 namespace sigsetdb {
 
 namespace {
@@ -23,89 +25,140 @@ bool Satisfies(const StoredObject& obj, QueryKind kind,
   return false;
 }
 
-}  // namespace
-
-StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
-                                        const ObjectStore& store,
-                                        QueryKind kind,
-                                        const ElementSet& query) {
-  QueryResult result;
-  result.num_candidates = candidates.oids.size();
-  result.oids.reserve(candidates.oids.size());
-  for (Oid oid : candidates.oids) {
-    SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store.Get(oid));
-    if (Satisfies(obj, kind, query)) {
-      result.oids.push_back(oid);
+// Resolves candidates[begin..end), charging page reads to `io`.  Appends
+// kept OIDs to `kept` in candidate order.
+Status ResolveRange(const CandidateResult& candidates,
+                    const ObjectStore& store, QueryKind kind,
+                    const ElementSet& query, size_t begin, size_t end,
+                    IoStats* io, std::vector<Oid>* kept,
+                    uint64_t* false_drops) {
+  for (size_t i = begin; i < end; ++i) {
+    Oid oid = candidates.oids[i];
+    StatusOr<StoredObject> obj = store.Get(oid, io);
+    SIGSET_RETURN_IF_ERROR(obj.status());
+    if (Satisfies(*obj, kind, query)) {
+      kept->push_back(oid);
     } else {
       if (candidates.exact) {
         return Status::Internal(
             "facility reported exact candidates but " + oid.ToString() +
             " fails the predicate");
       }
-      ++result.num_false_drops;
+      ++*false_drops;
     }
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
+                                        const ObjectStore& store,
+                                        QueryKind kind,
+                                        const ElementSet& query,
+                                        const ParallelExecutionContext* ctx) {
+  QueryResult result;
+  result.num_candidates = candidates.oids.size();
+  const size_t n = candidates.oids.size();
+  const size_t workers = ctx == nullptr ? 1 : ctx->WorkersFor(n);
+  if (workers <= 1) {
+    result.oids.reserve(n);
+    SIGSET_RETURN_IF_ERROR(ResolveRange(candidates, store, kind, query, 0, n,
+                                        &store.stats(), &result.oids,
+                                        &result.num_false_drops));
+    return result;
+  }
+
+  // Each worker resolves one contiguous candidate range through a thread-
+  // local IoStats; ranges are concatenated in worker order, so the kept-OID
+  // order matches the serial loop and every candidate is fetched exactly
+  // once (logical page-access totals unchanged).
+  struct WorkerState {
+    std::vector<Oid> kept;
+    uint64_t false_drops = 0;
+    IoStats io;
+    Status status;
+  };
+  std::vector<WorkerState> states(workers);
+  ctx->pool->ParallelFor(n, workers,
+                         [&](size_t w, size_t begin, size_t end) {
+                           WorkerState& ws = states[w];
+                           ws.kept.reserve(end - begin);
+                           ws.status = ResolveRange(
+                               candidates, store, kind, query, begin, end,
+                               &ws.io, &ws.kept, &ws.false_drops);
+                         });
+  // Merge stats before checking statuses so accounting stays exact even
+  // when a worker failed.
+  for (const WorkerState& ws : states) store.stats() += ws.io;
+  for (const WorkerState& ws : states) SIGSET_RETURN_IF_ERROR(ws.status);
+  size_t total_kept = 0;
+  for (const WorkerState& ws : states) total_kept += ws.kept.size();
+  result.oids.reserve(total_kept);
+  for (WorkerState& ws : states) {
+    result.oids.insert(result.oids.end(), ws.kept.begin(), ws.kept.end());
+    result.num_false_drops += ws.false_drops;
   }
   return result;
 }
 
 StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
                                       const ObjectStore& store,
-                                      QueryKind kind,
-                                      const ElementSet& query) {
+                                      QueryKind kind, const ElementSet& query,
+                                      const ParallelExecutionContext* ctx) {
   // Proper inclusion (⊋/⊊, paper §1's second sample query) reuses the
   // non-strict candidate sets; the strictness check happens at resolution,
   // where the stored cardinality is known.
-  SIGSET_ASSIGN_OR_RETURN(CandidateResult candidates,
-                          facility->Candidates(CandidateKind(kind), query));
+  SIGSET_ASSIGN_OR_RETURN(
+      CandidateResult candidates,
+      facility->Candidates(CandidateKind(kind), query, ctx));
   if (kind != CandidateKind(kind)) candidates.exact = false;
-  return ResolveCandidates(candidates, store, kind, query);
+  return ResolveCandidates(candidates, store, kind, query, ctx);
 }
 
-StatusOr<QueryResult> ExecuteSmartSupersetBssf(BitSlicedSignatureFile* bssf,
-                                               const ObjectStore& store,
-                                               const ElementSet& query,
-                                               size_t use_elements,
-                                               QueryKind kind) {
+StatusOr<QueryResult> ExecuteSmartSupersetBssf(
+    BitSlicedSignatureFile* bssf, const ObjectStore& store,
+    const ElementSet& query, size_t use_elements, QueryKind kind,
+    const ParallelExecutionContext* ctx) {
   if (CandidateKind(kind) != QueryKind::kSuperset) {
     return Status::InvalidArgument("kind must be a superset variant");
   }
   BitVector query_sig =
       MakePartialQuerySignature(query, use_elements, bssf->config());
   SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
-                          bssf->SupersetCandidateSlots(query_sig));
+                          bssf->SupersetCandidateSlots(query_sig, ctx));
   CandidateResult candidates;
   SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
-  return ResolveCandidates(candidates, store, kind, query);
+  return ResolveCandidates(candidates, store, kind, query, ctx);
 }
 
-StatusOr<QueryResult> ExecuteSmartSubsetBssf(BitSlicedSignatureFile* bssf,
-                                             const ObjectStore& store,
-                                             const ElementSet& query,
-                                             size_t max_slices,
-                                             QueryKind kind) {
+StatusOr<QueryResult> ExecuteSmartSubsetBssf(
+    BitSlicedSignatureFile* bssf, const ObjectStore& store,
+    const ElementSet& query, size_t max_slices, QueryKind kind,
+    const ParallelExecutionContext* ctx) {
   if (CandidateKind(kind) != QueryKind::kSubset) {
     return Status::InvalidArgument("kind must be a subset variant");
   }
   BitVector query_sig = MakeSetSignature(query, bssf->config());
-  SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
-                          bssf->SubsetCandidateSlots(query_sig, max_slices));
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> slots,
+      bssf->SubsetCandidateSlots(query_sig, max_slices, ctx));
   CandidateResult candidates;
   SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
-  return ResolveCandidates(candidates, store, kind, query);
+  return ResolveCandidates(candidates, store, kind, query, ctx);
 }
 
-StatusOr<QueryResult> ExecuteSmartSupersetNix(NestedIndex* nix,
-                                              const ObjectStore& store,
-                                              const ElementSet& query,
-                                              size_t use_elements,
-                                              QueryKind kind) {
+StatusOr<QueryResult> ExecuteSmartSupersetNix(
+    NestedIndex* nix, const ObjectStore& store, const ElementSet& query,
+    size_t use_elements, QueryKind kind,
+    const ParallelExecutionContext* ctx) {
   if (CandidateKind(kind) != QueryKind::kSuperset) {
     return Status::InvalidArgument("kind must be a superset variant");
   }
   SIGSET_ASSIGN_OR_RETURN(CandidateResult candidates,
                           nix->CandidatesSmartSuperset(query, use_elements));
   if (kind != QueryKind::kSuperset) candidates.exact = false;
-  return ResolveCandidates(candidates, store, kind, query);
+  return ResolveCandidates(candidates, store, kind, query, ctx);
 }
 
 }  // namespace sigsetdb

@@ -5,6 +5,13 @@
 // paper charges P_s/P_u per object even for true drops, since qualified
 // objects are returned to the user) and re-checks the set predicate against
 // the stored value, counting false drops.
+//
+// Every entry point takes an optional ParallelExecutionContext.  With a
+// parallel context, BSSF slice scans partition across the pool and false-
+// drop resolution fans out over contiguous candidate ranges; each worker
+// fetches through a thread-local IoStats merged into the file counters on
+// join, so results AND logical page-access totals are identical to the
+// serial path (a property the differential test suite enforces).
 
 #ifndef SIGSET_QUERY_EXECUTOR_H_
 #define SIGSET_QUERY_EXECUTOR_H_
@@ -15,6 +22,7 @@
 #include "obj/object_store.h"
 #include "sig/bssf.h"
 #include "sig/facility.h"
+#include "util/thread_pool.h"
 
 namespace sigsetdb {
 
@@ -27,9 +35,9 @@ struct QueryResult {
 
 // Runs `kind` with `query` through `facility`, then resolves candidates
 // against `store`.  `query` must be normalized (sorted unique).
-StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
-                                      const ObjectStore& store,
-                                      QueryKind kind, const ElementSet& query);
+StatusOr<QueryResult> ExecuteSetQuery(
+    SetAccessFacility* facility, const ObjectStore& store, QueryKind kind,
+    const ElementSet& query, const ParallelExecutionContext* ctx = nullptr);
 
 // Smart T ⊇ Q on BSSF (paper §5.1.3): build the query signature from only
 // `use_elements` query elements; resolution enforces the full predicate.
@@ -37,29 +45,36 @@ StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
 StatusOr<QueryResult> ExecuteSmartSupersetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t use_elements,
-    QueryKind kind = QueryKind::kSuperset);
+    QueryKind kind = QueryKind::kSuperset,
+    const ParallelExecutionContext* ctx = nullptr);
 
 // Smart T ⊆ Q on BSSF (paper §5.2.2): scan at most `max_slices` of the
 // query signature's zero slices.  `kind` may also be kProperSubset.
 StatusOr<QueryResult> ExecuteSmartSubsetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t max_slices,
-    QueryKind kind = QueryKind::kSubset);
+    QueryKind kind = QueryKind::kSubset,
+    const ParallelExecutionContext* ctx = nullptr);
 
 // Smart T ⊇ Q on NIX (paper §5.1.3): intersect the postings of only
 // `use_elements` query elements.  `kind` may also be kProperSuperset.
+// Candidate selection is serial (B-tree descent); resolution uses `ctx`.
 StatusOr<QueryResult> ExecuteSmartSupersetNix(
     NestedIndex* nix, const ObjectStore& store, const ElementSet& query,
-    size_t use_elements, QueryKind kind = QueryKind::kSuperset);
+    size_t use_elements, QueryKind kind = QueryKind::kSuperset,
+    const ParallelExecutionContext* ctx = nullptr);
 
 // The resolution step alone: fetches each candidate from `store`, keeps
 // those satisfying (`kind`, `query`).  Exposed for the smart strategies and
 // for tests.  When `exact` is true a failing candidate is an internal error
-// (the facility promised no false drops).
-StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
-                                        const ObjectStore& store,
-                                        QueryKind kind,
-                                        const ElementSet& query);
+// (the facility promised no false drops).  With a parallel context the
+// candidate list is split into contiguous ranges resolved concurrently;
+// per-range results are concatenated in range order, so the OID order,
+// counts, and page-access totals match the serial loop exactly.
+StatusOr<QueryResult> ResolveCandidates(
+    const CandidateResult& candidates, const ObjectStore& store,
+    QueryKind kind, const ElementSet& query,
+    const ParallelExecutionContext* ctx = nullptr);
 
 }  // namespace sigsetdb
 

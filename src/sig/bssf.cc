@@ -153,7 +153,8 @@ Status BitSlicedSignatureFile::Remove(Oid oid,
 }
 
 Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
-                                            BitVector* acc) const {
+                                            BitVector* acc,
+                                            IoStats* io) const {
   Page page;
   uint64_t* words = acc->mutable_words();
   size_t words_done = 0;
@@ -161,7 +162,7 @@ Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
   for (uint32_t p = 0; p < pages_per_slice_ && words_done < total_words; ++p) {
     PageId page_no = static_cast<PageId>(
         static_cast<uint64_t>(slice) * pages_per_slice_ + p);
-    SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page));
+    SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page, io));
     const uint64_t* src = reinterpret_cast<const uint64_t*>(page.data());
     size_t n = std::min(total_words - words_done, kPageSize / 8);
     if (and_combine) {
@@ -174,32 +175,77 @@ Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
   return Status::OK();
 }
 
+Status BitSlicedSignatureFile::CombineSliceRange(
+    const std::vector<uint32_t>& slices, size_t begin, size_t end,
+    bool and_combine, BitVector* acc, IoStats* io) const {
+  for (size_t i = begin; i < end; ++i) {
+    SIGSET_RETURN_IF_ERROR(CombineSlice(slices[i], and_combine, acc, io));
+  }
+  return Status::OK();
+}
+
+Status BitSlicedSignatureFile::CombineSlicesParallel(
+    const std::vector<uint32_t>& slices, bool and_combine, BitVector* acc,
+    const ParallelExecutionContext* ctx) const {
+  const size_t workers =
+      ctx == nullptr ? 1 : ctx->WorkersFor(slices.size());
+  if (workers <= 1) {
+    return CombineSliceRange(slices, 0, slices.size(), and_combine, acc,
+                             &slice_file_->stats());
+  }
+  // Per-worker accumulator bitmaps (initialized to the combine identity) and
+  // per-worker IoStats; both merged deterministically after the join.  Every
+  // slice is combined by exactly one worker, so each slice page is still
+  // read exactly once — logical page accesses equal the serial scan's.
+  std::vector<BitVector> accs(workers);
+  std::vector<IoStats> ios(workers);
+  std::vector<Status> statuses(workers, Status::OK());
+  for (BitVector& a : accs) {
+    a = BitVector(acc->size());
+    if (and_combine) a.SetAll();
+  }
+  ctx->pool->ParallelFor(
+      slices.size(), workers, [&](size_t w, size_t begin, size_t end) {
+        statuses[w] = CombineSliceRange(slices, begin, end, and_combine,
+                                        &accs[w], &ios[w]);
+      });
+  for (const IoStats& io : ios) slice_file_->stats() += io;
+  for (const Status& status : statuses) SIGSET_RETURN_IF_ERROR(status);
+  for (const BitVector& a : accs) {
+    if (and_combine) {
+      acc->AndWith(a);
+    } else {
+      acc->OrWith(a);
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::SupersetCandidateSlots(
-    const BitVector& query_sig) const {
+    const BitVector& query_sig, const ParallelExecutionContext* ctx) const {
+  std::vector<uint32_t> slices;
+  query_sig.ForEachSetBit(
+      [&](size_t j) { slices.push_back(static_cast<uint32_t>(j)); });
   BitVector acc(num_signatures_);
   acc.SetAll();
-  Status status = Status::OK();
-  query_sig.ForEachSetBit([&](size_t j) {
-    if (status.ok()) {
-      status = CombineSlice(static_cast<uint32_t>(j), /*and_combine=*/true,
-                            &acc);
-    }
-  });
-  SIGSET_RETURN_IF_ERROR(status);
+  SIGSET_RETURN_IF_ERROR(
+      CombineSlicesParallel(slices, /*and_combine=*/true, &acc, ctx));
   std::vector<uint64_t> slots;
   acc.ForEachSetBit([&](size_t slot) { slots.push_back(slot); });
   return slots;
 }
 
 StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::SubsetCandidateSlots(
-    const BitVector& query_sig, size_t max_slices) const {
-  BitVector acc(num_signatures_);  // starts all-zero; OR in the zero slices
-  size_t scanned = 0;
-  for (uint32_t j = 0; j < config_.f && scanned < max_slices; ++j) {
-    if (query_sig.Test(j)) continue;
-    SIGSET_RETURN_IF_ERROR(CombineSlice(j, /*and_combine=*/false, &acc));
-    ++scanned;
+    const BitVector& query_sig, size_t max_slices,
+    const ParallelExecutionContext* ctx) const {
+  // The zero slices to scan (the paper's partial slice scan caps them).
+  std::vector<uint32_t> slices;
+  for (uint32_t j = 0; j < config_.f && slices.size() < max_slices; ++j) {
+    if (!query_sig.Test(j)) slices.push_back(j);
   }
+  BitVector acc(num_signatures_);  // starts all-zero; OR in the zero slices
+  SIGSET_RETURN_IF_ERROR(
+      CombineSlicesParallel(slices, /*and_combine=*/false, &acc, ctx));
   // Candidates are slots whose accumulated bit stayed 0.
   std::vector<uint64_t> slots;
   for (uint64_t slot = 0; slot < num_signatures_; ++slot) {
@@ -209,20 +255,22 @@ StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::SubsetCandidateSlots(
 }
 
 StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::EqualsCandidateSlots(
-    const BitVector& query_sig) const {
+    const BitVector& query_sig, const ParallelExecutionContext* ctx) const {
   // ones: slots whose signature covers the query (AND of 1-slices);
   // zeros: slots with a 1 in some 0-slice of the query (OR of 0-slices).
   // Equality candidates are ones ∧ ¬zeros.
+  std::vector<uint32_t> one_slices;
+  std::vector<uint32_t> zero_slices;
+  for (uint32_t j = 0; j < config_.f; ++j) {
+    (query_sig.Test(j) ? one_slices : zero_slices).push_back(j);
+  }
   BitVector ones(num_signatures_);
   ones.SetAll();
   BitVector zeros(num_signatures_);
-  for (uint32_t j = 0; j < config_.f; ++j) {
-    if (query_sig.Test(j)) {
-      SIGSET_RETURN_IF_ERROR(CombineSlice(j, /*and_combine=*/true, &ones));
-    } else {
-      SIGSET_RETURN_IF_ERROR(CombineSlice(j, /*and_combine=*/false, &zeros));
-    }
-  }
+  SIGSET_RETURN_IF_ERROR(
+      CombineSlicesParallel(one_slices, /*and_combine=*/true, &ones, ctx));
+  SIGSET_RETURN_IF_ERROR(
+      CombineSlicesParallel(zero_slices, /*and_combine=*/false, &zeros, ctx));
   ones.AndNotWith(zeros);
   std::vector<uint64_t> slots;
   ones.ForEachSetBit([&](size_t slot) { slots.push_back(slot); });
@@ -231,39 +279,41 @@ StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::EqualsCandidateSlots(
 
 StatusOr<CandidateResult> BitSlicedSignatureFile::Candidates(
     QueryKind kind, const ElementSet& query) {
+  return Candidates(kind, query, nullptr);
+}
+
+StatusOr<CandidateResult> BitSlicedSignatureFile::Candidates(
+    QueryKind kind, const ElementSet& query,
+    const ParallelExecutionContext* ctx) {
   std::vector<uint64_t> slots;
   switch (kind) {
     case QueryKind::kSuperset:
     case QueryKind::kProperSuperset: {  // strictness checked at resolution
       BitVector query_sig = MakeSetSignature(query, config_);
-      SIGSET_ASSIGN_OR_RETURN(slots, SupersetCandidateSlots(query_sig));
+      SIGSET_ASSIGN_OR_RETURN(slots, SupersetCandidateSlots(query_sig, ctx));
       break;
     }
     case QueryKind::kSubset:
     case QueryKind::kProperSubset: {  // strictness checked at resolution
       BitVector query_sig = MakeSetSignature(query, config_);
-      SIGSET_ASSIGN_OR_RETURN(slots, SubsetCandidateSlots(query_sig));
+      SIGSET_ASSIGN_OR_RETURN(
+          slots, SubsetCandidateSlots(query_sig,
+                                      std::numeric_limits<size_t>::max(),
+                                      ctx));
       break;
     }
     case QueryKind::kEquals: {
       BitVector query_sig = MakeSetSignature(query, config_);
-      SIGSET_ASSIGN_OR_RETURN(slots, EqualsCandidateSlots(query_sig));
+      SIGSET_ASSIGN_OR_RETURN(slots, EqualsCandidateSlots(query_sig, ctx));
       break;
     }
     case QueryKind::kOverlaps: {
       // Union of per-element superset filters (extension, paper §6).  Slices
       // shared between element signatures are still read once per element;
       // a production system would memoize, which the micro-bench explores.
-      std::vector<uint64_t> merged;
-      for (uint64_t e : query) {
-        BitVector es = MakeElementSignature(e, config_);
-        SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> s,
-                                SupersetCandidateSlots(es));
-        merged.insert(merged.end(), s.begin(), s.end());
-      }
-      std::sort(merged.begin(), merged.end());
-      merged.erase(std::unique(merged.begin(), merged.end()), merged.end());
-      slots = std::move(merged);
+      // Parallelism fans out over the query elements (each worker scans its
+      // elements' slices through a private accumulator and IoStats).
+      SIGSET_ASSIGN_OR_RETURN(slots, OverlapCandidateSlots(query, ctx));
       break;
     }
   }
@@ -271,6 +321,42 @@ StatusOr<CandidateResult> BitSlicedSignatureFile::Candidates(
   result.exact = false;
   SIGSET_ASSIGN_OR_RETURN(result.oids, oid_file_.GetMany(slots));
   return result;
+}
+
+StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::OverlapCandidateSlots(
+    const ElementSet& query, const ParallelExecutionContext* ctx) const {
+  const size_t workers = ctx == nullptr ? 1 : ctx->WorkersFor(query.size());
+  std::vector<std::vector<uint64_t>> merged(std::max<size_t>(workers, 1));
+  std::vector<IoStats> ios(merged.size());
+  std::vector<Status> statuses(merged.size(), Status::OK());
+  auto scan_elements = [&](size_t w, size_t begin, size_t end) {
+    for (size_t i = begin; i < end && statuses[w].ok(); ++i) {
+      BitVector es = MakeElementSignature(query[i], config_);
+      std::vector<uint32_t> slices;
+      es.ForEachSetBit(
+          [&](size_t j) { slices.push_back(static_cast<uint32_t>(j)); });
+      BitVector acc(num_signatures_);
+      acc.SetAll();
+      statuses[w] = CombineSliceRange(slices, 0, slices.size(),
+                                      /*and_combine=*/true, &acc, &ios[w]);
+      if (!statuses[w].ok()) return;
+      acc.ForEachSetBit([&](size_t slot) { merged[w].push_back(slot); });
+    }
+  };
+  if (workers <= 1) {
+    scan_elements(0, 0, query.size());
+  } else {
+    ctx->pool->ParallelFor(query.size(), workers, scan_elements);
+  }
+  for (const IoStats& io : ios) slice_file_->stats() += io;
+  for (const Status& status : statuses) SIGSET_RETURN_IF_ERROR(status);
+  std::vector<uint64_t> slots;
+  for (const std::vector<uint64_t>& part : merged) {
+    slots.insert(slots.end(), part.begin(), part.end());
+  }
+  std::sort(slots.begin(), slots.end());
+  slots.erase(std::unique(slots.begin(), slots.end()), slots.end());
+  return slots;
 }
 
 uint64_t BitSlicedSignatureFile::StoragePages() const {

@@ -15,6 +15,13 @@
 // Insertion supports the paper's worst-case mode (touch all F slices, giving
 // UC_I = F + 1) and a sparse mode that writes only the m_t one-bit slices,
 // realizing the improvement the paper anticipates in §6.
+//
+// Slice scans optionally parallelize over a ParallelExecutionContext: the
+// needed slices are partitioned into contiguous chunks, each worker AND/OR-
+// combines its chunk into a private accumulator bitmap through a private
+// IoStats, and the accumulators (and stats) are merged on join.  Every slice
+// page is still read exactly once, so the logical page-access totals — the
+// paper's metric — are identical to the serial scan.
 
 #ifndef SIGSET_SIG_BSSF_H_
 #define SIGSET_SIG_BSSF_H_
@@ -62,6 +69,11 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   Status Remove(Oid oid, const ElementSet& set_value) override;
   StatusOr<CandidateResult> Candidates(QueryKind kind,
                                        const ElementSet& query) override;
+  // Parallel candidate selection: slice scans fan out over `ctx` (serial
+  // when null).  Same candidates and logical page-access totals.
+  StatusOr<CandidateResult> Candidates(
+      QueryKind kind, const ElementSet& query,
+      const ParallelExecutionContext* ctx) override;
   uint64_t StoragePages() const override;
 
   // Bulk-builds the slice store from the full database (one pass over the
@@ -75,21 +87,26 @@ class BitSlicedSignatureFile : public SetAccessFacility {
 
   // Slots whose signature covers `query_sig` (T ⊇ Q condition).  Reads one
   // slice per set bit of `query_sig`.  Callers implement the smart k-element
-  // strategy by passing MakePartialQuerySignature(...).
+  // strategy by passing MakePartialQuerySignature(...).  A non-null `ctx`
+  // partitions the slices across its pool.
   StatusOr<std::vector<uint64_t>> SupersetCandidateSlots(
-      const BitVector& query_sig) const;
+      const BitVector& query_sig,
+      const ParallelExecutionContext* ctx = nullptr) const;
 
   // Slots whose signature is covered by `query_sig` (T ⊆ Q condition),
   // scanning at most `max_slices` of the zero slices (the paper's partial
-  // slice scan; default scans them all).
+  // slice scan; default scans them all).  A non-null `ctx` partitions the
+  // scanned slices across its pool.
   StatusOr<std::vector<uint64_t>> SubsetCandidateSlots(
       const BitVector& query_sig,
-      size_t max_slices = std::numeric_limits<size_t>::max()) const;
+      size_t max_slices = std::numeric_limits<size_t>::max(),
+      const ParallelExecutionContext* ctx = nullptr) const;
 
   // Slots whose signature equals `query_sig` (set-equality prefilter,
-  // extension).  Reads all F slices.
+  // extension).  Reads all F slices; a non-null `ctx` partitions them.
   StatusOr<std::vector<uint64_t>> EqualsCandidateSlots(
-      const BitVector& query_sig) const;
+      const BitVector& query_sig,
+      const ParallelExecutionContext* ctx = nullptr) const;
 
   StatusOr<std::vector<Oid>> ResolveSlots(
       const std::vector<uint64_t>& slots) const {
@@ -114,9 +131,29 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   Status SetBitInSlice(uint32_t slice, uint64_t slot);
   Status TouchSlice(uint32_t slice, uint64_t slot, bool set_bit);
 
-  // Reads slice `slice` and combines it into `acc` (num bits = capacity):
-  // AND when `and_combine`, OR otherwise.
-  Status CombineSlice(uint32_t slice, bool and_combine, BitVector* acc) const;
+  // Reads slice `slice` and combines it into `acc` (num bits =
+  // num_signatures): AND when `and_combine`, OR otherwise.  Page reads are
+  // charged to `*io` (a worker-local IoStats on the parallel path).
+  Status CombineSlice(uint32_t slice, bool and_combine, BitVector* acc,
+                      IoStats* io) const;
+
+  // Combines `slices[begin..end)` serially into `acc` through `io`.
+  Status CombineSliceRange(const std::vector<uint32_t>& slices,
+                           size_t begin, size_t end, bool and_combine,
+                           BitVector* acc, IoStats* io) const;
+
+  // AND/OR-combines all of `slices` into `*acc`, fanning out over `ctx`
+  // when it is parallel: each worker combines a contiguous chunk into a
+  // private accumulator, then accumulators are AND/OR-merged in worker
+  // order and worker-local stats are added to the slice file's counters.
+  Status CombineSlicesParallel(const std::vector<uint32_t>& slices,
+                               bool and_combine, BitVector* acc,
+                               const ParallelExecutionContext* ctx) const;
+
+  // Union of per-element superset filters for T ∩ Q ≠ ∅, fanned out over
+  // the query elements.
+  StatusOr<std::vector<uint64_t>> OverlapCandidateSlots(
+      const ElementSet& query, const ParallelExecutionContext* ctx) const;
 
   std::string name_ = "bssf";
   SignatureConfig config_;

@@ -16,6 +16,7 @@
 #include "obj/object.h"
 #include "obj/oid.h"
 #include "util/status.h"
+#include "util/thread_pool.h"
 
 namespace sigsetdb {
 
@@ -63,6 +64,17 @@ class SetAccessFacility {
   // Returns candidate OIDs for the query.  `query` must be normalized.
   virtual StatusOr<CandidateResult> Candidates(QueryKind kind,
                                                const ElementSet& query) = 0;
+
+  // Parallel-aware variant: facilities that can fan candidate selection out
+  // over `ctx` (BSSF slice scans) override this; the default ignores the
+  // context and runs the serial path.  Results and logical page-access
+  // counts are identical either way.
+  virtual StatusOr<CandidateResult> Candidates(
+      QueryKind kind, const ElementSet& query,
+      const ParallelExecutionContext* ctx) {
+    (void)ctx;
+    return Candidates(kind, query);
+  }
 
   // Pages occupied by the facility's files (the paper's storage cost SC,
   // excluding the object file).

@@ -2,54 +2,105 @@
 
 namespace sigsetdb {
 
-Status CachedPageFile::Read(PageId id, Page* out) {
-  ++logical_stats_.page_reads;
-  auto it = index_.find(id);
-  if (it != index_.end()) {
-    ++hits_;
-    Touch(id);
-    *out = lru_.front().page;
+CachedPageFile::CachedPageFile(PageFile* base, size_t capacity,
+                               size_t num_shards)
+    : base_(base) {
+  if (num_shards == 0) num_shards = 1;
+  shards_.reserve(num_shards);
+  for (size_t s = 0; s < num_shards; ++s) {
+    auto shard = std::make_unique<Shard>();
+    // Split capacity evenly; the first capacity % N shards get the remainder.
+    shard->capacity =
+        capacity / num_shards + (s < capacity % num_shards ? 1 : 0);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+Status CachedPageFile::Read(PageId id, Page* out, IoStats* io) {
+  io->AddRead();
+  Shard& shard = ShardFor(id);
+  // The shard lock covers the base read on a miss so that one page is
+  // fetched by one thread at a time per shard; other shards proceed freely.
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
+    ++shard.hits;
+    Touch(shard, id);
+    *out = shard.lru.front().page;
     return Status::OK();
   }
-  ++misses_;
+  ++shard.misses;
   SIGSET_RETURN_IF_ERROR(base_->Read(id, out));
-  InsertFrame(id, *out);
+  InsertFrame(shard, id, *out);
   return Status::OK();
 }
 
-Status CachedPageFile::Write(PageId id, const Page& page) {
-  ++logical_stats_.page_writes;
+Status CachedPageFile::Write(PageId id, const Page& page, IoStats* io) {
+  io->AddWrite();
+  Shard& shard = ShardFor(id);
+  std::lock_guard<std::mutex> lock(shard.mu);
   // Write-through: the base file always sees the write.
   SIGSET_RETURN_IF_ERROR(base_->Write(id, page));
-  auto it = index_.find(id);
-  if (it != index_.end()) {
+  auto it = shard.index.find(id);
+  if (it != shard.index.end()) {
     it->second->page = page;
-    Touch(id);
+    Touch(shard, id);
   } else {
-    InsertFrame(id, page);
+    InsertFrame(shard, id, page);
   }
   return Status::OK();
+}
+
+uint64_t CachedPageFile::hits() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->hits;
+  }
+  return total;
+}
+
+uint64_t CachedPageFile::misses() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->misses;
+  }
+  return total;
+}
+
+uint64_t CachedPageFile::shard_hits(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->hits;
+}
+
+uint64_t CachedPageFile::shard_misses(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->misses;
 }
 
 void CachedPageFile::Invalidate() {
-  lru_.clear();
-  index_.clear();
-}
-
-void CachedPageFile::Touch(PageId id) {
-  auto it = index_.find(id);
-  lru_.splice(lru_.begin(), lru_, it->second);
-  it->second = lru_.begin();
-}
-
-void CachedPageFile::InsertFrame(PageId id, const Page& page) {
-  if (capacity_ == 0) return;
-  if (lru_.size() >= capacity_) {
-    index_.erase(lru_.back().id);
-    lru_.pop_back();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
   }
-  lru_.push_front(Frame{id, page});
-  index_[id] = lru_.begin();
+}
+
+void CachedPageFile::Touch(Shard& shard, PageId id) {
+  auto it = shard.index.find(id);
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+  it->second = shard.lru.begin();
+}
+
+void CachedPageFile::InsertFrame(Shard& shard, PageId id, const Page& page) {
+  if (shard.capacity == 0) return;
+  if (shard.lru.size() >= shard.capacity) {
+    shard.index.erase(shard.lru.back().id);
+    shard.lru.pop_back();
+  }
+  shard.lru.push_front(Frame{id, page});
+  shard.index[id] = shard.lru.begin();
 }
 
 }  // namespace sigsetdb

@@ -1,4 +1,4 @@
-// CachedPageFile: an LRU buffer pool layered over a PageFile.
+// CachedPageFile: a sharded LRU buffer pool layered over a PageFile.
 //
 // The paper's cost model deliberately assumes *no* caching (every logical
 // page access costs one I/O).  This decorator exists for the buffer-pool
@@ -7,31 +7,47 @@
 // the underlying file's counters; the decorator's own stats() counts logical
 // accesses, while the wrapped file's stats() counts misses (i.e. "physical"
 // accesses).
+//
+// The cache is safe for concurrent readers: frames are partitioned into N
+// shards by PageId % N, each shard owning its own LRU list, hash index,
+// hit/miss counters, and mutex, so parallel slice scans touching disjoint
+// pages rarely contend.  Logical stats are atomic and counted outside the
+// shard locks; hence sum over shards of (hits + misses) == logical reads
+// and writes at any quiescent point — the invariant the ablation relies on.
+// The default of one shard preserves the exact global-LRU eviction order of
+// the original single-threaded pool.
 
 #ifndef SIGSET_STORAGE_BUFFER_POOL_H_
 #define SIGSET_STORAGE_BUFFER_POOL_H_
 
 #include <list>
+#include <memory>
+#include <mutex>
 #include <unordered_map>
+#include <vector>
 
 #include "storage/page_file.h"
 
 namespace sigsetdb {
 
-// Write-through LRU cache over `base` holding up to `capacity` pages.
+// Write-through LRU cache over `base` holding up to `capacity` pages,
+// partitioned into `num_shards` independent LRU shards.
 class CachedPageFile : public PageFile {
  public:
   // Does not take ownership of `base`, which must outlive this object.
-  CachedPageFile(PageFile* base, size_t capacity)
-      : base_(base), capacity_(capacity) {}
+  // `capacity` is split as evenly as possible across the shards.
+  CachedPageFile(PageFile* base, size_t capacity, size_t num_shards = 1);
+
+  using PageFile::Read;
+  using PageFile::Write;
 
   const std::string& name() const override { return base_->name(); }
   PageId num_pages() const override { return base_->num_pages(); }
 
   StatusOr<PageId> Allocate() override { return base_->Allocate(); }
 
-  Status Read(PageId id, Page* out) override;
-  Status Write(PageId id, const Page& page) override;
+  Status Read(PageId id, Page* out, IoStats* io) override;
+  Status Write(PageId id, const Page& page, IoStats* io) override;
 
   // Logical accesses issued against this decorator.
   IoStats& stats() override { return logical_stats_; }
@@ -40,29 +56,42 @@ class CachedPageFile : public PageFile {
   // Physical (miss) accesses are the base file's counters.
   const IoStats& physical_stats() const { return base_->stats(); }
 
-  uint64_t hits() const { return hits_; }
-  uint64_t misses() const { return misses_; }
+  // Aggregates over all shards.
+  uint64_t hits() const;
+  uint64_t misses() const;
+
+  // Per-shard counters (for the shard-consistency invariant checks).
+  size_t num_shards() const { return shards_.size(); }
+  uint64_t shard_hits(size_t shard) const;
+  uint64_t shard_misses(size_t shard) const;
 
   // Drops all cached pages (counters are kept).
   void Invalidate();
 
  private:
-  void Touch(PageId id);
-  void InsertFrame(PageId id, const Page& page);
-
-  PageFile* base_;
-  size_t capacity_;
-  IoStats logical_stats_;
-  uint64_t hits_ = 0;
-  uint64_t misses_ = 0;
-
   // LRU list front = most recent.  Map values point into the list.
   struct Frame {
     PageId id;
     Page page;
   };
-  std::list<Frame> lru_;
-  std::unordered_map<PageId, std::list<Frame>::iterator> index_;
+  struct Shard {
+    mutable std::mutex mu;
+    size_t capacity = 0;
+    uint64_t hits = 0;
+    uint64_t misses = 0;
+    std::list<Frame> lru;
+    std::unordered_map<PageId, std::list<Frame>::iterator> index;
+  };
+
+  Shard& ShardFor(PageId id) { return *shards_[id % shards_.size()]; }
+
+  // Both require `shard.mu` held.
+  static void Touch(Shard& shard, PageId id);
+  static void InsertFrame(Shard& shard, PageId id, const Page& page);
+
+  PageFile* base_;
+  IoStats logical_stats_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 };
 
 }  // namespace sigsetdb

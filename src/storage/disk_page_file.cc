@@ -54,7 +54,7 @@ StatusOr<PageId> OnDiskPageFile::Allocate() {
   return num_pages_++;
 }
 
-Status OnDiskPageFile::Read(PageId id, Page* out) {
+Status OnDiskPageFile::Read(PageId id, Page* out, IoStats* io) {
   if (id >= num_pages_) {
     return Status::OutOfRange("read past end of " + name_ + " page " +
                               std::to_string(id));
@@ -64,11 +64,11 @@ Status OnDiskPageFile::Read(PageId id, Page* out) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError(Errno("pread", name_));
   }
-  ++stats_.page_reads;
+  io->AddRead();
   return Status::OK();
 }
 
-Status OnDiskPageFile::Write(PageId id, const Page& page) {
+Status OnDiskPageFile::Write(PageId id, const Page& page, IoStats* io) {
   if (id >= num_pages_) {
     return Status::OutOfRange("write past end of " + name_ + " page " +
                               std::to_string(id));
@@ -78,7 +78,7 @@ Status OnDiskPageFile::Write(PageId id, const Page& page) {
   if (n != static_cast<ssize_t>(kPageSize)) {
     return Status::IoError(Errno("pwrite", name_));
   }
-  ++stats_.page_writes;
+  io->AddWrite();
   return Status::OK();
 }
 

@@ -28,12 +28,15 @@ class OnDiskPageFile : public PageFile {
   OnDiskPageFile(const OnDiskPageFile&) = delete;
   OnDiskPageFile& operator=(const OnDiskPageFile&) = delete;
 
+  using PageFile::Read;
+  using PageFile::Write;
+
   const std::string& name() const override { return name_; }
   PageId num_pages() const override { return num_pages_; }
 
   StatusOr<PageId> Allocate() override;
-  Status Read(PageId id, Page* out) override;
-  Status Write(PageId id, const Page& page) override;
+  Status Read(PageId id, Page* out, IoStats* io) override;
+  Status Write(PageId id, const Page& page, IoStats* io) override;
 
   IoStats& stats() override { return stats_; }
   const IoStats& stats() const override { return stats_; }

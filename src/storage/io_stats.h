@@ -3,33 +3,66 @@
 // The paper measures all costs in *page accesses*.  Each PageFile owns an
 // IoStats, incremented on every logical read/write.  Benchmarks snapshot the
 // counters around a query and compare the delta with the analytical model.
+//
+// Counters are atomic so that concurrent readers (parallel slice scans,
+// sharded buffer-pool lookups) never lose an increment; relaxed ordering
+// suffices because only the totals matter, never cross-counter ordering.
+// The hot parallel paths avoid even this contention by counting into a
+// worker-local IoStats and merging via operator+= on join — see
+// PageFile::Read(id, out, io).
 
 #ifndef SIGSET_STORAGE_IO_STATS_H_
 #define SIGSET_STORAGE_IO_STATS_H_
 
+#include <atomic>
 #include <cstdint>
 
 namespace sigsetdb {
 
-// Read/write page-access counters for one file.
+// Read/write page-access counters for one file.  Copyable (snapshots load
+// the counters); copies are value snapshots, not live views.
 struct IoStats {
-  uint64_t page_reads = 0;
-  uint64_t page_writes = 0;
+  std::atomic<uint64_t> page_reads{0};
+  std::atomic<uint64_t> page_writes{0};
 
-  uint64_t total() const { return page_reads + page_writes; }
+  IoStats() = default;
+  IoStats(uint64_t reads, uint64_t writes)
+      : page_reads(reads), page_writes(writes) {}
+  IoStats(const IoStats& other)
+      : page_reads(other.page_reads.load(std::memory_order_relaxed)),
+        page_writes(other.page_writes.load(std::memory_order_relaxed)) {}
+  IoStats& operator=(const IoStats& other) {
+    page_reads.store(other.page_reads.load(std::memory_order_relaxed),
+                     std::memory_order_relaxed);
+    page_writes.store(other.page_writes.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    return *this;
+  }
+
+  void AddRead(uint64_t n = 1) {
+    page_reads.fetch_add(n, std::memory_order_relaxed);
+  }
+  void AddWrite(uint64_t n = 1) {
+    page_writes.fetch_add(n, std::memory_order_relaxed);
+  }
+
+  uint64_t reads() const { return page_reads.load(std::memory_order_relaxed); }
+  uint64_t writes() const {
+    return page_writes.load(std::memory_order_relaxed);
+  }
+  uint64_t total() const { return reads() + writes(); }
 
   void Reset() {
-    page_reads = 0;
-    page_writes = 0;
+    page_reads.store(0, std::memory_order_relaxed);
+    page_writes.store(0, std::memory_order_relaxed);
   }
 
   IoStats operator-(const IoStats& other) const {
-    return IoStats{page_reads - other.page_reads,
-                   page_writes - other.page_writes};
+    return IoStats{reads() - other.reads(), writes() - other.writes()};
   }
   IoStats& operator+=(const IoStats& other) {
-    page_reads += other.page_reads;
-    page_writes += other.page_writes;
+    page_reads.fetch_add(other.reads(), std::memory_order_relaxed);
+    page_writes.fetch_add(other.writes(), std::memory_order_relaxed);
     return *this;
   }
 };

@@ -10,23 +10,23 @@ StatusOr<PageId> InMemoryPageFile::Allocate() {
   return static_cast<PageId>(pages_.size() - 1);
 }
 
-Status InMemoryPageFile::Read(PageId id, Page* out) {
+Status InMemoryPageFile::Read(PageId id, Page* out, IoStats* io) {
   if (id >= pages_.size()) {
     return Status::OutOfRange("read past end of " + name_ + " page " +
                               std::to_string(id));
   }
   *out = *pages_[id];
-  ++stats_.page_reads;
+  io->AddRead();
   return Status::OK();
 }
 
-Status InMemoryPageFile::Write(PageId id, const Page& page) {
+Status InMemoryPageFile::Write(PageId id, const Page& page, IoStats* io) {
   if (id >= pages_.size()) {
     return Status::OutOfRange("write past end of " + name_ + " page " +
                               std::to_string(id));
   }
   *pages_[id] = page;
-  ++stats_.page_writes;
+  io->AddWrite();
   return Status::OK();
 }
 

@@ -21,7 +21,11 @@
 namespace sigsetdb {
 
 // Abstract page-granular file.  Implementations must count one page access
-// per Read/Write call in stats().
+// per Read/Write call — into `*io` when the caller supplies one, into the
+// file's own stats() otherwise.  The redirect exists for parallel query
+// workers: each counts into a thread-local IoStats and the owner merges the
+// locals into stats() on join, keeping the paper's logical page-access
+// totals exact without contending on shared counters.
 class PageFile {
  public:
   virtual ~PageFile() = default;
@@ -35,11 +39,17 @@ class PageFile {
   // Appends a zeroed page; returns its id.
   virtual StatusOr<PageId> Allocate() = 0;
 
-  // Reads page `id` into `*out`.  Counts one page read.
-  virtual Status Read(PageId id, Page* out) = 0;
+  // Reads page `id` into `*out`, charging one page read to `*io`.
+  virtual Status Read(PageId id, Page* out, IoStats* io) = 0;
 
-  // Writes `page` at `id`.  Counts one page write.
-  virtual Status Write(PageId id, const Page& page) = 0;
+  // Writes `page` at `id`, charging one page write to `*io`.
+  virtual Status Write(PageId id, const Page& page, IoStats* io) = 0;
+
+  // Convenience forms charging this file's own counters.
+  Status Read(PageId id, Page* out) { return Read(id, out, &stats()); }
+  Status Write(PageId id, const Page& page) {
+    return Write(id, page, &stats());
+  }
 
   // Access counters (mutable so callers can Reset between measurements).
   virtual IoStats& stats() = 0;
@@ -48,10 +58,14 @@ class PageFile {
 
 // Heap-backed PageFile.  Deterministic and fast; all experiment I/O costs are
 // taken from the access counters, so a RAM backing store does not distort
-// any reproduced metric.
+// any reproduced metric.  Concurrent Reads are safe; Allocate/Write must not
+// race with other accesses to the same page (query execution is read-only).
 class InMemoryPageFile : public PageFile {
  public:
   explicit InMemoryPageFile(std::string name) : name_(std::move(name)) {}
+
+  using PageFile::Read;
+  using PageFile::Write;
 
   const std::string& name() const override { return name_; }
   PageId num_pages() const override {
@@ -59,8 +73,8 @@ class InMemoryPageFile : public PageFile {
   }
 
   StatusOr<PageId> Allocate() override;
-  Status Read(PageId id, Page* out) override;
-  Status Write(PageId id, const Page& page) override;
+  Status Read(PageId id, Page* out, IoStats* io) override;
+  Status Write(PageId id, const Page& page, IoStats* io) override;
 
   IoStats& stats() override { return stats_; }
   const IoStats& stats() const override { return stats_; }

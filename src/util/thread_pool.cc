@@ -1,0 +1,108 @@
+#include "util/thread_pool.h"
+
+#include <exception>
+
+namespace sigsetdb {
+
+namespace {
+// Set for the lifetime of a worker's loop; lets ParallelFor detect nested
+// use and fall back to inline execution instead of deadlocking.
+thread_local bool t_on_pool_worker = false;
+}  // namespace
+
+bool ThreadPool::OnWorkerThread() { return t_on_pool_worker; }
+
+ThreadPool::ThreadPool(size_t num_threads) {
+  threads_.reserve(num_threads);
+  for (size_t i = 0; i < num_threads; ++i) {
+    threads_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (std::thread& t : threads_) t.join();
+}
+
+void ThreadPool::WorkerLoop() {
+  t_on_pool_worker = true;
+  for (;;) {
+    std::packaged_task<void()> task;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || !queue_.empty(); });
+      if (queue_.empty()) return;  // stop_ set and nothing left to drain
+      task = std::move(queue_.front());
+      queue_.pop_front();
+    }
+    task();  // packaged_task captures exceptions into its future
+  }
+}
+
+std::future<void> ThreadPool::Submit(std::function<void()> fn) {
+  std::packaged_task<void()> task(std::move(fn));
+  std::future<void> future = task.get_future();
+  if (threads_.empty()) {
+    task();  // inline degradation; the future still carries any exception
+    return future;
+  }
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    queue_.push_back(std::move(task));
+  }
+  cv_.notify_one();
+  return future;
+}
+
+void ThreadPool::ParallelFor(
+    size_t n, size_t num_workers,
+    const std::function<void(size_t worker, size_t begin, size_t end)>& fn) {
+  if (n == 0) return;
+  if (num_workers == 0) num_workers = 1;
+  if (num_workers > n) num_workers = n;
+
+  // Contiguous ranges: the first n % W ranges get one extra item.
+  const size_t base = n / num_workers;
+  const size_t extra = n % num_workers;
+  auto range_of = [&](size_t w, size_t* begin, size_t* end) {
+    *begin = w * base + (w < extra ? w : extra);
+    *end = *begin + base + (w < extra ? 1 : 0);
+  };
+
+  if (num_workers == 1 || threads_.empty() || OnWorkerThread()) {
+    // Serial fallback (including nested calls from a pool worker, which must
+    // not wait on the queue their own thread is supposed to drain).
+    for (size_t w = 0; w < num_workers; ++w) {
+      size_t begin, end;
+      range_of(w, &begin, &end);
+      fn(w, begin, end);
+    }
+    return;
+  }
+
+  std::vector<std::future<void>> futures;
+  futures.reserve(num_workers);
+  for (size_t w = 0; w < num_workers; ++w) {
+    size_t begin, end;
+    range_of(w, &begin, &end);
+    futures.push_back(Submit([&fn, w, begin, end] { fn(w, begin, end); }));
+  }
+  // Wait for every chunk before surfacing a failure: callers merge
+  // per-worker state after ParallelFor returns, so no chunk may still be
+  // running when we leave — even on error.
+  std::exception_ptr first_error;
+  for (std::future<void>& f : futures) {
+    try {
+      f.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,101 @@
+// A fixed-width thread pool for intra-query parallelism.
+//
+// The paper's BSSF retrieval cost is dominated by two embarrassingly
+// parallel loops — AND/OR-combining bit slices (§4.2, §5.1.3/§5.2.2) and
+// resolving false drops against the object store (§3.1).  Both are
+// partitioned into contiguous chunks handed to this pool; there is no work
+// stealing (chunks are statically sized, the work per item is uniform page
+// I/O, and determinism of the merged result matters more than tail latency).
+//
+// Design constraints honoured here:
+//   * No deadlock on nested use: a ParallelFor issued from inside a pool
+//     worker runs inline on that worker (detected via a thread-local flag).
+//   * Exceptions thrown by tasks propagate to the waiter (Submit through the
+//     returned future, ParallelFor by rethrowing the first chunk failure
+//     after all chunks finished — partial-state merging stays safe).
+//   * A pool constructed with zero threads degrades to inline execution, so
+//     callers never special-case "no pool".
+
+#ifndef SIGSET_UTIL_THREAD_POOL_H_
+#define SIGSET_UTIL_THREAD_POOL_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <functional>
+#include <future>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+namespace sigsetdb {
+
+// Fixed set of worker threads draining a FIFO task queue.
+class ThreadPool {
+ public:
+  // Spawns `num_threads` workers.  Zero is allowed: tasks then execute
+  // inline in Submit/ParallelFor on the calling thread.
+  explicit ThreadPool(size_t num_threads);
+
+  // Drains outstanding tasks, then joins the workers.
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  size_t num_threads() const { return threads_.size(); }
+
+  // Enqueues `fn`.  The returned future becomes ready when `fn` finished and
+  // rethrows anything `fn` threw.  Never blocks the caller.
+  std::future<void> Submit(std::function<void()> fn);
+
+  // Splits [0, n) into `num_workers` contiguous ranges and runs
+  // fn(worker, begin, end) for each non-empty range on the pool, blocking
+  // until all finished.  `worker` is the dense range index in [0,
+  // num_workers), so callers can keep per-worker accumulators and merge them
+  // deterministically in worker order afterwards.  Rethrows the first chunk
+  // exception after every chunk completed.  When called from a pool worker
+  // (nested parallelism) or on an empty pool, all ranges run inline on the
+  // calling thread as worker 0..num_workers-1 — same results, no deadlock.
+  void ParallelFor(size_t n, size_t num_workers,
+                   const std::function<void(size_t worker, size_t begin,
+                                            size_t end)>& fn);
+
+  // True when the calling thread is one of this process's pool workers.
+  static bool OnWorkerThread();
+
+ private:
+  void WorkerLoop();
+
+  std::mutex mu_;
+  std::condition_variable cv_;
+  std::deque<std::packaged_task<void()>> queue_;
+  bool stop_ = false;
+  std::vector<std::thread> threads_;
+};
+
+// How a query is allowed to parallelize.  Passed (by pointer, nullable)
+// through the executor into the BSSF slice scans and candidate resolution;
+// a null context — or one with a null pool — means serial execution, which
+// is byte-identical to the pre-parallel code path.
+struct ParallelExecutionContext {
+  ThreadPool* pool = nullptr;
+  // Upper bound on concurrent workers per operation (0 = pool width).
+  size_t max_workers = 0;
+
+  bool parallel() const { return pool != nullptr && pool->num_threads() > 0; }
+
+  // Workers to use for an operation over `n` items: never more than `n`,
+  // never more than the pool offers, at least 1.
+  size_t WorkersFor(size_t n) const {
+    if (!parallel() || n <= 1) return 1;
+    size_t cap = pool->num_threads();
+    if (max_workers != 0 && max_workers < cap) cap = max_workers;
+    if (cap < 1) cap = 1;
+    return n < cap ? n : cap;
+  }
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_THREAD_POOL_H_

@@ -1,0 +1,49 @@
+#!/usr/bin/env bash
+# Builds and runs the test suite under ThreadSanitizer and AddressSanitizer
+# (separate build trees, so they don't disturb the regular ./build).
+#
+#   tools/run_sanitizers.sh            # both sanitizers, full suite
+#   tools/run_sanitizers.sh thread     # TSan only
+#   tools/run_sanitizers.sh address -R 'thread_pool|parallel|sharded'
+#
+# Extra arguments after the sanitizer name are passed to ctest, which is
+# how you scope a TSan run to the concurrency tests (they are the ones
+# that exercise cross-thread interleavings; the rest are single-threaded).
+
+set -euo pipefail
+
+cd "$(dirname "$0")/.."
+
+run_one() {
+  local sanitizer="$1"
+  shift
+  local build_dir="build-${sanitizer}san"
+  echo "=== ${sanitizer} sanitizer: configuring ${build_dir} ==="
+  cmake -B "${build_dir}" -S . \
+    -DCMAKE_BUILD_TYPE=RelWithDebInfo \
+    -DSIGSET_SANITIZE="${sanitizer}" > /dev/null
+  cmake --build "${build_dir}" -j "$(nproc)"
+  echo "=== ${sanitizer} sanitizer: running tests ==="
+  (cd "${build_dir}" && ctest --output-on-failure "$@")
+}
+
+case "${1:-all}" in
+  thread)
+    shift
+    run_one thread "$@"
+    ;;
+  address)
+    shift
+    run_one address "$@"
+    ;;
+  all)
+    run_one thread
+    run_one address
+    ;;
+  *)
+    echo "usage: $0 [thread|address|all] [ctest args...]" >&2
+    exit 1
+    ;;
+esac
+
+echo "sanitizer runs passed"
