@@ -79,44 +79,43 @@ Status Database::InitFacilities(const std::string& name,
           Manifest::Get(*recovered, AttrKey(i, "elements")));
     }
     if (spec.maintain_ssf) {
+      SIGSET_ASSIGN_OR_RETURN(PageFile * sig_file,
+                              storage_->OpenOrCreate(prefix + ".sig"));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * oid_file,
+                              storage_->OpenOrCreate(prefix + ".sig.oid"));
       if (recovered == nullptr) {
-        SIGSET_ASSIGN_OR_RETURN(
-            state.ssf, SequentialSignatureFile::Create(
-                           spec.sig, storage_->CreateOrOpen(prefix + ".sig"),
-                           storage_->CreateOrOpen(prefix + ".sig.oid")));
+        SIGSET_ASSIGN_OR_RETURN(state.ssf, SequentialSignatureFile::Create(
+                                               spec.sig, sig_file, oid_file));
       } else {
-        SIGSET_ASSIGN_OR_RETURN(
-            state.ssf, SequentialSignatureFile::CreateFromExisting(
-                           spec.sig, storage_->CreateOrOpen(prefix + ".sig"),
-                           storage_->CreateOrOpen(prefix + ".sig.oid"),
-                           sigs));
+        SIGSET_ASSIGN_OR_RETURN(state.ssf,
+                                SequentialSignatureFile::CreateFromExisting(
+                                    spec.sig, sig_file, oid_file, sigs));
       }
     }
     if (spec.maintain_bssf) {
+      SIGSET_ASSIGN_OR_RETURN(PageFile * slice_file,
+                              storage_->OpenOrCreate(prefix + ".slices"));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * oid_file,
+                              storage_->OpenOrCreate(prefix + ".slices.oid"));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(
             state.bssf,
-            BitSlicedSignatureFile::Create(
-                spec.sig, options_.capacity,
-                storage_->CreateOrOpen(prefix + ".slices"),
-                storage_->CreateOrOpen(prefix + ".slices.oid"),
-                spec.bssf_mode));
+            BitSlicedSignatureFile::Create(spec.sig, options_.capacity,
+                                           slice_file, oid_file,
+                                           spec.bssf_mode));
       } else {
         SIGSET_ASSIGN_OR_RETURN(
-            state.bssf,
-            BitSlicedSignatureFile::CreateFromExisting(
-                spec.sig, options_.capacity,
-                storage_->CreateOrOpen(prefix + ".slices"),
-                storage_->CreateOrOpen(prefix + ".slices.oid"),
-                spec.bssf_mode, sigs));
+            state.bssf, BitSlicedSignatureFile::CreateFromExisting(
+                            spec.sig, options_.capacity, slice_file, oid_file,
+                            spec.bssf_mode, sigs));
       }
     }
     if (spec.maintain_nix) {
+      SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
+                              storage_->OpenOrCreate(prefix + ".nix"));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(
-            state.nix, NestedIndex::Create(
-                           storage_->CreateOrOpen(prefix + ".nix"),
-                           spec.nix_fanout));
+            state.nix, NestedIndex::Create(nix_file, spec.nix_fanout));
       } else {
         SIGSET_ASSIGN_OR_RETURN(
             uint64_t root, Manifest::Get(*recovered, AttrKey(i, "nix_root")));
@@ -135,9 +134,8 @@ Status Database::InitFacilities(const std::string& name,
         SIGSET_ASSIGN_OR_RETURN(
             state.nix,
             NestedIndex::CreateFromExisting(
-                storage_->CreateOrOpen(prefix + ".nix"), spec.nix_fanout,
-                static_cast<PageId>(root), static_cast<uint32_t>(height),
-                leaves, internal, overflow));
+                nix_file, spec.nix_fanout, static_cast<PageId>(root),
+                static_cast<uint32_t>(height), leaves, internal, overflow));
         auto free_head = Manifest::Get(*recovered, AttrKey(i, "nix_free_head"));
         auto free_pages =
             Manifest::Get(*recovered, AttrKey(i, "nix_free_pages"));
@@ -156,11 +154,14 @@ StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
                                                      const Options& options) {
   SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
   std::unique_ptr<Database> db(new Database(storage, options));
-  db->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
-  db->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  SIGSET_ASSIGN_OR_RETURN(db->manifest_file_,
+                          storage->OpenOrCreate(name + ".manifest"));
+  SIGSET_ASSIGN_OR_RETURN(db->sketch_file_,
+                          storage->OpenOrCreate(name + ".sketch"));
+  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
+                          storage->OpenOrCreate(name + ".objects"));
   db->store_ = std::make_unique<MultiObjectStore>(
-      storage->CreateOrOpen(name + ".objects"),
-      static_cast<uint16_t>(options.attributes.size()));
+      objects, static_cast<uint16_t>(options.attributes.size()));
   SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, nullptr));
   return db;
 }
@@ -170,8 +171,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
                                                    const Options& options) {
   SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
   std::unique_ptr<Database> db(new Database(storage, options));
-  db->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
-  db->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  SIGSET_ASSIGN_OR_RETURN(db->manifest_file_,
+                          storage->OpenOrCreate(name + ".manifest"));
+  SIGSET_ASSIGN_OR_RETURN(db->sketch_file_,
+                          storage->OpenOrCreate(name + ".sketch"));
   SIGSET_ASSIGN_OR_RETURN(Manifest::Values values,
                           Manifest::Read(db->manifest_file_));
   SIGSET_ASSIGN_OR_RETURN(uint64_t attrs, Manifest::Get(values, kKeyAttrs));
@@ -181,9 +184,10 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
   }
   SIGSET_ASSIGN_OR_RETURN(uint64_t objects,
                           Manifest::Get(values, kKeyObjects));
+  SIGSET_ASSIGN_OR_RETURN(PageFile * object_file,
+                          storage->OpenOrCreate(name + ".objects"));
   db->store_ = std::make_unique<MultiObjectStore>(
-      storage->CreateOrOpen(name + ".objects"),
-      static_cast<uint16_t>(options.attributes.size()));
+      object_file, static_cast<uint16_t>(options.attributes.size()));
   db->store_->RecoverCount(objects);
   SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, &values));
   // Restore the per-attribute domain sketches (page i = attribute i).
@@ -470,7 +474,10 @@ StatusOr<DatabaseQueryResult> Database::Query(
           }
         });
     for (const WorkerState& ws : states) store_->stats() += ws.io;
-    for (const WorkerState& ws : states) SIGSET_RETURN_IF_ERROR(ws.status);
+    std::vector<Status> statuses;
+    statuses.reserve(states.size());
+    for (const WorkerState& ws : states) statuses.push_back(ws.status);
+    SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
     for (WorkerState& ws : states) {
       out.oids.insert(out.oids.end(), ws.kept.begin(), ws.kept.end());
       out.num_false_drops += ws.false_drops;

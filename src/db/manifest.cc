@@ -2,6 +2,8 @@
 
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace sigsetdb {
 
 namespace {
@@ -10,6 +12,7 @@ constexpr uint32_t kVersion = 1;
 }  // namespace
 
 Status Manifest::Write(PageFile* file, const Values& values) {
+  SIGSET_FAILPOINT("manifest.write");
   Page page;
   page.WriteAt<uint32_t>(0, kMagic);
   page.WriteAt<uint32_t>(4, kVersion);
@@ -33,6 +36,7 @@ Status Manifest::Write(PageFile* file, const Values& values) {
 }
 
 StatusOr<Manifest::Values> Manifest::Read(PageFile* file) {
+  SIGSET_FAILPOINT("manifest.read");
   if (file->num_pages() == 0) {
     return Status::NotFound("no manifest page");
   }

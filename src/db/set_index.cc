@@ -3,6 +3,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace sigsetdb {
 
 SetIndex::SetIndex(StorageManager* storage, Options options)
@@ -21,29 +23,36 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
     return Status::InvalidArgument("enable at least one facility");
   }
   std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
-  index->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
-  index->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
-  index->store_ = std::make_unique<ObjectStore>(
-      storage->CreateOrOpen(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(index->manifest_file_,
+                          storage->OpenOrCreate(name + ".manifest"));
+  SIGSET_ASSIGN_OR_RETURN(index->sketch_file_,
+                          storage->OpenOrCreate(name + ".sketch"));
+  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
+                          storage->OpenOrCreate(name + ".objects"));
+  index->store_ = std::make_unique<ObjectStore>(objects);
   if (options.maintain_ssf) {
+    SIGSET_ASSIGN_OR_RETURN(PageFile * sig,
+                            storage->OpenOrCreate(name + ".ssf.sig"));
+    SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
+                            storage->OpenOrCreate(name + ".ssf.oid"));
     SIGSET_ASSIGN_OR_RETURN(
-        index->ssf_,
-        SequentialSignatureFile::Create(
-            options.sig, storage->CreateOrOpen(name + ".ssf.sig"),
-            storage->CreateOrOpen(name + ".ssf.oid")));
+        index->ssf_, SequentialSignatureFile::Create(options.sig, sig, oid));
   }
   if (options.maintain_bssf) {
+    SIGSET_ASSIGN_OR_RETURN(PageFile * slices,
+                            storage->OpenOrCreate(name + ".bssf.slices"));
+    SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
+                            storage->OpenOrCreate(name + ".bssf.oid"));
     SIGSET_ASSIGN_OR_RETURN(
         index->bssf_,
-        BitSlicedSignatureFile::Create(
-            options.sig, options.capacity,
-            storage->CreateOrOpen(name + ".bssf.slices"),
-            storage->CreateOrOpen(name + ".bssf.oid"), options.bssf_mode));
+        BitSlicedSignatureFile::Create(options.sig, options.capacity, slices,
+                                       oid, options.bssf_mode));
   }
   if (options.maintain_nix) {
-    SIGSET_ASSIGN_OR_RETURN(
-        index->nix_, NestedIndex::Create(storage->CreateOrOpen(name + ".nix"),
-                                         options.nix_fanout));
+    SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
+                            storage->OpenOrCreate(name + ".nix"));
+    SIGSET_ASSIGN_OR_RETURN(index->nix_,
+                            NestedIndex::Create(nix_file, options.nix_fanout));
   }
   return index;
 }
@@ -72,6 +81,7 @@ uint64_t FacilityMask(const SetIndex::Options& options) {
 }  // namespace
 
 Status SetIndex::Checkpoint() {
+  SIGSET_FAILPOINT("set_index.checkpoint");
   Manifest::Values values;
   values[kKeyObjects] = num_objects();
   values[kKeyElements] = total_elements_;
@@ -112,8 +122,10 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                                                    const std::string& name,
                                                    const Options& options) {
   std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
-  index->manifest_file_ = storage->CreateOrOpen(name + ".manifest");
-  index->sketch_file_ = storage->CreateOrOpen(name + ".sketch");
+  SIGSET_ASSIGN_OR_RETURN(index->manifest_file_,
+                          storage->OpenOrCreate(name + ".manifest"));
+  SIGSET_ASSIGN_OR_RETURN(index->sketch_file_,
+                          storage->OpenOrCreate(name + ".sketch"));
   if (index->sketch_file_->num_pages() > 0) {
     Page page;
     SIGSET_RETURN_IF_ERROR(index->sketch_file_->Read(0, &page));
@@ -137,27 +149,31 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                           Manifest::Get(values, kKeyObjects));
   SIGSET_ASSIGN_OR_RETURN(index->total_elements_,
                           Manifest::Get(values, kKeyElements));
-  index->store_ = std::make_unique<ObjectStore>(
-      storage->CreateOrOpen(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
+                          storage->OpenOrCreate(name + ".objects"));
+  index->store_ = std::make_unique<ObjectStore>(objects);
   index->store_->RecoverCount(num_objects);
   if (options.maintain_ssf || options.maintain_bssf) {
     SIGSET_ASSIGN_OR_RETURN(uint64_t sigs,
                             Manifest::Get(values, kKeySignatures));
     if (options.maintain_ssf) {
-      SIGSET_ASSIGN_OR_RETURN(
-          index->ssf_,
-          SequentialSignatureFile::CreateFromExisting(
-              options.sig, storage->CreateOrOpen(name + ".ssf.sig"),
-              storage->CreateOrOpen(name + ".ssf.oid"), sigs));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * sig,
+                              storage->OpenOrCreate(name + ".ssf.sig"));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
+                              storage->OpenOrCreate(name + ".ssf.oid"));
+      SIGSET_ASSIGN_OR_RETURN(index->ssf_,
+                              SequentialSignatureFile::CreateFromExisting(
+                                  options.sig, sig, oid, sigs));
     }
     if (options.maintain_bssf) {
-      SIGSET_ASSIGN_OR_RETURN(
-          index->bssf_,
-          BitSlicedSignatureFile::CreateFromExisting(
-              options.sig, options.capacity,
-              storage->CreateOrOpen(name + ".bssf.slices"),
-              storage->CreateOrOpen(name + ".bssf.oid"), options.bssf_mode,
-              sigs));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * slices,
+                              storage->OpenOrCreate(name + ".bssf.slices"));
+      SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
+                              storage->OpenOrCreate(name + ".bssf.oid"));
+      SIGSET_ASSIGN_OR_RETURN(index->bssf_,
+                              BitSlicedSignatureFile::CreateFromExisting(
+                                  options.sig, options.capacity, slices, oid,
+                                  options.bssf_mode, sigs));
     }
   }
   if (options.maintain_nix) {
@@ -170,12 +186,13 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                             Manifest::Get(values, kKeyNixInternal));
     SIGSET_ASSIGN_OR_RETURN(uint64_t overflow,
                             Manifest::Get(values, kKeyNixOverflow));
+    SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
+                            storage->OpenOrCreate(name + ".nix"));
     SIGSET_ASSIGN_OR_RETURN(
         index->nix_,
         NestedIndex::CreateFromExisting(
-            storage->CreateOrOpen(name + ".nix"), options.nix_fanout,
-            static_cast<PageId>(root), static_cast<uint32_t>(height), leaves,
-            internal, overflow));
+            nix_file, options.nix_fanout, static_cast<PageId>(root),
+            static_cast<uint32_t>(height), leaves, internal, overflow));
     auto free_head = Manifest::Get(values, kKeyNixFreeHead);
     auto free_pages = Manifest::Get(values, kKeyNixFreePages);
     if (free_head.ok() && free_pages.ok()) {

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <cstring>
 
+#include "util/failpoint.h"
+
 namespace sigsetdb {
 
 namespace {
@@ -334,8 +336,159 @@ StatusOr<std::unique_ptr<BTree>> BTree::CreateFromExisting(
       (height > 0 && type != kInternalType)) {
     return Status::Corruption("recovered root has wrong node type");
   }
+  // Full structural walk: a crash after the checkpoint can leave the pages
+  // ahead of this (stale) metadata; refuse to serve such a tree rather than
+  // risk wrong answers.
+  SIGSET_RETURN_IF_ERROR(tree->ValidateStructure());
+  // Recovery I/O is setup, not an experiment cost.
   file->stats().Reset();
   return tree;
+}
+
+// ---- recovery validation ----
+
+Status BTree::ValidateOverflowChain(PageId first, uint32_t total,
+                                    std::vector<bool>* visited,
+                                    uint64_t* overflow) const {
+  Page page;
+  PageId current = first;
+  uint64_t sum = 0;
+  while (current != kInvalidPage) {
+    if (current >= file_->num_pages()) {
+      return Status::Corruption("overflow page out of range");
+    }
+    if ((*visited)[current]) {
+      return Status::Corruption("overflow chain revisits a page");
+    }
+    (*visited)[current] = true;
+    ++*overflow;
+    SIGSET_RETURN_IF_ERROR(file_->Read(current, &page));
+    uint16_t count = page.ReadAt<uint16_t>(4);
+    if (count > kOverflowCapacity) {
+      return Status::Corruption("overflow page count exceeds capacity");
+    }
+    sum += count;
+    current = page.ReadAt<uint32_t>(0);
+  }
+  if (sum != total) {
+    return Status::Corruption("overflow chain total does not match record");
+  }
+  return Status::OK();
+}
+
+Status BTree::ValidateNode(PageId page_id, uint32_t depth,
+                           std::vector<bool>* visited,
+                           std::vector<std::pair<PageId, PageId>>* leaves,
+                           uint64_t* internals, uint64_t* overflow) const {
+  if (page_id >= file_->num_pages()) {
+    return Status::Corruption("node page out of range");
+  }
+  if ((*visited)[page_id]) {
+    return Status::Corruption("tree reaches a page twice");
+  }
+  (*visited)[page_id] = true;
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(page_id, &page));
+  uint8_t type = NodeType(page);
+  uint16_t n = NumEntries(page);
+  if (depth == height_) {
+    if (type != kLeafType) {
+      return Status::Corruption("expected a leaf at the tree's height");
+    }
+    // Bounds-checked leaf parse: directory and every record must lie inside
+    // the page (a garbage page can carry arbitrary uint16 offsets).
+    if (kHeaderBytes + static_cast<size_t>(n) * 2 > kPageSize) {
+      return Status::Corruption("leaf directory exceeds page");
+    }
+    uint64_t prev_key = 0;
+    for (uint16_t i = 0; i < n; ++i) {
+      uint16_t off = page.ReadAt<uint16_t>(kHeaderBytes + i * 2);
+      if (off < kHeaderBytes + static_cast<size_t>(n) * 2 ||
+          static_cast<size_t>(off) + 10 > kPageSize) {
+        return Status::Corruption("leaf record offset out of bounds");
+      }
+      uint64_t key = page.ReadAt<uint64_t>(off);
+      if (i > 0 && key <= prev_key) {
+        return Status::Corruption("leaf keys not strictly increasing");
+      }
+      prev_key = key;
+      uint16_t count = page.ReadAt<uint16_t>(off + 8);
+      if (count == kOverflowMarker) {
+        if (static_cast<size_t>(off) + 18 > kPageSize) {
+          return Status::Corruption("overflow record exceeds page");
+        }
+        uint32_t total = page.ReadAt<uint32_t>(off + 10);
+        PageId first = page.ReadAt<uint32_t>(off + 14);
+        SIGSET_RETURN_IF_ERROR(
+            ValidateOverflowChain(first, total, visited, overflow));
+      } else if (off + 10 + static_cast<size_t>(count) * 8 > kPageSize) {
+        return Status::Corruption("leaf posting list exceeds page");
+      }
+    }
+    leaves->emplace_back(page_id, LeafNext(page));
+    return Status::OK();
+  }
+  if (type != kInternalType) {
+    return Status::Corruption("expected an internal node above the leaves");
+  }
+  // A 0-key internal node (single child) is legal: bulk load emits one when
+  // a level's tail group holds a single node.
+  if (n > InternalMaxKeys(max_fanout_) ||
+      kInternalFixed + static_cast<size_t>(n) * kInternalEntryStride >
+          kPageSize) {
+    return Status::Corruption("internal node entry count out of bounds");
+  }
+  uint64_t prev_key = 0;
+  for (uint16_t i = 0; i < n; ++i) {
+    uint64_t key = page.ReadAt<uint64_t>(kInternalFixed + i *
+                                         kInternalEntryStride);
+    if (i > 0 && key <= prev_key) {
+      return Status::Corruption("internal keys not strictly increasing");
+    }
+    prev_key = key;
+  }
+  // Copy the child ids out before recursing (the recursion reuses the page
+  // buffer), then validate each subtree left to right.
+  std::vector<PageId> children;
+  children.reserve(n + 1);
+  children.push_back(page.ReadAt<uint32_t>(kHeaderBytes));
+  for (uint16_t i = 0; i < n; ++i) {
+    children.push_back(
+        page.ReadAt<uint32_t>(kInternalFixed + i * kInternalEntryStride + 8));
+  }
+  for (PageId child : children) {
+    SIGSET_RETURN_IF_ERROR(
+        ValidateNode(child, depth + 1, visited, leaves, internals, overflow));
+  }
+  ++*internals;
+  return Status::OK();
+}
+
+Status BTree::ValidateStructure() const {
+  if (root_ >= file_->num_pages()) {
+    return Status::Corruption("recovered root page out of range");
+  }
+  std::vector<bool> visited(file_->num_pages(), false);
+  std::vector<std::pair<PageId, PageId>> leaves;
+  uint64_t internals = 0;
+  uint64_t overflow = 0;
+  SIGSET_RETURN_IF_ERROR(
+      ValidateNode(root_, 0, &visited, &leaves, &internals, &overflow));
+  if (leaves.size() != leaf_pages_ || internals != internal_pages_ ||
+      overflow != overflow_pages_) {
+    return Status::Corruption(
+        "reachable page counts do not match checkpointed metadata");
+  }
+  // The leaf chain must thread the reachable leaves in exactly tree order; a
+  // post-checkpoint leaf split leaves the chain pointing at a leaf the stale
+  // root cannot reach, which this catches.
+  for (size_t i = 0; i < leaves.size(); ++i) {
+    PageId want = i + 1 < leaves.size() ? leaves[i + 1].first : kInvalidPage;
+    if (leaves[i].second != want) {
+      return Status::Corruption("leaf chain diverges from tree structure");
+    }
+  }
+  return Status::OK();
 }
 
 // ---- operations ----
@@ -394,6 +547,7 @@ Status BTree::LeafInsert(PageId page_id, Page* page, uint64_t key, Oid oid,
     return Status::OK();
   }
   // Split by bytes so both halves fit even with skewed posting sizes.
+  SIGSET_FAILPOINT("btree.split");
   size_t total = LeafBytes(records) - kHeaderBytes;
   size_t acc = 0;
   size_t cut = 0;
@@ -450,6 +604,7 @@ Status BTree::InsertRec(PageId page_id, uint64_t key, Oid oid, bool* split,
     return Status::OK();
   }
   // Split the internal node; the middle key moves up (is not copied).
+  SIGSET_FAILPOINT("btree.split");
   size_t mid = node.keys.size() / 2;
   ParsedInternal left;
   left.keys.assign(node.keys.begin(), node.keys.begin() + mid);

@@ -32,6 +32,7 @@
 #include <cstdint>
 #include <functional>
 #include <memory>
+#include <utility>
 #include <vector>
 
 #include "obj/oid.h"
@@ -100,6 +101,16 @@ class BTree {
   Status ForEachEntry(
       const std::function<void(const BTreeEntry&)>& fn) const;
 
+  // Walks the tree reachable from the recovered root with bounds-checked
+  // parsing and verifies it against the checkpointed metadata: node types
+  // match their depth, keys are ordered, no page is reached twice, the leaf
+  // chain equals the tree's left-to-right leaf order, overflow chains carry
+  // exactly their recorded totals, and the reachable leaf/internal/overflow
+  // page counts equal the manifest's.  Any mismatch is a clean kCorruption
+  // error — the defense that turns a torn post-checkpoint split into a
+  // refused open instead of wrong query answers.
+  Status ValidateStructure() const;
+
   // Structural counters (the model's lp / nlp / height).
   uint64_t leaf_pages() const { return leaf_pages_; }
   uint64_t internal_pages() const { return internal_pages_; }
@@ -134,6 +145,16 @@ class BTree {
   // through each page's first word) and are reused before growing the file.
   StatusOr<PageId> AllocatePage();
   Status FreeChain(PageId first);
+
+  // ValidateStructure helpers.  `leaves` collects (leaf page, next pointer)
+  // in left-to-right order; `visited` guards against cycles and sharing.
+  Status ValidateNode(PageId page_id, uint32_t depth,
+                      std::vector<bool>* visited,
+                      std::vector<std::pair<PageId, PageId>>* leaves,
+                      uint64_t* internals, uint64_t* overflow) const;
+  Status ValidateOverflowChain(PageId first, uint32_t total,
+                               std::vector<bool>* visited,
+                               uint64_t* overflow) const;
 
   PageFile* file_;
   uint32_t max_fanout_;

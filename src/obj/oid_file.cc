@@ -1,5 +1,7 @@
 #include "obj/oid_file.h"
 
+#include "util/failpoint.h"
+
 namespace sigsetdb {
 
 OidFile::OidFile(PageFile* file) : file_(file) {}
@@ -7,20 +9,25 @@ OidFile::OidFile(PageFile* file) : file_(file) {}
 Status OidFile::Recover(uint64_t num_entries) {
   uint64_t expected_pages =
       (num_entries + kOidsPerPage - 1) / kOidsPerPage;
-  if (expected_pages != file_->num_pages()) {
+  // Pages past the recovered count are tolerated (a crashed append can leave
+  // an allocated page behind); every accessor is capped at num_entries_, so
+  // they stay invisible.  Fewer pages than the count needs is corruption.
+  if (file_->num_pages() < expected_pages) {
     return Status::Corruption(
-        "oid file page count does not match recovered entry count");
+        "oid file has fewer pages than recovered entry count needs");
   }
   num_entries_ = num_entries;
   if (num_entries_ > 0 && num_entries_ % kOidsPerPage != 0) {
-    // The tail page is partially filled: reload the appender image.
-    tail_page_ = file_->num_pages() - 1;
+    // The tail page is the one holding entry num_entries-1: reload the
+    // appender image from it.
+    tail_page_ = static_cast<PageId>(expected_pages - 1);
     SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &tail_));
   }
   return Status::OK();
 }
 
 StatusOr<uint64_t> OidFile::Append(Oid oid) {
+  SIGSET_FAILPOINT("oid_file.append");
   uint64_t slot = num_entries_;
   uint32_t offset_in_page = static_cast<uint32_t>(slot % kOidsPerPage);
   if (offset_in_page == 0) {
@@ -68,8 +75,13 @@ StatusOr<std::vector<Oid>> OidFile::GetMany(
 }
 
 Status OidFile::MarkDeleted(Oid oid) {
+  SIGSET_FAILPOINT("oid_file.mark_deleted");
   Page page;
-  for (PageId p = 0; p < file_->num_pages(); ++p) {
+  // Scan only pages holding live entries; the file may have extra allocated
+  // pages after crash recovery.
+  const PageId used_pages =
+      static_cast<PageId>((num_entries_ + kOidsPerPage - 1) / kOidsPerPage);
+  for (PageId p = 0; p < used_pages; ++p) {
     SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
     uint64_t entries_on_page =
         std::min<uint64_t>(kOidsPerPage,

@@ -91,7 +91,10 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
   // Merge stats before checking statuses so accounting stays exact even
   // when a worker failed.
   for (const WorkerState& ws : states) store.stats() += ws.io;
-  for (const WorkerState& ws : states) SIGSET_RETURN_IF_ERROR(ws.status);
+  std::vector<Status> statuses;
+  statuses.reserve(states.size());
+  for (const WorkerState& ws : states) statuses.push_back(ws.status);
+  SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
   size_t total_kept = 0;
   for (const WorkerState& ws : states) total_kept += ws.kept.size();
   result.oids.reserve(total_kept);

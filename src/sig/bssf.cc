@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "util/failpoint.h"
 #include "util/math.h"
 
 namespace sigsetdb {
@@ -44,6 +45,7 @@ BitSlicedSignatureFile::BitSlicedSignatureFile(const SignatureConfig& config,
 
 Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
                                           bool set_bit) {
+  SIGSET_FAILPOINT("bssf.touch_slice");
   PageId page_no = static_cast<PageId>(
       static_cast<uint64_t>(slice) * pages_per_slice_ + slot / kPageBits);
   uint64_t bit = slot % kPageBits;
@@ -155,6 +157,13 @@ Status BitSlicedSignatureFile::Remove(Oid oid,
 Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
                                             BitVector* acc,
                                             IoStats* io) const {
+  if (FailpointRegistry::AnyArmed()) {
+    Status fault = FailpointRegistry::Instance().Evaluate("bssf.combine_slice");
+    if (!fault.ok()) {
+      return Status(fault.code(),
+                    fault.message() + " (slice " + std::to_string(slice) + ")");
+    }
+  }
   Page page;
   uint64_t* words = acc->mutable_words();
   size_t words_done = 0;
@@ -210,7 +219,7 @@ Status BitSlicedSignatureFile::CombineSlicesParallel(
                                         &accs[w], &ios[w]);
       });
   for (const IoStats& io : ios) slice_file_->stats() += io;
-  for (const Status& status : statuses) SIGSET_RETURN_IF_ERROR(status);
+  SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
   for (const BitVector& a : accs) {
     if (and_combine) {
       acc->AndWith(a);
@@ -349,7 +358,7 @@ StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::OverlapCandidateSlots(
     ctx->pool->ParallelFor(query.size(), workers, scan_elements);
   }
   for (const IoStats& io : ios) slice_file_->stats() += io;
-  for (const Status& status : statuses) SIGSET_RETURN_IF_ERROR(status);
+  SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
   std::vector<uint64_t> slots;
   for (const std::vector<uint64_t>& part : merged) {
     slots.insert(slots.end(), part.begin(), part.end());

@@ -1,6 +1,7 @@
 #include "sig/ssf.h"
 
 #include "sig/bitpack.h"
+#include "util/failpoint.h"
 
 namespace sigsetdb {
 
@@ -24,14 +25,20 @@ SequentialSignatureFile::CreateFromExisting(const SignatureConfig& config,
                           Create(config, signature_file, oid_file));
   uint64_t expected_pages =
       (num_signatures + ssf->sigs_per_page_ - 1) / ssf->sigs_per_page_;
-  if (expected_pages != signature_file->num_pages()) {
+  // Pages beyond the checkpointed count are legitimate after a crash (an
+  // insert allocated its page before the manifest was rewritten); scans are
+  // capped at num_signatures_, so the trailing pages are invisible.  Too few
+  // pages means checkpointed signatures are gone — that is corruption.
+  if (signature_file->num_pages() < expected_pages) {
     return Status::Corruption(
-        "signature file page count does not match recovered count");
+        "signature file has fewer pages than the recovered count needs");
   }
   SIGSET_RETURN_IF_ERROR(ssf->oid_file_.Recover(num_signatures));
   ssf->num_signatures_ = num_signatures;
   if (num_signatures > 0 && num_signatures % ssf->sigs_per_page_ != 0) {
-    ssf->tail_page_ = signature_file->num_pages() - 1;
+    // The tail is the page holding slot num_signatures-1, not necessarily the
+    // file's last page (a crashed insert may have allocated one past it).
+    ssf->tail_page_ = static_cast<PageId>(expected_pages - 1);
     SIGSET_RETURN_IF_ERROR(signature_file->Read(ssf->tail_page_, &ssf->tail_));
   }
   // Recovery I/O is setup, not an experiment cost.
@@ -49,6 +56,7 @@ SequentialSignatureFile::SequentialSignatureFile(const SignatureConfig& config,
       oid_file_(oid_file) {}
 
 Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
+  SIGSET_FAILPOINT("ssf.insert");
   BitVector sig = MakeSetSignature(set_value, config_);
   uint32_t slot_in_page =
       static_cast<uint32_t>(num_signatures_ % sigs_per_page_);

@@ -1,0 +1,119 @@
+#include "storage/fault_injecting_page_file.h"
+
+namespace sigsetdb {
+
+void FaultInjector::FailAt(uint64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = op;
+}
+
+void FaultInjector::CrashAt(uint64_t op) {
+  std::lock_guard<std::mutex> lock(mu_);
+  crash_at_ = op;
+}
+
+void FaultInjector::SetTornWrite(size_t prefix_bytes) {
+  std::lock_guard<std::mutex> lock(mu_);
+  torn_prefix_ = prefix_bytes;
+}
+
+void FaultInjector::FailProbability(double p, uint64_t seed) {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_probability_ = p;
+  rng_.Seed(seed);
+}
+
+void FaultInjector::Disarm() {
+  std::lock_guard<std::mutex> lock(mu_);
+  fail_at_ = kNever;
+  crash_at_ = kNever;
+  crashed_ = false;
+  torn_prefix_ = 0;
+  fail_probability_ = 0.0;
+}
+
+uint64_t FaultInjector::ops() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return ops_;
+}
+
+bool FaultInjector::crashed() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return crashed_;
+}
+
+Status FaultInjector::OnOp(bool is_write, const std::string& file, PageId id,
+                           size_t* torn_prefix) {
+  std::lock_guard<std::mutex> lock(mu_);
+  *torn_prefix = 0;
+  // After a crash every operation fails without advancing the counter, so
+  // the op index at crash time is a stable, reportable quantity.
+  if (crashed_) {
+    return Status::IoError("crashed: I/O halted (" + file + " page " +
+                           std::to_string(id) + ")");
+  }
+  const uint64_t op = ops_++;
+  if (op >= crash_at_) {
+    crashed_ = true;
+    if (is_write && torn_prefix_ > 0) *torn_prefix = torn_prefix_;
+    return Status::IoError("injected crash at op " + std::to_string(op) +
+                           " (" + (is_write ? "write" : "read") + " " + file +
+                           " page " + std::to_string(id) + ")");
+  }
+  if (op == fail_at_) {
+    fail_at_ = kNever;
+    return Status::IoError("injected fault at op " + std::to_string(op) +
+                           " (" + (is_write ? "write" : "read") + " " + file +
+                           " page " + std::to_string(id) + ")");
+  }
+  if (fail_probability_ > 0.0 && rng_.NextDouble() < fail_probability_) {
+    return Status::IoError("injected random fault at op " +
+                           std::to_string(op) + " (" +
+                           (is_write ? "write" : "read") + " " + file +
+                           " page " + std::to_string(id) + ")");
+  }
+  return Status::OK();
+}
+
+StatusOr<PageId> FaultInjectingPageFile::Allocate() {
+  // Allocation extends the file without touching page contents; the paper's
+  // cost model does not charge it, so neither does the injector's op counter.
+  // A crashed device still refuses to grow.
+  if (injector_ != nullptr && injector_->crashed()) {
+    return Status::IoError("crashed: I/O halted (" + name() + " allocate)");
+  }
+  return base_->Allocate();
+}
+
+Status FaultInjectingPageFile::Read(PageId id, Page* out, IoStats* io) {
+  if (injector_ != nullptr) {
+    size_t torn = 0;
+    Status fault = injector_->OnOp(/*is_write=*/false, name(), id, &torn);
+    if (!fault.ok()) return fault;
+  }
+  return base_->Read(id, out, io);
+}
+
+Status FaultInjectingPageFile::Write(PageId id, const Page& page,
+                                     IoStats* io) {
+  if (injector_ == nullptr) return base_->Write(id, page, io);
+  size_t torn = 0;
+  Status fault = injector_->OnOp(/*is_write=*/true, name(), id, &torn);
+  if (fault.ok()) return base_->Write(id, page, io);
+  if (torn > 0 && id < base_->num_pages()) {
+    // Torn write: persist only a prefix of the new image over the old page.
+    // The scratch IoStats keeps the injected partial I/O out of the logical
+    // page-access accounting (the caller sees the op as a failure, not as
+    // extra accesses).
+    IoStats scratch;
+    Page merged;
+    if (base_->Read(id, &merged, &scratch).ok()) {
+      const size_t n = torn < kPageSize ? torn : kPageSize;
+      std::memcpy(merged.data(), page.data(), n);
+      (void)base_->Write(id, merged, &scratch);
+    }
+  }
+  return fault;
+}
+
+}  // namespace sigsetdb

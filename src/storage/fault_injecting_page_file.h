@@ -1,0 +1,126 @@
+// FaultInjectingPageFile: a PageFile decorator that turns storage faults into
+// deterministic, scriptable events.
+//
+// A FaultInjector holds the fault schedule and a single operation counter
+// shared by every decorated file, so "crash at the Nth I/O" means the Nth
+// Read/Write across the whole database, in execution order — exactly what the
+// crash-at-every-index recovery harness (tests/crash_recovery_test.cc)
+// enumerates.  Supported faults:
+//
+//   FailAt(n)          the n-th I/O (0-based) returns kIoError; later I/O is
+//                      untouched (a transient fault).
+//   CrashAt(n)         the n-th and every later I/O fails (a crash: the
+//                      process loses the device).  With SetTornWrite(k), a
+//                      Write at the crash point first persists only the
+//                      first k bytes of the new image over the old page —
+//                      a torn sector write.
+//   FailProbability(p) each I/O fails independently with probability p from
+//                      a seeded Rng (for concurrency soak tests).
+//
+// The decorator forwards `io` and stats() to the base file untouched, so with
+// the injector disarmed it adds zero page-access deltas and every
+// figure/table benchmark reproduces unchanged through an injected stack.
+
+#ifndef SIGSET_STORAGE_FAULT_INJECTING_PAGE_FILE_H_
+#define SIGSET_STORAGE_FAULT_INJECTING_PAGE_FILE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "storage/page_file.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// Shared fault schedule + operation counter.  Thread-safe; one injector is
+// typically shared by all files of a StorageManager via SetInterceptor.
+class FaultInjector {
+ public:
+  FaultInjector() = default;
+
+  // Schedules a single-shot failure of operation `op` (0-based, counted
+  // across all attached files in execution order).
+  void FailAt(uint64_t op);
+
+  // Schedules a crash: operation `op` and every operation after it fail.
+  void CrashAt(uint64_t op);
+
+  // With a crash scheduled, makes the crashing operation — if it is a Write —
+  // persist only the first `prefix_bytes` of the new page image before
+  // failing (models a torn write).  0 restores the default (nothing of the
+  // crashing write is persisted).
+  void SetTornWrite(size_t prefix_bytes);
+
+  // Each operation fails independently with probability `p` (seeded Rng, so
+  // a fixed execution order reproduces the same fault pattern).
+  void FailProbability(double p, uint64_t seed);
+
+  // Clears the schedule and the crashed flag; the op counter keeps running.
+  void Disarm();
+
+  // Operations observed so far.  Post-crash operations are rejected without
+  // advancing the counter, so the count at crash time is stable.
+  uint64_t ops() const;
+
+  // True once a CrashAt schedule has triggered.
+  bool crashed() const;
+
+  // Called by FaultInjectingPageFile for each Read/Write.  Returns the fault
+  // to inject (OK = proceed).  `*torn_prefix` is set to the torn-write prefix
+  // length when a crashing write should persist a prefix first.
+  Status OnOp(bool is_write, const std::string& file, PageId id,
+              size_t* torn_prefix);
+
+ private:
+  mutable std::mutex mu_;
+  uint64_t ops_ = 0;
+  uint64_t fail_at_ = kNever;
+  uint64_t crash_at_ = kNever;
+  bool crashed_ = false;
+  size_t torn_prefix_ = 0;
+  double fail_probability_ = 0.0;
+  Rng rng_{0};
+
+  static constexpr uint64_t kNever = ~uint64_t{0};
+};
+
+// PageFile decorator applying a FaultInjector's schedule.  Owns or borrows
+// the base file; stats() and the `io` redirect pass straight through.
+class FaultInjectingPageFile : public PageFile {
+ public:
+  // Owning: wraps `base`, e.g. via StorageManager::SetInterceptor.
+  FaultInjectingPageFile(std::unique_ptr<PageFile> base,
+                         FaultInjector* injector)
+      : owned_(std::move(base)), base_(owned_.get()), injector_(injector) {}
+
+  // Non-owning: wraps a file whose lifetime the caller manages.
+  FaultInjectingPageFile(PageFile* base, FaultInjector* injector)
+      : base_(base), injector_(injector) {}
+
+  using PageFile::Read;
+  using PageFile::Write;
+
+  const std::string& name() const override { return base_->name(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+
+  StatusOr<PageId> Allocate() override;
+  Status Read(PageId id, Page* out, IoStats* io) override;
+  Status Write(PageId id, const Page& page, IoStats* io) override;
+
+  IoStats& stats() override { return base_->stats(); }
+  const IoStats& stats() const override { return base_->stats(); }
+
+  PageFile* base() { return base_; }
+
+ private:
+  std::unique_ptr<PageFile> owned_;
+  PageFile* base_;
+  FaultInjector* injector_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_STORAGE_FAULT_INJECTING_PAGE_FILE_H_

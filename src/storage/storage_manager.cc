@@ -4,19 +4,24 @@
 #include <cstdlib>
 
 #include "storage/disk_page_file.h"
+#include "util/failpoint.h"
 
 namespace sigsetdb {
 
 StatusOr<std::unique_ptr<PageFile>> StorageManager::MakeFile(
     const std::string& name) const {
+  SIGSET_FAILPOINT("storage.make_file");
+  std::unique_ptr<PageFile> file;
   if (directory_.empty()) {
-    return std::unique_ptr<PageFile>(
-        std::make_unique<InMemoryPageFile>(name));
+    file = std::make_unique<InMemoryPageFile>(name);
+  } else {
+    SIGSET_ASSIGN_OR_RETURN(
+        std::unique_ptr<OnDiskPageFile> disk,
+        OnDiskPageFile::Open(name, directory_ + "/" + name + ".pages"));
+    file = std::move(disk);
   }
-  SIGSET_ASSIGN_OR_RETURN(
-      std::unique_ptr<OnDiskPageFile> file,
-      OnDiskPageFile::Open(name, directory_ + "/" + name + ".pages"));
-  return std::unique_ptr<PageFile>(std::move(file));
+  if (interceptor_) file = interceptor_(std::move(file));
+  return file;
 }
 
 StatusOr<PageFile*> StorageManager::Create(const std::string& name) {
@@ -48,6 +53,15 @@ PageFile* StorageManager::CreateOrOpen(const std::string& name) {
   }
   PageFile* raw = file->get();
   files_.emplace(name, std::move(*file));
+  return raw;
+}
+
+StatusOr<PageFile*> StorageManager::OpenOrCreate(const std::string& name) {
+  auto it = files_.find(name);
+  if (it != files_.end()) return it->second.get();
+  SIGSET_ASSIGN_OR_RETURN(std::unique_ptr<PageFile> file, MakeFile(name));
+  PageFile* raw = file.get();
+  files_.emplace(name, std::move(file));
   return raw;
 }
 

@@ -16,6 +16,7 @@
 #ifndef SIGSET_STORAGE_STORAGE_MANAGER_H_
 #define SIGSET_STORAGE_STORAGE_MANAGER_H_
 
+#include <functional>
 #include <map>
 #include <memory>
 #include <string>
@@ -23,6 +24,12 @@
 #include "storage/page_file.h"
 
 namespace sigsetdb {
+
+// Hook applied to every newly built PageFile before registration; lets tests
+// wrap files in decorators (e.g. FaultInjectingPageFile) without the facility
+// code knowing.  Must return a non-null file.
+using PageFileInterceptor =
+    std::function<std::unique_ptr<PageFile>(std::unique_ptr<PageFile>)>;
 
 // Owns a set of page files addressed by name.
 class StorageManager {
@@ -46,8 +53,20 @@ class StorageManager {
   StatusOr<PageFile*> Open(const std::string& name) const;
 
   // Creates the file if absent, otherwise returns the existing one.
-  // Aborts on backend I/O errors (use Create for checked operation).
+  // Aborts on backend I/O errors (use OpenOrCreate for checked operation).
   PageFile* CreateOrOpen(const std::string& name);
+
+  // Checked CreateOrOpen: creates the file if absent, otherwise returns the
+  // existing one; backend and failpoint errors propagate as a Status instead
+  // of aborting.  The database update/recovery paths use this form so that
+  // injected storage faults surface at the Database API.
+  StatusOr<PageFile*> OpenOrCreate(const std::string& name);
+
+  // Installs (or clears, with nullptr) the decorator hook applied to files
+  // built after this call; already-registered files are unaffected.
+  void SetInterceptor(PageFileInterceptor interceptor) {
+    interceptor_ = std::move(interceptor);
+  }
 
   // Sum of access counters over all files.
   IoStats TotalStats() const;
@@ -66,6 +85,7 @@ class StorageManager {
   StatusOr<std::unique_ptr<PageFile>> MakeFile(const std::string& name) const;
 
   std::string directory_;
+  PageFileInterceptor interceptor_;
   std::map<std::string, std::unique_ptr<PageFile>> files_;
 };
 

@@ -1,0 +1,88 @@
+#include "util/failpoint.h"
+
+namespace sigsetdb {
+
+std::atomic<int> FailpointRegistry::armed_count_{0};
+
+FailpointRegistry& FailpointRegistry::Instance() {
+  static FailpointRegistry* registry = new FailpointRegistry();
+  return *registry;
+}
+
+void FailpointRegistry::ArmCountdown(std::string_view site, uint64_t countdown,
+                                     bool sticky, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  if (s.mode == Mode::kDisarmed) armed_count_.fetch_add(1);
+  s.mode = Mode::kCountdown;
+  s.countdown = countdown == 0 ? 1 : countdown;
+  s.sticky = sticky;
+  s.code = code;
+}
+
+void FailpointRegistry::ArmProbability(std::string_view site, double p,
+                                       uint64_t seed, StatusCode code) {
+  std::lock_guard<std::mutex> lock(mu_);
+  Site& s = sites_[std::string(site)];
+  if (s.mode == Mode::kDisarmed) armed_count_.fetch_add(1);
+  s.mode = Mode::kProbability;
+  s.probability = p;
+  s.rng.Seed(seed);
+  s.code = code;
+}
+
+void FailpointRegistry::Disarm(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return;
+  if (it->second.mode != Mode::kDisarmed) armed_count_.fetch_sub(1);
+  it->second.mode = Mode::kDisarmed;
+}
+
+void FailpointRegistry::DisarmAll() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, site] : sites_) {
+    if (site.mode != Mode::kDisarmed) armed_count_.fetch_sub(1);
+    site.mode = Mode::kDisarmed;
+  }
+}
+
+uint64_t FailpointRegistry::HitCount(std::string_view site) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  return it == sites_.end() ? 0 : it->second.hits;
+}
+
+Status FailpointRegistry::Evaluate(std::string_view site) {
+  if (!AnyArmed()) return Status::OK();
+  return EvaluateSlow(site);
+}
+
+Status FailpointRegistry::EvaluateSlow(std::string_view site) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = sites_.find(std::string(site));
+  if (it == sites_.end()) return Status::OK();
+  Site& s = it->second;
+  if (s.mode == Mode::kDisarmed) return Status::OK();
+  ++s.hits;
+  bool fire = false;
+  if (s.mode == Mode::kCountdown) {
+    if (s.countdown > 0) --s.countdown;
+    if (s.countdown == 0) {
+      fire = true;
+      if (!s.sticky) {
+        s.mode = Mode::kDisarmed;
+        armed_count_.fetch_sub(1);
+      } else {
+        // Leave countdown at 0: every later evaluation keeps firing.
+      }
+    }
+  } else {  // kProbability
+    fire = s.rng.NextDouble() < s.probability;
+  }
+  if (!fire) return Status::OK();
+  std::string msg = "failpoint fired: " + std::string(site);
+  return Status(s.code, std::move(msg));
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,105 @@
+// Failpoint: a process-wide registry of named fault-injection sites.
+//
+// Production code marks fallible points with SIGSET_FAILPOINT("site.name");
+// tests arm a site to fire on the Nth evaluation (deterministic) or with a
+// seeded probability (randomized soak runs).  Disarmed sites cost one relaxed
+// atomic load and no branch into the registry, so instrumented code paths
+// reproduce the paper's page-access counts bit-for-bit when no test is
+// injecting faults.
+//
+// Naming convention (see DESIGN.md §9): "<component>.<operation>", e.g.
+// "bssf.touch_slice" or "btree.split".  Sites are created lazily on first
+// Arm — evaluating a never-armed name is valid and free.
+
+#ifndef SIGSET_UTIL_FAILPOINT_H_
+#define SIGSET_UTIL_FAILPOINT_H_
+
+#include <atomic>
+#include <cstdint>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// Thread-safe singleton registry of failpoint sites.
+class FailpointRegistry {
+ public:
+  static FailpointRegistry& Instance();
+
+  // Arms `site` to return an error on its `countdown`-th evaluation from now
+  // (countdown=1 fires on the very next evaluation).  If `sticky` is true the
+  // site keeps failing on every later evaluation (models a dead device); if
+  // false it fires exactly once and disarms itself.
+  void ArmCountdown(std::string_view site, uint64_t countdown,
+                    bool sticky = false,
+                    StatusCode code = StatusCode::kIoError);
+
+  // Arms `site` to fail each evaluation independently with probability `p`,
+  // drawn from an Rng seeded with `seed` (deterministic across runs for a
+  // fixed evaluation order).
+  void ArmProbability(std::string_view site, double p, uint64_t seed,
+                      StatusCode code = StatusCode::kIoError);
+
+  // Disarms one site / every site.  Idempotent.
+  void Disarm(std::string_view site);
+  void DisarmAll();
+
+  // Number of times `site` has been evaluated since it was first armed
+  // (counts both firing and non-firing evaluations; 0 if never armed).
+  uint64_t HitCount(std::string_view site) const;
+
+  // Evaluates `site`: OK unless the site is armed and due to fire.  The
+  // returned error message names the site so harnesses can assert on which
+  // failpoint tripped.
+  Status Evaluate(std::string_view site);
+
+  // True if any site is currently armed.  Relaxed and lock-free; this is the
+  // fast-path check that keeps disarmed failpoints out of hot loops.
+  static bool AnyArmed() {
+    return armed_count_.load(std::memory_order_relaxed) != 0;
+  }
+
+ private:
+  FailpointRegistry() = default;
+
+  enum class Mode { kDisarmed, kCountdown, kProbability };
+
+  struct Site {
+    Mode mode = Mode::kDisarmed;
+    uint64_t countdown = 0;  // Remaining evaluations before firing.
+    bool sticky = false;
+    double probability = 0.0;
+    Rng rng{0};
+    StatusCode code = StatusCode::kIoError;
+    uint64_t hits = 0;  // Evaluations since first armed.
+  };
+
+  Status EvaluateSlow(std::string_view site);
+
+  // Count of sites in an armed mode, mirrored outside the mutex so Evaluate
+  // can bail without locking when nothing is armed anywhere.
+  static std::atomic<int> armed_count_;
+
+  mutable std::mutex mu_;
+  std::unordered_map<std::string, Site> sites_;
+};
+
+// Statement form: propagates the failpoint error from the enclosing function.
+// Compiles to a single relaxed load when nothing is armed.
+#define SIGSET_FAILPOINT(site)                                          \
+  do {                                                                  \
+    if (::sigsetdb::FailpointRegistry::AnyArmed()) {                    \
+      SIGSET_RETURN_IF_ERROR(                                           \
+          ::sigsetdb::FailpointRegistry::Instance().Evaluate(site));    \
+    }                                                                   \
+  } while (false)
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_FAILPOINT_H_

@@ -28,6 +28,27 @@ const char* StatusCodeName(StatusCode code) {
   return "unknown";
 }
 
+Status MergeWorkerStatuses(const std::vector<Status>& statuses) {
+  const Status* first = nullptr;
+  size_t first_index = 0;
+  size_t failures = 0;
+  for (size_t i = 0; i < statuses.size(); ++i) {
+    if (statuses[i].ok()) continue;
+    ++failures;
+    if (first == nullptr) {
+      first = &statuses[i];
+      first_index = i;
+    }
+  }
+  if (first == nullptr) return Status::OK();
+  if (failures == 1) return *first;
+  std::string msg = first->message();
+  msg += " [worker " + std::to_string(first_index) + "; +" +
+         std::to_string(failures - 1) + " more worker failure" +
+         (failures - 1 == 1 ? "" : "s") + "]";
+  return Status(first->code(), std::move(msg));
+}
+
 std::string Status::ToString() const {
   if (ok()) return "ok";
   std::string result = StatusCodeName(code());

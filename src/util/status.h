@@ -14,6 +14,7 @@
 #include <memory>
 #include <string>
 #include <utility>
+#include <vector>
 
 namespace sigsetdb {
 
@@ -156,6 +157,13 @@ class [[nodiscard]] StatusOr {
   Status status_;
   T value_{};
 };
+
+// Deterministically merges per-worker statuses from a parallel region: OK if
+// every worker succeeded, else the first (lowest-index) non-OK status.  When
+// more than one worker failed, the survivor's message is annotated with how
+// many further failures were dropped, so multi-worker faults are not silently
+// reported as a single-site error.
+Status MergeWorkerStatuses(const std::vector<Status>& statuses);
 
 // Propagates a non-OK status to the caller.  Usage:
 //   SIGSET_RETURN_IF_ERROR(file->Write(page, buf));

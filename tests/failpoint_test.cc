@@ -1,0 +1,206 @@
+// Unit tests for the failpoint registry (src/util/failpoint.h), the
+// MergeWorkerStatuses combiner, and the regression test for the BSSF
+// parallel slice scan's error merging: a fault hitting several workers at
+// once must surface the lowest worker's error, annotated with how many
+// other workers also failed — deterministically, run after run.
+
+#include "util/failpoint.h"
+
+#include <algorithm>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "sig/bssf.h"
+#include "storage/storage_manager.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace sigsetdb {
+namespace {
+
+class FailpointTest : public ::testing::Test {
+ protected:
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+};
+
+TEST_F(FailpointTest, DisarmedSiteIsFree) {
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  // Evaluating a never-armed name is valid and returns OK.
+  EXPECT_TRUE(FailpointRegistry::Instance().Evaluate("no.such.site").ok());
+  EXPECT_EQ(FailpointRegistry::Instance().HitCount("no.such.site"), 0u);
+}
+
+TEST_F(FailpointTest, CountdownFiresOnNthEvaluation) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmCountdown("t.count", 3);
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(reg.Evaluate("t.count").ok());
+  EXPECT_TRUE(reg.Evaluate("t.count").ok());
+  Status fired = reg.Evaluate("t.count");
+  EXPECT_EQ(fired.code(), StatusCode::kIoError);
+  EXPECT_NE(fired.message().find("t.count"), std::string::npos);
+  // Non-sticky: fires exactly once, then the site disarms itself.  The
+  // post-disarm evaluation takes the free fast path, so it isn't counted.
+  EXPECT_TRUE(reg.Evaluate("t.count").ok());
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_EQ(reg.HitCount("t.count"), 3u);
+}
+
+TEST_F(FailpointTest, StickyCountdownKeepsFiring) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmCountdown("t.sticky", 1, /*sticky=*/true, StatusCode::kCorruption);
+  for (int i = 0; i < 5; ++i) {
+    Status s = reg.Evaluate("t.sticky");
+    EXPECT_EQ(s.code(), StatusCode::kCorruption);
+  }
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  reg.Disarm("t.sticky");
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(reg.Evaluate("t.sticky").ok());
+}
+
+TEST_F(FailpointTest, ProbabilityIsDeterministicForFixedSeed) {
+  auto& reg = FailpointRegistry::Instance();
+  auto pattern = [&reg](uint64_t seed) {
+    reg.ArmProbability("t.prob", 0.3, seed);
+    std::vector<bool> fired;
+    for (int i = 0; i < 64; ++i) fired.push_back(!reg.Evaluate("t.prob").ok());
+    reg.Disarm("t.prob");
+    return fired;
+  };
+  std::vector<bool> a = pattern(99);
+  std::vector<bool> b = pattern(99);
+  EXPECT_EQ(a, b);
+  // Some fire, some don't (p = 0.3 over 64 draws).
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FailpointTest, DisarmAllClearsEverySite) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmCountdown("t.a", 1, /*sticky=*/true);
+  reg.ArmCountdown("t.b", 1, /*sticky=*/true);
+  reg.ArmProbability("t.c", 1.0, 7);
+  EXPECT_TRUE(FailpointRegistry::AnyArmed());
+  reg.DisarmAll();
+  EXPECT_FALSE(FailpointRegistry::AnyArmed());
+  EXPECT_TRUE(reg.Evaluate("t.a").ok());
+  EXPECT_TRUE(reg.Evaluate("t.b").ok());
+  EXPECT_TRUE(reg.Evaluate("t.c").ok());
+}
+
+TEST_F(FailpointTest, MacroPropagatesFromArmedSite) {
+  auto& reg = FailpointRegistry::Instance();
+  reg.ArmCountdown("t.macro", 1);
+  auto through_macro = []() -> Status {
+    SIGSET_FAILPOINT("t.macro");
+    return Status::OK();
+  };
+  EXPECT_EQ(through_macro().code(), StatusCode::kIoError);
+  EXPECT_TRUE(through_macro().ok());
+}
+
+TEST(MergeWorkerStatusesTest, AllOkIsOk) {
+  EXPECT_TRUE(MergeWorkerStatuses({}).ok());
+  EXPECT_TRUE(
+      MergeWorkerStatuses({Status::OK(), Status::OK(), Status::OK()}).ok());
+}
+
+TEST(MergeWorkerStatusesTest, SingleFailureReturnedVerbatim) {
+  Status merged = MergeWorkerStatuses(
+      {Status::OK(), Status::IoError("disk gone"), Status::OK()});
+  EXPECT_EQ(merged.code(), StatusCode::kIoError);
+  EXPECT_EQ(merged.message(), "disk gone");
+}
+
+TEST(MergeWorkerStatusesTest, MultipleFailuresKeepLowestWorker) {
+  Status merged = MergeWorkerStatuses({Status::OK(), Status::IoError("first"),
+                                       Status::Corruption("second"),
+                                       Status::IoError("third")});
+  // Lowest failing worker wins: its code and message lead, and the
+  // annotation records the worker index and how many others failed.
+  EXPECT_EQ(merged.code(), StatusCode::kIoError);
+  EXPECT_NE(merged.message().find("first"), std::string::npos);
+  EXPECT_NE(merged.message().find("worker 1"), std::string::npos);
+  EXPECT_NE(merged.message().find("+2 more worker failures"),
+            std::string::npos);
+  EXPECT_EQ(merged.message().find("second"), std::string::npos);
+}
+
+// Regression test for the parallel BSSF slice scan: when a fault hits every
+// worker of a 4-thread scan, the merged status must be (a) the lowest
+// worker's — the one scanning the first slice range — and (b) identical
+// across repeated runs, regardless of which worker thread finished first.
+class BssfParallelMergeTest : public ::testing::Test {
+ protected:
+  static constexpr uint32_t kF = 64;
+
+  BssfParallelMergeTest() : pool_(4) {
+    ctx_.pool = &pool_;
+    auto bssf = BitSlicedSignatureFile::Create(
+        SignatureConfig{kF, 2}, /*capacity=*/256,
+        storage_.CreateOrOpen("slices"), storage_.CreateOrOpen("oid"),
+        BssfInsertMode::kSparse);
+    EXPECT_TRUE(bssf.ok());
+    bssf_ = std::move(*bssf);
+    Rng rng(7);
+    for (int i = 0; i < 32; ++i) {
+      ElementSet set = rng.SampleWithoutReplacement(200, 6);
+      EXPECT_TRUE(
+          bssf_->Insert(Oid::FromLocation(static_cast<PageId>(i), 0), set)
+              .ok());
+    }
+  }
+
+  void TearDown() override { FailpointRegistry::Instance().DisarmAll(); }
+
+  StorageManager storage_;
+  ThreadPool pool_;
+  ParallelExecutionContext ctx_;
+  std::unique_ptr<BitSlicedSignatureFile> bssf_;
+};
+
+TEST_F(BssfParallelMergeTest, MergedStatusIsLowestWorkerAndDeterministic) {
+  // A query signature with enough set bits that all 4 workers get slices.
+  Rng rng(11);
+  ElementSet query = rng.SampleWithoutReplacement(200, 8);
+  BitVector query_sig = MakeSetSignature(query, bssf_->config());
+  ASSERT_GE(query_sig.Count(), 8u);
+
+  // Sticky: every CombineSlice call in every worker fails.
+  std::string first_message;
+  for (int run = 0; run < 5; ++run) {
+    FailpointRegistry::Instance().ArmCountdown("bssf.combine_slice", 1,
+                                               /*sticky=*/true);
+    auto slots = bssf_->SupersetCandidateSlots(query_sig, &ctx_);
+    FailpointRegistry::Instance().DisarmAll();
+    ASSERT_FALSE(slots.ok());
+    const Status& s = slots.status();
+    EXPECT_EQ(s.code(), StatusCode::kIoError);
+    // Worker 0 scans the first slice range, so the surfaced error is its
+    // first slice — the lowest-numbered scanned slice overall.
+    uint32_t first_slice = 0;
+    while (first_slice < kF && !query_sig.Test(first_slice)) ++first_slice;
+    EXPECT_NE(
+        s.message().find("(slice " + std::to_string(first_slice) + ")"),
+        std::string::npos)
+        << s.message();
+    EXPECT_NE(s.message().find("worker 0"), std::string::npos) << s.message();
+    EXPECT_NE(s.message().find("+3 more worker failures"), std::string::npos)
+        << s.message();
+    if (run == 0) {
+      first_message = s.message();
+    } else {
+      EXPECT_EQ(s.message(), first_message);  // deterministic merge
+    }
+  }
+
+  // With the failpoint cleared the same scan succeeds again.
+  EXPECT_TRUE(bssf_->SupersetCandidateSlots(query_sig, &ctx_).ok());
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,231 @@
+// Tests for the FaultInjector / FaultInjectingPageFile decorator
+// (src/storage/fault_injecting_page_file.h): single-shot faults, crashes
+// that halt all subsequent I/O, torn writes, seeded probabilistic faults,
+// the StorageManager interceptor wiring, and the zero-overhead guarantee —
+// a disarmed injector must not perturb page-access accounting at all.
+
+#include "storage/fault_injecting_page_file.h"
+
+#include <cstring>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/set_index.h"
+#include "storage/storage_manager.h"
+#include "util/failpoint.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+// Fills `page` with a recognizable per-byte pattern.
+void FillPage(Page* page, uint8_t salt) {
+  for (size_t i = 0; i < kPageSize; ++i) {
+    page->data()[i] = static_cast<uint8_t>((i * 131 + salt) & 0xff);
+  }
+}
+
+class FaultInjectionTest : public ::testing::Test {
+ protected:
+  // Installs an interceptor wrapping every file built by `storage` in a
+  // FaultInjectingPageFile sharing injector_.
+  void Intercept(StorageManager* storage) {
+    storage->SetInterceptor(
+        [this](std::unique_ptr<PageFile> base) -> std::unique_ptr<PageFile> {
+          return std::make_unique<FaultInjectingPageFile>(std::move(base),
+                                                          &injector_);
+        });
+  }
+
+  FaultInjector injector_;
+};
+
+TEST_F(FaultInjectionTest, FailAtFailsExactlyThatOperation) {
+  StorageManager storage;
+  Intercept(&storage);
+  PageFile* file = storage.CreateOrOpen("f");
+  ASSERT_TRUE(file->Allocate().ok());
+  Page page;
+  FillPage(&page, 1);
+
+  injector_.FailAt(2);
+  EXPECT_TRUE(file->Write(0, page).ok());   // op 0
+  Page out;
+  EXPECT_TRUE(file->Read(0, &out).ok());    // op 1
+  Status fault = file->Write(0, page);      // op 2 — injected
+  EXPECT_EQ(fault.code(), StatusCode::kIoError);
+  EXPECT_NE(fault.message().find("op 2"), std::string::npos);
+  // Single-shot: op 3 onwards succeeds again.
+  EXPECT_TRUE(file->Write(0, page).ok());
+  EXPECT_TRUE(file->Read(0, &out).ok());
+  EXPECT_EQ(injector_.ops(), 5u);
+  EXPECT_FALSE(injector_.crashed());
+}
+
+TEST_F(FaultInjectionTest, CrashHaltsAllLaterIoWithStableOpCount) {
+  StorageManager storage;
+  Intercept(&storage);
+  PageFile* file = storage.CreateOrOpen("f");
+  ASSERT_TRUE(file->Allocate().ok());
+  Page page;
+  FillPage(&page, 2);
+
+  injector_.CrashAt(1);
+  EXPECT_TRUE(file->Write(0, page).ok());          // op 0
+  EXPECT_FALSE(file->Write(0, page).ok());         // op 1 — crash
+  EXPECT_TRUE(injector_.crashed());
+  // Everything after the crash fails, and the op counter stays frozen just
+  // past the crash point so the harness can attribute the crash to one
+  // index (ops 0 and 1 were observed; the rejected ops don't count).
+  for (int i = 0; i < 4; ++i) {
+    Page out;
+    EXPECT_FALSE(file->Read(0, &out).ok());
+    EXPECT_FALSE(file->Write(0, page).ok());
+    EXPECT_FALSE(file->Allocate().ok());
+  }
+  EXPECT_EQ(injector_.ops(), 2u);
+
+  // The crashing write persisted nothing: the page still holds op 0's image.
+  injector_.Disarm();
+  EXPECT_FALSE(injector_.crashed());
+  Page out;
+  ASSERT_TRUE(file->Read(0, &out).ok());
+  Page expected;
+  FillPage(&expected, 2);
+  EXPECT_EQ(std::memcmp(out.data(), expected.data(), kPageSize), 0);
+}
+
+TEST_F(FaultInjectionTest, TornWritePersistsOnlyThePrefix) {
+  StorageManager storage;
+  Intercept(&storage);
+  PageFile* file = storage.CreateOrOpen("f");
+  ASSERT_TRUE(file->Allocate().ok());
+  Page old_image;
+  FillPage(&old_image, 3);
+  ASSERT_TRUE(file->Write(0, old_image).ok());  // op 0
+
+  constexpr size_t kPrefix = 512;
+  injector_.CrashAt(1);
+  injector_.SetTornWrite(kPrefix);
+  Page new_image;
+  FillPage(&new_image, 4);
+  EXPECT_FALSE(file->Write(0, new_image).ok());  // op 1 — torn crash
+
+  injector_.Disarm();
+  Page out;
+  ASSERT_TRUE(file->Read(0, &out).ok());
+  // First kPrefix bytes are the new image, the rest is the old page.
+  EXPECT_EQ(std::memcmp(out.data(), new_image.data(), kPrefix), 0);
+  EXPECT_EQ(std::memcmp(out.data() + kPrefix, old_image.data() + kPrefix,
+                        kPageSize - kPrefix),
+            0);
+}
+
+TEST_F(FaultInjectionTest, ProbabilisticFaultsAreSeedDeterministic) {
+  auto run = [](uint64_t seed) {
+    FaultInjector injector;
+    StorageManager storage;
+    storage.SetInterceptor(
+        [&injector](std::unique_ptr<PageFile> base) {
+          return std::unique_ptr<PageFile>(std::make_unique<
+                                           FaultInjectingPageFile>(
+              std::move(base), &injector));
+        });
+    PageFile* file = storage.CreateOrOpen("f");
+    EXPECT_TRUE(file->Allocate().ok());
+    injector.FailProbability(0.25, seed);
+    Page page;
+    FillPage(&page, 5);
+    std::vector<bool> failed;
+    for (int i = 0; i < 64; ++i) failed.push_back(!file->Write(0, page).ok());
+    return failed;
+  };
+  std::vector<bool> a = run(42);
+  std::vector<bool> b = run(42);
+  std::vector<bool> c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // different seed, different pattern (64 draws at p=0.25)
+}
+
+TEST_F(FaultInjectionTest, DisarmedDecoratorAddsZeroPageAccessDelta) {
+  // The same deterministic workload through a plain manager and through an
+  // intercepted (but disarmed) one must produce identical page-access
+  // statistics — the guarantee that benchmarks reproduce unchanged.
+  auto workload = [](StorageManager* storage) {
+    SetIndex::Options options;
+    options.maintain_ssf = true;
+    options.sig = {64, 2};
+    options.capacity = 256;
+    auto index = SetIndex::Create(storage, "idx", options);
+    EXPECT_TRUE(index.ok());
+    Rng rng(17);
+    std::vector<Oid> oids;
+    for (int i = 0; i < 40; ++i) {
+      auto oid = (*index)->Insert(rng.SampleWithoutReplacement(100, 6));
+      EXPECT_TRUE(oid.ok());
+      oids.push_back(*oid);
+    }
+    EXPECT_TRUE((*index)->Delete(oids[3]).ok());
+    EXPECT_TRUE((*index)->Checkpoint().ok());
+    for (int i = 0; i < 5; ++i) {
+      ElementSet query = rng.SampleWithoutReplacement(100, 2);
+      EXPECT_TRUE(
+          (*index)->Query(QueryKind::kSuperset, query, PlanMode::kForceBssf)
+              .ok());
+    }
+    return storage->TotalStats();
+  };
+
+  StorageManager plain;
+  IoStats baseline = workload(&plain);
+
+  StorageManager intercepted;
+  Intercept(&intercepted);
+  IoStats with_decorator = workload(&intercepted);
+
+  EXPECT_EQ(with_decorator.page_reads, baseline.page_reads);
+  EXPECT_EQ(with_decorator.page_writes, baseline.page_writes);
+  EXPECT_GT(injector_.ops(), 0u);  // the decorator really was in the path
+}
+
+TEST_F(FaultInjectionTest, InjectedFaultSurfacesAtSetIndexApi) {
+  StorageManager storage;
+  Intercept(&storage);
+  SetIndex::Options options;
+  options.sig = {64, 2};
+  options.capacity = 256;
+  auto index = SetIndex::Create(&storage, "idx", options);
+  ASSERT_TRUE(index.ok());
+  Rng rng(19);
+  ASSERT_TRUE((*index)->Insert(rng.SampleWithoutReplacement(100, 6)).ok());
+
+  // Crash at the next I/O: the Insert returns a clean error, no abort.
+  injector_.CrashAt(injector_.ops());
+  auto oid = (*index)->Insert(rng.SampleWithoutReplacement(100, 6));
+  ASSERT_FALSE(oid.ok());
+  EXPECT_EQ(oid.status().code(), StatusCode::kIoError);
+
+  // Queries against the crashed device also fail cleanly.
+  auto result = (*index)->Query(QueryKind::kSuperset,
+                                rng.SampleWithoutReplacement(100, 2),
+                                PlanMode::kForceBssf);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST_F(FaultInjectionTest, MakeFileFailpointSurfacesAtCreate) {
+  StorageManager storage;
+  FailpointRegistry::Instance().ArmCountdown("storage.make_file", 1);
+  SetIndex::Options options;
+  auto index = SetIndex::Create(&storage, "idx", options);
+  FailpointRegistry::Instance().DisarmAll();
+  ASSERT_FALSE(index.ok());
+  EXPECT_EQ(index.status().code(), StatusCode::kIoError);
+  EXPECT_NE(index.status().message().find("storage.make_file"),
+            std::string::npos);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,145 @@
+// Model-vs-measured differential suite: the measured page-access deltas of
+// the real executor must match the src/model analytical predictions for
+// every facility and both query shapes (T ⊇ Q and T ⊆ Q) — and the measured
+// delta must be bit-identical between serial and 4-thread execution, the
+// library's core parallel-accounting invariant (logical page accesses are a
+// property of the plan, not of the worker partitioning).
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "model/actual_drops.h"
+#include "model/cost_bssf.h"
+#include "model/cost_nix.h"
+#include "model/cost_ssf.h"
+#include "query/executor.h"
+#include "test_db.h"
+#include "util/thread_pool.h"
+
+namespace sigsetdb {
+namespace {
+
+class ModelVsMeasuredTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kN = 2000;
+  static constexpr int64_t kV = 500;
+  static constexpr int64_t kDt = 8;
+
+  ModelVsMeasuredTest() : db_(MakeOptions()), pool_(4) {
+    model_db_.n = kN;
+    model_db_.v = kV;
+    ctx_.pool = &pool_;
+  }
+
+  static TestDatabase::Options MakeOptions() {
+    TestDatabase::Options options;
+    options.n = kN;
+    options.v = kV;
+    options.dt = kDt;
+    options.sig = {250, 2};
+    options.seed = 24242;
+    return options;
+  }
+
+  // Runs `trials` random Dq-element queries, each once serially and once on
+  // 4 threads.  Per trial, the parallel run must touch exactly as many
+  // pages as the serial run and return the same OIDs; both mean costs must
+  // match the model prediction within `tolerance`.
+  void CheckBothModes(SetAccessFacility* facility, QueryKind kind, int64_t dq,
+                      int trials, uint64_t seed, double model,
+                      double tolerance) {
+    Rng rng(seed);
+    uint64_t serial_total = 0;
+    uint64_t parallel_total = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(kV), static_cast<uint64_t>(dq));
+      db_.storage().ResetStats();
+      auto serial = ExecuteSetQuery(facility, db_.store(), kind, query);
+      ASSERT_TRUE(serial.ok());
+      uint64_t serial_delta = db_.storage().TotalStats().total();
+      serial_total += serial_delta;
+
+      db_.storage().ResetStats();
+      auto parallel =
+          ExecuteSetQuery(facility, db_.store(), kind, query, &ctx_);
+      ASSERT_TRUE(parallel.ok());
+      uint64_t parallel_delta = db_.storage().TotalStats().total();
+      parallel_total += parallel_delta;
+
+      // The parallel-accounting invariant: same logical cost, same answer,
+      // regardless of how the work was partitioned across workers.
+      EXPECT_EQ(parallel_delta, serial_delta);
+      std::vector<Oid> a = serial->oids;
+      std::vector<Oid> b = parallel->oids;
+      auto by_value = [](Oid x, Oid y) { return x.value() < y.value(); };
+      std::sort(a.begin(), a.end(), by_value);
+      std::sort(b.begin(), b.end(), by_value);
+      ASSERT_EQ(a.size(), b.size());
+      for (size_t i = 0; i < a.size(); ++i) {
+        EXPECT_EQ(a[i].value(), b[i].value());
+      }
+    }
+    double serial_mean = static_cast<double>(serial_total) / trials;
+    double parallel_mean = static_cast<double>(parallel_total) / trials;
+    EXPECT_NEAR(serial_mean, model, tolerance) << "serial";
+    EXPECT_NEAR(parallel_mean, model, tolerance) << "4 threads";
+    EXPECT_EQ(serial_mean, parallel_mean);
+  }
+
+  TestDatabase db_;
+  ThreadPool pool_;
+  ParallelExecutionContext ctx_;
+  DatabaseParams model_db_;
+  SignatureParams model_sig_{250, 2};
+  NixParams model_nix_;
+};
+
+TEST_F(ModelVsMeasuredTest, SsfSuperset) {
+  double model =
+      SsfRetrievalCost(model_db_, model_sig_, kDt, 2, QueryKind::kSuperset);
+  CheckBothModes(&db_.ssf(), QueryKind::kSuperset, 2, 20, 1, model,
+                 0.15 * model + 1.0);
+}
+
+TEST_F(ModelVsMeasuredTest, SsfSubset) {
+  double model =
+      SsfRetrievalCost(model_db_, model_sig_, kDt, 60, QueryKind::kSubset);
+  CheckBothModes(&db_.ssf(), QueryKind::kSubset, 60, 10, 2, model,
+                 0.25 * model + 3.0);
+}
+
+TEST_F(ModelVsMeasuredTest, BssfSuperset) {
+  double model = BssfRetrievalSuperset(model_db_, model_sig_, kDt, 2);
+  CheckBothModes(&db_.bssf(), QueryKind::kSuperset, 2, 20, 3, model,
+                 0.25 * model + 1.0);
+}
+
+TEST_F(ModelVsMeasuredTest, BssfSubset) {
+  double model = BssfRetrievalSubset(model_db_, model_sig_, kDt, 60);
+  CheckBothModes(&db_.bssf(), QueryKind::kSubset, 60, 10, 4, model,
+                 0.2 * model + 2.0);
+}
+
+TEST_F(ModelVsMeasuredTest, NixSuperset) {
+  int64_t rc = db_.nix().tree().height() + 1;
+  double model = static_cast<double>(rc) * 2.0 +
+                 ActualDropsSuperset(model_db_, kDt, 2);
+  CheckBothModes(&db_.nix(), QueryKind::kSuperset, 2, 20, 5, model,
+                 0.15 * model + 1.0);
+}
+
+TEST_F(ModelVsMeasuredTest, NixSubset) {
+  int64_t rc = db_.nix().tree().height() + 1;
+  int64_t dq = 40;
+  double model = static_cast<double>(rc * dq) +
+                 NixSubsetFailingCandidates(model_db_, kDt, dq) +
+                 ActualDropsSubset(model_db_, kDt, dq);
+  CheckBothModes(&db_.nix(), QueryKind::kSubset, dq, 10, 6, model,
+                 0.15 * model + 2.0);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -16,6 +16,7 @@
 #include <thread>
 #include <vector>
 
+#include "storage/fault_injecting_page_file.h"
 #include "util/rng.h"
 
 namespace sigsetdb {
@@ -230,6 +231,103 @@ TEST_F(ShardedBufferPoolTest, InvalidateUnderConcurrentReads) {
   const uint64_t total = static_cast<uint64_t>(kThreads) * kReadsPerThread;
   EXPECT_EQ(cache.stats().reads(), total);
   EXPECT_EQ(cache.hits() + cache.misses(), total);
+}
+
+// --- error-path coverage: CachedPageFile over a faulty base file ---
+
+TEST_F(ShardedBufferPoolTest, FailedReadIsNotCached) {
+  InMemoryPageFile base("base");
+  Populate(&base, 0);
+  FaultInjector injector;
+  FaultInjectingPageFile faulty(&base, &injector);
+  CachedPageFile cache(&faulty, /*capacity=*/32, /*num_shards=*/4);
+
+  // First read of page 5 fails at the base layer.
+  injector.FailAt(injector.ops());
+  Page page;
+  EXPECT_FALSE(cache.Read(5, &page).ok());
+  // The failure must not have populated the cache: the retry is a fresh
+  // miss that reaches the base file and returns intact data.
+  uint64_t misses_before = cache.misses();
+  ASSERT_TRUE(cache.Read(5, &page).ok());
+  EXPECT_TRUE(CheckPage(page, 5, 0));
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  // Only now is it cached.
+  ASSERT_TRUE(cache.Read(5, &page).ok());
+  EXPECT_EQ(cache.misses(), misses_before + 1);
+  EXPECT_TRUE(CheckPage(page, 5, 0));
+}
+
+TEST_F(ShardedBufferPoolTest, FailedWriteDoesNotPoisonCache) {
+  InMemoryPageFile base("base");
+  Populate(&base, 0);
+  FaultInjector injector;
+  FaultInjectingPageFile faulty(&base, &injector);
+  CachedPageFile cache(&faulty, /*capacity=*/32, /*num_shards=*/4);
+
+  // Warm page 7 into the cache with its original stamp.
+  Page page;
+  ASSERT_TRUE(cache.Read(7, &page).ok());
+  ASSERT_TRUE(CheckPage(page, 7, 0));
+
+  // A write that fails at the base layer must leave neither a stale cached
+  // copy of the new image nor a torn one: the next read shows a page
+  // consistent with what the base file actually holds.
+  injector.FailAt(injector.ops());
+  Page updated;
+  StampPage(&updated, 7, 9);
+  EXPECT_FALSE(cache.Write(7, updated).ok());
+  Page back;
+  ASSERT_TRUE(cache.Read(7, &back).ok());
+  Page raw;
+  ASSERT_TRUE(base.Read(7, &raw).ok());
+  EXPECT_EQ(std::memcmp(back.data(), raw.data(), kPageSize), 0)
+      << "cache serves an image the base file does not hold";
+}
+
+TEST_F(ShardedBufferPoolTest, ConcurrentProbabilisticFaultsKeepStatsExact) {
+  InMemoryPageFile base("base");
+  Populate(&base, 0);
+  FaultInjector injector;
+  FaultInjectingPageFile faulty(&base, &injector);
+  CachedPageFile cache(&faulty, /*capacity=*/16, /*num_shards=*/4);
+  injector.FailProbability(0.05, 77);
+
+  constexpr int kThreads = 4;
+  constexpr int kReadsPerThread = 5000;
+  std::vector<std::thread> threads;
+  std::vector<int> bad(kThreads, 0);
+  std::vector<uint64_t> ok_reads(kThreads, 0);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      Rng rng(31 + static_cast<uint64_t>(t));
+      Page page;
+      for (int i = 0; i < kReadsPerThread; ++i) {
+        PageId id = static_cast<PageId>(rng.NextBelow(kNumPages));
+        if (!cache.Read(id, &page).ok()) continue;  // injected fault
+        ++ok_reads[t];
+        if (!CheckPage(page, id, 0)) ++bad[t];
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  uint64_t succeeded = 0;
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(bad[t], 0) << "thread " << t << " read a corrupt page";
+    succeeded += ok_reads[t];
+  }
+  const uint64_t total = static_cast<uint64_t>(kThreads) * kReadsPerThread;
+  EXPECT_LT(succeeded, total);  // some faults actually fired (p = 0.05)
+  EXPECT_GT(succeeded, total / 2);
+  // Logical accounting survives the error paths: every call was counted,
+  // and every call was a hit or a miss in exactly one shard.
+  EXPECT_EQ(cache.stats().reads(), total);
+  EXPECT_EQ(cache.hits() + cache.misses(), total);
+  uint64_t per_shard = 0;
+  for (size_t s = 0; s < cache.num_shards(); ++s) {
+    per_shard += cache.shard_hits(s) + cache.shard_misses(s);
+  }
+  EXPECT_EQ(per_shard, total);
 }
 
 }  // namespace

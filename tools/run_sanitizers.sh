@@ -5,10 +5,16 @@
 #   tools/run_sanitizers.sh            # both sanitizers, full suite
 #   tools/run_sanitizers.sh thread     # TSan only
 #   tools/run_sanitizers.sh address -R 'thread_pool|parallel|sharded'
+#   tools/run_sanitizers.sh faults     # fault-injection suites under TSan
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
 # that exercise cross-thread interleavings; the rest are single-threaded).
+#
+# The `faults` mode runs the fault-injection and crash-recovery suites
+# (DESIGN.md §9) under ThreadSanitizer: the failpoint registry and the
+# FaultInjector are shared mutable state hit from query worker threads, so
+# their locking is exactly what TSan should vet.
 
 set -euo pipefail
 
@@ -36,12 +42,18 @@ case "${1:-all}" in
     shift
     run_one address "$@"
     ;;
+  faults)
+    shift
+    run_one thread -R \
+      'failpoint|fault_injection|crash_recovery|model_vs_measured|sharded_buffer_pool' \
+      "$@"
+    ;;
   all)
     run_one thread
     run_one address
     ;;
   *)
-    echo "usage: $0 [thread|address|all] [ctest args...]" >&2
+    echo "usage: $0 [thread|address|all|faults] [ctest args...]" >&2
     exit 1
     ;;
 esac
