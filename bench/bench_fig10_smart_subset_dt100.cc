@@ -35,11 +35,17 @@ void Run() {
     double b1000 = BssfSmartSubsetCost(db, {1000, 2}, dt, dq, &s1000);
     double b2500 = BssfSmartSubsetCost(db, {2500, 3}, dt, dq, &s2500);
     double n_cost = NixRetrievalSubset(db, nix, dt, dq);
-    double meas = bench.MeasureMeanSmartSubsetBssf(
+    MeasuredCost meas = bench.MeasureSmartSubsetBssf(
         dq, static_cast<size_t>(s2500), kTrials, 1200 + dq);
+    EmitBenchRecord("bssf.smart_subset",
+                    {{"dq", static_cast<double>(dq)},
+                     {"f", 2500},
+                     {"m", 3},
+                     {"s", static_cast<double>(s2500)}},
+                    meas, b2500);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(b1000),
                   TablePrinter::Num(b2500), TablePrinter::Num(n_cost),
-                  TablePrinter::Int(s2500), TablePrinter::Num(meas)});
+                  TablePrinter::Int(s2500), TablePrinter::Num(meas.pages)});
   }
   table.Print(std::cout);
   std::printf(
@@ -51,7 +57,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig10", argc, argv);
   sigsetdb::PrintBenchHeader("Figure 10",
                              "smart retrieval cost for T ⊆ Q (Dt=100)");
   sigsetdb::Run();

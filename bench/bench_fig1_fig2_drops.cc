@@ -114,12 +114,24 @@ void RunBatchCounts() {
   std::printf("  drops=%d  actual=%d  false=%d  (false-drop rate %.4f)\n",
               drops, actual, drops - actual,
               static_cast<double>(drops - actual) / kTargets);
+  EmitBenchRecord(
+      "superset.false_drops",
+      {{"targets", static_cast<double>(kTargets)},
+       {"domain", static_cast<double>(kDomain)},
+       {"f", 16},
+       {"m", 2},
+       {"drops", static_cast<double>(drops)},
+       {"actual_drops", static_cast<double>(actual)},
+       {"false_drop_rate",
+        static_cast<double>(drops - actual) / kTargets}},
+      MeasuredCost{0, 0, 0, -1});
 }
 
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig1_fig2", argc, argv);
   sigsetdb::PrintBenchHeader("Figures 1-2",
                              "actual and false drops under both conditions");
   sigsetdb::RunExample();

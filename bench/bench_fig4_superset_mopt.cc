@@ -48,17 +48,24 @@ void Run() {
     double bssf250 = BssfRetrievalSuperset(db, {250, m250}, dt, dq);
     double bssf500 = BssfRetrievalSuperset(db, {500, m500}, dt, dq);
     double nix_rc = NixRetrievalSuperset(db, nix, dt, dq);
-    double ssf_meas = bench.MeasureMean(&bench.ssf(), QueryKind::kSuperset,
-                                        dq, kTrials, 100 + dq);
-    double bssf_meas = bench.MeasureMean(&bench.bssf(), QueryKind::kSuperset,
-                                         dq, kTrials, 200 + dq);
-    double nix_meas = bench.MeasureMean(&bench.nix(), QueryKind::kSuperset,
-                                        dq, kTrials, 300 + dq);
+    MeasuredCost ssf_meas = bench.Measure(&bench.ssf(), QueryKind::kSuperset,
+                                          dq, kTrials, 100 + dq);
+    MeasuredCost bssf_meas = bench.Measure(
+        &bench.bssf(), QueryKind::kSuperset, dq, kTrials, 200 + dq);
+    MeasuredCost nix_meas = bench.Measure(&bench.nix(), QueryKind::kSuperset,
+                                          dq, kTrials, 300 + dq);
+    const double fdq = static_cast<double>(dq);
+    EmitBenchRecord("ssf.superset", {{"dq", fdq}, {"f", 250}, {"m", m250}},
+                    ssf_meas, ssf250);
+    EmitBenchRecord("bssf.superset", {{"dq", fdq}, {"f", 250}, {"m", m250}},
+                    bssf_meas, bssf250);
+    EmitBenchRecord("nix.superset", {{"dq", fdq}}, nix_meas, nix_rc);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(ssf250),
                   TablePrinter::Num(ssf500), TablePrinter::Num(bssf250),
                   TablePrinter::Num(bssf500), TablePrinter::Num(nix_rc),
-                  TablePrinter::Num(ssf_meas), TablePrinter::Num(bssf_meas),
-                  TablePrinter::Num(nix_meas)});
+                  TablePrinter::Num(ssf_meas.pages),
+                  TablePrinter::Num(bssf_meas.pages),
+                  TablePrinter::Num(nix_meas.pages)});
   }
   table.Print(std::cout);
   std::printf(
@@ -69,7 +76,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig4", argc, argv);
   sigsetdb::PrintBenchHeader(
       "Figure 4", "retrieval cost RC for T ⊇ Q (Dt=10, m=m_opt)");
   sigsetdb::Run();

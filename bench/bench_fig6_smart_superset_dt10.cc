@@ -36,14 +36,25 @@ void Run() {
     double b250 = BssfSmartSupersetCost(db, {250, 2}, dt, dq, &k250);
     double b500 = BssfSmartSupersetCost(db, {500, 2}, dt, dq, &k500);
     double n_cost = NixSmartSupersetCost(db, nix, dt, dq, &knix);
-    double b_meas = bench.MeasureMeanSmartSupersetBssf(
+    MeasuredCost b_meas = bench.MeasureSmartSupersetBssf(
         dq, static_cast<size_t>(k250), kTrials, 600 + dq);
-    double n_meas = bench.MeasureMeanSmartSupersetNix(
+    MeasuredCost n_meas = bench.MeasureSmartSupersetNix(
         dq, static_cast<size_t>(knix), kTrials, 700 + dq);
+    const double fdq = static_cast<double>(dq);
+    EmitBenchRecord("bssf.smart_superset",
+                    {{"dq", fdq},
+                     {"f", 250},
+                     {"m", 2},
+                     {"k", static_cast<double>(k250)}},
+                    b_meas, b250);
+    EmitBenchRecord("nix.smart_superset",
+                    {{"dq", fdq}, {"k", static_cast<double>(knix)}}, n_meas,
+                    n_cost);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(b250),
                   TablePrinter::Num(b500), TablePrinter::Num(n_cost),
                   TablePrinter::Int(k250), TablePrinter::Int(knix),
-                  TablePrinter::Num(b_meas), TablePrinter::Num(n_meas)});
+                  TablePrinter::Num(b_meas.pages),
+                  TablePrinter::Num(n_meas.pages)});
   }
   table.Print(std::cout);
   std::printf(
@@ -54,7 +65,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig6", argc, argv);
   sigsetdb::PrintBenchHeader("Figure 6",
                              "smart retrieval cost for T ⊇ Q (Dt=10)");
   sigsetdb::Run();

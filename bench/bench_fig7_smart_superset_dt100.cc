@@ -34,14 +34,25 @@ void Run() {
     double b1000 = BssfSmartSupersetCost(db, {1000, 2}, dt, dq, &k1000);
     double b2500 = BssfSmartSupersetCost(db, {2500, 3}, dt, dq, &k2500);
     double n_cost = NixSmartSupersetCost(db, nix, dt, dq, &knix);
-    double b_meas = bench.MeasureMeanSmartSupersetBssf(
+    MeasuredCost b_meas = bench.MeasureSmartSupersetBssf(
         dq, static_cast<size_t>(k2500), kTrials, 800 + dq);
-    double n_meas = bench.MeasureMeanSmartSupersetNix(
+    MeasuredCost n_meas = bench.MeasureSmartSupersetNix(
         dq, static_cast<size_t>(knix), kTrials, 900 + dq);
+    const double fdq = static_cast<double>(dq);
+    EmitBenchRecord("bssf.smart_superset",
+                    {{"dq", fdq},
+                     {"f", 2500},
+                     {"m", 3},
+                     {"k", static_cast<double>(k2500)}},
+                    b_meas, b2500);
+    EmitBenchRecord("nix.smart_superset",
+                    {{"dq", fdq}, {"k", static_cast<double>(knix)}}, n_meas,
+                    n_cost);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(b1000),
                   TablePrinter::Num(b2500), TablePrinter::Num(n_cost),
                   TablePrinter::Int(k2500), TablePrinter::Int(knix),
-                  TablePrinter::Num(b_meas), TablePrinter::Num(n_meas)});
+                  TablePrinter::Num(b_meas.pages),
+                  TablePrinter::Num(n_meas.pages)});
   }
   table.Print(std::cout);
   std::printf(
@@ -52,7 +63,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig7", argc, argv);
   sigsetdb::PrintBenchHeader("Figure 7",
                              "smart retrieval cost for T ⊇ Q (Dt=100)");
   sigsetdb::Run();

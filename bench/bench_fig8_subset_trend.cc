@@ -41,12 +41,15 @@ void Run() {
     double bssf2 = BssfRetrievalSubset(db, {500, 2}, dt, dq);
     double bssf35 = BssfRetrievalSubset(db, {500, m_opt}, dt, dq);
     double nix_rc = NixRetrievalSubset(db, nix, dt, dq);
-    double meas = bench.MeasureMean(&bench.bssf(), QueryKind::kSubset, dq,
-                                    kTrials, 1000 + dq);
+    MeasuredCost meas = bench.Measure(&bench.bssf(), QueryKind::kSubset, dq,
+                                      kTrials, 1000 + dq);
+    EmitBenchRecord("bssf.subset",
+                    {{"dq", static_cast<double>(dq)}, {"f", 500}, {"m", 2}},
+                    meas, bssf2);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(ssf2),
                   TablePrinter::Num(ssf35), TablePrinter::Num(bssf2),
                   TablePrinter::Num(bssf35), TablePrinter::Num(nix_rc),
-                  TablePrinter::Num(meas)});
+                  TablePrinter::Num(meas.pages)});
   }
   table.Print(std::cout);
   std::printf("\nDq_opt (model, m=2): %.0f  |  Dq_opt (model, m=3): %.0f\n",
@@ -60,7 +63,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig8", argc, argv);
   sigsetdb::PrintBenchHeader(
       "Figure 8", "retrieval cost RC for T ⊆ Q (Dt=10, F=500)");
   sigsetdb::Run();

@@ -36,11 +36,17 @@ void Run() {
     double b250 = BssfSmartSubsetCost(db, {250, 2}, dt, dq, &s250);
     double b500 = BssfSmartSubsetCost(db, {500, 2}, dt, dq, &s500);
     double n_cost = NixRetrievalSubset(db, nix, dt, dq);
-    double meas = bench.MeasureMeanSmartSubsetBssf(
+    MeasuredCost meas = bench.MeasureSmartSubsetBssf(
         dq, static_cast<size_t>(s500), kTrials, 1100 + dq);
+    EmitBenchRecord("bssf.smart_subset",
+                    {{"dq", static_cast<double>(dq)},
+                     {"f", 500},
+                     {"m", 2},
+                     {"s", static_cast<double>(s500)}},
+                    meas, b500);
     table.AddRow({TablePrinter::Int(dq), TablePrinter::Num(b250),
                   TablePrinter::Num(b500), TablePrinter::Num(n_cost),
-                  TablePrinter::Int(s500), TablePrinter::Num(meas)});
+                  TablePrinter::Int(s500), TablePrinter::Num(meas.pages)});
   }
   table.Print(std::cout);
   std::printf(
@@ -52,7 +58,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("fig9", argc, argv);
   sigsetdb::PrintBenchHeader("Figure 9",
                              "smart retrieval cost for T ⊆ Q (Dt=10)");
   sigsetdb::Run();

@@ -24,6 +24,8 @@ namespace {
 struct RunStats {
   double millis = 0;
   uint64_t pages = 0;
+  uint64_t reads = 0;
+  uint64_t writes = 0;
 };
 
 // Runs `trials` seeded queries of `kind` (Dq elements each) and returns
@@ -44,8 +46,25 @@ RunStats RunWorkload(BenchDb& db, QueryKind kind, int64_t dq, int trials,
   auto end = std::chrono::steady_clock::now();
   stats.millis =
       std::chrono::duration<double, std::milli>(end - start).count();
-  stats.pages = db.storage().TotalStats().total();
+  IoStats io = db.storage().TotalStats();
+  stats.pages = io.total();
+  stats.reads = io.reads();
+  stats.writes = io.writes();
   return stats;
+}
+
+void EmitScalingRecord(QueryKind kind, int64_t dq, int trials,
+                       size_t threads, const RunStats& stats) {
+  // threads == 0 encodes the serial (no-pool) run.
+  EmitBenchRecord(
+      std::string(QueryKindName(kind)) + ".scaling",
+      {{"dq", static_cast<double>(dq)},
+       {"trials", static_cast<double>(trials)},
+       {"threads", static_cast<double>(threads)}},
+      MeasuredCost{static_cast<double>(stats.pages) / trials,
+                   static_cast<double>(stats.reads) / trials,
+                   static_cast<double>(stats.writes) / trials,
+                   stats.millis / trials});
 }
 
 void BenchKind(BenchDb& db, QueryKind kind, int64_t dq, int trials,
@@ -58,6 +77,7 @@ void BenchKind(BenchDb& db, QueryKind kind, int64_t dq, int trials,
   RunStats serial = RunWorkload(db, kind, dq, trials, seed, nullptr);
   std::printf("%-10s %12.1f %12llu %10s\n", "serial", serial.millis,
               static_cast<unsigned long long>(serial.pages), "1.00x");
+  EmitScalingRecord(kind, dq, trials, 0, serial);
 
   for (size_t threads : {1u, 2u, 4u, 8u}) {
     ThreadPool pool(threads);
@@ -74,6 +94,7 @@ void BenchKind(BenchDb& db, QueryKind kind, int64_t dq, int trials,
     std::printf("%-10zu %12.1f %12llu %9.2fx\n", threads, par.millis,
                 static_cast<unsigned long long>(par.pages),
                 serial.millis / par.millis);
+    EmitScalingRecord(kind, dq, trials, threads, par);
   }
 }
 
@@ -110,7 +131,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("parallel_scaling", argc, argv);
   sigsetdb::Run();
   return 0;
 }

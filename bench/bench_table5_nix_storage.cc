@@ -39,6 +39,10 @@ void Run() {
                       static_cast<int64_t>(tree.internal_pages())),
                   TablePrinter::Int(static_cast<int64_t>(tree.total_pages())),
                   TablePrinter::Int(tree.height())});
+    EmitBenchRecord(
+        "nix.storage", {{"dt", static_cast<double>(dt)}},
+        MeasuredCost{static_cast<double>(tree.total_pages()), 0, 0, -1},
+        static_cast<double>(NixStorageCost(db, nix, dt)));
   }
   table.Print(std::cout);
   std::printf(
@@ -49,7 +53,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("table5", argc, argv);
   sigsetdb::PrintBenchHeader("Table 5", "storage cost of NIX");
   sigsetdb::Run();
   return 0;

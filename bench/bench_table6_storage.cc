@@ -44,6 +44,24 @@ void Run() {
          TablePrinter::Int(static_cast<int64_t>(bench.bssf().StoragePages())),
          TablePrinter::Int(static_cast<int64_t>(bench.nix().StoragePages())),
          TablePrinter::Num(static_cast<double>(ssf_model) / nix_model, 2)});
+    const double fdt = static_cast<double>(c.dt);
+    const double ff = static_cast<double>(c.f);
+    const double fm = static_cast<double>(c.m);
+    EmitBenchRecord(
+        "ssf.storage", {{"dt", fdt}, {"f", ff}, {"m", fm}},
+        MeasuredCost{static_cast<double>(bench.ssf().StoragePages()), 0, 0,
+                     -1},
+        static_cast<double>(ssf_model));
+    EmitBenchRecord(
+        "bssf.storage", {{"dt", fdt}, {"f", ff}, {"m", fm}},
+        MeasuredCost{static_cast<double>(bench.bssf().StoragePages()), 0, 0,
+                     -1},
+        static_cast<double>(bssf_model));
+    EmitBenchRecord(
+        "nix.storage", {{"dt", fdt}},
+        MeasuredCost{static_cast<double>(bench.nix().StoragePages()), 0, 0,
+                     -1},
+        static_cast<double>(nix_model));
   }
   table.Print(std::cout);
   std::printf(
@@ -54,7 +72,8 @@ void Run() {
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("table6", argc, argv);
   sigsetdb::PrintBenchHeader("Table 6", "storage cost of SSF, BSSF, NIX");
   sigsetdb::Run();
   return 0;

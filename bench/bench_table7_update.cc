@@ -120,6 +120,18 @@ void Run() {
       "  NIX insert:         %.1f writes + %.1f traversal reads (model "
       "rc*Dt = 30)\n",
       nix_ins.writes, nix_ins.reads);
+  auto insert_cost = [](const MeasuredUpdate& u) {
+    return MeasuredCost{u.writes + u.reads, u.reads, u.writes, -1};
+  };
+  EmitBenchRecord("ssf.insert", {{"dt", 10}, {"f", 250}, {"m", 2}},
+                  insert_cost(ssf_ins), SsfInsertCost());
+  EmitBenchRecord("bssf.insert.naive", {{"dt", 10}, {"f", 250}, {"m", 2}},
+                  insert_cost(naive_ins), BssfInsertCost({250, 2}));
+  EmitBenchRecord("bssf.insert.sparse", {{"dt", 10}, {"f", 250}, {"m", 2}},
+                  insert_cost(sparse_ins),
+                  BssfInsertCostSparse({250, 2}, 10));
+  EmitBenchRecord("nix.insert", {{"dt", 10}},
+                  insert_cost(nix_ins), NixInsertCost(db, nix, 10));
 
   // Delete-flag scan cost, averaged over random victims.
   Rng rng(5);
@@ -141,12 +153,17 @@ void Run() {
       "  SSF/BSSF delete:    %.1f scan reads on average (model SC_OID/2 = "
       "%.1f)\n",
       scan_reads / kDeletes, SsfDeleteCost(db));
+  EmitBenchRecord(
+      "ssf.delete", {{"dt", 10}, {"f", 250}, {"m", 2}},
+      MeasuredCost{scan_reads / kDeletes, scan_reads / kDeletes, 0, -1},
+      SsfDeleteCost(db));
 }
 
 }  // namespace
 }  // namespace sigsetdb
 
-int main() {
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("table7", argc, argv);
   sigsetdb::PrintBenchHeader("Table 7", "update costs UC_I and UC_D");
   sigsetdb::Run();
   return 0;

@@ -6,14 +6,18 @@
 #ifndef SIGSET_BENCH_BENCH_UTIL_H_
 #define SIGSET_BENCH_BENCH_UTIL_H_
 
+#include <chrono>
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <initializer_list>
 #include <memory>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "model/params.h"
+#include "obs/json.h"
 #include "nix/nested_index.h"
 #include "obj/object_store.h"
 #include "query/executor.h"
@@ -36,6 +40,117 @@ template <typename T>
 T ValueOrDie(StatusOr<T> v, const char* what) {
   CheckOk(v.status(), what);
   return std::move(v).value();
+}
+
+// One measurement: mean page accesses split into reads/writes, plus mean
+// wall-clock per query.  `pages == reads + writes` (the paper's RC metric).
+// A negative wall_ms means "not measured" (e.g. storage-size records).
+struct MeasuredCost {
+  double pages = 0;
+  double reads = 0;
+  double writes = 0;
+  double wall_ms = 0;
+};
+
+// Machine-readable bench output, enabled with `--json <path>` on any wired
+// bench.  Each measurement becomes one JSON object per line (JSONL):
+//
+//   {"bench":"fig4","label":"bssf.superset.meas","params":{"dq":3,...},
+//    "measured":{"pages":6.2,"reads":6.2,"writes":0},
+//    "predicted_pages":6.31,"wall_ms":0.42}
+//
+// `predicted_pages` is the analytical model's value for the same point and
+// is null when the record has no model counterpart; `wall_ms` is null for
+// records without a timed run.  The human-readable tables keep printing to
+// stdout unchanged — the JSONL file is a side channel for plotting and
+// regression tooling.
+class BenchJson {
+ public:
+  struct Record {
+    std::string label;
+    std::vector<std::pair<std::string, double>> params;
+    MeasuredCost measured;
+    double predicted_pages = -1.0;  // < 0 -> null
+  };
+
+  static BenchJson& Global() {
+    static BenchJson global;
+    return global;
+  }
+
+  // Parses `--json <path>` out of argv (call once, from main).  Without the
+  // flag the writer stays disabled and Write() is a no-op.
+  void Init(const char* bench, int argc, char** argv) {
+    bench_ = bench;
+    for (int i = 1; i + 1 < argc; ++i) {
+      if (std::string(argv[i]) == "--json") {
+        out_ = std::fopen(argv[i + 1], "w");
+        if (out_ == nullptr) {
+          std::fprintf(stderr, "FATAL cannot open --json file %s\n",
+                       argv[i + 1]);
+          std::abort();
+        }
+        return;
+      }
+    }
+  }
+
+  bool enabled() const { return out_ != nullptr; }
+
+  void Write(const Record& record) {
+    if (out_ == nullptr) return;
+    JsonWriter w;
+    w.BeginObject();
+    w.Field("bench", bench_);
+    w.Field("label", record.label);
+    w.Key("params");
+    w.BeginObject();
+    for (const auto& [key, value] : record.params) w.Field(key, value);
+    w.EndObject();
+    w.Key("measured");
+    w.BeginObject();
+    w.Field("pages", record.measured.pages);
+    w.Field("reads", record.measured.reads);
+    w.Field("writes", record.measured.writes);
+    w.EndObject();
+    w.Key("predicted_pages");
+    if (record.predicted_pages < 0) {
+      w.Null();
+    } else {
+      w.Double(record.predicted_pages);
+    }
+    w.Key("wall_ms");
+    if (record.measured.wall_ms < 0) {
+      w.Null();
+    } else {
+      w.Double(record.measured.wall_ms);
+    }
+    w.EndObject();
+    std::fprintf(out_, "%s\n", w.str().c_str());
+    std::fflush(out_);
+  }
+
+  ~BenchJson() {
+    if (out_ != nullptr) std::fclose(out_);
+  }
+
+ private:
+  BenchJson() = default;
+  std::string bench_;
+  std::FILE* out_ = nullptr;
+};
+
+// Emits one record to the global writer (no-op without --json).
+inline void EmitBenchRecord(
+    const std::string& label,
+    std::initializer_list<std::pair<const char*, double>> params,
+    const MeasuredCost& measured, double predicted_pages = -1.0) {
+  BenchJson::Record record;
+  record.label = label;
+  for (const auto& [key, value] : params) record.params.emplace_back(key, value);
+  record.measured = measured;
+  record.predicted_pages = predicted_pages;
+  BenchJson::Global().Write(record);
 }
 
 // A fully materialized experimental database.
@@ -92,73 +207,63 @@ class BenchDb {
     storage_.ResetStats();
   }
 
-  // Mean measured page accesses per query over `trials` random Dq-element
-  // query sets (the paper's mostly-unsuccessful-search regime).
-  double MeasureMean(SetAccessFacility* facility, QueryKind kind, int64_t dq,
-                     int trials, uint64_t seed) {
-    Rng rng(seed);
-    uint64_t total = 0;
-    for (int t = 0; t < trials; ++t) {
-      ElementSet query = rng.SampleWithoutReplacement(
-          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
-      storage_.ResetStats();
+  // Mean measured cost per query over `trials` random Dq-element query sets
+  // (the paper's mostly-unsuccessful-search regime).
+  MeasuredCost Measure(SetAccessFacility* facility, QueryKind kind,
+                       int64_t dq, int trials, uint64_t seed) {
+    return MeasureLoop(dq, trials, seed, [&](const ElementSet& query) {
       CheckOk(ExecuteSetQuery(facility, *store_, kind, query).status(),
               "query");
-      total += storage_.TotalStats().total();
-    }
-    return static_cast<double>(total) / trials;
+    });
   }
 
   // Measured smart strategies (paper §5.1.3 / §5.2.2).
-  double MeasureMeanSmartSupersetBssf(int64_t dq, size_t use_elements,
-                                      int trials, uint64_t seed) {
-    Rng rng(seed);
-    uint64_t total = 0;
-    for (int t = 0; t < trials; ++t) {
-      ElementSet query = rng.SampleWithoutReplacement(
-          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
-      storage_.ResetStats();
+  MeasuredCost MeasureSmartSupersetBssf(int64_t dq, size_t use_elements,
+                                        int trials, uint64_t seed) {
+    return MeasureLoop(dq, trials, seed, [&](const ElementSet& query) {
       CheckOk(ExecuteSmartSupersetBssf(bssf_.get(), *store_, query,
                                        use_elements)
                   .status(),
               "smart superset bssf");
-      total += storage_.TotalStats().total();
-    }
-    return static_cast<double>(total) / trials;
+    });
   }
 
-  double MeasureMeanSmartSubsetBssf(int64_t dq, size_t max_slices, int trials,
-                                    uint64_t seed) {
-    Rng rng(seed);
-    uint64_t total = 0;
-    for (int t = 0; t < trials; ++t) {
-      ElementSet query = rng.SampleWithoutReplacement(
-          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
-      storage_.ResetStats();
+  MeasuredCost MeasureSmartSubsetBssf(int64_t dq, size_t max_slices,
+                                      int trials, uint64_t seed) {
+    return MeasureLoop(dq, trials, seed, [&](const ElementSet& query) {
       CheckOk(
           ExecuteSmartSubsetBssf(bssf_.get(), *store_, query, max_slices)
               .status(),
           "smart subset bssf");
-      total += storage_.TotalStats().total();
-    }
-    return static_cast<double>(total) / trials;
+    });
   }
 
-  double MeasureMeanSmartSupersetNix(int64_t dq, size_t use_elements,
-                                     int trials, uint64_t seed) {
-    Rng rng(seed);
-    uint64_t total = 0;
-    for (int t = 0; t < trials; ++t) {
-      ElementSet query = rng.SampleWithoutReplacement(
-          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
-      storage_.ResetStats();
+  MeasuredCost MeasureSmartSupersetNix(int64_t dq, size_t use_elements,
+                                       int trials, uint64_t seed) {
+    return MeasureLoop(dq, trials, seed, [&](const ElementSet& query) {
       CheckOk(ExecuteSmartSupersetNix(nix_.get(), *store_, query,
                                       use_elements)
                   .status(),
               "smart superset nix");
-      total += storage_.TotalStats().total();
-    }
-    return static_cast<double>(total) / trials;
+    });
+  }
+
+  // Page-count-only shorthands for table columns.
+  double MeasureMean(SetAccessFacility* facility, QueryKind kind, int64_t dq,
+                     int trials, uint64_t seed) {
+    return Measure(facility, kind, dq, trials, seed).pages;
+  }
+  double MeasureMeanSmartSupersetBssf(int64_t dq, size_t use_elements,
+                                      int trials, uint64_t seed) {
+    return MeasureSmartSupersetBssf(dq, use_elements, trials, seed).pages;
+  }
+  double MeasureMeanSmartSubsetBssf(int64_t dq, size_t max_slices, int trials,
+                                    uint64_t seed) {
+    return MeasureSmartSubsetBssf(dq, max_slices, trials, seed).pages;
+  }
+  double MeasureMeanSmartSupersetNix(int64_t dq, size_t use_elements,
+                                     int trials, uint64_t seed) {
+    return MeasureSmartSupersetNix(dq, use_elements, trials, seed).pages;
   }
 
   const Options& options() const { return options_; }
@@ -182,6 +287,33 @@ class BenchDb {
   }
 
  private:
+  // Runs `trials` seeded Dq-element queries through `run` and averages the
+  // storage counters and wall clock over them.
+  template <typename RunQuery>
+  MeasuredCost MeasureLoop(int64_t dq, int trials, uint64_t seed,
+                           RunQuery&& run) {
+    Rng rng(seed);
+    MeasuredCost total;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(options_.v), static_cast<uint64_t>(dq));
+      storage_.ResetStats();
+      auto start = std::chrono::steady_clock::now();
+      run(query);
+      auto end = std::chrono::steady_clock::now();
+      IoStats io = storage_.TotalStats();
+      total.reads += static_cast<double>(io.reads());
+      total.writes += static_cast<double>(io.writes());
+      total.wall_ms +=
+          std::chrono::duration<double, std::milli>(end - start).count();
+    }
+    total.reads /= trials;
+    total.writes /= trials;
+    total.wall_ms /= trials;
+    total.pages = total.reads + total.writes;
+    return total;
+  }
+
   Options options_;
   StorageManager storage_;
   std::unique_ptr<ObjectStore> store_;

@@ -4,6 +4,8 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/explain.h"
+
 namespace sigsetdb {
 
 namespace {
@@ -43,6 +45,12 @@ Database::Database(StorageManager* storage, Options options)
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     ctx_.pool = pool_.get();
+  }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
   }
 }
 
@@ -307,27 +315,32 @@ int64_t Database::DomainEstimate(size_t attr) const {
   return std::max<int64_t>(estimate, 2);
 }
 
-StatusOr<AccessPathChoice> Database::PlanPredicate(
-    size_t attr, const SetPredicate& predicate, double* cost) const {
+Database::ModelView Database::ModelFor(size_t attr) const {
   const AttributeOptions& spec = options_.attributes[attr];
   const AttributeState& state = attrs_[attr];
-  DatabaseParams db;
-  db.n = std::max<int64_t>(1, static_cast<int64_t>(num_objects()));
-  db.v = DomainEstimate(attr);
-  SignatureParams sig{spec.sig.f, spec.sig.m};
-  NixParams nix;
-  nix.fanout = spec.nix_fanout;
-  int64_t dt = num_objects() == 0
-                   ? 1
-                   : std::max<int64_t>(
-                         1, static_cast<int64_t>(std::llround(
-                                static_cast<double>(state.total_elements) /
-                                static_cast<double>(num_objects()))));
-  if (db.v < dt + 1) db.v = dt + 1;  // the combinatorics need V >= Dt
+  ModelView mv{DatabaseParams{}, SignatureParams{spec.sig.f, spec.sig.m},
+               NixParams{}, 1};
+  mv.db.n = std::max<int64_t>(1, static_cast<int64_t>(num_objects()));
+  mv.db.v = DomainEstimate(attr);
+  mv.nix.fanout = spec.nix_fanout;
+  mv.dt = num_objects() == 0
+              ? 1
+              : std::max<int64_t>(
+                    1, static_cast<int64_t>(std::llround(
+                           static_cast<double>(state.total_elements) /
+                           static_cast<double>(num_objects()))));
+  if (mv.db.v < mv.dt + 1) mv.db.v = mv.dt + 1;  // combinatorics need V >= Dt
+  return mv;
+}
+
+StatusOr<AccessPathChoice> Database::PlanPredicate(
+    size_t attr, const SetPredicate& predicate, double* cost) const {
+  const AttributeState& state = attrs_[attr];
+  const ModelView mv = ModelFor(attr);
   QueryKind ck = CandidateKind(predicate.kind);
   SIGSET_ASSIGN_OR_RETURN(
       std::vector<AccessPathChoice> choices,
-      AdviseAccessPaths(db, sig, nix, dt,
+      AdviseAccessPaths(mv.db, mv.sig, mv.nix, mv.dt,
                         static_cast<int64_t>(predicate.query.size()), ck,
                         /*allow_smart=*/true));
   for (const AccessPathChoice& choice : choices) {
@@ -385,6 +398,13 @@ StatusOr<std::vector<Oid>> Database::DriverCandidates(
 
 StatusOr<DatabaseQueryResult> Database::Query(
     const std::vector<SetPredicate>& predicates) {
+  return QueryInternal(predicates, nullptr, nullptr, nullptr, nullptr);
+}
+
+StatusOr<DatabaseQueryResult> Database::QueryInternal(
+    const std::vector<SetPredicate>& predicates, QueryTrace* trace,
+    AccessPathChoice* chosen_plan, size_t* chosen_attr,
+    SetPredicate* chosen_pred) {
   if (predicates.empty()) {
     return Status::InvalidArgument("at least one predicate required");
   }
@@ -415,12 +435,43 @@ StatusOr<DatabaseQueryResult> Database::Query(
     }
   }
 
+  if (chosen_plan != nullptr) *chosen_plan = driver_plan;
+  if (chosen_attr != nullptr) *chosen_attr = attr_index[driver];
+  if (chosen_pred != nullptr) *chosen_pred = preds[driver];
+  SetAccessFacility* driver_facility = nullptr;
+  if (trace != nullptr) {
+    AttributeState& ds = attrs_[attr_index[driver]];
+    driver_facility = driver_plan.facility == "ssf"
+                          ? static_cast<SetAccessFacility*>(ds.ssf.get())
+                          : driver_plan.facility == "bssf"
+                                ? static_cast<SetAccessFacility*>(ds.bssf.get())
+                                : static_cast<SetAccessFacility*>(ds.nix.get());
+    trace->plan = preds[driver].attribute + " via " + driver_plan.facility +
+                  " " + driver_plan.strategy;
+    trace->kind = QueryKindName(preds[driver].kind);
+    trace->dq = static_cast<int64_t>(preds[driver].query.size());
+  }
+
+  TraceTimer query_timer;  // feeds the latency histogram
+  IoSnapshots sel_before;
+  TraceTimer sel_timer(trace != nullptr);
+  if (trace != nullptr) sel_before = driver_facility->StageStats();
   IoStats before = storage_->TotalStats();
   SIGSET_ASSIGN_OR_RETURN(
       std::vector<Oid> candidates,
       DriverCandidates(attr_index[driver], driver_plan,
                        CandidateKind(preds[driver].kind),
                        preds[driver].query));
+  IoStats resolve_before;
+  TraceTimer resolve_timer(trace != nullptr);
+  if (trace != nullptr) {
+    TraceSpan* span = AddSnapshotStage(trace, "candidate selection",
+                                       sel_before,
+                                       driver_facility->StageStats());
+    span->wall_ms = sel_timer.ElapsedMs();
+    span->candidates = static_cast<int64_t>(candidates.size());
+    resolve_before = store_->stats();
+  }
 
   // Resolution: one fetch per candidate, all predicates checked.  With a
   // pool, contiguous candidate ranges are resolved concurrently through
@@ -483,9 +534,65 @@ StatusOr<DatabaseQueryResult> Database::Query(
       out.num_false_drops += ws.false_drops;
     }
   }
+  if (trace != nullptr) {
+    const IoStats delta = store_->stats() - resolve_before;
+    TraceSpan* span = trace->AddStage("resolution");
+    span->page_reads = delta.reads();
+    span->page_writes = delta.writes();
+    span->wall_ms = resolve_timer.ElapsedMs();
+    span->candidates = static_cast<int64_t>(out.num_candidates);
+    span->false_drops = static_cast<int64_t>(out.num_false_drops);
+  }
   out.driver = preds[driver].attribute + " via " + driver_plan.facility +
                " " + driver_plan.strategy;
   out.page_accesses = (storage_->TotalStats() - before).total();
+
+  // Registry bookkeeping (memory-only; page counts unaffected).
+  const std::string prefix = "query." + driver_plan.facility;
+  metrics_->counter("query.count")->Increment();
+  metrics_->counter(prefix + ".count")->Increment();
+  metrics_->counter(prefix + ".candidates")->Increment(out.num_candidates);
+  metrics_->counter(prefix + ".false_drops")->Increment(out.num_false_drops);
+  metrics_->histogram("query.pages")->Record(out.page_accesses);
+  metrics_->histogram("query.latency_us")
+      ->Record(static_cast<uint64_t>(query_timer.ElapsedMs() * 1000.0));
+  return out;
+}
+
+StatusOr<DatabaseExplainResult> Database::Explain(
+    const std::vector<SetPredicate>& predicates) {
+  DatabaseExplainResult out;
+  AccessPathChoice plan;
+  size_t attr = 0;
+  SetPredicate pred;
+  SIGSET_ASSIGN_OR_RETURN(
+      out.result, QueryInternal(predicates, &out.trace, &plan, &attr, &pred));
+
+  // Predictions cover the driver predicate: candidate selection is priced
+  // exactly; the resolution prediction assumes the driver alone (the other
+  // conjuncts are checked in memory on the already-fetched object).
+  const ModelView mv = ModelFor(attr);
+  const CostBreakdown bd =
+      BreakdownForChoice(mv.db, mv.sig, mv.nix, mv.dt,
+                         static_cast<int64_t>(pred.query.size()), pred.kind,
+                         plan);
+  if (bd.total() > 0) {
+    out.trace.predicted_total = bd.total();
+    for (TraceSpan& stage : out.trace.mutable_stages()) {
+      if (stage.name == "candidate selection") {
+        stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
+        for (TraceSpan& child : stage.children) {
+          child.predicted_pages = child.name == "oid lookup"
+                                      ? bd.oid_lookup
+                                      : bd.candidate_selection;
+        }
+      } else if (stage.name == "resolution") {
+        stage.predicted_pages = bd.resolution;
+      }
+    }
+  }
+  out.text = RenderExplain(out.trace);
+  out.json = out.trace.ToJson();
   return out;
 }
 

@@ -26,6 +26,8 @@
 #include "nix/nested_index.h"
 #include "obj/multi_object_store.h"
 #include "obj/schema.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
 #include "query/advisor.h"
 #include "sig/bssf.h"
 #include "sig/ssf.h"
@@ -48,6 +50,16 @@ struct DatabaseQueryResult {
   uint64_t num_false_drops = 0;  // candidates failing the conjunction
   std::string driver;           // "courses via bssf smart(k=2)"
   uint64_t page_accesses = 0;   // measured for this query
+};
+
+// A conjunction answer plus its per-stage trace (driver candidate selection
+// with per-file children, conjunction resolution), with the cost model's
+// per-stage predictions for the driver predicate attached.
+struct DatabaseExplainResult {
+  DatabaseQueryResult result;
+  QueryTrace trace;
+  std::string text;  // plan-style tree (table_printer)
+  std::string json;  // trace.ToJson()
 };
 
 // One OODB class with indexed set attributes.
@@ -74,6 +86,9 @@ class Database {
     // resolution).  1 (the default) is fully serial.  Results and logical
     // page-access counts are identical at any setting.
     size_t num_threads = 1;
+    // Registry receiving per-query counters and latency histograms (not
+    // owned).  nullptr = the database owns one, reachable via metrics().
+    MetricsRegistry* metrics = nullptr;
   };
 
   // Creates the class storage under the file prefix `class_name`.
@@ -102,6 +117,15 @@ class Database {
   // repeat).  Unknown attribute names fail with kNotFound.
   StatusOr<DatabaseQueryResult> Query(
       const std::vector<SetPredicate>& predicates);
+
+  // EXPLAIN ANALYZE for a conjunction: runs exactly as Query() would (same
+  // driver choice, same page accesses) and returns the per-stage trace with
+  // the model's predictions for the driver predicate attached.
+  StatusOr<DatabaseExplainResult> Explain(
+      const std::vector<SetPredicate>& predicates);
+
+  // The registry this database reports into (configured or owned).
+  MetricsRegistry* metrics() const { return metrics_; }
 
   // The V the advisor uses for attribute `attr`: configured or sketched.
   int64_t DomainEstimate(size_t attr) const;
@@ -142,10 +166,26 @@ class Database {
   Status InitFacilities(const std::string& name,
                         const Manifest::Values* recovered);
 
+  // The cost-model view of one attribute's current state.
+  struct ModelView {
+    DatabaseParams db;
+    SignatureParams sig;
+    NixParams nix;
+    int64_t dt;
+  };
+  ModelView ModelFor(size_t attr) const;
+
   // Prices the best access path for one predicate.
   StatusOr<AccessPathChoice> PlanPredicate(size_t attr,
                                            const SetPredicate& predicate,
                                            double* cost) const;
+
+  // Shared body of Query/Explain; `trace`/`chosen_*` are optional outputs
+  // describing the executed driver plan.
+  StatusOr<DatabaseQueryResult> QueryInternal(
+      const std::vector<SetPredicate>& predicates, QueryTrace* trace,
+      AccessPathChoice* chosen_plan, size_t* chosen_attr,
+      SetPredicate* chosen_pred);
 
   // Runs the chosen plan, returning candidate OIDs (no resolution).
   StatusOr<std::vector<Oid>> DriverCandidates(size_t attr,
@@ -162,6 +202,8 @@ class Database {
   std::unique_ptr<MultiObjectStore> store_;
   std::vector<AttributeState> attrs_;
   std::vector<ElementDictionary> dictionaries_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sigsetdb

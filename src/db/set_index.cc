@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "obs/explain.h"
 #include "util/failpoint.h"
 
 namespace sigsetdb {
@@ -12,6 +13,12 @@ SetIndex::SetIndex(StorageManager* storage, Options options)
   if (options_.num_threads > 1) {
     pool_ = std::make_unique<ThreadPool>(options_.num_threads);
     ctx_.pool = pool_.get();
+  }
+  if (options_.metrics != nullptr) {
+    metrics_ = options_.metrics;
+  } else {
+    owned_metrics_ = std::make_unique<MetricsRegistry>();
+    metrics_ = owned_metrics_.get();
   }
 }
 
@@ -260,9 +267,20 @@ StatusOr<AccessPathChoice> SetIndex::Plan(QueryKind kind, int64_t dq) const {
   nix.fanout = options_.nix_fanout;
   int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
   if (dt < 1) dt = 1;
-  SIGSET_ASSIGN_OR_RETURN(
-      std::vector<AccessPathChoice> choices,
-      AdviseAccessPaths(db, sig, nix, dt, dq, kind, /*allow_smart=*/true));
+  std::vector<AccessPathChoice> choices;
+  if (options_.advisor_feedback) {
+    // Fold the registry's observed false-drop and buffer-hit rates into the
+    // cost comparison (opt-in: feedback-shifted plans trade reproducible
+    // page counts for workload adaptivity).
+    SIGSET_ASSIGN_OR_RETURN(
+        choices, AdviseAccessPaths(db, sig, nix, dt, dq, kind,
+                                   /*allow_smart=*/true,
+                                   AdvisorFeedback::FromRegistry(*metrics_)));
+  } else {
+    SIGSET_ASSIGN_OR_RETURN(
+        choices,
+        AdviseAccessPaths(db, sig, nix, dt, dq, kind, /*allow_smart=*/true));
+  }
   for (const AccessPathChoice& choice : choices) {
     if (choice.facility == "ssf" && ssf_ == nullptr) continue;
     if (choice.facility == "bssf" && bssf_ == nullptr) continue;
@@ -274,36 +292,40 @@ StatusOr<AccessPathChoice> SetIndex::Plan(QueryKind kind, int64_t dq) const {
 
 StatusOr<QueryResult> SetIndex::RunPlan(const AccessPathChoice& plan,
                                         QueryKind kind,
-                                        const ElementSet& query) {
+                                        const ElementSet& query,
+                                        QueryTrace* trace) {
   const ParallelExecutionContext* ctx = execution_context();
   if (plan.facility == "ssf") {
-    return ExecuteSetQuery(ssf_.get(), *store_, kind, query, ctx);
+    return ExecuteSetQuery(ssf_.get(), *store_, kind, query, ctx, trace);
   }
   QueryKind ck = CandidateKind(kind);
   if (plan.facility == "nix") {
     if (plan.param > 0 && ck == QueryKind::kSuperset) {
       return ExecuteSmartSupersetNix(nix_.get(), *store_, query,
                                      static_cast<size_t>(plan.param), kind,
-                                     ctx);
+                                     ctx, trace);
     }
-    return ExecuteSetQuery(nix_.get(), *store_, kind, query, ctx);
+    return ExecuteSetQuery(nix_.get(), *store_, kind, query, ctx, trace);
   }
   // bssf
   if (plan.param > 0 && ck == QueryKind::kSuperset) {
     return ExecuteSmartSupersetBssf(bssf_.get(), *store_, query,
                                     static_cast<size_t>(plan.param), kind,
-                                    ctx);
+                                    ctx, trace);
   }
   if (plan.param > 0 && ck == QueryKind::kSubset) {
     return ExecuteSmartSubsetBssf(bssf_.get(), *store_, query,
-                                  static_cast<size_t>(plan.param), kind, ctx);
+                                  static_cast<size_t>(plan.param), kind, ctx,
+                                  trace);
   }
-  return ExecuteSetQuery(bssf_.get(), *store_, kind, query, ctx);
+  return ExecuteSetQuery(bssf_.get(), *store_, kind, query, ctx, trace);
 }
 
-StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,
-                                         const ElementSet& query,
-                                         PlanMode mode) {
+StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
+                                                 const ElementSet& query,
+                                                 PlanMode mode,
+                                                 QueryTrace* trace,
+                                                 AccessPathChoice* chosen) {
   ElementSet normalized = query;
   NormalizeSet(&normalized);
   if (normalized.empty()) {
@@ -331,16 +353,82 @@ StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,
       break;
     }
   }
+  if (chosen != nullptr) *chosen = plan;
+  if (trace != nullptr) {
+    trace->plan = plan.facility + " " + plan.strategy;
+    trace->kind = QueryKindName(kind);
+    trace->dq = static_cast<int64_t>(normalized.size());
+  }
 
+  TraceTimer timer;  // feeds the latency histogram (metrics, not tracing)
   IoStats before = storage_->TotalStats();
   SIGSET_ASSIGN_OR_RETURN(QueryResult result,
-                          RunPlan(plan, kind, normalized));
+                          RunPlan(plan, kind, normalized, trace));
   IoStats delta = storage_->TotalStats() - before;
+
+  // Registry bookkeeping: memory-only counter updates, no page I/O, so
+  // measured page-access counts are unaffected.
+  const std::string prefix = "query." + plan.facility;
+  metrics_->counter("query.count")->Increment();
+  metrics_->counter(prefix + ".count")->Increment();
+  metrics_->counter(prefix + ".candidates")->Increment(result.num_candidates);
+  metrics_->counter(prefix + ".false_drops")
+      ->Increment(result.num_false_drops);
+  metrics_->histogram("query.pages")->Record(delta.total());
+  metrics_->histogram("query.latency_us")
+      ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+  if (mode == PlanMode::kAuto) {
+    metrics_->gauge(prefix + ".predicted_pages")->Add(plan.cost_pages);
+  }
 
   SetIndexResult out;
   out.result = std::move(result);
   out.plan = plan.facility + " " + plan.strategy;
   out.page_accesses = delta.total();
+  return out;
+}
+
+StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,
+                                         const ElementSet& query,
+                                         PlanMode mode) {
+  return QueryInternal(kind, query, mode, nullptr, nullptr);
+}
+
+StatusOr<SetIndexExplainResult> SetIndex::Explain(QueryKind kind,
+                                                  const ElementSet& query,
+                                                  PlanMode mode) {
+  SetIndexExplainResult out;
+  AccessPathChoice plan;
+  SIGSET_ASSIGN_OR_RETURN(
+      out.result, QueryInternal(kind, query, mode, &out.trace, &plan));
+
+  // Attach the model's per-stage predictions for the executed plan, priced
+  // against the same live statistics the planner used.
+  DatabaseParams db = LiveDbParams();
+  SignatureParams sig{options_.sig.f, options_.sig.m};
+  NixParams nix;
+  nix.fanout = options_.nix_fanout;
+  int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (dt < 1) dt = 1;
+  CostBreakdown bd =
+      BreakdownForChoice(db, sig, nix, dt, out.trace.dq, kind, plan);
+  if (bd.total() > 0) {
+    out.trace.predicted_total = bd.total();
+    for (TraceSpan& stage : out.trace.mutable_stages()) {
+      if (stage.name == "candidate selection") {
+        stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
+        for (TraceSpan& child : stage.children) {
+          child.predicted_pages = child.name == "oid lookup"
+                                      ? bd.oid_lookup
+                                      : bd.candidate_selection;
+        }
+      } else if (stage.name == "resolution") {
+        stage.predicted_pages = bd.resolution;
+      }
+    }
+  }
+  out.text = RenderExplain(out.trace);
+  out.json = out.trace.ToJson();
   return out;
 }
 

@@ -23,6 +23,7 @@
 #include "model/params.h"
 #include "nix/nested_index.h"
 #include "obj/object_store.h"
+#include "obs/metrics.h"
 #include "query/advisor.h"
 #include "query/executor.h"
 #include "sig/bssf.h"
@@ -50,6 +51,18 @@ struct SetIndexResult {
   uint64_t page_accesses = 0;  // measured for this query
 };
 
+// A query answer plus its full per-stage trace, rendered two ways.  The
+// trace carries, for every executor stage, the measured page deltas AND the
+// cost model's predicted pages for exactly that stage (attached from
+// model/cost_breakdown.h), so EXPLAIN doubles as a live model-vs-measured
+// experiment.
+struct SetIndexExplainResult {
+  SetIndexResult result;
+  QueryTrace trace;
+  std::string text;  // plan-style tree (table_printer)
+  std::string json;  // trace.ToJson()
+};
+
 // End-to-end manager of one indexed set attribute.
 class SetIndex {
  public:
@@ -74,6 +87,15 @@ class SetIndex {
     // and false-drop resolution.  Results and logical page-access counts
     // are identical at any setting.
     size_t num_threads = 1;
+    // Registry receiving per-query counters and latency histograms (not
+    // owned; may be shared across indexes).  nullptr = the index owns a
+    // private registry, reachable via metrics().
+    MetricsRegistry* metrics = nullptr;
+    // Feed observed workload statistics (false-drop rate, buffer hit rate)
+    // from the registry back into kAuto planning.  Off by default: the
+    // pure-model plans keep page-access counts reproducible run to run,
+    // which the differential tests and paper benches rely on.
+    bool advisor_feedback = false;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name
@@ -109,6 +131,17 @@ class SetIndex {
   // based).  The result reports the chosen plan and measured page accesses.
   StatusOr<SetIndexResult> Query(QueryKind kind, const ElementSet& query,
                                  PlanMode mode = PlanMode::kAuto);
+
+  // EXPLAIN ANALYZE: runs the query exactly as Query() would — same plan,
+  // same page accesses — and additionally returns the per-stage trace with
+  // the model's per-stage predictions attached, rendered as a plan tree and
+  // as JSON.
+  StatusOr<SetIndexExplainResult> Explain(QueryKind kind,
+                                          const ElementSet& query,
+                                          PlanMode mode = PlanMode::kAuto);
+
+  // The registry this index reports into (configured or owned).
+  MetricsRegistry* metrics() const { return metrics_; }
 
   // Live statistics feeding the advisor.
   uint64_t num_objects() const { return store_->num_objects(); }
@@ -149,7 +182,15 @@ class SetIndex {
   StatusOr<AccessPathChoice> Plan(QueryKind kind, int64_t dq) const;
 
   StatusOr<QueryResult> RunPlan(const AccessPathChoice& plan, QueryKind kind,
-                                const ElementSet& query);
+                                const ElementSet& query,
+                                QueryTrace* trace = nullptr);
+
+  // Shared body of Query/Explain: plans, runs, records metrics; fills
+  // `trace` (optional) and `chosen` (optional) with the executed plan.
+  StatusOr<SetIndexResult> QueryInternal(QueryKind kind,
+                                         const ElementSet& query,
+                                         PlanMode mode, QueryTrace* trace,
+                                         AccessPathChoice* chosen);
 
   StorageManager* storage_;
   Options options_;
@@ -163,6 +204,8 @@ class SetIndex {
   std::unique_ptr<NestedIndex> nix_;
   uint64_t total_elements_ = 0;
   HyperLogLog domain_sketch_{12};
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_ = nullptr;
 };
 
 }  // namespace sigsetdb

@@ -1,0 +1,67 @@
+// Per-stage decomposition of the retrieval-cost formulas.
+//
+// The cost functions in cost_ssf.h / cost_bssf.h / cost_nix.h return the
+// total RC of a plan; the observability layer needs the same prediction
+// split the way the formulas are actually built — candidate selection
+// (signature scan, slice scan, or B-tree descents), OID-file look-up, and
+// false-drop resolution — so a QueryTrace can pair each measured executor
+// stage with the model's prediction for exactly that stage.
+//
+// Every breakdown's total() equals the corresponding cost function's value
+// (a property asserted by tests/query_trace_test.cc); the smart variants
+// take the strategy parameter (k elements used / s slices scanned) that the
+// advisor chose, mirroring how the smart cost optimizers price one point.
+
+#ifndef SIGSET_MODEL_COST_BREAKDOWN_H_
+#define SIGSET_MODEL_COST_BREAKDOWN_H_
+
+#include "model/params.h"
+#include "sig/facility.h"
+
+namespace sigsetdb {
+
+// One plan's predicted pages, stage by stage.
+struct CostBreakdown {
+  double candidate_selection = 0;  // signature/slice scan or rc·k descents
+  double oid_lookup = 0;           // LC_OID (0 for NIX — postings hold OIDs)
+  double resolution = 0;           // P_s·A + P_u·(failing candidates)
+  // Expected candidate-set composition behind `resolution`.
+  double expected_candidates = 0;
+  double expected_false_drops = 0;
+
+  double total() const {
+    return candidate_selection + oid_lookup + resolution;
+  }
+};
+
+// SSF, plain strategy (eq. 7).  `kind` must be kSuperset or kSubset (use
+// CandidateKind for the proper variants).
+CostBreakdown SsfBreakdown(const DatabaseParams& db,
+                           const SignatureParams& sig, int64_t dt, int64_t dq,
+                           QueryKind kind);
+
+// BSSF T ⊇ Q with the query signature built from `k` elements (k = dq is
+// the plain strategy; k < dq is §5.1.3 smart retrieval).
+CostBreakdown BssfSupersetBreakdown(const DatabaseParams& db,
+                                    const SignatureParams& sig, int64_t dt,
+                                    int64_t dq, int64_t k);
+
+// BSSF T ⊆ Q scanning `s` zero slices (s < 0 = all F − m_q zero slices,
+// the plain strategy; s >= 0 is §5.2.2 smart retrieval).
+CostBreakdown BssfSubsetBreakdown(const DatabaseParams& db,
+                                  const SignatureParams& sig, int64_t dt,
+                                  int64_t dq, int64_t s);
+
+// NIX T ⊇ Q intersecting `k` postings (k = dq plain, k < dq §5.1.3 smart).
+CostBreakdown NixSupersetBreakdown(const DatabaseParams& db,
+                                   const NixParams& nix, int64_t dt,
+                                   int64_t dq, int64_t k);
+
+// NIX T ⊆ Q (Appendix B).
+CostBreakdown NixSubsetBreakdown(const DatabaseParams& db,
+                                 const NixParams& nix, int64_t dt,
+                                 int64_t dq);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_BREAKDOWN_H_

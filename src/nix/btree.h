@@ -122,6 +122,9 @@ class BTree {
   // a lookup costs height()+1 = 3 page reads).
   uint32_t height() const { return height_; }
 
+  // The backing page file (for access-counter snapshots in query tracing).
+  const PageFile& file() const { return *file_; }
+
  private:
   BTree(PageFile* file, uint32_t max_fanout)
       : file_(file), max_fanout_(max_fanout) {}

@@ -50,6 +50,11 @@ class NestedIndex : public SetAccessFacility {
   // SC = lp + nlp.
   uint64_t StoragePages() const override { return tree_->total_pages(); }
 
+  // Tracing: the whole index is one file (descents + postings together).
+  std::vector<std::pair<std::string, IoStats>> StageStats() const override {
+    return {{"btree descent", tree_->file().stats()}};
+  }
+
   // Smart T ⊇ Q (paper §5.1.3): intersect the postings of only
   // min(use_elements, Dq) query elements; the result is exact only when all
   // elements were used.

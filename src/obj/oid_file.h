@@ -58,6 +58,9 @@ class OidFile {
   // Pages in the file (== ⌈num_entries/O_d⌉), the model's SC_OID.
   PageId num_pages() const { return file_->num_pages(); }
 
+  // Access counters of the backing file (for query tracing).
+  const IoStats& stats() const { return file_->stats(); }
+
  private:
   static constexpr uint64_t kDeleteFlag = uint64_t{1} << 63;
 

@@ -1,0 +1,56 @@
+#include "obs/explain.h"
+
+#include <sstream>
+
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+
+namespace {
+
+constexpr const char* kNone = "-";
+
+std::string CountCell(int64_t v) {
+  return v < 0 ? kNone : TablePrinter::Int(v);
+}
+
+void AddSpanRow(TablePrinter* table, const TraceSpan& span, int depth) {
+  std::string indent(static_cast<size_t>(depth) * 2, ' ');
+  table->AddRow({indent + span.name,
+                 TablePrinter::Int(static_cast<int64_t>(span.pages())),
+                 span.predicted_pages < 0.0
+                     ? kNone
+                     : TablePrinter::Num(span.predicted_pages),
+                 TablePrinter::Int(static_cast<int64_t>(span.page_reads)),
+                 TablePrinter::Int(static_cast<int64_t>(span.page_writes)),
+                 span.wall_ms > 0.0 ? TablePrinter::Num(span.wall_ms, 3)
+                                    : kNone,
+                 CountCell(span.candidates), CountCell(span.false_drops)});
+  for (const TraceSpan& child : span.children) {
+    AddSpanRow(table, child, depth + 1);
+  }
+}
+
+}  // namespace
+
+std::string RenderExplain(const QueryTrace& trace) {
+  std::ostringstream os;
+  os << "EXPLAIN " << trace.kind << " Dq=" << trace.dq
+     << " — plan: " << trace.plan << "\n";
+  TablePrinter table({"stage", "pages", "predicted", "reads", "writes",
+                      "wall_ms", "cand", "fdrops"});
+  for (const TraceSpan& span : trace.stages()) {
+    AddSpanRow(&table, span, 0);
+  }
+  TraceSpan total;
+  total.name = "total";
+  total.page_reads = trace.TotalReads();
+  total.page_writes = trace.TotalWrites();
+  total.wall_ms = trace.TotalWallMs();
+  total.predicted_pages = trace.predicted_total;
+  AddSpanRow(&table, total, 0);
+  table.Print(os);
+  return os.str();
+}
+
+}  // namespace sigsetdb

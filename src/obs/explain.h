@@ -1,0 +1,30 @@
+// EXPLAIN rendering: a QueryTrace as a plan-style tree with measured and
+// model-predicted page accesses side by side.
+//
+//   EXPLAIN superset Dq=2 — plan: bssf smart(k=2)
+//   stage           pages  predicted  reads  writes  wall_ms  cand  fdrops
+//   ------------------------------------------------------------------
+//   candidates          3        3.0      3       0     0.04    14       -
+//     slice scan        2          -      2       0        -     -       -
+//     oid lookup        1          -      1       0        -     -       -
+//   resolve            14       15.2     14       0     0.21    14      11
+//   total              17       18.2     17       0     0.25     -       -
+//
+// The text form goes through the same TablePrinter as the reproduced paper
+// figures; the JSON form is QueryTrace::ToJson().
+
+#ifndef SIGSET_OBS_EXPLAIN_H_
+#define SIGSET_OBS_EXPLAIN_H_
+
+#include <string>
+
+#include "obs/trace.h"
+
+namespace sigsetdb {
+
+// Renders the trace as the plan-style text tree shown above.
+std::string RenderExplain(const QueryTrace& trace);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_EXPLAIN_H_

@@ -1,0 +1,153 @@
+#include "obs/json.h"
+
+#include <cmath>
+#include <cstdio>
+
+namespace sigsetdb {
+
+void JsonWriter::BeforeValue() {
+  if (after_key_) {
+    after_key_ = false;
+    return;
+  }
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+}
+
+void JsonWriter::BeginObject() {
+  BeforeValue();
+  out_ += '{';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::EndObject() {
+  out_ += '}';
+  has_elements_.pop_back();
+}
+
+void JsonWriter::BeginArray() {
+  BeforeValue();
+  out_ += '[';
+  has_elements_.push_back(false);
+}
+
+void JsonWriter::EndArray() {
+  out_ += ']';
+  has_elements_.pop_back();
+}
+
+void JsonWriter::Key(const std::string& key) {
+  if (!has_elements_.empty()) {
+    if (has_elements_.back()) out_ += ',';
+    has_elements_.back() = true;
+  }
+  out_ += '"';
+  out_ += Escape(key);
+  out_ += "\":";
+  after_key_ = true;
+}
+
+void JsonWriter::String(const std::string& value) {
+  BeforeValue();
+  out_ += '"';
+  out_ += Escape(value);
+  out_ += '"';
+}
+
+void JsonWriter::Uint(uint64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Int(int64_t value) {
+  BeforeValue();
+  out_ += std::to_string(value);
+}
+
+void JsonWriter::Double(double value) {
+  BeforeValue();
+  if (!std::isfinite(value)) {
+    out_ += "null";
+    return;
+  }
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%.17g", value);
+  out_ += buf;
+}
+
+void JsonWriter::Bool(bool value) {
+  BeforeValue();
+  out_ += value ? "true" : "false";
+}
+
+void JsonWriter::Null() {
+  BeforeValue();
+  out_ += "null";
+}
+
+void JsonWriter::Field(const std::string& key, const std::string& value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, const char* value) {
+  Key(key);
+  String(value);
+}
+
+void JsonWriter::Field(const std::string& key, uint64_t value) {
+  Key(key);
+  Uint(value);
+}
+
+void JsonWriter::Field(const std::string& key, int64_t value) {
+  Key(key);
+  Int(value);
+}
+
+void JsonWriter::Field(const std::string& key, double value) {
+  Key(key);
+  Double(value);
+}
+
+void JsonWriter::Field(const std::string& key, bool value) {
+  Key(key);
+  Bool(value);
+}
+
+std::string JsonWriter::Escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size());
+  for (unsigned char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (c < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += static_cast<char>(c);
+        }
+    }
+  }
+  return out;
+}
+
+}  // namespace sigsetdb

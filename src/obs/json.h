@@ -1,0 +1,73 @@
+// Minimal JSON emitter shared by the observability exporters (metrics
+// snapshots, query traces, bench records).
+//
+// The writer is append-only and streaming: callers open objects/arrays,
+// emit keys and scalar values, and read the finished document from str().
+// Comma/colon placement is tracked internally, so call sites read like the
+// document they produce.  No external JSON dependency — the container image
+// is frozen, and the subset needed here (objects, arrays, strings, numbers,
+// booleans) is small enough to own.
+
+#ifndef SIGSET_OBS_JSON_H_
+#define SIGSET_OBS_JSON_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace sigsetdb {
+
+// Streaming JSON document builder.
+//
+//   JsonWriter w;
+//   w.BeginObject();
+//   w.Key("pages"); w.Uint(42);
+//   w.Key("stages"); w.BeginArray(); ... w.EndArray();
+//   w.EndObject();
+//   std::string doc = w.str();
+class JsonWriter {
+ public:
+  void BeginObject();
+  void EndObject();
+  void BeginArray();
+  void EndArray();
+
+  // Emits the member key inside an object; the next value call completes
+  // the member.
+  void Key(const std::string& key);
+
+  void String(const std::string& value);
+  void Uint(uint64_t value);
+  void Int(int64_t value);
+  // Finite doubles are printed with enough precision to round-trip; NaN and
+  // infinities (not representable in JSON) are emitted as null.
+  void Double(double value);
+  void Bool(bool value);
+  void Null();
+
+  // Convenience: Key + scalar in one call.
+  void Field(const std::string& key, const std::string& value);
+  void Field(const std::string& key, const char* value);
+  void Field(const std::string& key, uint64_t value);
+  void Field(const std::string& key, int64_t value);
+  void Field(const std::string& key, double value);
+  void Field(const std::string& key, bool value);
+
+  const std::string& str() const { return out_; }
+
+  // JSON string escaping (quotes, backslashes, control characters).
+  static std::string Escape(const std::string& s);
+
+ private:
+  // Emits the separator a new value needs at the current position.
+  void BeforeValue();
+
+  std::string out_;
+  // One entry per open container: true once it holds at least one element.
+  std::vector<bool> has_elements_;
+  bool after_key_ = false;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_JSON_H_

@@ -1,0 +1,146 @@
+#include "obs/metrics.h"
+
+#include <bit>
+#include <vector>
+
+#include "obs/json.h"
+
+namespace sigsetdb {
+
+size_t Histogram::BucketFor(uint64_t value) {
+  if (value == 0) return 0;
+  return static_cast<size_t>(64 - std::countl_zero(value));
+}
+
+uint64_t Histogram::BucketLowerBound(size_t i) {
+  if (i == 0) return 0;
+  return uint64_t{1} << (i - 1);
+}
+
+void Histogram::Record(uint64_t value) {
+  buckets_[BucketFor(value)].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::mean() const {
+  uint64_t n = count();
+  return n == 0 ? 0.0 : static_cast<double>(sum()) / static_cast<double>(n);
+}
+
+uint64_t Histogram::Percentile(double p) const {
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  uint64_t n = count();
+  if (n == 0) return 0;
+  // Rank of the requested quantile, 1-based.
+  uint64_t rank = static_cast<uint64_t>(p * static_cast<double>(n - 1)) + 1;
+  uint64_t seen = 0;
+  for (size_t i = 0; i < kNumBuckets; ++i) {
+    seen += bucket_count(i);
+    if (seen >= rank) {
+      // Upper bound of bucket i (its lower bound for the zero bucket).
+      return i == 0 ? 0 : (uint64_t{1} << i) - 1;
+    }
+  }
+  return BucketLowerBound(kNumBuckets - 1);
+}
+
+void Histogram::Reset() {
+  for (auto& b : buckets_) b.store(0, std::memory_order_relaxed);
+  count_.store(0, std::memory_order_relaxed);
+  sum_.store(0, std::memory_order_relaxed);
+}
+
+Counter* MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = counters_[name];
+  if (slot == nullptr) slot = std::make_unique<Counter>();
+  return slot.get();
+}
+
+Gauge* MetricsRegistry::gauge(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = gauges_[name];
+  if (slot == nullptr) slot = std::make_unique<Gauge>();
+  return slot.get();
+}
+
+Histogram* MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto& slot = histograms_[name];
+  if (slot == nullptr) slot = std::make_unique<Histogram>();
+  return slot.get();
+}
+
+uint64_t MetricsRegistry::CounterValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = counters_.find(name);
+  return it == counters_.end() ? 0 : it->second->value();
+}
+
+double MetricsRegistry::GaugeValue(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = gauges_.find(name);
+  return it == gauges_.end() ? 0.0 : it->second->value();
+}
+
+const Histogram* MetricsRegistry::FindHistogram(
+    const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  auto it = histograms_.find(name);
+  return it == histograms_.end() ? nullptr : it->second.get();
+}
+
+void MetricsRegistry::Reset() {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (auto& [name, c] : counters_) c->Reset();
+  for (auto& [name, g] : gauges_) g->Reset();
+  for (auto& [name, h] : histograms_) h->Reset();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  JsonWriter w;
+  w.BeginObject();
+  w.Key("counters");
+  w.BeginObject();
+  for (const auto& [name, c] : counters_) w.Field(name, c->value());
+  w.EndObject();
+  w.Key("gauges");
+  w.BeginObject();
+  for (const auto& [name, g] : gauges_) w.Field(name, g->value());
+  w.EndObject();
+  w.Key("histograms");
+  w.BeginObject();
+  for (const auto& [name, h] : histograms_) {
+    w.Key(name);
+    w.BeginObject();
+    w.Field("count", h->count());
+    w.Field("sum", h->sum());
+    w.Field("mean", h->mean());
+    w.Field("p50", h->Percentile(0.5));
+    w.Field("p99", h->Percentile(0.99));
+    w.EndObject();
+  }
+  w.EndObject();
+  w.EndObject();
+  return w.str();
+}
+
+void MetricsRegistry::Render(std::ostream& os) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  for (const auto& [name, c] : counters_) {
+    os << name << " = " << c->value() << "\n";
+  }
+  for (const auto& [name, g] : gauges_) {
+    os << name << " = " << g->value() << "\n";
+  }
+  for (const auto& [name, h] : histograms_) {
+    os << name << " = {count=" << h->count() << " mean=" << h->mean()
+       << " p50=" << h->Percentile(0.5) << " p99=" << h->Percentile(0.99)
+       << "}\n";
+  }
+}
+
+}  // namespace sigsetdb

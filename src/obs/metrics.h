@@ -1,0 +1,126 @@
+// MetricsRegistry: named counters, gauges, and log-scale latency histograms
+// for the whole database process.
+//
+// The paper denominates every result in page accesses; the registry is how
+// those accesses — and the latencies, cache hits, and drop counts around
+// them — become queryable at run time instead of only at bench-print time.
+//
+// Concurrency discipline mirrors IoStats: the *hot path* is lock-free.
+// Callers resolve a metric to a stable pointer once (registration takes a
+// mutex) and then increment relaxed atomics; parallel query workers follow
+// the same worker-local-then-merge pattern they already use for IoStats
+// (accumulate locally, Add() once on join).  Snapshot/export takes the
+// registration mutex only to walk the name maps — the values themselves are
+// relaxed loads, which is exact at any quiescent point.
+
+#ifndef SIGSET_OBS_METRICS_H_
+#define SIGSET_OBS_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <ostream>
+#include <string>
+
+namespace sigsetdb {
+
+// Monotonically increasing event count.
+class Counter {
+ public:
+  void Increment(uint64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  uint64_t value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<uint64_t> value_{0};
+};
+
+// Point-in-time double value (also used to accumulate fractional model
+// predictions, which Counter's integer domain cannot hold).
+class Gauge {
+ public:
+  void Set(double v) { value_.store(v, std::memory_order_relaxed); }
+  void Add(double v) { value_.fetch_add(v, std::memory_order_relaxed); }
+  double value() const { return value_.load(std::memory_order_relaxed); }
+  void Reset() { value_.store(0.0, std::memory_order_relaxed); }
+
+ private:
+  std::atomic<double> value_{0.0};
+};
+
+// Log-scale histogram of non-negative integer samples (microsecond
+// latencies, page counts).  Bucket 0 holds the value 0; bucket i >= 1 holds
+// [2^(i-1), 2^i).  Recording is one relaxed fetch_add per sample plus the
+// sum/count updates — no locks, no allocation.
+class Histogram {
+ public:
+  static constexpr size_t kNumBuckets = 65;
+
+  void Record(uint64_t value);
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  uint64_t sum() const { return sum_.load(std::memory_order_relaxed); }
+  double mean() const;
+
+  // Upper bound of the bucket containing the p-quantile (p in [0, 1]), an
+  // over-estimate by at most 2x — adequate for log-scale latency tracking.
+  uint64_t Percentile(double p) const;
+
+  uint64_t bucket_count(size_t i) const {
+    return buckets_[i].load(std::memory_order_relaxed);
+  }
+  // Smallest value landing in bucket i.
+  static uint64_t BucketLowerBound(size_t i);
+
+  void Reset();
+
+ private:
+  static size_t BucketFor(uint64_t value);
+
+  std::atomic<uint64_t> buckets_[kNumBuckets] = {};
+  std::atomic<uint64_t> count_{0};
+  std::atomic<uint64_t> sum_{0};
+};
+
+// Name -> metric registry.  Metric pointers are stable for the registry's
+// lifetime (values are heap-allocated and never moved), so callers may cache
+// them across queries.
+class MetricsRegistry {
+ public:
+  // Get-or-create.  A name registers at most one kind of metric; reusing a
+  // name across kinds returns distinct objects (the maps are per-kind), so
+  // pick distinct names by convention.
+  Counter* counter(const std::string& name);
+  Gauge* gauge(const std::string& name);
+  Histogram* histogram(const std::string& name);
+
+  // Read-only lookups; 0 / nullptr when the name was never registered.
+  uint64_t CounterValue(const std::string& name) const;
+  double GaugeValue(const std::string& name) const;
+  const Histogram* FindHistogram(const std::string& name) const;
+
+  // Zeroes every registered metric (names stay registered).
+  void Reset();
+
+  // Full snapshot as one JSON object:
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,
+  //    p99,max}}}
+  std::string ToJson() const;
+
+  // Human-readable dump (sorted by name) for shells and debugging.
+  void Render(std::ostream& os) const;
+
+ private:
+  mutable std::mutex mu_;
+  std::map<std::string, std::unique_ptr<Counter>> counters_;
+  std::map<std::string, std::unique_ptr<Gauge>> gauges_;
+  std::map<std::string, std::unique_ptr<Histogram>> histograms_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_METRICS_H_

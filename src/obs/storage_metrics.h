@@ -1,0 +1,41 @@
+// Export of storage-layer counters into a MetricsRegistry.
+//
+// PageFiles and buffer pools keep their own counters (IoStats, per-shard
+// hit/miss/eviction counts); this bridge snapshots them into the registry's
+// naming conventions so that metrics dumps, the JSON exporter, and the
+// advisor's live feedback all read one source:
+//
+//   io.<file>.reads / io.<file>.writes         per registered file
+//   buffer.hits / buffer.misses / buffer.evictions   totals over all cached
+//                                                    files
+//   buffer.<file>.hits|misses|evictions        per cached file
+//   buffer.<file>.shard<i>.hits|misses|evictions    per shard
+//
+// Registry counters are monotonic: each export raises them to the live
+// value (never lowers), so repeated exports are idempotent and deltas
+// between exports are meaningful.  The bridge lives in obs (not storage) to
+// keep the dependency arrow pointing one way: obs -> storage.
+
+#ifndef SIGSET_OBS_STORAGE_METRICS_H_
+#define SIGSET_OBS_STORAGE_METRICS_H_
+
+#include "obs/metrics.h"
+#include "storage/buffer_pool.h"
+#include "storage/storage_manager.h"
+
+namespace sigsetdb {
+
+// Snapshots one cached file's counters under `prefix` (e.g. "buffer.t.sig").
+void ExportBufferPoolMetrics(const CachedPageFile& pool,
+                             const std::string& prefix,
+                             MetricsRegistry* registry);
+
+// Snapshots every file registered in `storage`: per-file IoStats, and — for
+// files wrapped in a CachedPageFile (e.g. via the manager's interceptor) —
+// buffer-pool counters per file, per shard, and in total.
+void ExportStorageMetrics(const StorageManager& storage,
+                          MetricsRegistry* registry);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_STORAGE_METRICS_H_

@@ -1,0 +1,99 @@
+#include "obs/trace.h"
+
+#include "obs/json.h"
+
+namespace sigsetdb {
+
+namespace {
+
+void WriteSpan(JsonWriter* w, const TraceSpan& span) {
+  w->BeginObject();
+  w->Field("name", span.name);
+  w->Field("page_reads", span.page_reads);
+  w->Field("page_writes", span.page_writes);
+  w->Field("pages", span.pages());
+  if (span.wall_ms > 0.0) w->Field("wall_ms", span.wall_ms);
+  if (span.predicted_pages >= 0.0) {
+    w->Field("predicted_pages", span.predicted_pages);
+  }
+  if (span.candidates >= 0) w->Field("candidates", span.candidates);
+  if (span.false_drops >= 0) w->Field("false_drops", span.false_drops);
+  if (!span.children.empty()) {
+    w->Key("children");
+    w->BeginArray();
+    for (const TraceSpan& child : span.children) WriteSpan(w, child);
+    w->EndArray();
+  }
+  w->EndObject();
+}
+
+}  // namespace
+
+TraceSpan* TraceSpan::FindChild(const std::string& child_name) {
+  for (TraceSpan& child : children) {
+    if (child.name == child_name) return &child;
+  }
+  return nullptr;
+}
+
+TraceSpan* QueryTrace::AddStage(std::string name) {
+  stages_.emplace_back();
+  stages_.back().name = std::move(name);
+  return &stages_.back();
+}
+
+TraceSpan* AddSnapshotStage(QueryTrace* trace, std::string name,
+                            const IoSnapshots& before,
+                            const IoSnapshots& after) {
+  TraceSpan* span = trace->AddStage(std::move(name));
+  for (size_t i = 0; i < after.size() && i < before.size(); ++i) {
+    const IoStats delta = after[i].second - before[i].second;
+    TraceSpan child;
+    child.name = after[i].first;
+    child.page_reads = delta.reads();
+    child.page_writes = delta.writes();
+    span->page_reads += delta.reads();
+    span->page_writes += delta.writes();
+    span->children.push_back(std::move(child));
+  }
+  return span;
+}
+
+uint64_t QueryTrace::TotalReads() const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : stages_) total += s.page_reads;
+  return total;
+}
+
+uint64_t QueryTrace::TotalWrites() const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : stages_) total += s.page_writes;
+  return total;
+}
+
+double QueryTrace::TotalWallMs() const {
+  double total = 0;
+  for (const TraceSpan& s : stages_) total += s.wall_ms;
+  return total;
+}
+
+std::string QueryTrace::ToJson() const {
+  JsonWriter w;
+  w.BeginObject();
+  w.Field("plan", plan);
+  w.Field("kind", kind);
+  w.Field("dq", dq);
+  w.Field("measured_reads", TotalReads());
+  w.Field("measured_writes", TotalWrites());
+  w.Field("measured_pages", TotalPages());
+  if (predicted_total >= 0.0) w.Field("predicted_total", predicted_total);
+  w.Field("wall_ms", TotalWallMs());
+  w.Key("stages");
+  w.BeginArray();
+  for (const TraceSpan& s : stages_) WriteSpan(&w, s);
+  w.EndArray();
+  w.EndObject();
+  return w.str();
+}
+
+}  // namespace sigsetdb

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "model/cost_breakdown.h"
 #include "model/cost_bssf.h"
 #include "model/cost_nix.h"
 #include "model/cost_ext.h"
@@ -66,6 +67,87 @@ StatusOr<std::vector<AccessPathChoice>> AdviseAccessPaths(
       double cost = BssfSmartSubsetCost(db, sig, dt, dq, &s);
       choices.push_back(
           {"bssf", "smart(s=" + std::to_string(s) + ")", cost, s});
+    }
+  }
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const AccessPathChoice& a, const AccessPathChoice& b) {
+                     return a.cost_pages < b.cost_pages;
+                   });
+  return choices;
+}
+
+AdvisorFeedback AdvisorFeedback::FromRegistry(const MetricsRegistry& registry) {
+  AdvisorFeedback fb;
+  uint64_t candidates = 0, false_drops = 0;
+  for (const char* facility : {"ssf", "bssf", "nix"}) {
+    const std::string prefix = std::string("query.") + facility;
+    candidates += registry.CounterValue(prefix + ".candidates");
+    false_drops += registry.CounterValue(prefix + ".false_drops");
+  }
+  if (candidates > 0) {
+    fb.false_drop_rate =
+        static_cast<double>(false_drops) / static_cast<double>(candidates);
+  }
+  const uint64_t hits = registry.CounterValue("buffer.hits");
+  const uint64_t misses = registry.CounterValue("buffer.misses");
+  if (hits + misses > 0) {
+    fb.buffer_hit_rate =
+        static_cast<double>(hits) / static_cast<double>(hits + misses);
+  }
+  return fb;
+}
+
+CostBreakdown BreakdownForChoice(const DatabaseParams& db,
+                                 const SignatureParams& sig,
+                                 const NixParams& nix, int64_t dt, int64_t dq,
+                                 QueryKind kind,
+                                 const AccessPathChoice& choice) {
+  kind = CandidateKind(kind);
+  if (kind != QueryKind::kSuperset && kind != QueryKind::kSubset) return {};
+  const bool superset = kind == QueryKind::kSuperset;
+  const bool smart = choice.strategy.rfind("smart", 0) == 0;
+  if (choice.facility == "ssf") return SsfBreakdown(db, sig, dt, dq, kind);
+  if (choice.facility == "bssf") {
+    if (superset) {
+      return BssfSupersetBreakdown(db, sig, dt, dq, smart ? choice.param : dq);
+    }
+    return BssfSubsetBreakdown(db, sig, dt, dq, smart ? choice.param : -1);
+  }
+  if (superset) {
+    return NixSupersetBreakdown(db, nix, dt, dq, smart ? choice.param : dq);
+  }
+  return NixSubsetBreakdown(db, nix, dt, dq);
+}
+
+StatusOr<std::vector<AccessPathChoice>> AdviseAccessPaths(
+    const DatabaseParams& db, const SignatureParams& sig,
+    const NixParams& nix, int64_t dt, int64_t dq, QueryKind kind,
+    bool allow_smart, const AdvisorFeedback& feedback) {
+  kind = CandidateKind(kind);
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<AccessPathChoice> choices,
+      AdviseAccessPaths(db, sig, nix, dt, dq, kind, allow_smart));
+  if (feedback.empty()) return choices;
+
+  for (AccessPathChoice& choice : choices) {
+    if (feedback.false_drop_rate >= 0) {
+      const CostBreakdown bd =
+          BreakdownForChoice(db, sig, nix, dt, dq, kind, choice);
+      // Exact candidate sets (expected_false_drops == 0) cannot false-drop
+      // regardless of the workload; only inexact filters are re-priced.
+      if (bd.expected_false_drops > 0) {
+        const double r = std::min(feedback.false_drop_rate, 0.99);
+        const double answers =
+            bd.expected_candidates - bd.expected_false_drops;
+        const double observed_candidates = answers / (1.0 - r);
+        // Surplus candidates fail resolution: one unqualifying fetch each.
+        choice.cost_pages +=
+            db.p_u * (observed_candidates - bd.expected_candidates);
+      }
+    }
+    if (feedback.buffer_hit_rate >= 0) {
+      choice.cost_pages *=
+          1.0 - std::min(std::max(feedback.buffer_hit_rate, 0.0), 1.0);
     }
   }
   std::stable_sort(choices.begin(), choices.end(),

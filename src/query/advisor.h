@@ -12,7 +12,9 @@
 #include <string>
 #include <vector>
 
+#include "model/cost_breakdown.h"
 #include "model/params.h"
+#include "obs/metrics.h"
 #include "sig/facility.h"
 
 namespace sigsetdb {
@@ -42,6 +44,51 @@ StatusOr<AccessPathChoice> BestAccessPath(const DatabaseParams& db,
                                           const NixParams& nix, int64_t dt,
                                           int64_t dq, QueryKind kind,
                                           bool allow_smart);
+
+// Live workload feedback for the advisor.  The pure model assumes the
+// paper's uniform-random sets; real workloads can false-drop far more (or
+// less) often and run against a warm buffer pool.  Feedback folds what the
+// MetricsRegistry has actually observed back into the cost comparison.
+struct AdvisorFeedback {
+  // Observed false drops per candidate across resolved queries
+  // (false_drops / candidates); < 0 = no observations, trust the model.
+  double false_drop_rate = -1.0;
+  // Observed buffer-pool hit rate (hits / (hits + misses)); < 0 = none.
+  double buffer_hit_rate = -1.0;
+
+  bool empty() const { return false_drop_rate < 0 && buffer_hit_rate < 0; }
+
+  // Reads the registry conventions maintained by SetIndex::Query and the
+  // buffer pool's metrics export: counters query.<facility>.candidates and
+  // query.<facility>.false_drops (summed over ssf/bssf/nix), and
+  // buffer.hits / buffer.misses.
+  static AdvisorFeedback FromRegistry(const MetricsRegistry& registry);
+};
+
+// Feedback-adjusted advice.  Costs start from AdviseAccessPaths and are
+// corrected per choice:
+//   - false-drop rate: an inexact filter delivering the same answers at
+//     observed rate r needs answers/(1-r) candidates; the surplus (or
+//     shortfall) versus the model's expectation is charged at P_u per
+//     candidate.  Exact paths (plain NIX T ⊇ Q) are never adjusted, so a
+//     workload that false-drops heavily shifts the recommendation toward
+//     them.
+//   - buffer hit rate: every cost is discounted by (1 - hit rate), turning
+//     logical page accesses into expected physical reads.
+StatusOr<std::vector<AccessPathChoice>> AdviseAccessPaths(
+    const DatabaseParams& db, const SignatureParams& sig,
+    const NixParams& nix, int64_t dt, int64_t dq, QueryKind kind,
+    bool allow_smart, const AdvisorFeedback& feedback);
+
+// The modeled per-stage decomposition of one advised choice, matching the
+// total the advisor priced it at.  The §6-extension kinds (equals, overlap)
+// have no decomposition and return an all-zero breakdown; callers treat
+// total() == 0 as "no prediction".
+CostBreakdown BreakdownForChoice(const DatabaseParams& db,
+                                 const SignatureParams& sig,
+                                 const NixParams& nix, int64_t dt, int64_t dq,
+                                 QueryKind kind,
+                                 const AccessPathChoice& choice);
 
 }  // namespace sigsetdb
 

@@ -27,6 +27,20 @@ bool Satisfies(const StoredObject& obj, QueryKind kind,
 
 // Resolves candidates[begin..end), charging page reads to `io`.  Appends
 // kept OIDs to `kept` in candidate order.
+using FileSnapshots = IoSnapshots;
+
+// Appends the "candidate selection" span covering the facility I/O between
+// `before` (a StageStats() value snapshot) and `after` — one child per
+// facility file.  Pure counter arithmetic; no I/O of its own.
+void AddCandidateStage(QueryTrace* trace, const FileSnapshots& before,
+                       const FileSnapshots& after, double wall_ms,
+                       uint64_t num_candidates) {
+  TraceSpan* span =
+      AddSnapshotStage(trace, "candidate selection", before, after);
+  span->wall_ms = wall_ms;
+  span->candidates = static_cast<int64_t>(num_candidates);
+}
+
 Status ResolveRange(const CandidateResult& candidates,
                     const ObjectStore& store, QueryKind kind,
                     const ElementSet& query, size_t begin, size_t end,
@@ -56,7 +70,14 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
                                         const ObjectStore& store,
                                         QueryKind kind,
                                         const ElementSet& query,
-                                        const ParallelExecutionContext* ctx) {
+                                        const ParallelExecutionContext* ctx,
+                                        QueryTrace* trace) {
+  // Tracing snapshots the store's counters around the stage; on the
+  // parallel path worker-local stats merge into store.stats() before the
+  // final snapshot, so the delta is exact in both modes.
+  IoStats before;
+  TraceTimer timer(trace != nullptr);
+  if (trace != nullptr) before = store.stats();
   QueryResult result;
   result.num_candidates = candidates.oids.size();
   const size_t n = candidates.oids.size();
@@ -66,6 +87,15 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
     SIGSET_RETURN_IF_ERROR(ResolveRange(candidates, store, kind, query, 0, n,
                                         &store.stats(), &result.oids,
                                         &result.num_false_drops));
+    if (trace != nullptr) {
+      const IoStats delta = store.stats() - before;
+      TraceSpan* span = trace->AddStage("resolution");
+      span->page_reads = delta.reads();
+      span->page_writes = delta.writes();
+      span->wall_ms = timer.ElapsedMs();
+      span->candidates = static_cast<int64_t>(result.num_candidates);
+      span->false_drops = static_cast<int64_t>(result.num_false_drops);
+    }
     return result;
   }
 
@@ -102,13 +132,26 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
     result.oids.insert(result.oids.end(), ws.kept.begin(), ws.kept.end());
     result.num_false_drops += ws.false_drops;
   }
+  if (trace != nullptr) {
+    const IoStats delta = store.stats() - before;
+    TraceSpan* span = trace->AddStage("resolution");
+    span->page_reads = delta.reads();
+    span->page_writes = delta.writes();
+    span->wall_ms = timer.ElapsedMs();
+    span->candidates = static_cast<int64_t>(result.num_candidates);
+    span->false_drops = static_cast<int64_t>(result.num_false_drops);
+  }
   return result;
 }
 
 StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
                                       const ObjectStore& store,
                                       QueryKind kind, const ElementSet& query,
-                                      const ParallelExecutionContext* ctx) {
+                                      const ParallelExecutionContext* ctx,
+                                      QueryTrace* trace) {
+  FileSnapshots before;
+  TraceTimer timer(trace != nullptr);
+  if (trace != nullptr) before = facility->StageStats();
   // Proper inclusion (⊋/⊊, paper §1's second sample query) reuses the
   // non-strict candidate sets; the strictness check happens at resolution,
   // where the stored cardinality is known.
@@ -116,52 +159,77 @@ StatusOr<QueryResult> ExecuteSetQuery(SetAccessFacility* facility,
       CandidateResult candidates,
       facility->Candidates(CandidateKind(kind), query, ctx));
   if (kind != CandidateKind(kind)) candidates.exact = false;
-  return ResolveCandidates(candidates, store, kind, query, ctx);
+  if (trace != nullptr) {
+    AddCandidateStage(trace, before, facility->StageStats(),
+                      timer.ElapsedMs(), candidates.oids.size());
+  }
+  return ResolveCandidates(candidates, store, kind, query, ctx, trace);
 }
 
 StatusOr<QueryResult> ExecuteSmartSupersetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t use_elements, QueryKind kind,
-    const ParallelExecutionContext* ctx) {
+    const ParallelExecutionContext* ctx, QueryTrace* trace) {
   if (CandidateKind(kind) != QueryKind::kSuperset) {
     return Status::InvalidArgument("kind must be a superset variant");
   }
+  FileSnapshots before;
+  TraceTimer timer(trace != nullptr);
+  if (trace != nullptr) before = bssf->StageStats();
   BitVector query_sig =
       MakePartialQuerySignature(query, use_elements, bssf->config());
   SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
                           bssf->SupersetCandidateSlots(query_sig, ctx));
   CandidateResult candidates;
   SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
-  return ResolveCandidates(candidates, store, kind, query, ctx);
+  if (trace != nullptr) {
+    AddCandidateStage(trace, before, bssf->StageStats(), timer.ElapsedMs(),
+                      candidates.oids.size());
+  }
+  return ResolveCandidates(candidates, store, kind, query, ctx, trace);
 }
 
 StatusOr<QueryResult> ExecuteSmartSubsetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t max_slices, QueryKind kind,
-    const ParallelExecutionContext* ctx) {
+    const ParallelExecutionContext* ctx, QueryTrace* trace) {
   if (CandidateKind(kind) != QueryKind::kSubset) {
     return Status::InvalidArgument("kind must be a subset variant");
   }
+  FileSnapshots before;
+  TraceTimer timer(trace != nullptr);
+  if (trace != nullptr) before = bssf->StageStats();
   BitVector query_sig = MakeSetSignature(query, bssf->config());
   SIGSET_ASSIGN_OR_RETURN(
       std::vector<uint64_t> slots,
       bssf->SubsetCandidateSlots(query_sig, max_slices, ctx));
   CandidateResult candidates;
   SIGSET_ASSIGN_OR_RETURN(candidates.oids, bssf->ResolveSlots(slots));
-  return ResolveCandidates(candidates, store, kind, query, ctx);
+  if (trace != nullptr) {
+    AddCandidateStage(trace, before, bssf->StageStats(), timer.ElapsedMs(),
+                      candidates.oids.size());
+  }
+  return ResolveCandidates(candidates, store, kind, query, ctx, trace);
 }
 
 StatusOr<QueryResult> ExecuteSmartSupersetNix(
     NestedIndex* nix, const ObjectStore& store, const ElementSet& query,
     size_t use_elements, QueryKind kind,
-    const ParallelExecutionContext* ctx) {
+    const ParallelExecutionContext* ctx, QueryTrace* trace) {
   if (CandidateKind(kind) != QueryKind::kSuperset) {
     return Status::InvalidArgument("kind must be a superset variant");
   }
+  FileSnapshots before;
+  TraceTimer timer(trace != nullptr);
+  if (trace != nullptr) before = nix->StageStats();
   SIGSET_ASSIGN_OR_RETURN(CandidateResult candidates,
                           nix->CandidatesSmartSuperset(query, use_elements));
   if (kind != QueryKind::kSuperset) candidates.exact = false;
-  return ResolveCandidates(candidates, store, kind, query, ctx);
+  if (trace != nullptr) {
+    AddCandidateStage(trace, before, nix->StageStats(), timer.ElapsedMs(),
+                      candidates.oids.size());
+  }
+  return ResolveCandidates(candidates, store, kind, query, ctx, trace);
 }
 
 }  // namespace sigsetdb

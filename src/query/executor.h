@@ -20,6 +20,7 @@
 
 #include "nix/nested_index.h"
 #include "obj/object_store.h"
+#include "obs/trace.h"
 #include "sig/bssf.h"
 #include "sig/facility.h"
 #include "util/thread_pool.h"
@@ -35,9 +36,16 @@ struct QueryResult {
 
 // Runs `kind` with `query` through `facility`, then resolves candidates
 // against `store`.  `query` must be normalized (sorted unique).
+//
+// All entry points accept an optional `trace`.  When non-null, per-stage
+// spans (candidate selection with per-file children, resolution) are
+// appended to it.  Tracing only snapshots counters already maintained by
+// the files — it performs no I/O of its own, so the page-access totals are
+// identical with tracing on or off (enforced by query_trace_test).
 StatusOr<QueryResult> ExecuteSetQuery(
     SetAccessFacility* facility, const ObjectStore& store, QueryKind kind,
-    const ElementSet& query, const ParallelExecutionContext* ctx = nullptr);
+    const ElementSet& query, const ParallelExecutionContext* ctx = nullptr,
+    QueryTrace* trace = nullptr);
 
 // Smart T ⊇ Q on BSSF (paper §5.1.3): build the query signature from only
 // `use_elements` query elements; resolution enforces the full predicate.
@@ -46,7 +54,8 @@ StatusOr<QueryResult> ExecuteSmartSupersetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t use_elements,
     QueryKind kind = QueryKind::kSuperset,
-    const ParallelExecutionContext* ctx = nullptr);
+    const ParallelExecutionContext* ctx = nullptr,
+    QueryTrace* trace = nullptr);
 
 // Smart T ⊆ Q on BSSF (paper §5.2.2): scan at most `max_slices` of the
 // query signature's zero slices.  `kind` may also be kProperSubset.
@@ -54,7 +63,8 @@ StatusOr<QueryResult> ExecuteSmartSubsetBssf(
     BitSlicedSignatureFile* bssf, const ObjectStore& store,
     const ElementSet& query, size_t max_slices,
     QueryKind kind = QueryKind::kSubset,
-    const ParallelExecutionContext* ctx = nullptr);
+    const ParallelExecutionContext* ctx = nullptr,
+    QueryTrace* trace = nullptr);
 
 // Smart T ⊇ Q on NIX (paper §5.1.3): intersect the postings of only
 // `use_elements` query elements.  `kind` may also be kProperSuperset.
@@ -62,7 +72,8 @@ StatusOr<QueryResult> ExecuteSmartSubsetBssf(
 StatusOr<QueryResult> ExecuteSmartSupersetNix(
     NestedIndex* nix, const ObjectStore& store, const ElementSet& query,
     size_t use_elements, QueryKind kind = QueryKind::kSuperset,
-    const ParallelExecutionContext* ctx = nullptr);
+    const ParallelExecutionContext* ctx = nullptr,
+    QueryTrace* trace = nullptr);
 
 // The resolution step alone: fetches each candidate from `store`, keeps
 // those satisfying (`kind`, `query`).  Exposed for the smart strategies and
@@ -74,7 +85,8 @@ StatusOr<QueryResult> ExecuteSmartSupersetNix(
 StatusOr<QueryResult> ResolveCandidates(
     const CandidateResult& candidates, const ObjectStore& store,
     QueryKind kind, const ElementSet& query,
-    const ParallelExecutionContext* ctx = nullptr);
+    const ParallelExecutionContext* ctx = nullptr,
+    QueryTrace* trace = nullptr);
 
 }  // namespace sigsetdb
 

@@ -76,6 +76,12 @@ class BitSlicedSignatureFile : public SetAccessFacility {
       const ParallelExecutionContext* ctx) override;
   uint64_t StoragePages() const override;
 
+  // Tracing: {"slice scan", slice-file stats}, {"oid lookup", oid stats}.
+  std::vector<std::pair<std::string, IoStats>> StageStats() const override {
+    return {{"slice scan", slice_file_->stats()},
+            {"oid lookup", oid_file_.stats()}};
+  }
+
   // Bulk-builds the slice store from the full database (one pass over the
   // sets, one write per slice page) — the experiment-setup path used by the
   // paper-scale benchmarks.  Requires an empty facility; `sets[i]` is the

@@ -11,10 +11,12 @@
 
 #include <cstdint>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "obj/object.h"
 #include "obj/oid.h"
+#include "storage/io_stats.h"
 #include "util/status.h"
 #include "util/thread_pool.h"
 
@@ -79,6 +81,16 @@ class SetAccessFacility {
   // Pages occupied by the facility's files (the paper's storage cost SC,
   // excluding the object file).
   virtual uint64_t StoragePages() const = 0;
+
+  // Stage-labelled snapshots of the facility's per-file access counters,
+  // e.g. {"slice scan", <slice-file stats>}, {"oid lookup", <oid-file
+  // stats>}.  Query tracing diffs two snapshots around candidate selection
+  // to attribute the stage's page accesses to the facility's files; the
+  // snapshots are value copies, so taking them performs no page I/O.  The
+  // default (no breakdown) keeps tracing usable with any facility.
+  virtual std::vector<std::pair<std::string, IoStats>> StageStats() const {
+    return {};
+  }
 };
 
 }  // namespace sigsetdb

@@ -52,6 +52,12 @@ class SequentialSignatureFile : public SetAccessFacility {
   // SC = SC_SIG + SC_OID.
   uint64_t StoragePages() const override;
 
+  // Tracing: {"signature scan", sig-file stats}, {"oid lookup", oid stats}.
+  std::vector<std::pair<std::string, IoStats>> StageStats() const override {
+    return {{"signature scan", signature_file_->stats()},
+            {"oid lookup", oid_file_.stats()}};
+  }
+
   // --- lower-level API used by tests and the smart strategies ---
 
   // Scans the signature file and returns the slots whose signature satisfies

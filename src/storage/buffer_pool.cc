@@ -98,9 +98,24 @@ void CachedPageFile::InsertFrame(Shard& shard, PageId id, const Page& page) {
   if (shard.lru.size() >= shard.capacity) {
     shard.index.erase(shard.lru.back().id);
     shard.lru.pop_back();
+    ++shard.evictions;
   }
   shard.lru.push_front(Frame{id, page});
   shard.index[id] = shard.lru.begin();
+}
+
+uint64_t CachedPageFile::evictions() const {
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += shard->evictions;
+  }
+  return total;
+}
+
+uint64_t CachedPageFile::shard_evictions(size_t shard) const {
+  std::lock_guard<std::mutex> lock(shards_[shard]->mu);
+  return shards_[shard]->evictions;
 }
 
 }  // namespace sigsetdb

@@ -59,11 +59,13 @@ class CachedPageFile : public PageFile {
   // Aggregates over all shards.
   uint64_t hits() const;
   uint64_t misses() const;
+  uint64_t evictions() const;
 
   // Per-shard counters (for the shard-consistency invariant checks).
   size_t num_shards() const { return shards_.size(); }
   uint64_t shard_hits(size_t shard) const;
   uint64_t shard_misses(size_t shard) const;
+  uint64_t shard_evictions(size_t shard) const;
 
   // Drops all cached pages (counters are kept).
   void Invalidate();
@@ -79,6 +81,7 @@ class CachedPageFile : public PageFile {
     size_t capacity = 0;
     uint64_t hits = 0;
     uint64_t misses = 0;
+    uint64_t evictions = 0;
     std::list<Frame> lru;
     std::unordered_map<PageId, std::list<Frame>::iterator> index;
   };

@@ -57,8 +57,13 @@ struct IoStats {
     page_writes.store(0, std::memory_order_relaxed);
   }
 
+  // Snapshot delta.  Saturates at zero: a delta taken across a Reset(), or
+  // between snapshots captured while concurrent increments were in flight,
+  // must never underflow into an astronomically large page count.
   IoStats operator-(const IoStats& other) const {
-    return IoStats{reads() - other.reads(), writes() - other.writes()};
+    const uint64_t r = reads(), w = writes();
+    const uint64_t or_ = other.reads(), ow = other.writes();
+    return IoStats{r >= or_ ? r - or_ : 0, w >= ow ? w - ow : 0};
   }
   IoStats& operator+=(const IoStats& other) {
     page_reads.fetch_add(other.reads(), std::memory_order_relaxed);

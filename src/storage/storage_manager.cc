@@ -71,6 +71,11 @@ IoStats StorageManager::TotalStats() const {
   return total;
 }
 
+void StorageManager::ForEachFile(
+    const std::function<void(const PageFile&)>& fn) const {
+  for (const auto& [name, file] : files_) fn(*file);
+}
+
 void StorageManager::ResetStats() {
   for (auto& [name, file] : files_) file->stats().Reset();
 }

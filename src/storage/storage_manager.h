@@ -71,6 +71,9 @@ class StorageManager {
   // Sum of access counters over all files.
   IoStats TotalStats() const;
 
+  // Visits every registered file in name order (counter export, audits).
+  void ForEachFile(const std::function<void(const PageFile&)>& fn) const;
+
   // Zeroes every file's counters.
   void ResetStats();
 

@@ -1,0 +1,193 @@
+// Advisor feedback: observed workload statistics from the MetricsRegistry
+// (false-drop rate, buffer hit rate) fold back into the cost-based plan
+// ranking.  The paper's model assumes uniform-random sets; a workload that
+// false-drops far more often should shift the recommendation toward exact
+// paths (plain NIX for T ⊇ Q), which is precisely what these tests pin.
+
+#include "query/advisor.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <memory>
+#include <vector>
+
+#include "db/set_index.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+namespace {
+
+const AccessPathChoice* Find(const std::vector<AccessPathChoice>& choices,
+                             const std::string& facility,
+                             const std::string& strategy) {
+  for (const AccessPathChoice& c : choices) {
+    if (c.facility == facility && c.strategy == strategy) return &c;
+  }
+  return nullptr;
+}
+
+TEST(AdvisorFeedbackTest, FromRegistryEmptyWhenNothingObserved) {
+  MetricsRegistry registry;
+  AdvisorFeedback feedback = AdvisorFeedback::FromRegistry(registry);
+  EXPECT_TRUE(feedback.empty());
+  EXPECT_LT(feedback.false_drop_rate, 0.0);
+  EXPECT_LT(feedback.buffer_hit_rate, 0.0);
+}
+
+TEST(AdvisorFeedbackTest, FromRegistryReadsConventionNames) {
+  MetricsRegistry registry;
+  registry.counter("query.bssf.candidates")->Increment(80);
+  registry.counter("query.bssf.false_drops")->Increment(30);
+  registry.counter("query.ssf.candidates")->Increment(20);
+  registry.counter("query.ssf.false_drops")->Increment(20);
+  registry.counter("buffer.hits")->Increment(75);
+  registry.counter("buffer.misses")->Increment(25);
+  AdvisorFeedback feedback = AdvisorFeedback::FromRegistry(registry);
+  EXPECT_DOUBLE_EQ(feedback.false_drop_rate, 0.5);  // 50 / 100
+  EXPECT_DOUBLE_EQ(feedback.buffer_hit_rate, 0.75);
+}
+
+TEST(AdvisorFeedbackTest, EmptyFeedbackLeavesCostsUnchanged) {
+  const DatabaseParams db;
+  const SignatureParams sig{500, 2};
+  const NixParams nix;
+  auto base = AdviseAccessPaths(db, sig, nix, 10, 3, QueryKind::kSuperset,
+                                true);
+  ASSERT_TRUE(base.ok());
+  auto adjusted = AdviseAccessPaths(db, sig, nix, 10, 3, QueryKind::kSuperset,
+                                    true, AdvisorFeedback{});
+  ASSERT_TRUE(adjusted.ok());
+  ASSERT_EQ(adjusted->size(), base->size());
+  for (size_t i = 0; i < base->size(); ++i) {
+    EXPECT_EQ((*adjusted)[i].facility, (*base)[i].facility);
+    EXPECT_DOUBLE_EQ((*adjusted)[i].cost_pages, (*base)[i].cost_pages);
+  }
+}
+
+TEST(AdvisorFeedbackTest, HighFalseDropRateShiftsToExactNix) {
+  // Small-domain regime (V=200, N=400, Dt=6, Dq=2): here the model expects
+  // signature candidates to be mostly true answers, so signature paths win
+  // on pure model cost.  (Under the paper's Table-2 defaults nearly every
+  // search is unsuccessful — the model already prices candidates as ~all
+  // false drops, and an observed rate cannot make that any worse.)
+  DatabaseParams db;
+  db.n = 400;
+  db.v = 200;
+  const SignatureParams sig{128, 2};
+  const NixParams nix;
+  auto base = AdviseAccessPaths(db, sig, nix, 6, 2, QueryKind::kSuperset,
+                                true);
+  ASSERT_TRUE(base.ok());
+  EXPECT_EQ(base->front().facility, "ssf");
+
+  // A workload observed to false-drop on 99% of candidates: every inexact
+  // filter needs ~100x the candidates for the same answers; plain NIX is
+  // exact for T ⊇ Q and keeps its model cost, so it takes the lead.
+  AdvisorFeedback feedback;
+  feedback.false_drop_rate = 0.99;
+  auto adjusted = AdviseAccessPaths(db, sig, nix, 6, 2, QueryKind::kSuperset,
+                                    true, feedback);
+  ASSERT_TRUE(adjusted.ok());
+  EXPECT_EQ(adjusted->front().facility, "nix");
+  EXPECT_EQ(adjusted->front().strategy, "plain");
+  const AccessPathChoice* nix_plain = Find(*adjusted, "nix", "plain");
+  const AccessPathChoice* nix_base = Find(*base, "nix", "plain");
+  ASSERT_NE(nix_plain, nullptr);
+  ASSERT_NE(nix_base, nullptr);
+  EXPECT_DOUBLE_EQ(nix_plain->cost_pages, nix_base->cost_pages);
+  // Inexact signature paths got strictly more expensive.
+  for (const char* facility : {"ssf", "bssf"}) {
+    const AccessPathChoice* b = Find(*base, facility, "plain");
+    const AccessPathChoice* a = Find(*adjusted, facility, "plain");
+    ASSERT_NE(b, nullptr);
+    ASSERT_NE(a, nullptr);
+    EXPECT_GT(a->cost_pages, b->cost_pages) << facility;
+  }
+}
+
+TEST(AdvisorFeedbackTest, BufferHitRateDiscountsAllCosts) {
+  const DatabaseParams db;
+  const SignatureParams sig{500, 2};
+  const NixParams nix;
+  auto base = AdviseAccessPaths(db, sig, nix, 10, 100, QueryKind::kSubset,
+                                true);
+  ASSERT_TRUE(base.ok());
+  AdvisorFeedback feedback;
+  feedback.buffer_hit_rate = 0.5;
+  auto adjusted = AdviseAccessPaths(db, sig, nix, 10, 100, QueryKind::kSubset,
+                                    true, feedback);
+  ASSERT_TRUE(adjusted.ok());
+  // A uniform discount cannot reorder plans; each cost is halved.
+  ASSERT_EQ(adjusted->size(), base->size());
+  for (size_t i = 0; i < base->size(); ++i) {
+    EXPECT_EQ((*adjusted)[i].facility, (*base)[i].facility);
+    EXPECT_EQ((*adjusted)[i].strategy, (*base)[i].strategy);
+    EXPECT_NEAR((*adjusted)[i].cost_pages, (*base)[i].cost_pages * 0.5,
+                1e-9);
+  }
+}
+
+TEST(AdvisorFeedbackTest, BreakdownForChoiceMatchesAdvisedCost) {
+  const DatabaseParams db;
+  const SignatureParams sig{500, 2};
+  const NixParams nix;
+  for (QueryKind kind : {QueryKind::kSuperset, QueryKind::kSubset}) {
+    int64_t dq = kind == QueryKind::kSuperset ? 3 : 100;
+    auto choices = AdviseAccessPaths(db, sig, nix, 10, dq, kind, true);
+    ASSERT_TRUE(choices.ok());
+    for (const AccessPathChoice& choice : *choices) {
+      CostBreakdown bd =
+          BreakdownForChoice(db, sig, nix, 10, dq, kind, choice);
+      EXPECT_NEAR(bd.total(), choice.cost_pages, 1e-9)
+          << choice.facility << " " << choice.strategy;
+    }
+  }
+}
+
+// End to end: a SetIndex with advisor_feedback enabled re-plans once its
+// own registry reports a pathological false-drop rate.
+TEST(AdvisorFeedbackTest, SetIndexFeedbackShiftsPlan) {
+  StorageManager storage;
+  SetIndex::Options options;
+  options.maintain_ssf = true;
+  options.maintain_bssf = true;
+  options.maintain_nix = true;
+  options.sig = {128, 2};
+  options.capacity = 4096;
+  options.domain_estimate = 200;
+  options.advisor_feedback = true;
+  auto index = SetIndex::Create(&storage, "attr", options);
+  ASSERT_TRUE(index.ok()) << index.status().ToString();
+  Rng rng(1);
+  std::vector<ElementSet> sets;
+  for (int i = 0; i < 400; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(200, 6));
+    ASSERT_TRUE((*index)->Insert(sets.back()).ok());
+  }
+  ElementSet query = MakeHittingSupersetQuery(sets[5], 2, rng);
+
+  // No observations yet: feedback is empty, the pure model picks a
+  // signature path for a Dq=2 superset in this small domain.
+  auto before = (*index)->Query(QueryKind::kSuperset, query);
+  ASSERT_TRUE(before.ok());
+  EXPECT_NE(before->plan, "nix plain") << before->plan;
+
+  // Poison the observed false-drop rate (as a hostile workload would).
+  MetricsRegistry* metrics = (*index)->metrics();
+  metrics->counter("query.bssf.candidates")->Increment(1000);
+  metrics->counter("query.bssf.false_drops")->Increment(990);
+  auto after = (*index)->Query(QueryKind::kSuperset, query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_EQ(after->plan, "nix plain") << after->plan;
+  // Same answer either way — feedback only changes the path, not results.
+  std::vector<Oid> a = before->result.oids;
+  std::vector<Oid> b = after->result.oids;
+  std::sort(a.begin(), a.end());
+  std::sort(b.begin(), b.end());
+  EXPECT_EQ(a, b);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,90 @@
+// IoStats snapshot/delta semantics: the tracing layer diffs value snapshots
+// of live counters, so operator- must saturate at zero (a delta taken across
+// a Reset, or between snapshots racing concurrent increments, must never
+// underflow into an astronomically large page count) and deltas taken at
+// quiescent points must be exact.
+
+#include "storage/io_stats.h"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+namespace sigsetdb {
+namespace {
+
+TEST(IoStatsTest, DeltaOfIncrements) {
+  IoStats live;
+  IoStats before = live;  // value snapshot, not a view
+  live.AddRead(3);
+  live.AddWrite(2);
+  IoStats delta = IoStats(live) - before;
+  EXPECT_EQ(delta.reads(), 3u);
+  EXPECT_EQ(delta.writes(), 2u);
+  EXPECT_EQ(delta.total(), 5u);
+  // The snapshot did not move with the live counters.
+  EXPECT_EQ(before.reads(), 0u);
+}
+
+TEST(IoStatsTest, SubtractionSaturatesAtZero) {
+  IoStats small{5, 3};
+  IoStats big{7, 9};
+  IoStats delta = small - big;
+  EXPECT_EQ(delta.reads(), 0u);
+  EXPECT_EQ(delta.writes(), 0u);
+  // Saturation is per counter, not all-or-nothing.
+  IoStats mixed = IoStats{10, 2} - IoStats{4, 5};
+  EXPECT_EQ(mixed.reads(), 6u);
+  EXPECT_EQ(mixed.writes(), 0u);
+}
+
+TEST(IoStatsTest, DeltaAcrossResetSaturates) {
+  IoStats live;
+  live.AddRead(100);
+  IoStats before = live;
+  live.Reset();
+  live.AddRead(4);
+  IoStats delta = IoStats(live) - before;
+  EXPECT_EQ(delta.reads(), 0u);  // 4 - 100 saturates, not wraps
+  EXPECT_EQ(delta.writes(), 0u);
+}
+
+// Snapshots racing concurrent increments: every delta must be sane (no
+// underflow) and bounded by what was actually added, and the final total
+// must be exact.  Run under TSan by tools/run_sanitizers.sh.
+TEST(IoStatsTest, SnapshotDeltaUnderConcurrentIncrements) {
+  IoStats live;
+  constexpr int kWriters = 4;
+  constexpr uint64_t kPerWriter = 50000;
+  std::vector<std::thread> writers;
+  writers.reserve(kWriters);
+  for (int w = 0; w < kWriters; ++w) {
+    writers.emplace_back([&live] {
+      for (uint64_t i = 0; i < kPerWriter; ++i) {
+        live.AddRead();
+        if (i % 8 == 0) live.AddWrite();
+      }
+    });
+  }
+  constexpr uint64_t kMaxReads = kWriters * kPerWriter;
+  constexpr uint64_t kMaxWrites = kWriters * ((kPerWriter + 7) / 8);
+  uint64_t last_total = 0;
+  for (int i = 0; i < 1000; ++i) {
+    IoStats before = live;
+    IoStats after = live;
+    IoStats delta = after - before;
+    // Counters are monotonic while writers run, so after >= before and the
+    // delta is bounded by everything that could have been added.
+    EXPECT_LE(delta.reads(), kMaxReads);
+    EXPECT_LE(delta.writes(), kMaxWrites);
+    EXPECT_GE(after.total(), last_total);
+    last_total = after.total();
+  }
+  for (auto& writer : writers) writer.join();
+  EXPECT_EQ(live.reads(), kMaxReads);
+  EXPECT_EQ(live.writes(), kMaxWrites);
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -1,0 +1,158 @@
+// MetricsRegistry: counter/gauge/histogram semantics, pointer stability,
+// snapshot export, and — the part the sanitizer jobs exercise — exactness of
+// the lock-free hot path under concurrent recording.
+
+#include "obs/metrics.h"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+#include <thread>
+#include <vector>
+
+namespace sigsetdb {
+namespace {
+
+TEST(CounterTest, IncrementAndReset) {
+  Counter c;
+  EXPECT_EQ(c.value(), 0u);
+  c.Increment();
+  c.Increment(41);
+  EXPECT_EQ(c.value(), 42u);
+  c.Reset();
+  EXPECT_EQ(c.value(), 0u);
+}
+
+TEST(GaugeTest, SetAddReset) {
+  Gauge g;
+  g.Set(2.5);
+  EXPECT_DOUBLE_EQ(g.value(), 2.5);
+  g.Add(1.5);
+  EXPECT_DOUBLE_EQ(g.value(), 4.0);
+  g.Reset();
+  EXPECT_DOUBLE_EQ(g.value(), 0.0);
+}
+
+TEST(HistogramTest, BucketsCountSumMean) {
+  Histogram h;
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull}) h.Record(v);
+  EXPECT_EQ(h.count(), 5u);
+  EXPECT_EQ(h.sum(), 1030u);
+  EXPECT_DOUBLE_EQ(h.mean(), 206.0);
+  // Bucket 0 holds the value 0; bucket i >= 1 holds [2^(i-1), 2^i).
+  EXPECT_EQ(h.bucket_count(0), 1u);  // 0
+  EXPECT_EQ(h.bucket_count(1), 1u);  // 1
+  EXPECT_EQ(h.bucket_count(2), 2u);  // 2, 3
+  EXPECT_EQ(h.bucket_count(11), 1u);  // 1024
+  EXPECT_EQ(Histogram::BucketLowerBound(0), 0u);
+  EXPECT_EQ(Histogram::BucketLowerBound(1), 1u);
+  EXPECT_EQ(Histogram::BucketLowerBound(11), 1024u);
+}
+
+TEST(HistogramTest, PercentileIsLogScaleUpperBound) {
+  Histogram h;
+  for (int i = 0; i < 99; ++i) h.Record(4);
+  h.Record(1 << 20);
+  // p50 lands in the bucket holding 4: upper bound 8, at most 2x over.
+  EXPECT_GE(h.Percentile(0.5), 4u);
+  EXPECT_LE(h.Percentile(0.5), 8u);
+  EXPECT_GE(h.Percentile(1.0), 1u << 20);
+}
+
+TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {
+  MetricsRegistry registry;
+  Counter* c1 = registry.counter("a");
+  Gauge* g1 = registry.gauge("b");
+  Histogram* h1 = registry.histogram("c");
+  // Registering more metrics must not invalidate earlier pointers.
+  for (int i = 0; i < 100; ++i) {
+    registry.counter("extra." + std::to_string(i));
+  }
+  EXPECT_EQ(registry.counter("a"), c1);
+  EXPECT_EQ(registry.gauge("b"), g1);
+  EXPECT_EQ(registry.histogram("c"), h1);
+}
+
+TEST(MetricsRegistryTest, ReadOnlyLookups) {
+  MetricsRegistry registry;
+  EXPECT_EQ(registry.CounterValue("missing"), 0u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("missing"), 0.0);
+  EXPECT_EQ(registry.FindHistogram("missing"), nullptr);
+  registry.counter("hits")->Increment(7);
+  registry.gauge("rate")->Set(0.5);
+  registry.histogram("lat")->Record(3);
+  EXPECT_EQ(registry.CounterValue("hits"), 7u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("rate"), 0.5);
+  ASSERT_NE(registry.FindHistogram("lat"), nullptr);
+  EXPECT_EQ(registry.FindHistogram("lat")->count(), 1u);
+}
+
+TEST(MetricsRegistryTest, ResetZeroesValuesButKeepsNames) {
+  MetricsRegistry registry;
+  Counter* c = registry.counter("n");
+  c->Increment(5);
+  registry.gauge("g")->Set(1.0);
+  registry.histogram("h")->Record(9);
+  registry.Reset();
+  EXPECT_EQ(registry.CounterValue("n"), 0u);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("g"), 0.0);
+  EXPECT_EQ(registry.FindHistogram("h")->count(), 0u);
+  EXPECT_EQ(registry.counter("n"), c);  // still the same object
+}
+
+TEST(MetricsRegistryTest, ToJsonAndRenderContainAllMetrics) {
+  MetricsRegistry registry;
+  registry.counter("query.count")->Increment(3);
+  registry.gauge("query.predicted_pages")->Set(6.5);
+  registry.histogram("query.pages")->Record(6);
+  std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"counters\""), std::string::npos);
+  EXPECT_NE(json.find("\"query.count\":3"), std::string::npos);
+  EXPECT_NE(json.find("\"gauges\""), std::string::npos);
+  EXPECT_NE(json.find("\"histograms\""), std::string::npos);
+  std::ostringstream os;
+  registry.Render(os);
+  EXPECT_NE(os.str().find("query.count"), std::string::npos);
+  EXPECT_NE(os.str().find("query.pages"), std::string::npos);
+}
+
+// The hot path is relaxed atomics: under concurrent recording no increment
+// may be lost.  Run under TSan/ASan by tools/run_sanitizers.sh.
+TEST(MetricsRegistryTest, ConcurrentRecordingIsExact) {
+  MetricsRegistry registry;
+  constexpr int kThreads = 8;
+  constexpr int kPerThread = 20000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&registry, t] {
+      // Registration races with other threads (mutex), increments race on
+      // the shared atomics (relaxed) — both must be clean and exact.
+      Counter* counter = registry.counter("shared.count");
+      Gauge* gauge = registry.gauge("shared.gauge");
+      Histogram* histogram = registry.histogram("shared.hist");
+      Counter* own =
+          registry.counter("thread." + std::to_string(t) + ".count");
+      for (int i = 0; i < kPerThread; ++i) {
+        counter->Increment();
+        gauge->Add(1.0);
+        histogram->Record(static_cast<uint64_t>(i % 7));
+        own->Increment();
+      }
+    });
+  }
+  for (auto& thread : threads) thread.join();
+  EXPECT_EQ(registry.CounterValue("shared.count"),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  EXPECT_DOUBLE_EQ(registry.GaugeValue("shared.gauge"),
+                   static_cast<double>(kThreads) * kPerThread);
+  EXPECT_EQ(registry.FindHistogram("shared.hist")->count(),
+            static_cast<uint64_t>(kThreads) * kPerThread);
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(registry.CounterValue("thread." + std::to_string(t) + ".count"),
+              static_cast<uint64_t>(kPerThread));
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -2,10 +2,12 @@
 # Builds and runs the test suite under ThreadSanitizer and AddressSanitizer
 # (separate build trees, so they don't disturb the regular ./build).
 #
-#   tools/run_sanitizers.sh            # both sanitizers, full suite
+#   tools/run_sanitizers.sh            # all three sanitizers, full suite
 #   tools/run_sanitizers.sh thread     # TSan only
 #   tools/run_sanitizers.sh address -R 'thread_pool|parallel|sharded'
+#   tools/run_sanitizers.sh undefined  # UBSan only
 #   tools/run_sanitizers.sh faults     # fault-injection suites under TSan
+#   tools/run_sanitizers.sh obs        # metrics/trace concurrency under TSan
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -42,6 +44,19 @@ case "${1:-all}" in
     shift
     run_one address "$@"
     ;;
+  undefined)
+    shift
+    run_one undefined "$@"
+    ;;
+  obs)
+    # The observability hot paths are relaxed atomics read by concurrent
+    # snapshots (MetricsRegistry, IoStats deltas, traced parallel queries);
+    # TSan vets exactly those interleavings.
+    shift
+    run_one thread -R \
+      'metrics_test|io_stats_delta|query_trace|parallel_executor' \
+      "$@"
+    ;;
   faults)
     shift
     run_one thread -R \
@@ -51,9 +66,11 @@ case "${1:-all}" in
   all)
     run_one thread
     run_one address
+    run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|all|faults] [ctest args...]" >&2
+    echo "usage: $0 [thread|address|undefined|all|faults|obs]" \
+      "[ctest args...]" >&2
     exit 1
     ;;
 esac
