@@ -1,0 +1,211 @@
+// Table 7 (batched) — amortized update costs of the grouped write path,
+// model (cost_batch.h) and measured.
+//
+// The headline property (see DESIGN.md §11): at the paper's Table 2
+// parameters, a 100-insert WriteBatch into BSSF writes each dirty slice
+// page once — ≥5× fewer slice-page writes than 100 individual inserts,
+// which pay the per-insert slice RMWs in full.
+
+#include <cstdio>
+#include <iostream>
+#include <vector>
+
+#include "bench_util.h"
+#include "model/cost_batch.h"
+#include "model/cost_bssf.h"
+#include "model/cost_nix.h"
+#include "model/cost_ssf.h"
+#include "util/table_printer.h"
+
+namespace sigsetdb {
+namespace {
+
+constexpr int kBatch = 100;
+
+std::vector<ElementSet> SampleSets(int n, int64_t v, int64_t dt,
+                                   uint64_t seed) {
+  Rng rng(seed);
+  std::vector<ElementSet> sets;
+  sets.reserve(n);
+  for (int i = 0; i < n; ++i) {
+    sets.push_back(rng.SampleWithoutReplacement(static_cast<uint64_t>(v),
+                                                static_cast<uint64_t>(dt)));
+  }
+  return sets;
+}
+
+// Total page writes of inserting `sets` one Insert() call at a time.
+uint64_t MeasureSingletons(StorageManager& storage,
+                           SetAccessFacility* facility,
+                           const std::vector<ElementSet>& sets,
+                           uint64_t oid_base) {
+  storage.ResetStats();
+  for (size_t i = 0; i < sets.size(); ++i) {
+    CheckOk(facility->Insert(
+                Oid::FromLocation(static_cast<PageId>(oid_base + i), 0),
+                sets[i]),
+            "singleton insert");
+  }
+  return storage.TotalStats().page_writes;
+}
+
+// Total page writes of inserting `sets` through one ApplyBatch() call.
+uint64_t MeasureBatch(StorageManager& storage, SetAccessFacility* facility,
+                      const std::vector<ElementSet>& sets,
+                      uint64_t oid_base) {
+  std::vector<BatchOp> ops;
+  ops.reserve(sets.size());
+  for (size_t i = 0; i < sets.size(); ++i) {
+    ops.push_back(BatchOp{
+        BatchOp::Kind::kInsert,
+        Oid::FromLocation(static_cast<PageId>(oid_base + i), 0), sets[i]});
+  }
+  storage.ResetStats();
+  CheckOk(facility->ApplyBatch(ops), "batch insert");
+  return storage.TotalStats().page_writes;
+}
+
+void Run() {
+  const DatabaseParams db;  // paper Table 2: N=32000, V=13000, P=4096
+  const NixParams nix;
+  const SignatureParams sig{250, 2};
+  const int64_t dt = 10;
+
+  // Fresh facilities per regime (insert cost is population independent for
+  // the signature files); two copies each so singleton and batch runs start
+  // from identical states.
+  StorageManager storage;
+  auto make_ssf = [&](const char* name) {
+    return ValueOrDie(
+        SequentialSignatureFile::Create(
+            {250, 2}, storage.CreateOrOpen(std::string(name) + ".sig"),
+            storage.CreateOrOpen(std::string(name) + ".oid")),
+        "ssf");
+  };
+  auto make_bssf = [&](const char* name, BssfInsertMode mode) {
+    return ValueOrDie(
+        BitSlicedSignatureFile::Create(
+            {250, 2}, 1024, storage.CreateOrOpen(std::string(name) + ".slices"),
+            storage.CreateOrOpen(std::string(name) + ".oid"), mode),
+        "bssf");
+  };
+
+  const std::vector<ElementSet> sets = SampleSets(kBatch, db.v, dt, 42);
+
+  auto ssf_single = make_ssf("ssf.single");
+  auto ssf_batch = make_ssf("ssf.batch");
+  uint64_t ssf_w1 = MeasureSingletons(storage, ssf_single.get(), sets, 0);
+  uint64_t ssf_wb = MeasureBatch(storage, ssf_batch.get(), sets, 0);
+
+  auto naive_single = make_bssf("naive.single", BssfInsertMode::kTouchAllSlices);
+  auto naive_batch = make_bssf("naive.batch", BssfInsertMode::kTouchAllSlices);
+  uint64_t naive_w1 = MeasureSingletons(storage, naive_single.get(), sets, 0);
+  uint64_t naive_wb = MeasureBatch(storage, naive_batch.get(), sets, 0);
+
+  auto sparse_single = make_bssf("sparse.single", BssfInsertMode::kSparse);
+  auto sparse_batch = make_bssf("sparse.batch", BssfInsertMode::kSparse);
+  uint64_t sparse_w1 = MeasureSingletons(storage, sparse_single.get(), sets, 0);
+  uint64_t sparse_wb = MeasureBatch(storage, sparse_batch.get(), sets, 0);
+
+  // NIX is measured against a realistically populated tree (height matters).
+  BenchDb::Options options;
+  options.dt = dt;
+  options.sig = {250, 2};
+  options.build_ssf = false;
+  options.build_bssf = false;
+  BenchDb bench(options);
+  const std::vector<ElementSet> nix_sets1 = SampleSets(kBatch, db.v, dt, 43);
+  const std::vector<ElementSet> nix_sets2 = SampleSets(kBatch, db.v, dt, 44);
+  uint64_t nix_w1 =
+      MeasureSingletons(bench.storage(), &bench.nix(), nix_sets1, 500000);
+  uint64_t nix_wb =
+      MeasureBatch(bench.storage(), &bench.nix(), nix_sets2, 600000);
+
+  const double n = static_cast<double>(kBatch);
+  TablePrinter table({"facility", "singleton w/op", "batch w/op",
+                      "model batch w/op", "ratio"});
+  auto add_row = [&](const char* name, uint64_t w1, uint64_t wb,
+                     double model) {
+    table.AddRow({name, TablePrinter::Num(w1 / n), TablePrinter::Num(wb / n),
+                  TablePrinter::Num(model),
+                  TablePrinter::Num(static_cast<double>(w1) /
+                                    static_cast<double>(wb))});
+  };
+  add_row("ssf", ssf_w1, ssf_wb, SsfBatchInsertCost(db, sig, kBatch));
+  add_row("bssf naive", naive_w1, naive_wb,
+          BssfBatchInsertCost(sig, db, kBatch));
+  add_row("bssf sparse", sparse_w1, sparse_wb,
+          BssfBatchInsertCostSparse(sig, db, dt, kBatch));
+  add_row("nix", nix_w1, nix_wb, NixBatchInsertCost(db, nix, dt, kBatch));
+  std::printf("Batched inserts, n = %d (page writes per operation):\n",
+              kBatch);
+  table.Print(std::cout);
+
+  const double sparse_ratio =
+      static_cast<double>(sparse_w1) / static_cast<double>(sparse_wb);
+  std::printf(
+      "\nBSSF sparse batch writes %.1fx fewer pages than singleton inserts "
+      "(headline property: >= 5x)\n",
+      sparse_ratio);
+
+  auto per_op = [&](uint64_t w) {
+    return MeasuredCost{w / n, 0, w / n, -1};
+  };
+  EmitBenchRecord("ssf.batch_insert", {{"n", kBatch}, {"dt", dt}},
+                  per_op(ssf_wb), SsfBatchInsertCost(db, sig, kBatch));
+  EmitBenchRecord("bssf.batch_insert.naive", {{"n", kBatch}, {"dt", dt}},
+                  per_op(naive_wb), BssfBatchInsertCost(sig, db, kBatch));
+  EmitBenchRecord("bssf.batch_insert.sparse", {{"n", kBatch}, {"dt", dt}},
+                  per_op(sparse_wb),
+                  BssfBatchInsertCostSparse(sig, db, dt, kBatch));
+  EmitBenchRecord("nix.batch_insert", {{"n", kBatch}, {"dt", dt}},
+                  per_op(nix_wb), NixBatchInsertCost(db, nix, dt, kBatch));
+  EmitBenchRecord("bssf.batch_vs_singleton",
+                  {{"n", kBatch}, {"dt", dt}, {"threshold", 5}},
+                  MeasuredCost{sparse_ratio, 0, 0, -1}, 5.0);
+
+  // --- batch delete: tombstone 100 of 1000 objects in one pass ---
+  const int kPop = 1000;
+  const std::vector<ElementSet> pop = SampleSets(kPop, db.v, dt, 45);
+  auto del_ssf = make_ssf("ssf.delete");
+  {
+    std::vector<BatchOp> ops;
+    for (int i = 0; i < kPop; ++i) {
+      ops.push_back(BatchOp{BatchOp::Kind::kInsert,
+                            Oid::FromLocation(static_cast<PageId>(i), 0),
+                            pop[i]});
+    }
+    CheckOk(del_ssf->ApplyBatch(ops), "populate");
+  }
+  std::vector<BatchOp> removes;
+  for (int i = 0; i < kBatch; ++i) {
+    removes.push_back(BatchOp{BatchOp::Kind::kRemove,
+                              Oid::FromLocation(static_cast<PageId>(i * 7), 0),
+                              pop[i * 7]});
+  }
+  storage.ResetStats();
+  CheckOk(del_ssf->ApplyBatch(removes), "batch delete");
+  IoStats del_io = storage.TotalStats();
+  DatabaseParams db_small = db;
+  db_small.n = kPop;
+  const double del_model = SigBatchDeleteCost(db_small, kBatch);
+  std::printf(
+      "\nBatch delete (100 of 1000): %.3f pages/op measured "
+      "(model (SC_OID + min(n, SC_OID))/n = %.3f)\n",
+      static_cast<double>(del_io.total()) / n, del_model);
+  EmitBenchRecord("ssf.batch_delete", {{"n", kBatch}, {"pop", kPop}},
+                  MeasuredCost{del_io.total() / n, del_io.page_reads / n,
+                               del_io.page_writes / n, -1},
+                  del_model);
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("table7_batched", argc, argv);
+  sigsetdb::PrintBenchHeader("Table 7 (batched)",
+                             "amortized batched update costs");
+  sigsetdb::Run();
+  return 0;
+}

@@ -12,9 +12,17 @@ namespace {
 
 constexpr char kKeyObjects[] = "num_objects";
 constexpr char kKeyAttrs[] = "num_attributes";
+constexpr char kKeyGeneration[] = "compact_generation";
 
 std::string AttrKey(size_t i, const char* suffix) {
   return "attr" + std::to_string(i) + "." + suffix;
+}
+
+// Compaction writes into generation-suffixed files ("<base>.g<N>"); the
+// original name is generation 0.  All attributes share one generation.
+std::string GenName(const std::string& base, uint64_t generation) {
+  if (generation == 0) return base;
+  return base + ".g" + std::to_string(generation);
 }
 
 bool Satisfies(const ElementSet& value, QueryKind kind,
@@ -87,10 +95,12 @@ Status Database::InitFacilities(const std::string& name,
           Manifest::Get(*recovered, AttrKey(i, "elements")));
     }
     if (spec.maintain_ssf) {
-      SIGSET_ASSIGN_OR_RETURN(PageFile * sig_file,
-                              storage_->OpenOrCreate(prefix + ".sig"));
-      SIGSET_ASSIGN_OR_RETURN(PageFile * oid_file,
-                              storage_->OpenOrCreate(prefix + ".sig.oid"));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * sig_file,
+          storage_->OpenOrCreate(GenName(prefix + ".sig", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid_file,
+          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", generation_)));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(state.ssf, SequentialSignatureFile::Create(
                                                spec.sig, sig_file, oid_file));
@@ -101,10 +111,13 @@ Status Database::InitFacilities(const std::string& name,
       }
     }
     if (spec.maintain_bssf) {
-      SIGSET_ASSIGN_OR_RETURN(PageFile * slice_file,
-                              storage_->OpenOrCreate(prefix + ".slices"));
-      SIGSET_ASSIGN_OR_RETURN(PageFile * oid_file,
-                              storage_->OpenOrCreate(prefix + ".slices.oid"));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * slice_file,
+          storage_->OpenOrCreate(GenName(prefix + ".slices", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid_file,
+          storage_->OpenOrCreate(
+              GenName(prefix + ".slices.oid", generation_)));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(
             state.bssf,
@@ -162,6 +175,7 @@ StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
                                                      const Options& options) {
   SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
   std::unique_ptr<Database> db(new Database(storage, options));
+  db->name_ = name;
   SIGSET_ASSIGN_OR_RETURN(db->manifest_file_,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(db->sketch_file_,
@@ -179,12 +193,16 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
                                                    const Options& options) {
   SIGSET_RETURN_IF_ERROR(ValidateOptions(options));
   std::unique_ptr<Database> db(new Database(storage, options));
+  db->name_ = name;
   SIGSET_ASSIGN_OR_RETURN(db->manifest_file_,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(db->sketch_file_,
                           storage->OpenOrCreate(name + ".sketch"));
   SIGSET_ASSIGN_OR_RETURN(Manifest::Values values,
                           Manifest::Read(db->manifest_file_));
+  // Pre-compaction manifests have no generation key; that means gen 0.
+  auto generation = Manifest::Get(values, kKeyGeneration);
+  if (generation.ok()) db->generation_ = *generation;
   SIGSET_ASSIGN_OR_RETURN(uint64_t attrs, Manifest::Get(values, kKeyAttrs));
   if (attrs != options.attributes.size()) {
     return Status::FailedPrecondition(
@@ -218,6 +236,7 @@ Status Database::Checkpoint() {
   Manifest::Values values;
   values[kKeyObjects] = num_objects();
   values[kKeyAttrs] = attrs_.size();
+  values[kKeyGeneration] = generation_;
   for (size_t i = 0; i < attrs_.size(); ++i) {
     const AttributeState& state = attrs_[i];
     uint64_t sigs = 0;
@@ -280,7 +299,8 @@ StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
 
 Status Database::Delete(Oid oid) {
   SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
-  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  // De-index every attribute first, store delete LAST (see
+  // SetIndex::Delete for the crash-ordering argument).
   for (size_t i = 0; i < attrs_.size(); ++i) {
     AttributeState& state = attrs_[i];
     if (state.ssf != nullptr) {
@@ -292,11 +312,147 @@ Status Database::Delete(Oid oid) {
     if (state.nix != nullptr) {
       SIGSET_RETURN_IF_ERROR(state.nix->Remove(oid, obj.attrs[i]));
     }
-    if (state.total_elements >= obj.attrs[i].size()) {
-      state.total_elements -= obj.attrs[i].size();
+  }
+  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (attrs_[i].total_elements >= obj.attrs[i].size()) {
+      attrs_[i].total_elements -= obj.attrs[i].size();
     }
   }
   return Status::OK();
+}
+
+StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
+  for (const std::vector<ElementSet>& attr_values : batch.inserts()) {
+    if (attr_values.size() != attrs_.size()) {
+      return Status::InvalidArgument("attribute count mismatch");
+    }
+  }
+  // Fetch delete victims up front; this is why deleting a same-batch
+  // insert is unsupported (victims resolve against the pre-batch store).
+  std::vector<MultiSetObject> victims;
+  victims.reserve(batch.deletes().size());
+  for (Oid oid : batch.deletes()) {
+    SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+    victims.push_back(std::move(obj));
+  }
+
+  // Store inserts first: they assign the OIDs the facility ops index.
+  std::vector<Oid> new_oids;
+  new_oids.reserve(batch.inserts().size());
+  std::vector<std::vector<ElementSet>> normalized;
+  normalized.reserve(batch.inserts().size());
+  for (const std::vector<ElementSet>& attr_values : batch.inserts()) {
+    std::vector<ElementSet> n = attr_values;
+    for (ElementSet& set : n) NormalizeSet(&set);
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(n));
+    new_oids.push_back(oid);
+    normalized.push_back(std::move(n));
+  }
+
+  // One grouped application per (attribute, facility): removes first so
+  // freed slots are reused by this batch's inserts.
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttributeState& state = attrs_[i];
+    std::vector<BatchOp> ops;
+    ops.reserve(batch.size());
+    for (size_t v = 0; v < victims.size(); ++v) {
+      ops.push_back(BatchOp{BatchOp::Kind::kRemove, batch.deletes()[v],
+                            victims[v].attrs[i]});
+    }
+    for (size_t v = 0; v < new_oids.size(); ++v) {
+      ops.push_back(
+          BatchOp{BatchOp::Kind::kInsert, new_oids[v], normalized[v][i]});
+    }
+    if (state.ssf != nullptr) SIGSET_RETURN_IF_ERROR(state.ssf->ApplyBatch(ops));
+    if (state.bssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.bssf->ApplyBatch(ops));
+    }
+    if (state.nix != nullptr) SIGSET_RETURN_IF_ERROR(state.nix->ApplyBatch(ops));
+  }
+
+  // Store deletes LAST — same crash ordering as Delete().
+  for (Oid oid : batch.deletes()) {
+    SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  }
+
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttributeState& state = attrs_[i];
+    for (const MultiSetObject& victim : victims) {
+      if (state.total_elements >= victim.attrs[i].size()) {
+        state.total_elements -= victim.attrs[i].size();
+      }
+    }
+    for (const std::vector<ElementSet>& n : normalized) {
+      state.total_elements += n[i].size();
+      for (uint64_t element : n[i]) state.domain_sketch.Add(element);
+    }
+  }
+  return new_oids;
+}
+
+Status Database::Compact() {
+  bool any_sig = false;
+  for (const AttributeState& state : attrs_) {
+    if (state.ssf != nullptr || state.bssf != nullptr) any_sig = true;
+  }
+  if (!any_sig) return Checkpoint();
+  const uint64_t next_gen = generation_ + 1;
+
+  // Build every attribute's next-generation files before swapping anything:
+  // the manifest's generation key (written by the final Checkpoint) is the
+  // single commit point for all attributes.
+  struct Replacement {
+    std::unique_ptr<SequentialSignatureFile> ssf;
+    std::unique_ptr<BitSlicedSignatureFile> bssf;
+  };
+  std::vector<Replacement> replacements(attrs_.size());
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeOptions& spec = options_.attributes[i];
+    AttributeState& state = attrs_[i];
+    const std::string prefix = name_ + "." + spec.name;
+    uint64_t ssf_live = 0, bssf_live = 0;
+    if (state.ssf != nullptr) {
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * sig,
+          storage_->OpenOrCreate(GenName(prefix + ".sig", next_gen)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", next_gen)));
+      SIGSET_ASSIGN_OR_RETURN(ssf_live, state.ssf->CompactTo(sig, oid));
+      SIGSET_ASSIGN_OR_RETURN(replacements[i].ssf,
+                              SequentialSignatureFile::CreateFromExisting(
+                                  spec.sig, sig, oid, ssf_live));
+    }
+    if (state.bssf != nullptr) {
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * slices,
+          storage_->OpenOrCreate(GenName(prefix + ".slices", next_gen)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage_->OpenOrCreate(GenName(prefix + ".slices.oid", next_gen)));
+      SIGSET_ASSIGN_OR_RETURN(bssf_live, state.bssf->CompactTo(slices, oid));
+      SIGSET_ASSIGN_OR_RETURN(replacements[i].bssf,
+                              BitSlicedSignatureFile::CreateFromExisting(
+                                  spec.sig, options_.capacity, slices, oid,
+                                  spec.bssf_mode, bssf_live));
+    }
+    if (state.ssf != nullptr && state.bssf != nullptr &&
+        ssf_live != bssf_live) {
+      return Status::Internal(
+          "compaction live-count mismatch between facilities");
+    }
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    if (replacements[i].ssf != nullptr) {
+      attrs_[i].ssf = std::move(replacements[i].ssf);
+    }
+    if (replacements[i].bssf != nullptr) {
+      attrs_[i].bssf = std::move(replacements[i].bssf);
+    }
+  }
+  generation_ = next_gen;
+  return Checkpoint();
 }
 
 StatusOr<size_t> Database::AttributeIndex(const std::string& attribute) const {
@@ -493,8 +649,18 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
       ctx == nullptr ? 1 : ctx->WorkersFor(candidates.size());
   if (workers <= 1) {
     for (Oid oid : candidates) {
-      SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
-      if (check_all(obj)) {
+      StatusOr<MultiSetObject> obj = store_->Get(oid);
+      if (!obj.ok()) {
+        // A candidate with no stored object is a false drop, not an error:
+        // crash recovery rolls the indexes back to a checkpoint that can
+        // still reference objects whose store delete already committed.
+        if (obj.status().code() == StatusCode::kNotFound) {
+          ++out.num_false_drops;
+          continue;
+        }
+        return obj.status();
+      }
+      if (check_all(*obj)) {
         out.oids.push_back(oid);
       } else {
         ++out.num_false_drops;
@@ -514,6 +680,12 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
           for (size_t i = begin; i < end; ++i) {
             StatusOr<MultiSetObject> obj = store_->Get(candidates[i], &ws.io);
             if (!obj.ok()) {
+              // Same tolerance as the serial loop: a store-missing
+              // candidate counts as a false drop.
+              if (obj.status().code() == StatusCode::kNotFound) {
+                ++ws.false_drops;
+                continue;
+              }
               ws.status = obj.status();
               return;
             }

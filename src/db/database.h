@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "db/manifest.h"
+#include "db/write_batch.h"
 #include "model/params.h"
 #include "nix/nested_index.h"
 #include "obj/multi_object_store.h"
@@ -108,8 +109,24 @@ class Database {
   // order of Options::attributes).  Values are normalized in place.
   StatusOr<Oid> Insert(std::vector<ElementSet> attr_values);
 
-  // Deletes an object and de-indexes all its attributes.
+  // De-indexes all attributes, then deletes the object from the store (the
+  // store delete is LAST so a crash cannot leave dangling index entries).
   Status Delete(Oid oid);
+
+  // Applies a group of inserts and deletes with per-facility write
+  // coalescing (see SetIndex::ApplyBatch).  Returns the OIDs of the batch's
+  // inserts, in order.  Deleting an OID inserted by the same batch is not
+  // supported.
+  StatusOr<std::vector<Oid>> ApplyBatch(const MultiWriteBatch& batch);
+
+  // Densely rewrites every attribute's SSF/BSSF signature + OID files into
+  // the next compaction generation and checkpoints (the manifest's
+  // generation key is the atomic commit point — see SetIndex::Compact).
+  Status Compact();
+
+  // Compaction generation of the signature/OID files (0 until the first
+  // Compact() checkpoint).
+  uint64_t generation() const { return generation_; }
 
   StatusOr<MultiSetObject> Get(Oid oid) const { return store_->Get(oid); }
 
@@ -195,6 +212,8 @@ class Database {
 
   StorageManager* storage_;
   Options options_;
+  std::string name_;
+  uint64_t generation_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;

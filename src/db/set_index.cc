@@ -30,6 +30,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
     return Status::InvalidArgument("enable at least one facility");
   }
   std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
+  index->name_ = name;
   SIGSET_ASSIGN_OR_RETURN(index->manifest_file_,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(index->sketch_file_,
@@ -66,6 +67,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
 
 namespace {
 // Manifest keys.
+constexpr char kKeyGeneration[] = "compact_generation";
 constexpr char kKeyObjects[] = "num_objects";
 constexpr char kKeyElements[] = "total_elements";
 constexpr char kKeySignatures[] = "num_signatures";
@@ -85,11 +87,20 @@ uint64_t FacilityMask(const SetIndex::Options& options) {
          (options.maintain_bssf ? 2u : 0u) |
          (options.maintain_nix ? 4u : 0u);
 }
+
+// Compaction writes into generation-suffixed files ("<base>.g<N>"); the
+// original name is generation 0.  StorageManager cannot delete files, so
+// superseded generations simply stay behind (unreferenced by the manifest).
+std::string GenName(const std::string& base, uint64_t generation) {
+  if (generation == 0) return base;
+  return base + ".g" + std::to_string(generation);
+}
 }  // namespace
 
 Status SetIndex::Checkpoint() {
   SIGSET_FAILPOINT("set_index.checkpoint");
   Manifest::Values values;
+  values[kKeyGeneration] = generation_;
   values[kKeyObjects] = num_objects();
   values[kKeyElements] = total_elements_;
   values[kKeyF] = static_cast<uint64_t>(options_.sig.f);
@@ -129,6 +140,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                                                    const std::string& name,
                                                    const Options& options) {
   std::unique_ptr<SetIndex> index(new SetIndex(storage, options));
+  index->name_ = name;
   SIGSET_ASSIGN_OR_RETURN(index->manifest_file_,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(index->sketch_file_,
@@ -160,23 +172,35 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                           storage->OpenOrCreate(name + ".objects"));
   index->store_ = std::make_unique<ObjectStore>(objects);
   index->store_->RecoverCount(num_objects);
+  // Manifests written before compaction existed have no generation key;
+  // those indexes are generation 0 by definition.
+  auto generation = Manifest::Get(values, kKeyGeneration);
+  if (generation.ok()) index->generation_ = *generation;
   if (options.maintain_ssf || options.maintain_bssf) {
     SIGSET_ASSIGN_OR_RETURN(uint64_t sigs,
                             Manifest::Get(values, kKeySignatures));
     if (options.maintain_ssf) {
-      SIGSET_ASSIGN_OR_RETURN(PageFile * sig,
-                              storage->OpenOrCreate(name + ".ssf.sig"));
-      SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
-                              storage->OpenOrCreate(name + ".ssf.oid"));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * sig,
+          storage->OpenOrCreate(GenName(name + ".ssf.sig",
+                                        index->generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage->OpenOrCreate(GenName(name + ".ssf.oid",
+                                        index->generation_)));
       SIGSET_ASSIGN_OR_RETURN(index->ssf_,
                               SequentialSignatureFile::CreateFromExisting(
                                   options.sig, sig, oid, sigs));
     }
     if (options.maintain_bssf) {
-      SIGSET_ASSIGN_OR_RETURN(PageFile * slices,
-                              storage->OpenOrCreate(name + ".bssf.slices"));
-      SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
-                              storage->OpenOrCreate(name + ".bssf.oid"));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * slices,
+          storage->OpenOrCreate(GenName(name + ".bssf.slices",
+                                        index->generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage->OpenOrCreate(GenName(name + ".bssf.oid",
+                                        index->generation_)));
       SIGSET_ASSIGN_OR_RETURN(index->bssf_,
                               BitSlicedSignatureFile::CreateFromExisting(
                                   options.sig, options.capacity, slices, oid,
@@ -226,7 +250,12 @@ StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
 
 Status SetIndex::Delete(Oid oid) {
   SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
-  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  // De-index first, store delete LAST: a crash mid-delete then leaves the
+  // object present in the store but (partially) missing from the indexes —
+  // recovery rolls the indexes back to the checkpoint, and any candidate
+  // list that still names the OID resolves against a live object.  The old
+  // order (store delete first) could leave index entries dangling at a
+  // missing object.
   if (ssf_ != nullptr) {
     SIGSET_RETURN_IF_ERROR(ssf_->Remove(oid, obj.set_value));
   }
@@ -236,10 +265,116 @@ Status SetIndex::Delete(Oid oid) {
   if (nix_ != nullptr) {
     SIGSET_RETURN_IF_ERROR(nix_->Remove(oid, obj.set_value));
   }
+  SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
   if (total_elements_ >= obj.set_value.size()) {
     total_elements_ -= obj.set_value.size();
   }
   return Status::OK();
+}
+
+StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
+  // Fetch delete victims up front (their set values drive the de-indexing);
+  // this is also why deleting a same-batch insert is unsupported.
+  std::vector<StoredObject> victims;
+  victims.reserve(batch.deletes().size());
+  for (Oid oid : batch.deletes()) {
+    SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
+    victims.push_back(std::move(obj));
+  }
+
+  // Store inserts first: they assign the OIDs the facility ops index.
+  std::vector<Oid> new_oids;
+  new_oids.reserve(batch.inserts().size());
+  std::vector<ElementSet> normalized;
+  normalized.reserve(batch.inserts().size());
+  for (const ElementSet& set_value : batch.inserts()) {
+    ElementSet n = set_value;
+    NormalizeSet(&n);
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(n));
+    new_oids.push_back(oid);
+    normalized.push_back(std::move(n));
+  }
+
+  // One grouped application per facility: removes first so the slots they
+  // free are reused by this batch's inserts.
+  std::vector<BatchOp> ops;
+  ops.reserve(batch.size());
+  for (size_t i = 0; i < victims.size(); ++i) {
+    ops.push_back(BatchOp{BatchOp::Kind::kRemove, batch.deletes()[i],
+                          victims[i].set_value});
+  }
+  for (size_t i = 0; i < new_oids.size(); ++i) {
+    ops.push_back(
+        BatchOp{BatchOp::Kind::kInsert, new_oids[i], normalized[i]});
+  }
+  if (ssf_ != nullptr) SIGSET_RETURN_IF_ERROR(ssf_->ApplyBatch(ops));
+  if (bssf_ != nullptr) SIGSET_RETURN_IF_ERROR(bssf_->ApplyBatch(ops));
+  if (nix_ != nullptr) SIGSET_RETURN_IF_ERROR(nix_->ApplyBatch(ops));
+
+  // Store deletes LAST — same crash ordering as Delete().
+  for (Oid oid : batch.deletes()) {
+    SIGSET_RETURN_IF_ERROR(store_->Delete(oid));
+  }
+
+  for (const StoredObject& victim : victims) {
+    if (total_elements_ >= victim.set_value.size()) {
+      total_elements_ -= victim.set_value.size();
+    }
+  }
+  for (const ElementSet& n : normalized) {
+    total_elements_ += n.size();
+    for (uint64_t element : n) domain_sketch_.Add(element);
+  }
+  return new_oids;
+}
+
+Status SetIndex::Compact() {
+  if (ssf_ == nullptr && bssf_ == nullptr) return Checkpoint();
+  uint64_t next_gen = generation_ + 1;
+
+  // Write the dense copies into the next generation's files.  CompactTo is
+  // retryable: it overwrites from page 0, so a half-written target left by
+  // an earlier crashed compaction is simply rewritten.
+  std::unique_ptr<SequentialSignatureFile> new_ssf;
+  std::unique_ptr<BitSlicedSignatureFile> new_bssf;
+  uint64_t ssf_live = 0, bssf_live = 0;
+  if (ssf_ != nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * sig,
+        storage_->OpenOrCreate(GenName(name_ + ".ssf.sig", next_gen)));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        storage_->OpenOrCreate(GenName(name_ + ".ssf.oid", next_gen)));
+    SIGSET_ASSIGN_OR_RETURN(ssf_live, ssf_->CompactTo(sig, oid));
+    SIGSET_ASSIGN_OR_RETURN(new_ssf,
+                            SequentialSignatureFile::CreateFromExisting(
+                                options_.sig, sig, oid, ssf_live));
+  }
+  if (bssf_ != nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * slices,
+        storage_->OpenOrCreate(GenName(name_ + ".bssf.slices", next_gen)));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        storage_->OpenOrCreate(GenName(name_ + ".bssf.oid", next_gen)));
+    SIGSET_ASSIGN_OR_RETURN(bssf_live, bssf_->CompactTo(slices, oid));
+    SIGSET_ASSIGN_OR_RETURN(new_bssf,
+                            BitSlicedSignatureFile::CreateFromExisting(
+                                options_.sig, options_.capacity, slices, oid,
+                                options_.bssf_mode, bssf_live));
+  }
+  if (ssf_ != nullptr && bssf_ != nullptr && ssf_live != bssf_live) {
+    return Status::Internal("compaction live-count mismatch between facilities");
+  }
+
+  // Swap and flip the manifest: the checkpoint's generation key is the
+  // commit point.  A crash before it leaves the old generation (and its
+  // files) authoritative; the half-built next generation is garbage that a
+  // retried Compact() overwrites.
+  ssf_ = std::move(new_ssf);
+  bssf_ = std::move(new_bssf);
+  generation_ = next_gen;
+  return Checkpoint();
 }
 
 int64_t SetIndex::DomainEstimate() const {

@@ -20,6 +20,7 @@
 #include <string>
 
 #include "db/manifest.h"
+#include "db/write_batch.h"
 #include "model/params.h"
 #include "nix/nested_index.h"
 #include "obj/object_store.h"
@@ -121,8 +122,27 @@ class SetIndex {
   // facility.  Returns the new OID.
   StatusOr<Oid> Insert(const ElementSet& set_value);
 
-  // Deletes the object and de-indexes it everywhere.
+  // De-indexes the object everywhere, then deletes it from the store.  The
+  // store delete comes LAST so a crash mid-delete can only leave a fully
+  // indexed (still visible) or partially de-indexed object — never a
+  // dangling index entry pointing at a missing object.
   Status Delete(Oid oid);
+
+  // Applies a group of inserts and deletes facility-by-facility: store
+  // inserts first (assigning OIDs), then one ApplyBatch per facility
+  // (removes before inserts, so freed slots are reused within the batch),
+  // then the store deletes last (same crash ordering as Delete).  Returns
+  // the OIDs of the batch's inserts, in order.  Deleting an OID inserted by
+  // the same batch is not supported.
+  StatusOr<std::vector<Oid>> ApplyBatch(const WriteBatch& batch);
+
+  // Rewrites the SSF/BSSF signature + OID files densely (dropping
+  // tombstoned slots) into generation-suffixed files and checkpoints.  The
+  // manifest's generation key flips atomically with the checkpoint: a crash
+  // anywhere before that leaves the old generation (and the old files)
+  // authoritative, so compaction is crash-safe and retryable.  NIX needs no
+  // compaction (drained pages are recycled via its free list).
+  Status Compact();
 
   // Fetches the stored set value.
   StatusOr<StoredObject> Get(Oid oid) const { return store_->Get(oid); }
@@ -145,6 +165,10 @@ class SetIndex {
 
   // Live statistics feeding the advisor.
   uint64_t num_objects() const { return store_->num_objects(); }
+
+  // Compaction generation of the signature/OID files (0 until the first
+  // Compact() checkpoint).
+  uint64_t generation() const { return generation_; }
 
   // The V the advisor currently uses: the configured estimate, or the live
   // HyperLogLog estimate (~1.6 % relative error) when auto.
@@ -194,6 +218,8 @@ class SetIndex {
 
   StorageManager* storage_;
   Options options_;
+  std::string name_;
+  uint64_t generation_ = 0;
   std::unique_ptr<ThreadPool> pool_;
   ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;

@@ -44,6 +44,18 @@ class SynchronizedSetIndex {
     return index_->Delete(oid);
   }
 
+  // The whole batch applies atomically with respect to concurrent callers
+  // (one mutex); queries see either none or all of its effects.
+  StatusOr<std::vector<Oid>> ApplyBatch(const WriteBatch& batch) {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_->ApplyBatch(batch);
+  }
+
+  Status Compact() {
+    std::lock_guard<std::mutex> lock(mu_);
+    return index_->Compact();
+  }
+
   StatusOr<StoredObject> Get(Oid oid) const {
     std::lock_guard<std::mutex> lock(mu_);
     return index_->Get(oid);

@@ -1,0 +1,69 @@
+// WriteBatch: a group of inserts and deletes applied together so each
+// facility can coalesce its page writes across the group (the batched
+// Table 7 regime: BSSF touches each dirty slice page once per batch, SSF
+// appends page-at-a-time, NIX descends once per distinct element).
+//
+// A batch is a plain value — build it up, hand it to
+// SetIndex::ApplyBatch / Database::ApplyBatch, reuse or discard it.
+// Deleting an OID inserted by the same batch is not supported (delete
+// victims are resolved against the pre-batch store); split such sequences
+// across two batches.
+
+#ifndef SIGSET_DB_WRITE_BATCH_H_
+#define SIGSET_DB_WRITE_BATCH_H_
+
+#include <vector>
+
+#include "obj/object.h"
+#include "obj/oid.h"
+
+namespace sigsetdb {
+
+// Batch over one indexed set attribute (SetIndex).
+class WriteBatch {
+ public:
+  void Insert(const ElementSet& set_value) { inserts_.push_back(set_value); }
+  void Delete(Oid oid) { deletes_.push_back(oid); }
+
+  const std::vector<ElementSet>& inserts() const { return inserts_; }
+  const std::vector<Oid>& deletes() const { return deletes_; }
+  size_t size() const { return inserts_.size() + deletes_.size(); }
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  void Clear() {
+    inserts_.clear();
+    deletes_.clear();
+  }
+
+ private:
+  std::vector<ElementSet> inserts_;
+  std::vector<Oid> deletes_;
+};
+
+// Batch over multi-attribute objects (Database).  Each insert carries one
+// ElementSet per indexed attribute, in attribute order.
+class MultiWriteBatch {
+ public:
+  void Insert(const std::vector<ElementSet>& attr_values) {
+    inserts_.push_back(attr_values);
+  }
+  void Delete(Oid oid) { deletes_.push_back(oid); }
+
+  const std::vector<std::vector<ElementSet>>& inserts() const {
+    return inserts_;
+  }
+  const std::vector<Oid>& deletes() const { return deletes_; }
+  size_t size() const { return inserts_.size() + deletes_.size(); }
+  bool empty() const { return inserts_.empty() && deletes_.empty(); }
+  void Clear() {
+    inserts_.clear();
+    deletes_.clear();
+  }
+
+ private:
+  std::vector<std::vector<ElementSet>> inserts_;
+  std::vector<Oid> deletes_;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_DB_WRITE_BATCH_H_

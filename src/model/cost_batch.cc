@@ -1,0 +1,55 @@
+#include "model/cost_batch.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "model/cost_nix.h"
+#include "model/false_drop.h"
+
+namespace sigsetdb {
+
+double SsfBatchInsertCost(const DatabaseParams& db, const SignatureParams& sig,
+                          int64_t n) {
+  if (n < 1) return 0.0;
+  int64_t spp = db.PageBits() / sig.f;
+  return static_cast<double>(CeilDiv(n, spp) + CeilDiv(n, db.OidsPerPage())) /
+         static_cast<double>(n);
+}
+
+double BssfBatchInsertCost(const SignatureParams& sig, const DatabaseParams& db,
+                           int64_t n) {
+  if (n < 1) return 0.0;
+  return (static_cast<double>(sig.f) +
+          static_cast<double>(CeilDiv(n, db.OidsPerPage()))) /
+         static_cast<double>(n);
+}
+
+double BssfBatchInsertCostSparse(const SignatureParams& sig,
+                                 const DatabaseParams& db, int64_t dt,
+                                 int64_t n) {
+  if (n < 1) return 0.0;
+  double f = static_cast<double>(sig.f);
+  double m_t = ExpectedSignatureWeight(sig, dt);
+  double dirty_slices = f * (1.0 - std::pow(1.0 - m_t / f, n));
+  return (dirty_slices + static_cast<double>(CeilDiv(n, db.OidsPerPage()))) /
+         static_cast<double>(n);
+}
+
+double NixBatchInsertCost(const DatabaseParams& db, const NixParams& nix,
+                          int64_t dt, int64_t n) {
+  if (n < 1) return 0.0;
+  double v = static_cast<double>(db.v);
+  double postings = static_cast<double>(n) * static_cast<double>(dt);
+  double distinct_keys = v * (1.0 - std::pow(1.0 - 1.0 / v, postings));
+  double rc = static_cast<double>(NixLookupCost(db, nix, dt));
+  return rc * distinct_keys / static_cast<double>(n);
+}
+
+double SigBatchDeleteCost(const DatabaseParams& db, int64_t n) {
+  if (n < 1) return 0.0;
+  double sc_oid = static_cast<double>(db.OidFilePages());
+  return (sc_oid + std::min(static_cast<double>(n), sc_oid)) /
+         static_cast<double>(n);
+}
+
+}  // namespace sigsetdb

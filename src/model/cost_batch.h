@@ -1,0 +1,56 @@
+// Amortized update costs of the batched write path (extension, DESIGN.md
+// §11).  Each formula gives the expected page WRITES per operation when n
+// operations are grouped into one WriteBatch, so the n = 1 case degenerates
+// to the per-operation costs of cost_ssf.h / cost_bssf.h / cost_nix.h and
+// the n → ∞ limit exposes the amortization floor.
+
+#ifndef SIGSET_MODEL_COST_BATCH_H_
+#define SIGSET_MODEL_COST_BATCH_H_
+
+#include "model/params.h"
+
+namespace sigsetdb {
+
+// SSF batch insert, per operation:
+//   UC_I(n) = (⌈n/spp⌉ + ⌈n/O_d⌉) / n,  spp = ⌊P·b/F⌋.
+// The appender fills whole signature pages (spp signatures each) and whole
+// OID pages (O_d entries each) before writing them, so a batch of n appends
+// writes ⌈n/spp⌉ + ⌈n/O_d⌉ pages instead of 2n.
+double SsfBatchInsertCost(const DatabaseParams& db, const SignatureParams& sig,
+                          int64_t n);
+
+// BSSF batch insert (kTouchAllSlices), per operation:
+//   UC_I(n) = (F + ⌈n/O_d⌉) / n
+// in the paper's one-page-per-slice regime (N ≤ P·b): the first insert
+// dirties every slice page, so the whole batch writes each of the F slice
+// pages exactly once.
+double BssfBatchInsertCost(const SignatureParams& sig, const DatabaseParams& db,
+                           int64_t n);
+
+// BSSF batch insert (kSparse), per operation:
+//   UC_I(n) = F·(1 − (1 − m_t/F)^n)/n + ⌈n/O_d⌉/n,
+// m_t = F·(1 − (1 − m/F)^Dt).  Each of the F slice pages is dirtied iff at
+// least one of the n signatures has a one bit in that slice (probability
+// m_t/F per signature), and each dirty page is written exactly once.
+double BssfBatchInsertCostSparse(const SignatureParams& sig,
+                                 const DatabaseParams& db, int64_t dt,
+                                 int64_t n);
+
+// NIX batch insert, per operation:
+//   UC_I(n) = rc·K/n,  K = V·(1 − (1 − 1/V)^(n·Dt)).
+// K is the expected number of DISTINCT element values among the batch's
+// n·Dt postings; the batch descends once per distinct key instead of once
+// per posting.
+double NixBatchInsertCost(const DatabaseParams& db, const NixParams& nix,
+                          int64_t dt, int64_t n);
+
+// SSF/BSSF batch delete, per operation:
+//   UC_D(n) = (SC_OID + min(n, SC_OID)) / n.
+// One tombstoning pass reads the whole OID file once (SC_OID pages) and
+// rewrites only the pages holding victims — at most one page per victim and
+// at most the whole file.
+double SigBatchDeleteCost(const DatabaseParams& db, int64_t n);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_BATCH_H_

@@ -647,6 +647,183 @@ Status BTree::Insert(uint64_t key, Oid oid) {
   return Status::OK();
 }
 
+Status BTree::LeafApply(PageId page_id, Page* page, uint64_t key,
+                        const std::vector<Oid>& adds,
+                        const std::vector<Oid>& removes, bool* split,
+                        uint64_t* promoted, PageId* new_child) {
+  std::vector<LeafRecord> records = ParseLeaf(*page);
+  PageId next_leaf = LeafNext(*page);
+  auto it = FindRecord(records, key);
+  const bool exists = it != records.end() && it->key == key;
+  if (!exists && !removes.empty()) {
+    return Status::NotFound("key not in index: " + std::to_string(key));
+  }
+  // Materialize the key's full posting list, edit it in memory, and write
+  // the record (and any overflow chain) back once for the whole group.
+  std::vector<Oid> postings;
+  bool had_overflow = false;
+  PageId old_first = kInvalidPage;
+  if (exists) {
+    if (it->overflow) {
+      had_overflow = true;
+      old_first = it->first_page;
+      SIGSET_RETURN_IF_ERROR(
+          ReadOverflowChain(old_first, it->total, &postings));
+    } else {
+      postings = std::move(it->inline_postings);
+    }
+  }
+  for (const Oid& oid : removes) {
+    auto oid_it = std::find(postings.begin(), postings.end(), oid);
+    if (oid_it == postings.end()) {
+      return Status::NotFound("oid not in posting list of key " +
+                              std::to_string(key));
+    }
+    postings.erase(oid_it);
+  }
+  postings.insert(postings.end(), adds.begin(), adds.end());
+  if (had_overflow) {
+    // The chain is rewritten (or dropped) below; recycle its pages first so
+    // the rewrite can reuse them.
+    SIGSET_RETURN_IF_ERROR(FreeChain(old_first));
+  }
+  if (postings.empty()) {
+    if (exists) records.erase(it);
+    if (!WriteLeaf(records, next_leaf, page)) {
+      return Status::Internal("leaf shrank but does not fit");
+    }
+    SIGSET_RETURN_IF_ERROR(file_->Write(page_id, *page));
+    *split = false;
+    return Status::OK();
+  }
+  if (!exists) {
+    LeafRecord record;
+    record.key = key;
+    it = records.insert(it, std::move(record));
+  }
+  if (postings.size() > kMaxInlinePostings) {
+    SIGSET_ASSIGN_OR_RETURN(PageId first, WriteOverflowChain(postings));
+    it->overflow = true;
+    it->total = static_cast<uint32_t>(postings.size());
+    it->first_page = first;
+    it->inline_postings.clear();
+    it->inline_postings.shrink_to_fit();
+  } else {
+    it->overflow = false;
+    it->total = 0;
+    it->first_page = kInvalidPage;
+    it->inline_postings = std::move(postings);
+  }
+  if (WriteLeaf(records, next_leaf, page)) {
+    SIGSET_RETURN_IF_ERROR(file_->Write(page_id, *page));
+    *split = false;
+    return Status::OK();
+  }
+  // Same byte-balanced split as LeafInsert.
+  SIGSET_FAILPOINT("btree.split");
+  size_t total = LeafBytes(records) - kHeaderBytes;
+  size_t acc = 0;
+  size_t cut = 0;
+  while (cut + 1 < records.size() && acc < total / 2) {
+    acc += LeafRecordBytes(records[cut]);
+    ++cut;
+  }
+  if (cut == 0) cut = 1;
+  std::vector<LeafRecord> left(records.begin(),
+                               records.begin() + static_cast<ptrdiff_t>(cut));
+  std::vector<LeafRecord> right(records.begin() + static_cast<ptrdiff_t>(cut),
+                                records.end());
+  SIGSET_ASSIGN_OR_RETURN(PageId right_id, file_->Allocate());
+  Page right_page;
+  if (!WriteLeaf(right, next_leaf, &right_page) ||
+      !WriteLeaf(left, right_id, page)) {
+    return Status::Internal("leaf split halves do not fit");
+  }
+  SIGSET_RETURN_IF_ERROR(file_->Write(page_id, *page));
+  SIGSET_RETURN_IF_ERROR(file_->Write(right_id, right_page));
+  ++leaf_pages_;
+  *split = true;
+  *promoted = right.front().key;
+  *new_child = right_id;
+  return Status::OK();
+}
+
+Status BTree::ApplyRec(PageId page_id, uint64_t key,
+                       const std::vector<Oid>& adds,
+                       const std::vector<Oid>& removes, bool* split,
+                       uint64_t* promoted, PageId* new_child) {
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(page_id, &page));
+  if (NodeType(page) == kLeafType) {
+    return LeafApply(page_id, &page, key, adds, removes, split, promoted,
+                     new_child);
+  }
+  ParsedInternal node = ParseInternal(page);
+  size_t ci = ChildIndex(node, key);
+  bool child_split = false;
+  uint64_t child_promoted = 0;
+  PageId child_new = kInvalidPage;
+  SIGSET_RETURN_IF_ERROR(ApplyRec(node.children[ci], key, adds, removes,
+                                  &child_split, &child_promoted, &child_new));
+  if (!child_split) {
+    *split = false;
+    return Status::OK();
+  }
+  node.keys.insert(node.keys.begin() + static_cast<ptrdiff_t>(ci),
+                   child_promoted);
+  node.children.insert(node.children.begin() + static_cast<ptrdiff_t>(ci) + 1,
+                       child_new);
+  if (node.keys.size() <= InternalMaxKeys(max_fanout_)) {
+    WriteInternal(node, &page);
+    SIGSET_RETURN_IF_ERROR(file_->Write(page_id, page));
+    *split = false;
+    return Status::OK();
+  }
+  SIGSET_FAILPOINT("btree.split");
+  size_t mid = node.keys.size() / 2;
+  ParsedInternal left;
+  left.keys.assign(node.keys.begin(), node.keys.begin() + mid);
+  left.children.assign(node.children.begin(),
+                       node.children.begin() + mid + 1);
+  ParsedInternal right;
+  right.keys.assign(node.keys.begin() + mid + 1, node.keys.end());
+  right.children.assign(node.children.begin() + mid + 1,
+                        node.children.end());
+  SIGSET_ASSIGN_OR_RETURN(PageId right_id, file_->Allocate());
+  Page right_page;
+  WriteInternal(left, &page);
+  WriteInternal(right, &right_page);
+  SIGSET_RETURN_IF_ERROR(file_->Write(page_id, page));
+  SIGSET_RETURN_IF_ERROR(file_->Write(right_id, right_page));
+  ++internal_pages_;
+  *split = true;
+  *promoted = node.keys[mid];
+  *new_child = right_id;
+  return Status::OK();
+}
+
+Status BTree::Apply(uint64_t key, const std::vector<Oid>& adds,
+                    const std::vector<Oid>& removes) {
+  if (adds.empty() && removes.empty()) return Status::OK();
+  bool split = false;
+  uint64_t promoted = 0;
+  PageId new_child = kInvalidPage;
+  SIGSET_RETURN_IF_ERROR(
+      ApplyRec(root_, key, adds, removes, &split, &promoted, &new_child));
+  if (!split) return Status::OK();
+  ParsedInternal new_root;
+  new_root.keys = {promoted};
+  new_root.children = {root_, new_child};
+  SIGSET_ASSIGN_OR_RETURN(PageId root_id, file_->Allocate());
+  Page page;
+  WriteInternal(new_root, &page);
+  SIGSET_RETURN_IF_ERROR(file_->Write(root_id, page));
+  root_ = root_id;
+  ++internal_pages_;
+  ++height_;
+  return Status::OK();
+}
+
 Status BTree::Remove(uint64_t key, Oid oid) {
   Page page;
   PageId current = root_;

@@ -85,6 +85,16 @@ class BTree {
   // Adds `oid` to the posting list of `key` (creating the entry if absent).
   Status Insert(uint64_t key, Oid oid);
 
+  // Applies a group of posting changes to `key` with ONE descent: removes
+  // first, then adds, rewriting the key's record (and its overflow chain,
+  // when present) once.  Equivalent to the same sequence of Insert/Remove
+  // calls — including kNotFound when a removed oid (or the key) is absent —
+  // but costs rc + O(1) page accesses per distinct key instead of per
+  // posting, which is what makes batched NIX updates amortize.  Only one
+  // record changes, so at most one leaf split (plus promotions) can occur.
+  Status Apply(uint64_t key, const std::vector<Oid>& adds,
+               const std::vector<Oid>& removes);
+
   // Removes one occurrence of `oid` from `key`'s posting list; removes the
   // entry when the posting empties.  kNotFound if absent.
   Status Remove(uint64_t key, Oid oid);
@@ -135,6 +145,16 @@ class BTree {
 
   Status LeafInsert(PageId page_id, Page* page, uint64_t key, Oid oid,
                     bool* split, uint64_t* promoted, PageId* new_child);
+
+  // Recursive grouped-change descent for Apply(); same promotion contract
+  // as InsertRec.
+  Status ApplyRec(PageId page_id, uint64_t key, const std::vector<Oid>& adds,
+                  const std::vector<Oid>& removes, bool* split,
+                  uint64_t* promoted, PageId* new_child);
+  Status LeafApply(PageId page_id, Page* page, uint64_t key,
+                   const std::vector<Oid>& adds,
+                   const std::vector<Oid>& removes, bool* split,
+                   uint64_t* promoted, PageId* new_child);
 
   // Overflow-chain helpers (declared here because they touch file_ and the
   // overflow page counter); see btree.cc for the record/page formats.

@@ -56,6 +56,31 @@ Status NestedIndex::Remove(Oid oid, const ElementSet& set_value) {
   return Status::OK();
 }
 
+Status NestedIndex::ApplyBatch(const std::vector<BatchOp>& ops) {
+  // Aggregate the batch per element value (std::map keeps keys sorted, so
+  // the descents walk the tree left to right), then apply each key's adds
+  // and removes with one descent.
+  struct KeyChanges {
+    std::vector<Oid> adds;
+    std::vector<Oid> removes;
+  };
+  std::map<uint64_t, KeyChanges> by_key;
+  for (const BatchOp& op : ops) {
+    for (uint64_t element : op.set_value) {
+      KeyChanges& changes = by_key[element];
+      if (op.kind == BatchOp::Kind::kInsert) {
+        changes.adds.push_back(op.oid);
+      } else {
+        changes.removes.push_back(op.oid);
+      }
+    }
+  }
+  for (const auto& [key, changes] : by_key) {
+    SIGSET_RETURN_IF_ERROR(tree_->Apply(key, changes.adds, changes.removes));
+  }
+  return Status::OK();
+}
+
 StatusOr<CandidateResult> NestedIndex::CandidatesSmartSuperset(
     const ElementSet& query, size_t use_elements) {
   size_t n = std::min(use_elements, query.size());

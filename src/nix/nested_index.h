@@ -44,6 +44,12 @@ class NestedIndex : public SetAccessFacility {
   Status Insert(Oid oid, const ElementSet& set_value) override;
   Status Remove(Oid oid, const ElementSet& set_value) override;
 
+  // Grouped write path: aggregates the batch's posting adds/removes per
+  // element value, then descends the B-tree once per DISTINCT key in sorted
+  // order (BTree::Apply), so posting-list writes are coalesced per key and
+  // splits amortize — the batched K·rc cost instead of n·Dt·rc.
+  Status ApplyBatch(const std::vector<BatchOp>& ops) override;
+
   StatusOr<CandidateResult> Candidates(QueryKind kind,
                                        const ElementSet& query) override;
 

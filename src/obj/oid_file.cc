@@ -1,5 +1,8 @@
 #include "obj/oid_file.h"
 
+#include <algorithm>
+#include <unordered_map>
+
 #include "util/failpoint.h"
 
 namespace sigsetdb {
@@ -17,11 +20,30 @@ Status OidFile::Recover(uint64_t num_entries) {
         "oid file has fewer pages than recovered entry count needs");
   }
   num_entries_ = num_entries;
-  if (num_entries_ > 0 && num_entries_ % kOidsPerPage != 0) {
-    // The tail page is the one holding entry num_entries-1: reload the
-    // appender image from it.
-    tail_page_ = static_cast<PageId>(expected_pages - 1);
-    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &tail_));
+  num_live_ = 0;
+  free_slots_.clear();
+  // Rebuild the free list from the persisted delete flags: the tombstone bit
+  // IS the durable free-slot record, so a rescan is all recovery needs.
+  Page page;
+  const PageId used_pages = UsedPages();
+  for (PageId p = 0; p < used_pages; ++p) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
+    uint64_t entries_on_page = std::min<uint64_t>(
+        kOidsPerPage, num_entries_ - uint64_t{p} * kOidsPerPage);
+    for (uint64_t i = 0; i < entries_on_page; ++i) {
+      uint64_t slot = uint64_t{p} * kOidsPerPage + i;
+      if (page.ReadAt<uint64_t>(i * kOidBytes) & kDeleteFlag) {
+        free_slots_.push_back(slot);
+      } else {
+        ++num_live_;
+      }
+    }
+    if (num_entries_ % kOidsPerPage != 0 && p + 1 == used_pages) {
+      // The tail page is the one holding entry num_entries-1: keep the
+      // appender image from it.
+      tail_page_ = p;
+      tail_ = page;
+    }
   }
   return Status::OK();
 }
@@ -37,7 +59,32 @@ StatusOr<uint64_t> OidFile::Append(Oid oid) {
   tail_.WriteAt<uint64_t>(offset_in_page * kOidBytes, oid.value());
   SIGSET_RETURN_IF_ERROR(file_->Write(tail_page_, tail_));
   ++num_entries_;
+  ++num_live_;
   return slot;
+}
+
+StatusOr<uint64_t> OidFile::AppendMany(const std::vector<Oid>& oids) {
+  const uint64_t first_slot = num_entries_;
+  size_t i = 0;
+  while (i < oids.size()) {
+    SIGSET_FAILPOINT("oid_file.append");
+    uint32_t offset_in_page =
+        static_cast<uint32_t>(num_entries_ % kOidsPerPage);
+    if (offset_in_page == 0) {
+      SIGSET_ASSIGN_OR_RETURN(tail_page_, file_->Allocate());
+      tail_.Zero();
+    }
+    // Fill the tail page as far as it goes, then write it once.
+    while (i < oids.size() && offset_in_page < kOidsPerPage) {
+      tail_.WriteAt<uint64_t>(offset_in_page * kOidBytes, oids[i].value());
+      ++offset_in_page;
+      ++i;
+    }
+    SIGSET_RETURN_IF_ERROR(file_->Write(tail_page_, tail_));
+    num_entries_ = uint64_t{tail_page_} * kOidsPerPage + offset_in_page;
+  }
+  num_live_ += oids.size();
+  return first_slot;
 }
 
 StatusOr<Oid> OidFile::Get(uint64_t slot) const {
@@ -74,13 +121,12 @@ StatusOr<std::vector<Oid>> OidFile::GetMany(
   return out;
 }
 
-Status OidFile::MarkDeleted(Oid oid) {
+StatusOr<uint64_t> OidFile::MarkDeleted(Oid oid) {
   SIGSET_FAILPOINT("oid_file.mark_deleted");
   Page page;
   // Scan only pages holding live entries; the file may have extra allocated
   // pages after crash recovery.
-  const PageId used_pages =
-      static_cast<PageId>((num_entries_ + kOidsPerPage - 1) / kOidsPerPage);
+  const PageId used_pages = UsedPages();
   for (PageId p = 0; p < used_pages; ++p) {
     SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
     uint64_t entries_on_page =
@@ -93,11 +139,144 @@ Status OidFile::MarkDeleted(Oid oid) {
         SIGSET_RETURN_IF_ERROR(file_->Write(p, page));
         // Keep the appender's tail image coherent if we touched it.
         if (p == tail_page_) tail_ = page;
-        return Status::OK();
+        uint64_t slot = uint64_t{p} * kOidsPerPage + i;
+        free_slots_.push_back(slot);
+        --num_live_;
+        return slot;
       }
     }
   }
   return Status::NotFound("oid not present: " + oid.ToString());
+}
+
+StatusOr<std::vector<uint64_t>> OidFile::MarkDeletedMany(
+    const std::vector<Oid>& oids) {
+  // Locate everything first, buffering modified page images; nothing is
+  // written until every victim is found, so a missing (or repeated) oid
+  // fails cleanly with zero I/O side effects.
+  std::unordered_map<uint64_t, size_t> wanted;  // oid value -> input index
+  wanted.reserve(oids.size());
+  for (size_t i = 0; i < oids.size(); ++i) {
+    if (!wanted.emplace(oids[i].value(), i).second) {
+      return Status::InvalidArgument("duplicate oid in batch delete: " +
+                                     oids[i].ToString());
+    }
+  }
+  std::vector<uint64_t> slots(oids.size());
+  std::vector<std::pair<PageId, Page>> dirty;
+  size_t found = 0;
+  Page page;
+  const PageId used_pages = UsedPages();
+  for (PageId p = 0; p < used_pages && found < oids.size(); ++p) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
+    uint64_t entries_on_page = std::min<uint64_t>(
+        kOidsPerPage, num_entries_ - uint64_t{p} * kOidsPerPage);
+    bool page_dirty = false;
+    for (uint64_t i = 0; i < entries_on_page; ++i) {
+      uint64_t raw = page.ReadAt<uint64_t>(i * kOidBytes);
+      auto it = wanted.find(raw);
+      if (it == wanted.end()) continue;
+      page.WriteAt<uint64_t>(i * kOidBytes, raw | kDeleteFlag);
+      slots[it->second] = uint64_t{p} * kOidsPerPage + i;
+      page_dirty = true;
+      ++found;
+    }
+    if (page_dirty) dirty.emplace_back(p, page);
+  }
+  if (found < oids.size()) {
+    // A flagged entry no longer equals the oid value, so double deletes
+    // land here too.
+    return Status::NotFound("oid not present in batch delete");
+  }
+  for (auto& [p, image] : dirty) {
+    SIGSET_FAILPOINT("oid_file.mark_deleted");
+    SIGSET_RETURN_IF_ERROR(file_->Write(p, image));
+    if (p == tail_page_) tail_ = image;
+  }
+  for (uint64_t slot : slots) free_slots_.push_back(slot);
+  num_live_ -= oids.size();
+  return slots;
+}
+
+Status OidFile::SetAt(uint64_t slot, Oid oid) {
+  if (slot >= num_entries_) {
+    return Status::OutOfRange("oid slot out of range");
+  }
+  SIGSET_FAILPOINT("oid_file.append");
+  PageId page_no = static_cast<PageId>(slot / kOidsPerPage);
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(page_no, &page));
+  uint64_t offset = (slot % kOidsPerPage) * kOidBytes;
+  if ((page.ReadAt<uint64_t>(offset) & kDeleteFlag) == 0) {
+    return Status::Internal("SetAt target slot is not tombstoned");
+  }
+  page.WriteAt<uint64_t>(offset, oid.value());
+  SIGSET_RETURN_IF_ERROR(file_->Write(page_no, page));
+  if (page_no == tail_page_) tail_ = page;
+  DropFreeSlot(slot);
+  ++num_live_;
+  return Status::OK();
+}
+
+Status OidFile::SetMany(
+    const std::vector<std::pair<uint64_t, Oid>>& entries) {
+  Page page;
+  PageId loaded = kInvalidPage;
+  for (size_t i = 0; i < entries.size(); ++i) {
+    auto [slot, oid] = entries[i];
+    if (slot >= num_entries_) {
+      return Status::OutOfRange("oid slot out of range");
+    }
+    if (i > 0 && slot <= entries[i - 1].first) {
+      return Status::InvalidArgument("SetMany entries must be slot-sorted");
+    }
+    PageId page_no = static_cast<PageId>(slot / kOidsPerPage);
+    if (page_no != loaded) {
+      if (loaded != kInvalidPage) {
+        SIGSET_RETURN_IF_ERROR(file_->Write(loaded, page));
+        if (loaded == tail_page_) tail_ = page;
+      }
+      SIGSET_FAILPOINT("oid_file.append");
+      SIGSET_RETURN_IF_ERROR(file_->Read(page_no, &page));
+      loaded = page_no;
+    }
+    uint64_t offset = (slot % kOidsPerPage) * kOidBytes;
+    if ((page.ReadAt<uint64_t>(offset) & kDeleteFlag) == 0) {
+      return Status::Internal("SetMany target slot is not tombstoned");
+    }
+    page.WriteAt<uint64_t>(offset, oid.value());
+    DropFreeSlot(slot);
+    ++num_live_;
+  }
+  if (loaded != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Write(loaded, page));
+    if (loaded == tail_page_) tail_ = page;
+  }
+  return Status::OK();
+}
+
+StatusOr<std::vector<std::pair<uint64_t, Oid>>> OidFile::LiveEntries() const {
+  std::vector<std::pair<uint64_t, Oid>> out;
+  out.reserve(num_live_);
+  Page page;
+  const PageId used_pages = UsedPages();
+  for (PageId p = 0; p < used_pages; ++p) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
+    uint64_t entries_on_page = std::min<uint64_t>(
+        kOidsPerPage, num_entries_ - uint64_t{p} * kOidsPerPage);
+    for (uint64_t i = 0; i < entries_on_page; ++i) {
+      uint64_t raw = page.ReadAt<uint64_t>(i * kOidBytes);
+      if ((raw & kDeleteFlag) == 0) {
+        out.emplace_back(uint64_t{p} * kOidsPerPage + i, Oid(raw));
+      }
+    }
+  }
+  return out;
+}
+
+void OidFile::DropFreeSlot(uint64_t slot) {
+  auto it = std::find(free_slots_.begin(), free_slots_.end(), slot);
+  if (it != free_slots_.end()) free_slots_.erase(it);
 }
 
 }  // namespace sigsetdb

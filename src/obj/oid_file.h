@@ -5,11 +5,19 @@
 // (O_d = ⌊P/oid⌋ = 512 entries per page).  Deletion sets a delete flag in
 // the OID entry (found by sequential scan, expected SC_OID/2 page accesses),
 // leaving a dangling signature that is filtered at lookup time.
+//
+// The delete flag doubles as the persistent free-slot record: recovery
+// rescans the used pages and rebuilds the in-memory free list from the
+// flags, so tombstoned slots can be handed back out to later inserts
+// (SetAt/SetMany overwrite the entry in place and clear the flag).  The
+// entry count `num_entries_` stays a high-water mark — the checkpoint
+// format is unchanged — while `num_live_` tracks the unflagged population.
 
 #ifndef SIGSET_OBJ_OID_FILE_H_
 #define SIGSET_OBJ_OID_FILE_H_
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "obj/oid.h"
@@ -30,12 +38,18 @@ class OidFile {
   explicit OidFile(PageFile* file);
 
   // Restores appender state over a populated file: validates the page count
-  // against `num_entries` and reloads the tail-page image (one page read;
-  // callers treat recovery I/O as setup).
+  // against `num_entries`, reloads the tail-page image, and rescans the used
+  // pages to rebuild the free-slot list from persisted delete flags (one
+  // read per used page; callers treat recovery I/O as setup).
   Status Recover(uint64_t num_entries);
 
   // Appends `oid`, returning its slot number (== signature position).
   StatusOr<uint64_t> Append(Oid oid);
+
+  // Appends `oids` as one contiguous run of fresh slots, writing each
+  // touched tail page once (⌈n/O_d⌉-ish writes instead of n).  Returns the
+  // slot of the first appended entry; the rest follow consecutively.
+  StatusOr<uint64_t> AppendMany(const std::vector<Oid>& oids);
 
   // Reads the entry at `slot` (one page read).  Returns an invalid Oid if
   // the entry is delete-flagged.
@@ -49,11 +63,40 @@ class OidFile {
 
   // Scans from the start for the entry holding `oid` and sets its delete
   // flag.  Costs (slot/O_d + 1) page reads + 1 write; averaged over uniform
-  // victims this is the model's UC_D = SC_OID/2.
-  Status MarkDeleted(Oid oid);
+  // victims this is the model's UC_D = SC_OID/2.  Returns the tombstoned
+  // slot, which also joins the free list for reuse.
+  StatusOr<uint64_t> MarkDeleted(Oid oid);
+
+  // Tombstones every oid in `oids` with ONE scan over the used pages and
+  // one write per dirty page — the batched UC_D: SC_OID reads plus
+  // min(n, dirty pages) writes for the whole batch.  Fails without writing
+  // anything if any oid is absent (or listed twice).  Returns the freed
+  // slots aligned with the input order.
+  StatusOr<std::vector<uint64_t>> MarkDeletedMany(const std::vector<Oid>& oids);
+
+  // Overwrites the tombstoned entry at `slot` with `oid` (clearing the
+  // delete flag) and removes the slot from the free list.  One page
+  // read-modify-write.  This is the commit point of slot reuse: callers
+  // deposit the new signature first, then SetAt publishes the slot.
+  Status SetAt(uint64_t slot, Oid oid);
+
+  // SetAt for many (slot, oid) pairs, grouped so each distinct page is
+  // read and written once.  `entries` must be sorted by slot.
+  Status SetMany(const std::vector<std::pair<uint64_t, Oid>>& entries);
+
+  // All live (unflagged) entries as (slot, oid), in slot order — one read
+  // per used page.  This is the compaction source stream.
+  StatusOr<std::vector<std::pair<uint64_t, Oid>>> LiveEntries() const;
+
+  // Tombstoned slots available for reuse (most recently freed last; callers
+  // take from the back and commit with SetAt/SetMany).
+  const std::vector<uint64_t>& free_slots() const { return free_slots_; }
 
   // Total entries appended (including delete-flagged ones).
   uint64_t num_entries() const { return num_entries_; }
+
+  // Entries not delete-flagged.
+  uint64_t num_live() const { return num_live_; }
 
   // Pages in the file (== ⌈num_entries/O_d⌉), the model's SC_OID.
   PageId num_pages() const { return file_->num_pages(); }
@@ -64,8 +107,18 @@ class OidFile {
  private:
   static constexpr uint64_t kDeleteFlag = uint64_t{1} << 63;
 
+  // Pages holding entries < num_entries_ (extra allocated pages from a
+  // crashed append are invisible).
+  PageId UsedPages() const {
+    return static_cast<PageId>((num_entries_ + kOidsPerPage - 1) /
+                               kOidsPerPage);
+  }
+  void DropFreeSlot(uint64_t slot);
+
   PageFile* file_;
   uint64_t num_entries_ = 0;
+  uint64_t num_live_ = 0;
+  std::vector<uint64_t> free_slots_;
   // In-memory image of the tail page being filled.
   Page tail_;
   PageId tail_page_ = kInvalidPage;

@@ -49,7 +49,17 @@ Status ResolveRange(const CandidateResult& candidates,
   for (size_t i = begin; i < end; ++i) {
     Oid oid = candidates.oids[i];
     StatusOr<StoredObject> obj = store.Get(oid, io);
-    SIGSET_RETURN_IF_ERROR(obj.status());
+    if (!obj.ok()) {
+      // A candidate with no stored object is a false drop, not an error —
+      // even for exact candidate sets: crash recovery rolls the indexes
+      // back to a checkpoint that can still reference objects whose store
+      // delete already committed.
+      if (obj.status().code() == StatusCode::kNotFound) {
+        ++*false_drops;
+        continue;
+      }
+      return obj.status();
+    }
     if (Satisfies(*obj, kind, query)) {
       kept->push_back(oid);
     } else {

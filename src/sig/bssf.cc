@@ -1,11 +1,25 @@
 #include "sig/bssf.h"
 
 #include <algorithm>
+#include <map>
 
 #include "util/failpoint.h"
 #include "util/math.h"
 
 namespace sigsetdb {
+namespace {
+
+// Writes `page` at index `p`, allocating intermediate pages as needed (the
+// compaction target may hold stale pages from a crashed earlier attempt).
+Status WriteOrAllocate(PageFile* file, PageId p, const Page& page) {
+  while (file->num_pages() <= p) {
+    SIGSET_ASSIGN_OR_RETURN(PageId allocated, file->Allocate());
+    (void)allocated;
+  }
+  return file->Write(p, page);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<BitSlicedSignatureFile>>
 BitSlicedSignatureFile::Create(const SignatureConfig& config,
@@ -53,23 +67,42 @@ Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
   SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page));
   if (set_bit) {
     page.data()[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+  } else {
+    // Clearing matters on the delete and slot-reuse paths; for a fresh slot
+    // the bit is already 0 and the page write still happens in
+    // kTouchAllSlices mode to model the worst case.
+    page.data()[bit >> 3] &= static_cast<uint8_t>(~(1u << (bit & 7)));
   }
-  // For a fresh slot the bit is already 0, so clearing is a no-op; the page
-  // write still happens in kTouchAllSlices mode to model the worst case.
   SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
   return Status::OK();
 }
 
+Status BitSlicedSignatureFile::WriteFullColumn(uint64_t slot,
+                                               const BitVector& sig) {
+  for (uint32_t j = 0; j < config_.f; ++j) {
+    SIGSET_RETURN_IF_ERROR(TouchSlice(j, slot, sig.Test(j)));
+  }
+  return Status::OK();
+}
+
 Status BitSlicedSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
+  BitVector sig = MakeSetSignature(set_value, config_);
+  if (!oid_file_.free_slots().empty()) {
+    // Reuse the most recently tombstoned slot.  The full column is written
+    // regardless of insert mode: a stale 1 from the previous occupant (or
+    // a crash between Remove's tombstone and its clears) in a slice where
+    // the new signature is 0 would wrongly exclude this object from subset
+    // candidates, so every slice bit must be set-or-cleared explicitly.
+    uint64_t slot = oid_file_.free_slots().back();
+    SIGSET_RETURN_IF_ERROR(WriteFullColumn(slot, sig));
+    return oid_file_.SetAt(slot, oid);
+  }
   if (num_signatures_ >= capacity_) {
     return Status::OutOfRange("bssf capacity exhausted");
   }
-  BitVector sig = MakeSetSignature(set_value, config_);
   uint64_t slot = num_signatures_;
   if (insert_mode_ == BssfInsertMode::kTouchAllSlices) {
-    for (uint32_t j = 0; j < config_.f; ++j) {
-      SIGSET_RETURN_IF_ERROR(TouchSlice(j, slot, sig.Test(j)));
-    }
+    SIGSET_RETURN_IF_ERROR(WriteFullColumn(slot, sig));
   } else {
     Status status = Status::OK();
     sig.ForEachSetBit([&](size_t j) {
@@ -149,9 +182,195 @@ Status BitSlicedSignatureFile::BulkLoad(const std::vector<Oid>& oids,
   return Status::OK();
 }
 
-Status BitSlicedSignatureFile::Remove(Oid oid,
-                                      const ElementSet& /*set_value*/) {
-  return oid_file_.MarkDeleted(oid);
+Status BitSlicedSignatureFile::Remove(Oid oid, const ElementSet& set_value) {
+  // Tombstone first — that is the commit point making the slot invisible —
+  // then clear the signature's set bits so the freed column returns to
+  // all-zero (sparse reuse and subset scans rely on clean zero columns; a
+  // crash mid-clear is repaired by the reuse path's full-column write).
+  SIGSET_ASSIGN_OR_RETURN(uint64_t slot, oid_file_.MarkDeleted(oid));
+  BitVector sig = MakeSetSignature(set_value, config_);
+  Status status = Status::OK();
+  sig.ForEachSetBit([&](size_t j) {
+    if (status.ok()) {
+      status = TouchSlice(static_cast<uint32_t>(j), slot, /*set_bit=*/false);
+    }
+  });
+  return status;
+}
+
+Status BitSlicedSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
+  // Phase 1 — tombstone the removes with one OID-file scan and collect the
+  // batch's bit changes: clears for removed columns, full columns for
+  // reused slots, set bits (or full columns in kTouchAllSlices mode) for
+  // fresh appends.
+  std::vector<Oid> remove_oids;
+  std::vector<const ElementSet*> remove_sets;
+  std::vector<const BatchOp*> inserts;
+  for (const BatchOp& op : ops) {
+    if (op.kind == BatchOp::Kind::kRemove) {
+      remove_oids.push_back(op.oid);
+      remove_sets.push_back(&op.set_value);
+    } else {
+      inserts.push_back(&op);
+    }
+  }
+  // page -> (bit offset in page, set?) changes, applied with one RMW per
+  // dirty page for the entire batch.
+  std::map<PageId, std::vector<std::pair<uint64_t, bool>>> changes;
+  auto add_change = [&](uint32_t slice, uint64_t slot, bool set_bit) {
+    PageId page_no = static_cast<PageId>(
+        static_cast<uint64_t>(slice) * pages_per_slice_ + slot / kPageBits);
+    changes[page_no].emplace_back(slot % kPageBits, set_bit);
+  };
+  if (!remove_oids.empty()) {
+    SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                            oid_file_.MarkDeletedMany(remove_oids));
+    for (size_t i = 0; i < slots.size(); ++i) {
+      BitVector sig = MakeSetSignature(*remove_sets[i], config_);
+      sig.ForEachSetBit([&](size_t j) {
+        add_change(static_cast<uint32_t>(j), slots[i], false);
+      });
+    }
+  }
+  // Phase 2 — assign slots: freed slots first (full columns), then fresh
+  // appends off the high-water mark.
+  const std::vector<uint64_t>& free_slots = oid_file_.free_slots();
+  size_t reuse = std::min(inserts.size(), free_slots.size());
+  uint64_t fresh = inserts.size() - reuse;
+  if (num_signatures_ + fresh > capacity_) {
+    return Status::OutOfRange("bssf capacity exhausted");
+  }
+  std::vector<std::pair<uint64_t, Oid>> reused_entries;
+  reused_entries.reserve(reuse);
+  for (size_t i = 0; i < inserts.size(); ++i) {
+    BitVector sig = MakeSetSignature(inserts[i]->set_value, config_);
+    uint64_t slot;
+    bool full_column;
+    if (i < reuse) {
+      slot = free_slots[free_slots.size() - 1 - i];
+      reused_entries.emplace_back(slot, inserts[i]->oid);
+      full_column = true;  // stale-bit defence, as in Insert
+    } else {
+      slot = num_signatures_ + (i - reuse);
+      full_column = insert_mode_ == BssfInsertMode::kTouchAllSlices;
+    }
+    if (full_column) {
+      for (uint32_t j = 0; j < config_.f; ++j) {
+        add_change(j, slot, sig.Test(j));
+      }
+    } else {
+      sig.ForEachSetBit([&](size_t j) {
+        add_change(static_cast<uint32_t>(j), slot, true);
+      });
+    }
+  }
+  // Phase 3 — one read-modify-write per dirty slice page.
+  Page page;
+  for (const auto& [page_no, bits] : changes) {
+    SIGSET_FAILPOINT("bssf.touch_slice");
+    SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page));
+    for (const auto& [bit, set_bit] : bits) {
+      if (set_bit) {
+        page.data()[bit >> 3] |= static_cast<uint8_t>(1u << (bit & 7));
+      } else {
+        page.data()[bit >> 3] &= static_cast<uint8_t>(~(1u << (bit & 7)));
+      }
+    }
+    SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
+  }
+  // Phase 4 — publish the OID entries (reused slots become live again,
+  // fresh slots append page-at-a-time).
+  if (!reused_entries.empty()) {
+    std::sort(reused_entries.begin(), reused_entries.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    SIGSET_RETURN_IF_ERROR(oid_file_.SetMany(reused_entries));
+  }
+  if (fresh > 0) {
+    std::vector<Oid> appended;
+    appended.reserve(fresh);
+    for (size_t i = reuse; i < inserts.size(); ++i) {
+      appended.push_back(inserts[i]->oid);
+    }
+    SIGSET_ASSIGN_OR_RETURN(uint64_t first_slot,
+                            oid_file_.AppendMany(appended));
+    if (first_slot != num_signatures_) {
+      return Status::Internal("slice/OID slot mismatch in batch append");
+    }
+    num_signatures_ += fresh;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> BitSlicedSignatureFile::CompactTo(
+    PageFile* new_slice_file, PageFile* new_oid_file) const {
+  SIGSET_ASSIGN_OR_RETURN(auto live, oid_file_.LiveEntries());
+  // Dense target store assembled in memory (same footprint as BulkLoad);
+  // live slot d of the new store gets the column of live[d].
+  const uint64_t total_pages =
+      static_cast<uint64_t>(config_.f) * pages_per_slice_;
+  std::vector<Page> pages(total_pages);
+  // live is slot-sorted: precompute, per source page-in-slice, the range of
+  // live entries whose slot falls on that page.
+  std::vector<std::pair<size_t, size_t>> ranges(pages_per_slice_, {0, 0});
+  {
+    size_t begin = 0;
+    for (uint32_t p = 0; p < pages_per_slice_; ++p) {
+      size_t end = begin;
+      while (end < live.size() &&
+             live[end].first / kPageBits == p) {
+        ++end;
+      }
+      ranges[p] = {begin, end};
+      begin = end;
+    }
+  }
+  Page in_page;
+  for (uint32_t j = 0; j < config_.f; ++j) {
+    for (uint32_t p = 0; p < pages_per_slice_; ++p) {
+      auto [begin, end] = ranges[p];
+      if (begin == end) continue;
+      SIGSET_RETURN_IF_ERROR(slice_file_->Read(
+          static_cast<PageId>(static_cast<uint64_t>(j) * pages_per_slice_ + p),
+          &in_page));
+      for (size_t d = begin; d < end; ++d) {
+        uint64_t bit = live[d].first % kPageBits;
+        if (in_page.data()[bit >> 3] & (1u << (bit & 7))) {
+          Page& out = pages[static_cast<uint64_t>(j) * pages_per_slice_ +
+                            d / kPageBits];
+          out.data()[(d % kPageBits) >> 3] |=
+              static_cast<uint8_t>(1u << (d & 7));
+        }
+      }
+    }
+  }
+  // Write EVERY page of the target store (zero ones included):
+  // CreateFromExisting demands the exact page count, and overwriting wipes
+  // any leftovers from a crashed earlier attempt at this generation.
+  for (uint64_t p = 0; p < total_pages; ++p) {
+    SIGSET_RETURN_IF_ERROR(
+        WriteOrAllocate(new_slice_file, static_cast<PageId>(p), pages[p]));
+  }
+  // Dense OID file: pack live oids kOidsPerPage per page.
+  Page out_oid;
+  out_oid.Zero();
+  uint64_t dense = 0;
+  for (const auto& [slot, oid] : live) {
+    (void)slot;
+    out_oid.WriteAt<uint64_t>((dense % kOidsPerPage) * kOidBytes,
+                              oid.value());
+    ++dense;
+    if (dense % kOidsPerPage == 0) {
+      SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+          new_oid_file, static_cast<PageId>(dense / kOidsPerPage - 1),
+          out_oid));
+      out_oid.Zero();
+    }
+  }
+  if (dense % kOidsPerPage != 0) {
+    SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+        new_oid_file, static_cast<PageId>(dense / kOidsPerPage), out_oid));
+  }
+  return dense;
 }
 
 Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,

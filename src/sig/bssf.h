@@ -65,8 +65,36 @@ class BitSlicedSignatureFile : public SetAccessFacility {
 
   const std::string& name() const override { return name_; }
 
+  // Appends (or, when a tombstoned slot is free, reuses) a signature
+  // column.  A reused slot is written as a full column — every slice bit is
+  // set-or-cleared — so stale bits from the previous occupant (or from a
+  // crash mid-clear) can never surface as candidates or mask subset
+  // candidates.
   Status Insert(Oid oid, const ElementSet& set_value) override;
+
+  // Tombstones the OID entry (commit point), then clears the signature's
+  // set bits from the slot's column so the freed column returns to
+  // all-zero and sparse-mode reuse stays sound.  A crash between the two
+  // steps leaves a tombstoned slot with stale bits — harmless, because
+  // reuse rewrites the full column.
   Status Remove(Oid oid, const ElementSet& set_value) override;
+
+  // Grouped write path: each dirty slice page is read-modified-written once
+  // for the whole batch (the tentpole's F-pages-once-per-batch property),
+  // combining the batch's clears (removes), full-column reuse writes, and
+  // fresh appends.  In kTouchAllSlices mode every slice page covering a
+  // touched slot range is written, preserving the paper's worst-case
+  // accounting per batch instead of per insert.
+  Status ApplyBatch(const std::vector<BatchOp>& ops) override;
+
+  // Re-slots the live columns densely into the target files (slot order
+  // preserved) and returns the live count.  Writes every slice page of the
+  // target store — CreateFromExisting demands the exact page count — so a
+  // crashed earlier attempt's leftovers are overwritten, making compaction
+  // retryable against the same generation files.
+  StatusOr<uint64_t> CompactTo(PageFile* new_slice_file,
+                               PageFile* new_oid_file) const;
+
   StatusOr<CandidateResult> Candidates(QueryKind kind,
                                        const ElementSet& query) override;
   // Parallel candidate selection: slice scans fan out over `ctx` (serial
@@ -120,6 +148,8 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   }
 
   uint64_t num_signatures() const { return num_signatures_; }
+  // Signatures not tombstoned (the model's live population after deletes).
+  uint64_t num_live() const { return oid_file_.num_live(); }
   uint64_t capacity() const { return capacity_; }
   const SignatureConfig& config() const { return config_; }
 
@@ -134,8 +164,10 @@ class BitSlicedSignatureFile : public SetAccessFacility {
                          PageFile* slice_file, PageFile* oid_file,
                          BssfInsertMode insert_mode);
 
-  Status SetBitInSlice(uint32_t slice, uint64_t slot);
   Status TouchSlice(uint32_t slice, uint64_t slot, bool set_bit);
+  // Writes the full column for `slot` (every slice set-or-cleared per
+  // `sig`) — the reuse path's defence against stale bits.
+  Status WriteFullColumn(uint64_t slot, const BitVector& sig);
 
   // Reads slice `slice` and combines it into `acc` (num bits =
   // num_signatures): AND when `and_combine`, OR otherwise.  Page reads are

@@ -48,6 +48,17 @@ struct CandidateResult {
   bool exact = false;
 };
 
+// One operation of a grouped write batch, applied facility-side so each
+// implementation can coalesce page touches across the whole group (BSSF
+// touches each dirty slice page once per batch instead of once per insert;
+// NIX descends once per distinct key).
+struct BatchOp {
+  enum class Kind { kInsert, kRemove };
+  Kind kind = Kind::kInsert;
+  Oid oid;
+  ElementSet set_value;
+};
+
 // Abstract access facility over one indexed set attribute.
 class SetAccessFacility {
  public:
@@ -62,6 +73,22 @@ class SetAccessFacility {
   // Removes the index information for `oid` (whose indexed value was
   // `set_value`; signature facilities ignore it, NIX needs it).
   virtual Status Remove(Oid oid, const ElementSet& set_value) = 0;
+
+  // Applies a group of inserts/removes in one call.  Implementations
+  // override this to coalesce page writes across the batch; the default is
+  // the op-by-op loop, so the result is always equivalent to applying the
+  // ops in order.  Removes are not transactional: a mid-batch error leaves
+  // a prefix applied (the crash-recovery protocol owns atomicity).
+  virtual Status ApplyBatch(const std::vector<BatchOp>& ops) {
+    for (const BatchOp& op : ops) {
+      if (op.kind == BatchOp::Kind::kInsert) {
+        SIGSET_RETURN_IF_ERROR(Insert(op.oid, op.set_value));
+      } else {
+        SIGSET_RETURN_IF_ERROR(Remove(op.oid, op.set_value));
+      }
+    }
+    return Status::OK();
+  }
 
   // Returns candidate OIDs for the query.  `query` must be normalized.
   virtual StatusOr<CandidateResult> Candidates(QueryKind kind,

@@ -1,9 +1,25 @@
 #include "sig/ssf.h"
 
+#include <algorithm>
+
 #include "sig/bitpack.h"
 #include "util/failpoint.h"
 
 namespace sigsetdb {
+namespace {
+
+// Writes `page` at index `p`, allocating intermediate pages as needed.
+// Compaction targets may hold stale pages from a crashed earlier attempt,
+// so plain Allocate-then-Write would mis-place pages on retry.
+Status WriteOrAllocate(PageFile* file, PageId p, const Page& page) {
+  while (file->num_pages() <= p) {
+    SIGSET_ASSIGN_OR_RETURN(PageId allocated, file->Allocate());
+    (void)allocated;
+  }
+  return file->Write(p, page);
+}
+
+}  // namespace
 
 StatusOr<std::unique_ptr<SequentialSignatureFile>>
 SequentialSignatureFile::Create(const SignatureConfig& config,
@@ -58,6 +74,16 @@ SequentialSignatureFile::SequentialSignatureFile(const SignatureConfig& config,
 Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
   SIGSET_FAILPOINT("ssf.insert");
   BitVector sig = MakeSetSignature(set_value, config_);
+  if (!oid_file_.free_slots().empty()) {
+    // Reuse the most recently tombstoned slot: overwrite the dead signature
+    // in place (DepositBits writes clear bits too, so no stale bits leak),
+    // then publish by clearing the OID entry's delete flag.  A crash
+    // between the two writes leaves the slot tombstoned — invisible, still
+    // free, and repaired by the next reuse.
+    uint64_t slot = oid_file_.free_slots().back();
+    SIGSET_RETURN_IF_ERROR(OverwriteSlot(slot, sig));
+    return oid_file_.SetAt(slot, oid);
+  }
   uint32_t slot_in_page =
       static_cast<uint32_t>(num_signatures_ % sigs_per_page_);
   if (slot_in_page == 0) {
@@ -74,9 +100,188 @@ Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
   return Status::OK();
 }
 
-Status SequentialSignatureFile::Remove(Oid oid,
-                                       const ElementSet& /*set_value*/) {
-  return oid_file_.MarkDeleted(oid);
+Status SequentialSignatureFile::OverwriteSlot(uint64_t slot,
+                                              const BitVector& sig) {
+  PageId p = static_cast<PageId>(slot / sigs_per_page_);
+  size_t bit_off =
+      static_cast<size_t>(slot % sigs_per_page_) * config_.f;
+  if (p == tail_page_) {
+    DepositBits(sig, tail_.data(), bit_off);
+    return signature_file_->Write(tail_page_, tail_);
+  }
+  Page page;
+  SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
+  DepositBits(sig, page.data(), bit_off);
+  return signature_file_->Write(p, page);
+}
+
+Status SequentialSignatureFile::CheckSlotSignature(
+    uint64_t slot, const ElementSet& set_value) const {
+  PageId p = static_cast<PageId>(slot / sigs_per_page_);
+  Page page;
+  SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
+  BitVector stored(config_.f);
+  ExtractBits(page.data(),
+              static_cast<size_t>(slot % sigs_per_page_) * config_.f,
+              &stored);
+  if (!(stored == MakeSetSignature(set_value, config_))) {
+    return Status::Internal(
+        "stored signature does not match the removed object's set value");
+  }
+  return Status::OK();
+}
+
+Status SequentialSignatureFile::Remove(Oid oid, const ElementSet& set_value) {
+  SIGSET_ASSIGN_OR_RETURN(uint64_t slot, oid_file_.MarkDeleted(oid));
+  if (paranoid_checks_) {
+    SIGSET_RETURN_IF_ERROR(CheckSlotSignature(slot, set_value));
+  }
+  return Status::OK();
+}
+
+Status SequentialSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
+  SIGSET_FAILPOINT("ssf.insert");
+  // Removes first, so slots this batch frees are available to its inserts.
+  std::vector<Oid> remove_oids;
+  std::vector<const ElementSet*> remove_sets;
+  std::vector<const BatchOp*> inserts;
+  for (const BatchOp& op : ops) {
+    if (op.kind == BatchOp::Kind::kRemove) {
+      remove_oids.push_back(op.oid);
+      remove_sets.push_back(&op.set_value);
+    } else {
+      inserts.push_back(&op);
+    }
+  }
+  if (!remove_oids.empty()) {
+    SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
+                            oid_file_.MarkDeletedMany(remove_oids));
+    if (paranoid_checks_) {
+      for (size_t i = 0; i < slots.size(); ++i) {
+        SIGSET_RETURN_IF_ERROR(
+            CheckSlotSignature(slots[i], *remove_sets[i]));
+      }
+    }
+  }
+  // Refill tombstoned slots: one signature-page RMW per distinct page, one
+  // OID-page RMW per distinct page (SetMany).
+  size_t reuse = std::min(inserts.size(), oid_file_.free_slots().size());
+  if (reuse > 0) {
+    std::vector<std::pair<uint64_t, const BatchOp*>> refill;
+    refill.reserve(reuse);
+    const std::vector<uint64_t>& free_slots = oid_file_.free_slots();
+    for (size_t i = 0; i < reuse; ++i) {
+      refill.emplace_back(free_slots[free_slots.size() - 1 - i],
+                          inserts[i]);
+    }
+    std::sort(refill.begin(), refill.end(),
+              [](const auto& a, const auto& b) { return a.first < b.first; });
+    Page page;
+    PageId loaded = kInvalidPage;
+    for (const auto& [slot, op] : refill) {
+      PageId p = static_cast<PageId>(slot / sigs_per_page_);
+      if (p != loaded) {
+        if (loaded != kInvalidPage) {
+          SIGSET_RETURN_IF_ERROR(signature_file_->Write(loaded, page));
+          if (loaded == tail_page_) tail_ = page;
+        }
+        SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
+        loaded = p;
+      }
+      DepositBits(MakeSetSignature(op->set_value, config_), page.data(),
+                  static_cast<size_t>(slot % sigs_per_page_) * config_.f);
+    }
+    if (loaded != kInvalidPage) {
+      SIGSET_RETURN_IF_ERROR(signature_file_->Write(loaded, page));
+      if (loaded == tail_page_) tail_ = page;
+    }
+    std::vector<std::pair<uint64_t, Oid>> entries;
+    entries.reserve(reuse);
+    for (const auto& [slot, op] : refill) entries.emplace_back(slot, op->oid);
+    SIGSET_RETURN_IF_ERROR(oid_file_.SetMany(entries));
+  }
+  // Append the rest tail-page-at-a-time: each signature page and each OID
+  // page is written once.
+  if (reuse < inserts.size()) {
+    std::vector<Oid> appended;
+    appended.reserve(inserts.size() - reuse);
+    uint64_t next_slot = num_signatures_;
+    size_t i = reuse;
+    while (i < inserts.size()) {
+      uint32_t slot_in_page =
+          static_cast<uint32_t>(next_slot % sigs_per_page_);
+      if (slot_in_page == 0) {
+        SIGSET_ASSIGN_OR_RETURN(tail_page_, signature_file_->Allocate());
+        tail_.Zero();
+      }
+      while (i < inserts.size() && slot_in_page < sigs_per_page_) {
+        DepositBits(MakeSetSignature(inserts[i]->set_value, config_),
+                    tail_.data(),
+                    static_cast<size_t>(slot_in_page) * config_.f);
+        appended.push_back(inserts[i]->oid);
+        ++slot_in_page;
+        ++next_slot;
+        ++i;
+      }
+      SIGSET_RETURN_IF_ERROR(signature_file_->Write(tail_page_, tail_));
+    }
+    SIGSET_ASSIGN_OR_RETURN(uint64_t first_slot,
+                            oid_file_.AppendMany(appended));
+    if (first_slot != num_signatures_) {
+      return Status::Internal("signature/OID slot mismatch in batch append");
+    }
+    num_signatures_ = next_slot;
+  }
+  return Status::OK();
+}
+
+StatusOr<uint64_t> SequentialSignatureFile::CompactTo(
+    PageFile* new_signature_file, PageFile* new_oid_file) const {
+  SIGSET_ASSIGN_OR_RETURN(auto live, oid_file_.LiveEntries());
+  Page in_page, out_sig, out_oid;
+  out_sig.Zero();
+  out_oid.Zero();
+  PageId loaded = kInvalidPage;
+  BitVector sig(config_.f);
+  uint64_t dense = 0;
+  for (const auto& [slot, oid] : live) {
+    // Live slots arrive sorted, so the old signature file is read
+    // sequentially, one read per distinct page.
+    PageId p = static_cast<PageId>(slot / sigs_per_page_);
+    if (p != loaded) {
+      SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &in_page));
+      loaded = p;
+    }
+    ExtractBits(in_page.data(),
+                static_cast<size_t>(slot % sigs_per_page_) * config_.f, &sig);
+    DepositBits(sig, out_sig.data(),
+                static_cast<size_t>(dense % sigs_per_page_) * config_.f);
+    out_oid.WriteAt<uint64_t>((dense % kOidsPerPage) * kOidBytes,
+                              oid.value());
+    ++dense;
+    if (dense % sigs_per_page_ == 0) {
+      SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+          new_signature_file,
+          static_cast<PageId>(dense / sigs_per_page_ - 1), out_sig));
+      out_sig.Zero();
+    }
+    if (dense % kOidsPerPage == 0) {
+      SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+          new_oid_file, static_cast<PageId>(dense / kOidsPerPage - 1),
+          out_oid));
+      out_oid.Zero();
+    }
+  }
+  if (dense % sigs_per_page_ != 0) {
+    SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+        new_signature_file, static_cast<PageId>(dense / sigs_per_page_),
+        out_sig));
+  }
+  if (dense % kOidsPerPage != 0) {
+    SIGSET_RETURN_IF_ERROR(WriteOrAllocate(
+        new_oid_file, static_cast<PageId>(dense / kOidsPerPage), out_oid));
+  }
+  return dense;
 }
 
 StatusOr<std::vector<uint64_t>> SequentialSignatureFile::ScanMatchingSlots(

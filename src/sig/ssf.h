@@ -38,13 +38,33 @@ class SequentialSignatureFile : public SetAccessFacility {
   const std::string& name() const override { return name_; }
 
   // Appends the signature of `set_value` and the OID (2 page writes — the
-  // paper's UC_I = 2).
+  // paper's UC_I = 2).  When a tombstoned slot is available it is reused
+  // instead: the new signature overwrites the dead one in place (DepositBits
+  // writes both set and clear bits) and the OID entry's delete flag is
+  // cleared, so deleted space is recycled rather than scanned forever.
   Status Insert(Oid oid, const ElementSet& set_value) override;
 
   // Sets the delete flag in the OID file (expected SC_OID/2 page reads plus
-  // one write — the paper's UC_D).  The dangling signature remains and is
-  // filtered by the OID lookup.
+  // one write — the paper's UC_D).  The dangling signature remains, is
+  // filtered by the OID lookup, and its slot joins the free list for reuse.
+  // With paranoid checks on, verifies the stored signature at the
+  // tombstoned slot matches `set_value` (corruption tripwire).
   Status Remove(Oid oid, const ElementSet& set_value) override;
+
+  // Grouped write path: removes are tombstoned with one OID-file scan,
+  // freed slots are refilled with one read-modify-write per distinct
+  // signature page, and the remaining inserts are appended tail-page-at-a-
+  // time — ⌈n/sigs_per_page⌉ + ⌈n/O_d⌉ writes for n appends instead of 2n.
+  Status ApplyBatch(const std::vector<BatchOp>& ops) override;
+
+  // Rewrites the live signatures and OID entries densely into the target
+  // files (slot order preserved, tombstones dropped) and returns the live
+  // count.  Target files may hold stale pages from a crashed earlier
+  // attempt — pages are overwritten, not appended — so compaction is safe
+  // to retry against the same generation files.  The caller swaps the new
+  // files in via CreateFromExisting + checkpoint.
+  StatusOr<uint64_t> CompactTo(PageFile* new_signature_file,
+                               PageFile* new_oid_file) const;
 
   StatusOr<CandidateResult> Candidates(QueryKind kind,
                                        const ElementSet& query) override;
@@ -72,8 +92,14 @@ class SequentialSignatureFile : public SetAccessFacility {
   }
 
   uint64_t num_signatures() const { return num_signatures_; }
+  // Signatures not tombstoned (the model's live population after deletes).
+  uint64_t num_live() const { return oid_file_.num_live(); }
   uint32_t signatures_per_page() const { return sigs_per_page_; }
   const SignatureConfig& config() const { return config_; }
+
+  // Enables/disables the Remove() signature-match tripwire (defaults to on
+  // in debug builds, off under NDEBUG).
+  void set_paranoid_checks(bool on) { paranoid_checks_ = on; }
 
   // Pages of the signature file alone (the paper's SC_SIG).
   uint64_t SignaturePages() const { return signature_file_->num_pages(); }
@@ -81,6 +107,13 @@ class SequentialSignatureFile : public SetAccessFacility {
  private:
   SequentialSignatureFile(const SignatureConfig& config,
                           PageFile* signature_file, PageFile* oid_file);
+
+  // Overwrites the signature at `slot` in place (one page RMW; uses the
+  // tail image when the slot lives on the tail page).
+  Status OverwriteSlot(uint64_t slot, const BitVector& sig);
+  // Tripwire: extract the signature stored at `slot` and compare it with
+  // the signature of `set_value`.
+  Status CheckSlotSignature(uint64_t slot, const ElementSet& set_value) const;
 
   std::string name_ = "ssf";
   SignatureConfig config_;
@@ -92,6 +125,12 @@ class SequentialSignatureFile : public SetAccessFacility {
   // insert costs one signature-page write, matching the model).
   Page tail_;
   PageId tail_page_ = kInvalidPage;
+  bool paranoid_checks_ =
+#ifndef NDEBUG
+      true;
+#else
+      false;
+#endif
 };
 
 }  // namespace sigsetdb

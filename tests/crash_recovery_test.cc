@@ -1,7 +1,8 @@
 // Crash-at-every-I/O recovery harness (DESIGN.md §9).
 //
-// For each facility configuration, a deterministic insert/delete/query/
-// checkpoint workload is first run once against an in-memory StorageManager
+// For each facility configuration, a deterministic insert/delete/batch/
+// compact/query/checkpoint workload is first run once against an in-memory
+// StorageManager
 // whose files are all wrapped in one FaultInjectingPageFile injector, to
 // count its total page operations T.  Then, for EVERY k in [0, T] — no
 // sampling — a fresh database runs the same workload with a crash scheduled
@@ -35,6 +36,7 @@
 
 #include "db/database.h"
 #include "db/set_index.h"
+#include "db/write_batch.h"
 #include "obj/object.h"
 #include "storage/fault_injecting_page_file.h"
 #include "storage/storage_manager.h"
@@ -58,13 +60,17 @@ bool Matches(QueryKind kind, const ElementSet& set, const ElementSet& query) {
 }
 
 struct Step {
-  enum class Kind { kInsert, kDelete, kCheckpoint, kQuery };
+  enum class Kind { kInsert, kDelete, kCheckpoint, kQuery, kBatch, kCompact };
   Kind kind;
   // kInsert: the set value; kQuery: the query set.
   ElementSet set;
   // kInsert: the insert ordinal; kDelete: ordinal of the victim insert.
   size_t target = 0;
   QueryKind qkind = QueryKind::kSuperset;
+  // kBatch: grouped inserts (each carrying its ordinal) and delete victim
+  // ordinals, applied through one WriteBatch::ApplyBatch call.
+  std::vector<std::pair<size_t, ElementSet>> batch_inserts = {};
+  std::vector<size_t> batch_deletes = {};
 };
 
 // One facility configuration put through the harness.
@@ -107,6 +113,24 @@ std::vector<Step> MakeWorkload(const CrashConfig& cfg) {
                        QueryKind::kSuperset});
     }
   }
+  // Grouped churn through the batch path: delete two earlier survivors and
+  // insert three new sets in one ApplyBatch call, then Compact() away the
+  // accumulated tombstones.  Compact commits via Checkpoint but allocates
+  // new generation files, so it must stay ahead of the allocation-free tail
+  // below (recovery at k == T demands the final checkpoint be last).
+  Step batch{Step::Kind::kBatch, {}, 0, QueryKind::kSuperset};
+  batch.batch_deletes = {3, 4};
+  for (int i = 0; i < 3; ++i) {
+    ElementSet set = rng.SampleWithoutReplacement(cfg.v, cfg.dt);
+    NormalizeSet(&set);
+    batch.batch_inserts.emplace_back(ordinal++, std::move(set));
+  }
+  steps.push_back(std::move(batch));
+  steps.push_back({Step::Kind::kQuery, rng.SampleWithoutReplacement(cfg.v, 2),
+                   0, QueryKind::kSuperset});
+  steps.push_back({Step::Kind::kCompact, {}, 0, QueryKind::kSuperset});
+  steps.push_back({Step::Kind::kQuery, rng.SampleWithoutReplacement(cfg.v, 1),
+                   0, QueryKind::kSuperset});
   steps.push_back({Step::Kind::kQuery,
                    rng.SampleWithoutReplacement(cfg.v, cfg.v / 2), 0,
                    QueryKind::kSubset});
@@ -198,6 +222,45 @@ class CrashRecoveryTest : public ::testing::Test {
           }
           break;
         }
+        case Step::Kind::kBatch: {
+          WriteBatch batch;
+          for (size_t victim : step.batch_deletes) {
+            batch.Delete(out.oids[victim]);
+          }
+          for (const auto& [ordinal, set] : step.batch_inserts) {
+            batch.Insert(set);
+          }
+          auto oids = index->ApplyBatch(batch);
+          if (!oids.ok()) {
+            status = oids.status();
+            break;
+          }
+          for (size_t victim : step.batch_deletes) live.erase(victim);
+          for (size_t i = 0; i < step.batch_inserts.size(); ++i) {
+            const auto& [ordinal, set] = step.batch_inserts[i];
+            if (expect_oids != nullptr) {
+              EXPECT_EQ((*oids)[i].value(), (*expect_oids)[ordinal].value());
+            }
+            out.oids.push_back((*oids)[i]);
+            live[ordinal] = set;
+          }
+          break;
+        }
+        case Step::Kind::kCompact: {
+          // A successful Compact commits through Checkpoint, so it counts as
+          // one for the recovery bounds.
+          status = index->Compact();
+          if (status.ok()) {
+            out.has_ckpt = true;
+            out.ckpt_step = si;
+            out.ckpt_count = index->num_objects();
+            out.ckpt_live.clear();
+            for (const auto& [ordinal, set] : live) {
+              out.ckpt_live.push_back(ordinal);
+            }
+          }
+          break;
+        }
         case Step::Kind::kQuery: {
           for (PlanMode mode : modes) {
             auto result = index->Query(step.qkind, step.set, mode);
@@ -239,6 +302,11 @@ class CrashRecoveryTest : public ::testing::Test {
     std::vector<ElementSet> insert_sets;
     for (const Step& step : steps) {
       if (step.kind == Step::Kind::kInsert) insert_sets.push_back(step.set);
+      if (step.kind == Step::Kind::kBatch) {
+        for (const auto& [ordinal, set] : step.batch_inserts) {
+          insert_sets.push_back(set);
+        }
+      }
     }
 
     // Clean run: total op count and the deterministic OID assignment.
@@ -323,6 +391,17 @@ class CrashRecoveryTest : public ::testing::Test {
           if (si != out.failing_step) deletes_executed.insert(step.target);
         } else if (step.kind == Step::Kind::kInsert) {
           inserts_attempted.insert(step.target);
+        } else if (step.kind == Step::Kind::kBatch) {
+          // A batch that was running when the crash hit may have applied any
+          // prefix of its index mutations: its deletes count as attempted
+          // but not executed, its inserts as attempted.
+          for (size_t victim : step.batch_deletes) {
+            deletes_attempted.insert(victim);
+            if (si != out.failing_step) deletes_executed.insert(victim);
+          }
+          for (const auto& [ordinal, set] : step.batch_inserts) {
+            inserts_attempted.insert(ordinal);
+          }
         }
       }
 

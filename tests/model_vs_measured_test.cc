@@ -15,7 +15,10 @@
 #include "model/cost_nix.h"
 #include "model/cost_ssf.h"
 #include "query/executor.h"
+#include "sig/ssf.h"
+#include "storage/storage_manager.h"
 #include "test_db.h"
+#include "util/rng.h"
 #include "util/thread_pool.h"
 
 namespace sigsetdb {
@@ -129,6 +132,74 @@ TEST_F(ModelVsMeasuredTest, NixSuperset) {
                  ActualDropsSuperset(model_db_, kDt, 2);
   CheckBothModes(&db_.nix(), QueryKind::kSuperset, 2, 20, 5, model,
                  0.15 * model + 1.0);
+}
+
+// After deleting half the objects and compacting, both storage and scan
+// cost must return to the model predictions evaluated at the LIVE count:
+// the paper's SC/RC formulas assume a dense file, and CompactTo restores
+// that assumption once delete tombstones have accumulated.
+TEST_F(ModelVsMeasuredTest, SsfStorageAndScanTrackLiveCountAfterCompact) {
+  constexpr int64_t kInserts = 600;
+  StorageManager storage;
+  auto ssf = SequentialSignatureFile::Create({250, 2},
+                                             storage.CreateOrOpen("c.sig"),
+                                             storage.CreateOrOpen("c.oid"));
+  ASSERT_TRUE(ssf.ok());
+  Rng rng(77);
+  std::vector<BatchOp> ops;
+  std::vector<ElementSet> sets;
+  for (int64_t i = 0; i < kInserts; ++i) {
+    ElementSet set = rng.SampleWithoutReplacement(
+        static_cast<uint64_t>(kV), static_cast<uint64_t>(kDt));
+    NormalizeSet(&set);
+    sets.push_back(set);
+    ops.push_back(BatchOp{BatchOp::Kind::kInsert,
+                          Oid::FromLocation(static_cast<PageId>(i), 0), set});
+  }
+  ASSERT_TRUE((*ssf)->ApplyBatch(ops).ok());
+
+  std::vector<BatchOp> removes;
+  for (int64_t i = 0; i < kInserts; i += 2) {
+    removes.push_back(BatchOp{BatchOp::Kind::kRemove,
+                              Oid::FromLocation(static_cast<PageId>(i), 0),
+                              sets[static_cast<size_t>(i)]});
+  }
+  ASSERT_TRUE((*ssf)->ApplyBatch(removes).ok());
+  EXPECT_EQ((*ssf)->num_live(), static_cast<uint64_t>(kInserts) / 2);
+  EXPECT_EQ((*ssf)->num_signatures(), static_cast<uint64_t>(kInserts));
+
+  auto live = (*ssf)->CompactTo(storage.CreateOrOpen("c2.sig"),
+                                storage.CreateOrOpen("c2.oid"));
+  ASSERT_TRUE(live.ok()) << live.status().ToString();
+  ASSERT_EQ(*live, static_cast<uint64_t>(kInserts) / 2);
+  auto compacted = SequentialSignatureFile::CreateFromExisting(
+      {250, 2}, storage.CreateOrOpen("c2.sig"), storage.CreateOrOpen("c2.oid"),
+      *live);
+  ASSERT_TRUE(compacted.ok());
+
+  DatabaseParams live_db = model_db_;
+  live_db.n = kInserts / 2;
+  EXPECT_EQ(static_cast<int64_t>((*compacted)->StoragePages()),
+            SsfStorageCost(live_db, model_sig_));
+
+  // A low-Dq superset scan reads exactly the live signature pages (plus the
+  // occasional drop's OID look-up), so the measured candidate-scan cost
+  // follows the live-count model, not the pre-compaction high-water count.
+  Rng qrng(78);
+  uint64_t total = 0;
+  const int trials = 20;
+  for (int t = 0; t < trials; ++t) {
+    ElementSet query =
+        qrng.SampleWithoutReplacement(static_cast<uint64_t>(kV), 2);
+    NormalizeSet(&query);
+    storage.ResetStats();
+    auto result = (*compacted)->Candidates(QueryKind::kSuperset, query);
+    ASSERT_TRUE(result.ok());
+    total += storage.TotalStats().total();
+  }
+  double mean = static_cast<double>(total) / trials;
+  double model = static_cast<double>(SsfSignaturePages(live_db, model_sig_));
+  EXPECT_NEAR(mean, model, 0.25 * model + 1.0);
 }
 
 TEST_F(ModelVsMeasuredTest, NixSubset) {

@@ -94,7 +94,7 @@ TEST(OidFileTest, MarkDeletedMissingOidFails) {
   InMemoryPageFile file("oid");
   OidFile of(&file);
   ASSERT_TRUE(of.Append(MakeOid(1)).ok());
-  EXPECT_EQ(of.MarkDeleted(MakeOid(9)).code(), StatusCode::kNotFound);
+  EXPECT_EQ(of.MarkDeleted(MakeOid(9)).status().code(), StatusCode::kNotFound);
 }
 
 TEST(OidFileTest, MarkDeletedScansFromStart) {

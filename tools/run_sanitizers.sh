@@ -8,6 +8,7 @@
 #   tools/run_sanitizers.sh undefined  # UBSan only
 #   tools/run_sanitizers.sh faults     # fault-injection suites under TSan
 #   tools/run_sanitizers.sh obs        # metrics/trace concurrency under TSan
+#   tools/run_sanitizers.sh batch      # batched write/delete suites under TSan
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -63,13 +64,22 @@ case "${1:-all}" in
       'failpoint|fault_injection|crash_recovery|model_vs_measured|sharded_buffer_pool' \
       "$@"
     ;;
+  batch)
+    # The grouped write path (WriteBatch / ApplyBatch / Compact) mutates
+    # every facility plus the store under one SynchronizedSetIndex lock and
+    # is queried from 4-thread pools mid-churn; TSan vets the batch-vs-query
+    # interleavings, ASan the slot-reuse and compaction rewrites.
+    shift
+    run_one thread -R 'write_batch|delete_query|synchronized_set_index' "$@"
+    run_one address -R 'write_batch|delete_query|oid_file|ssf|bssf' "$@"
+    ;;
   all)
     run_one thread
     run_one address
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch]" \
       "[ctest args...]" >&2
     exit 1
     ;;
