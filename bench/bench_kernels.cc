@@ -1,0 +1,150 @@
+// Kernel throughput: the suppressed-vectorization scalar reference vs the
+// portable unrolled loops vs the dispatched (AVX2 when available) table, on
+// the two working-set sizes the query paths actually use — the 4096-bit
+// slice accumulator (64 words) that BSSF combination ANDs/ORs per page
+// column, and a full 4 KiB page (512 words) as streamed by the SSF scan.
+//
+// Usage: bench_kernels [--json <path>] [--min-speedup <x>]
+//   --min-speedup enforces that the dispatched and_accumulate at 64 words is
+//   at least <x> times the scalar reference (exit 1 otherwise); CI smoke
+//   runs without it so shared-runner noise cannot fail the build.
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "sig/kernels.h"
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+// Wall-clock nanoseconds per call of `fn`, amortized over enough calls to
+// dwarf timer granularity.  The body runs once untimed to warm caches.
+template <typename Fn>
+double NsPerCall(size_t iters, Fn&& fn) {
+  fn();
+  auto start = std::chrono::steady_clock::now();
+  for (size_t i = 0; i < iters; ++i) fn();
+  auto end = std::chrono::steady_clock::now();
+  return std::chrono::duration<double, std::nano>(end - start).count() /
+         static_cast<double>(iters);
+}
+
+// Defeats dead-code elimination for the value-returning kernels.
+volatile uint64_t g_sink;
+
+struct KernelTimes {
+  double scalar_ns = 0;
+  double target_ns = 0;
+  double speedup() const {
+    return target_ns > 0 ? scalar_ns / target_ns : 0.0;
+  }
+};
+
+// Times one named kernel at `words` for scalar vs `target`.  The accumulate
+// kernels mutate acc in place; re-running on the converged value keeps the
+// memory traffic identical, which is what the measurement is about.
+KernelTimes TimeKernel(const char* kernel, const SignatureKernels& target,
+                       size_t words, size_t iters) {
+  Rng rng(0x5eedULL + words);
+  std::vector<uint64_t> acc(words), src(words);
+  for (uint64_t& w : acc) w = rng.Next();
+  // src ⊆ acc so contains_all never early-exits: worst-case full scan.
+  for (size_t i = 0; i < words; ++i) src[i] = acc[i] & rng.Next();
+
+  KernelTimes t;
+  const SignatureKernels& scalar = ScalarKernels();
+  if (std::strcmp(kernel, "and_accumulate") == 0) {
+    t.scalar_ns = NsPerCall(
+        iters, [&] { scalar.and_accumulate(acc.data(), src.data(), words); });
+    t.target_ns = NsPerCall(
+        iters, [&] { target.and_accumulate(acc.data(), src.data(), words); });
+  } else if (std::strcmp(kernel, "or_accumulate") == 0) {
+    t.scalar_ns = NsPerCall(
+        iters, [&] { scalar.or_accumulate(acc.data(), src.data(), words); });
+    t.target_ns = NsPerCall(
+        iters, [&] { target.or_accumulate(acc.data(), src.data(), words); });
+  } else if (std::strcmp(kernel, "contains_all") == 0) {
+    t.scalar_ns = NsPerCall(iters, [&] {
+      g_sink = g_sink + (scalar.contains_all(src.data(), acc.data(), words) ? 1 : 0);
+    });
+    t.target_ns = NsPerCall(iters, [&] {
+      g_sink = g_sink + (target.contains_all(src.data(), acc.data(), words) ? 1 : 0);
+    });
+  } else if (std::strcmp(kernel, "popcount_and") == 0) {
+    t.scalar_ns = NsPerCall(iters, [&] {
+      g_sink = g_sink + scalar.popcount_and(acc.data(), src.data(), words);
+    });
+    t.target_ns = NsPerCall(iters, [&] {
+      g_sink = g_sink + target.popcount_and(acc.data(), src.data(), words);
+    });
+  } else {
+    std::fprintf(stderr, "FATAL unknown kernel %s\n", kernel);
+    std::abort();
+  }
+  return t;
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main(int argc, char** argv) {
+  using namespace sigsetdb;
+  BenchJson::Global().Init("kernels", argc, argv);
+  double min_speedup = -1.0;
+  for (int i = 1; i + 1 < argc; ++i) {
+    if (std::string(argv[i]) == "--min-speedup") {
+      min_speedup = std::atof(argv[i + 1]);
+    }
+  }
+
+  const SignatureKernels& active = ActiveKernels();
+  PrintBenchHeader("kernels", "dispatched signature-kernel throughput");
+  std::printf("dispatched to: %s (avx2 built: %s, cpu support: %s)\n\n",
+              active.name, Avx2Kernels() != nullptr ? "yes" : "no",
+              Avx2Supported() ? "yes" : "no");
+  std::printf("%-16s %6s %12s %12s %9s %10s\n", "kernel", "words",
+              "scalar ns", "active ns", "speedup", "GiB/s");
+
+  const char* kernels[] = {"and_accumulate", "or_accumulate", "contains_all",
+                           "popcount_and"};
+  // 64 words = the 4096-bit slice accumulator; 512 words = one 4 KiB page.
+  const size_t sizes[] = {64, 512};
+  double accum64_speedup = 0.0;
+  for (const char* kernel : kernels) {
+    for (size_t words : sizes) {
+      const size_t iters = words >= 512 ? 200000 : 1000000;
+      KernelTimes t = TimeKernel(kernel, active, words, iters);
+      // Bytes touched per call: two operand streams of `words` words.
+      const double gib_s = (2.0 * 8.0 * static_cast<double>(words)) /
+                           t.target_ns * 1e9 / (1024.0 * 1024.0 * 1024.0);
+      std::printf("%-16s %6zu %12.2f %12.2f %8.2fx %10.2f\n", kernel, words,
+                  t.scalar_ns, t.target_ns, t.speedup(), gib_s);
+      MeasuredCost cost;
+      cost.wall_ms = t.target_ns * 1e-6;
+      EmitBenchRecord(std::string(kernel) + "." + active.name,
+                      {{"words", static_cast<double>(words)},
+                       {"scalar_ns", t.scalar_ns},
+                       {"active_ns", t.target_ns},
+                       {"speedup", t.speedup()}},
+                      cost);
+      if (std::strcmp(kernel, "and_accumulate") == 0 && words == 64) {
+        accum64_speedup = t.speedup();
+      }
+    }
+  }
+
+  std::printf("\n4096-bit and_accumulate speedup: %.2fx\n", accum64_speedup);
+  if (min_speedup > 0 && accum64_speedup < min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: and_accumulate @64w speedup %.2fx < required %.2fx\n",
+                 accum64_speedup, min_speedup);
+    return 1;
+  }
+  return 0;
+}

@@ -98,6 +98,48 @@ void BenchKind(BenchDb& db, QueryKind kind, int64_t dq, int trials,
   }
 }
 
+// Skip-index case: after tombstoning 90% of the store, the slice scan can
+// prove most page columns dead (superset) or most scanned pages empty
+// (subset).  Reported: pages read with the skip index off vs on, skipped
+// counts, and the serial == parallel invariant with skipping active.
+void BenchSkipIndex(BenchDb& db, QueryKind kind, int64_t dq, int trials,
+                    uint64_t seed) {
+  std::printf("\n%s queries with skip index, Dq=%lld, %d trials\n",
+              QueryKindName(kind), static_cast<long long>(dq), trials);
+  std::printf("%-12s %12s %12s %12s\n", "mode", "time(ms)", "pages",
+              "skipped");
+
+  for (bool skip : {false, true}) {
+    db.bssf().set_skip_index_enabled(skip);
+    RunStats serial = RunWorkload(db, kind, dq, trials, seed, nullptr);
+    uint64_t serial_skipped = db.storage().TotalStats().skips();
+    ThreadPool pool(4);
+    ParallelExecutionContext ctx;
+    ctx.pool = &pool;
+    RunStats par = RunWorkload(db, kind, dq, trials, seed, &ctx);
+    uint64_t par_skipped = db.storage().TotalStats().skips();
+    if (par.pages != serial.pages || par_skipped != serial_skipped) {
+      std::fprintf(stderr, "FATAL skip-mode parallel mismatch\n");
+      std::abort();
+    }
+    std::printf("%-12s %12.1f %12llu %12llu\n",
+                skip ? "skip-on" : "skip-off", serial.millis,
+                static_cast<unsigned long long>(serial.pages),
+                static_cast<unsigned long long>(serial_skipped));
+    EmitBenchRecord(
+        std::string(QueryKindName(kind)) + ".skip_index",
+        {{"dq", static_cast<double>(dq)},
+         {"trials", static_cast<double>(trials)},
+         {"skip", skip ? 1.0 : 0.0},
+         {"skipped_pages", static_cast<double>(serial_skipped) / trials}},
+        MeasuredCost{static_cast<double>(serial.pages) / trials,
+                     static_cast<double>(serial.reads) / trials,
+                     static_cast<double>(serial.writes) / trials,
+                     serial.millis / trials});
+  }
+  db.bssf().set_skip_index_enabled(false);
+}
+
 void Run() {
   PrintBenchHeader("parallel-scaling",
                    "multi-threaded BSSF scan + resolution speedup");
@@ -121,6 +163,28 @@ void Run() {
   // Subset: scans most of the F slices — the scan-dominated regime where
   // slice partitioning has the most to parallelize.
   BenchKind(db, QueryKind::kSubset, /*dq=*/60, /*trials=*/50, /*seed=*/526);
+
+  // Tombstone all but every 1000th object.  A slice page only becomes
+  // skippable once NO live signature on its 32768-slot column sets that
+  // slice, so the payoff regime is a heavily-deleted store: ~25 live
+  // columns per page leave most slice pages empty, which is exactly the
+  // situation (bulk expiry before compaction) the skip index exists for.
+  std::printf("\ntombstoning 99.9%% of the store for the skip-index case...\n");
+  {
+    std::vector<BatchOp> removes;
+    const std::vector<Oid>& oids = db.oids();
+    const std::vector<ElementSet>& sets = db.sets();
+    for (size_t i = 0; i < oids.size(); ++i) {
+      if (i % 1000 != 0) {
+        removes.push_back(BatchOp{BatchOp::Kind::kRemove, oids[i], sets[i]});
+      }
+    }
+    CheckOk(db.bssf().ApplyBatch(removes), "tombstone batch");
+  }
+  BenchSkipIndex(db, QueryKind::kSuperset, /*dq=*/2, /*trials=*/20,
+                 /*seed=*/77);
+  BenchSkipIndex(db, QueryKind::kSubset, /*dq=*/60, /*trials=*/20,
+                 /*seed=*/78);
 
   std::printf(
       "\npage-access totals are identical at every thread count (verified "

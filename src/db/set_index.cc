@@ -45,6 +45,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
                             storage->OpenOrCreate(name + ".ssf.oid"));
     SIGSET_ASSIGN_OR_RETURN(
         index->ssf_, SequentialSignatureFile::Create(options.sig, sig, oid));
+    index->ssf_->set_skip_index_enabled(options.enable_skip_index);
   }
   if (options.maintain_bssf) {
     SIGSET_ASSIGN_OR_RETURN(PageFile * slices,
@@ -55,6 +56,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
         index->bssf_,
         BitSlicedSignatureFile::Create(options.sig, options.capacity, slices,
                                        oid, options.bssf_mode));
+    index->bssf_->set_skip_index_enabled(options.enable_skip_index);
   }
   if (options.maintain_nix) {
     SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
@@ -191,6 +193,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
       SIGSET_ASSIGN_OR_RETURN(index->ssf_,
                               SequentialSignatureFile::CreateFromExisting(
                                   options.sig, sig, oid, sigs));
+      index->ssf_->set_skip_index_enabled(options.enable_skip_index);
     }
     if (options.maintain_bssf) {
       SIGSET_ASSIGN_OR_RETURN(
@@ -205,6 +208,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                               BitSlicedSignatureFile::CreateFromExisting(
                                   options.sig, options.capacity, slices, oid,
                                   options.bssf_mode, sigs));
+      index->bssf_->set_skip_index_enabled(options.enable_skip_index);
     }
   }
   if (options.maintain_nix) {
@@ -349,6 +353,7 @@ Status SetIndex::Compact() {
     SIGSET_ASSIGN_OR_RETURN(new_ssf,
                             SequentialSignatureFile::CreateFromExisting(
                                 options_.sig, sig, oid, ssf_live));
+    new_ssf->set_skip_index_enabled(options_.enable_skip_index);
   }
   if (bssf_ != nullptr) {
     SIGSET_ASSIGN_OR_RETURN(
@@ -362,6 +367,7 @@ Status SetIndex::Compact() {
                             BitSlicedSignatureFile::CreateFromExisting(
                                 options_.sig, options_.capacity, slices, oid,
                                 options_.bssf_mode, bssf_live));
+    new_bssf->set_skip_index_enabled(options_.enable_skip_index);
   }
   if (ssf_ != nullptr && bssf_ != nullptr && ssf_live != bssf_live) {
     return Status::Internal("compaction live-count mismatch between facilities");

@@ -97,6 +97,12 @@ class SetIndex {
     // pure-model plans keep page-access counts reproducible run to run,
     // which the differential tests and paper benches rely on.
     bool advisor_feedback = false;
+    // Let SSF/BSSF scans consult the page skip index (summaries are always
+    // maintained either way).  Off by default: skipping reduces page reads,
+    // which would change the paper-pinned access counts; when on, skipped
+    // pages are reported via IoStats::skips()/trace pages_skipped and query
+    // results are identical.
+    bool enable_skip_index = false;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name

@@ -36,6 +36,54 @@ double BssfRetrievalSubset(const DatabaseParams& db,
          OidLookupCost(db, fd, a) + db.p_s * a + db.p_u * fd * (n - a);
 }
 
+namespace {
+
+// Per page column: L live slots (PageBits on full columns, the remainder on
+// the last) and q = (1 − m_t/F)^L, the chance one scanned slice's page of
+// that column is entirely zero.  `per_column` maps (q, scanned slices) to
+// the column's expected skip count; summed over the store's columns.
+double SumOverColumns(const DatabaseParams& db, const SignatureParams& sig,
+                      int64_t dt, double scanned,
+                      double (*per_column)(double q, double scanned)) {
+  if (db.n <= 0 || scanned <= 0.0) return 0.0;
+  const double bit_density =
+      ExpectedSignatureWeight(sig, dt) / static_cast<double>(sig.f);
+  const int64_t page_bits = db.PageBits();
+  const int64_t columns = CeilDiv(db.n, page_bits);
+  double total = 0.0;
+  for (int64_t c = 0; c < columns; ++c) {
+    const int64_t live = std::min(page_bits, db.n - c * page_bits);
+    const double q =
+        std::pow(1.0 - bit_density, static_cast<double>(live));
+    total += per_column(q, scanned);
+  }
+  return total;
+}
+
+}  // namespace
+
+double BssfExpectedSupersetSkippedPages(const DatabaseParams& db,
+                                        const SignatureParams& sig, int64_t dt,
+                                        int64_t dq) {
+  const double m_q = ExpectedSignatureWeight(sig, dq);
+  return SumOverColumns(db, sig, dt, m_q, [](double q, double scanned) {
+    // The column dies (all `scanned` reads skipped) when any scanned
+    // slice's page is empty.
+    return scanned * (1.0 - std::pow(1.0 - q, scanned));
+  });
+}
+
+double BssfExpectedSubsetSkippedPages(const DatabaseParams& db,
+                                      const SignatureParams& sig, int64_t dt,
+                                      int64_t dq) {
+  const double m_q = ExpectedSignatureWeight(sig, dq);
+  const double scanned = static_cast<double>(sig.f) - m_q;
+  return SumOverColumns(db, sig, dt, scanned, [](double q, double s) {
+    // OR scans skip exactly their empty pages.
+    return s * q;
+  });
+}
+
 double BssfSmartSupersetCost(const DatabaseParams& db,
                              const SignatureParams& sig, int64_t dt,
                              int64_t dq, int64_t* best_k) {

@@ -47,6 +47,25 @@ double BssfSmartSubsetCost(const DatabaseParams& db,
 double BssfDqOpt(const DatabaseParams& db, const SignatureParams& sig,
                  int64_t dt);
 
+// Expected slice-page reads the skip index saves a T ⊇ Q scan (extension).
+// Per page column the AND scan dies — and all m_q of its reads are skipped —
+// as soon as ANY scanned slice's page is entirely zero.  With L live
+// signatures on a column and per-bit density m_t/F, a single slice page is
+// all-zero with probability q = (1 − m_t/F)^L, so
+//   E[skipped] = Σ_columns m_q · (1 − (1 − q)^m_q).
+// This is a lower bound: the group-granular summaries can also kill columns
+// whose zeros are spread across slices.  Dominant regimes: near-empty
+// stores, heavily deleted stores (L shrinks), and tiny Dt.
+double BssfExpectedSupersetSkippedPages(const DatabaseParams& db,
+                                        const SignatureParams& sig, int64_t dt,
+                                        int64_t dq);
+
+// Expected slice-page reads the skip index saves a T ⊆ Q scan: an OR scan
+// skips exactly its empty pages, so E[skipped] = Σ_columns (F − m_q) · q.
+double BssfExpectedSubsetSkippedPages(const DatabaseParams& db,
+                                      const SignatureParams& sig, int64_t dt,
+                                      int64_t dq);
+
 // SC = ⌈N/(P·b)⌉·F + SC_OID.
 int64_t BssfStorageCost(const DatabaseParams& db, const SignatureParams& sig);
 

@@ -23,6 +23,10 @@ void AddSpanRow(TablePrinter* table, const TraceSpan& span, int depth) {
                      : TablePrinter::Num(span.predicted_pages),
                  TablePrinter::Int(static_cast<int64_t>(span.page_reads)),
                  TablePrinter::Int(static_cast<int64_t>(span.page_writes)),
+                 span.pages_skipped > 0
+                     ? TablePrinter::Int(
+                           static_cast<int64_t>(span.pages_skipped))
+                     : kNone,
                  span.wall_ms > 0.0 ? TablePrinter::Num(span.wall_ms, 3)
                                     : kNone,
                  CountCell(span.candidates), CountCell(span.false_drops)});
@@ -38,7 +42,7 @@ std::string RenderExplain(const QueryTrace& trace) {
   os << "EXPLAIN " << trace.kind << " Dq=" << trace.dq
      << " — plan: " << trace.plan << "\n";
   TablePrinter table({"stage", "pages", "predicted", "reads", "writes",
-                      "wall_ms", "cand", "fdrops"});
+                      "skipped", "wall_ms", "cand", "fdrops"});
   for (const TraceSpan& span : trace.stages()) {
     AddSpanRow(&table, span, 0);
   }
@@ -46,6 +50,7 @@ std::string RenderExplain(const QueryTrace& trace) {
   total.name = "total";
   total.page_reads = trace.TotalReads();
   total.page_writes = trace.TotalWrites();
+  total.pages_skipped = trace.TotalSkipped();
   total.wall_ms = trace.TotalWallMs();
   total.predicted_pages = trace.predicted_total;
   AddSpanRow(&table, total, 0);

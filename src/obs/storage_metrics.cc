@@ -38,6 +38,10 @@ void ExportStorageMetrics(const StorageManager& storage,
                 file.stats().reads());
     SyncCounter(registry, "io." + file.name() + ".writes",
                 file.stats().writes());
+    if (file.stats().skips() > 0) {
+      SyncCounter(registry, "io." + file.name() + ".skipped",
+                  file.stats().skips());
+    }
     const auto* pool = dynamic_cast<const CachedPageFile*>(&file);
     if (pool != nullptr) {
       any_pool = true;

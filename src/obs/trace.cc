@@ -12,6 +12,7 @@ void WriteSpan(JsonWriter* w, const TraceSpan& span) {
   w->Field("page_reads", span.page_reads);
   w->Field("page_writes", span.page_writes);
   w->Field("pages", span.pages());
+  if (span.pages_skipped > 0) w->Field("pages_skipped", span.pages_skipped);
   if (span.wall_ms > 0.0) w->Field("wall_ms", span.wall_ms);
   if (span.predicted_pages >= 0.0) {
     w->Field("predicted_pages", span.predicted_pages);
@@ -52,8 +53,10 @@ TraceSpan* AddSnapshotStage(QueryTrace* trace, std::string name,
     child.name = after[i].first;
     child.page_reads = delta.reads();
     child.page_writes = delta.writes();
+    child.pages_skipped = delta.skips();
     span->page_reads += delta.reads();
     span->page_writes += delta.writes();
+    span->pages_skipped += delta.skips();
     span->children.push_back(std::move(child));
   }
   return span;
@@ -68,6 +71,12 @@ uint64_t QueryTrace::TotalReads() const {
 uint64_t QueryTrace::TotalWrites() const {
   uint64_t total = 0;
   for (const TraceSpan& s : stages_) total += s.page_writes;
+  return total;
+}
+
+uint64_t QueryTrace::TotalSkipped() const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : stages_) total += s.pages_skipped;
   return total;
 }
 
@@ -86,6 +95,7 @@ std::string QueryTrace::ToJson() const {
   w.Field("measured_reads", TotalReads());
   w.Field("measured_writes", TotalWrites());
   w.Field("measured_pages", TotalPages());
+  if (TotalSkipped() > 0) w.Field("measured_skipped", TotalSkipped());
   if (predicted_total >= 0.0) w.Field("predicted_total", predicted_total);
   w.Field("wall_ms", TotalWallMs());
   w.Key("stages");

@@ -35,6 +35,9 @@ struct TraceSpan {
   std::string name;         // "slice scan", "resolve", ...
   uint64_t page_reads = 0;  // measured delta over the stage
   uint64_t page_writes = 0;
+  // Page reads the skip index proved unnecessary (not part of pages():
+  // a skipped page is an access that never happened).
+  uint64_t pages_skipped = 0;
   double wall_ms = 0.0;          // 0 when not timed (sub-stages)
   double predicted_pages = -1.0;  // model prediction; < 0 = none attached
   // Stage-specific counts; -1 = not applicable.
@@ -68,6 +71,7 @@ class QueryTrace {
   // excluded, so the sum equals the query's IoStats delta).
   uint64_t TotalReads() const;
   uint64_t TotalWrites() const;
+  uint64_t TotalSkipped() const;
   uint64_t TotalPages() const { return TotalReads() + TotalWrites(); }
   double TotalWallMs() const;
 

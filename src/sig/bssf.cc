@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <map>
 
+#include "sig/kernels.h"
 #include "util/failpoint.h"
 #include "util/math.h"
 
@@ -55,7 +56,8 @@ BitSlicedSignatureFile::BitSlicedSignatureFile(const SignatureConfig& config,
                   static_cast<int64_t>(kPageBits)))),
       slice_file_(slice_file),
       oid_file_(oid_file),
-      insert_mode_(insert_mode) {}
+      insert_mode_(insert_mode),
+      skip_index_(config.f, pages_per_slice_) {}
 
 Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
                                           bool set_bit) {
@@ -74,6 +76,7 @@ Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
     page.data()[bit >> 3] &= static_cast<uint8_t>(~(1u << (bit & 7)));
   }
   SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
+  skip_index_.Update(page_no, page);
   return Status::OK();
 }
 
@@ -139,6 +142,14 @@ BitSlicedSignatureFile::CreateFromExisting(const SignatureConfig& config,
   }
   SIGSET_RETURN_IF_ERROR(bssf->oid_file_.Recover(num_signatures));
   bssf->num_signatures_ = num_signatures;
+  // Rebuild the slice-page summaries from the recovered store.  Like the
+  // rest of recovery, this scan is setup, not an experiment cost — stats
+  // are reset below.
+  Page page;
+  for (uint64_t p = 0; p < expected_pages; ++p) {
+    SIGSET_RETURN_IF_ERROR(slice_file->Read(static_cast<PageId>(p), &page));
+    bssf->skip_index_.Update(static_cast<PageId>(p), page);
+  }
   slice_file->stats().Reset();
   oid_file->stats().Reset();
   return bssf;
@@ -171,6 +182,7 @@ Status BitSlicedSignatureFile::BulkLoad(const std::vector<Oid>& oids,
   for (uint64_t p = 0; p < total_pages; ++p) {
     SIGSET_RETURN_IF_ERROR(slice_file_->Write(static_cast<PageId>(p),
                                               pages[p]));
+    skip_index_.Update(static_cast<PageId>(p), pages[p]);
   }
   for (uint64_t slot = 0; slot < oids.size(); ++slot) {
     SIGSET_ASSIGN_OR_RETURN(uint64_t oid_slot, oid_file_.Append(oids[slot]));
@@ -277,6 +289,7 @@ Status BitSlicedSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
       }
     }
     SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
+    skip_index_.Update(page_no, page);
   }
   // Phase 4 — publish the OID entries (reused slots become live again,
   // fresh slots append page-at-a-time).
@@ -373,9 +386,9 @@ StatusOr<uint64_t> BitSlicedSignatureFile::CompactTo(
   return dense;
 }
 
-Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
-                                            BitVector* acc,
-                                            IoStats* io) const {
+Status BitSlicedSignatureFile::CombineSlice(
+    uint32_t slice, bool and_combine, BitVector* acc, IoStats* io,
+    const std::vector<bool>* dead_columns) const {
   if (FailpointRegistry::AnyArmed()) {
     Status fault = FailpointRegistry::Instance().Evaluate("bssf.combine_slice");
     if (!fault.ok()) {
@@ -383,20 +396,37 @@ Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
                     fault.message() + " (slice " + std::to_string(slice) + ")");
     }
   }
+  const SignatureKernels& kernels = ActiveKernels();
   Page page;
   uint64_t* words = acc->mutable_words();
   size_t words_done = 0;
   const size_t total_words = acc->num_words();
   for (uint32_t p = 0; p < pages_per_slice_ && words_done < total_words; ++p) {
+    size_t n = std::min(total_words - words_done, kPageSize / 8);
+    // AND scans skip whole dead page columns (the caller zeroes the
+    // accumulator range via ApplyDeadColumns); OR scans skip pages the
+    // summary proves empty (OR with zero is the identity).  Either way the
+    // avoided read is charged to pages_skipped, never to page_reads.
+    if (dead_columns != nullptr && p < dead_columns->size() &&
+        (*dead_columns)[p]) {
+      io->AddSkip();
+      words_done += n;
+      continue;
+    }
+    if (!and_combine && skip_enabled_ &&
+        skip_index_.summary(slice, p).empty()) {
+      io->AddSkip();
+      words_done += n;
+      continue;
+    }
     PageId page_no = static_cast<PageId>(
         static_cast<uint64_t>(slice) * pages_per_slice_ + p);
     SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page, io));
     const uint64_t* src = reinterpret_cast<const uint64_t*>(page.data());
-    size_t n = std::min(total_words - words_done, kPageSize / 8);
     if (and_combine) {
-      for (size_t i = 0; i < n; ++i) words[words_done + i] &= src[i];
+      kernels.and_accumulate(words + words_done, src, n);
     } else {
-      for (size_t i = 0; i < n; ++i) words[words_done + i] |= src[i];
+      kernels.or_accumulate(words + words_done, src, n);
     }
     words_done += n;
   }
@@ -405,21 +435,58 @@ Status BitSlicedSignatureFile::CombineSlice(uint32_t slice, bool and_combine,
 
 Status BitSlicedSignatureFile::CombineSliceRange(
     const std::vector<uint32_t>& slices, size_t begin, size_t end,
-    bool and_combine, BitVector* acc, IoStats* io) const {
+    bool and_combine, BitVector* acc, IoStats* io,
+    const std::vector<bool>* dead_columns) const {
   for (size_t i = begin; i < end; ++i) {
-    SIGSET_RETURN_IF_ERROR(CombineSlice(slices[i], and_combine, acc, io));
+    SIGSET_RETURN_IF_ERROR(
+        CombineSlice(slices[i], and_combine, acc, io, dead_columns));
   }
   return Status::OK();
+}
+
+std::vector<bool> BitSlicedSignatureFile::PlanDeadColumns(
+    const std::vector<uint32_t>& slices, const BitVector& acc) const {
+  if (!skip_enabled_) return {};
+  uint32_t columns = static_cast<uint32_t>(
+      CeilDiv(static_cast<int64_t>(acc.size()),
+              static_cast<int64_t>(kPageBits)));
+  return skip_index_.DeadColumns(slices, columns);
+}
+
+void BitSlicedSignatureFile::ApplyDeadColumns(
+    const std::vector<bool>& dead_columns, BitVector* acc) {
+  uint64_t* words = acc->mutable_words();
+  const size_t total_words = acc->num_words();
+  for (size_t p = 0; p < dead_columns.size(); ++p) {
+    if (!dead_columns[p]) continue;
+    size_t begin = p * (kPageSize / 8);
+    if (begin >= total_words) break;
+    size_t end = std::min(begin + kPageSize / 8, total_words);
+    std::fill(words + begin, words + end, uint64_t{0});
+  }
 }
 
 Status BitSlicedSignatureFile::CombineSlicesParallel(
     const std::vector<uint32_t>& slices, bool and_combine, BitVector* acc,
     const ParallelExecutionContext* ctx) const {
+  // Skip planning happens once, up front: AND scans precompute the dead
+  // page columns from the slice-page summaries (shared read-only by every
+  // worker), and the accumulator ranges they cover are zeroed after the
+  // combine — the value the skipped reads would have produced.
+  std::vector<bool> dead_columns;
+  const std::vector<bool>* dead = nullptr;
+  if (and_combine && skip_enabled_) {
+    dead_columns = PlanDeadColumns(slices, *acc);
+    dead = &dead_columns;
+  }
   const size_t workers =
       ctx == nullptr ? 1 : ctx->WorkersFor(slices.size());
   if (workers <= 1) {
-    return CombineSliceRange(slices, 0, slices.size(), and_combine, acc,
-                             &slice_file_->stats());
+    SIGSET_RETURN_IF_ERROR(CombineSliceRange(slices, 0, slices.size(),
+                                             and_combine, acc,
+                                             &slice_file_->stats(), dead));
+    if (dead != nullptr) ApplyDeadColumns(dead_columns, acc);
+    return Status::OK();
   }
   // Per-worker accumulator bitmaps (initialized to the combine identity) and
   // per-worker IoStats; both merged deterministically after the join.  Every
@@ -435,17 +502,18 @@ Status BitSlicedSignatureFile::CombineSlicesParallel(
   ctx->pool->ParallelFor(
       slices.size(), workers, [&](size_t w, size_t begin, size_t end) {
         statuses[w] = CombineSliceRange(slices, begin, end, and_combine,
-                                        &accs[w], &ios[w]);
+                                        &accs[w], &ios[w], dead);
       });
   for (const IoStats& io : ios) slice_file_->stats() += io;
   SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
   for (const BitVector& a : accs) {
     if (and_combine) {
-      acc->AndWith(a);
+      KernelAndWith(acc, a);
     } else {
-      acc->OrWith(a);
+      KernelOrWith(acc, a);
     }
   }
+  if (dead != nullptr) ApplyDeadColumns(dead_columns, acc);
   return Status::OK();
 }
 
@@ -565,9 +633,15 @@ StatusOr<std::vector<uint64_t>> BitSlicedSignatureFile::OverlapCandidateSlots(
           [&](size_t j) { slices.push_back(static_cast<uint32_t>(j)); });
       BitVector acc(num_signatures_);
       acc.SetAll();
+      // Per-element skip plan: each element scans its own slice set, so its
+      // dead columns differ.  skip_index_ reads are const and safe to share
+      // across workers.
+      std::vector<bool> dead = PlanDeadColumns(slices, acc);
       statuses[w] = CombineSliceRange(slices, 0, slices.size(),
-                                      /*and_combine=*/true, &acc, &ios[w]);
+                                      /*and_combine=*/true, &acc, &ios[w],
+                                      dead.empty() ? nullptr : &dead);
       if (!statuses[w].ok()) return;
+      if (!dead.empty()) ApplyDeadColumns(dead, &acc);
       acc.ForEachSetBit([&](size_t slot) { merged[w].push_back(slot); });
     }
   };

@@ -32,6 +32,7 @@
 #include "obj/oid_file.h"
 #include "sig/facility.h"
 #include "sig/signature.h"
+#include "sig/skip_index.h"
 #include "storage/page_file.h"
 
 namespace sigsetdb {
@@ -159,6 +160,16 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   // Pages of the slice store alone (= F · pages_per_slice()).
   uint64_t SlicePages() const { return slice_file_->num_pages(); }
 
+  // Whether scans consult the slice-page skip index (summaries are always
+  // maintained; only consultation is switched).  Off by default so page-
+  // access totals are bit-identical to the pre-skip-index behaviour.  When
+  // on, AND-combines skip provably dead page columns and OR-combines skip
+  // empty pages; each avoided read is charged to the slice file's
+  // pages_skipped counter instead of page_reads.
+  void set_skip_index_enabled(bool on) { skip_enabled_ = on; }
+  bool skip_index_enabled() const { return skip_enabled_; }
+  const SliceSkipIndex& skip_index() const { return skip_index_; }
+
  private:
   BitSlicedSignatureFile(const SignatureConfig& config, uint64_t capacity,
                          PageFile* slice_file, PageFile* oid_file,
@@ -171,14 +182,33 @@ class BitSlicedSignatureFile : public SetAccessFacility {
 
   // Reads slice `slice` and combines it into `acc` (num bits =
   // num_signatures): AND when `and_combine`, OR otherwise.  Page reads are
-  // charged to `*io` (a worker-local IoStats on the parallel path).
+  // charged to `*io` (a worker-local IoStats on the parallel path).  With
+  // the skip index enabled, AND-combines skip pages in `*dead_columns`
+  // (callers zero the accumulator ranges afterwards via ApplyDeadColumns)
+  // and OR-combines skip pages whose summary is empty; skipped pages are
+  // charged to io->pages_skipped.
   Status CombineSlice(uint32_t slice, bool and_combine, BitVector* acc,
-                      IoStats* io) const;
+                      IoStats* io,
+                      const std::vector<bool>* dead_columns = nullptr) const;
 
   // Combines `slices[begin..end)` serially into `acc` through `io`.
   Status CombineSliceRange(const std::vector<uint32_t>& slices,
                            size_t begin, size_t end, bool and_combine,
-                           BitVector* acc, IoStats* io) const;
+                           BitVector* acc, IoStats* io,
+                           const std::vector<bool>* dead_columns =
+                               nullptr) const;
+
+  // Skip planning for an AND-combine over `slices`: the dead-column set
+  // sized to `acc`'s page span, or an empty vector when the skip index is
+  // off (callers treat empty as "no skipping").
+  std::vector<bool> PlanDeadColumns(const std::vector<uint32_t>& slices,
+                                    const BitVector& acc) const;
+
+  // Zeroes acc's words for every dead column — the AND result the skipped
+  // reads would have produced (each dead group is zeroed by some scanned
+  // slice, so the column's AND is provably zero).
+  static void ApplyDeadColumns(const std::vector<bool>& dead_columns,
+                               BitVector* acc);
 
   // AND/OR-combines all of `slices` into `*acc`, fanning out over `ctx`
   // when it is parallel: each worker combines a contiguous chunk into a
@@ -201,6 +231,11 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   OidFile oid_file_;
   BssfInsertMode insert_mode_;
   uint64_t num_signatures_ = 0;
+  // Per-slice-page summaries; maintained by every write path (the writer
+  // always holds the page image, so updates are exact and I/O-free) and
+  // rebuilt by CreateFromExisting's recovery scan.
+  SliceSkipIndex skip_index_;
+  bool skip_enabled_ = false;
 };
 
 }  // namespace sigsetdb

@@ -2,6 +2,7 @@
 
 #include <cstring>
 
+#include "sig/kernels.h"
 #include "sig/wah.h"
 #include "util/math.h"
 
@@ -149,7 +150,7 @@ CompressedBitSlicedSignatureFile::SupersetCandidateSlots(
   query_sig.ForEachSetBit([&](size_t j) {
     if (!status.ok()) return;
     status = ReadSlice(static_cast<uint32_t>(j), &slice_bits);
-    if (status.ok()) acc.AndWith(slice_bits);
+    if (status.ok()) KernelAndWith(&acc, slice_bits);
   });
   SIGSET_RETURN_IF_ERROR(status);
   std::vector<uint64_t> slots;
@@ -166,7 +167,7 @@ CompressedBitSlicedSignatureFile::SubsetCandidateSlots(
   for (uint32_t j = 0; j < config_.f && scanned < max_slices; ++j) {
     if (query_sig.Test(j)) continue;
     SIGSET_RETURN_IF_ERROR(ReadSlice(j, &slice_bits));
-    acc.OrWith(slice_bits);
+    KernelOrWith(&acc, slice_bits);
     ++scanned;
   }
   std::vector<uint64_t> slots;

@@ -1,0 +1,275 @@
+#include "sig/kernels.h"
+
+#include <bit>
+#include <cstdlib>
+#include <cstring>
+
+#if defined(__x86_64__) && (defined(__GNUC__) || defined(__clang__))
+#define SIGSET_HAVE_AVX2_TARGET 1
+#include <immintrin.h>
+#else
+#define SIGSET_HAVE_AVX2_TARGET 0
+#endif
+
+namespace sigsetdb {
+namespace {
+
+// --- scalar reference (the oracle) ---
+//
+// These are the loops the rest of the repo ran before the kernel library
+// existed, pinned to word-at-a-time execution: the optimizer is told not to
+// vectorize them so that they stay an honest baseline for bench_kernels and
+// an independent oracle for the property tests (a miscompiled vector path
+// cannot hide behind an identically miscompiled reference).
+#if defined(__clang__)
+#define SIGSET_NO_VECTORIZE _Pragma("clang loop vectorize(disable)")
+#define SIGSET_SCALAR_FN
+#elif defined(__GNUC__)
+#define SIGSET_NO_VECTORIZE
+#define SIGSET_SCALAR_FN \
+  __attribute__((optimize("no-tree-vectorize", "no-tree-slp-vectorize")))
+#else
+#define SIGSET_NO_VECTORIZE
+#define SIGSET_SCALAR_FN
+#endif
+
+SIGSET_SCALAR_FN
+void ScalarAndAccumulate(uint64_t* acc, const uint64_t* src, size_t n) {
+  SIGSET_NO_VECTORIZE
+  for (size_t i = 0; i < n; ++i) acc[i] &= src[i];
+}
+
+SIGSET_SCALAR_FN
+void ScalarOrAccumulate(uint64_t* acc, const uint64_t* src, size_t n) {
+  SIGSET_NO_VECTORIZE
+  for (size_t i = 0; i < n; ++i) acc[i] |= src[i];
+}
+
+SIGSET_SCALAR_FN
+bool ScalarContainsAll(const uint64_t* sub, const uint64_t* super, size_t n) {
+  SIGSET_NO_VECTORIZE
+  for (size_t i = 0; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+SIGSET_SCALAR_FN
+uint64_t ScalarPopcountAnd(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t count = 0;
+  SIGSET_NO_VECTORIZE
+  for (size_t i = 0; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+// --- portable unrolled baseline ---
+//
+// Manually unrolled 4-wide so the compiler can keep four independent
+// dependency chains in flight (and auto-vectorize where the target allows).
+
+void PortableAndAccumulate(uint64_t* acc, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[i] &= src[i];
+    acc[i + 1] &= src[i + 1];
+    acc[i + 2] &= src[i + 2];
+    acc[i + 3] &= src[i + 3];
+  }
+  for (; i < n; ++i) acc[i] &= src[i];
+}
+
+void PortableOrAccumulate(uint64_t* acc, const uint64_t* src, size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    acc[i] |= src[i];
+    acc[i + 1] |= src[i + 1];
+    acc[i + 2] |= src[i + 2];
+    acc[i + 3] |= src[i + 3];
+  }
+  for (; i < n; ++i) acc[i] |= src[i];
+}
+
+bool PortableContainsAll(const uint64_t* sub, const uint64_t* super,
+                         size_t n) {
+  size_t i = 0;
+  // OR the violations of four lanes together; one branch per 4 words keeps
+  // the early exit (the property SSF scans rely on: most signatures fail on
+  // the first word) while letting the common all-clear case run branch-lean.
+  for (; i + 4 <= n; i += 4) {
+    uint64_t violation = (sub[i] & ~super[i]) | (sub[i + 1] & ~super[i + 1]) |
+                         (sub[i + 2] & ~super[i + 2]) |
+                         (sub[i + 3] & ~super[i + 3]);
+    if (violation != 0) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+uint64_t PortablePopcountAnd(const uint64_t* a, const uint64_t* b, size_t n) {
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    c0 += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+    c1 += static_cast<uint64_t>(std::popcount(a[i + 1] & b[i + 1]));
+    c2 += static_cast<uint64_t>(std::popcount(a[i + 2] & b[i + 2]));
+    c3 += static_cast<uint64_t>(std::popcount(a[i + 3] & b[i + 3]));
+  }
+  uint64_t count = c0 + c1 + c2 + c3;
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+#if SIGSET_HAVE_AVX2_TARGET
+
+// --- AVX2 path ---
+//
+// Function-level target attributes let a single TU carry AVX2 bodies while
+// the rest of the library keeps the default ISA; ActiveKernels() only hands
+// these out after __builtin_cpu_supports("avx2") confirmed the CPU.  All
+// memory operands use unaligned loads/stores: slice pages arrive as
+// reinterpret_cast word views of page buffers, and BitVector words carry no
+// 32-byte guarantee.
+
+__attribute__((target("avx2"))) void Avx2AndAccumulate(uint64_t* acc,
+                                                       const uint64_t* src,
+                                                       size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_and_si256(a0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4),
+                        _mm256_and_si256(a1, s1));
+  }
+  for (; i < n; ++i) acc[i] &= src[i];
+}
+
+__attribute__((target("avx2"))) void Avx2OrAccumulate(uint64_t* acc,
+                                                      const uint64_t* src,
+                                                      size_t n) {
+  size_t i = 0;
+  for (; i + 8 <= n; i += 8) {
+    __m256i a0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i));
+    __m256i a1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(acc + i + 4));
+    __m256i s0 = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i));
+    __m256i s1 =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(src + i + 4));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i),
+                        _mm256_or_si256(a0, s0));
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(acc + i + 4),
+                        _mm256_or_si256(a1, s1));
+  }
+  for (; i < n; ++i) acc[i] |= src[i];
+}
+
+__attribute__((target("avx2"))) bool Avx2ContainsAll(const uint64_t* sub,
+                                                     const uint64_t* super,
+                                                     size_t n) {
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    __m256i s = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(sub + i));
+    __m256i p =
+        _mm256_loadu_si256(reinterpret_cast<const __m256i*>(super + i));
+    // testc returns 1 iff (s & ~p) == 0 across the whole vector — exactly
+    // the containment condition, with the early exit per 256-bit block.
+    if (!_mm256_testc_si256(p, s)) return false;
+  }
+  for (; i < n; ++i) {
+    if ((sub[i] & ~super[i]) != 0) return false;
+  }
+  return true;
+}
+
+__attribute__((target("avx2"))) uint64_t Avx2PopcountAnd(const uint64_t* a,
+                                                         const uint64_t* b,
+                                                         size_t n) {
+  // AND in 256-bit blocks, popcount the lanes with scalar popcnt (Haswell+
+  // popcnt is 1/cycle; a Harley-Seal vector popcount only pays off beyond
+  // the slice sizes this repo touches).
+  uint64_t c0 = 0, c1 = 0, c2 = 0, c3 = 0;
+  size_t i = 0;
+  alignas(32) uint64_t lanes[4];
+  for (; i + 4 <= n; i += 4) {
+    __m256i va = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(a + i));
+    __m256i vb = _mm256_loadu_si256(reinterpret_cast<const __m256i*>(b + i));
+    _mm256_store_si256(reinterpret_cast<__m256i*>(lanes),
+                       _mm256_and_si256(va, vb));
+    c0 += static_cast<uint64_t>(std::popcount(lanes[0]));
+    c1 += static_cast<uint64_t>(std::popcount(lanes[1]));
+    c2 += static_cast<uint64_t>(std::popcount(lanes[2]));
+    c3 += static_cast<uint64_t>(std::popcount(lanes[3]));
+  }
+  uint64_t count = c0 + c1 + c2 + c3;
+  for (; i < n; ++i) {
+    count += static_cast<uint64_t>(std::popcount(a[i] & b[i]));
+  }
+  return count;
+}
+
+#endif  // SIGSET_HAVE_AVX2_TARGET
+
+constexpr SignatureKernels kScalar = {
+    "scalar", ScalarAndAccumulate, ScalarOrAccumulate, ScalarContainsAll,
+    ScalarPopcountAnd};
+
+constexpr SignatureKernels kPortable = {
+    "portable", PortableAndAccumulate, PortableOrAccumulate,
+    PortableContainsAll, PortablePopcountAnd};
+
+#if SIGSET_HAVE_AVX2_TARGET
+constexpr SignatureKernels kAvx2 = {"avx2", Avx2AndAccumulate,
+                                    Avx2OrAccumulate, Avx2ContainsAll,
+                                    Avx2PopcountAnd};
+#endif
+
+bool Avx2Disabled() {
+  const char* env = std::getenv("SIGSET_DISABLE_AVX2");
+  return env != nullptr && env[0] != '\0' && std::strcmp(env, "0") != 0;
+}
+
+}  // namespace
+
+const SignatureKernels& ScalarKernels() { return kScalar; }
+
+const SignatureKernels& PortableKernels() { return kPortable; }
+
+const SignatureKernels* Avx2Kernels() {
+#if SIGSET_HAVE_AVX2_TARGET
+  return &kAvx2;
+#else
+  return nullptr;
+#endif
+}
+
+bool Avx2Supported() {
+#if SIGSET_HAVE_AVX2_TARGET
+  return __builtin_cpu_supports("avx2") != 0;
+#else
+  return false;
+#endif
+}
+
+const SignatureKernels& ActiveKernels() {
+  // Resolved once; the env override is read at first use, matching how the
+  // CI matrix leg sets SIGSET_DISABLE_AVX2 before the process starts.
+  static const SignatureKernels& active = [&]() -> const SignatureKernels& {
+    const SignatureKernels* avx2 = Avx2Kernels();
+    if (avx2 != nullptr && Avx2Supported() && !Avx2Disabled()) return *avx2;
+    return kPortable;
+  }();
+  return active;
+}
+
+}  // namespace sigsetdb

@@ -1,0 +1,97 @@
+// Vectorized signature kernels: the four word-array operations every query
+// bottoms out in, behind one runtime-dispatched function table.
+//
+//   AndAccumulate  acc[i] &= src[i]        (T ⊇ Q slice combination)
+//   OrAccumulate   acc[i] |= src[i]        (T ⊆ Q slice combination)
+//   ContainsAll    ∀i: sub[i] & ~super[i] == 0, early exit
+//                                          (inclusion tests / SSF matching)
+//   PopcountAnd    Σ popcount(a[i] & b[i]) (signature weights, skip summaries)
+//
+// Three implementations of the same table:
+//
+//   ScalarKernels()   word-at-a-time loops with compiler auto-vectorization
+//                     suppressed.  This is the ORACLE: the property tests
+//                     assert every other target is bit-identical to it, and
+//                     bench_kernels reports speedups against it.
+//   PortableKernels() 4x-unrolled word loops the compiler is free to
+//                     auto-vectorize — the baseline on any CPU.
+//   Avx2Kernels()     256-bit AVX2 bodies compiled with a function-level
+//                     target attribute; nullptr when the toolchain cannot
+//                     build them.
+//
+// ActiveKernels() picks AVX2 when __builtin_cpu_supports("avx2") holds and
+// the environment variable SIGSET_DISABLE_AVX2 is unset/0 (the CI matrix
+// forces the portable leg with SIGSET_DISABLE_AVX2=1), portable otherwise.
+// The choice is made once, on first use, and is immutable afterwards.
+//
+// All kernels demand only natural uint64_t alignment of their operands and
+// tolerate any misalignment relative to the vector width (loads/stores are
+// unaligned); n may be any value including 0.  Callers combining BitVectors
+// must uphold the tail invariant (padding bits beyond size() are zero) —
+// kernels operate on whole words and preserve it for AND/OR by construction.
+
+#ifndef SIGSET_SIG_KERNELS_H_
+#define SIGSET_SIG_KERNELS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+#include "util/bitvector.h"
+
+namespace sigsetdb {
+
+// One dispatch target: four function pointers plus a display name
+// ("scalar", "portable", "avx2") surfaced by bench_kernels and tests.
+struct SignatureKernels {
+  const char* name;
+  void (*and_accumulate)(uint64_t* acc, const uint64_t* src, size_t n);
+  void (*or_accumulate)(uint64_t* acc, const uint64_t* src, size_t n);
+  // True iff every set bit of sub[0..n) is also set in super[0..n).
+  bool (*contains_all)(const uint64_t* sub, const uint64_t* super, size_t n);
+  uint64_t (*popcount_and)(const uint64_t* a, const uint64_t* b, size_t n);
+};
+
+// The de-vectorized reference implementation (the property-test oracle).
+const SignatureKernels& ScalarKernels();
+
+// The unrolled portable implementation (auto-vectorizable baseline).
+const SignatureKernels& PortableKernels();
+
+// The AVX2 implementation, or nullptr when the build target cannot emit
+// AVX2 code.  Callers must additionally check Avx2Supported() before
+// invoking it on a live CPU (tests do; ActiveKernels already has).
+const SignatureKernels* Avx2Kernels();
+
+// True when the running CPU supports AVX2 (regardless of the env override).
+bool Avx2Supported();
+
+// The dispatched table: AVX2 when supported and not disabled via the
+// SIGSET_DISABLE_AVX2 environment variable, else portable.  Resolved once.
+const SignatureKernels& ActiveKernels();
+
+// --- BitVector-level conveniences over the active table ---
+// Both operands must have equal size(); the tail invariant is preserved.
+
+inline void KernelAndWith(BitVector* acc, const BitVector& other) {
+  ActiveKernels().and_accumulate(acc->mutable_words(), other.words(),
+                                 acc->num_words());
+}
+
+inline void KernelOrWith(BitVector* acc, const BitVector& other) {
+  ActiveKernels().or_accumulate(acc->mutable_words(), other.words(),
+                                acc->num_words());
+}
+
+// sub ⊆ super as bit sets (early-exit inclusion test).
+inline bool KernelIsSubsetOf(const BitVector& sub, const BitVector& super) {
+  return ActiveKernels().contains_all(sub.words(), super.words(),
+                                      sub.num_words());
+}
+
+inline uint64_t KernelCountAnd(const BitVector& a, const BitVector& b) {
+  return ActiveKernels().popcount_and(a.words(), b.words(), a.num_words());
+}
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_SIG_KERNELS_H_

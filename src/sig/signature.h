@@ -21,6 +21,7 @@
 #include <vector>
 
 #include "obj/object.h"
+#include "sig/kernels.h"
 #include "util/bitvector.h"
 #include "util/status.h"
 
@@ -62,14 +63,16 @@ BitVector MakePartialQuerySignature(const ElementSet& query,
                                     size_t use_elements,
                                     const SignatureConfig& config);
 
-// Search conditions (see file comment).
+// Search conditions (see file comment).  Inclusion runs through the
+// dispatched kernels: SSF full scans evaluate these once per stored
+// signature, so the early-exit ContainsAll kernel is the scan's inner loop.
 inline bool MatchesSuperset(const BitVector& target_sig,
                             const BitVector& query_sig) {
-  return query_sig.IsSubsetOf(target_sig);
+  return KernelIsSubsetOf(query_sig, target_sig);
 }
 inline bool MatchesSubset(const BitVector& target_sig,
                           const BitVector& query_sig) {
-  return target_sig.IsSubsetOf(query_sig);
+  return KernelIsSubsetOf(target_sig, query_sig);
 }
 // Equality prefilter: equal sets have equal signatures.
 inline bool MatchesEquals(const BitVector& target_sig,

@@ -1,0 +1,48 @@
+#include "sig/skip_index.h"
+
+#include "sig/kernels.h"
+
+namespace sigsetdb {
+
+SlicePageSummary SlicePageSummary::FromPage(const Page& page) {
+  const uint64_t* words = reinterpret_cast<const uint64_t*>(page.data());
+  const SignatureKernels& k = ActiveKernels();
+  SlicePageSummary s;
+  s.live_bits = static_cast<uint32_t>(
+      k.popcount_and(words, words, kPageSize / 8));
+  for (size_t g = 0; g < 64; ++g) {
+    // A group is nonzero exactly when it is not contained in the zero
+    // vector; OR-reduce via the containment kernel's negation would cost a
+    // scratch buffer, so reduce the 8 words directly.
+    uint64_t any = 0;
+    for (size_t w = 0; w < kSummaryWordsPerGroup; ++w) {
+      any |= words[g * kSummaryWordsPerGroup + w];
+    }
+    if (any != 0) s.group_nonzero |= uint64_t{1} << g;
+  }
+  return s;
+}
+
+std::vector<bool> SliceSkipIndex::DeadColumns(
+    const std::vector<uint32_t>& slices, uint32_t columns) const {
+  std::vector<bool> dead(columns, false);
+  if (slices.empty()) return dead;
+  for (uint32_t p = 0; p < columns && p < pages_per_slice_; ++p) {
+    uint64_t alive_groups = ~uint64_t{0};
+    for (uint32_t j : slices) {
+      alive_groups &= summary(j, p).group_nonzero;
+      if (alive_groups == 0) break;
+    }
+    dead[p] = alive_groups == 0;
+  }
+  return dead;
+}
+
+void PageUnionIndex::EnsurePage(size_t page) {
+  while (unions_.size() <= page) {
+    unions_.emplace_back(f_);
+    live_.push_back(0);
+  }
+}
+
+}  // namespace sigsetdb

@@ -3,6 +3,7 @@
 #include <algorithm>
 
 #include "sig/bitpack.h"
+#include "sig/kernels.h"
 #include "util/failpoint.h"
 
 namespace sigsetdb {
@@ -51,6 +52,32 @@ SequentialSignatureFile::CreateFromExisting(const SignatureConfig& config,
   }
   SIGSET_RETURN_IF_ERROR(ssf->oid_file_.Recover(num_signatures));
   ssf->num_signatures_ = num_signatures;
+  // Rebuild the page-union index exactly: per page, the OR of its *live*
+  // signatures and the live count (tombstoned slots' stale bits are dropped
+  // here — recovery is the one point where the grow-only union tightens).
+  // Like the rest of recovery this scan is setup; stats are reset below.
+  {
+    std::vector<bool> tombstoned(num_signatures, false);
+    for (uint64_t slot : ssf->oid_file_.free_slots()) {
+      if (slot < num_signatures) tombstoned[slot] = true;
+    }
+    Page page;
+    BitVector sig(config.f);
+    uint64_t slot = 0;
+    for (PageId p = 0; p < expected_pages && slot < num_signatures; ++p) {
+      SIGSET_RETURN_IF_ERROR(signature_file->Read(p, &page));
+      BitVector page_union(config.f);
+      uint32_t live = 0;
+      for (uint32_t i = 0; i < ssf->sigs_per_page_ && slot < num_signatures;
+           ++i, ++slot) {
+        if (tombstoned[slot]) continue;
+        ExtractBits(page.data(), static_cast<size_t>(i) * config.f, &sig);
+        page_union.OrWith(sig);
+        ++live;
+      }
+      ssf->union_index_.SetPage(p, std::move(page_union), live);
+    }
+  }
   if (num_signatures > 0 && num_signatures % ssf->sigs_per_page_ != 0) {
     // The tail is the page holding slot num_signatures-1, not necessarily the
     // file's last page (a crashed insert may have allocated one past it).
@@ -69,7 +96,8 @@ SequentialSignatureFile::SequentialSignatureFile(const SignatureConfig& config,
     : config_(config),
       sigs_per_page_(static_cast<uint32_t>(kPageBits / config.f)),
       signature_file_(signature_file),
-      oid_file_(oid_file) {}
+      oid_file_(oid_file),
+      union_index_(config.f) {}
 
 Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
   SIGSET_FAILPOINT("ssf.insert");
@@ -82,6 +110,7 @@ Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
     // free, and repaired by the next reuse.
     uint64_t slot = oid_file_.free_slots().back();
     SIGSET_RETURN_IF_ERROR(OverwriteSlot(slot, sig));
+    union_index_.AddSignature(slot / sigs_per_page_, sig);
     return oid_file_.SetAt(slot, oid);
   }
   uint32_t slot_in_page =
@@ -92,6 +121,7 @@ Status SequentialSignatureFile::Insert(Oid oid, const ElementSet& set_value) {
   }
   DepositBits(sig, tail_.data(), static_cast<size_t>(slot_in_page) * config_.f);
   SIGSET_RETURN_IF_ERROR(signature_file_->Write(tail_page_, tail_));
+  union_index_.AddSignature(num_signatures_ / sigs_per_page_, sig);
   SIGSET_ASSIGN_OR_RETURN(uint64_t oid_slot, oid_file_.Append(oid));
   if (oid_slot != num_signatures_) {
     return Status::Internal("signature/OID slot mismatch");
@@ -133,6 +163,9 @@ Status SequentialSignatureFile::CheckSlotSignature(
 
 Status SequentialSignatureFile::Remove(Oid oid, const ElementSet& set_value) {
   SIGSET_ASSIGN_OR_RETURN(uint64_t slot, oid_file_.MarkDeleted(oid));
+  // The dangling signature stays in the page, so the page union keeps its
+  // bits (upper bound); only the live count shrinks.
+  union_index_.OnDelete(slot / sigs_per_page_);
   if (paranoid_checks_) {
     SIGSET_RETURN_IF_ERROR(CheckSlotSignature(slot, set_value));
   }
@@ -156,6 +189,9 @@ Status SequentialSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
   if (!remove_oids.empty()) {
     SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
                             oid_file_.MarkDeletedMany(remove_oids));
+    for (uint64_t slot : slots) {
+      union_index_.OnDelete(slot / sigs_per_page_);
+    }
     if (paranoid_checks_) {
       for (size_t i = 0; i < slots.size(); ++i) {
         SIGSET_RETURN_IF_ERROR(
@@ -188,8 +224,10 @@ Status SequentialSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
         SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
         loaded = p;
       }
-      DepositBits(MakeSetSignature(op->set_value, config_), page.data(),
+      BitVector refill_sig = MakeSetSignature(op->set_value, config_);
+      DepositBits(refill_sig, page.data(),
                   static_cast<size_t>(slot % sigs_per_page_) * config_.f);
+      union_index_.AddSignature(slot / sigs_per_page_, refill_sig);
     }
     if (loaded != kInvalidPage) {
       SIGSET_RETURN_IF_ERROR(signature_file_->Write(loaded, page));
@@ -215,9 +253,10 @@ Status SequentialSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
         tail_.Zero();
       }
       while (i < inserts.size() && slot_in_page < sigs_per_page_) {
-        DepositBits(MakeSetSignature(inserts[i]->set_value, config_),
-                    tail_.data(),
+        BitVector append_sig = MakeSetSignature(inserts[i]->set_value, config_);
+        DepositBits(append_sig, tail_.data(),
                     static_cast<size_t>(slot_in_page) * config_.f);
+        union_index_.AddSignature(next_slot / sigs_per_page_, append_sig);
         appended.push_back(inserts[i]->oid);
         ++slot_in_page;
         ++next_slot;
@@ -285,13 +324,21 @@ StatusOr<uint64_t> SequentialSignatureFile::CompactTo(
 }
 
 StatusOr<std::vector<uint64_t>> SequentialSignatureFile::ScanMatchingSlots(
-    const std::function<bool(const BitVector&)>& matches) const {
+    const std::function<bool(const BitVector&)>& matches,
+    const std::function<bool(PageId)>* skip_page) const {
   std::vector<uint64_t> slots;
   Page page;
   BitVector sig(config_.f);
   uint64_t slot = 0;
   for (PageId p = 0; p < signature_file_->num_pages() && slot < num_signatures_;
        ++p) {
+    if (skip_page != nullptr && (*skip_page)(p)) {
+      signature_file_->stats().AddSkip();
+      slot = std::min<uint64_t>(num_signatures_,
+                                (static_cast<uint64_t>(p) + 1) *
+                                    sigs_per_page_);
+      continue;
+    }
     SIGSET_RETURN_IF_ERROR(signature_file_->Read(p, &page));
     for (uint32_t i = 0; i < sigs_per_page_ && slot < num_signatures_;
          ++i, ++slot) {
@@ -306,40 +353,81 @@ StatusOr<CandidateResult> SequentialSignatureFile::Candidates(
     QueryKind kind, const ElementSet& query) {
   BitVector query_sig = MakeSetSignature(query, config_);
   std::function<bool(const BitVector&)> matches;
+  std::function<bool(PageId)> skip;
+  // Skip predicates are per-kind because soundness differs: a page union is
+  // an upper bound on every resident signature, so "query ⊄ union" kills
+  // superset/equals matches and "no element signature ⊆ union" kills
+  // overlap matches; subset matches can only be killed by emptiness
+  // (live == 0), since smaller residents match more easily, not less.
+  // Pages past the index (none today; defensive) are never skipped.
+  auto page_live = [this](PageId p) {
+    return p < union_index_.num_pages() ? union_index_.live(p) : 1u;
+  };
   switch (kind) {
     case QueryKind::kSuperset:
     case QueryKind::kProperSuperset:  // strictness checked at resolution
       matches = [&](const BitVector& t) {
         return MatchesSuperset(t, query_sig);
       };
+      if (skip_enabled_) {
+        skip = [this, &query_sig, page_live](PageId p) {
+          if (page_live(p) == 0) return true;
+          return p < union_index_.num_pages() &&
+                 !KernelIsSubsetOf(query_sig, union_index_.page_union(p));
+        };
+      }
       break;
     case QueryKind::kSubset:
     case QueryKind::kProperSubset:  // strictness checked at resolution
       matches = [&](const BitVector& t) { return MatchesSubset(t, query_sig); };
+      if (skip_enabled_) {
+        skip = [page_live](PageId p) { return page_live(p) == 0; };
+      }
       break;
     case QueryKind::kEquals:
       matches = [&](const BitVector& t) { return MatchesEquals(t, query_sig); };
+      if (skip_enabled_) {
+        // Equal signatures are in particular covered by the page union, so
+        // the superset predicate applies unchanged.
+        skip = [this, &query_sig, page_live](PageId p) {
+          if (page_live(p) == 0) return true;
+          return p < union_index_.num_pages() &&
+                 !KernelIsSubsetOf(query_sig, union_index_.page_union(p));
+        };
+      }
       break;
     case QueryKind::kOverlaps: {
       // T ∩ Q ≠ ∅ ⟹ some element signature of Q is covered by the target
       // signature, so testing coverage per query element is a complete
-      // filter (extension; paper §6 future work).
+      // filter (extension; paper §6 future work).  The coverage test is the
+      // early-exit ContainsAll kernel — the SSF scan's inner loop.
       std::vector<BitVector> element_sigs;
       element_sigs.reserve(query.size());
       for (uint64_t e : query) {
         element_sigs.push_back(MakeElementSignature(e, config_));
       }
+      if (skip_enabled_) {
+        skip = [this, element_sigs, page_live](PageId p) {
+          if (page_live(p) == 0) return true;
+          if (p >= union_index_.num_pages()) return false;
+          for (const BitVector& es : element_sigs) {
+            if (KernelIsSubsetOf(es, union_index_.page_union(p))) return false;
+          }
+          return true;
+        };
+      }
       matches = [element_sigs = std::move(element_sigs)](const BitVector& t) {
         for (const BitVector& es : element_sigs) {
-          if (es.IsSubsetOf(t)) return true;
+          if (KernelIsSubsetOf(es, t)) return true;
         }
         return false;
       };
       break;
     }
   }
-  SIGSET_ASSIGN_OR_RETURN(std::vector<uint64_t> slots,
-                          ScanMatchingSlots(matches));
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<uint64_t> slots,
+      ScanMatchingSlots(matches, skip ? &skip : nullptr));
   CandidateResult result;
   result.exact = false;
   SIGSET_ASSIGN_OR_RETURN(result.oids, oid_file_.GetMany(slots));

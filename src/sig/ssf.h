@@ -15,6 +15,7 @@
 #include "obj/oid_file.h"
 #include "sig/facility.h"
 #include "sig/signature.h"
+#include "sig/skip_index.h"
 #include "storage/page_file.h"
 
 namespace sigsetdb {
@@ -81,9 +82,13 @@ class SequentialSignatureFile : public SetAccessFacility {
   // --- lower-level API used by tests and the smart strategies ---
 
   // Scans the signature file and returns the slots whose signature satisfies
-  // `matches` (costs exactly SC_SIG page reads).
+  // `matches` (costs exactly SC_SIG page reads).  A non-null `skip_page`
+  // lets the caller prove whole pages irrelevant before the read: a page for
+  // which it returns true is charged to pages_skipped instead of page_reads
+  // and none of its slots are tested.
   StatusOr<std::vector<uint64_t>> ScanMatchingSlots(
-      const std::function<bool(const BitVector&)>& matches) const;
+      const std::function<bool(const BitVector&)>& matches,
+      const std::function<bool(PageId)>* skip_page = nullptr) const;
 
   // Resolves slots (sorted) to OIDs via the OID file.
   StatusOr<std::vector<Oid>> ResolveSlots(
@@ -103,6 +108,16 @@ class SequentialSignatureFile : public SetAccessFacility {
 
   // Pages of the signature file alone (the paper's SC_SIG).
   uint64_t SignaturePages() const { return signature_file_->num_pages(); }
+
+  // Whether Candidates() consults the page-union skip index (unions are
+  // always maintained; only consultation is switched).  Off by default so
+  // page-access totals are bit-identical to the pre-skip-index behaviour.
+  // When on: superset/equals scans skip pages whose union does not cover
+  // the query signature, overlap scans skip pages whose union covers no
+  // element signature, and every scan skips pages with zero live slots.
+  void set_skip_index_enabled(bool on) { skip_enabled_ = on; }
+  bool skip_index_enabled() const { return skip_enabled_; }
+  const PageUnionIndex& union_index() const { return union_index_; }
 
  private:
   SequentialSignatureFile(const SignatureConfig& config,
@@ -125,6 +140,11 @@ class SequentialSignatureFile : public SetAccessFacility {
   // insert costs one signature-page write, matching the model).
   Page tail_;
   PageId tail_page_ = kInvalidPage;
+  // Per-page signature unions + live counts; maintained by every write path
+  // (grow-only across deletes/slot reuse, so always an upper bound) and
+  // rebuilt exactly by CreateFromExisting's recovery scan.
+  PageUnionIndex union_index_;
+  bool skip_enabled_ = false;
   bool paranoid_checks_ =
 #ifndef NDEBUG
       true;

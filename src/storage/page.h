@@ -25,9 +25,11 @@ inline constexpr PageId kInvalidPage = 0xffffffffu;
 
 // A raw page buffer with typed little-endian accessors.  The storage layer
 // moves Pages by value only at the I/O boundary; higher layers operate on
-// references.
+// references.  The buffer is 64-byte aligned so the signature kernels'
+// uint64_t views of page data (slice combination, summary recomputation)
+// are always naturally aligned, wherever the Page lives.
 struct Page {
-  std::array<uint8_t, kPageSize> bytes{};
+  alignas(64) std::array<uint8_t, kPageSize> bytes{};
 
   void Zero() { bytes.fill(0); }
 

@@ -7,6 +7,7 @@
 #define SIGSET_UTIL_BITVECTOR_H_
 
 #include <bit>
+#include <cassert>
 #include <cstddef>
 #include <cstdint>
 #include <cstring>
@@ -33,11 +34,21 @@ class BitVector {
   size_t size() const { return num_bits_; }
   size_t num_words() const { return words_.size(); }
 
+  // Single-bit accessors assert i < size(): an out-of-range Set would park a
+  // one in the padding region of the last word, breaking the invariant every
+  // word-wise kernel (equality, popcount, containment) relies on.
   bool Test(size_t i) const {
+    assert(i < num_bits_ && "BitVector index out of range");
     return (words_[i >> 6] >> (i & 63)) & 1u;
   }
-  void Set(size_t i) { words_[i >> 6] |= uint64_t{1} << (i & 63); }
-  void Clear(size_t i) { words_[i >> 6] &= ~(uint64_t{1} << (i & 63)); }
+  void Set(size_t i) {
+    assert(i < num_bits_ && "BitVector::Set past size() corrupts padding");
+    words_[i >> 6] |= uint64_t{1} << (i & 63);
+  }
+  void Clear(size_t i) {
+    assert(i < num_bits_ && "BitVector index out of range");
+    words_[i >> 6] &= ~(uint64_t{1} << (i & 63));
+  }
   void Assign(size_t i, bool value) {
     if (value) {
       Set(i);
@@ -140,6 +151,16 @@ class BitVector {
 
   const uint64_t* words() const { return words_.data(); }
   uint64_t* mutable_words() { return words_.data(); }
+
+  // Invariant probe: true iff every bit beyond size() in the last word is
+  // zero.  Callers writing through mutable_words() (slice combination,
+  // kernels) must leave this holding; the bitvector test suite audits every
+  // mutator against it.
+  bool PaddingIsClean() const {
+    size_t tail = num_bits_ & 63;
+    if (tail == 0 || words_.empty()) return true;
+    return (words_.back() & ~((uint64_t{1} << tail) - 1)) == 0;
+  }
 
  private:
   void MaskTail() {

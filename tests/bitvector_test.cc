@@ -161,5 +161,65 @@ INSTANTIATE_TEST_SUITE_P(Sizes, BitVectorPropertyTest,
                          ::testing::Values(1, 7, 63, 64, 65, 127, 128, 250,
                                            500, 1000, 2500));
 
+// Tail-invariant audit: every mutator must leave the padding bits beyond
+// size() zero.  Word-wise kernels (equality, popcount, IsSubsetOf, the
+// dispatched SIMD paths) silently assume this, so a single regression here
+// corrupts query results without any crash — hence an explicit sweep over
+// every mutator at every tail class.
+TEST_P(BitVectorPropertyTest, EveryMutatorKeepsPaddingClean) {
+  size_t bits = GetParam();
+  Rng rng(bits * 31 + 1);
+  BitVector other(bits);
+  for (size_t i = 0; i < bits / 2 + 1; ++i) other.Set(rng.NextBelow(bits));
+  ASSERT_TRUE(other.PaddingIsClean());
+
+  BitVector v(bits);
+  EXPECT_TRUE(v.PaddingIsClean()) << "fresh";
+  for (int trial = 0; trial < 10; ++trial) {
+    size_t i = rng.NextBelow(bits);
+    v.Set(i);
+    EXPECT_TRUE(v.PaddingIsClean()) << "Set(" << i << ")";
+    v.Assign(rng.NextBelow(bits), rng.NextBelow(2) == 0);
+    EXPECT_TRUE(v.PaddingIsClean()) << "Assign";
+    v.Clear(rng.NextBelow(bits));
+    EXPECT_TRUE(v.PaddingIsClean()) << "Clear";
+  }
+  v.SetAll();
+  EXPECT_TRUE(v.PaddingIsClean()) << "SetAll";
+  EXPECT_EQ(v.Count(), bits);
+  v.OrWith(other);
+  EXPECT_TRUE(v.PaddingIsClean()) << "OrWith";
+  v.AndWith(other);
+  EXPECT_TRUE(v.PaddingIsClean()) << "AndWith";
+  v.AndNotWith(other);
+  EXPECT_TRUE(v.PaddingIsClean()) << "AndNotWith";
+  v.ClearAll();
+  EXPECT_TRUE(v.PaddingIsClean()) << "ClearAll";
+
+  // The byte-deserialization path masks an all-ones source down to size().
+  std::vector<uint8_t> bytes(v.NumBytes(), 0xff);
+  v.LoadFromBytes(bytes.data());
+  EXPECT_TRUE(v.PaddingIsClean()) << "LoadFromBytes";
+  EXPECT_EQ(v.Count(), bits);
+}
+
+// The single-bit accessors assert i < size() precisely because an
+// out-of-range Set would park a one in the padding region.  Death tests
+// document that the assert fires; they compile away with NDEBUG (release
+// builds), where the sanitizer configurations pick them back up.
+#if GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+TEST(BitVectorDeathTest, SetPastSizeAsserts) {
+  BitVector v(70);
+  EXPECT_DEATH(v.Set(70), "corrupts padding");
+  EXPECT_DEATH(v.Set(128), "corrupts padding");
+}
+
+TEST(BitVectorDeathTest, TestAndClearPastSizeAssert) {
+  BitVector v(70);
+  EXPECT_DEATH((void)v.Test(70), "out of range");
+  EXPECT_DEATH(v.Clear(71), "out of range");
+}
+#endif  // GTEST_HAS_DEATH_TEST && !defined(NDEBUG)
+
 }  // namespace
 }  // namespace sigsetdb

@@ -1,0 +1,251 @@
+// Property tests for the dispatched signature kernels (DESIGN.md §12).
+//
+// The contract under test: every dispatch target (portable, AVX2 when the
+// CPU has it) is bit-identical to the scalar reference for all four kernels,
+// across every length/alignment class a caller can produce — empty, tails of
+// 0–3 words beyond the unroll width, single-word, page-sized (512 words),
+// and the 4096-bit slice accumulators the benches use.  Seeded random inputs
+// plus adversarial patterns (all-zero, all-ones, single-bit violations at
+// every word) make the comparison exhaustive in structure, not just volume.
+//
+// These tests run under tools/run_sanitizers.sh kernels as well: the AVX2
+// bodies do unaligned 256-bit loads right up to the buffer tail, which is
+// exactly what ASan must vet.
+
+#include "sig/kernels.h"
+
+#include <cstdint>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+
+namespace sigsetdb {
+namespace {
+
+// Every dispatch target available on this machine, oracle excluded.
+std::vector<const SignatureKernels*> TargetsUnderTest() {
+  std::vector<const SignatureKernels*> targets = {&PortableKernels()};
+  if (Avx2Kernels() != nullptr && Avx2Supported()) {
+    targets.push_back(Avx2Kernels());
+  }
+  // The dispatched table must be one of the above, never something else.
+  targets.push_back(&ActiveKernels());
+  return targets;
+}
+
+// Word counts covering every tail class of both unroll widths (4 for the
+// portable loops, 8 for the AVX2 and_accumulate/or_accumulate): 0, 1, the
+// boundary ±tail around 4 and 8, a page worth (512 = kPageSize/8), and the
+// 4096-bit accumulator (64 words) bench_kernels drives.
+const size_t kLengths[] = {0, 1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11,
+                           12, 15, 16, 17, 31, 33, 64, 512, 513};
+
+std::vector<uint64_t> RandomWords(Rng* rng, size_t n) {
+  std::vector<uint64_t> words(n);
+  for (uint64_t& w : words) w = rng->Next();
+  return words;
+}
+
+TEST(KernelDispatchTest, ActiveIsPortableOrAvx2) {
+  const SignatureKernels& active = ActiveKernels();
+  const bool is_portable = &active == &PortableKernels();
+  const bool is_avx2 = Avx2Kernels() != nullptr && &active == Avx2Kernels();
+  EXPECT_TRUE(is_portable || is_avx2) << "dispatched to: " << active.name;
+  if (is_avx2) {
+    EXPECT_TRUE(Avx2Supported());
+  }
+}
+
+TEST(KernelPropertyTest, AndAccumulateMatchesScalar) {
+  Rng rng(101);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<uint64_t> acc = RandomWords(&rng, n);
+        std::vector<uint64_t> src = RandomWords(&rng, n);
+        std::vector<uint64_t> expected = acc;
+        ScalarKernels().and_accumulate(expected.data(), src.data(), n);
+        k->and_accumulate(acc.data(), src.data(), n);
+        ASSERT_EQ(acc, expected) << k->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelPropertyTest, OrAccumulateMatchesScalar) {
+  Rng rng(102);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<uint64_t> acc = RandomWords(&rng, n);
+        std::vector<uint64_t> src = RandomWords(&rng, n);
+        std::vector<uint64_t> expected = acc;
+        ScalarKernels().or_accumulate(expected.data(), src.data(), n);
+        k->or_accumulate(acc.data(), src.data(), n);
+        ASSERT_EQ(acc, expected) << k->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelPropertyTest, ContainsAllMatchesScalarOnRandomPairs) {
+  Rng rng(103);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<uint64_t> super = RandomWords(&rng, n);
+        // Half the trials build a genuine subset (sub = super & mask) so the
+        // true branch is exercised as often as the false one.
+        std::vector<uint64_t> sub(n);
+        if (trial % 2 == 0) {
+          for (size_t i = 0; i < n; ++i) sub[i] = super[i] & rng.Next();
+        } else {
+          sub = RandomWords(&rng, n);
+        }
+        const bool expected =
+            ScalarKernels().contains_all(sub.data(), super.data(), n);
+        ASSERT_EQ(k->contains_all(sub.data(), super.data(), n), expected)
+            << k->name << " n=" << n << " trial=" << trial;
+      }
+    }
+  }
+}
+
+// A single violating bit planted in every word position, everything else a
+// perfect subset: catches kernels that test only part of the tail.
+TEST(KernelPropertyTest, ContainsAllSeesSingleBitViolationEverywhere) {
+  Rng rng(104);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      if (n == 0) continue;
+      std::vector<uint64_t> super = RandomWords(&rng, n);
+      std::vector<uint64_t> sub(n);
+      for (size_t i = 0; i < n; ++i) sub[i] = super[i];
+      ASSERT_TRUE(k->contains_all(sub.data(), super.data(), n)) << k->name;
+      for (size_t i = 0; i < n; ++i) {
+        const size_t bit = rng.NextBelow(64);
+        const uint64_t mask = uint64_t{1} << bit;
+        const uint64_t saved_sub = sub[i];
+        const uint64_t saved_super = super[i];
+        sub[i] |= mask;
+        super[i] &= ~mask;
+        ASSERT_FALSE(k->contains_all(sub.data(), super.data(), n))
+            << k->name << " n=" << n << " violating word " << i;
+        sub[i] = saved_sub;
+        super[i] = saved_super;
+      }
+    }
+  }
+}
+
+TEST(KernelPropertyTest, PopcountAndMatchesScalar) {
+  Rng rng(105);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      for (int trial = 0; trial < 8; ++trial) {
+        std::vector<uint64_t> a = RandomWords(&rng, n);
+        std::vector<uint64_t> b = RandomWords(&rng, n);
+        ASSERT_EQ(k->popcount_and(a.data(), b.data(), n),
+                  ScalarKernels().popcount_and(a.data(), b.data(), n))
+            << k->name << " n=" << n;
+      }
+    }
+  }
+}
+
+TEST(KernelPropertyTest, EdgePatterns) {
+  const std::vector<uint64_t> zeros(513, 0);
+  const std::vector<uint64_t> ones(513, ~uint64_t{0});
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t n : kLengths) {
+      std::vector<uint64_t> acc(ones.begin(), ones.begin() + n);
+      k->and_accumulate(acc.data(), zeros.data(), n);
+      EXPECT_EQ(acc, std::vector<uint64_t>(zeros.begin(), zeros.begin() + n))
+          << k->name;
+      k->or_accumulate(acc.data(), ones.data(), n);
+      EXPECT_EQ(acc, std::vector<uint64_t>(ones.begin(), ones.begin() + n))
+          << k->name;
+      EXPECT_TRUE(k->contains_all(zeros.data(), zeros.data(), n)) << k->name;
+      EXPECT_TRUE(k->contains_all(zeros.data(), ones.data(), n)) << k->name;
+      EXPECT_TRUE(k->contains_all(ones.data(), ones.data(), n)) << k->name;
+      if (n > 0) {
+        EXPECT_FALSE(k->contains_all(ones.data(), zeros.data(), n))
+            << k->name;
+      }
+      EXPECT_EQ(k->popcount_and(ones.data(), ones.data(), n), n * 64)
+          << k->name;
+      EXPECT_EQ(k->popcount_and(ones.data(), zeros.data(), n), 0u) << k->name;
+    }
+  }
+}
+
+// Kernels run over word views that start mid-allocation (slice accumulators
+// advance words_done words into the vector), so every relative misalignment
+// of acc vs src against the 32-byte vector width must work.  ASan-observed.
+TEST(KernelPropertyTest, MisalignedViewsMatchScalar) {
+  Rng rng(106);
+  constexpr size_t kSpan = 64;
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t acc_off = 0; acc_off < 4; ++acc_off) {
+      for (size_t src_off = 0; src_off < 4; ++src_off) {
+        std::vector<uint64_t> acc_buf = RandomWords(&rng, kSpan + 4);
+        std::vector<uint64_t> src_buf = RandomWords(&rng, kSpan + 4);
+        std::vector<uint64_t> expected_buf = acc_buf;
+        ScalarKernels().and_accumulate(expected_buf.data() + acc_off,
+                                       src_buf.data() + src_off, kSpan);
+        k->and_accumulate(acc_buf.data() + acc_off, src_buf.data() + src_off,
+                          kSpan);
+        ASSERT_EQ(acc_buf, expected_buf)
+            << k->name << " acc_off=" << acc_off << " src_off=" << src_off;
+        ASSERT_EQ(k->contains_all(acc_buf.data() + acc_off,
+                                  src_buf.data() + src_off, kSpan),
+                  ScalarKernels().contains_all(acc_buf.data() + acc_off,
+                                               src_buf.data() + src_off,
+                                               kSpan))
+            << k->name;
+        ASSERT_EQ(k->popcount_and(acc_buf.data() + acc_off,
+                                  src_buf.data() + src_off, kSpan),
+                  ScalarKernels().popcount_and(acc_buf.data() + acc_off,
+                                               src_buf.data() + src_off,
+                                               kSpan))
+            << k->name;
+      }
+    }
+  }
+}
+
+// The BitVector wrappers preserve the tail invariant (padding bits beyond
+// size() stay zero) because both operands already uphold it and AND/OR never
+// set a bit that is clear in both.
+TEST(KernelBitVectorTest, WrappersPreserveTailInvariant) {
+  Rng rng(107);
+  for (size_t bits : {1u, 63u, 64u, 65u, 250u, 4096u}) {
+    BitVector a(bits);
+    BitVector b(bits);
+    for (size_t i = 0; i < bits; ++i) {
+      if (rng.NextDouble() < 0.5) a.Set(i);
+      if (rng.NextDouble() < 0.5) b.Set(i);
+    }
+    ASSERT_TRUE(a.PaddingIsClean());
+    BitVector and_acc = a;
+    KernelAndWith(&and_acc, b);
+    EXPECT_TRUE(and_acc.PaddingIsClean()) << bits;
+    BitVector or_acc = a;
+    KernelOrWith(&or_acc, b);
+    EXPECT_TRUE(or_acc.PaddingIsClean()) << bits;
+    // Wrapper results agree with the member-function loops.
+    BitVector and_ref = a;
+    and_ref.AndWith(b);
+    EXPECT_TRUE(and_acc == and_ref);
+    BitVector or_ref = a;
+    or_ref.OrWith(b);
+    EXPECT_TRUE(or_acc == or_ref);
+    EXPECT_EQ(KernelIsSubsetOf(a, b), a.IsSubsetOf(b));
+    EXPECT_EQ(KernelCountAnd(a, b), a.CountAnd(b));
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

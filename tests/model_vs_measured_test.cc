@@ -15,6 +15,7 @@
 #include "model/cost_nix.h"
 #include "model/cost_ssf.h"
 #include "query/executor.h"
+#include "sig/bssf.h"
 #include "sig/ssf.h"
 #include "storage/storage_manager.h"
 #include "test_db.h"
@@ -200,6 +201,134 @@ TEST_F(ModelVsMeasuredTest, SsfStorageAndScanTrackLiveCountAfterCompact) {
   double mean = static_cast<double>(total) / trials;
   double model = static_cast<double>(SsfSignaturePages(live_db, model_sig_));
   EXPECT_NEAR(mean, model, 0.25 * model + 1.0);
+}
+
+// Skip-index model differential (extension): build a BSSF, tombstone all
+// but a handful of objects, and compare the measured skipped-page counts of
+// the slice scan against BssfExpectedSupersetSkippedPages /
+// BssfExpectedSubsetSkippedPages evaluated at the LIVE count.  Serial and
+// 4-thread runs must agree on reads and skips exactly (the planner decides
+// what to skip before the fan-out).
+class BssfSkipModelTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kInserts = 600;
+  static constexpr int64_t kV = 500;
+  static constexpr int64_t kDt = 8;
+
+  BssfSkipModelTest() : pool_(4) { ctx_.pool = &pool_; }
+
+  void SetUp() override {
+    auto bssf = BitSlicedSignatureFile::Create(
+        {250, 2}, kInserts + 64, storage_.CreateOrOpen("s.slices"),
+        storage_.CreateOrOpen("s.oid"), BssfInsertMode::kSparse);
+    ASSERT_TRUE(bssf.ok()) << bssf.status().ToString();
+    bssf_ = std::move(*bssf);
+    Rng rng(4242);
+    std::vector<ElementSet> sets;
+    for (int64_t i = 0; i < kInserts; ++i) {
+      ElementSet set = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(kV), static_cast<uint64_t>(kDt));
+      sets.push_back(set);
+      ASSERT_TRUE(
+          bssf_->Insert(Oid::FromLocation(static_cast<PageId>(i), 0), set)
+              .ok());
+    }
+    // Keep four live columns spread across separate 512-slot summary
+    // groups; everything else becomes an all-zero column.
+    std::vector<BatchOp> removes;
+    for (int64_t i = 0; i < kInserts; ++i) {
+      if (i == 100 || i == 250 || i == 400 || i == 550) continue;
+      removes.push_back(BatchOp{BatchOp::Kind::kRemove,
+                                Oid::FromLocation(static_cast<PageId>(i), 0),
+                                sets[static_cast<size_t>(i)]});
+    }
+    ASSERT_TRUE(bssf_->ApplyBatch(removes).ok());
+    bssf_->set_skip_index_enabled(true);
+    live_db_.n = 4;
+    live_db_.v = kV;
+  }
+
+  // Mean skipped slice pages over `trials` Dq-element queries of `kind`,
+  // asserting serial/parallel agreement per trial.
+  double MeanSkips(QueryKind kind, int64_t dq, int trials, uint64_t seed) {
+    Rng rng(seed);
+    uint64_t total_skips = 0;
+    for (int t = 0; t < trials; ++t) {
+      ElementSet query = rng.SampleWithoutReplacement(
+          static_cast<uint64_t>(kV), static_cast<uint64_t>(dq));
+      const IoStats s0 = bssf_->StageStats()[0].second;
+      auto serial = bssf_->Candidates(kind, query);
+      EXPECT_TRUE(serial.ok());
+      const IoStats serial_delta = bssf_->StageStats()[0].second - s0;
+
+      const IoStats p0 = bssf_->StageStats()[0].second;
+      auto parallel = bssf_->Candidates(kind, query, &ctx_);
+      EXPECT_TRUE(parallel.ok());
+      const IoStats parallel_delta = bssf_->StageStats()[0].second - p0;
+
+      EXPECT_EQ(serial_delta.reads(), parallel_delta.reads());
+      EXPECT_EQ(serial_delta.skips(), parallel_delta.skips());
+      total_skips += serial_delta.skips();
+    }
+    return static_cast<double>(total_skips) / trials;
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<BitSlicedSignatureFile> bssf_;
+  ThreadPool pool_;
+  ParallelExecutionContext ctx_;
+  DatabaseParams live_db_;
+  SignatureParams model_sig_{250, 2};
+};
+
+TEST_F(BssfSkipModelTest, SupersetSkipsMatchModel) {
+  double model =
+      BssfExpectedSupersetSkippedPages(live_db_, model_sig_, kDt, 2);
+  ASSERT_GT(model, 1.0);  // the scenario must actually predict skipping
+  double measured = MeanSkips(QueryKind::kSuperset, 2, 20, 11);
+  EXPECT_NEAR(measured, model, 0.25 * model + 1.0);
+}
+
+TEST_F(BssfSkipModelTest, SubsetSkipsMatchModel) {
+  double model = BssfExpectedSubsetSkippedPages(live_db_, model_sig_, kDt, 60);
+  ASSERT_GT(model, 10.0);
+  double measured = MeanSkips(QueryKind::kSubset, 60, 10, 12);
+  EXPECT_NEAR(measured, model, 0.15 * model + 2.0);
+}
+
+// SSF counterpart, fully deterministic: with every resident tombstoned the
+// page-union index reports zero live signatures on every page, so a
+// skip-enabled scan reads nothing and skips every signature page.
+TEST(SsfSkipTest, FullyTombstonedScanSkipsEveryPage) {
+  StorageManager storage;
+  auto ssf = SequentialSignatureFile::Create({250, 2},
+                                             storage.CreateOrOpen("t.sig"),
+                                             storage.CreateOrOpen("t.oid"));
+  ASSERT_TRUE(ssf.ok());
+  Rng rng(33);
+  std::vector<ElementSet> sets;
+  for (int64_t i = 0; i < 200; ++i) {
+    ElementSet set = rng.SampleWithoutReplacement(500, 8);
+    sets.push_back(set);
+    ASSERT_TRUE(
+        (*ssf)->Insert(Oid::FromLocation(static_cast<PageId>(i), 0), set)
+            .ok());
+  }
+  for (int64_t i = 0; i < 200; ++i) {
+    ASSERT_TRUE((*ssf)
+                    ->Remove(Oid::FromLocation(static_cast<PageId>(i), 0),
+                             sets[static_cast<size_t>(i)])
+                    .ok());
+  }
+  (*ssf)->set_skip_index_enabled(true);
+  ElementSet query = rng.SampleWithoutReplacement(500, 2);
+  const IoStats before = (*ssf)->StageStats()[0].second;
+  auto result = (*ssf)->Candidates(QueryKind::kSuperset, query);
+  ASSERT_TRUE(result.ok());
+  const IoStats delta = (*ssf)->StageStats()[0].second - before;
+  EXPECT_TRUE(result->oids.empty());
+  EXPECT_EQ(delta.reads(), 0u);
+  EXPECT_GT(delta.skips(), 0u);
 }
 
 TEST_F(ModelVsMeasuredTest, NixSubset) {

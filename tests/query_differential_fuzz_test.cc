@@ -1,0 +1,297 @@
+// Differential fuzz over the full write/query surface (DESIGN.md §12).
+//
+// Four SetIndex replicas — {skip index off, on} × {1 thread, 4 threads} —
+// are driven through the same seeded churn (single inserts, single deletes,
+// write batches mixing both, periodic compaction) and, after every phase,
+// queried with all six query kinds through all three forced facilities.
+// Invariants:
+//
+//   1. Every replica returns exactly the brute-force oracle's answer for
+//      every (kind, facility) pair — skipping and parallelism change cost
+//      only, never results.
+//   2. With the skip index OFF, page-access totals are identical at 1 and 4
+//      threads (the parallel scan reads every page exactly once), i.e. the
+//      pre-skip-index behaviour is bit-identical.
+//   3. With the skip index ON, page-access totals never exceed the off
+//      replica's (a skipped page is a read that no longer happens, and
+//      dropped tombstone candidates can only shrink the OID look-up).
+//   4. OID assignment is deterministic: all replicas agree on every OID.
+
+#include <algorithm>
+#include <array>
+#include <map>
+#include <memory>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/set_index.h"
+#include "db/write_batch.h"
+#include "storage/storage_manager.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+namespace {
+
+constexpr int64_t kDomain = 120;
+constexpr int64_t kDt = 6;
+
+struct Replica {
+  std::string label;
+  std::unique_ptr<StorageManager> storage;
+  std::unique_ptr<SetIndex> index;
+};
+
+class QueryDifferentialFuzzTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    struct Config {
+      const char* label;
+      bool skip;
+      size_t threads;
+    };
+    for (const Config& c :
+         {Config{"off-1t", false, 1}, Config{"off-4t", false, 4},
+          Config{"on-1t", true, 1}, Config{"on-4t", true, 4}}) {
+      Replica r;
+      r.label = c.label;
+      r.storage = std::make_unique<StorageManager>();
+      SetIndex::Options options;
+      options.maintain_ssf = true;
+      options.maintain_bssf = true;
+      options.maintain_nix = true;
+      options.sig = {120, 3};
+      options.capacity = 4096;
+      options.num_threads = c.threads;
+      options.enable_skip_index = c.skip;
+      auto index = SetIndex::Create(r.storage.get(), "fuzz", options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      r.index = std::move(*index);
+      replicas_.push_back(std::move(r));
+    }
+  }
+
+  // Applies one churn action to every replica (and the oracle), asserting
+  // the replicas hand out identical OIDs.
+  void InsertEverywhere(const ElementSet& set) {
+    Oid expected{};
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      auto oid = replicas_[i].index->Insert(set);
+      ASSERT_TRUE(oid.ok()) << replicas_[i].label;
+      if (i == 0) {
+        expected = *oid;
+      } else {
+        ASSERT_EQ(oid->value(), expected.value()) << replicas_[i].label;
+      }
+    }
+    oracle_[expected.value()] = set;
+  }
+
+  void DeleteEverywhere(Oid oid) {
+    for (Replica& r : replicas_) {
+      ASSERT_TRUE(r.index->Delete(oid).ok()) << r.label;
+    }
+    oracle_.erase(oid.value());
+  }
+
+  void BatchEverywhere(const WriteBatch& batch) {
+    std::vector<Oid> expected;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      auto oids = replicas_[i].index->ApplyBatch(batch);
+      ASSERT_TRUE(oids.ok()) << replicas_[i].label;
+      if (i == 0) {
+        expected = *oids;
+      } else {
+        ASSERT_EQ(oids->size(), expected.size());
+        for (size_t j = 0; j < expected.size(); ++j) {
+          ASSERT_EQ((*oids)[j].value(), expected[j].value());
+        }
+      }
+    }
+    for (Oid oid : batch.deletes()) oracle_.erase(oid.value());
+    for (size_t j = 0; j < batch.inserts().size(); ++j) {
+      oracle_[expected[j].value()] = batch.inserts()[j];
+    }
+  }
+
+  void CompactEverywhere() {
+    for (Replica& r : replicas_) {
+      ASSERT_TRUE(r.index->Compact().ok()) << r.label;
+    }
+  }
+
+  std::vector<Oid> BruteForce(QueryKind kind, const ElementSet& query) const {
+    std::vector<Oid> out;
+    for (const auto& [oid, set] : oracle_) {
+      bool superset = std::includes(set.begin(), set.end(), query.begin(),
+                                    query.end());
+      bool subset = std::includes(query.begin(), query.end(), set.begin(),
+                                  set.end());
+      bool hit = false;
+      switch (kind) {
+        case QueryKind::kSuperset:
+          hit = superset;
+          break;
+        case QueryKind::kProperSuperset:
+          hit = superset && set.size() > query.size();
+          break;
+        case QueryKind::kSubset:
+          hit = subset;
+          break;
+        case QueryKind::kProperSubset:
+          hit = subset && set.size() < query.size();
+          break;
+        case QueryKind::kEquals:
+          hit = superset && subset;
+          break;
+        case QueryKind::kOverlaps: {
+          for (uint64_t e : query) {
+            if (std::binary_search(set.begin(), set.end(), e)) {
+              hit = true;
+              break;
+            }
+          }
+          break;
+        }
+      }
+      if (hit) out.push_back(Oid{oid});
+    }
+    return out;
+  }
+
+  // Runs `kind` on every replica through every forced facility and checks
+  // invariants 1–3.
+  void CheckQuery(QueryKind kind, const ElementSet& query,
+                  const char* context) {
+    const std::vector<Oid> expected = BruteForce(kind, query);
+    std::vector<uint64_t> oracle_values;
+    for (Oid oid : expected) oracle_values.push_back(oid.value());
+    for (PlanMode mode :
+         {PlanMode::kForceSsf, PlanMode::kForceBssf, PlanMode::kForceNix}) {
+      std::array<uint64_t, 4> pages{};
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        auto result = replicas_[i].index->Query(kind, query, mode);
+        ASSERT_TRUE(result.ok())
+            << replicas_[i].label << " " << context
+            << " kind=" << QueryKindName(kind);
+        std::vector<uint64_t> got;
+        for (Oid oid : result->result.oids) got.push_back(oid.value());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, oracle_values)
+            << replicas_[i].label << " " << context << " plan="
+            << result->plan << " kind=" << QueryKindName(kind);
+        pages[i] = result->page_accesses;
+      }
+      // Invariant 2: parallelism never changes logical page accesses.
+      EXPECT_EQ(pages[0], pages[1])
+          << context << " kind=" << QueryKindName(kind) << " (skip off)";
+      EXPECT_EQ(pages[2], pages[3])
+          << context << " kind=" << QueryKindName(kind) << " (skip on)";
+      // Invariant 3: skipping can only remove page accesses.
+      EXPECT_LE(pages[2], pages[0])
+          << context << " kind=" << QueryKindName(kind);
+    }
+  }
+
+  void CheckAllKinds(Rng* rng, const char* context) {
+    ElementSet probe;
+    if (!oracle_.empty()) {
+      size_t target_idx = rng->NextBelow(oracle_.size());
+      auto it = oracle_.begin();
+      std::advance(it, static_cast<long>(target_idx));
+      probe = it->second;
+    }
+    ElementSet superset_q =
+        probe.empty() ? rng->SampleWithoutReplacement(kDomain, 2)
+                      : MakeHittingSupersetQuery(probe, 2, *rng);
+    ElementSet subset_q =
+        probe.empty()
+            ? rng->SampleWithoutReplacement(kDomain, kDt + 4)
+            : MakeHittingSubsetQuery(probe, kDomain, kDt + 4, *rng);
+    ElementSet random_q = rng->SampleWithoutReplacement(kDomain, 3);
+    CheckQuery(QueryKind::kSuperset, superset_q, context);
+    CheckQuery(QueryKind::kProperSuperset, superset_q, context);
+    CheckQuery(QueryKind::kSubset, subset_q, context);
+    CheckQuery(QueryKind::kProperSubset, subset_q, context);
+    if (!probe.empty()) CheckQuery(QueryKind::kEquals, probe, context);
+    CheckQuery(QueryKind::kOverlaps, random_q, context);
+  }
+
+  std::vector<Oid> LiveOids() const {
+    std::vector<Oid> out;
+    for (const auto& [oid, set] : oracle_) out.push_back(Oid{oid});
+    return out;
+  }
+
+  std::vector<Replica> replicas_;
+  std::map<uint64_t, ElementSet> oracle_;  // live objects, by OID value
+};
+
+TEST_F(QueryDifferentialFuzzTest, ChurnedRepliasAgreeAcrossSkipAndThreads) {
+  Rng rng(20260806);
+  WorkloadConfig wconfig{64, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 7};
+  std::vector<ElementSet> seed_sets = MakeDatabase(wconfig);
+  // Phase 1 — singleton inserts.
+  for (int i = 0; i < 24; ++i) InsertEverywhere(seed_sets[i]);
+  CheckAllKinds(&rng, "after inserts");
+  // Phase 2 — delete a third (creates tombstones, empties slice bits).
+  {
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 3) DeleteEverywhere(live[i]);
+  }
+  CheckAllKinds(&rng, "after deletes");
+  // Phase 3 — batches mixing deletes with slot-reusing inserts.
+  {
+    WriteBatch batch;
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 4) batch.Delete(live[i]);
+    for (int i = 24; i < 44; ++i) batch.Insert(seed_sets[i]);
+    BatchEverywhere(batch);
+  }
+  CheckAllKinds(&rng, "after batch");
+  // Phase 4 — compaction drops the tombstones and rebuilds summaries.
+  CompactEverywhere();
+  CheckAllKinds(&rng, "after compact");
+  // Phase 5 — more churn on the compacted generation.
+  {
+    WriteBatch batch;
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 5) batch.Delete(live[i]);
+    for (int i = 44; i < 56; ++i) batch.Insert(seed_sets[i]);
+    BatchEverywhere(batch);
+  }
+  CheckAllKinds(&rng, "after post-compact batch");
+}
+
+// Deleting everything makes every slice page empty and every SSF page's
+// live count zero: with the skip index on, a superset scan must skip all of
+// its slice reads, and results must stay correct (empty) throughout.
+TEST_F(QueryDifferentialFuzzTest, FullyTombstonedStoreSkipsEverything) {
+  Rng rng(99);
+  WorkloadConfig wconfig{16, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 13};
+  std::vector<ElementSet> sets = MakeDatabase(wconfig);
+  for (const ElementSet& set : sets) InsertEverywhere(set);
+  for (Oid oid : LiveOids()) DeleteEverywhere(oid);
+  ASSERT_TRUE(oracle_.empty());
+  ElementSet query = rng.SampleWithoutReplacement(kDomain, 2);
+  // The skip-on BSSF replica must read no slice pages at all: every column
+  // is dead (all slice pages are zero after the delete-path clears).
+  Replica& skip_on = replicas_[2];
+  const IoStats before = skip_on.index->bssf()->StageStats()[0].second;
+  auto result = skip_on.index->Query(QueryKind::kSuperset, query,
+                                     PlanMode::kForceBssf);
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->result.oids.empty());
+  const IoStats delta =
+      skip_on.index->bssf()->StageStats()[0].second - before;
+  EXPECT_EQ(delta.reads(), 0u);
+  EXPECT_GT(delta.skips(), 0u);
+  // And the replicas still agree everywhere.
+  CheckAllKinds(&rng, "fully tombstoned");
+}
+
+}  // namespace
+}  // namespace sigsetdb

@@ -9,6 +9,7 @@
 #   tools/run_sanitizers.sh faults     # fault-injection suites under TSan
 #   tools/run_sanitizers.sh obs        # metrics/trace concurrency under TSan
 #   tools/run_sanitizers.sh batch      # batched write/delete suites under TSan
+#   tools/run_sanitizers.sh kernels    # SIMD kernel + skip-index suites
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -73,13 +74,28 @@ case "${1:-all}" in
     run_one thread -R 'write_batch|delete_query|synchronized_set_index' "$@"
     run_one address -R 'write_batch|delete_query|oid_file|ssf|bssf' "$@"
     ;;
+  kernels)
+    # The dispatched kernels do unaligned 256-bit loads right up to buffer
+    # tails (ASan's bread and butter), and the skip-index summaries are
+    # consulted from 4-thread query pools while the differential fuzz
+    # churns the store (TSan's).  Both runs repeat with the AVX2 path
+    # forced off so the portable loops get the same scrutiny.
+    shift
+    run_one address -R 'kernels_test|bitvector|query_differential_fuzz' "$@"
+    SIGSET_DISABLE_AVX2=1 run_one address \
+      -R 'kernels_test|bitvector|query_differential_fuzz' "$@"
+    run_one thread -R 'kernels_test|query_differential_fuzz|model_vs_measured' \
+      "$@"
+    SIGSET_DISABLE_AVX2=1 run_one thread \
+      -R 'kernels_test|query_differential_fuzz|model_vs_measured' "$@"
+    ;;
   all)
     run_one thread
     run_one address
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels]" \
       "[ctest args...]" >&2
     exit 1
     ;;
