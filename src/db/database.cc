@@ -13,6 +13,10 @@ namespace {
 constexpr char kKeyObjects[] = "num_objects";
 constexpr char kKeyAttrs[] = "num_attributes";
 constexpr char kKeyGeneration[] = "compact_generation";
+constexpr char kKeyWal[] = "config_wal";
+// Every log record with lsn <= this value is reflected in the checkpoint;
+// replay applies only records beyond it.  Missing (pre-WAL manifest) = 0.
+constexpr char kKeyWalLsn[] = "wal_lsn";
 
 std::string AttrKey(size_t i, const char* suffix) {
   return "attr" + std::to_string(i) + "." + suffix;
@@ -185,6 +189,16 @@ StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
   db->store_ = std::make_unique<MultiObjectStore>(
       objects, static_cast<uint16_t>(options.attributes.size()));
   SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, nullptr));
+  if (options.enable_wal) {
+    SIGSET_ASSIGN_OR_RETURN(PageFile * wal_file,
+                            storage->OpenOrCreate(name + ".wal"));
+    SIGSET_ASSIGN_OR_RETURN(db->wal_,
+                            WriteAheadLog::Create(wal_file, 0, db->metrics_));
+    db->wal_->set_group_commit_window(options.group_commit_window_us);
+    // Checkpoint immediately so a crash before the first user checkpoint
+    // still reopens: the manifest anchors replay at lsn 0.
+    SIGSET_RETURN_IF_ERROR(db->Checkpoint());
+  }
   return db;
 }
 
@@ -208,6 +222,13 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
     return Status::FailedPrecondition(
         "attribute count does not match the checkpoint");
   }
+  // Pre-WAL manifests have no config_wal key; they are WAL-off databases.
+  auto wal_flag = Manifest::Get(values, kKeyWal);
+  const uint64_t checkpointed_wal = wal_flag.ok() ? *wal_flag : 0;
+  if (checkpointed_wal != (options.enable_wal ? 1u : 0u)) {
+    return Status::FailedPrecondition(
+        "options do not match the checkpointed configuration");
+  }
   SIGSET_ASSIGN_OR_RETURN(uint64_t objects,
                           Manifest::Get(values, kKeyObjects));
   SIGSET_ASSIGN_OR_RETURN(PageFile * object_file,
@@ -215,6 +236,54 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
   db->store_ = std::make_unique<MultiObjectStore>(
       object_file, static_cast<uint16_t>(options.attributes.size()));
   db->store_->RecoverCount(objects);
+
+  if (options.enable_wal) {
+    auto ckpt_lsn = Manifest::Get(values, kKeyWalLsn);
+    const uint64_t wal_lsn = ckpt_lsn.ok() ? *ckpt_lsn : 0;
+    SIGSET_ASSIGN_OR_RETURN(PageFile * wal_file,
+                            storage->OpenOrCreate(name + ".wal"));
+    SIGSET_ASSIGN_OR_RETURN(
+        WriteAheadLog::OpenResult scan,
+        WriteAheadLog::Open(wal_file, wal_lsn, db->metrics_));
+    db->wal_ = std::move(scan.log);
+    db->wal_->set_group_commit_window(options.group_commit_window_us);
+    std::vector<LogRecord> to_replay;
+    for (LogRecord& rec : scan.records) {
+      if (rec.lsn > wal_lsn) to_replay.push_back(std::move(rec));
+    }
+    if (!to_replay.empty()) {
+      // Acknowledged writes past the checkpoint: redo them against the
+      // store, then rebuild every attribute's facilities from the store.
+      // The facilities' own files may be arbitrarily stale or torn — they
+      // are never opened through the normal path here.  The checkpointed
+      // sketches load first so the rebuild's re-adds merge into them.
+      db->attrs_.resize(options.attributes.size());
+      db->dictionaries_.resize(options.attributes.size());
+      if (db->sketch_file_->num_pages() >=
+          static_cast<PageId>(db->attrs_.size())) {
+        Page page;
+        for (size_t i = 0; i < db->attrs_.size(); ++i) {
+          SIGSET_RETURN_IF_ERROR(
+              db->sketch_file_->Read(static_cast<PageId>(i), &page));
+          if (!db->attrs_[i].domain_sketch.LoadRegisters(
+                  page.data(), db->attrs_[i].domain_sketch.num_registers())) {
+            return Status::Corruption("domain sketch size mismatch");
+          }
+        }
+      }
+      SIGSET_RETURN_IF_ERROR(db->ReplayLog(to_replay));
+      SIGSET_RETURN_IF_ERROR(db->RebuildFacilitiesFromStore());
+      if (db->metrics_ != nullptr) {
+        db->metrics_->counter("wal.replayed_records")
+            ->Increment(to_replay.size());
+      }
+      // Deliberately NO checkpoint here: recovery is read-only w.r.t. the
+      // log, so replaying twice equals replaying once.  The next explicit
+      // Checkpoint() or Compact() truncates the log.
+      object_file->stats().Reset();
+      return db;
+    }
+  }
   SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, &values));
   // Restore the per-attribute domain sketches (page i = attribute i).
   if (db->sketch_file_->num_pages() >=
@@ -233,10 +302,17 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
 }
 
 Status Database::Checkpoint() {
+  if (!poison_.ok()) return poison_;
+  // Quiescent invariant: every appended record has been committed (each
+  // mutation commits before returning), so last_lsn() covers everything the
+  // counters below reflect.
+  const uint64_t wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
   Manifest::Values values;
   values[kKeyObjects] = num_objects();
   values[kKeyAttrs] = attrs_.size();
   values[kKeyGeneration] = generation_;
+  values[kKeyWal] = wal_ != nullptr ? 1 : 0;
+  values[kKeyWalLsn] = wal_lsn;
   for (size_t i = 0; i < attrs_.size(); ++i) {
     const AttributeState& state = attrs_[i];
     uint64_t sigs = 0;
@@ -271,34 +347,77 @@ Status Database::Checkpoint() {
     SIGSET_RETURN_IF_ERROR(
         sketch_file_->Write(static_cast<PageId>(i), page));
   }
-  return Manifest::Write(manifest_file_, values);
+  SIGSET_RETURN_IF_ERROR(Manifest::Write(manifest_file_, values));
+  // Manifest first, then log truncation: a crash between the two leaves
+  // records <= wal_lsn in the log, and replay filters them out by lsn.
+  if (wal_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(wal_->Truncate(wal_lsn));
+  }
+  return Status::OK();
+}
+
+Status Database::ApplyInsert(const std::vector<ElementSet>& normalized,
+                             Oid expected_oid) {
+  SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized));
+  if (expected_oid.valid() && oid != expected_oid) {
+    return Status::Internal("store assigned " + oid.ToString() +
+                            " but the log predicted " +
+                            expected_oid.ToString());
+  }
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    AttributeState& state = attrs_[i];
+    if (state.ssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.ssf->Insert(oid, normalized[i]));
+    }
+    if (state.bssf != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.bssf->Insert(oid, normalized[i]));
+    }
+    if (state.nix != nullptr) {
+      SIGSET_RETURN_IF_ERROR(state.nix->Insert(oid, normalized[i]));
+    }
+    state.total_elements += normalized[i].size();
+    for (uint64_t element : normalized[i]) state.domain_sketch.Add(element);
+  }
+  return Status::OK();
 }
 
 StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
+  if (!poison_.ok()) return poison_;
   if (attr_values.size() != attrs_.size()) {
     return Status::InvalidArgument("attribute count mismatch");
   }
   for (ElementSet& set : attr_values) NormalizeSet(&set);
-  SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(attr_values));
-  for (size_t i = 0; i < attrs_.size(); ++i) {
-    AttributeState& state = attrs_[i];
-    if (state.ssf != nullptr) {
-      SIGSET_RETURN_IF_ERROR(state.ssf->Insert(oid, attr_values[i]));
+  if (wal_ == nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(attr_values));
+    for (size_t i = 0; i < attrs_.size(); ++i) {
+      AttributeState& state = attrs_[i];
+      if (state.ssf != nullptr) {
+        SIGSET_RETURN_IF_ERROR(state.ssf->Insert(oid, attr_values[i]));
+      }
+      if (state.bssf != nullptr) {
+        SIGSET_RETURN_IF_ERROR(state.bssf->Insert(oid, attr_values[i]));
+      }
+      if (state.nix != nullptr) {
+        SIGSET_RETURN_IF_ERROR(state.nix->Insert(oid, attr_values[i]));
+      }
+      state.total_elements += attr_values[i].size();
+      for (uint64_t element : attr_values[i]) state.domain_sketch.Add(element);
     }
-    if (state.bssf != nullptr) {
-      SIGSET_RETURN_IF_ERROR(state.bssf->Insert(oid, attr_values[i]));
-    }
-    if (state.nix != nullptr) {
-      SIGSET_RETURN_IF_ERROR(state.nix->Insert(oid, attr_values[i]));
-    }
-    state.total_elements += attr_values[i].size();
-    for (uint64_t element : attr_values[i]) state.domain_sketch.Add(element);
+    return oid;
   }
-  return oid;
+  // Log-before-apply: predict the physical OID, commit the record, then
+  // mutate.  The insert is acknowledged by the commit; the apply (or, after
+  // a crash, replay) realizes it.
+  SIGSET_ASSIGN_OR_RETURN(Oid predicted, store_->PeekNextOid(attr_values));
+  SIGSET_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      wal_->AppendAndCommit(LogRecord::SingleInsert(predicted, attr_values)));
+  Status applied = ApplyInsert(attr_values, predicted);
+  if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  return predicted;
 }
 
-Status Database::Delete(Oid oid) {
-  SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+Status Database::ApplyDelete(Oid oid, const MultiSetObject& obj) {
   // De-index every attribute first, store delete LAST (see
   // SetIndex::Delete for the crash-ordering argument).
   for (size_t i = 0; i < attrs_.size(); ++i) {
@@ -322,7 +441,35 @@ Status Database::Delete(Oid oid) {
   return Status::OK();
 }
 
+Status Database::Delete(Oid oid) {
+  if (!poison_.ok()) return poison_;
+  SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
+  if (wal_ == nullptr) return ApplyDelete(oid, obj);
+  // The record carries the victim's preimage (all attribute sets) so an
+  // aborted delete can be resurrected at recovery.
+  SIGSET_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      wal_->AppendAndCommit(LogRecord::SingleDelete(oid, obj.attrs)));
+  Status applied = ApplyDelete(oid, obj);
+  if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  return Status::OK();
+}
+
+Status Database::AbortAndPoison(uint64_t lsn, const Status& cause) {
+  // Same contract as SetIndex::AbortAndPoison: the record at `lsn` is
+  // durable but its apply failed partway.  Log an Abort so recovery rolls
+  // the record back (or, if the Abort itself cannot commit, recovery
+  // completes the record instead — either end state is consistent), and
+  // poison this instance until it is reopened.
+  (void)wal_->AppendAndCommit(LogRecord::Abort(lsn));
+  poison_ = Status::FailedPrecondition(
+      "database poisoned: apply of log record " + std::to_string(lsn) +
+      " failed (" + cause.message() + "); reopen to recover");
+  return cause;
+}
+
 StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
+  if (!poison_.ok()) return poison_;
   for (const std::vector<ElementSet>& attr_values : batch.inserts()) {
     if (attr_values.size() != attrs_.size()) {
       return Status::InvalidArgument("attribute count mismatch");
@@ -337,17 +484,61 @@ StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
     victims.push_back(std::move(obj));
   }
 
-  // Store inserts first: they assign the OIDs the facility ops index.
-  std::vector<Oid> new_oids;
-  new_oids.reserve(batch.inserts().size());
   std::vector<std::vector<ElementSet>> normalized;
   normalized.reserve(batch.inserts().size());
   for (const std::vector<ElementSet>& attr_values : batch.inserts()) {
     std::vector<ElementSet> n = attr_values;
     for (ElementSet& set : n) NormalizeSet(&set);
-    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(n));
-    new_oids.push_back(oid);
     normalized.push_back(std::move(n));
+  }
+
+  // One record covers the whole batch: it commits (and is acknowledged)
+  // atomically — recovery applies all of it or, when aborted, none.
+  uint64_t batch_lsn = 0;
+  std::vector<Oid> predicted;
+  if (wal_ != nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(predicted, store_->PeekOids(normalized));
+    std::vector<LogEntry> del_entries;
+    del_entries.reserve(victims.size());
+    for (size_t i = 0; i < victims.size(); ++i) {
+      del_entries.push_back(LogEntry{batch.deletes()[i], victims[i].attrs});
+    }
+    std::vector<LogEntry> ins_entries;
+    ins_entries.reserve(predicted.size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      ins_entries.push_back(LogEntry{predicted[i], normalized[i]});
+    }
+    SIGSET_ASSIGN_OR_RETURN(
+        batch_lsn,
+        wal_->AppendAndCommit(LogRecord::Batch(std::move(del_entries),
+                                               std::move(ins_entries))));
+  }
+
+  std::vector<Oid> new_oids;
+  Status applied =
+      ApplyBatchBody(batch, victims, normalized, predicted, &new_oids);
+  if (!applied.ok()) {
+    if (wal_ != nullptr) return AbortAndPoison(batch_lsn, applied);
+    return applied;
+  }
+  return new_oids;
+}
+
+Status Database::ApplyBatchBody(
+    const MultiWriteBatch& batch, const std::vector<MultiSetObject>& victims,
+    const std::vector<std::vector<ElementSet>>& normalized,
+    const std::vector<Oid>& predicted, std::vector<Oid>* out_oids) {
+  // Store inserts first: they assign the OIDs the facility ops index.
+  std::vector<Oid>& new_oids = *out_oids;
+  new_oids.reserve(normalized.size());
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized[i]));
+    if (!predicted.empty() && oid != predicted[i]) {
+      return Status::Internal("store assigned " + oid.ToString() +
+                              " but the log predicted " +
+                              predicted[i].ToString());
+    }
+    new_oids.push_back(oid);
   }
 
   // One grouped application per (attribute, facility): removes first so
@@ -388,10 +579,11 @@ StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
       for (uint64_t element : n[i]) state.domain_sketch.Add(element);
     }
   }
-  return new_oids;
+  return Status::OK();
 }
 
 Status Database::Compact() {
+  if (!poison_.ok()) return poison_;
   bool any_sig = false;
   for (const AttributeState& state : attrs_) {
     if (state.ssf != nullptr || state.bssf != nullptr) any_sig = true;
@@ -443,6 +635,14 @@ Status Database::Compact() {
           "compaction live-count mismatch between facilities");
     }
   }
+  // With a WAL, note the compaction in the log before swapping: replay
+  // treats the record as a no-op (recovery rebuilds facilities from the
+  // store, which is compaction-order independent), but it keeps the strict
+  // lsn sequence aligned with the operations the checkpoint below covers.
+  if (wal_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(
+        wal_->AppendAndCommit(LogRecord::CompactCommit(next_gen)).status());
+  }
   for (size_t i = 0; i < attrs_.size(); ++i) {
     if (replacements[i].ssf != nullptr) {
       attrs_[i].ssf = std::move(replacements[i].ssf);
@@ -453,6 +653,142 @@ Status Database::Compact() {
   }
   generation_ = next_gen;
   return Checkpoint();
+}
+
+Status Database::ReplayLog(const std::vector<LogRecord>& records) {
+  // Pass 1: an Abort marks its target record as rolled back.  The engine
+  // poisons itself after the first failed apply, so any log tail carries at
+  // most one aborted record — but the set keeps this general.
+  std::vector<uint64_t> aborted;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kAbort) aborted.push_back(rec.ref_lsn);
+  }
+  auto is_aborted = [&aborted](uint64_t lsn) {
+    for (uint64_t a : aborted) {
+      if (a == lsn) return true;
+    }
+    return false;
+  };
+  // Pass 2: store-level redo in lsn order (see SetIndex::ReplayLog);
+  // entries carry one ElementSet per attribute.
+  for (const LogRecord& rec : records) {
+    const bool rolled_back = is_aborted(rec.lsn);
+    switch (rec.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
+      case LogRecordType::kBatch:
+        for (const LogEntry& e : rec.inserts) {
+          SIGSET_RETURN_IF_ERROR(
+              rolled_back ? store_->ReplayEnsureAbsent(e.oid)
+                          : store_->ReplayEnsurePresent(e.oid, e.sets));
+        }
+        for (const LogEntry& e : rec.deletes) {
+          SIGSET_RETURN_IF_ERROR(
+              rolled_back ? store_->ReplayEnsurePresent(e.oid, e.sets)
+                          : store_->ReplayEnsureAbsent(e.oid));
+        }
+        break;
+      case LogRecordType::kCompactCommit:
+        // Facilities are rebuilt from the store below; whether the crashed
+        // run compacted first cannot change the rebuilt state.
+        break;
+      case LogRecordType::kAbort:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status Database::RebuildFacilitiesFromStore() {
+  // The recovered store is the single source of truth: recount everything
+  // and rebuild each attribute's facilities from one live scan.
+  std::vector<Oid> oids;
+  std::vector<std::vector<ElementSet>> per_attr_sets(attrs_.size());
+  for (AttributeState& state : attrs_) state.total_elements = 0;
+  SIGSET_RETURN_IF_ERROR(store_->ForEachLive(
+      [&](Oid oid, const std::vector<ElementSet>& sets) {
+        oids.push_back(oid);
+        for (size_t i = 0; i < attrs_.size(); ++i) {
+          per_attr_sets[i].push_back(sets[i]);
+          attrs_[i].total_elements += sets[i].size();
+          for (uint64_t element : sets[i]) {
+            attrs_[i].domain_sketch.Add(element);
+          }
+        }
+        return Status::OK();
+      }));
+  store_->RecoverCount(oids.size());
+  const uint64_t live = oids.size();
+
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeOptions& spec = options_.attributes[i];
+    AttributeState& state = attrs_[i];
+    const std::string prefix = name_ + "." + spec.name;
+    // SSF/BSSF: build pristine copies in memory, then CompactTo the real
+    // generation files, wiping whatever stale or torn state the crashed run
+    // left there (see SetIndex::RebuildFacilitiesFromStore for why
+    // rebuilding in place via Insert would be wrong).
+    if (spec.maintain_ssf) {
+      InMemoryPageFile tmp_sig("recover." + spec.name + ".sig");
+      InMemoryPageFile tmp_oid("recover." + spec.name + ".sig.oid");
+      SIGSET_ASSIGN_OR_RETURN(
+          std::unique_ptr<SequentialSignatureFile> tmp,
+          SequentialSignatureFile::Create(spec.sig, &tmp_sig, &tmp_oid));
+      for (size_t v = 0; v < live; ++v) {
+        SIGSET_RETURN_IF_ERROR(tmp->Insert(oids[v], per_attr_sets[i][v]));
+      }
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * sig,
+          storage_->OpenOrCreate(GenName(prefix + ".sig", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(sig, oid));
+      if (packed != live) {
+        return Status::Internal("ssf rebuild count mismatch");
+      }
+      SIGSET_ASSIGN_OR_RETURN(state.ssf,
+                              SequentialSignatureFile::CreateFromExisting(
+                                  spec.sig, sig, oid, live));
+    }
+    if (spec.maintain_bssf) {
+      InMemoryPageFile tmp_slices("recover." + spec.name + ".slices");
+      InMemoryPageFile tmp_oid("recover." + spec.name + ".slices.oid");
+      SIGSET_ASSIGN_OR_RETURN(
+          std::unique_ptr<BitSlicedSignatureFile> tmp,
+          BitSlicedSignatureFile::Create(spec.sig, options_.capacity,
+                                         &tmp_slices, &tmp_oid,
+                                         spec.bssf_mode));
+      for (size_t v = 0; v < live; ++v) {
+        SIGSET_RETURN_IF_ERROR(tmp->Insert(oids[v], per_attr_sets[i][v]));
+      }
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * slices,
+          storage_->OpenOrCreate(GenName(prefix + ".slices", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(
+          PageFile * oid,
+          storage_->OpenOrCreate(
+              GenName(prefix + ".slices.oid", generation_)));
+      SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(slices, oid));
+      if (packed != live) {
+        return Status::Internal("bssf rebuild count mismatch");
+      }
+      SIGSET_ASSIGN_OR_RETURN(
+          state.bssf, BitSlicedSignatureFile::CreateFromExisting(
+                          spec.sig, options_.capacity, slices, oid,
+                          spec.bssf_mode, live));
+    }
+    if (spec.maintain_nix) {
+      // Reset to an empty tree (orphaning whatever pages the crashed run
+      // left) and bulk-build from the live scan.
+      SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
+                              storage_->OpenOrCreate(prefix + ".nix"));
+      SIGSET_ASSIGN_OR_RETURN(
+          state.nix, NestedIndex::CreateResetting(nix_file, spec.nix_fanout));
+      SIGSET_RETURN_IF_ERROR(state.nix->BulkBuild(oids, per_attr_sets[i]));
+    }
+  }
+  return Status::OK();
 }
 
 StatusOr<size_t> Database::AttributeIndex(const std::string& attribute) const {
@@ -561,6 +897,9 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
     const std::vector<SetPredicate>& predicates, QueryTrace* trace,
     AccessPathChoice* chosen_plan, size_t* chosen_attr,
     SetPredicate* chosen_pred) {
+  // A poisoned database may hold partially applied facility state; refuse
+  // to serve queries from it.
+  if (!poison_.ok()) return poison_;
   if (predicates.empty()) {
     return Status::InvalidArgument("at least one predicate required");
   }

@@ -22,6 +22,7 @@
 #include <vector>
 
 #include "db/manifest.h"
+#include "db/wal.h"
 #include "db/write_batch.h"
 #include "model/params.h"
 #include "nix/nested_index.h"
@@ -90,6 +91,14 @@ class Database {
     // Registry receiving per-query counters and latency histograms (not
     // owned).  nullptr = the database owns one, reachable via metrics().
     MetricsRegistry* metrics = nullptr;
+    // Write-ahead logging (see SetIndex::Options::enable_wal): mutations are
+    // acknowledged only after their logical record is durable in
+    // "<name>.wal", and Open() replays records past the last checkpoint.
+    // Off by default to keep the paper-pinned page-access counts.
+    bool enable_wal = false;
+    // Group-commit window in microseconds (0 = sync immediately; concurrent
+    // commits still coalesce opportunistically).
+    uint32_t group_commit_window_us = 0;
   };
 
   // Creates the class storage under the file prefix `class_name`.
@@ -154,6 +163,9 @@ class Database {
   // language to map string literals to element ids).
   ElementDictionary& dictionary(size_t attr) { return dictionaries_[attr]; }
 
+  // The write-ahead log (nullptr unless options.enable_wal).
+  WriteAheadLog* wal() { return wal_.get(); }
+
   uint64_t num_objects() const { return store_->num_objects(); }
   size_t num_attributes() const { return attrs_.size(); }
   const std::string& attribute_name(size_t i) const {
@@ -210,6 +222,23 @@ class Database {
                                               QueryKind candidate_kind,
                                               const ElementSet& query);
 
+  // WAL plumbing — same contract as SetIndex: Apply* run the mutation after
+  // its record is durable; a failure there calls AbortAndPoison, which logs
+  // an Abort record and fails every later mutation/query until reopened.
+  Status ApplyInsert(const std::vector<ElementSet>& normalized,
+                     Oid expected_oid);
+  Status ApplyDelete(Oid oid, const MultiSetObject& victim);
+  Status ApplyBatchBody(const MultiWriteBatch& batch,
+                        const std::vector<MultiSetObject>& victims,
+                        const std::vector<std::vector<ElementSet>>& normalized,
+                        const std::vector<Oid>& predicted,
+                        std::vector<Oid>* out_oids);
+  Status AbortAndPoison(uint64_t lsn, const Status& cause);
+  // Recovery: redo `records` against the object store, then rebuild every
+  // attribute's facilities and counters from the recovered store.
+  Status ReplayLog(const std::vector<LogRecord>& records);
+  Status RebuildFacilitiesFromStore();
+
   StorageManager* storage_;
   Options options_;
   std::string name_;
@@ -219,6 +248,9 @@ class Database {
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
   std::unique_ptr<MultiObjectStore> store_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  // Set by AbortAndPoison; every mutation and query returns it once set.
+  Status poison_ = Status::OK();
   std::vector<AttributeState> attrs_;
   std::vector<ElementDictionary> dictionaries_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;

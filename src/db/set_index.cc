@@ -64,6 +64,16 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
     SIGSET_ASSIGN_OR_RETURN(index->nix_,
                             NestedIndex::Create(nix_file, options.nix_fanout));
   }
+  if (options.enable_wal) {
+    SIGSET_ASSIGN_OR_RETURN(PageFile * wal_file,
+                            storage->OpenOrCreate(name + ".wal"));
+    SIGSET_ASSIGN_OR_RETURN(
+        index->wal_, WriteAheadLog::Create(wal_file, 0, index->metrics_));
+    index->wal_->set_group_commit_window(options.group_commit_window_us);
+    // Checkpoint immediately so a crash before the first user checkpoint
+    // still reopens: the manifest anchors replay at lsn 0.
+    SIGSET_RETURN_IF_ERROR(index->Checkpoint());
+  }
   return index;
 }
 
@@ -83,6 +93,10 @@ constexpr char kKeyNixFreePages[] = "nix_free_pages";
 constexpr char kKeyF[] = "config_f";
 constexpr char kKeyM[] = "config_m";
 constexpr char kKeyFacilities[] = "config_facilities";
+constexpr char kKeyWal[] = "config_wal";
+// Every log record with lsn <= this value is reflected in the checkpoint;
+// replay applies only records beyond it.  Missing (pre-WAL manifest) = 0.
+constexpr char kKeyWalLsn[] = "wal_lsn";
 
 uint64_t FacilityMask(const SetIndex::Options& options) {
   return (options.maintain_ssf ? 1u : 0u) |
@@ -101,8 +115,15 @@ std::string GenName(const std::string& base, uint64_t generation) {
 
 Status SetIndex::Checkpoint() {
   SIGSET_FAILPOINT("set_index.checkpoint");
+  if (!poison_.ok()) return poison_;
+  // Quiescent invariant: every appended record has been committed (each
+  // mutation commits before returning), so last_lsn() covers everything the
+  // counters below reflect.
+  const uint64_t wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
   Manifest::Values values;
   values[kKeyGeneration] = generation_;
+  values[kKeyWal] = wal_ != nullptr ? 1 : 0;
+  values[kKeyWalLsn] = wal_lsn;
   values[kKeyObjects] = num_objects();
   values[kKeyElements] = total_elements_;
   values[kKeyF] = static_cast<uint64_t>(options_.sig.f);
@@ -135,7 +156,13 @@ Status SetIndex::Checkpoint() {
                 domain_sketch_.num_registers());
     SIGSET_RETURN_IF_ERROR(sketch_file_->Write(0, page));
   }
-  return Manifest::Write(manifest_file_, values);
+  SIGSET_RETURN_IF_ERROR(Manifest::Write(manifest_file_, values));
+  // Manifest first, then log truncation: a crash between the two leaves
+  // records <= wal_lsn in the log, and replay filters them out by lsn.
+  if (wal_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(wal_->Truncate(wal_lsn));
+  }
+  return Status::OK();
 }
 
 StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
@@ -161,8 +188,12 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
   SIGSET_ASSIGN_OR_RETURN(uint64_t m, Manifest::Get(values, kKeyM));
   SIGSET_ASSIGN_OR_RETURN(uint64_t mask, Manifest::Get(values,
                                                        kKeyFacilities));
+  // Pre-WAL manifests have no config_wal key; they are WAL-off indexes.
+  auto wal_flag = Manifest::Get(values, kKeyWal);
+  const uint64_t checkpointed_wal = wal_flag.ok() ? *wal_flag : 0;
   if (f != options.sig.f || m != options.sig.m ||
-      mask != FacilityMask(options)) {
+      mask != FacilityMask(options) ||
+      checkpointed_wal != (options.enable_wal ? 1u : 0u)) {
     return Status::FailedPrecondition(
         "options do not match the checkpointed configuration");
   }
@@ -178,6 +209,40 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
   // those indexes are generation 0 by definition.
   auto generation = Manifest::Get(values, kKeyGeneration);
   if (generation.ok()) index->generation_ = *generation;
+
+  if (options.enable_wal) {
+    auto ckpt_lsn = Manifest::Get(values, kKeyWalLsn);
+    const uint64_t wal_lsn = ckpt_lsn.ok() ? *ckpt_lsn : 0;
+    SIGSET_ASSIGN_OR_RETURN(PageFile * wal_file,
+                            storage->OpenOrCreate(name + ".wal"));
+    SIGSET_ASSIGN_OR_RETURN(WriteAheadLog::OpenResult scan,
+                            WriteAheadLog::Open(wal_file, wal_lsn,
+                                                index->metrics_));
+    index->wal_ = std::move(scan.log);
+    index->wal_->set_group_commit_window(options.group_commit_window_us);
+    std::vector<LogRecord> to_replay;
+    for (LogRecord& rec : scan.records) {
+      if (rec.lsn > wal_lsn) to_replay.push_back(std::move(rec));
+    }
+    if (!to_replay.empty()) {
+      // Acknowledged writes past the checkpoint: redo them against the
+      // store, then rebuild every facility and counter from the store.
+      // The facilities' own files may be arbitrarily stale or torn — they
+      // are never opened through the normal path here.
+      SIGSET_RETURN_IF_ERROR(index->ReplayLog(to_replay));
+      SIGSET_RETURN_IF_ERROR(index->RebuildFacilitiesFromStore());
+      if (index->metrics_ != nullptr) {
+        index->metrics_->counter("wal.replayed_records")
+            ->Increment(to_replay.size());
+      }
+      // Deliberately NO checkpoint here: recovery is read-only w.r.t. the
+      // log, so replaying twice equals replaying once (idempotence is one
+      // of the wal_log_test invariants).  The next explicit Checkpoint()
+      // or Compact() truncates the log.
+      objects->stats().Reset();
+      return index;
+    }
+  }
   if (options.maintain_ssf || options.maintain_bssf) {
     SIGSET_ASSIGN_OR_RETURN(uint64_t sigs,
                             Manifest::Get(values, kKeySignatures));
@@ -238,10 +303,13 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
   return index;
 }
 
-StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
-  ElementSet normalized = set_value;
-  NormalizeSet(&normalized);
+Status SetIndex::ApplyInsert(const ElementSet& normalized, Oid expected_oid) {
   SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized));
+  if (expected_oid.valid() && oid != expected_oid) {
+    return Status::Internal("store assigned " + oid.ToString() +
+                            " but the log predicted " +
+                            expected_oid.ToString());
+  }
   if (ssf_ != nullptr) SIGSET_RETURN_IF_ERROR(ssf_->Insert(oid, normalized));
   if (bssf_ != nullptr) {
     SIGSET_RETURN_IF_ERROR(bssf_->Insert(oid, normalized));
@@ -249,11 +317,10 @@ StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
   if (nix_ != nullptr) SIGSET_RETURN_IF_ERROR(nix_->Insert(oid, normalized));
   total_elements_ += normalized.size();
   for (uint64_t element : normalized) domain_sketch_.Add(element);
-  return oid;
+  return Status::OK();
 }
 
-Status SetIndex::Delete(Oid oid) {
-  SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
+Status SetIndex::ApplyDelete(Oid oid, const StoredObject& obj) {
   // De-index first, store delete LAST: a crash mid-delete then leaves the
   // object present in the store but (partially) missing from the indexes —
   // recovery rolls the indexes back to the checkpoint, and any candidate
@@ -276,7 +343,64 @@ Status SetIndex::Delete(Oid oid) {
   return Status::OK();
 }
 
+Status SetIndex::AbortAndPoison(uint64_t lsn, const Status& cause) {
+  // The record at `lsn` is durable but its apply failed partway: the
+  // in-memory index no longer matches "fully applied".  Log an Abort so
+  // recovery rolls the record back, and poison this instance — the only way
+  // forward is a reopen, which replays the log against the store.  If the
+  // Abort itself cannot commit, recovery will instead COMPLETE the record
+  // (finishing the partial apply); either end state is consistent, and the
+  // poisoned instance can't expose the in-between.
+  (void)wal_->AppendAndCommit(LogRecord::Abort(lsn));
+  poison_ = Status::FailedPrecondition(
+      "index poisoned: apply of log record " + std::to_string(lsn) +
+      " failed (" + cause.message() + "); reopen to recover");
+  return cause;
+}
+
+StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
+  if (!poison_.ok()) return poison_;
+  ElementSet normalized = set_value;
+  NormalizeSet(&normalized);
+  if (wal_ == nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized));
+    if (ssf_ != nullptr) SIGSET_RETURN_IF_ERROR(ssf_->Insert(oid, normalized));
+    if (bssf_ != nullptr) {
+      SIGSET_RETURN_IF_ERROR(bssf_->Insert(oid, normalized));
+    }
+    if (nix_ != nullptr) SIGSET_RETURN_IF_ERROR(nix_->Insert(oid, normalized));
+    total_elements_ += normalized.size();
+    for (uint64_t element : normalized) domain_sketch_.Add(element);
+    return oid;
+  }
+  // Log-before-apply: predict the physical OID, commit the record, then
+  // mutate.  The insert is acknowledged by the commit; the apply (or, after
+  // a crash, replay) realizes it.
+  SIGSET_ASSIGN_OR_RETURN(Oid predicted, store_->PeekNextOid(normalized));
+  SIGSET_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      wal_->AppendAndCommit(LogRecord::SingleInsert(predicted, {normalized})));
+  Status applied = ApplyInsert(normalized, predicted);
+  if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  return predicted;
+}
+
+Status SetIndex::Delete(Oid oid) {
+  if (!poison_.ok()) return poison_;
+  SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
+  if (wal_ == nullptr) return ApplyDelete(oid, obj);
+  // The record carries the victim's preimage so an aborted delete can be
+  // resurrected at recovery.
+  SIGSET_ASSIGN_OR_RETURN(
+      uint64_t lsn,
+      wal_->AppendAndCommit(LogRecord::SingleDelete(oid, {obj.set_value})));
+  Status applied = ApplyDelete(oid, obj);
+  if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  return Status::OK();
+}
+
 StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
+  if (!poison_.ok()) return poison_;
   // Fetch delete victims up front (their set values drive the de-indexing);
   // this is also why deleting a same-batch insert is unsupported.
   std::vector<StoredObject> victims;
@@ -286,17 +410,63 @@ StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
     victims.push_back(std::move(obj));
   }
 
-  // Store inserts first: they assign the OIDs the facility ops index.
-  std::vector<Oid> new_oids;
-  new_oids.reserve(batch.inserts().size());
-  std::vector<ElementSet> normalized;
-  normalized.reserve(batch.inserts().size());
+  std::vector<ElementSet> normalized_inserts;
+  normalized_inserts.reserve(batch.inserts().size());
   for (const ElementSet& set_value : batch.inserts()) {
     ElementSet n = set_value;
     NormalizeSet(&n);
-    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(n));
+    normalized_inserts.push_back(std::move(n));
+  }
+
+  // One record covers the whole batch: it commits (and is acknowledged)
+  // atomically — recovery applies all of it or, when aborted, none.
+  uint64_t batch_lsn = 0;
+  std::vector<Oid> predicted;
+  if (wal_ != nullptr) {
+    SIGSET_ASSIGN_OR_RETURN(predicted, store_->PeekOids(normalized_inserts));
+    std::vector<LogEntry> del_entries;
+    del_entries.reserve(victims.size());
+    for (size_t i = 0; i < victims.size(); ++i) {
+      del_entries.push_back(
+          LogEntry{batch.deletes()[i], {victims[i].set_value}});
+    }
+    std::vector<LogEntry> ins_entries;
+    ins_entries.reserve(predicted.size());
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      ins_entries.push_back(LogEntry{predicted[i], {normalized_inserts[i]}});
+    }
+    SIGSET_ASSIGN_OR_RETURN(
+        batch_lsn,
+        wal_->AppendAndCommit(LogRecord::Batch(std::move(del_entries),
+                                               std::move(ins_entries))));
+  }
+
+  std::vector<Oid> new_oids;
+  Status applied = ApplyBatchBody(batch, victims, normalized_inserts,
+                                  predicted, &new_oids);
+  if (!applied.ok()) {
+    if (wal_ != nullptr) return AbortAndPoison(batch_lsn, applied);
+    return applied;
+  }
+  return new_oids;
+}
+
+Status SetIndex::ApplyBatchBody(const WriteBatch& batch,
+                                const std::vector<StoredObject>& victims,
+                                const std::vector<ElementSet>& normalized,
+                                const std::vector<Oid>& predicted,
+                                std::vector<Oid>* out_oids) {
+  // Store inserts first: they assign the OIDs the facility ops index.
+  std::vector<Oid>& new_oids = *out_oids;
+  new_oids.reserve(normalized.size());
+  for (size_t i = 0; i < normalized.size(); ++i) {
+    SIGSET_ASSIGN_OR_RETURN(Oid oid, store_->Insert(normalized[i]));
+    if (!predicted.empty() && oid != predicted[i]) {
+      return Status::Internal("store assigned " + oid.ToString() +
+                              " but the log predicted " +
+                              predicted[i].ToString());
+    }
     new_oids.push_back(oid);
-    normalized.push_back(std::move(n));
   }
 
   // One grouped application per facility: removes first so the slots they
@@ -329,10 +499,11 @@ StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
     total_elements_ += n.size();
     for (uint64_t element : n) domain_sketch_.Add(element);
   }
-  return new_oids;
+  return Status::OK();
 }
 
 Status SetIndex::Compact() {
+  if (!poison_.ok()) return poison_;
   if (ssf_ == nullptr && bssf_ == nullptr) return Checkpoint();
   uint64_t next_gen = generation_ + 1;
 
@@ -373,6 +544,15 @@ Status SetIndex::Compact() {
     return Status::Internal("compaction live-count mismatch between facilities");
   }
 
+  // With a WAL, note the compaction in the log before swapping: replay
+  // treats the record as a no-op (recovery rebuilds facilities from the
+  // store, which is compaction-order independent), but it keeps the strict
+  // lsn sequence aligned with the operations the checkpoint below covers.
+  if (wal_ != nullptr) {
+    SIGSET_RETURN_IF_ERROR(
+        wal_->AppendAndCommit(LogRecord::CompactCommit(next_gen)).status());
+  }
+
   // Swap and flip the manifest: the checkpoint's generation key is the
   // commit point.  A crash before it leaves the old generation (and its
   // files) authoritative; the half-built next generation is garbage that a
@@ -381,6 +561,141 @@ Status SetIndex::Compact() {
   bssf_ = std::move(new_bssf);
   generation_ = next_gen;
   return Checkpoint();
+}
+
+Status SetIndex::ReplayLog(const std::vector<LogRecord>& records) {
+  // Pass 1: an Abort marks its target record as rolled back.  The engine
+  // poisons itself after the first failed apply, so any log tail carries at
+  // most one aborted record — but the set keeps this general.
+  std::vector<uint64_t> aborted;
+  for (const LogRecord& rec : records) {
+    if (rec.type == LogRecordType::kAbort) aborted.push_back(rec.ref_lsn);
+  }
+  auto is_aborted = [&aborted](uint64_t lsn) {
+    for (uint64_t a : aborted) {
+      if (a == lsn) return true;
+    }
+    return false;
+  };
+  // Pass 2: store-level redo in lsn order.  Committed records are applied
+  // at their exact logged locations (verify-or-write, so a record whose
+  // apply already ran — fully or partially — converges to the same bytes);
+  // aborted records are inverted, restoring delete victims from their
+  // logged preimages.
+  for (const LogRecord& rec : records) {
+    const bool rolled_back = is_aborted(rec.lsn);
+    switch (rec.type) {
+      case LogRecordType::kInsert:
+      case LogRecordType::kDelete:
+      case LogRecordType::kBatch:
+        for (const LogEntry& e : rec.inserts) {
+          SIGSET_RETURN_IF_ERROR(
+              rolled_back
+                  ? store_->ReplayEnsureAbsent(e.oid)
+                  : store_->ReplayEnsurePresent(e.oid, e.sets.at(0)));
+        }
+        for (const LogEntry& e : rec.deletes) {
+          SIGSET_RETURN_IF_ERROR(
+              rolled_back
+                  ? store_->ReplayEnsurePresent(e.oid, e.sets.at(0))
+                  : store_->ReplayEnsureAbsent(e.oid));
+        }
+        break;
+      case LogRecordType::kCompactCommit:
+        // The facilities are rebuilt from the store below; whether the
+        // crashed run compacted first cannot change the rebuilt state.
+        break;
+      case LogRecordType::kAbort:
+        break;
+    }
+  }
+  return Status::OK();
+}
+
+Status SetIndex::RebuildFacilitiesFromStore() {
+  // The recovered store is the single source of truth: recount everything
+  // and rebuild each facility from a live scan.  Counters come first so
+  // CreateFromExisting sees the right live count.
+  std::vector<Oid> oids;
+  std::vector<ElementSet> sets;
+  total_elements_ = 0;
+  SIGSET_RETURN_IF_ERROR(
+      store_->ForEachLive([&](Oid oid, const ElementSet& set) {
+        oids.push_back(oid);
+        sets.push_back(set);
+        total_elements_ += set.size();
+        for (uint64_t element : set) domain_sketch_.Add(element);
+        return Status::OK();
+      }));
+  store_->RecoverCount(oids.size());
+  const uint64_t live = oids.size();
+
+  // SSF/BSSF: build pristine copies in memory, then CompactTo the real
+  // generation files — CompactTo overwrites from page 0 (BSSF rewrites
+  // every slice page), so whatever stale or torn state the crashed run left
+  // there is wiped.  Rebuilding in place via Insert would be wrong: SSF's
+  // append path allocates its tail page at the file END, which on a dirty
+  // file breaks the slot/page arithmetic reads depend on.
+  if (options_.maintain_ssf) {
+    InMemoryPageFile tmp_sig("recover.ssf.sig"), tmp_oid("recover.ssf.oid");
+    SIGSET_ASSIGN_OR_RETURN(
+        std::unique_ptr<SequentialSignatureFile> tmp,
+        SequentialSignatureFile::Create(options_.sig, &tmp_sig, &tmp_oid));
+    for (size_t i = 0; i < live; ++i) {
+      SIGSET_RETURN_IF_ERROR(tmp->Insert(oids[i], sets[i]));
+    }
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * sig,
+        storage_->OpenOrCreate(GenName(name_ + ".ssf.sig", generation_)));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        storage_->OpenOrCreate(GenName(name_ + ".ssf.oid", generation_)));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(sig, oid));
+    if (packed != live) {
+      return Status::Internal("ssf rebuild count mismatch");
+    }
+    SIGSET_ASSIGN_OR_RETURN(ssf_,
+                            SequentialSignatureFile::CreateFromExisting(
+                                options_.sig, sig, oid, live));
+    ssf_->set_skip_index_enabled(options_.enable_skip_index);
+  }
+  if (options_.maintain_bssf) {
+    InMemoryPageFile tmp_slices("recover.bssf.slices");
+    InMemoryPageFile tmp_oid("recover.bssf.oid");
+    SIGSET_ASSIGN_OR_RETURN(
+        std::unique_ptr<BitSlicedSignatureFile> tmp,
+        BitSlicedSignatureFile::Create(options_.sig, options_.capacity,
+                                       &tmp_slices, &tmp_oid,
+                                       options_.bssf_mode));
+    for (size_t i = 0; i < live; ++i) {
+      SIGSET_RETURN_IF_ERROR(tmp->Insert(oids[i], sets[i]));
+    }
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * slices,
+        storage_->OpenOrCreate(GenName(name_ + ".bssf.slices", generation_)));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        storage_->OpenOrCreate(GenName(name_ + ".bssf.oid", generation_)));
+    SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(slices, oid));
+    if (packed != live) {
+      return Status::Internal("bssf rebuild count mismatch");
+    }
+    SIGSET_ASSIGN_OR_RETURN(bssf_, BitSlicedSignatureFile::CreateFromExisting(
+                                       options_.sig, options_.capacity,
+                                       slices, oid, options_.bssf_mode, live));
+    bssf_->set_skip_index_enabled(options_.enable_skip_index);
+  }
+  if (options_.maintain_nix) {
+    // Reset to an empty tree (orphaning whatever pages the crashed run
+    // left) and bulk-build from the live scan, which is already in
+    // ascending physical-OID order.
+    SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
+                            storage_->OpenOrCreate(name_ + ".nix"));
+    SIGSET_ASSIGN_OR_RETURN(
+        nix_, NestedIndex::CreateResetting(nix_file, options_.nix_fanout));
+    SIGSET_RETURN_IF_ERROR(nix_->BulkBuild(oids, sets));
+  }
+  return Status::OK();
 }
 
 int64_t SetIndex::DomainEstimate() const {
@@ -467,6 +782,9 @@ StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
                                                  PlanMode mode,
                                                  QueryTrace* trace,
                                                  AccessPathChoice* chosen) {
+  // A poisoned index may hold partially applied facility state; refuse to
+  // answer from it (reopen to recover).
+  if (!poison_.ok()) return poison_;
   ElementSet normalized = query;
   NormalizeSet(&normalized);
   if (normalized.empty()) {

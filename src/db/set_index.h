@@ -20,6 +20,7 @@
 #include <string>
 
 #include "db/manifest.h"
+#include "db/wal.h"
 #include "db/write_batch.h"
 #include "model/params.h"
 #include "nix/nested_index.h"
@@ -103,6 +104,18 @@ class SetIndex {
     // pages are reported via IoStats::skips()/trace pages_skipped and query
     // results are identical.
     bool enable_skip_index = false;
+    // Write-ahead logging: every Insert/Delete/ApplyBatch first commits a
+    // logical record to "<name>.wal" (one fsync, group-committed) and is
+    // acknowledged only once the record is durable; Open() replays records
+    // past the last checkpoint, so no acknowledged write is ever lost.  Off
+    // by default: logging adds page writes, which would perturb the
+    // paper-pinned access counts (durability then remains
+    // checkpoint-granular, the original behaviour).
+    bool enable_wal = false;
+    // How long a group-commit leader holds the fsync open for concurrent
+    // writers to join (microseconds).  0 syncs immediately — concurrent
+    // commits still coalesce opportunistically.
+    uint32_t group_commit_window_us = 0;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name
@@ -202,11 +215,31 @@ class SetIndex {
     return pool_ != nullptr ? &ctx_ : nullptr;
   }
 
+  // The write-ahead log (nullptr unless options.enable_wal).
+  WriteAheadLog* wal() { return wal_.get(); }
+
  private:
   SetIndex(StorageManager* storage, Options options);
 
   // The cost-model view of the current database state.
   DatabaseParams LiveDbParams() const;
+
+  // WAL plumbing.  Apply* run the actual mutation after its record is
+  // durable; a failure there calls AbortAndPoison, which logs an Abort
+  // record and fails every later mutation/query until the index is
+  // reopened (recovery then rolls the aborted record back).
+  Status ApplyInsert(const ElementSet& normalized, Oid expected_oid);
+  Status ApplyDelete(Oid oid, const StoredObject& victim);
+  Status ApplyBatchBody(const WriteBatch& batch,
+                        const std::vector<StoredObject>& victims,
+                        const std::vector<ElementSet>& normalized,
+                        const std::vector<Oid>& predicted,
+                        std::vector<Oid>* out_oids);
+  Status AbortAndPoison(uint64_t lsn, const Status& cause);
+  // Recovery: redo `records` against the object store, then rebuild every
+  // facility and counter from the recovered store.
+  Status ReplayLog(const std::vector<LogRecord>& records);
+  Status RebuildFacilitiesFromStore();
 
   // Picks (facility, strategy) for kAuto mode.
   StatusOr<AccessPathChoice> Plan(QueryKind kind, int64_t dq) const;
@@ -231,6 +264,9 @@ class SetIndex {
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
   std::unique_ptr<ObjectStore> store_;
+  std::unique_ptr<WriteAheadLog> wal_;
+  // Set by AbortAndPoison; every mutation and query returns it once set.
+  Status poison_ = Status::OK();
   std::unique_ptr<SequentialSignatureFile> ssf_;
   std::unique_ptr<BitSlicedSignatureFile> bssf_;
   std::unique_ptr<NestedIndex> nix_;

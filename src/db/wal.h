@@ -1,0 +1,160 @@
+// WriteAheadLog: redo-only logical log with group commit.
+//
+// The durability contract the crash-test matrix proves: a write is
+// ACKNOWLEDGED only after its log record is on stable storage (Commit
+// returns OK after an fsync covering it), and recovery re-applies every
+// acknowledged record and nothing else.  The log is the *only* structure
+// that must survive a crash — facilities (SSF/BSSF/NIX) are rebuilt from
+// the recovered object store at open.
+//
+// On-"disk" layout (one PageFile, typically <base>.wal):
+//
+//   page 0   header    magic "SWAL" | version | start_lsn | crc32c
+//   page 1+  records   back-to-back frames, byte-addressed from page 1:
+//
+//     ┌──────────┬─────────────┬─────────┬─────────────┬────────────┐
+//     │ magic u32│ payload_len │ lsn u64 │ payload_crc │ head_stamp │
+//     ├──────────┴─────────────┴─────────┴─────────────┴────────────┤
+//     │ payload (payload_len bytes, see log_record.h)               │
+//     ├─────────────────────────────────────────────────────────────┤
+//     │ tail_stamp u32                                              │
+//     └─────────────────────────────────────────────────────────────┘
+//
+// head_stamp = StampFor(lsn) and tail_stamp = ~head_stamp: the "double
+// signature".  A torn write that persists the head but not the tail (or
+// vice versa) cannot produce matching stamps, and the CRC covers the
+// payload between them.  Recovery scans frames in order, requiring each
+// frame's lsn to be exactly previous+1; the scan stops at the first frame
+// that fails magic, length-sanity, lsn-sequence, stamp, CRC, or parse —
+// everything after is a torn tail and is logically truncated.  Strict lsn
+// sequencing is what defeats *stale* frames: Truncate() only rewrites the
+// header (start_lsn jumps forward), so old record bytes linger in the body,
+// but every stale frame carries an lsn <= the new start_lsn and can never
+// match the expected sequence.
+//
+// Group commit: Append() frames the record into an in-memory pending
+// buffer under the mutex and returns its LSN — no I/O.  Commit(lsn) blocks
+// until lsn is durable: the first waiter becomes the *leader*, optionally
+// waits group_commit_window microseconds for more appends to arrive, then
+// writes every pending page and issues ONE Sync that acknowledges every
+// record framed before the snapshot; the followers just wait on the
+// condition variable.  wal.fsyncs counts syncs, wal.group_size records how
+// many commits each sync retired — the bench target is group size 64
+// amortizing to >= 3x singleton-fsync throughput.
+//
+// A failed log write or sync poisons the log (every later Append/Commit
+// returns the saved error): after a failed fsync there is no way to know
+// what subset of the group is durable, which is exactly a crash.
+
+#ifndef SIGSET_DB_WAL_H_
+#define SIGSET_DB_WAL_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+#include "db/log_record.h"
+#include "obs/metrics.h"
+#include "storage/page_file.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+class WriteAheadLog {
+ public:
+  struct OpenResult {
+    std::unique_ptr<WriteAheadLog> log;
+    // Committed records past the header's start_lsn, ascending lsn, each
+    // with `lsn` filled in.  The caller filters against the manifest's
+    // checkpoint lsn and replays the rest.
+    std::vector<LogRecord> records;
+    // True when the scan stopped before the physical end of the written
+    // log — a torn tail was detected and logically truncated.
+    bool tail_truncated = false;
+  };
+
+  // Initializes an empty log in `file` (header written + synced) whose
+  // first record will carry lsn start_lsn + 1.
+  static StatusOr<std::unique_ptr<WriteAheadLog>> Create(
+      PageFile* file, uint64_t start_lsn, MetricsRegistry* metrics);
+
+  // Scans an existing log.  A corrupt or torn *header* falls back to
+  // reinitializing the log at `fallback_start_lsn` (the manifest's
+  // checkpoint lsn): the header is only ever rewritten by Truncate, whose
+  // crash window leaves no committed-but-unreplayed records behind.
+  static StatusOr<OpenResult> Open(PageFile* file, uint64_t fallback_start_lsn,
+                                   MetricsRegistry* metrics);
+
+  // Assigns the next LSN and frames `rec` into the pending buffer.  No I/O;
+  // the record is NOT durable until Commit(lsn) returns OK.
+  StatusOr<uint64_t> Append(const LogRecord& rec);
+
+  // Blocks until every record with lsn' <= lsn is on stable storage
+  // (group-commit leader/follower protocol; one fsync per group).
+  Status Commit(uint64_t lsn);
+
+  // Append + Commit; returns the record's LSN once durable.
+  StatusOr<uint64_t> AppendAndCommit(const LogRecord& rec);
+
+  // Logically discards every record (requires upto_lsn == last_lsn(), i.e.
+  // the caller checkpointed everything): rewrites the header with
+  // start_lsn = upto_lsn and syncs.  Record bytes are not erased — strict
+  // lsn sequencing makes them unreachable.
+  Status Truncate(uint64_t upto_lsn);
+
+  // Highest LSN ever assigned (durable or not).
+  uint64_t last_lsn() const;
+  // Highest LSN known durable.
+  uint64_t durable_lsn() const;
+  // Records in the log carry lsn > start_lsn().
+  uint64_t start_lsn() const;
+
+  // Leader wait window for group commit, in microseconds.  0 (default)
+  // flushes immediately but still retires any concurrently appended
+  // records the snapshot happens to cover.
+  void set_group_commit_window(uint32_t micros) { group_window_us_ = micros; }
+
+ private:
+  WriteAheadLog(PageFile* file, MetricsRegistry* metrics);
+
+  // Writes + syncs the header for `start_lsn`.
+  static Status WriteHeader(PageFile* file, uint64_t start_lsn);
+
+  // The per-lsn signature both stamps derive from.
+  static uint32_t StampFor(uint64_t lsn);
+
+  // Leader body: flush pending bytes through `snapshot_tail` and sync.
+  // Called without the lock held; returns the I/O status.
+  Status FlushLocked(std::unique_lock<std::mutex>* lock);
+
+  PageFile* file_;
+  Counter* fsyncs_ = nullptr;        // wal.fsyncs
+  Histogram* group_size_ = nullptr;  // wal.group_size
+
+  mutable std::mutex mu_;
+  std::condition_variable cv_;         // flush completion + leader handoff
+  std::condition_variable append_cv_;  // wakes a window-waiting leader
+  bool flushing_ = false;
+  Status io_status_ = Status::OK();  // poison: first I/O failure, sticky
+
+  uint64_t start_lsn_ = 0;
+  uint64_t last_lsn_ = 0;
+  uint64_t durable_lsn_ = 0;
+
+  // Byte positions are offsets into the record region (page 1 = offset 0).
+  uint64_t tail_pos_ = 0;     // end of framed (possibly unflushed) log
+  uint64_t flushed_pos_ = 0;  // end of durable log
+  // pending_ holds bytes [buf_base_, tail_pos_); buf_base_ is page-aligned
+  // and <= flushed_pos_, so the partial durable tail page can be rewritten
+  // whole on the next flush.
+  uint64_t buf_base_ = 0;
+  std::vector<uint8_t> pending_;
+
+  uint32_t group_window_us_ = 0;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_DB_WAL_H_

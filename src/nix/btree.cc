@@ -313,6 +313,30 @@ StatusOr<std::unique_ptr<BTree>> BTree::Create(PageFile* file,
   return tree;
 }
 
+StatusOr<std::unique_ptr<BTree>> BTree::CreateResetting(PageFile* file,
+                                                        uint32_t max_fanout) {
+  if (file->num_pages() == 0) return Create(file, max_fanout);
+  if (max_fanout < 2) {
+    return Status::InvalidArgument("fanout must be at least 2");
+  }
+  // WAL recovery path: the file holds a tree whose metadata (or pages) may
+  // be stale relative to the replayed object store.  Start over with a
+  // fresh empty root page and let BulkLoad repack; the old pages become
+  // unreachable orphans, which is safe — StoragePages() reports the
+  // structural counters, not the file size, and the next Compact() rewrites
+  // the file densely anyway.
+  std::unique_ptr<BTree> tree(new BTree(file, max_fanout));
+  SIGSET_ASSIGN_OR_RETURN(tree->root_, file->Allocate());
+  Page page;
+  if (!WriteLeaf({}, kInvalidPage, &page)) {
+    return Status::Internal("empty leaf must fit");
+  }
+  SIGSET_RETURN_IF_ERROR(file->Write(tree->root_, page));
+  tree->leaf_pages_ = 1;
+  file->stats().Reset();
+  return tree;
+}
+
 StatusOr<std::unique_ptr<BTree>> BTree::CreateFromExisting(
     PageFile* file, uint32_t max_fanout, PageId root, uint32_t height,
     uint64_t leaf_pages, uint64_t internal_pages, uint64_t overflow_pages) {

@@ -58,6 +58,14 @@ class BTree {
   static StatusOr<std::unique_ptr<BTree>> Create(
       PageFile* file, uint32_t max_fanout = kPaperFanout);
 
+  // Discards whatever tree `file` holds and starts an empty one: a fresh
+  // root leaf is allocated at the file's end and the old pages are left as
+  // unreachable orphans.  Used by WAL recovery, which rebuilds the index
+  // from the replayed object store via BulkLoad (an empty file just
+  // delegates to Create).
+  static StatusOr<std::unique_ptr<BTree>> CreateResetting(
+      PageFile* file, uint32_t max_fanout = kPaperFanout);
+
   // Reopens a tree over a previously populated file.  The structural
   // metadata (root page, height, page counts) comes from the manifest
   // written by SetIndex::Checkpoint().

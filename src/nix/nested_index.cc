@@ -32,6 +32,13 @@ StatusOr<std::unique_ptr<NestedIndex>> NestedIndex::Create(
   return std::unique_ptr<NestedIndex>(new NestedIndex(std::move(tree)));
 }
 
+StatusOr<std::unique_ptr<NestedIndex>> NestedIndex::CreateResetting(
+    PageFile* file, uint32_t max_fanout) {
+  SIGSET_ASSIGN_OR_RETURN(std::unique_ptr<BTree> tree,
+                          BTree::CreateResetting(file, max_fanout));
+  return std::unique_ptr<NestedIndex>(new NestedIndex(std::move(tree)));
+}
+
 StatusOr<std::unique_ptr<NestedIndex>> NestedIndex::CreateFromExisting(
     PageFile* file, uint32_t max_fanout, PageId root, uint32_t height,
     uint64_t leaf_pages, uint64_t internal_pages, uint64_t overflow_pages) {

@@ -30,6 +30,11 @@ class NestedIndex : public SetAccessFacility {
   static StatusOr<std::unique_ptr<NestedIndex>> Create(
       PageFile* file, uint32_t max_fanout = kPaperFanout);
 
+  // Discards any existing tree in `file` and starts empty (WAL recovery
+  // rebuilds via BulkBuild from the replayed object store).
+  static StatusOr<std::unique_ptr<NestedIndex>> CreateResetting(
+      PageFile* file, uint32_t max_fanout = kPaperFanout);
+
   // Reopens an index over a previously populated file (metadata from the
   // manifest written by SetIndex::Checkpoint()).
   static StatusOr<std::unique_ptr<NestedIndex>> CreateFromExisting(

@@ -90,6 +90,152 @@ StatusOr<Oid> MultiObjectStore::Insert(
   return Oid::FromLocation(new_page, *slot);
 }
 
+StatusOr<Oid> MultiObjectStore::PeekNextOid(
+    const std::vector<ElementSet>& attr_values) const {
+  if (attr_values.size() != num_attributes_) {
+    return Status::InvalidArgument("attribute count mismatch");
+  }
+  std::vector<uint8_t> record = Serialize(attr_values);
+  if (record.size() > kPageSize - 8) {
+    return Status::InvalidArgument("object too large for one page");
+  }
+  Page scratch;
+  if (tail_page_ != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &scratch));
+    SlottedPage sp(&scratch);
+    if (auto slot = sp.Insert(record.data(),
+                              static_cast<uint16_t>(record.size()))) {
+      return Oid::FromLocation(tail_page_, *slot);
+    }
+  }
+  SlottedPage::Init(&scratch);
+  SlottedPage sp(&scratch);
+  auto slot = sp.Insert(record.data(), static_cast<uint16_t>(record.size()));
+  if (!slot.has_value()) {
+    return Status::Internal("record does not fit in an empty page");
+  }
+  return Oid::FromLocation(file_->num_pages(), *slot);
+}
+
+StatusOr<std::vector<Oid>> MultiObjectStore::PeekOids(
+    const std::vector<std::vector<ElementSet>>& objects) const {
+  std::vector<Oid> oids;
+  oids.reserve(objects.size());
+  Page scratch;
+  PageId cur_page = kInvalidPage;
+  PageId pages_added = 0;
+  if (tail_page_ != kInvalidPage) {
+    SIGSET_RETURN_IF_ERROR(file_->Read(tail_page_, &scratch));
+    cur_page = tail_page_;
+  }
+  for (const std::vector<ElementSet>& attrs : objects) {
+    if (attrs.size() != num_attributes_) {
+      return Status::InvalidArgument("attribute count mismatch");
+    }
+    std::vector<uint8_t> record = Serialize(attrs);
+    if (record.size() > kPageSize - 8) {
+      return Status::InvalidArgument("object too large for one page");
+    }
+    if (cur_page != kInvalidPage) {
+      SlottedPage sp(&scratch);
+      if (auto slot = sp.Insert(record.data(),
+                                static_cast<uint16_t>(record.size()))) {
+        oids.push_back(Oid::FromLocation(cur_page, *slot));
+        continue;
+      }
+    }
+    cur_page = file_->num_pages() + pages_added;
+    ++pages_added;
+    SlottedPage::Init(&scratch);
+    SlottedPage sp(&scratch);
+    auto slot = sp.Insert(record.data(), static_cast<uint16_t>(record.size()));
+    if (!slot.has_value()) {
+      return Status::Internal("record does not fit in an empty page");
+    }
+    oids.push_back(Oid::FromLocation(cur_page, *slot));
+  }
+  return oids;
+}
+
+Status MultiObjectStore::ReplayEnsurePresent(
+    Oid oid, const std::vector<ElementSet>& attr_values) {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  if (attr_values.size() != num_attributes_) {
+    return Status::InvalidArgument("attribute count mismatch");
+  }
+  std::vector<uint8_t> record = Serialize(attr_values);
+  if (record.size() > kPageSize - 8) {
+    return Status::InvalidArgument("object too large for one page");
+  }
+  const uint16_t len = static_cast<uint16_t>(record.size());
+  while (file_->num_pages() <= oid.page()) {
+    SIGSET_RETURN_IF_ERROR(file_->Allocate().status());
+  }
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  if (page.ReadAt<uint16_t>(0) == 0 &&
+      page.ReadAt<uint16_t>(2) != static_cast<uint16_t>(kPageSize)) {
+    SlottedPage::Init(&page);
+  }
+  SlottedPage sp(&page);
+  if (oid.slot() < sp.num_slots()) {
+    uint16_t cur_len = 0;
+    const uint8_t* cur = sp.Get(oid.slot(), &cur_len);
+    if (cur != nullptr) {
+      if (cur_len != len || std::memcmp(cur, record.data(), len) != 0) {
+        return Status::Corruption("replay mismatch at " + oid.ToString());
+      }
+      return Status::OK();
+    }
+    if (!sp.Resurrect(oid.slot(), record.data(), len)) {
+      return Status::Corruption("cannot resurrect " + oid.ToString());
+    }
+  } else if (oid.slot() == sp.num_slots()) {
+    auto slot = sp.Insert(record.data(), len);
+    if (!slot.has_value() || *slot != oid.slot()) {
+      return Status::Corruption("replay append failed at " + oid.ToString());
+    }
+  } else {
+    return Status::Corruption("replay slot gap at " + oid.ToString());
+  }
+  SIGSET_RETURN_IF_ERROR(file_->Write(oid.page(), page));
+  tail_page_ = file_->num_pages() - 1;
+  return Status::OK();
+}
+
+Status MultiObjectStore::ReplayEnsureAbsent(Oid oid) {
+  if (!oid.valid()) return Status::InvalidArgument("invalid oid");
+  if (oid.page() >= file_->num_pages()) return Status::OK();
+  Page page;
+  SIGSET_RETURN_IF_ERROR(file_->Read(oid.page(), &page));
+  SlottedPage sp(&page);
+  uint16_t len = 0;
+  if (sp.Get(oid.slot(), &len) == nullptr) return Status::OK();
+  sp.Delete(oid.slot());
+  return file_->Write(oid.page(), page);
+}
+
+Status MultiObjectStore::ForEachLive(
+    const std::function<Status(Oid, const std::vector<ElementSet>&)>& fn)
+    const {
+  const PageId num_pages = file_->num_pages();
+  for (PageId p = 0; p < num_pages; ++p) {
+    Page page;
+    SIGSET_RETURN_IF_ERROR(file_->Read(p, &page));
+    SlottedPage sp(&page);
+    const uint16_t slots = sp.num_slots();
+    for (uint16_t s = 0; s < slots; ++s) {
+      uint16_t len = 0;
+      const uint8_t* rec = sp.Get(s, &len);
+      if (rec == nullptr) continue;
+      std::vector<ElementSet> attrs;
+      SIGSET_RETURN_IF_ERROR(Deserialize(rec, len, &attrs));
+      SIGSET_RETURN_IF_ERROR(fn(Oid::FromLocation(p, s), attrs));
+    }
+  }
+  return Status::OK();
+}
+
 StatusOr<MultiSetObject> MultiObjectStore::Get(Oid oid, IoStats* io) const {
   if (!oid.valid()) return Status::InvalidArgument("invalid oid");
   Page page;

@@ -8,6 +8,7 @@
 #ifndef SIGSET_OBJ_MULTI_OBJECT_STORE_H_
 #define SIGSET_OBJ_MULTI_OBJECT_STORE_H_
 
+#include <functional>
 #include <vector>
 
 #include "obj/object.h"
@@ -39,6 +40,27 @@ class MultiObjectStore {
 
   // Removes the object.
   Status Delete(Oid oid);
+
+  // --- Write-ahead-log support (see ObjectStore for semantics) -----------
+
+  // The OID Insert(attr_values) would assign right now.
+  StatusOr<Oid> PeekNextOid(const std::vector<ElementSet>& attr_values) const;
+
+  // The OIDs a sequence of Inserts would assign.
+  StatusOr<std::vector<Oid>> PeekOids(
+      const std::vector<std::vector<ElementSet>>& objects) const;
+
+  // Recovery redo: verify-or-write the object at exactly `oid`.
+  Status ReplayEnsurePresent(Oid oid,
+                             const std::vector<ElementSet>& attr_values);
+
+  // Recovery redo: make `oid` not exist.
+  Status ReplayEnsureAbsent(Oid oid);
+
+  // Scans every live object in physical order.
+  Status ForEachLive(
+      const std::function<Status(Oid, const std::vector<ElementSet>&)>& fn)
+      const;
 
   // Restores the live-object counter after reopening a populated file.
   void RecoverCount(uint64_t num_objects) { num_objects_ = num_objects; }

@@ -8,6 +8,7 @@
 #ifndef SIGSET_OBJ_OBJECT_STORE_H_
 #define SIGSET_OBJ_OBJECT_STORE_H_
 
+#include <functional>
 #include <vector>
 
 #include "obj/object.h"
@@ -34,6 +35,34 @@ class ObjectStore {
   // Removes the object (one page read + one page write).  The OID becomes
   // dangling; access facilities are responsible for their own bookkeeping.
   Status Delete(Oid oid);
+
+  // --- Write-ahead-log support -------------------------------------------
+  // OIDs are physical, so the WAL must log the OID an insert WILL get
+  // before touching the store (log-before-apply); these predict it by
+  // simulating the append on a scratch copy of the tail page.
+
+  // The OID Insert(set_value) would assign right now.
+  StatusOr<Oid> PeekNextOid(const ElementSet& set_value) const;
+
+  // The OIDs a sequence of Inserts would assign (simulates page fills and
+  // fresh-page starts across the whole batch).
+  StatusOr<std::vector<Oid>> PeekOids(
+      const std::vector<ElementSet>& set_values) const;
+
+  // Recovery redo: make the object at exactly `oid` exist with `set_value`.
+  // Verifies if already present (idempotent), appends if the slot is next
+  // in sequence, resurrects if tombstoned (aborted delete); kCorruption if
+  // the slot holds a different record or is out of sequence.
+  Status ReplayEnsurePresent(Oid oid, const ElementSet& set_value);
+
+  // Recovery redo: make `oid` not exist (no-op when it already doesn't).
+  Status ReplayEnsureAbsent(Oid oid);
+
+  // Scans every live object in physical order.  Recovery rebuilds the
+  // access facilities and counters from this — the store is the single
+  // source of truth after replay.
+  Status ForEachLive(
+      const std::function<Status(Oid, const ElementSet&)>& fn) const;
 
   // Restores the live-object counter after reopening a populated file
   // (physical OIDs need no other recovery; the page data is the state).

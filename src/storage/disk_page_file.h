@@ -42,7 +42,7 @@ class OnDiskPageFile : public PageFile {
   const IoStats& stats() const override { return stats_; }
 
   // Flushes OS buffers to stable storage.
-  Status Sync();
+  Status Sync() override;
 
  private:
   OnDiskPageFile(std::string name, int fd, PageId num_pages)

@@ -116,4 +116,14 @@ Status FaultInjectingPageFile::Write(PageId id, const Page& page,
   return fault;
 }
 
+Status FaultInjectingPageFile::Sync() {
+  if (injector_ != nullptr) {
+    size_t torn = 0;
+    Status fault =
+        injector_->OnOp(/*is_write=*/true, name(), kInvalidPage, &torn);
+    if (!fault.ok()) return fault;
+  }
+  return base_->Sync();
+}
+
 }  // namespace sigsetdb

@@ -109,6 +109,10 @@ class FaultInjectingPageFile : public PageFile {
   StatusOr<PageId> Allocate() override;
   Status Read(PageId id, Page* out, IoStats* io) override;
   Status Write(PageId id, const Page& page, IoStats* io) override;
+  // Syncs are scheduled operations too (counted like a write, page id
+  // kInvalidPage), so "crash at the Nth I/O" enumerates fsync points — the
+  // WAL's commit durability is exactly what the crash matrix must cover.
+  Status Sync() override;
 
   IoStats& stats() override { return base_->stats(); }
   const IoStats& stats() const override { return base_->stats(); }

@@ -51,6 +51,12 @@ class PageFile {
     return Write(id, page, &stats());
   }
 
+  // Flushes buffered writes to stable storage.  The in-memory backend is
+  // trivially "stable" (a no-op); OnDiskPageFile fsyncs; the fault-injecting
+  // decorator counts the sync as an operation so crash schedules enumerate
+  // fsync points.  The write-ahead log's commit point is a Sync.
+  virtual Status Sync() { return Status::OK(); }
+
   // Access counters (mutable so callers can Reset between measurements).
   virtual IoStats& stats() = 0;
   virtual const IoStats& stats() const = 0;

@@ -52,6 +52,19 @@ void SlottedPage::Delete(uint16_t slot) {
   page_->WriteAt<uint16_t>(SlotDirOffset(slot) + 2, 0);
 }
 
+bool SlottedPage::Resurrect(uint16_t slot, const uint8_t* data, uint16_t len) {
+  if (slot >= num_slots() || len == 0) return false;
+  if (page_->ReadAt<uint16_t>(SlotDirOffset(slot) + 2) != 0) return false;
+  uint16_t off = page_->ReadAt<uint16_t>(SlotDirOffset(slot));
+  if (off < SlotDirOffset(num_slots()) ||
+      off + static_cast<size_t>(len) > kPageSize) {
+    return false;
+  }
+  std::memcpy(page_->data() + off, data, len);
+  page_->WriteAt<uint16_t>(SlotDirOffset(slot) + 2, len);
+  return true;
+}
+
 bool SlottedPage::UpdateInPlace(uint16_t slot, const uint8_t* data,
                                 uint16_t len) {
   uint16_t old_len = 0;

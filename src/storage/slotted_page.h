@@ -48,6 +48,15 @@ class SlottedPage {
   // compaction rebuild the page).
   void Delete(uint16_t slot);
 
+  // Undoes a Delete: rewrites the tombstoned slot's record at its retained
+  // heap offset (Delete zeroes only the length field, so the offset — and
+  // the heap bytes, which are never reclaimed in place — survive).  `len`
+  // must equal the original record length.  Returns false if the slot is
+  // out of range, not a tombstone, or the retained offset cannot hold
+  // `len` bytes.  WAL recovery uses this to restore the victims of an
+  // aborted delete from their logged preimages.
+  bool Resurrect(uint16_t slot, const uint8_t* data, uint16_t len);
+
   // Replaces the record in `slot` when the new record has length <= the old
   // one (in-place); returns false otherwise.
   bool UpdateInPlace(uint16_t slot, const uint8_t* data, uint16_t len);

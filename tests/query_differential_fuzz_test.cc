@@ -19,6 +19,7 @@
 
 #include <algorithm>
 #include <array>
+#include <functional>
 #include <map>
 #include <memory>
 #include <vector>
@@ -27,6 +28,7 @@
 
 #include "db/set_index.h"
 #include "db/write_batch.h"
+#include "storage/fault_injecting_page_file.h"
 #include "storage/storage_manager.h"
 #include "util/rng.h"
 #include "workload/generator.h"
@@ -291,6 +293,146 @@ TEST_F(QueryDifferentialFuzzTest, FullyTombstonedStoreSkipsEverything) {
   EXPECT_GT(delta.skips(), 0u);
   // And the replicas still agree everywhere.
   CheckAllKinds(&rng, "fully tombstoned");
+}
+
+// The WAL variant of the fuzz: the same four replicas run with
+// enable_wal=true behind a fault injector, the churn is interrupted by
+// crashes (every I/O of the interrupting operation fails, so it is never
+// acknowledged and the oracle never records it), each replica is reopened
+// on its torn storage, and the full differential query battery must still
+// agree with the brute-force oracle over the ACKED operations only —
+// recovery loses nothing acknowledged and invents nothing, at both thread
+// counts and both skip-index settings.
+class WalCrashFuzzTest : public QueryDifferentialFuzzTest {
+ protected:
+  void SetUp() override {
+    struct Config {
+      const char* label;
+      bool skip;
+      size_t threads;
+    };
+    for (const Config& c :
+         {Config{"off-1t", false, 1}, Config{"off-4t", false, 4},
+          Config{"on-1t", true, 1}, Config{"on-4t", true, 4}}) {
+      Replica r;
+      r.label = c.label;
+      r.storage = std::make_unique<StorageManager>();
+      auto injector = std::make_unique<FaultInjector>();
+      r.storage->SetInterceptor(
+          [inj = injector.get()](
+              std::unique_ptr<PageFile> base) -> std::unique_ptr<PageFile> {
+            return std::make_unique<FaultInjectingPageFile>(std::move(base),
+                                                            inj);
+          });
+      SetIndex::Options options;
+      options.maintain_ssf = true;
+      options.maintain_bssf = true;
+      options.maintain_nix = true;
+      options.sig = {120, 3};
+      options.capacity = 4096;
+      options.num_threads = c.threads;
+      options.enable_skip_index = c.skip;
+      options.enable_wal = true;
+      auto index = SetIndex::Create(r.storage.get(), "fuzz", options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      r.index = std::move(*index);
+      replicas_.push_back(std::move(r));
+      injectors_.push_back(std::move(injector));
+      options_.push_back(options);
+    }
+  }
+
+  // Crashes every replica on the first I/O of `op`: the operation fails on
+  // all of them, nothing is acknowledged, and the oracle stays untouched.
+  void CrashEverywhereOn(const std::function<Status(SetIndex*)>& op) {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      injectors_[i]->CrashAt(injectors_[i]->ops());
+      Status status = op(replicas_[i].index.get());
+      EXPECT_FALSE(status.ok())
+          << replicas_[i].label << ": crashed operation reported success";
+      EXPECT_TRUE(injectors_[i]->crashed()) << replicas_[i].label;
+    }
+  }
+
+  void ReopenEverywhere(const char* context) {
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      injectors_[i]->Disarm();
+      replicas_[i].index.reset();
+      auto reopened =
+          SetIndex::Open(replicas_[i].storage.get(), "fuzz", options_[i]);
+      ASSERT_TRUE(reopened.ok())
+          << replicas_[i].label << " " << context << ": "
+          << reopened.status().ToString();
+      replicas_[i].index = std::move(*reopened);
+    }
+  }
+
+  std::vector<std::unique_ptr<FaultInjector>> injectors_;
+  std::vector<SetIndex::Options> options_;
+};
+
+TEST_F(WalCrashFuzzTest, CrashAndReopenMidChurnMatchesOracleOverAckedOps) {
+  Rng rng(20260808);
+  WorkloadConfig wconfig{64, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 21};
+  std::vector<ElementSet> sets = MakeDatabase(wconfig);
+
+  // Phase 1 — acked churn that recovery must carry across the crash: the
+  // initial checkpoint happened inside Create, so ALL of this lives only in
+  // the log until a later checkpoint.
+  for (int i = 0; i < 20; ++i) InsertEverywhere(sets[i]);
+  {
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 4) DeleteEverywhere(live[i]);
+  }
+  CheckAllKinds(&rng, "wal: before first crash");
+
+  // Crash 1 — mid-singleton-insert, then recover from pure log replay.
+  CrashEverywhereOn([&](SetIndex* index) {
+    return index->Insert(sets[20]).status();
+  });
+  ReopenEverywhere("after crash 1");
+  CheckAllKinds(&rng, "wal: recovered from insert crash");
+
+  // Phase 2 — churn on the recovered indexes (slot reuse over tombstones).
+  {
+    WriteBatch batch;
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 3) batch.Delete(live[i]);
+    for (int i = 20; i < 32; ++i) batch.Insert(sets[i]);
+    BatchEverywhere(batch);
+  }
+  CheckAllKinds(&rng, "wal: after post-recovery batch");
+
+  // Crash 2 — mid-batch; the whole group is unacked and must vanish.
+  CrashEverywhereOn([&](SetIndex* index) {
+    WriteBatch batch;
+    std::vector<Oid> live = LiveOids();
+    batch.Delete(live[0]);
+    for (int i = 32; i < 35; ++i) batch.Insert(sets[i]);
+    return index->ApplyBatch(batch).status();
+  });
+  ReopenEverywhere("after crash 2");
+  CheckAllKinds(&rng, "wal: recovered from batch crash");
+
+  // Phase 3 — checkpoint + compact so the log truncates, then crash a
+  // compaction; the committed generation must keep serving.
+  CompactEverywhere();
+  CheckAllKinds(&rng, "wal: after compact");
+  CrashEverywhereOn([](SetIndex* index) { return index->Compact(); });
+  ReopenEverywhere("after crash 3");
+  CheckAllKinds(&rng, "wal: recovered from compact crash");
+
+  // Phase 4 — the recovered, twice-crashed replicas still take churn and
+  // still agree on OID assignment everywhere.
+  {
+    WriteBatch batch;
+    std::vector<Oid> live = LiveOids();
+    for (size_t i = 0; i < live.size(); i += 5) batch.Delete(live[i]);
+    for (int i = 35; i < 44; ++i) batch.Insert(sets[i]);
+    BatchEverywhere(batch);
+  }
+  CheckAllKinds(&rng, "wal: final churn");
 }
 
 }  // namespace

@@ -10,6 +10,7 @@
 #   tools/run_sanitizers.sh obs        # metrics/trace concurrency under TSan
 #   tools/run_sanitizers.sh batch      # batched write/delete suites under TSan
 #   tools/run_sanitizers.sh kernels    # SIMD kernel + skip-index suites
+#   tools/run_sanitizers.sh wal        # WAL group commit (TSan) + replay (ASan)
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -89,13 +90,23 @@ case "${1:-all}" in
     SIGSET_DISABLE_AVX2=1 run_one thread \
       -R 'kernels_test|query_differential_fuzz|model_vs_measured' "$@"
     ;;
+  wal)
+    # Group commit is a leader/follower protocol over a mutex and two
+    # condvars with concurrent committers — TSan vets the handoff (the
+    # crash-fuzz suite also drives 4-thread replicas through it).  Replay
+    # parses raw frame bytes from torn, bit-flipped, and truncated logs —
+    # ASan vets the scanner's bounds.
+    shift
+    run_one thread -R 'wal_log|crash_recovery|query_differential_fuzz' "$@"
+    run_one address -R 'wal_log|crash_recovery|query_differential_fuzz' "$@"
+    ;;
   all)
     run_one thread
     run_one address
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal]" \
       "[ctest args...]" >&2
     exit 1
     ;;
