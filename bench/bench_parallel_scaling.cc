@@ -10,12 +10,17 @@
 // on a single-core host the parallel runs show pool overhead, not gains,
 // and the printed hardware_concurrency puts the numbers in context.
 
+#include <atomic>
 #include <chrono>
 #include <cstdio>
+#include <deque>
+#include <memory>
 #include <thread>
 #include <vector>
 
 #include "bench_util.h"
+#include "db/snapshot.h"
+#include "db/synchronized_set_index.h"
 #include "util/thread_pool.h"
 
 namespace sigsetdb {
@@ -140,6 +145,117 @@ void BenchSkipIndex(BenchDb& db, QueryKind kind, int64_t dq, int trials,
   db.bssf().set_skip_index_enabled(false);
 }
 
+// Readers during sustained churn: R reader threads query continuously for a
+// fixed wall-clock window while one writer thread inserts/deletes the whole
+// time.  Run twice over identical data: snapshots OFF (readers take the
+// index's shared lock and stall behind every mutation) and snapshots ON
+// (readers pin an epoch and never touch the lock).  Reported: reader
+// queries/sec, writer ops/sec, and CoW page copies — the price paid for
+// lock-free reads.  The throughput ratio is hardware-dependent (a
+// single-core host time-slices all threads); the target regime is
+// multi-core, where pinned readers should clear >=3x the mutex baseline.
+void BenchSnapshotChurn(int readers, int duration_ms) {
+  std::printf("\nreaders during sustained churn: %d readers, %d ms window\n",
+              readers, duration_ms);
+  std::printf("%-12s %14s %14s %12s\n", "mode", "queries/s", "writer-ops/s",
+              "cow-copies");
+
+  constexpr int64_t kN = 2000;
+  constexpr uint64_t kV = 2000;
+  constexpr uint64_t kDtChurn = 8;
+  double baseline_qps = 0;
+
+  for (bool snapshots : {false, true}) {
+    StorageManager storage;
+    SetIndex::Options options;
+    options.maintain_ssf = true;
+    options.maintain_bssf = true;
+    options.maintain_nix = true;
+    options.sig = SignatureConfig{250, 2};
+    options.capacity = static_cast<uint64_t>(kN) * 4;
+    options.domain_estimate = static_cast<int64_t>(kV);
+    options.enable_snapshots = snapshots;
+    auto index_or = SynchronizedSetIndex::Create(&storage, "churn", options);
+    CheckOk(index_or.status(), "create churn index");
+    SynchronizedSetIndex* index = index_or->get();
+
+    Rng load_rng(19930526);
+    std::deque<Oid> live;
+    for (int64_t i = 0; i < kN; ++i) {
+      auto oid = index->Insert(load_rng.SampleWithoutReplacement(kV, kDtChurn));
+      CheckOk(oid.status(), "load insert");
+      live.push_back(*oid);
+    }
+
+    std::atomic<bool> done{false};
+    std::atomic<uint64_t> reader_queries{0};
+    std::atomic<uint64_t> writer_ops{0};
+
+    std::vector<std::thread> threads;
+    threads.emplace_back([&] {  // writer: steady insert+delete churn
+      Rng rng(1);
+      while (!done.load(std::memory_order_acquire)) {
+        auto oid = index->Insert(rng.SampleWithoutReplacement(kV, kDtChurn));
+        CheckOk(oid.status(), "churn insert");
+        live.push_back(*oid);  // only the writer thread touches `live`
+        CheckOk(index->Delete(live.front()), "churn delete");
+        live.pop_front();
+        writer_ops.fetch_add(2, std::memory_order_relaxed);
+        std::this_thread::sleep_for(std::chrono::microseconds(100));
+      }
+    });
+    for (int r = 0; r < readers; ++r) {
+      threads.emplace_back([&, r] {
+        Rng rng(static_cast<uint64_t>(100 + r));
+        uint64_t local = 0;
+        std::unique_ptr<Snapshot> snap;
+        while (!done.load(std::memory_order_acquire)) {
+          ElementSet query = rng.SampleWithoutReplacement(kV, 2);
+          if (snapshots) {
+            if (snap == nullptr || local % 32 == 0) {
+              auto s = index->GetSnapshot();
+              CheckOk(s.status(), "pin snapshot");
+              snap = std::move(*s);
+            }
+            CheckOk(
+                snap->Query(QueryKind::kSuperset, query).status(),
+                "snapshot query");
+          } else {
+            CheckOk(index->Query(QueryKind::kSuperset, query).status(),
+                    "live query");
+          }
+          ++local;
+        }
+        reader_queries.fetch_add(local, std::memory_order_relaxed);
+      });
+    }
+
+    std::this_thread::sleep_for(std::chrono::milliseconds(duration_ms));
+    done.store(true, std::memory_order_release);
+    for (std::thread& t : threads) t.join();
+
+    const double secs = duration_ms / 1000.0;
+    const double qps = static_cast<double>(reader_queries.load()) / secs;
+    const double wps = static_cast<double>(writer_ops.load()) / secs;
+    const uint64_t cows = storage.TotalStats().cows();
+    std::printf("%-12s %14.0f %14.0f %12llu\n",
+                snapshots ? "snapshot" : "mutex", qps, wps,
+                static_cast<unsigned long long>(cows));
+    EmitBenchRecord("snapshot_churn",
+                    {{"snapshots", snapshots ? 1.0 : 0.0},
+                     {"readers", static_cast<double>(readers)},
+                     {"reader_qps", qps},
+                     {"writer_ops_per_sec", wps},
+                     {"cow_copies", static_cast<double>(cows)}},
+                    MeasuredCost{0, 0, 0, static_cast<double>(duration_ms)});
+    if (!snapshots) {
+      baseline_qps = qps;
+    } else if (baseline_qps > 0) {
+      std::printf("%-12s %13.2fx\n", "ratio", qps / baseline_qps);
+    }
+  }
+}
+
 void Run() {
   PrintBenchHeader("parallel-scaling",
                    "multi-threaded BSSF scan + resolution speedup");
@@ -185,6 +301,8 @@ void Run() {
                  /*seed=*/77);
   BenchSkipIndex(db, QueryKind::kSubset, /*dq=*/60, /*trials=*/20,
                  /*seed=*/78);
+
+  BenchSnapshotChurn(/*readers=*/4, /*duration_ms=*/1500);
 
   std::printf(
       "\npage-access totals are identical at every thread count (verified "

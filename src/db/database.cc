@@ -3,8 +3,12 @@
 #include <algorithm>
 #include <cmath>
 #include <cstring>
+#include <utility>
 
+#include "db/epoch.h"
+#include "db/snapshot.h"
 #include "obs/explain.h"
+#include "storage/versioned_page_file.h"
 
 namespace sigsetdb {
 
@@ -64,6 +68,107 @@ Database::Database(StorageManager* storage, Options options)
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics_ = owned_metrics_.get();
   }
+  if (options_.enable_snapshots) {
+    epochs_ = std::make_unique<EpochManager>();
+  }
+}
+
+Database::~Database() {
+  // Stop the reclaimer before the wrappers it calls into are destroyed.
+  // Pinned snapshots must already be gone (documented contract).
+  if (epochs_ != nullptr) epochs_->Shutdown();
+}
+
+StatusOr<PageFile*> Database::OpenVersioned(const std::string& file_name,
+                                            VersionedPageFile** slot) {
+  SIGSET_ASSIGN_OR_RETURN(PageFile * base, storage_->OpenOrCreate(file_name));
+  if (epochs_ == nullptr) {
+    if (slot != nullptr) *slot = nullptr;
+    return base;
+  }
+  SIGSET_ASSIGN_OR_RETURN(
+      std::unique_ptr<VersionedPageFile> wrapper,
+      VersionedPageFile::Wrap(base, epochs_->published_cell()));
+  VersionedPageFile* raw = wrapper.get();
+  epochs_->RegisterReclaimer(
+      [raw](uint64_t oldest_pinned) { return raw->Reclaim(oldest_pinned); });
+  versioned_all_.push_back(std::move(wrapper));
+  if (slot != nullptr) *slot = raw;
+  return raw;
+}
+
+Status Database::FlushCurrentVersions() {
+  // Only the CURRENT slots: a superseded wrapper (from an earlier
+  // generation) flushing over a shared base file would resurrect stale
+  // heads.
+  if (v_objects_ != nullptr) SIGSET_RETURN_IF_ERROR(v_objects_->FlushToBase());
+  for (AttributeState& state : attrs_) {
+    for (VersionedPageFile* v :
+         {state.v_ssf_sig, state.v_ssf_oid, state.v_bssf_slices,
+          state.v_bssf_oid, state.v_nix}) {
+      if (v != nullptr) SIGSET_RETURN_IF_ERROR(v->FlushToBase());
+    }
+  }
+  return Status::OK();
+}
+
+void Database::PublishSnapshot() {
+  if (epochs_ == nullptr) return;
+  auto snap = std::make_shared<SnapshotState>();
+  snap->epoch = epochs_->write_epoch();
+  snap->generation = generation_;
+  snap->num_objects = num_objects();
+  snap->num_attributes = static_cast<uint16_t>(attrs_.size());
+  snap->objects = v_objects_;
+  for (size_t i = 0; i < attrs_.size(); ++i) {
+    const AttributeOptions& spec = options_.attributes[i];
+    const AttributeState& state = attrs_[i];
+    SnapshotAttributeState attr;
+    attr.name = spec.name;
+    attr.maintain_ssf = state.ssf != nullptr;
+    attr.maintain_bssf = state.bssf != nullptr;
+    attr.maintain_nix = state.nix != nullptr;
+    attr.sig = spec.sig;
+    attr.nix_fanout = spec.nix_fanout;
+    attr.capacity = options_.capacity;
+    attr.domain_estimate = DomainEstimate(i);
+    attr.total_elements = state.total_elements;
+    if (state.ssf != nullptr) {
+      attr.num_signatures = state.ssf->num_signatures();
+      attr.num_live = state.ssf->num_live();
+    } else if (state.bssf != nullptr) {
+      attr.num_signatures = state.bssf->num_signatures();
+      attr.num_live = state.bssf->num_live();
+    }
+    if (state.nix != nullptr) {
+      const BTree& tree = state.nix->tree();
+      attr.nix_root = tree.root();
+      attr.nix_height = tree.height();
+      attr.nix_leaves = tree.leaf_pages();
+      attr.nix_internal = tree.internal_pages();
+      attr.nix_overflow = tree.overflow_pages();
+    }
+    attr.ssf_sig = state.v_ssf_sig;
+    attr.ssf_oid = state.v_ssf_oid;
+    attr.bssf_slices = state.v_bssf_slices;
+    attr.bssf_oid = state.v_bssf_oid;
+    attr.nix = state.v_nix;
+    snap->attrs.push_back(std::move(attr));
+  }
+  epochs_->Publish(std::move(snap));
+}
+
+StatusOr<std::unique_ptr<DatabaseSnapshot>> Database::GetSnapshot() {
+  if (!poison_.ok()) return poison_;
+  if (epochs_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshots disabled (Options::enable_snapshots)");
+  }
+  return DatabaseSnapshot::Create(epochs_->Pin(), metrics_);
+}
+
+uint64_t Database::current_epoch() const {
+  return epochs_ != nullptr ? epochs_->published() : 0;
 }
 
 Status Database::ValidateOptions(const Options& options) {
@@ -101,10 +206,12 @@ Status Database::InitFacilities(const std::string& name,
     if (spec.maintain_ssf) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * sig_file,
-          storage_->OpenOrCreate(GenName(prefix + ".sig", generation_)));
+          OpenVersioned(GenName(prefix + ".sig", generation_),
+                        &state.v_ssf_sig));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid_file,
-          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", generation_)));
+          OpenVersioned(GenName(prefix + ".sig.oid", generation_),
+                        &state.v_ssf_oid));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(state.ssf, SequentialSignatureFile::Create(
                                                spec.sig, sig_file, oid_file));
@@ -117,11 +224,12 @@ Status Database::InitFacilities(const std::string& name,
     if (spec.maintain_bssf) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * slice_file,
-          storage_->OpenOrCreate(GenName(prefix + ".slices", generation_)));
+          OpenVersioned(GenName(prefix + ".slices", generation_),
+                        &state.v_bssf_slices));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid_file,
-          storage_->OpenOrCreate(
-              GenName(prefix + ".slices.oid", generation_)));
+          OpenVersioned(GenName(prefix + ".slices.oid", generation_),
+                        &state.v_bssf_oid));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(
             state.bssf,
@@ -137,7 +245,7 @@ Status Database::InitFacilities(const std::string& name,
     }
     if (spec.maintain_nix) {
       SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
-                              storage_->OpenOrCreate(prefix + ".nix"));
+                              OpenVersioned(prefix + ".nix", &state.v_nix));
       if (recovered == nullptr) {
         SIGSET_ASSIGN_OR_RETURN(
             state.nix, NestedIndex::Create(nix_file, spec.nix_fanout));
@@ -184,8 +292,9 @@ StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(db->sketch_file_,
                           storage->OpenOrCreate(name + ".sketch"));
-  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
-                          storage->OpenOrCreate(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(
+      PageFile * objects,
+      db->OpenVersioned(name + ".objects", &db->v_objects_));
   db->store_ = std::make_unique<MultiObjectStore>(
       objects, static_cast<uint16_t>(options.attributes.size()));
   SIGSET_RETURN_IF_ERROR(db->InitFacilities(name, nullptr));
@@ -199,6 +308,7 @@ StatusOr<std::unique_ptr<Database>> Database::Create(StorageManager* storage,
     // still reopens: the manifest anchors replay at lsn 0.
     SIGSET_RETURN_IF_ERROR(db->Checkpoint());
   }
+  db->PublishSnapshot();  // epoch 1: the empty database
   return db;
 }
 
@@ -231,8 +341,9 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
   }
   SIGSET_ASSIGN_OR_RETURN(uint64_t objects,
                           Manifest::Get(values, kKeyObjects));
-  SIGSET_ASSIGN_OR_RETURN(PageFile * object_file,
-                          storage->OpenOrCreate(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(
+      PageFile * object_file,
+      db->OpenVersioned(name + ".objects", &db->v_objects_));
   db->store_ = std::make_unique<MultiObjectStore>(
       object_file, static_cast<uint16_t>(options.attributes.size()));
   db->store_->RecoverCount(objects);
@@ -281,6 +392,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
       // log, so replaying twice equals replaying once.  The next explicit
       // Checkpoint() or Compact() truncates the log.
       object_file->stats().Reset();
+      db->PublishSnapshot();
       return db;
     }
   }
@@ -298,6 +410,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
       }
     }
   }
+  db->PublishSnapshot();
   return db;
 }
 
@@ -347,6 +460,10 @@ Status Database::Checkpoint() {
     SIGSET_RETURN_IF_ERROR(
         sketch_file_->Write(static_cast<PageId>(i), page));
   }
+  // With snapshots on, writes land in in-memory version chains; push the
+  // newest versions down to the base files before the manifest points at
+  // them (the manifest must never be ahead of the data it describes).
+  SIGSET_RETURN_IF_ERROR(FlushCurrentVersions());
   SIGSET_RETURN_IF_ERROR(Manifest::Write(manifest_file_, values));
   // Manifest first, then log truncation: a crash between the two leaves
   // records <= wal_lsn in the log, and replay filters them out by lsn.
@@ -403,6 +520,7 @@ StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
       state.total_elements += attr_values[i].size();
       for (uint64_t element : attr_values[i]) state.domain_sketch.Add(element);
     }
+    PublishSnapshot();
     return oid;
   }
   // Log-before-apply: predict the physical OID, commit the record, then
@@ -414,6 +532,7 @@ StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
       wal_->AppendAndCommit(LogRecord::SingleInsert(predicted, attr_values)));
   Status applied = ApplyInsert(attr_values, predicted);
   if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  PublishSnapshot();
   return predicted;
 }
 
@@ -444,7 +563,11 @@ Status Database::ApplyDelete(Oid oid, const MultiSetObject& obj) {
 Status Database::Delete(Oid oid) {
   if (!poison_.ok()) return poison_;
   SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
-  if (wal_ == nullptr) return ApplyDelete(oid, obj);
+  if (wal_ == nullptr) {
+    SIGSET_RETURN_IF_ERROR(ApplyDelete(oid, obj));
+    PublishSnapshot();
+    return Status::OK();
+  }
   // The record carries the victim's preimage (all attribute sets) so an
   // aborted delete can be resurrected at recovery.
   SIGSET_ASSIGN_OR_RETURN(
@@ -452,6 +575,7 @@ Status Database::Delete(Oid oid) {
       wal_->AppendAndCommit(LogRecord::SingleDelete(oid, obj.attrs)));
   Status applied = ApplyDelete(oid, obj);
   if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -521,6 +645,7 @@ StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
     if (wal_ != nullptr) return AbortAndPoison(batch_lsn, applied);
     return applied;
   }
+  PublishSnapshot();
   return new_oids;
 }
 
@@ -597,6 +722,12 @@ Status Database::Compact() {
   struct Replacement {
     std::unique_ptr<SequentialSignatureFile> ssf;
     std::unique_ptr<BitSlicedSignatureFile> bssf;
+    // Next-generation wrappers stay in these local slots until the swap
+    // succeeds, so a failed CompactTo leaves the current slots intact.
+    VersionedPageFile* v_ssf_sig = nullptr;
+    VersionedPageFile* v_ssf_oid = nullptr;
+    VersionedPageFile* v_bssf_slices = nullptr;
+    VersionedPageFile* v_bssf_oid = nullptr;
   };
   std::vector<Replacement> replacements(attrs_.size());
   for (size_t i = 0; i < attrs_.size(); ++i) {
@@ -607,10 +738,12 @@ Status Database::Compact() {
     if (state.ssf != nullptr) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * sig,
-          storage_->OpenOrCreate(GenName(prefix + ".sig", next_gen)));
+          OpenVersioned(GenName(prefix + ".sig", next_gen),
+                        &replacements[i].v_ssf_sig));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", next_gen)));
+          OpenVersioned(GenName(prefix + ".sig.oid", next_gen),
+                        &replacements[i].v_ssf_oid));
       SIGSET_ASSIGN_OR_RETURN(ssf_live, state.ssf->CompactTo(sig, oid));
       SIGSET_ASSIGN_OR_RETURN(replacements[i].ssf,
                               SequentialSignatureFile::CreateFromExisting(
@@ -619,10 +752,12 @@ Status Database::Compact() {
     if (state.bssf != nullptr) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * slices,
-          storage_->OpenOrCreate(GenName(prefix + ".slices", next_gen)));
+          OpenVersioned(GenName(prefix + ".slices", next_gen),
+                        &replacements[i].v_bssf_slices));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage_->OpenOrCreate(GenName(prefix + ".slices.oid", next_gen)));
+          OpenVersioned(GenName(prefix + ".slices.oid", next_gen),
+                        &replacements[i].v_bssf_oid));
       SIGSET_ASSIGN_OR_RETURN(bssf_live, state.bssf->CompactTo(slices, oid));
       SIGSET_ASSIGN_OR_RETURN(replacements[i].bssf,
                               BitSlicedSignatureFile::CreateFromExisting(
@@ -646,12 +781,20 @@ Status Database::Compact() {
   for (size_t i = 0; i < attrs_.size(); ++i) {
     if (replacements[i].ssf != nullptr) {
       attrs_[i].ssf = std::move(replacements[i].ssf);
+      attrs_[i].v_ssf_sig = replacements[i].v_ssf_sig;
+      attrs_[i].v_ssf_oid = replacements[i].v_ssf_oid;
     }
     if (replacements[i].bssf != nullptr) {
       attrs_[i].bssf = std::move(replacements[i].bssf);
+      attrs_[i].v_bssf_slices = replacements[i].v_bssf_slices;
+      attrs_[i].v_bssf_oid = replacements[i].v_bssf_oid;
     }
   }
   generation_ = next_gen;
+  // Publish the new generation before checkpointing: pinned readers keep
+  // the old generation's wrappers (still alive in versioned_all_); new
+  // snapshots see the compacted files.
+  PublishSnapshot();
   return Checkpoint();
 }
 
@@ -739,10 +882,12 @@ Status Database::RebuildFacilitiesFromStore() {
       }
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * sig,
-          storage_->OpenOrCreate(GenName(prefix + ".sig", generation_)));
+          OpenVersioned(GenName(prefix + ".sig", generation_),
+                        &state.v_ssf_sig));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage_->OpenOrCreate(GenName(prefix + ".sig.oid", generation_)));
+          OpenVersioned(GenName(prefix + ".sig.oid", generation_),
+                        &state.v_ssf_oid));
       SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(sig, oid));
       if (packed != live) {
         return Status::Internal("ssf rebuild count mismatch");
@@ -764,11 +909,12 @@ Status Database::RebuildFacilitiesFromStore() {
       }
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * slices,
-          storage_->OpenOrCreate(GenName(prefix + ".slices", generation_)));
+          OpenVersioned(GenName(prefix + ".slices", generation_),
+                        &state.v_bssf_slices));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage_->OpenOrCreate(
-              GenName(prefix + ".slices.oid", generation_)));
+          OpenVersioned(GenName(prefix + ".slices.oid", generation_),
+                        &state.v_bssf_oid));
       SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(slices, oid));
       if (packed != live) {
         return Status::Internal("bssf rebuild count mismatch");
@@ -782,7 +928,7 @@ Status Database::RebuildFacilitiesFromStore() {
       // Reset to an empty tree (orphaning whatever pages the crashed run
       // left) and bulk-build from the live scan.
       SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
-                              storage_->OpenOrCreate(prefix + ".nix"));
+                              OpenVersioned(prefix + ".nix", &state.v_nix));
       SIGSET_ASSIGN_OR_RETURN(
           state.nix, NestedIndex::CreateResetting(nix_file, spec.nix_fanout));
       SIGSET_RETURN_IF_ERROR(state.nix->BulkBuild(oids, per_attr_sets[i]));

@@ -38,6 +38,10 @@
 
 namespace sigsetdb {
 
+class DatabaseSnapshot;
+class EpochManager;
+class VersionedPageFile;
+
 // One conjunct: <attribute> <operator> <query set>.
 struct SetPredicate {
   std::string attribute;
@@ -99,6 +103,10 @@ class Database {
     // Group-commit window in microseconds (0 = sync immediately; concurrent
     // commits still coalesce opportunistically).
     uint32_t group_commit_window_us = 0;
+    // Epoch-based snapshot reads (see SetIndex::Options::enable_snapshots):
+    // GetSnapshot() returns a pinned read-only view evaluating conjunctions
+    // concurrently with churn.  Off by default for paper-pinned counts.
+    bool enable_snapshots = false;
   };
 
   // Creates the class storage under the file prefix `class_name`.
@@ -172,6 +180,20 @@ class Database {
     return options_.attributes[i].name;
   }
 
+  // --- snapshot reads (Options::enable_snapshots) ------------------------
+
+  // Pins the published epoch and materializes a read-only conjunction view
+  // (one reader thread per snapshot; must not outlive this database).
+  StatusOr<std::unique_ptr<DatabaseSnapshot>> GetSnapshot();
+
+  // The last published epoch (0 when snapshots are disabled).
+  uint64_t current_epoch() const;
+
+  // The epoch manager (nullptr unless enable_snapshots); for tests.
+  EpochManager* epochs() { return epochs_.get(); }
+
+  ~Database();
+
  private:
   // Everything maintained for one attribute.
   struct AttributeState {
@@ -180,6 +202,13 @@ class Database {
     std::unique_ptr<NestedIndex> nix;
     uint64_t total_elements = 0;  // for the live Dt estimate
     HyperLogLog domain_sketch{12};  // for the live V estimate
+    // CoW wrappers over this attribute's files (null unless
+    // enable_snapshots; owned by versioned_all_).
+    VersionedPageFile* v_ssf_sig = nullptr;
+    VersionedPageFile* v_ssf_oid = nullptr;
+    VersionedPageFile* v_bssf_slices = nullptr;
+    VersionedPageFile* v_bssf_oid = nullptr;
+    VersionedPageFile* v_nix = nullptr;
   };
 
   Database(StorageManager* storage, Options options);
@@ -239,6 +268,13 @@ class Database {
   Status ReplayLog(const std::vector<LogRecord>& records);
   Status RebuildFacilitiesFromStore();
 
+  // Snapshot plumbing (mirrors SetIndex): open-and-maybe-wrap, flush the
+  // current wrappers at Checkpoint, publish after successful mutations.
+  StatusOr<PageFile*> OpenVersioned(const std::string& file_name,
+                                    VersionedPageFile** slot);
+  Status FlushCurrentVersions();
+  void PublishSnapshot();
+
   StorageManager* storage_;
   Options options_;
   std::string name_;
@@ -247,6 +283,11 @@ class Database {
   ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
+  // Snapshot machinery (null/empty unless enable_snapshots); the wrapper
+  // pool owns all CoW wrappers and must outlive the facilities below.
+  std::unique_ptr<EpochManager> epochs_;
+  std::vector<std::unique_ptr<VersionedPageFile>> versioned_all_;
+  VersionedPageFile* v_objects_ = nullptr;
   std::unique_ptr<MultiObjectStore> store_;
   std::unique_ptr<WriteAheadLog> wal_;
   // Set by AbortAndPoison; every mutation and query returns it once set.

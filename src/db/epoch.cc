@@ -1,0 +1,119 @@
+#include "db/epoch.h"
+
+#include <utility>
+
+namespace sigsetdb {
+
+EpochPin& EpochPin::operator=(EpochPin&& other) noexcept {
+  if (this != &other) {
+    Release();
+    manager_ = other.manager_;
+    epoch_ = other.epoch_;
+    state_ = std::move(other.state_);
+    other.manager_ = nullptr;
+    other.state_.reset();
+  }
+  return *this;
+}
+
+void EpochPin::Release() {
+  if (manager_ != nullptr) {
+    manager_->Unpin(epoch_);
+    manager_ = nullptr;
+  }
+  state_.reset();
+}
+
+EpochManager::EpochManager() {
+  reclaimer_ = std::thread([this] { ReclaimerLoop(); });
+}
+
+EpochManager::~EpochManager() { Shutdown(); }
+
+void EpochManager::Shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (stop_) return;
+    stop_ = true;
+  }
+  cv_.notify_all();
+  if (reclaimer_.joinable()) reclaimer_.join();
+}
+
+void EpochManager::Publish(std::shared_ptr<const SnapshotState> state) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    published_epoch_.store(published_epoch_.load(std::memory_order_relaxed) + 1,
+                           std::memory_order_release);
+    state_ = std::move(state);
+    work_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+EpochPin EpochManager::Pin() {
+  std::lock_guard<std::mutex> lock(mu_);
+  const uint64_t epoch = published_epoch_.load(std::memory_order_relaxed);
+  ++pins_[epoch];
+  return EpochPin(this, epoch, state_);
+}
+
+void EpochManager::Unpin(uint64_t epoch) {
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    auto it = pins_.find(epoch);
+    if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+    work_pending_ = true;
+  }
+  cv_.notify_all();
+}
+
+uint64_t EpochManager::OldestPinned() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (pins_.empty()) return published_epoch_.load(std::memory_order_relaxed);
+  return pins_.begin()->first;
+}
+
+void EpochManager::RegisterReclaimer(ReclaimFn fn) {
+  std::lock_guard<std::mutex> lock(mu_);
+  reclaimers_.push_back(std::move(fn));
+}
+
+uint64_t EpochManager::pinned_count() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  uint64_t total = 0;
+  for (const auto& [epoch, count] : pins_) total += count;
+  return total;
+}
+
+uint64_t EpochManager::RunReclaimers(uint64_t oldest) {
+  std::vector<ReclaimFn> fns;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    fns = reclaimers_;
+  }
+  uint64_t freed = 0;
+  for (const ReclaimFn& fn : fns) freed += fn(oldest);
+  total_reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  return freed;
+}
+
+uint64_t EpochManager::ReclaimNow() { return RunReclaimers(OldestPinned()); }
+
+void EpochManager::ReclaimerLoop() {
+  for (;;) {
+    uint64_t oldest;
+    {
+      std::unique_lock<std::mutex> lock(mu_);
+      cv_.wait(lock, [this] { return stop_ || work_pending_; });
+      if (stop_) return;
+      work_pending_ = false;
+      oldest = pins_.empty()
+                   ? published_epoch_.load(std::memory_order_relaxed)
+                   : pins_.begin()->first;
+    }
+    RunReclaimers(oldest);
+  }
+}
+
+}  // namespace sigsetdb

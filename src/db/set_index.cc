@@ -2,8 +2,12 @@
 
 #include <cmath>
 #include <cstring>
+#include <utility>
 
+#include "db/epoch.h"
+#include "db/snapshot.h"
 #include "obs/explain.h"
+#include "storage/versioned_page_file.h"
 #include "util/failpoint.h"
 
 namespace sigsetdb {
@@ -20,6 +24,95 @@ SetIndex::SetIndex(StorageManager* storage, Options options)
     owned_metrics_ = std::make_unique<MetricsRegistry>();
     metrics_ = owned_metrics_.get();
   }
+  if (options_.enable_snapshots) {
+    epochs_ = std::make_unique<EpochManager>();
+  }
+}
+
+SetIndex::~SetIndex() {
+  // Stop the reclaimer before the wrappers it calls into are destroyed.
+  // Pinned snapshots must already be gone (documented contract).
+  if (epochs_ != nullptr) epochs_->Shutdown();
+}
+
+StatusOr<PageFile*> SetIndex::OpenVersioned(const std::string& file_name,
+                                            VersionedPageFile** slot) {
+  SIGSET_ASSIGN_OR_RETURN(PageFile * base, storage_->OpenOrCreate(file_name));
+  if (epochs_ == nullptr) {
+    if (slot != nullptr) *slot = nullptr;
+    return base;
+  }
+  SIGSET_ASSIGN_OR_RETURN(
+      std::unique_ptr<VersionedPageFile> wrapper,
+      VersionedPageFile::Wrap(base, epochs_->published_cell()));
+  VersionedPageFile* raw = wrapper.get();
+  epochs_->RegisterReclaimer(
+      [raw](uint64_t oldest_pinned) { return raw->Reclaim(oldest_pinned); });
+  versioned_all_.push_back(std::move(wrapper));
+  if (slot != nullptr) *slot = raw;
+  return raw;
+}
+
+Status SetIndex::FlushCurrentVersions() {
+  for (VersionedPageFile* v : {v_objects_, v_ssf_sig_, v_ssf_oid_,
+                               v_bssf_slices_, v_bssf_oid_, v_nix_}) {
+    if (v != nullptr) SIGSET_RETURN_IF_ERROR(v->FlushToBase());
+  }
+  return Status::OK();
+}
+
+void SetIndex::PublishSnapshot() {
+  if (epochs_ == nullptr) return;
+  auto state = std::make_shared<SnapshotState>();
+  state->epoch = epochs_->write_epoch();
+  state->generation = generation_;
+  state->num_objects = num_objects();
+  state->num_attributes = 1;
+  state->objects = v_objects_;
+  SnapshotAttributeState attr;
+  attr.maintain_ssf = ssf_ != nullptr;
+  attr.maintain_bssf = bssf_ != nullptr;
+  attr.maintain_nix = nix_ != nullptr;
+  attr.sig = options_.sig;
+  attr.nix_fanout = options_.nix_fanout;
+  attr.capacity = options_.capacity;
+  attr.domain_estimate = DomainEstimate();
+  attr.total_elements = total_elements_;
+  if (ssf_ != nullptr) {
+    attr.num_signatures = ssf_->num_signatures();
+    attr.num_live = ssf_->num_live();
+  } else if (bssf_ != nullptr) {
+    attr.num_signatures = bssf_->num_signatures();
+    attr.num_live = bssf_->num_live();
+  }
+  if (nix_ != nullptr) {
+    const BTree& tree = nix_->tree();
+    attr.nix_root = tree.root();
+    attr.nix_height = tree.height();
+    attr.nix_leaves = tree.leaf_pages();
+    attr.nix_internal = tree.internal_pages();
+    attr.nix_overflow = tree.overflow_pages();
+  }
+  attr.ssf_sig = v_ssf_sig_;
+  attr.ssf_oid = v_ssf_oid_;
+  attr.bssf_slices = v_bssf_slices_;
+  attr.bssf_oid = v_bssf_oid_;
+  attr.nix = v_nix_;
+  state->attrs.push_back(std::move(attr));
+  epochs_->Publish(std::move(state));
+}
+
+StatusOr<std::unique_ptr<Snapshot>> SetIndex::GetSnapshot() {
+  if (!poison_.ok()) return poison_;
+  if (epochs_ == nullptr) {
+    return Status::FailedPrecondition(
+        "snapshots disabled (Options::enable_snapshots)");
+  }
+  return Snapshot::Create(epochs_->Pin(), metrics_);
+}
+
+uint64_t SetIndex::current_epoch() const {
+  return epochs_ != nullptr ? epochs_->published() : 0;
 }
 
 StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
@@ -35,23 +128,29 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
                           storage->OpenOrCreate(name + ".manifest"));
   SIGSET_ASSIGN_OR_RETURN(index->sketch_file_,
                           storage->OpenOrCreate(name + ".sketch"));
-  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
-                          storage->OpenOrCreate(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(
+      PageFile * objects,
+      index->OpenVersioned(name + ".objects", &index->v_objects_));
   index->store_ = std::make_unique<ObjectStore>(objects);
   if (options.maintain_ssf) {
-    SIGSET_ASSIGN_OR_RETURN(PageFile * sig,
-                            storage->OpenOrCreate(name + ".ssf.sig"));
-    SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
-                            storage->OpenOrCreate(name + ".ssf.oid"));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * sig,
+        index->OpenVersioned(name + ".ssf.sig", &index->v_ssf_sig_));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        index->OpenVersioned(name + ".ssf.oid", &index->v_ssf_oid_));
     SIGSET_ASSIGN_OR_RETURN(
         index->ssf_, SequentialSignatureFile::Create(options.sig, sig, oid));
     index->ssf_->set_skip_index_enabled(options.enable_skip_index);
   }
   if (options.maintain_bssf) {
-    SIGSET_ASSIGN_OR_RETURN(PageFile * slices,
-                            storage->OpenOrCreate(name + ".bssf.slices"));
-    SIGSET_ASSIGN_OR_RETURN(PageFile * oid,
-                            storage->OpenOrCreate(name + ".bssf.oid"));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * slices,
+        index->OpenVersioned(name + ".bssf.slices",
+                             &index->v_bssf_slices_));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * oid,
+        index->OpenVersioned(name + ".bssf.oid", &index->v_bssf_oid_));
     SIGSET_ASSIGN_OR_RETURN(
         index->bssf_,
         BitSlicedSignatureFile::Create(options.sig, options.capacity, slices,
@@ -59,8 +158,9 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
     index->bssf_->set_skip_index_enabled(options.enable_skip_index);
   }
   if (options.maintain_nix) {
-    SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
-                            storage->OpenOrCreate(name + ".nix"));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * nix_file,
+        index->OpenVersioned(name + ".nix", &index->v_nix_));
     SIGSET_ASSIGN_OR_RETURN(index->nix_,
                             NestedIndex::Create(nix_file, options.nix_fanout));
   }
@@ -74,6 +174,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
     // still reopens: the manifest anchors replay at lsn 0.
     SIGSET_RETURN_IF_ERROR(index->Checkpoint());
   }
+  index->PublishSnapshot();  // epoch 1: the empty index
   return index;
 }
 
@@ -156,6 +257,10 @@ Status SetIndex::Checkpoint() {
                 domain_sketch_.num_registers());
     SIGSET_RETURN_IF_ERROR(sketch_file_->Write(0, page));
   }
+  // With snapshots on, committed page images live in the CoW chains; push
+  // them through to the base files BEFORE the manifest commits to them, so
+  // a reopen (replay included) never sees a manifest ahead of its data.
+  SIGSET_RETURN_IF_ERROR(FlushCurrentVersions());
   SIGSET_RETURN_IF_ERROR(Manifest::Write(manifest_file_, values));
   // Manifest first, then log truncation: a crash between the two leaves
   // records <= wal_lsn in the log, and replay filters them out by lsn.
@@ -201,8 +306,9 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                           Manifest::Get(values, kKeyObjects));
   SIGSET_ASSIGN_OR_RETURN(index->total_elements_,
                           Manifest::Get(values, kKeyElements));
-  SIGSET_ASSIGN_OR_RETURN(PageFile * objects,
-                          storage->OpenOrCreate(name + ".objects"));
+  SIGSET_ASSIGN_OR_RETURN(
+      PageFile * objects,
+      index->OpenVersioned(name + ".objects", &index->v_objects_));
   index->store_ = std::make_unique<ObjectStore>(objects);
   index->store_->RecoverCount(num_objects);
   // Manifests written before compaction existed have no generation key;
@@ -240,6 +346,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
       // of the wal_log_test invariants).  The next explicit Checkpoint()
       // or Compact() truncates the log.
       objects->stats().Reset();
+      index->PublishSnapshot();
       return index;
     }
   }
@@ -249,12 +356,14 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
     if (options.maintain_ssf) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * sig,
-          storage->OpenOrCreate(GenName(name + ".ssf.sig",
-                                        index->generation_)));
+          index->OpenVersioned(GenName(name + ".ssf.sig",
+                                       index->generation_),
+                               &index->v_ssf_sig_));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage->OpenOrCreate(GenName(name + ".ssf.oid",
-                                        index->generation_)));
+          index->OpenVersioned(GenName(name + ".ssf.oid",
+                                       index->generation_),
+                               &index->v_ssf_oid_));
       SIGSET_ASSIGN_OR_RETURN(index->ssf_,
                               SequentialSignatureFile::CreateFromExisting(
                                   options.sig, sig, oid, sigs));
@@ -263,12 +372,14 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
     if (options.maintain_bssf) {
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * slices,
-          storage->OpenOrCreate(GenName(name + ".bssf.slices",
-                                        index->generation_)));
+          index->OpenVersioned(GenName(name + ".bssf.slices",
+                                       index->generation_),
+                               &index->v_bssf_slices_));
       SIGSET_ASSIGN_OR_RETURN(
           PageFile * oid,
-          storage->OpenOrCreate(GenName(name + ".bssf.oid",
-                                        index->generation_)));
+          index->OpenVersioned(GenName(name + ".bssf.oid",
+                                       index->generation_),
+                               &index->v_bssf_oid_));
       SIGSET_ASSIGN_OR_RETURN(index->bssf_,
                               BitSlicedSignatureFile::CreateFromExisting(
                                   options.sig, options.capacity, slices, oid,
@@ -286,8 +397,9 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                             Manifest::Get(values, kKeyNixInternal));
     SIGSET_ASSIGN_OR_RETURN(uint64_t overflow,
                             Manifest::Get(values, kKeyNixOverflow));
-    SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
-                            storage->OpenOrCreate(name + ".nix"));
+    SIGSET_ASSIGN_OR_RETURN(
+        PageFile * nix_file,
+        index->OpenVersioned(name + ".nix", &index->v_nix_));
     SIGSET_ASSIGN_OR_RETURN(
         index->nix_,
         NestedIndex::CreateFromExisting(
@@ -300,6 +412,7 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
           static_cast<PageId>(*free_head), *free_pages);
     }
   }
+  index->PublishSnapshot();
   return index;
 }
 
@@ -371,6 +484,7 @@ StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
     if (nix_ != nullptr) SIGSET_RETURN_IF_ERROR(nix_->Insert(oid, normalized));
     total_elements_ += normalized.size();
     for (uint64_t element : normalized) domain_sketch_.Add(element);
+    PublishSnapshot();
     return oid;
   }
   // Log-before-apply: predict the physical OID, commit the record, then
@@ -382,13 +496,18 @@ StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
       wal_->AppendAndCommit(LogRecord::SingleInsert(predicted, {normalized})));
   Status applied = ApplyInsert(normalized, predicted);
   if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  PublishSnapshot();
   return predicted;
 }
 
 Status SetIndex::Delete(Oid oid) {
   if (!poison_.ok()) return poison_;
   SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
-  if (wal_ == nullptr) return ApplyDelete(oid, obj);
+  if (wal_ == nullptr) {
+    SIGSET_RETURN_IF_ERROR(ApplyDelete(oid, obj));
+    PublishSnapshot();
+    return Status::OK();
+  }
   // The record carries the victim's preimage so an aborted delete can be
   // resurrected at recovery.
   SIGSET_ASSIGN_OR_RETURN(
@@ -396,6 +515,7 @@ Status SetIndex::Delete(Oid oid) {
       wal_->AppendAndCommit(LogRecord::SingleDelete(oid, {obj.set_value})));
   Status applied = ApplyDelete(oid, obj);
   if (!applied.ok()) return AbortAndPoison(lsn, applied);
+  PublishSnapshot();
   return Status::OK();
 }
 
@@ -448,6 +568,7 @@ StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
     if (wal_ != nullptr) return AbortAndPoison(batch_lsn, applied);
     return applied;
   }
+  PublishSnapshot();
   return new_oids;
 }
 
@@ -512,14 +633,21 @@ Status SetIndex::Compact() {
   // an earlier crashed compaction is simply rewritten.
   std::unique_ptr<SequentialSignatureFile> new_ssf;
   std::unique_ptr<BitSlicedSignatureFile> new_bssf;
+  // With snapshots on, the next generation gets its own CoW wrappers; the
+  // old generation's wrappers stay alive (and registered) so snapshots
+  // pinned before the swap keep reading the superseded files.
+  VersionedPageFile* nv_ssf_sig = nullptr;
+  VersionedPageFile* nv_ssf_oid = nullptr;
+  VersionedPageFile* nv_bssf_slices = nullptr;
+  VersionedPageFile* nv_bssf_oid = nullptr;
   uint64_t ssf_live = 0, bssf_live = 0;
   if (ssf_ != nullptr) {
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * sig,
-        storage_->OpenOrCreate(GenName(name_ + ".ssf.sig", next_gen)));
+        OpenVersioned(GenName(name_ + ".ssf.sig", next_gen), &nv_ssf_sig));
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * oid,
-        storage_->OpenOrCreate(GenName(name_ + ".ssf.oid", next_gen)));
+        OpenVersioned(GenName(name_ + ".ssf.oid", next_gen), &nv_ssf_oid));
     SIGSET_ASSIGN_OR_RETURN(ssf_live, ssf_->CompactTo(sig, oid));
     SIGSET_ASSIGN_OR_RETURN(new_ssf,
                             SequentialSignatureFile::CreateFromExisting(
@@ -529,10 +657,12 @@ Status SetIndex::Compact() {
   if (bssf_ != nullptr) {
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * slices,
-        storage_->OpenOrCreate(GenName(name_ + ".bssf.slices", next_gen)));
+        OpenVersioned(GenName(name_ + ".bssf.slices", next_gen),
+                      &nv_bssf_slices));
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * oid,
-        storage_->OpenOrCreate(GenName(name_ + ".bssf.oid", next_gen)));
+        OpenVersioned(GenName(name_ + ".bssf.oid", next_gen),
+                      &nv_bssf_oid));
     SIGSET_ASSIGN_OR_RETURN(bssf_live, bssf_->CompactTo(slices, oid));
     SIGSET_ASSIGN_OR_RETURN(new_bssf,
                             BitSlicedSignatureFile::CreateFromExisting(
@@ -559,7 +689,21 @@ Status SetIndex::Compact() {
   // retried Compact() overwrites.
   ssf_ = std::move(new_ssf);
   bssf_ = std::move(new_bssf);
+  if (ssf_ != nullptr) {
+    v_ssf_sig_ = nv_ssf_sig;
+    v_ssf_oid_ = nv_ssf_oid;
+  }
+  if (bssf_ != nullptr) {
+    v_bssf_slices_ = nv_bssf_slices;
+    v_bssf_oid_ = nv_bssf_oid;
+  }
   generation_ = next_gen;
+  // Readers pinned at pre-compact epochs keep resolving through the old
+  // generation's wrappers; epochs published from here on carry the new
+  // files.  Publish before the checkpoint so the swap is visible even if
+  // the checkpoint write fails (matching the live query path, which already
+  // serves the swapped facilities).
+  PublishSnapshot();
   return Checkpoint();
 }
 
@@ -646,10 +790,12 @@ Status SetIndex::RebuildFacilitiesFromStore() {
     }
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * sig,
-        storage_->OpenOrCreate(GenName(name_ + ".ssf.sig", generation_)));
+        OpenVersioned(GenName(name_ + ".ssf.sig", generation_),
+                      &v_ssf_sig_));
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * oid,
-        storage_->OpenOrCreate(GenName(name_ + ".ssf.oid", generation_)));
+        OpenVersioned(GenName(name_ + ".ssf.oid", generation_),
+                      &v_ssf_oid_));
     SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(sig, oid));
     if (packed != live) {
       return Status::Internal("ssf rebuild count mismatch");
@@ -672,10 +818,12 @@ Status SetIndex::RebuildFacilitiesFromStore() {
     }
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * slices,
-        storage_->OpenOrCreate(GenName(name_ + ".bssf.slices", generation_)));
+        OpenVersioned(GenName(name_ + ".bssf.slices", generation_),
+                      &v_bssf_slices_));
     SIGSET_ASSIGN_OR_RETURN(
         PageFile * oid,
-        storage_->OpenOrCreate(GenName(name_ + ".bssf.oid", generation_)));
+        OpenVersioned(GenName(name_ + ".bssf.oid", generation_),
+                      &v_bssf_oid_));
     SIGSET_ASSIGN_OR_RETURN(uint64_t packed, tmp->CompactTo(slices, oid));
     if (packed != live) {
       return Status::Internal("bssf rebuild count mismatch");
@@ -690,7 +838,7 @@ Status SetIndex::RebuildFacilitiesFromStore() {
     // left) and bulk-build from the live scan, which is already in
     // ascending physical-OID order.
     SIGSET_ASSIGN_OR_RETURN(PageFile * nix_file,
-                            storage_->OpenOrCreate(name_ + ".nix"));
+                            OpenVersioned(name_ + ".nix", &v_nix_));
     SIGSET_ASSIGN_OR_RETURN(
         nix_, NestedIndex::CreateResetting(nix_file, options_.nix_fanout));
     SIGSET_RETURN_IF_ERROR(nix_->BulkBuild(oids, sets));

@@ -18,6 +18,7 @@
 
 #include <memory>
 #include <string>
+#include <vector>
 
 #include "db/manifest.h"
 #include "db/wal.h"
@@ -34,6 +35,10 @@
 #include "util/hyperloglog.h"
 
 namespace sigsetdb {
+
+class EpochManager;
+class Snapshot;
+class VersionedPageFile;
 
 // How Query() picks its access path.
 enum class PlanMode {
@@ -116,6 +121,14 @@ class SetIndex {
     // writers to join (microseconds).  0 syncs immediately — concurrent
     // commits still coalesce opportunistically.
     uint32_t group_commit_window_us = 0;
+    // Epoch-based snapshot reads: every data file is wrapped in a
+    // copy-on-write VersionedPageFile, each successful mutation publishes a
+    // new epoch, and GetSnapshot() returns a pinned read-only view that
+    // queries without the index lock (see db/snapshot.h).  Off by default:
+    // the CoW layer keeps page versions in memory and charges cow_copies,
+    // and keeping it off leaves the paper-pinned page counts bit-identical
+    // to the unwrapped files.
+    bool enable_snapshots = false;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name
@@ -218,6 +231,21 @@ class SetIndex {
   // The write-ahead log (nullptr unless options.enable_wal).
   WriteAheadLog* wal() { return wal_.get(); }
 
+  // --- snapshot reads (Options::enable_snapshots) ------------------------
+
+  // Pins the currently published epoch and materializes a read-only view.
+  // The snapshot queries WITHOUT this index's lock and must not outlive the
+  // index; one Snapshot instance serves one reader thread.
+  StatusOr<std::unique_ptr<Snapshot>> GetSnapshot();
+
+  // The last published epoch (0 when snapshots are disabled).
+  uint64_t current_epoch() const;
+
+  // The epoch manager (nullptr unless enable_snapshots); exposed for tests.
+  EpochManager* epochs() { return epochs_.get(); }
+
+  ~SetIndex();
+
  private:
   SetIndex(StorageManager* storage, Options options);
 
@@ -255,6 +283,20 @@ class SetIndex {
                                          PlanMode mode, QueryTrace* trace,
                                          AccessPathChoice* chosen);
 
+  // Opens `file_name` from storage and, when snapshots are enabled, wraps
+  // it in a CoW VersionedPageFile (ownership kept in versioned_all_, a
+  // reclaimer registered).  `*slot` receives the wrapper or nullptr.
+  StatusOr<PageFile*> OpenVersioned(const std::string& file_name,
+                                    VersionedPageFile** slot);
+
+  // Writes dirty CoW head versions of the current-generation wrappers
+  // through to their base files (Checkpoint's durability step).
+  Status FlushCurrentVersions();
+
+  // Publishes the current committed state as a new epoch (no-op when
+  // snapshots are disabled).  Called after every successful mutation.
+  void PublishSnapshot();
+
   StorageManager* storage_;
   Options options_;
   std::string name_;
@@ -263,6 +305,19 @@ class SetIndex {
   ParallelExecutionContext ctx_;
   PageFile* manifest_file_ = nullptr;
   PageFile* sketch_file_ = nullptr;
+  // Snapshot machinery (all null/empty unless enable_snapshots).  The
+  // wrapper pool owns every CoW wrapper ever created — including superseded
+  // generations, which pinned snapshots may still read — so it must outlive
+  // the facilities below (declared first = destroyed last).  ~SetIndex
+  // shuts the epoch manager down before anything else dies.
+  std::unique_ptr<EpochManager> epochs_;
+  std::vector<std::unique_ptr<VersionedPageFile>> versioned_all_;
+  VersionedPageFile* v_objects_ = nullptr;
+  VersionedPageFile* v_ssf_sig_ = nullptr;
+  VersionedPageFile* v_ssf_oid_ = nullptr;
+  VersionedPageFile* v_bssf_slices_ = nullptr;
+  VersionedPageFile* v_bssf_oid_ = nullptr;
+  VersionedPageFile* v_nix_ = nullptr;
   std::unique_ptr<ObjectStore> store_;
   std::unique_ptr<WriteAheadLog> wal_;
   // Set by AbortAndPoison; every mutation and query returns it once set.

@@ -43,6 +43,14 @@ class OidFile {
   // read per used page; callers treat recovery I/O as setup).
   Status Recover(uint64_t num_entries);
 
+  // Restores the counters WITHOUT the recovery scan, for read-only snapshot
+  // views: Get/GetMany work immediately, while the write paths (which need
+  // the tail image and free list the scan rebuilds) must not be called.
+  void AttachReadOnly(uint64_t num_entries, uint64_t num_live) {
+    num_entries_ = num_entries;
+    num_live_ = num_live;
+  }
+
   // Appends `oid`, returning its slot number (== signature position).
   StatusOr<uint64_t> Append(Oid oid);
 

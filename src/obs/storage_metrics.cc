@@ -42,6 +42,10 @@ void ExportStorageMetrics(const StorageManager& storage,
       SyncCounter(registry, "io." + file.name() + ".skipped",
                   file.stats().skips());
     }
+    if (file.stats().cows() > 0) {
+      SyncCounter(registry, "io." + file.name() + ".cow",
+                  file.stats().cows());
+    }
     const auto* pool = dynamic_cast<const CachedPageFile*>(&file);
     if (pool != nullptr) {
       any_pool = true;

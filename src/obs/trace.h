@@ -38,6 +38,10 @@ struct TraceSpan {
   // Page reads the skip index proved unnecessary (not part of pages():
   // a skipped page is an access that never happened).
   uint64_t pages_skipped = 0;
+  // Copy-on-write page copies (snapshots enabled only; see
+  // storage/versioned_page_file.h).  Not part of pages(): a CoW copy is
+  // version-chain bookkeeping, not a logical access the paper counts.
+  uint64_t pages_cow = 0;
   double wall_ms = 0.0;          // 0 when not timed (sub-stages)
   double predicted_pages = -1.0;  // model prediction; < 0 = none attached
   // Stage-specific counts; -1 = not applicable.
@@ -72,6 +76,7 @@ class QueryTrace {
   uint64_t TotalReads() const;
   uint64_t TotalWrites() const;
   uint64_t TotalSkipped() const;
+  uint64_t TotalCow() const;
   uint64_t TotalPages() const { return TotalReads() + TotalWrites(); }
   double TotalWallMs() const;
 

@@ -155,6 +155,30 @@ BitSlicedSignatureFile::CreateFromExisting(const SignatureConfig& config,
   return bssf;
 }
 
+StatusOr<std::unique_ptr<BitSlicedSignatureFile>>
+BitSlicedSignatureFile::CreateReadView(const SignatureConfig& config,
+                                       uint64_t capacity,
+                                       PageFile* slice_file,
+                                       PageFile* oid_file,
+                                       uint64_t num_signatures,
+                                       uint64_t num_live) {
+  SIGSET_RETURN_IF_ERROR(config.Validate());
+  if (num_signatures > capacity) {
+    return Status::InvalidArgument("snapshot count exceeds capacity");
+  }
+  std::unique_ptr<BitSlicedSignatureFile> bssf(new BitSlicedSignatureFile(
+      config, capacity, slice_file, oid_file, BssfInsertMode::kSparse));
+  const uint64_t expected_pages =
+      static_cast<uint64_t>(config.f) * bssf->pages_per_slice_;
+  if (slice_file->num_pages() < expected_pages) {
+    return Status::Corruption(
+        "snapshot slice store has fewer pages than its configuration needs");
+  }
+  bssf->num_signatures_ = num_signatures;
+  bssf->oid_file_.AttachReadOnly(num_signatures, num_live);
+  return bssf;
+}
+
 Status BitSlicedSignatureFile::BulkLoad(const std::vector<Oid>& oids,
                                         const std::vector<ElementSet>& sets) {
   if (num_signatures_ != 0) {

@@ -64,6 +64,14 @@ class BitSlicedSignatureFile : public SetAccessFacility {
                      PageFile* slice_file, PageFile* oid_file,
                      BssfInsertMode insert_mode, uint64_t num_signatures);
 
+  // Lightweight read-only view over fixed-epoch snapshot files: no recovery
+  // scan, no skip-summary rebuild, no stats reset (counters come from the
+  // SnapshotState published with the epoch).  Only the query surface may be
+  // used; the skip index stays disabled because its summaries are empty.
+  static StatusOr<std::unique_ptr<BitSlicedSignatureFile>> CreateReadView(
+      const SignatureConfig& config, uint64_t capacity, PageFile* slice_file,
+      PageFile* oid_file, uint64_t num_signatures, uint64_t num_live);
+
   const std::string& name() const override { return name_; }
 
   // Appends (or, when a tombstoned slot is free, reuses) a signature

@@ -90,6 +90,26 @@ SequentialSignatureFile::CreateFromExisting(const SignatureConfig& config,
   return ssf;
 }
 
+StatusOr<std::unique_ptr<SequentialSignatureFile>>
+SequentialSignatureFile::CreateReadView(const SignatureConfig& config,
+                                        PageFile* signature_file,
+                                        PageFile* oid_file,
+                                        uint64_t num_signatures,
+                                        uint64_t num_live) {
+  SIGSET_ASSIGN_OR_RETURN(std::unique_ptr<SequentialSignatureFile> ssf,
+                          Create(config, signature_file, oid_file));
+  const uint64_t expected_pages =
+      (num_signatures + ssf->sigs_per_page_ - 1) / ssf->sigs_per_page_;
+  if (signature_file->num_pages() < expected_pages) {
+    return Status::Corruption(
+        "snapshot signature file has fewer pages than its count needs");
+  }
+  ssf->num_signatures_ = num_signatures;
+  ssf->oid_file_.AttachReadOnly(num_signatures, num_live);
+  ssf->paranoid_checks_ = false;
+  return ssf;
+}
+
 SequentialSignatureFile::SequentialSignatureFile(const SignatureConfig& config,
                                                  PageFile* signature_file,
                                                  PageFile* oid_file)

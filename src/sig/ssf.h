@@ -36,6 +36,15 @@ class SequentialSignatureFile : public SetAccessFacility {
   CreateFromExisting(const SignatureConfig& config, PageFile* signature_file,
                      PageFile* oid_file, uint64_t num_signatures);
 
+  // Lightweight read-only view over fixed-epoch snapshot files: no recovery
+  // scan, no free-list/tail/union rebuild, no stats reset (the counters come
+  // from the SnapshotState published with the epoch).  Only the query
+  // surface (Candidates/ScanMatchingSlots/ResolveSlots) may be used; the
+  // skip index stays disabled because its summaries are not rebuilt.
+  static StatusOr<std::unique_ptr<SequentialSignatureFile>> CreateReadView(
+      const SignatureConfig& config, PageFile* signature_file,
+      PageFile* oid_file, uint64_t num_signatures, uint64_t num_live);
+
   const std::string& name() const override { return name_; }
 
   // Appends the signature of `set_value` and the OID (2 page writes — the

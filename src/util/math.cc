@@ -7,7 +7,15 @@ namespace sigsetdb {
 
 double LogFactorial(int64_t n) {
   if (n <= 1) return 0.0;
+  // Not std::lgamma: it writes the process-global `signgam`, which is a
+  // data race when concurrent readers plan queries (the argument is always
+  // positive here, so the sign output is irrelevant anyway).
+#if defined(__GLIBC__) || defined(__APPLE__)
+  int sign = 0;
+  return lgamma_r(static_cast<double>(n) + 1.0, &sign);
+#else
   return std::lgamma(static_cast<double>(n) + 1.0);
+#endif
 }
 
 double LogChoose(int64_t n, int64_t k) {

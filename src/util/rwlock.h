@@ -1,0 +1,92 @@
+// RwLock: a writer-preferring reader/writer lock.
+//
+// std::shared_mutex on glibc maps to a pthread rwlock whose default policy
+// prefers readers: as long as any reader holds the lock, new readers are
+// admitted immediately, so a steady stream of read acquisitions starves
+// writers indefinitely.  On a single-core machine a reader polling loop
+// (e.g. a scan thread re-querying until a flag flips) can block writers
+// forever — a livelock, not just unfairness.
+//
+// This lock closes the gate to NEW readers as soon as a writer is waiting:
+// in-flight readers drain, the writer runs, then all queued readers are
+// released together.  Readers still run fully in parallel with each other.
+// Satisfies the SharedLockable named requirements, so it drops in behind
+// std::shared_lock / std::unique_lock.
+
+#ifndef SIGSET_UTIL_RWLOCK_H_
+#define SIGSET_UTIL_RWLOCK_H_
+
+#include <condition_variable>
+#include <mutex>
+
+namespace sigsetdb {
+
+class RwLock {
+ public:
+  RwLock() = default;
+  RwLock(const RwLock&) = delete;
+  RwLock& operator=(const RwLock&) = delete;
+
+  // --- exclusive (writer) side ---
+  void lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    ++waiting_writers_;
+    writer_cv_.wait(lock,
+                    [this] { return !writer_active_ && active_readers_ == 0; });
+    --waiting_writers_;
+    writer_active_ = true;
+  }
+
+  bool try_lock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_active_ || active_readers_ != 0 || waiting_writers_ != 0) {
+      return false;
+    }
+    writer_active_ = true;
+    return true;
+  }
+
+  void unlock() {
+    std::unique_lock<std::mutex> lock(mu_);
+    writer_active_ = false;
+    if (waiting_writers_ != 0) {
+      writer_cv_.notify_one();
+    } else {
+      reader_cv_.notify_all();
+    }
+  }
+
+  // --- shared (reader) side ---
+  void lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    reader_cv_.wait(lock,
+                    [this] { return !writer_active_ && waiting_writers_ == 0; });
+    ++active_readers_;
+  }
+
+  bool try_lock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (writer_active_ || waiting_writers_ != 0) return false;
+    ++active_readers_;
+    return true;
+  }
+
+  void unlock_shared() {
+    std::unique_lock<std::mutex> lock(mu_);
+    if (--active_readers_ == 0 && waiting_writers_ != 0) {
+      writer_cv_.notify_one();
+    }
+  }
+
+ private:
+  std::mutex mu_;
+  std::condition_variable reader_cv_;
+  std::condition_variable writer_cv_;
+  int active_readers_ = 0;
+  int waiting_writers_ = 0;
+  bool writer_active_ = false;
+};
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_UTIL_RWLOCK_H_

@@ -19,14 +19,22 @@
 
 #include <algorithm>
 #include <array>
+#include <atomic>
+#include <chrono>
 #include <functional>
 #include <map>
 #include <memory>
+#include <mutex>
+#include <sstream>
+#include <string>
+#include <thread>
 #include <vector>
 
 #include <gtest/gtest.h>
 
 #include "db/set_index.h"
+#include "db/snapshot.h"
+#include "db/synchronized_set_index.h"
 #include "db/write_batch.h"
 #include "storage/fault_injecting_page_file.h"
 #include "storage/storage_manager.h"
@@ -38,6 +46,48 @@ namespace {
 
 constexpr int64_t kDomain = 120;
 constexpr int64_t kDt = 6;
+
+// Brute-force evaluation of one query over an arbitrary oracle state.
+// Returns the matching OID values, sorted.
+std::vector<uint64_t> OracleAnswer(const std::map<uint64_t, ElementSet>& oracle,
+                                   QueryKind kind, const ElementSet& query) {
+  std::vector<uint64_t> out;
+  for (const auto& [oid, set] : oracle) {
+    bool superset =
+        std::includes(set.begin(), set.end(), query.begin(), query.end());
+    bool subset =
+        std::includes(query.begin(), query.end(), set.begin(), set.end());
+    bool hit = false;
+    switch (kind) {
+      case QueryKind::kSuperset:
+        hit = superset;
+        break;
+      case QueryKind::kProperSuperset:
+        hit = superset && set.size() > query.size();
+        break;
+      case QueryKind::kSubset:
+        hit = subset;
+        break;
+      case QueryKind::kProperSubset:
+        hit = subset && set.size() < query.size();
+        break;
+      case QueryKind::kEquals:
+        hit = superset && subset;
+        break;
+      case QueryKind::kOverlaps: {
+        for (uint64_t e : query) {
+          if (std::binary_search(set.begin(), set.end(), e)) {
+            hit = true;
+            break;
+          }
+        }
+        break;
+      }
+    }
+    if (hit) out.push_back(oid);
+  }
+  return out;
+}
 
 struct Replica {
   std::string label;
@@ -125,39 +175,8 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
 
   std::vector<Oid> BruteForce(QueryKind kind, const ElementSet& query) const {
     std::vector<Oid> out;
-    for (const auto& [oid, set] : oracle_) {
-      bool superset = std::includes(set.begin(), set.end(), query.begin(),
-                                    query.end());
-      bool subset = std::includes(query.begin(), query.end(), set.begin(),
-                                  set.end());
-      bool hit = false;
-      switch (kind) {
-        case QueryKind::kSuperset:
-          hit = superset;
-          break;
-        case QueryKind::kProperSuperset:
-          hit = superset && set.size() > query.size();
-          break;
-        case QueryKind::kSubset:
-          hit = subset;
-          break;
-        case QueryKind::kProperSubset:
-          hit = subset && set.size() < query.size();
-          break;
-        case QueryKind::kEquals:
-          hit = superset && subset;
-          break;
-        case QueryKind::kOverlaps: {
-          for (uint64_t e : query) {
-            if (std::binary_search(set.begin(), set.end(), e)) {
-              hit = true;
-              break;
-            }
-          }
-          break;
-        }
-      }
-      if (hit) out.push_back(Oid{oid});
+    for (uint64_t value : OracleAnswer(oracle_, kind, query)) {
+      out.push_back(Oid{value});
     }
     return out;
   }
@@ -433,6 +452,508 @@ TEST_F(WalCrashFuzzTest, CrashAndReopenMidChurnMatchesOracleOverAckedOps) {
     BatchEverywhere(batch);
   }
   CheckAllKinds(&rng, "wal: final churn");
+}
+
+// ---------------------------------------------------------------------------
+// Concurrent snapshot differential fuzz (DESIGN.md §14).
+//
+// One writer thread (the test body) drives seeded churn through four
+// SynchronizedSetIndex replicas — {snapshots on, off} × {1, 4 reader
+// threads} — with identical OID streams, while the reader threads run the
+// whole time:
+//
+//   * On the snapshot replicas, readers pin a Snapshot and query LOCK-FREE.
+//     Every mutation publishes exactly one epoch and Create publishes
+//     epoch 1 (the empty index), so the state pinned at epoch E is, by
+//     construction, the oracle after E-1 operations.  The writer appends
+//     each post-op oracle to a shared history; a reader at epoch E must
+//     match history[E-1] EXACTLY — the strongest possible statement that a
+//     pinned scan is immune to concurrent churn.
+//
+//   * On the mutex replicas (snapshots off), readers query live under the
+//     shared lock.  A live query sees some committed state inside its
+//     [before, after] op-count window; it must match history[k] for one
+//     k in that window — linearizability of the lock path.
+//
+// A long-lived snapshot pinned early survives deletes, batches and TWO
+// compactions, and still answers for its own epoch at the end.  After the
+// readers drain, all four replicas must agree with the final oracle AND
+// with each other on logical page accesses — snapshots change concurrency,
+// never results or paper-counted I/O.
+// ---------------------------------------------------------------------------
+class ConcurrentSnapshotFuzzTest : public ::testing::Test {
+ protected:
+  struct SyncReplica {
+    std::string label;
+    bool snapshots = false;
+    int readers = 0;
+    std::unique_ptr<StorageManager> storage;
+    std::unique_ptr<SynchronizedSetIndex> index;
+    // Committed operation count; readers bracket live queries with it.
+    std::atomic<uint64_t> ops_applied{0};
+  };
+
+  void SetUp() override {
+    struct Config {
+      const char* label;
+      bool snapshots;
+      int readers;
+    };
+    for (const Config& c :
+         {Config{"snap-1r", true, 1}, Config{"snap-4r", true, 4},
+          Config{"mutex-1r", false, 1}, Config{"mutex-4r", false, 4}}) {
+      auto r = std::make_unique<SyncReplica>();
+      r->label = c.label;
+      r->snapshots = c.snapshots;
+      r->readers = c.readers;
+      r->storage = std::make_unique<StorageManager>();
+      SetIndex::Options options;
+      options.maintain_ssf = true;
+      options.maintain_bssf = true;
+      options.maintain_nix = true;
+      options.sig = {120, 3};
+      options.capacity = 4096;
+      options.enable_snapshots = c.snapshots;
+      auto index =
+          SynchronizedSetIndex::Create(r->storage.get(), "fuzz", options);
+      ASSERT_TRUE(index.ok()) << index.status().ToString();
+      r->index = std::move(*index);
+      replicas_.push_back(std::move(r));
+    }
+    // history_[k] = oracle after k committed operations; Create published
+    // epoch 1 = history_[0] = the empty index.
+    history_.push_back({});
+  }
+
+  void TearDown() override {
+    done_.store(true, std::memory_order_release);
+    for (std::thread& t : readers_) {
+      if (t.joinable()) t.join();
+    }
+  }
+
+  // --- shared history (writer appends, readers look up) ---
+
+  void PushHistory() {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    history_.push_back(oracle_);
+  }
+
+  size_t HistorySize() {
+    std::lock_guard<std::mutex> lock(history_mu_);
+    return history_.size();
+  }
+
+  // Copies history_[epoch-1], waiting briefly if the writer has published
+  // the epoch on replica 0 but not yet appended the oracle entry.
+  bool OracleAtEpoch(uint64_t epoch, std::map<uint64_t, ElementSet>* out) {
+    for (int spin = 0; spin < 10000; ++spin) {
+      {
+        std::lock_guard<std::mutex> lock(history_mu_);
+        if (history_.size() >= epoch) {
+          *out = history_[epoch - 1];
+          return true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    return false;
+  }
+
+  void Record(const std::string& label, const std::string& msg) {
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    errors_.push_back(label + ": " + msg);
+  }
+
+  // --- churn: replica 0 first (it assigns the OIDs the oracle needs),
+  // then the history entry, then the other replicas ---
+
+  void InsertEverywhere(const ElementSet& set) {
+    auto oid = replicas_[0]->index->Insert(set);
+    ASSERT_TRUE(oid.ok());
+    replicas_[0]->ops_applied.fetch_add(1, std::memory_order_release);
+    oracle_[oid->value()] = set;
+    PushHistory();
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      auto got = replicas_[i]->index->Insert(set);
+      ASSERT_TRUE(got.ok()) << replicas_[i]->label;
+      ASSERT_EQ(got->value(), oid->value()) << replicas_[i]->label;
+      replicas_[i]->ops_applied.fetch_add(1, std::memory_order_release);
+    }
+    CheckEpochInvariant();
+  }
+
+  void DeleteEverywhere(Oid oid) {
+    ASSERT_TRUE(replicas_[0]->index->Delete(oid).ok());
+    replicas_[0]->ops_applied.fetch_add(1, std::memory_order_release);
+    oracle_.erase(oid.value());
+    PushHistory();
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      ASSERT_TRUE(replicas_[i]->index->Delete(oid).ok())
+          << replicas_[i]->label;
+      replicas_[i]->ops_applied.fetch_add(1, std::memory_order_release);
+    }
+    CheckEpochInvariant();
+  }
+
+  void BatchEverywhere(const WriteBatch& batch) {
+    auto oids = replicas_[0]->index->ApplyBatch(batch);
+    ASSERT_TRUE(oids.ok());
+    replicas_[0]->ops_applied.fetch_add(1, std::memory_order_release);
+    for (Oid oid : batch.deletes()) oracle_.erase(oid.value());
+    for (size_t j = 0; j < batch.inserts().size(); ++j) {
+      oracle_[(*oids)[j].value()] = batch.inserts()[j];
+    }
+    PushHistory();
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      auto got = replicas_[i]->index->ApplyBatch(batch);
+      ASSERT_TRUE(got.ok()) << replicas_[i]->label;
+      ASSERT_EQ(got->size(), oids->size());
+      for (size_t j = 0; j < oids->size(); ++j) {
+        ASSERT_EQ((*got)[j].value(), (*oids)[j].value())
+            << replicas_[i]->label;
+      }
+      replicas_[i]->ops_applied.fetch_add(1, std::memory_order_release);
+    }
+    CheckEpochInvariant();
+  }
+
+  void CompactEverywhere() {
+    ASSERT_TRUE(replicas_[0]->index->Compact().ok());
+    replicas_[0]->ops_applied.fetch_add(1, std::memory_order_release);
+    PushHistory();  // compaction changes no answers, but publishes an epoch
+    for (size_t i = 1; i < replicas_.size(); ++i) {
+      ASSERT_TRUE(replicas_[i]->index->Compact().ok())
+          << replicas_[i]->label;
+      replicas_[i]->ops_applied.fetch_add(1, std::memory_order_release);
+    }
+    CheckEpochInvariant();
+  }
+
+  // Every operation publishes exactly one epoch, so the published epoch on
+  // the snapshot replicas always equals the history length.
+  void CheckEpochInvariant() {
+    const uint64_t expected = HistorySize();
+    ASSERT_EQ(replicas_[0]->index->current_epoch(), expected);
+    ASSERT_EQ(replicas_[1]->index->current_epoch(), expected);
+  }
+
+  // --- reader bodies ---
+
+  static std::string Mismatch(uint64_t epoch, QueryKind kind, PlanMode mode,
+                              size_t got, size_t want) {
+    std::ostringstream os;
+    os << "epoch=" << epoch << " kind=" << QueryKindName(kind)
+       << " mode=" << static_cast<int>(mode) << ": got " << got
+       << " oids, oracle has " << want;
+    return os.str();
+  }
+
+  // Checks one snapshot query against the epoch's oracle; returns false and
+  // records on mismatch.
+  bool CheckSnapshotQuery(SyncReplica* r, Snapshot* snap,
+                          const std::map<uint64_t, ElementSet>& oracle,
+                          QueryKind kind, const ElementSet& query,
+                          PlanMode mode) {
+    auto result = snap->Query(kind, query, mode);
+    if (!result.ok()) {
+      Record(r->label, "snapshot query failed: " + result.status().ToString());
+      return false;
+    }
+    std::vector<uint64_t> got;
+    for (Oid oid : result->result.oids) got.push_back(oid.value());
+    std::sort(got.begin(), got.end());
+    const std::vector<uint64_t> want = OracleAnswer(oracle, kind, query);
+    if (got != want) {
+      Record(r->label,
+             Mismatch(snap->epoch(), kind, mode, got.size(), want.size()));
+      return false;
+    }
+    return true;
+  }
+
+  // Snapshot reader: pin an epoch, fetch its oracle, verify every forced
+  // facility agrees, loop until told to stop.
+  void SnapshotReaderLoop(SyncReplica* r, int reader_id, size_t slot) {
+    Rng rng(static_cast<uint64_t>(0xC0FFEE + 131 * reader_id));
+    while (!done_.load(std::memory_order_acquire)) {
+      auto snap_or = r->index->GetSnapshot();
+      if (!snap_or.ok()) {
+        Record(r->label,
+               "GetSnapshot failed: " + snap_or.status().ToString());
+        return;
+      }
+      std::unique_ptr<Snapshot> snap = std::move(*snap_or);
+      std::map<uint64_t, ElementSet> oracle;
+      if (!OracleAtEpoch(snap->epoch(), &oracle)) {
+        Record(r->label, "no oracle for pinned epoch (writer stalled?)");
+        return;
+      }
+      if (snap->num_objects() != oracle.size()) {
+        Record(r->label, "num_objects mismatch at epoch " +
+                             std::to_string(snap->epoch()));
+        return;
+      }
+      ElementSet probe;
+      if (!oracle.empty()) {
+        auto it = oracle.begin();
+        std::advance(it, static_cast<long>(rng.NextBelow(oracle.size())));
+        probe = it->second;
+      }
+      const ElementSet superset_q =
+          probe.empty() ? rng.SampleWithoutReplacement(kDomain, 2)
+                        : ElementSet{probe[0], probe[1]};
+      const ElementSet overlap_q = rng.SampleWithoutReplacement(kDomain, 3);
+      bool ok = true;
+      for (PlanMode mode : {PlanMode::kForceSsf, PlanMode::kForceBssf,
+                            PlanMode::kForceNix}) {
+        ok = CheckSnapshotQuery(r, snap.get(), oracle, QueryKind::kSuperset,
+                                superset_q, mode) &&
+             ok;
+        ok = CheckSnapshotQuery(r, snap.get(), oracle, QueryKind::kOverlaps,
+                                overlap_q, mode) &&
+             ok;
+        if (!probe.empty()) {
+          ok = CheckSnapshotQuery(r, snap.get(), oracle, QueryKind::kSubset,
+                                  probe, mode) &&
+               ok;
+        }
+      }
+      if (!probe.empty()) {
+        ok = CheckSnapshotQuery(r, snap.get(), oracle, QueryKind::kEquals,
+                                probe, PlanMode::kForceSsf) &&
+             ok;
+      }
+      if (!ok) return;  // already recorded; stop this reader
+      reader_iters_[slot].fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  // Live reader (snapshots off): a query under the shared lock must match
+  // the oracle at SOME committed op count inside its observation window.
+  void LiveReaderLoop(SyncReplica* r, int reader_id, size_t slot) {
+    Rng rng(static_cast<uint64_t>(0xBEEF + 131 * reader_id));
+    constexpr std::array<QueryKind, 3> kKinds = {
+        QueryKind::kSuperset, QueryKind::kSubset, QueryKind::kOverlaps};
+    constexpr std::array<PlanMode, 3> kModes = {
+        PlanMode::kForceSsf, PlanMode::kForceBssf, PlanMode::kForceNix};
+    while (!done_.load(std::memory_order_acquire)) {
+      const QueryKind kind = kKinds[rng.NextBelow(kKinds.size())];
+      const PlanMode mode = kModes[rng.NextBelow(kModes.size())];
+      const ElementSet query = rng.SampleWithoutReplacement(
+          kDomain, kind == QueryKind::kSubset ? kDt + 4 : 2);
+      const uint64_t k1 = r->ops_applied.load(std::memory_order_acquire);
+      auto result = r->index->Query(kind, query, mode);
+      const uint64_t k2 = r->ops_applied.load(std::memory_order_acquire);
+      if (!result.ok()) {
+        Record(r->label, "live query failed: " + result.status().ToString());
+        return;
+      }
+      std::vector<uint64_t> got;
+      for (Oid oid : result->result.oids) got.push_back(oid.value());
+      std::sort(got.begin(), got.end());
+      bool matched = false;
+      {
+        std::lock_guard<std::mutex> lock(history_mu_);
+        // The +1 covers an op that committed between the query's return and
+        // the k2 load; clamp to what the writer has appended.
+        const size_t hi =
+            std::min<size_t>(static_cast<size_t>(k2) + 1, history_.size() - 1);
+        for (size_t k = static_cast<size_t>(k1); k <= hi && !matched; ++k) {
+          matched = got == OracleAnswer(history_[k], kind, query);
+        }
+      }
+      if (!matched) {
+        Record(r->label, Mismatch(k1, kind, mode, got.size(),
+                                  static_cast<size_t>(k2)));
+        return;
+      }
+      reader_iters_[slot].fetch_add(1, std::memory_order_release);
+    }
+  }
+
+  void StartReaders() {
+    size_t slot = 0;
+    for (auto& r : replicas_) {
+      for (int i = 0; i < r->readers; ++i, ++slot) {
+        SyncReplica* rep = r.get();
+        const size_t s = slot;
+        if (rep->snapshots) {
+          readers_.emplace_back(
+              [this, rep, i, s] { SnapshotReaderLoop(rep, i, s); });
+        } else {
+          readers_.emplace_back(
+              [this, rep, i, s] { LiveReaderLoop(rep, i, s); });
+        }
+      }
+    }
+    num_readers_ = slot;
+  }
+
+  // Blocks (bounded) until every reader finished at least `min_iters` full
+  // check iterations — proof the readers truly overlap the churn.
+  void WaitForReaderProgress(uint64_t min_iters) {
+    for (int spin = 0; spin < 30000; ++spin) {
+      bool all = true;
+      for (size_t s = 0; s < num_readers_; ++s) {
+        all = all &&
+              reader_iters_[s].load(std::memory_order_acquire) >= min_iters;
+      }
+      if (all) return;
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    FAIL() << "readers made no progress during churn";
+  }
+
+  void StopReaders() {
+    done_.store(true, std::memory_order_release);
+    for (std::thread& t : readers_) t.join();
+    readers_.clear();
+  }
+
+  std::vector<Oid> LiveOids() const {
+    std::vector<Oid> out;
+    for (const auto& [oid, set] : oracle_) out.push_back(Oid{oid});
+    return out;
+  }
+
+  std::vector<std::unique_ptr<SyncReplica>> replicas_;
+  std::map<uint64_t, ElementSet> oracle_;  // writer-private latest state
+
+  std::mutex history_mu_;
+  std::vector<std::map<uint64_t, ElementSet>> history_;
+
+  std::mutex errors_mu_;
+  std::vector<std::string> errors_;
+
+  std::vector<std::thread> readers_;
+  std::array<std::atomic<uint64_t>, 16> reader_iters_{};
+  size_t num_readers_ = 0;
+  std::atomic<bool> done_{false};
+};
+
+TEST_F(ConcurrentSnapshotFuzzTest, PinnedReadersMatchOracleAtEveryEpoch) {
+  Rng rng(20260809);
+  WorkloadConfig wconfig{160, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 31};
+  std::vector<ElementSet> sets = MakeDatabase(wconfig);
+  size_t next_set = 0;
+
+  StartReaders();
+
+  // A snapshot pinned early must keep answering for ITS epoch through all
+  // the churn below, including two compactions.
+  std::unique_ptr<Snapshot> early;
+  std::map<uint64_t, ElementSet> early_oracle;
+
+  constexpr int kOps = 60;
+  for (int op = 0; op < kOps; ++op) {
+    if (op == 20 || op == 45) {
+      CompactEverywhere();
+    } else {
+      const uint64_t pick = rng.NextBelow(100);
+      if (pick < 50 || oracle_.empty()) {
+        InsertEverywhere(sets[next_set++ % sets.size()]);
+      } else if (pick < 75) {
+        std::vector<Oid> live = LiveOids();
+        DeleteEverywhere(live[rng.NextBelow(live.size())]);
+      } else {
+        WriteBatch batch;
+        std::vector<Oid> live = LiveOids();
+        for (size_t i = 0; i < live.size() && batch.deletes().size() < 4;
+             i += 4) {
+          batch.Delete(live[i]);
+        }
+        for (int j = 0; j < 3; ++j) {
+          batch.Insert(sets[next_set++ % sets.size()]);
+        }
+        BatchEverywhere(batch);
+      }
+    }
+    if (op == 12) {
+      auto snap = replicas_[1]->index->GetSnapshot();
+      ASSERT_TRUE(snap.ok());
+      early = std::move(*snap);
+      early_oracle = oracle_;
+      ASSERT_EQ(early->epoch(), HistorySize());
+    }
+    if (op == 30) WaitForReaderProgress(1);
+    std::this_thread::sleep_for(std::chrono::microseconds(500));
+  }
+
+  // Readers must have run DURING the churn, not just before/after.
+  WaitForReaderProgress(2);
+  StopReaders();
+  {
+    std::lock_guard<std::mutex> lock(errors_mu_);
+    for (const std::string& e : errors_) ADD_FAILURE() << e;
+    ASSERT_TRUE(errors_.empty());
+  }
+
+  // The early pin still answers for its own epoch, 48 operations and two
+  // compactions later.
+  ASSERT_NE(early, nullptr);
+  EXPECT_EQ(early->num_objects(), early_oracle.size());
+  ElementSet early_probe = early_oracle.begin()->second;
+  for (PlanMode mode :
+       {PlanMode::kForceSsf, PlanMode::kForceBssf, PlanMode::kForceNix}) {
+    auto result =
+        early->Query(QueryKind::kSuperset,
+                     ElementSet{early_probe[0], early_probe[1]}, mode);
+    ASSERT_TRUE(result.ok());
+    std::vector<uint64_t> got;
+    for (Oid oid : result->result.oids) got.push_back(oid.value());
+    std::sort(got.begin(), got.end());
+    EXPECT_EQ(got, OracleAnswer(early_oracle, QueryKind::kSuperset,
+                                ElementSet{early_probe[0], early_probe[1]}))
+        << "early pin, mode " << static_cast<int>(mode);
+  }
+
+  // Quiesced: all four replicas agree with the final oracle on results AND
+  // with each other on logical page accesses — enabling snapshots changes
+  // nothing the paper counts.
+  ASSERT_FALSE(oracle_.empty());
+  ElementSet probe = oracle_.begin()->second;
+  const ElementSet superset_q{probe[0], probe[1]};
+  struct Case {
+    QueryKind kind;
+    const ElementSet& query;
+  };
+  for (const Case& c : {Case{QueryKind::kSuperset, superset_q},
+                        Case{QueryKind::kSubset, probe},
+                        Case{QueryKind::kEquals, probe}}) {
+    for (PlanMode mode :
+         {PlanMode::kForceSsf, PlanMode::kForceBssf, PlanMode::kForceNix}) {
+      const std::vector<uint64_t> want = OracleAnswer(oracle_, c.kind, c.query);
+      uint64_t pages0 = 0;
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        auto result = replicas_[i]->index->Query(c.kind, c.query, mode);
+        ASSERT_TRUE(result.ok()) << replicas_[i]->label;
+        std::vector<uint64_t> got;
+        for (Oid oid : result->result.oids) got.push_back(oid.value());
+        std::sort(got.begin(), got.end());
+        EXPECT_EQ(got, want) << replicas_[i]->label;
+        if (i == 0) {
+          pages0 = result->page_accesses;
+        } else {
+          EXPECT_EQ(result->page_accesses, pages0)
+              << replicas_[i]->label << " kind=" << QueryKindName(c.kind);
+        }
+      }
+    }
+  }
+
+  // And a snapshot of the final state equals the live answers.
+  auto final_snap = replicas_[0]->index->GetSnapshot();
+  ASSERT_TRUE(final_snap.ok());
+  EXPECT_EQ((*final_snap)->epoch(), HistorySize());
+  auto snap_result =
+      (*final_snap)->Query(QueryKind::kSuperset, superset_q, PlanMode::kAuto);
+  ASSERT_TRUE(snap_result.ok());
+  std::vector<uint64_t> snap_got;
+  for (Oid oid : snap_result->result.oids) snap_got.push_back(oid.value());
+  std::sort(snap_got.begin(), snap_got.end());
+  EXPECT_EQ(snap_got, OracleAnswer(oracle_, QueryKind::kSuperset, superset_q));
 }
 
 }  // namespace

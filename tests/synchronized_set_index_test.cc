@@ -1,7 +1,12 @@
 #include "db/synchronized_set_index.h"
 
 #include <atomic>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
 #include <thread>
+#include <utility>
 
 #include <gtest/gtest.h>
 
@@ -9,6 +14,58 @@
 
 namespace sigsetdb {
 namespace {
+
+// A decorator whose Read() rendezvouses: when armed, a reader entering
+// Read blocks until `expected` readers are inside Read at the same moment
+// (or flags a timeout).  Proves two code paths run concurrently.
+struct ReadGate {
+  std::mutex mu;
+  std::condition_variable cv;
+  int waiting = 0;
+  int expected = 2;
+  std::atomic<bool> armed{false};
+  std::atomic<bool> timed_out{false};
+
+  void Arrive() {
+    if (!armed.load(std::memory_order_acquire)) return;
+    std::unique_lock<std::mutex> lock(mu);
+    ++waiting;
+    if (waiting >= expected) {
+      cv.notify_all();
+    } else if (!cv.wait_for(lock, std::chrono::seconds(10),
+                            [this] { return waiting >= expected; })) {
+      timed_out.store(true, std::memory_order_release);
+    }
+  }
+};
+
+class GatedPageFile : public PageFile {
+ public:
+  GatedPageFile(std::unique_ptr<PageFile> base, ReadGate* gate, bool gated)
+      : base_(std::move(base)), gate_(gate), gated_(gated) {}
+
+  using PageFile::Read;
+  using PageFile::Write;
+
+  const std::string& name() const override { return base_->name(); }
+  PageId num_pages() const override { return base_->num_pages(); }
+  StatusOr<PageId> Allocate() override { return base_->Allocate(); }
+  Status Read(PageId id, Page* out, IoStats* io) override {
+    if (gated_) gate_->Arrive();
+    return base_->Read(id, out, io);
+  }
+  Status Write(PageId id, const Page& page, IoStats* io) override {
+    return base_->Write(id, page, io);
+  }
+  Status Sync() override { return base_->Sync(); }
+  IoStats& stats() override { return base_->stats(); }
+  const IoStats& stats() const override { return base_->stats(); }
+
+ private:
+  std::unique_ptr<PageFile> base_;
+  ReadGate* gate_;
+  bool gated_;
+};
 
 SetIndex::Options Options() {
   SetIndex::Options options;
@@ -118,6 +175,41 @@ TEST(SynchronizedSetIndexTest, ConcurrentMixedWorkloadStaysConsistent) {
   auto result = (*index)->Query(QueryKind::kSuperset, {7777});
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(result->result.oids.size(), 300u);
+}
+
+// Regression for the shared read lock: two concurrent Get()s must BOTH be
+// inside the object file's Read() at the same time.  Under the old
+// exclusive-only mutex the first Get would block inside Read holding the
+// lock while the second waited outside, and the rendezvous would time out.
+TEST(SynchronizedSetIndexTest, ConcurrentGetsDoNotSerialize) {
+  StorageManager storage;
+  ReadGate gate;
+  storage.SetInterceptor(
+      [&gate](std::unique_ptr<PageFile> base) -> std::unique_ptr<PageFile> {
+        const bool gated = base->name().find(".objects") != std::string::npos;
+        return std::make_unique<GatedPageFile>(std::move(base), &gate, gated);
+      });
+  auto index = SynchronizedSetIndex::Create(&storage, "attr", Options());
+  ASSERT_TRUE(index.ok());
+  auto a = (*index)->Insert({1, 2, 3});
+  auto b = (*index)->Insert({4, 5, 6});
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+
+  gate.armed.store(true, std::memory_order_release);
+  std::atomic<int> failures{0};
+  std::thread t1([&] {
+    if (!(*index)->Get(*a).ok()) ++failures;
+  });
+  std::thread t2([&] {
+    if (!(*index)->Get(*b).ok()) ++failures;
+  });
+  t1.join();
+  t2.join();
+  gate.armed.store(false);
+
+  EXPECT_FALSE(gate.timed_out.load()) << "concurrent Gets serialized";
+  EXPECT_EQ(failures.load(), 0);
 }
 
 }  // namespace

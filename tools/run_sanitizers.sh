@@ -11,6 +11,7 @@
 #   tools/run_sanitizers.sh batch      # batched write/delete suites under TSan
 #   tools/run_sanitizers.sh kernels    # SIMD kernel + skip-index suites
 #   tools/run_sanitizers.sh wal        # WAL group commit (TSan) + replay (ASan)
+#   tools/run_sanitizers.sh snapshots  # epoch/snapshot concurrency (TSan+ASan)
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -100,13 +101,26 @@ case "${1:-all}" in
     run_one thread -R 'wal_log|crash_recovery|query_differential_fuzz' "$@"
     run_one address -R 'wal_log|crash_recovery|query_differential_fuzz' "$@"
     ;;
+  snapshots)
+    # The MVCC-lite read path is lock-free by design: writers push CoW page
+    # versions and publish epochs while pinned readers walk the version
+    # chains with acquire loads, and the reclaimer concurrently frees
+    # superseded nodes.  TSan vets the publish/pin/reclaim interleavings
+    # (the concurrent differential fuzz drives 10 reader threads through
+    # them); ASan vets the version-chain allocation and reclamation.
+    shift
+    run_one thread -R \
+      'epoch_test|query_differential_fuzz|synchronized_set_index' "$@"
+    run_one address -R \
+      'epoch_test|query_differential_fuzz|synchronized_set_index' "$@"
+    ;;
   all)
     run_one thread
     run_one address
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots]" \
       "[ctest args...]" >&2
     exit 1
     ;;
