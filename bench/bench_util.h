@@ -49,6 +49,8 @@ struct MeasuredCost {
   double pages = 0;
   double reads = 0;
   double writes = 0;
+  double skipped = 0;  // pages elided by the slice skip index
+  double cow = 0;      // copy-on-write page copies (snapshot traffic)
   double wall_ms = 0;
 };
 
@@ -56,7 +58,8 @@ struct MeasuredCost {
 // bench.  Each measurement becomes one JSON object per line (JSONL):
 //
 //   {"bench":"fig4","label":"bssf.superset.meas","params":{"dq":3,...},
-//    "measured":{"pages":6.2,"reads":6.2,"writes":0},
+//    "measured":{"pages":6.2,"reads":6.2,"writes":0,
+//                "pages_skipped":1.5,"pages_cow":0},
 //    "predicted_pages":6.31,"wall_ms":0.42}
 //
 // `predicted_pages` is the analytical model's value for the same point and
@@ -112,19 +115,11 @@ class BenchJson {
     w.Field("pages", record.measured.pages);
     w.Field("reads", record.measured.reads);
     w.Field("writes", record.measured.writes);
+    w.Field("pages_skipped", record.measured.skipped);
+    w.Field("pages_cow", record.measured.cow);
     w.EndObject();
-    w.Key("predicted_pages");
-    if (record.predicted_pages < 0) {
-      w.Null();
-    } else {
-      w.Double(record.predicted_pages);
-    }
-    w.Key("wall_ms");
-    if (record.measured.wall_ms < 0) {
-      w.Null();
-    } else {
-      w.Double(record.measured.wall_ms);
-    }
+    w.FieldOrNull("predicted_pages", record.predicted_pages);
+    w.FieldOrNull("wall_ms", record.measured.wall_ms);
     w.EndObject();
     std::fprintf(out_, "%s\n", w.str().c_str());
     std::fflush(out_);
@@ -304,11 +299,15 @@ class BenchDb {
       IoStats io = storage_.TotalStats();
       total.reads += static_cast<double>(io.reads());
       total.writes += static_cast<double>(io.writes());
+      total.skipped += static_cast<double>(io.skips());
+      total.cow += static_cast<double>(io.cows());
       total.wall_ms +=
           std::chrono::duration<double, std::milli>(end - start).count();
     }
     total.reads /= trials;
     total.writes /= trials;
+    total.skipped /= trials;
+    total.cow /= trials;
     total.wall_ms /= trials;
     total.pages = total.reads + total.writes;
     return total;

@@ -71,6 +71,118 @@ Database::Database(StorageManager* storage, Options options)
   if (options_.enable_snapshots) {
     epochs_ = std::make_unique<EpochManager>();
   }
+  if (options_.enable_telemetry) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(options_.flight_recorder_capacity);
+    watchdog_ = std::make_unique<DriftWatchdog>(metrics_, recorder_.get(),
+                                                options_.drift);
+    if (epochs_ != nullptr) epochs_->SetMetrics(metrics_);
+  }
+}
+
+namespace {
+// Statuses after which the instance's state can no longer be trusted (see
+// SetIndex's IsFatalStatus; kept local to each TU on purpose).
+bool FatalStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void Database::RecordOpTelemetry(FlightOp op, const char* metric,
+                                 const TraceTimer& timer,
+                                 const IoStats& before, const Status& status,
+                                 uint64_t fingerprint, const char* detail) {
+  metrics_->histogram(metric)->Record(
+      static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+  FlightEvent event;
+  event.op = op;
+  event.status_code = static_cast<int32_t>(status.code());
+  event.fingerprint = fingerprint;
+  event.epoch = current_epoch();
+  event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+  event.SetDelta(storage_->TotalStats() - before);
+  if (detail != nullptr) {
+    event.SetDetail(detail);
+  } else if (!status.ok()) {
+    event.SetDetail(status.message());
+  }
+  recorder_->Record(event);
+  if (!status.ok() && FatalStatus(status)) NoteFatal(status);
+}
+
+void Database::NoteFatal(const Status& cause) {
+  if (postmortem_written_) return;
+  postmortem_written_ = true;
+  FlightEvent event;
+  event.op = FlightOp::kFatal;
+  event.status_code = static_cast<int32_t>(cause.code());
+  event.epoch = current_epoch();
+  event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+  event.SetDetail(cause.message());
+  recorder_->Record(event);
+  const std::string reason = "fatal status: " + cause.ToString();
+  last_postmortem_json_ = recorder_->PostmortemJson(reason);
+  if (!options_.postmortem_dir.empty()) {
+    (void)recorder_->WritePostmortem(
+        options_.postmortem_dir + "/" + name_ + ".postmortem", reason);
+  }
+}
+
+Status Database::Checkpoint() {
+  if (recorder_ == nullptr) return CheckpointImpl();
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = CheckpointImpl();
+  RecordOpTelemetry(FlightOp::kCheckpoint, "op.checkpoint.latency_us", timer,
+                    before, status);
+  return status;
+}
+
+StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
+  if (recorder_ == nullptr) return InsertImpl(std::move(attr_values));
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  StatusOr<Oid> out = InsertImpl(std::move(attr_values));
+  RecordOpTelemetry(FlightOp::kInsert, "op.insert.latency_us", timer, before,
+                    out.status());
+  return out;
+}
+
+Status Database::Delete(Oid oid) {
+  if (recorder_ == nullptr) return DeleteImpl(oid);
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = DeleteImpl(oid);
+  RecordOpTelemetry(FlightOp::kDelete, "op.delete.latency_us", timer, before,
+                    status);
+  return status;
+}
+
+StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
+  if (recorder_ == nullptr) return ApplyBatchImpl(batch);
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  StatusOr<std::vector<Oid>> out = ApplyBatchImpl(batch);
+  RecordOpTelemetry(FlightOp::kBatch, "op.batch.latency_us", timer, before,
+                    out.status());
+  return out;
+}
+
+Status Database::Compact() {
+  if (recorder_ == nullptr) return CompactImpl();
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = CompactImpl();
+  RecordOpTelemetry(FlightOp::kCompact, "op.compact.latency_us", timer,
+                    before, status);
+  return status;
 }
 
 Database::~Database() {
@@ -164,7 +276,7 @@ StatusOr<std::unique_ptr<DatabaseSnapshot>> Database::GetSnapshot() {
     return Status::FailedPrecondition(
         "snapshots disabled (Options::enable_snapshots)");
   }
-  return DatabaseSnapshot::Create(epochs_->Pin(), metrics_);
+  return DatabaseSnapshot::Create(epochs_->Pin(), metrics_, recorder_.get());
 }
 
 uint64_t Database::current_epoch() const {
@@ -414,7 +526,7 @@ StatusOr<std::unique_ptr<Database>> Database::Open(StorageManager* storage,
   return db;
 }
 
-Status Database::Checkpoint() {
+Status Database::CheckpointImpl() {
   if (!poison_.ok()) return poison_;
   // Quiescent invariant: every appended record has been committed (each
   // mutation commits before returning), so last_lsn() covers everything the
@@ -498,7 +610,7 @@ Status Database::ApplyInsert(const std::vector<ElementSet>& normalized,
   return Status::OK();
 }
 
-StatusOr<Oid> Database::Insert(std::vector<ElementSet> attr_values) {
+StatusOr<Oid> Database::InsertImpl(std::vector<ElementSet> attr_values) {
   if (!poison_.ok()) return poison_;
   if (attr_values.size() != attrs_.size()) {
     return Status::InvalidArgument("attribute count mismatch");
@@ -560,7 +672,7 @@ Status Database::ApplyDelete(Oid oid, const MultiSetObject& obj) {
   return Status::OK();
 }
 
-Status Database::Delete(Oid oid) {
+Status Database::DeleteImpl(Oid oid) {
   if (!poison_.ok()) return poison_;
   SIGSET_ASSIGN_OR_RETURN(MultiSetObject obj, store_->Get(oid));
   if (wal_ == nullptr) {
@@ -592,7 +704,7 @@ Status Database::AbortAndPoison(uint64_t lsn, const Status& cause) {
   return cause;
 }
 
-StatusOr<std::vector<Oid>> Database::ApplyBatch(const MultiWriteBatch& batch) {
+StatusOr<std::vector<Oid>> Database::ApplyBatchImpl(const MultiWriteBatch& batch) {
   if (!poison_.ok()) return poison_;
   for (const std::vector<ElementSet>& attr_values : batch.inserts()) {
     if (attr_values.size() != attrs_.size()) {
@@ -707,13 +819,13 @@ Status Database::ApplyBatchBody(
   return Status::OK();
 }
 
-Status Database::Compact() {
+Status Database::CompactImpl() {
   if (!poison_.ok()) return poison_;
   bool any_sig = false;
   for (const AttributeState& state : attrs_) {
     if (state.ssf != nullptr || state.bssf != nullptr) any_sig = true;
   }
-  if (!any_sig) return Checkpoint();
+  if (!any_sig) return CheckpointImpl();
   const uint64_t next_gen = generation_ + 1;
 
   // Build every attribute's next-generation files before swapping anything:
@@ -1061,6 +1173,12 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
                             AttributeIndex(preds[i].attribute));
   }
 
+  // With telemetry on, plain queries run with an internal trace feeding the
+  // drift watchdog (tracing only snapshots IoStats; page counts are
+  // identical either way).
+  QueryTrace telemetry_trace;
+  if (recorder_ != nullptr && trace == nullptr) trace = &telemetry_trace;
+
   // Pick the cheapest predicate as the candidate driver.
   size_t driver = 0;
   double best_cost = 0;
@@ -1098,11 +1216,21 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
   TraceTimer sel_timer(trace != nullptr);
   if (trace != nullptr) sel_before = driver_facility->StageStats();
   IoStats before = storage_->TotalStats();
-  SIGSET_ASSIGN_OR_RETURN(
-      std::vector<Oid> candidates,
+  StatusOr<std::vector<Oid>> selected =
       DriverCandidates(attr_index[driver], driver_plan,
                        CandidateKind(preds[driver].kind),
-                       preds[driver].query));
+                       preds[driver].query);
+  if (!selected.ok()) {
+    if (recorder_ != nullptr) {
+      RecordOpTelemetry(FlightOp::kQuery, "query.latency_us", query_timer,
+                        before, selected.status(),
+                        FlightRecorder::Fingerprint(
+                            static_cast<int>(preds[driver].kind),
+                            preds[driver].query));
+    }
+    return selected.status();
+  }
+  std::vector<Oid> candidates = std::move(selected).value();
   IoStats resolve_before;
   TraceTimer resolve_timer(trace != nullptr);
   if (trace != nullptr) {
@@ -1143,6 +1271,13 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
           ++out.num_false_drops;
           continue;
         }
+        if (recorder_ != nullptr) {
+          RecordOpTelemetry(FlightOp::kQuery, "query.latency_us", query_timer,
+                            before, obj.status(),
+                            FlightRecorder::Fingerprint(
+                                static_cast<int>(preds[driver].kind),
+                                preds[driver].query));
+        }
         return obj.status();
       }
       if (check_all(*obj)) {
@@ -1155,6 +1290,8 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
     struct WorkerState {
       std::vector<Oid> kept;
       uint64_t false_drops = 0;
+      uint64_t processed = 0;
+      double wall_ms = 0.0;
       IoStats io;
       Status status;
     };
@@ -1162,6 +1299,8 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
     ctx->pool->ParallelFor(
         candidates.size(), workers, [&](size_t w, size_t begin, size_t end) {
           WorkerState& ws = states[w];
+          TraceTimer worker_timer(trace != nullptr);
+          ws.processed = end - begin;
           for (size_t i = begin; i < end; ++i) {
             StatusOr<MultiSetObject> obj = store_->Get(candidates[i], &ws.io);
             if (!obj.ok()) {
@@ -1180,18 +1319,52 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
               ++ws.false_drops;
             }
           }
+          if (trace != nullptr) ws.wall_ms = worker_timer.ElapsedMs();
         });
     for (const WorkerState& ws : states) store_->stats() += ws.io;
     std::vector<Status> statuses;
     statuses.reserve(states.size());
     for (const WorkerState& ws : states) statuses.push_back(ws.status);
-    SIGSET_RETURN_IF_ERROR(MergeWorkerStatuses(statuses));
+    const Status merged = MergeWorkerStatuses(statuses);
+    if (!merged.ok()) {
+      if (recorder_ != nullptr) {
+        RecordOpTelemetry(FlightOp::kQuery, "query.latency_us", query_timer,
+                          before, merged,
+                          FlightRecorder::Fingerprint(
+                              static_cast<int>(preds[driver].kind),
+                              preds[driver].query));
+      }
+      return merged;
+    }
     for (WorkerState& ws : states) {
       out.oids.insert(out.oids.end(), ws.kept.begin(), ws.kept.end());
       out.num_false_drops += ws.false_drops;
     }
+    if (trace != nullptr) {
+      const IoStats delta = store_->stats() - resolve_before;
+      TraceSpan* span = trace->AddStage("resolution");
+      span->page_reads = delta.reads();
+      span->page_writes = delta.writes();
+      span->wall_ms = resolve_timer.ElapsedMs();
+      span->candidates = static_cast<int64_t>(out.num_candidates);
+      span->false_drops = static_cast<int64_t>(out.num_false_drops);
+      // One timed child per worker: the Perfetto exporter renders these as
+      // parallel tracks, making resolve skew visible.
+      for (size_t w = 0; w < states.size(); ++w) {
+        TraceSpan child;
+        child.name = "worker " + std::to_string(w);
+        child.page_reads = states[w].io.reads();
+        child.page_writes = states[w].io.writes();
+        child.pages_skipped = states[w].io.skips();
+        child.pages_cow = states[w].io.cows();
+        child.wall_ms = states[w].wall_ms;
+        child.candidates = static_cast<int64_t>(states[w].processed);
+        child.false_drops = static_cast<int64_t>(states[w].false_drops);
+        span->children.push_back(std::move(child));
+      }
+    }
   }
-  if (trace != nullptr) {
+  if (workers <= 1 && trace != nullptr) {
     const IoStats delta = store_->stats() - resolve_before;
     TraceSpan* span = trace->AddStage("resolution");
     span->page_reads = delta.reads();
@@ -1213,7 +1386,55 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
   metrics_->histogram("query.pages")->Record(out.page_accesses);
   metrics_->histogram("query.latency_us")
       ->Record(static_cast<uint64_t>(query_timer.ElapsedMs() * 1000.0));
+
+  if (recorder_ != nullptr) {
+    metrics_
+        ->histogram("query." +
+                    std::string(QueryKindName(preds[driver].kind)) +
+                    ".latency_us")
+        ->Record(static_cast<uint64_t>(query_timer.ElapsedMs() * 1000.0));
+    FlightEvent event;
+    event.op = FlightOp::kQuery;
+    event.fingerprint = FlightRecorder::Fingerprint(
+        static_cast<int>(preds[driver].kind), preds[driver].query);
+    event.epoch = current_epoch();
+    event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+    event.SetDelta(storage_->TotalStats() - before);
+    event.SetDetail(out.driver);
+    recorder_->Record(event);
+  }
+  if (trace != nullptr) {
+    AttachPredictions(trace, driver_plan, attr_index[driver], preds[driver]);
+    if (watchdog_ != nullptr) watchdog_->ObserveTrace(*trace);
+  }
   return out;
+}
+
+void Database::AttachPredictions(QueryTrace* trace,
+                                 const AccessPathChoice& chosen, size_t attr,
+                                 const SetPredicate& pred) const {
+  // Predictions cover the driver predicate: candidate selection is priced
+  // exactly; the resolution prediction assumes the driver alone (the other
+  // conjuncts are checked in memory on the already-fetched object).
+  const ModelView mv = ModelFor(attr);
+  const CostBreakdown bd =
+      BreakdownForChoice(mv.db, mv.sig, mv.nix, mv.dt,
+                         static_cast<int64_t>(pred.query.size()), pred.kind,
+                         chosen);
+  if (bd.total() <= 0) return;
+  trace->predicted_total = bd.total();
+  for (TraceSpan& stage : trace->mutable_stages()) {
+    if (stage.name == "candidate selection") {
+      stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
+      for (TraceSpan& child : stage.children) {
+        child.predicted_pages = child.name == "oid lookup"
+                                    ? bd.oid_lookup
+                                    : bd.candidate_selection;
+      }
+    } else if (stage.name == "resolution") {
+      stage.predicted_pages = bd.resolution;
+    }
+  }
 }
 
 StatusOr<DatabaseExplainResult> Database::Explain(
@@ -1224,30 +1445,8 @@ StatusOr<DatabaseExplainResult> Database::Explain(
   SetPredicate pred;
   SIGSET_ASSIGN_OR_RETURN(
       out.result, QueryInternal(predicates, &out.trace, &plan, &attr, &pred));
-
-  // Predictions cover the driver predicate: candidate selection is priced
-  // exactly; the resolution prediction assumes the driver alone (the other
-  // conjuncts are checked in memory on the already-fetched object).
-  const ModelView mv = ModelFor(attr);
-  const CostBreakdown bd =
-      BreakdownForChoice(mv.db, mv.sig, mv.nix, mv.dt,
-                         static_cast<int64_t>(pred.query.size()), pred.kind,
-                         plan);
-  if (bd.total() > 0) {
-    out.trace.predicted_total = bd.total();
-    for (TraceSpan& stage : out.trace.mutable_stages()) {
-      if (stage.name == "candidate selection") {
-        stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
-        for (TraceSpan& child : stage.children) {
-          child.predicted_pages = child.name == "oid lookup"
-                                      ? bd.oid_lookup
-                                      : bd.candidate_selection;
-        }
-      } else if (stage.name == "resolution") {
-        stage.predicted_pages = bd.resolution;
-      }
-    }
-  }
+  // Per-stage model predictions are attached inside QueryInternal (shared
+  // with the telemetry-internal traces feeding the drift watchdog).
   out.text = RenderExplain(out.trace);
   out.json = out.trace.ToJson();
   return out;

@@ -28,6 +28,8 @@
 #include "nix/nested_index.h"
 #include "obj/multi_object_store.h"
 #include "obj/schema.h"
+#include "obs/drift_watchdog.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/advisor.h"
@@ -107,6 +109,13 @@ class Database {
     // GetSnapshot() returns a pinned read-only view evaluating conjunctions
     // concurrently with churn.  Off by default for paper-pinned counts.
     bool enable_snapshots = false;
+    // Production telemetry (see SetIndex::Options::enable_telemetry):
+    // latency histograms per entry point, a flight recorder with crash
+    // postmortems, and a cost-model drift watchdog.  Off by default.
+    bool enable_telemetry = false;
+    size_t flight_recorder_capacity = 512;
+    DriftOptions drift;
+    std::string postmortem_dir;
   };
 
   // Creates the class storage under the file prefix `class_name`.
@@ -161,6 +170,15 @@ class Database {
   // The registry this database reports into (configured or owned).
   MetricsRegistry* metrics() const { return metrics_; }
 
+  // Telemetry components (nullptr unless Options::enable_telemetry).
+  FlightRecorder* flight_recorder() { return recorder_.get(); }
+  DriftWatchdog* drift_watchdog() { return watchdog_.get(); }
+  // JSON postmortem captured when the first fatal status surfaced (empty
+  // until then; also written to Options::postmortem_dir when set).
+  const std::string& last_postmortem_json() const {
+    return last_postmortem_json_;
+  }
+
   // The V the advisor uses for attribute `attr`: configured or sketched.
   int64_t DomainEstimate(size_t attr) const;
 
@@ -212,6 +230,28 @@ class Database {
   };
 
   Database(StorageManager* storage, Options options);
+
+  // Untimed bodies of the public entry points (see SetIndex: the public
+  // methods are telemetry shims that forward directly when telemetry is
+  // off).
+  Status CheckpointImpl();
+  StatusOr<Oid> InsertImpl(std::vector<ElementSet> attr_values);
+  Status DeleteImpl(Oid oid);
+  StatusOr<std::vector<Oid>> ApplyBatchImpl(const MultiWriteBatch& batch);
+  Status CompactImpl();
+
+  // Entry-point telemetry: latency histogram sample + flight event; fatal
+  // statuses trigger NoteFatal (one-shot postmortem capture).
+  void RecordOpTelemetry(FlightOp op, const char* metric,
+                         const TraceTimer& timer, const IoStats& before,
+                         const Status& status, uint64_t fingerprint = 0,
+                         const char* detail = nullptr);
+  void NoteFatal(const Status& cause);
+
+  // Attaches the model's per-stage predictions for the driver predicate to
+  // a finished trace (shared by Explain and telemetry-internal traces).
+  void AttachPredictions(QueryTrace* trace, const AccessPathChoice& chosen,
+                         size_t attr, const SetPredicate& pred) const;
 
   // nullptr when num_threads <= 1.
   const ParallelExecutionContext* execution_context() const {
@@ -296,6 +336,11 @@ class Database {
   std::vector<ElementDictionary> dictionaries_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  // Telemetry (all null/empty unless enable_telemetry).
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<DriftWatchdog> watchdog_;
+  bool postmortem_written_ = false;
+  std::string last_postmortem_json_;
 };
 
 }  // namespace sigsetdb

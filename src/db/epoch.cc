@@ -10,7 +10,10 @@ EpochPin& EpochPin::operator=(EpochPin&& other) noexcept {
     manager_ = other.manager_;
     epoch_ = other.epoch_;
     state_ = std::move(other.state_);
+    timed_ = other.timed_;
+    pin_start_ = other.pin_start_;
     other.manager_ = nullptr;
+    other.timed_ = false;
     other.state_.reset();
   }
   return *this;
@@ -18,8 +21,15 @@ EpochPin& EpochPin::operator=(EpochPin&& other) noexcept {
 
 void EpochPin::Release() {
   if (manager_ != nullptr) {
-    manager_->Unpin(epoch_);
+    int64_t pin_us = -1;
+    if (timed_) {
+      pin_us = std::chrono::duration_cast<std::chrono::microseconds>(
+                   std::chrono::steady_clock::now() - pin_start_)
+                   .count();
+    }
+    manager_->Unpin(epoch_, pin_us);
     manager_ = nullptr;
+    timed_ = false;
   }
   state_.reset();
 }
@@ -51,18 +61,42 @@ void EpochManager::Publish(std::shared_ptr<const SnapshotState> state) {
   cv_.notify_all();
 }
 
+void EpochManager::SetMetrics(MetricsRegistry* metrics) {
+  std::lock_guard<std::mutex> lock(mu_);
+  pins_gauge_ = metrics->gauge("epoch.pins");
+  backlog_gauge_ = metrics->gauge("epoch.reclaim_backlog");
+  reclaimed_counter_ = metrics->counter("epoch.reclaimed_versions");
+  pin_us_ = metrics->histogram("epoch.pin_us");
+}
+
 EpochPin EpochManager::Pin() {
   std::lock_guard<std::mutex> lock(mu_);
   const uint64_t epoch = published_epoch_.load(std::memory_order_relaxed);
   ++pins_[epoch];
-  return EpochPin(this, epoch, state_);
+  ++live_pins_;
+  if (pins_gauge_ != nullptr) {
+    pins_gauge_->Set(static_cast<double>(live_pins_));
+  }
+  EpochPin pin(this, epoch, state_);
+  if (pin_us_ != nullptr) {
+    pin.timed_ = true;
+    pin.pin_start_ = std::chrono::steady_clock::now();
+  }
+  return pin;
 }
 
-void EpochManager::Unpin(uint64_t epoch) {
+void EpochManager::Unpin(uint64_t epoch, int64_t pin_us) {
   {
     std::lock_guard<std::mutex> lock(mu_);
     auto it = pins_.find(epoch);
     if (it != pins_.end() && --it->second == 0) pins_.erase(it);
+    if (live_pins_ > 0) --live_pins_;
+    if (pins_gauge_ != nullptr) {
+      pins_gauge_->Set(static_cast<double>(live_pins_));
+    }
+    if (pin_us >= 0 && pin_us_ != nullptr) {
+      pin_us_->Record(static_cast<uint64_t>(pin_us));
+    }
     work_pending_ = true;
   }
   cv_.notify_all();
@@ -88,13 +122,24 @@ uint64_t EpochManager::pinned_count() const {
 
 uint64_t EpochManager::RunReclaimers(uint64_t oldest) {
   std::vector<ReclaimFn> fns;
+  Gauge* backlog = nullptr;
+  Counter* reclaimed = nullptr;
   {
     std::lock_guard<std::mutex> lock(mu_);
     fns = reclaimers_;
+    backlog = backlog_gauge_;
+    reclaimed = reclaimed_counter_;
+  }
+  if (backlog != nullptr) {
+    // Epochs the reclaimer cannot free yet because a pin holds them alive.
+    const uint64_t published =
+        published_epoch_.load(std::memory_order_relaxed);
+    backlog->Set(static_cast<double>(published - oldest));
   }
   uint64_t freed = 0;
   for (const ReclaimFn& fn : fns) freed += fn(oldest);
   total_reclaimed_.fetch_add(freed, std::memory_order_relaxed);
+  if (reclaimed != nullptr && freed > 0) reclaimed->Increment(freed);
   return freed;
 }
 

@@ -20,6 +20,7 @@
 #define SIGSET_DB_EPOCH_H_
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <functional>
@@ -28,6 +29,8 @@
 #include <mutex>
 #include <thread>
 #include <vector>
+
+#include "obs/metrics.h"
 
 namespace sigsetdb {
 
@@ -60,6 +63,10 @@ class EpochPin {
   EpochManager* manager_ = nullptr;
   uint64_t epoch_ = 0;
   std::shared_ptr<const SnapshotState> state_;
+  // Pin-duration telemetry (only armed when the manager has metrics; plain
+  // snapshot reads take no clock reads).
+  bool timed_ = false;
+  std::chrono::steady_clock::time_point pin_start_{};
 };
 
 // Coordinates epoch publication, reader pins, and background reclamation.
@@ -104,6 +111,12 @@ class EpochManager {
   // Returns the number of versions freed across all registered callbacks.
   uint64_t ReclaimNow();
 
+  // Arms epoch telemetry: epoch.pins / epoch.reclaim_backlog gauges, an
+  // epoch.reclaimed_versions counter, and an epoch.pin_us histogram of pin
+  // hold times.  Without this call (the default) the manager takes no clock
+  // reads and exports nothing.
+  void SetMetrics(MetricsRegistry* metrics);
+
   uint64_t pinned_count() const;
   uint64_t total_reclaimed() const {
     return total_reclaimed_.load(std::memory_order_relaxed);
@@ -111,7 +124,8 @@ class EpochManager {
 
  private:
   friend class EpochPin;
-  void Unpin(uint64_t epoch);
+  // `pin_us` < 0 means the pin was untimed (no metrics when it was taken).
+  void Unpin(uint64_t epoch, int64_t pin_us);
   void ReclaimerLoop();
   uint64_t RunReclaimers(uint64_t oldest);
 
@@ -125,6 +139,12 @@ class EpochManager {
   std::vector<ReclaimFn> reclaimers_;                // guarded by mu_
   bool work_pending_ = false;
   bool stop_ = false;
+  // Telemetry sinks (guarded by mu_; all null until SetMetrics).
+  Gauge* pins_gauge_ = nullptr;
+  Gauge* backlog_gauge_ = nullptr;
+  Counter* reclaimed_counter_ = nullptr;
+  Histogram* pin_us_ = nullptr;
+  uint64_t live_pins_ = 0;  // running Σ pins_ values, for the gauge
   std::thread reclaimer_;
 };
 

@@ -27,6 +27,120 @@ SetIndex::SetIndex(StorageManager* storage, Options options)
   if (options_.enable_snapshots) {
     epochs_ = std::make_unique<EpochManager>();
   }
+  if (options_.enable_telemetry) {
+    recorder_ =
+        std::make_unique<FlightRecorder>(options_.flight_recorder_capacity);
+    watchdog_ = std::make_unique<DriftWatchdog>(metrics_, recorder_.get(),
+                                                options_.drift);
+    if (epochs_ != nullptr) epochs_->SetMetrics(metrics_);
+  }
+}
+
+namespace {
+// Statuses after which the instance's state can no longer be trusted; the
+// first one triggers the one-shot flight-recorder postmortem.
+bool IsFatalStatus(const Status& status) {
+  switch (status.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kCorruption:
+    case StatusCode::kInternal:
+      return true;
+    default:
+      return false;
+  }
+}
+}  // namespace
+
+void SetIndex::RecordOpTelemetry(FlightOp op, const char* metric,
+                                 const TraceTimer& timer,
+                                 const IoStats& before, const Status& status,
+                                 uint64_t fingerprint, const char* detail) {
+  metrics_->histogram(metric)->Record(
+      static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+  FlightEvent event;
+  event.op = op;
+  event.status_code = static_cast<int32_t>(status.code());
+  event.fingerprint = fingerprint;
+  event.epoch = current_epoch();
+  event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+  event.SetDelta(storage_->TotalStats() - before);
+  if (detail != nullptr) {
+    event.SetDetail(detail);
+  } else if (!status.ok()) {
+    event.SetDetail(status.message());
+  }
+  recorder_->Record(event);
+  if (!status.ok() && IsFatalStatus(status)) NoteFatal(status);
+}
+
+void SetIndex::NoteFatal(const Status& cause) {
+  if (postmortem_written_) return;
+  postmortem_written_ = true;
+  FlightEvent event;
+  event.op = FlightOp::kFatal;
+  event.status_code = static_cast<int32_t>(cause.code());
+  event.epoch = current_epoch();
+  event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+  event.SetDetail(cause.message());
+  recorder_->Record(event);
+  const std::string reason = "fatal status: " + cause.ToString();
+  last_postmortem_json_ = recorder_->PostmortemJson(reason);
+  if (!options_.postmortem_dir.empty()) {
+    // Plain stdio, never the page layer: the fatal status may mean the page
+    // layer itself is what failed.
+    (void)recorder_->WritePostmortem(
+        options_.postmortem_dir + "/" + name_ + ".postmortem", reason);
+  }
+}
+
+Status SetIndex::Checkpoint() {
+  if (recorder_ == nullptr) return CheckpointImpl();
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = CheckpointImpl();
+  RecordOpTelemetry(FlightOp::kCheckpoint, "op.checkpoint.latency_us", timer,
+                    before, status);
+  return status;
+}
+
+StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
+  if (recorder_ == nullptr) return InsertImpl(set_value);
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  StatusOr<Oid> out = InsertImpl(set_value);
+  RecordOpTelemetry(FlightOp::kInsert, "op.insert.latency_us", timer, before,
+                    out.status());
+  return out;
+}
+
+Status SetIndex::Delete(Oid oid) {
+  if (recorder_ == nullptr) return DeleteImpl(oid);
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = DeleteImpl(oid);
+  RecordOpTelemetry(FlightOp::kDelete, "op.delete.latency_us", timer, before,
+                    status);
+  return status;
+}
+
+StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
+  if (recorder_ == nullptr) return ApplyBatchImpl(batch);
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  StatusOr<std::vector<Oid>> out = ApplyBatchImpl(batch);
+  RecordOpTelemetry(FlightOp::kBatch, "op.batch.latency_us", timer, before,
+                    out.status());
+  return out;
+}
+
+Status SetIndex::Compact() {
+  if (recorder_ == nullptr) return CompactImpl();
+  TraceTimer timer;
+  const IoStats before = storage_->TotalStats();
+  Status status = CompactImpl();
+  RecordOpTelemetry(FlightOp::kCompact, "op.compact.latency_us", timer,
+                    before, status);
+  return status;
 }
 
 SetIndex::~SetIndex() {
@@ -108,7 +222,7 @@ StatusOr<std::unique_ptr<Snapshot>> SetIndex::GetSnapshot() {
     return Status::FailedPrecondition(
         "snapshots disabled (Options::enable_snapshots)");
   }
-  return Snapshot::Create(epochs_->Pin(), metrics_);
+  return Snapshot::Create(epochs_->Pin(), metrics_, recorder_.get());
 }
 
 uint64_t SetIndex::current_epoch() const {
@@ -214,7 +328,7 @@ std::string GenName(const std::string& base, uint64_t generation) {
 }
 }  // namespace
 
-Status SetIndex::Checkpoint() {
+Status SetIndex::CheckpointImpl() {
   SIGSET_FAILPOINT("set_index.checkpoint");
   if (!poison_.ok()) return poison_;
   // Quiescent invariant: every appended record has been committed (each
@@ -471,7 +585,7 @@ Status SetIndex::AbortAndPoison(uint64_t lsn, const Status& cause) {
   return cause;
 }
 
-StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
+StatusOr<Oid> SetIndex::InsertImpl(const ElementSet& set_value) {
   if (!poison_.ok()) return poison_;
   ElementSet normalized = set_value;
   NormalizeSet(&normalized);
@@ -500,7 +614,7 @@ StatusOr<Oid> SetIndex::Insert(const ElementSet& set_value) {
   return predicted;
 }
 
-Status SetIndex::Delete(Oid oid) {
+Status SetIndex::DeleteImpl(Oid oid) {
   if (!poison_.ok()) return poison_;
   SIGSET_ASSIGN_OR_RETURN(StoredObject obj, store_->Get(oid));
   if (wal_ == nullptr) {
@@ -519,7 +633,7 @@ Status SetIndex::Delete(Oid oid) {
   return Status::OK();
 }
 
-StatusOr<std::vector<Oid>> SetIndex::ApplyBatch(const WriteBatch& batch) {
+StatusOr<std::vector<Oid>> SetIndex::ApplyBatchImpl(const WriteBatch& batch) {
   if (!poison_.ok()) return poison_;
   // Fetch delete victims up front (their set values drive the de-indexing);
   // this is also why deleting a same-batch insert is unsupported.
@@ -623,9 +737,9 @@ Status SetIndex::ApplyBatchBody(const WriteBatch& batch,
   return Status::OK();
 }
 
-Status SetIndex::Compact() {
+Status SetIndex::CompactImpl() {
   if (!poison_.ok()) return poison_;
-  if (ssf_ == nullptr && bssf_ == nullptr) return Checkpoint();
+  if (ssf_ == nullptr && bssf_ == nullptr) return CheckpointImpl();
   uint64_t next_gen = generation_ + 1;
 
   // Write the dense copies into the next generation's files.  CompactTo is
@@ -939,6 +1053,13 @@ StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
     return Status::InvalidArgument("query set must not be empty");
   }
 
+  // With telemetry on, plain queries run with an internal trace so the
+  // drift watchdog can pair measured stage pages with the model's
+  // predictions.  Tracing only snapshots IoStats counters — page-access
+  // counts are identical with or without it.
+  QueryTrace telemetry_trace;
+  if (recorder_ != nullptr && trace == nullptr) trace = &telemetry_trace;
+
   AccessPathChoice plan;
   switch (mode) {
     case PlanMode::kForceSsf:
@@ -969,8 +1090,20 @@ StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
 
   TraceTimer timer;  // feeds the latency histogram (metrics, not tracing)
   IoStats before = storage_->TotalStats();
-  SIGSET_ASSIGN_OR_RETURN(QueryResult result,
-                          RunPlan(plan, kind, normalized, trace));
+  StatusOr<QueryResult> ran = RunPlan(plan, kind, normalized, trace);
+  if (!ran.ok()) {
+    // Failed queries never reach the success bookkeeping below; hand the
+    // failure to the flight recorder (and, for fatal statuses, the
+    // postmortem) before propagating it.
+    if (recorder_ != nullptr) {
+      RecordOpTelemetry(FlightOp::kQuery, "query.latency_us", timer, before,
+                        ran.status(),
+                        FlightRecorder::Fingerprint(static_cast<int>(kind),
+                                                    normalized));
+    }
+    return ran.status();
+  }
+  QueryResult result = std::move(ran).value();
   IoStats delta = storage_->TotalStats() - before;
 
   // Registry bookkeeping: memory-only counter updates, no page I/O, so
@@ -992,7 +1125,56 @@ StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
   out.result = std::move(result);
   out.plan = plan.facility + " " + plan.strategy;
   out.page_accesses = delta.total();
+
+  if (recorder_ != nullptr) {
+    metrics_
+        ->histogram("query." + std::string(QueryKindName(kind)) +
+                    ".latency_us")
+        ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+    FlightEvent event;
+    event.op = FlightOp::kQuery;
+    event.fingerprint =
+        FlightRecorder::Fingerprint(static_cast<int>(kind), normalized);
+    event.epoch = current_epoch();
+    event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
+    recorder_->Record(event);
+  }
+  if (trace != nullptr) {
+    AttachPredictions(trace, plan, kind);
+    if (watchdog_ != nullptr) watchdog_->ObserveTrace(*trace);
+  }
   return out;
+}
+
+void SetIndex::AttachPredictions(QueryTrace* trace,
+                                 const AccessPathChoice& chosen,
+                                 QueryKind kind) const {
+  // The model's per-stage predictions for the executed plan, priced against
+  // the same live statistics the planner used.
+  DatabaseParams db = LiveDbParams();
+  SignatureParams sig{options_.sig.f, options_.sig.m};
+  NixParams nix;
+  nix.fanout = options_.nix_fanout;
+  int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (dt < 1) dt = 1;
+  CostBreakdown bd =
+      BreakdownForChoice(db, sig, nix, dt, trace->dq, kind, chosen);
+  if (bd.total() <= 0) return;
+  trace->predicted_total = bd.total();
+  for (TraceSpan& stage : trace->mutable_stages()) {
+    if (stage.name == "candidate selection") {
+      stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
+      for (TraceSpan& child : stage.children) {
+        child.predicted_pages = child.name == "oid lookup"
+                                    ? bd.oid_lookup
+                                    : bd.candidate_selection;
+      }
+    } else if (stage.name == "resolution") {
+      stage.predicted_pages = bd.resolution;
+    }
+  }
 }
 
 StatusOr<SetIndexResult> SetIndex::Query(QueryKind kind,
@@ -1008,32 +1190,8 @@ StatusOr<SetIndexExplainResult> SetIndex::Explain(QueryKind kind,
   AccessPathChoice plan;
   SIGSET_ASSIGN_OR_RETURN(
       out.result, QueryInternal(kind, query, mode, &out.trace, &plan));
-
-  // Attach the model's per-stage predictions for the executed plan, priced
-  // against the same live statistics the planner used.
-  DatabaseParams db = LiveDbParams();
-  SignatureParams sig{options_.sig.f, options_.sig.m};
-  NixParams nix;
-  nix.fanout = options_.nix_fanout;
-  int64_t dt = static_cast<int64_t>(std::llround(mean_cardinality()));
-  if (dt < 1) dt = 1;
-  CostBreakdown bd =
-      BreakdownForChoice(db, sig, nix, dt, out.trace.dq, kind, plan);
-  if (bd.total() > 0) {
-    out.trace.predicted_total = bd.total();
-    for (TraceSpan& stage : out.trace.mutable_stages()) {
-      if (stage.name == "candidate selection") {
-        stage.predicted_pages = bd.candidate_selection + bd.oid_lookup;
-        for (TraceSpan& child : stage.children) {
-          child.predicted_pages = child.name == "oid lookup"
-                                      ? bd.oid_lookup
-                                      : bd.candidate_selection;
-        }
-      } else if (stage.name == "resolution") {
-        stage.predicted_pages = bd.resolution;
-      }
-    }
-  }
+  // Per-stage model predictions are attached inside QueryInternal (shared
+  // with the telemetry-internal traces feeding the drift watchdog).
   out.text = RenderExplain(out.trace);
   out.json = out.trace.ToJson();
   return out;

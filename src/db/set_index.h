@@ -26,6 +26,8 @@
 #include "model/params.h"
 #include "nix/nested_index.h"
 #include "obj/object_store.h"
+#include "obs/drift_watchdog.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "query/advisor.h"
 #include "query/executor.h"
@@ -129,6 +131,21 @@ class SetIndex {
     // and keeping it off leaves the paper-pinned page counts bit-identical
     // to the unwrapped files.
     bool enable_snapshots = false;
+    // Production telemetry: per-entry-point latency histograms, a lock-free
+    // flight recorder of recent operations (dumped as a postmortem on the
+    // first fatal status), and a cost-model drift watchdog fed from query
+    // traces.  Off by default: with telemetry on, queries run with an
+    // internal trace, which never changes page counts (traces only snapshot
+    // IoStats) but does add clock reads per operation.
+    bool enable_telemetry = false;
+    // Flight-recorder ring capacity (events; rounded up to a power of two).
+    size_t flight_recorder_capacity = 512;
+    // Drift-watchdog bounds (see obs/drift_watchdog.h).
+    DriftOptions drift;
+    // When non-empty and a fatal status (I/O error, corruption, internal)
+    // surfaces, the flight recorder writes "<dir>/<name>.postmortem.txt"
+    // and ".json" there via plain stdio (never the page layer).
+    std::string postmortem_dir;
   };
 
   // Creates the index inside `storage` (not owned) under the file-name
@@ -195,6 +212,15 @@ class SetIndex {
   // The registry this index reports into (configured or owned).
   MetricsRegistry* metrics() const { return metrics_; }
 
+  // Telemetry components (nullptr unless Options::enable_telemetry).
+  FlightRecorder* flight_recorder() { return recorder_.get(); }
+  DriftWatchdog* drift_watchdog() { return watchdog_.get(); }
+  // JSON postmortem captured when the first fatal status surfaced (empty
+  // until then; also written to Options::postmortem_dir when set).
+  const std::string& last_postmortem_json() const {
+    return last_postmortem_json_;
+  }
+
   // Live statistics feeding the advisor.
   uint64_t num_objects() const { return store_->num_objects(); }
 
@@ -248,6 +274,32 @@ class SetIndex {
 
  private:
   SetIndex(StorageManager* storage, Options options);
+
+  // Untimed bodies of the public entry points.  The public methods are thin
+  // telemetry shims: with telemetry off they forward directly (no clock
+  // reads, no extra work); with it on they time the call, record a latency
+  // histogram sample, and log a flight-recorder event.
+  Status CheckpointImpl();
+  StatusOr<Oid> InsertImpl(const ElementSet& set_value);
+  Status DeleteImpl(Oid oid);
+  StatusOr<std::vector<Oid>> ApplyBatchImpl(const WriteBatch& batch);
+  Status CompactImpl();
+
+  // Records one entry-point observation: latency into `metric`, plus a
+  // flight event carrying the status, page-delta since `before`, current
+  // epoch and WAL LSN.  Fatal statuses additionally trigger NoteFatal.
+  void RecordOpTelemetry(FlightOp op, const char* metric,
+                         const TraceTimer& timer, const IoStats& before,
+                         const Status& status, uint64_t fingerprint = 0,
+                         const char* detail = nullptr);
+  // First-fatal-status hook: captures the postmortem (and writes it to
+  // Options::postmortem_dir when configured).  Idempotent.
+  void NoteFatal(const Status& cause);
+
+  // Attaches the cost model's per-stage predictions to a finished trace
+  // (shared by Explain and telemetry-internal traces).
+  void AttachPredictions(QueryTrace* trace, const AccessPathChoice& chosen,
+                         QueryKind kind) const;
 
   // The cost-model view of the current database state.
   DatabaseParams LiveDbParams() const;
@@ -329,6 +381,11 @@ class SetIndex {
   HyperLogLog domain_sketch_{12};
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_ = nullptr;
+  // Telemetry (all null/empty unless enable_telemetry).
+  std::unique_ptr<FlightRecorder> recorder_;
+  std::unique_ptr<DriftWatchdog> watchdog_;
+  bool postmortem_written_ = false;
+  std::string last_postmortem_json_;
 };
 
 }  // namespace sigsetdb

@@ -116,15 +116,20 @@ Status BuildAttrViews(const SnapshotAttributeState& attr, uint64_t epoch,
 // Snapshot (single-attribute SetIndex view)
 // ---------------------------------------------------------------------------
 
-Snapshot::Snapshot(EpochPin pin, MetricsRegistry* metrics)
-    : pin_(std::move(pin)), state_(pin_.state()), metrics_(metrics) {}
+Snapshot::Snapshot(EpochPin pin, MetricsRegistry* metrics,
+                   FlightRecorder* recorder)
+    : pin_(std::move(pin)),
+      state_(pin_.state()),
+      metrics_(metrics),
+      recorder_(recorder) {}
 
 StatusOr<std::unique_ptr<Snapshot>> Snapshot::Create(
-    EpochPin pin, MetricsRegistry* metrics) {
+    EpochPin pin, MetricsRegistry* metrics, FlightRecorder* recorder) {
   if (!pin.pinned() || pin.state() == nullptr) {
     return Status::FailedPrecondition("no published snapshot state to pin");
   }
-  std::unique_ptr<Snapshot> snap(new Snapshot(std::move(pin), metrics));
+  std::unique_ptr<Snapshot> snap(
+      new Snapshot(std::move(pin), metrics, recorder));
   SIGSET_RETURN_IF_ERROR(snap->Init());
   return snap;
 }
@@ -232,6 +237,9 @@ StatusOr<SetIndexResult> Snapshot::Query(QueryKind kind,
     }
   }
 
+  // The timer is armed only when a flight recorder rides along (plain
+  // snapshot reads stay clock-free).
+  TraceTimer timer(recorder_ != nullptr);
   IoStats before = TotalStats();
   SIGSET_ASSIGN_OR_RETURN(QueryResult result,
                           RunPlan(plan, kind, normalized));
@@ -249,6 +257,21 @@ StatusOr<SetIndexResult> Snapshot::Query(QueryKind kind,
   out.result = std::move(result);
   out.plan = plan.facility + " " + plan.strategy;
   out.page_accesses = delta.total();
+
+  if (recorder_ != nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->histogram("query.snapshot.latency_us")
+          ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+    }
+    FlightEvent event;
+    event.op = FlightOp::kSnapshotQuery;
+    event.fingerprint =
+        FlightRecorder::Fingerprint(static_cast<int>(kind), normalized);
+    event.epoch = pin_.epoch();
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
+    recorder_->Record(event);
+  }
   return out;
 }
 
@@ -256,16 +279,20 @@ StatusOr<SetIndexResult> Snapshot::Query(QueryKind kind,
 // DatabaseSnapshot (multi-attribute conjunction view)
 // ---------------------------------------------------------------------------
 
-DatabaseSnapshot::DatabaseSnapshot(EpochPin pin, MetricsRegistry* metrics)
-    : pin_(std::move(pin)), state_(pin_.state()), metrics_(metrics) {}
+DatabaseSnapshot::DatabaseSnapshot(EpochPin pin, MetricsRegistry* metrics,
+                                   FlightRecorder* recorder)
+    : pin_(std::move(pin)),
+      state_(pin_.state()),
+      metrics_(metrics),
+      recorder_(recorder) {}
 
 StatusOr<std::unique_ptr<DatabaseSnapshot>> DatabaseSnapshot::Create(
-    EpochPin pin, MetricsRegistry* metrics) {
+    EpochPin pin, MetricsRegistry* metrics, FlightRecorder* recorder) {
   if (!pin.pinned() || pin.state() == nullptr) {
     return Status::FailedPrecondition("no published snapshot state to pin");
   }
   std::unique_ptr<DatabaseSnapshot> snap(
-      new DatabaseSnapshot(std::move(pin), metrics));
+      new DatabaseSnapshot(std::move(pin), metrics, recorder));
   SIGSET_RETURN_IF_ERROR(snap->Init());
   return snap;
 }
@@ -409,6 +436,7 @@ StatusOr<DatabaseQueryResult> DatabaseSnapshot::Query(
   }
 
   IoStats before = TotalStats();
+  TraceTimer timer(recorder_ != nullptr);
   SIGSET_ASSIGN_OR_RETURN(
       std::vector<Oid> candidates,
       DriverCandidates(attr_index[driver], driver_plan, preds[driver]));
@@ -447,6 +475,20 @@ StatusOr<DatabaseQueryResult> DatabaseSnapshot::Query(
   if (metrics_ != nullptr) {
     metrics_->counter("query.snapshot.count")->Increment();
     metrics_->histogram("query.snapshot.pages")->Record(out.page_accesses);
+  }
+  if (recorder_ != nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->histogram("query.snapshot.latency_us")
+          ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+    }
+    FlightEvent event;
+    event.op = FlightOp::kSnapshotQuery;
+    event.fingerprint = FlightRecorder::Fingerprint(
+        static_cast<int>(preds[driver].kind), preds[driver].query);
+    event.epoch = pin_.epoch();
+    event.SetDelta(TotalStats() - before);
+    event.SetDetail(out.driver);
+    recorder_->Record(event);
   }
   return out;
 }

@@ -28,6 +28,7 @@
 #include "nix/nested_index.h"
 #include "obj/multi_object_store.h"
 #include "obj/object_store.h"
+#include "obs/flight_recorder.h"
 #include "obs/metrics.h"
 #include "query/advisor.h"
 #include "query/executor.h"
@@ -93,8 +94,12 @@ class Snapshot {
   // Materializes views over the state carried by `pin`.  `metrics` may be
   // null; when set, snapshot queries bump `query.snapshot.*` counters (the
   // registry is thread-safe, so concurrent readers may share it).
-  static StatusOr<std::unique_ptr<Snapshot>> Create(EpochPin pin,
-                                                    MetricsRegistry* metrics);
+  // `recorder` (optional, also thread-safe) additionally receives a
+  // kSnapshotQuery flight event per query and arms the snapshot latency
+  // histogram.
+  static StatusOr<std::unique_ptr<Snapshot>> Create(
+      EpochPin pin, MetricsRegistry* metrics,
+      FlightRecorder* recorder = nullptr);
 
   uint64_t epoch() const { return pin_.epoch(); }
   uint64_t generation() const { return state_->generation; }
@@ -115,7 +120,7 @@ class Snapshot {
   IoStats TotalStats() const;
 
  private:
-  Snapshot(EpochPin pin, MetricsRegistry* metrics);
+  Snapshot(EpochPin pin, MetricsRegistry* metrics, FlightRecorder* recorder);
 
   Status Init();
   StatusOr<AccessPathChoice> Plan(QueryKind kind, int64_t dq) const;
@@ -126,6 +131,7 @@ class Snapshot {
   std::shared_ptr<const SnapshotState> state_;
   const SnapshotAttributeState* attr_ = nullptr;  // &state_->attrs[0]
   MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 
   // Fixed-epoch adapters over the versioned files (own IoStats each).
   std::unique_ptr<EpochReadView> objects_view_;
@@ -149,7 +155,8 @@ class Snapshot {
 class DatabaseSnapshot {
  public:
   static StatusOr<std::unique_ptr<DatabaseSnapshot>> Create(
-      EpochPin pin, MetricsRegistry* metrics);
+      EpochPin pin, MetricsRegistry* metrics,
+      FlightRecorder* recorder = nullptr);
 
   uint64_t epoch() const { return pin_.epoch(); }
   uint64_t num_objects() const { return state_->num_objects; }
@@ -177,7 +184,8 @@ class DatabaseSnapshot {
     std::unique_ptr<NestedIndex> nix;
   };
 
-  DatabaseSnapshot(EpochPin pin, MetricsRegistry* metrics);
+  DatabaseSnapshot(EpochPin pin, MetricsRegistry* metrics,
+                   FlightRecorder* recorder);
 
   Status Init();
   StatusOr<size_t> AttributeIndex(const std::string& name) const;
@@ -190,6 +198,7 @@ class DatabaseSnapshot {
   EpochPin pin_;
   std::shared_ptr<const SnapshotState> state_;
   MetricsRegistry* metrics_ = nullptr;
+  FlightRecorder* recorder_ = nullptr;
 
   std::unique_ptr<EpochReadView> objects_view_;
   std::unique_ptr<MultiObjectStore> store_;

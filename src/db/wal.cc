@@ -56,6 +56,7 @@ WriteAheadLog::WriteAheadLog(PageFile* file, MetricsRegistry* metrics)
   if (metrics != nullptr) {
     fsyncs_ = metrics->counter("wal.fsyncs");
     group_size_ = metrics->histogram("wal.group_size");
+    fsync_us_ = metrics->histogram("wal.fsync_us");
   }
 }
 
@@ -251,7 +252,18 @@ Status WriteAheadLog::FlushLocked(std::unique_lock<std::mutex>* lock) {
     std::memcpy(page.data(), image.data() + off, n);
     io = file_->Write(p, page);
   }
-  if (io.ok()) io = file_->Sync();
+  if (io.ok()) {
+    if (fsync_us_ != nullptr) {
+      const auto sync_start = std::chrono::steady_clock::now();
+      io = file_->Sync();
+      fsync_us_->Record(static_cast<uint64_t>(
+          std::chrono::duration_cast<std::chrono::microseconds>(
+              std::chrono::steady_clock::now() - sync_start)
+              .count()));
+    } else {
+      io = file_->Sync();
+    }
+  }
 
   lock->lock();
   if (!io.ok()) {

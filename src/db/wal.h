@@ -132,6 +132,7 @@ class WriteAheadLog {
   PageFile* file_;
   Counter* fsyncs_ = nullptr;        // wal.fsyncs
   Histogram* group_size_ = nullptr;  // wal.group_size
+  Histogram* fsync_us_ = nullptr;    // wal.fsync_us (latency of file sync)
 
   mutable std::mutex mu_;
   std::condition_variable cv_;         // flush completion + leader handoff

@@ -1,0 +1,89 @@
+#include "obs/drift_watchdog.h"
+
+#include <cmath>
+
+namespace sigsetdb {
+
+namespace {
+// "candidate selection" -> "candidate_selection" (metric-name friendly).
+std::string StageKeyPart(const std::string& name) {
+  std::string out = name;
+  for (char& c : out) {
+    if (c == ' ') c = '_';
+  }
+  return out;
+}
+}  // namespace
+
+DriftWatchdog::DriftWatchdog(MetricsRegistry* metrics,
+                             FlightRecorder* recorder, DriftOptions options)
+    : metrics_(metrics), recorder_(recorder), options_(options) {}
+
+void DriftWatchdog::Observe(const std::string& stage, double measured,
+                            double predicted) {
+  bool raised = false;
+  double mean_abs = 0, mean_rel = 0;
+  uint64_t samples = 0;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    StageStats& s = stages_[stage];
+    ++s.samples;
+    s.sum_measured += measured;
+    s.sum_predicted += predicted;
+    s.sum_abs_residual += std::fabs(measured - predicted);
+    samples = s.samples;
+    mean_abs = s.mean_abs_residual();
+    mean_rel = s.mean_rel_residual();
+    if (s.samples >= options_.min_samples) {
+      const bool outside = mean_abs > options_.abs_tolerance_pages &&
+                           mean_rel > options_.rel_tolerance;
+      raised = outside && !s.warning;  // rising edge only
+      s.warning = outside;
+    }
+  }
+  // Exports happen outside the accumulator lock (registry lookups take the
+  // registry's own mutex).
+  metrics_->gauge("drift." + stage + ".mean_abs_residual")->Set(mean_abs);
+  metrics_->gauge("drift." + stage + ".mean_rel_residual")->Set(mean_rel);
+  metrics_->gauge("drift." + stage + ".samples")
+      ->Set(static_cast<double>(samples));
+  if (raised) {
+    warnings_.fetch_add(1, std::memory_order_relaxed);
+    metrics_->counter("drift.warnings")->Increment();
+    if (recorder_ != nullptr) {
+      FlightEvent event;
+      event.op = FlightOp::kDriftWarning;
+      event.SetDetail(stage + " abs=" + std::to_string(mean_abs));
+      recorder_->Record(event);
+    }
+  }
+}
+
+void DriftWatchdog::ObserveTrace(const QueryTrace& trace) {
+  // The plan string leads with the facility ("bssf smart(k=2)"); Database
+  // plans prefix the attribute ("tags via bssf smart").
+  std::string plan = trace.plan;
+  const size_t via = plan.find(" via ");
+  if (via != std::string::npos) plan = plan.substr(via + 5);
+  const size_t space = plan.find(' ');
+  const std::string facility =
+      space == std::string::npos ? plan : plan.substr(0, space);
+  if (facility.empty()) return;
+  for (const TraceSpan& stage : trace.stages()) {
+    if (stage.predicted_pages < 0) continue;
+    Observe(facility + "." + StageKeyPart(stage.name),
+            static_cast<double>(stage.pages()), stage.predicted_pages);
+  }
+  if (trace.predicted_total >= 0) {
+    Observe(facility + ".total", static_cast<double>(trace.TotalPages()),
+            trace.predicted_total);
+  }
+}
+
+std::vector<std::pair<std::string, DriftWatchdog::StageStats>>
+DriftWatchdog::Stats() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return {stages_.begin(), stages_.end()};
+}
+
+}  // namespace sigsetdb

@@ -117,6 +117,15 @@ void JsonWriter::Field(const std::string& key, bool value) {
   Bool(value);
 }
 
+void JsonWriter::FieldOrNull(const std::string& key, double value) {
+  Key(key);
+  if (value < 0) {
+    Null();
+  } else {
+    Double(value);
+  }
+}
+
 std::string JsonWriter::Escape(const std::string& s) {
   std::string out;
   out.reserve(s.size());

@@ -53,6 +53,11 @@ class JsonWriter {
   void Field(const std::string& key, double value);
   void Field(const std::string& key, bool value);
 
+  // Key + Double, with negative values emitted as null — the library-wide
+  // convention for "not measured / no model counterpart" sentinels (bench
+  // records, trace predictions).
+  void FieldOrNull(const std::string& key, double value);
+
   const std::string& str() const { return out_; }
 
   // JSON string escaping (quotes, backslashes, control characters).

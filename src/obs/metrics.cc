@@ -99,6 +99,31 @@ void MetricsRegistry::Reset() {
   for (auto& [name, h] : histograms_) h->Reset();
 }
 
+MetricsSnapshot MetricsRegistry::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  MetricsSnapshot snap;
+  snap.counters.reserve(counters_.size());
+  for (const auto& [name, c] : counters_) {
+    snap.counters.emplace_back(name, c->value());
+  }
+  snap.gauges.reserve(gauges_.size());
+  for (const auto& [name, g] : gauges_) {
+    snap.gauges.emplace_back(name, g->value());
+  }
+  snap.histograms.reserve(histograms_.size());
+  for (const auto& [name, h] : histograms_) {
+    HistogramSnapshot hs;
+    hs.name = name;
+    hs.count = h->count();
+    hs.sum = h->sum();
+    for (size_t i = 0; i < Histogram::kNumBuckets; ++i) {
+      hs.buckets[i] = h->bucket_count(i);
+    }
+    snap.histograms.push_back(std::move(hs));
+  }
+  return snap;
+}
+
 std::string MetricsRegistry::ToJson() const {
   std::lock_guard<std::mutex> lock(mu_);
   JsonWriter w;
@@ -120,6 +145,7 @@ std::string MetricsRegistry::ToJson() const {
     w.Field("sum", h->sum());
     w.Field("mean", h->mean());
     w.Field("p50", h->Percentile(0.5));
+    w.Field("p95", h->Percentile(0.95));
     w.Field("p99", h->Percentile(0.99));
     w.EndObject();
   }

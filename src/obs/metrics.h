@@ -16,6 +16,7 @@
 #ifndef SIGSET_OBS_METRICS_H_
 #define SIGSET_OBS_METRICS_H_
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <map>
@@ -23,6 +24,8 @@
 #include <mutex>
 #include <ostream>
 #include <string>
+#include <utility>
+#include <vector>
 
 namespace sigsetdb {
 
@@ -86,6 +89,25 @@ class Histogram {
   std::atomic<uint64_t> sum_{0};
 };
 
+// Point-in-time copy of one histogram, full bucket array included.  The
+// exporters (OpenMetrics exposition, JSON) need the buckets themselves, not
+// just derived quantiles; the copy is taken with relaxed loads, exact at any
+// quiescent point.
+struct HistogramSnapshot {
+  std::string name;
+  uint64_t count = 0;
+  uint64_t sum = 0;
+  std::array<uint64_t, Histogram::kNumBuckets> buckets{};
+};
+
+// Point-in-time copy of every registered metric, sorted by name (the
+// registry's maps are ordered).
+struct MetricsSnapshot {
+  std::vector<std::pair<std::string, uint64_t>> counters;
+  std::vector<std::pair<std::string, double>> gauges;
+  std::vector<HistogramSnapshot> histograms;
+};
+
 // Name -> metric registry.  Metric pointers are stable for the registry's
 // lifetime (values are heap-allocated and never moved), so callers may cache
 // them across queries.
@@ -106,9 +128,14 @@ class MetricsRegistry {
   // Zeroes every registered metric (names stay registered).
   void Reset();
 
+  // Copies every registered metric (counters, gauges, histogram buckets).
+  // The registration mutex guards only the map walk; values are relaxed
+  // loads.  This is the exporters' single entry point into the registry.
+  MetricsSnapshot Snapshot() const;
+
   // Full snapshot as one JSON object:
-  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,p50,
-  //    p99,max}}}
+  //   {"counters":{...},"gauges":{...},"histograms":{name:{count,sum,mean,
+  //    p50,p95,p99}}}
   std::string ToJson() const;
 
   // Human-readable dump (sorted by name) for shells and debugging.

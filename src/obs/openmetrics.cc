@@ -1,0 +1,101 @@
+#include "obs/openmetrics.h"
+
+#include <algorithm>
+#include <cinttypes>
+#include <cstdarg>
+#include <cstdint>
+#include <cstdio>
+
+namespace sigsetdb {
+
+namespace {
+
+void AppendF(std::string* out, const char* fmt, ...) {
+  char buf[256];
+  va_list args;
+  va_start(args, fmt);
+  const int n = std::vsnprintf(buf, sizeof(buf), fmt, args);
+  va_end(args);
+  if (n > 0) out->append(buf, std::min(static_cast<size_t>(n), sizeof(buf)));
+}
+
+// %.17g round-trips doubles; OpenMetrics wants plain decimal or scientific.
+void AppendDouble(std::string* out, double v) {
+  AppendF(out, "%.17g", v);
+}
+
+}  // namespace
+
+std::string SanitizeMetricName(const std::string& name) {
+  std::string out;
+  out.reserve(name.size());
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_';
+    out.push_back(ok ? c : '_');
+  }
+  return out;
+}
+
+std::string ExportOpenMetrics(const MetricsRegistry& registry,
+                              const std::string& prefix) {
+  const MetricsSnapshot snap = registry.Snapshot();
+  std::string out;
+
+  for (const auto& [name, value] : snap.counters) {
+    const std::string metric = prefix + "_" + SanitizeMetricName(name);
+    out += "# TYPE " + metric + " counter\n";
+    AppendF(&out, "%s_total %" PRIu64 "\n", metric.c_str(), value);
+  }
+  for (const auto& [name, value] : snap.gauges) {
+    const std::string metric = prefix + "_" + SanitizeMetricName(name);
+    out += "# TYPE " + metric + " gauge\n";
+    out += metric + " ";
+    AppendDouble(&out, value);
+    out += "\n";
+  }
+  for (const HistogramSnapshot& h : snap.histograms) {
+    const std::string metric = prefix + "_" + SanitizeMetricName(h.name);
+    out += "# TYPE " + metric + " histogram\n";
+    // Cumulative buckets.  Bucket 0 holds exactly the value 0 and bucket
+    // i >= 1 holds [2^(i-1), 2^i), so its inclusive upper bound is 2^i - 1.
+    // Empty tail buckets collapse into +Inf.
+    size_t highest = 0;
+    for (size_t i = 0; i < h.buckets.size(); ++i) {
+      if (h.buckets[i] != 0) highest = i;
+    }
+    uint64_t cumulative = 0;
+    for (size_t i = 0; i <= highest; ++i) {
+      cumulative += h.buckets[i];
+      const uint64_t le = i == 0 ? 0
+                          : i >= 64 ? UINT64_MAX
+                                    : (uint64_t{1} << i) - 1;
+      AppendF(&out, "%s_bucket{le=\"%" PRIu64 "\"} %" PRIu64 "\n",
+              metric.c_str(), le, cumulative);
+    }
+    AppendF(&out, "%s_bucket{le=\"+Inf\"} %" PRIu64 "\n", metric.c_str(),
+            h.count);
+    AppendF(&out, "%s_sum %" PRIu64 "\n", metric.c_str(), h.sum);
+    AppendF(&out, "%s_count %" PRIu64 "\n", metric.c_str(), h.count);
+  }
+  out += "# EOF\n";
+  return out;
+}
+
+Status WriteOpenMetricsFile(const MetricsRegistry& registry,
+                            const std::string& path,
+                            const std::string& prefix) {
+  const std::string body = ExportOpenMetrics(registry, prefix);
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f == nullptr) {
+    return Status::IoError("cannot open metrics file " + path);
+  }
+  const size_t written = std::fwrite(body.data(), 1, body.size(), f);
+  const int closed = std::fclose(f);
+  if (written != body.size() || closed != 0) {
+    return Status::IoError("short write to metrics file " + path);
+  }
+  return Status::OK();
+}
+
+}  // namespace sigsetdb

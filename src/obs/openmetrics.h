@@ -1,0 +1,42 @@
+// OpenMetrics / Prometheus text exposition of a MetricsRegistry.
+//
+// Every registered counter, gauge, and histogram is rendered in the
+// OpenMetrics text format (https://prometheus.io/docs/specs/om/): counters
+// get the `_total` sample suffix, histograms expose cumulative
+// `_bucket{le="..."}` series (the log-histogram's power-of-two upper bounds)
+// plus `_sum`/`_count`, and the exposition ends with the mandatory `# EOF`.
+// Dotted registry names ("query.bssf.count") are sanitized to the metric
+// charset ("query_bssf_count") and namespaced under `prefix`.
+//
+// The export walks a MetricsSnapshot — one mutex acquisition for the name
+// maps, relaxed value loads — so scraping never blocks the recording hot
+// path.
+
+#ifndef SIGSET_OBS_OPENMETRICS_H_
+#define SIGSET_OBS_OPENMETRICS_H_
+
+#include <string>
+
+#include "obs/metrics.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+// Maps a registry name onto the OpenMetrics charset [a-zA-Z0-9_]; every
+// other byte becomes '_'.
+std::string SanitizeMetricName(const std::string& name);
+
+// Renders the full registry as one OpenMetrics exposition (terminated by
+// "# EOF\n").  Metric names become "<prefix>_<sanitized name>".
+std::string ExportOpenMetrics(const MetricsRegistry& registry,
+                              const std::string& prefix = "sigset");
+
+// ExportOpenMetrics to a file (stdio; atomicity is not needed for scrape
+// targets, the format is line-oriented).
+Status WriteOpenMetricsFile(const MetricsRegistry& registry,
+                            const std::string& path,
+                            const std::string& prefix = "sigset");
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_OPENMETRICS_H_

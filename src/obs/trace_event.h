@@ -1,0 +1,67 @@
+// Chrome trace-event JSON export of QueryTrace spans, loadable in Perfetto
+// (https://ui.perfetto.dev) or chrome://tracing.
+//
+// A QueryTrace measures stage *durations* (wall_ms per stage, executed
+// back-to-back), not absolute timestamps, so the writer lays each trace out
+// on a synthetic timeline: stages occupy consecutive intervals sized by
+// their measured wall time, nested under one query-level span.  Timed child
+// spans — the parallel resolution workers — get their own named tracks
+// (tid per worker), so a Perfetto view shows the fan-out the thread pool
+// actually achieved; untimed children (the per-file page breakdown of
+// candidate selection) become args on their stage.  Page deltas, candidate
+// counts, and model predictions ride along as args on every span.
+//
+// The output is the stable "JSON Object Format": {"traceEvents": [...]}
+// with complete ("ph":"X") events and thread-name metadata.
+
+#ifndef SIGSET_OBS_TRACE_EVENT_H_
+#define SIGSET_OBS_TRACE_EVENT_H_
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "obs/trace.h"
+#include "util/status.h"
+
+namespace sigsetdb {
+
+class TraceEventWriter {
+ public:
+  // Appends one finished trace at the current end of the synthetic
+  // timeline.  Traces appear in AddTrace order, separated by a small gap.
+  void AddTrace(const QueryTrace& trace);
+
+  // The accumulated document: {"displayTimeUnit":"ms","traceEvents":[...]}.
+  std::string ToJson() const;
+
+  Status WriteFile(const std::string& path) const;
+
+  size_t num_events() const { return events_.size(); }
+
+ private:
+  struct Event {
+    std::string name;
+    uint64_t ts_us = 0;
+    uint64_t dur_us = 0;
+    int tid = 1;
+    // Pre-rendered JSON object for "args" (empty = omit).
+    std::string args_json;
+  };
+
+  // Track ids: 1 is the query/stage track; workers get stable ids per name.
+  int TidForTrack(const std::string& track_name);
+
+  std::vector<Event> events_;
+  std::map<std::string, int> track_tids_;  // name -> tid (metadata emitted)
+  uint64_t cursor_us_ = 0;
+  uint64_t trace_count_ = 0;
+};
+
+// One-shot convenience: a single trace as a complete document.
+std::string TraceEventJson(const QueryTrace& trace);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_OBS_TRACE_EVENT_H_

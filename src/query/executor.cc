@@ -116,6 +116,8 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
   struct WorkerState {
     std::vector<Oid> kept;
     uint64_t false_drops = 0;
+    uint64_t processed = 0;
+    double wall_ms = 0.0;
     IoStats io;
     Status status;
   };
@@ -123,10 +125,15 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
   ctx->pool->ParallelFor(n, workers,
                          [&](size_t w, size_t begin, size_t end) {
                            WorkerState& ws = states[w];
+                           TraceTimer worker_timer(trace != nullptr);
+                           ws.processed = end - begin;
                            ws.kept.reserve(end - begin);
                            ws.status = ResolveRange(
                                candidates, store, kind, query, begin, end,
                                &ws.io, &ws.kept, &ws.false_drops);
+                           if (trace != nullptr) {
+                             ws.wall_ms = worker_timer.ElapsedMs();
+                           }
                          });
   // Merge stats before checking statuses so accounting stays exact even
   // when a worker failed.
@@ -150,6 +157,21 @@ StatusOr<QueryResult> ResolveCandidates(const CandidateResult& candidates,
     span->wall_ms = timer.ElapsedMs();
     span->candidates = static_cast<int64_t>(result.num_candidates);
     span->false_drops = static_cast<int64_t>(result.num_false_drops);
+    // One timed child per worker (the trace-event exporter renders these as
+    // parallel tracks).  Children subdivide the parent: their page deltas
+    // sum to the span's, since each worker resolved a disjoint range.
+    for (size_t w = 0; w < states.size(); ++w) {
+      TraceSpan child;
+      child.name = "worker " + std::to_string(w);
+      child.page_reads = states[w].io.reads();
+      child.page_writes = states[w].io.writes();
+      child.pages_skipped = states[w].io.skips();
+      child.pages_cow = states[w].io.cows();
+      child.wall_ms = states[w].wall_ms;
+      child.candidates = static_cast<int64_t>(states[w].processed);
+      child.false_drops = static_cast<int64_t>(states[w].false_drops);
+      span->children.push_back(std::move(child));
+    }
   }
   return result;
 }

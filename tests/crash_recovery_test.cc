@@ -37,6 +37,7 @@
 #include "db/database.h"
 #include "db/set_index.h"
 #include "db/write_batch.h"
+#include "json_validate.h"
 #include "obj/object.h"
 #include "storage/fault_injecting_page_file.h"
 #include "storage/storage_manager.h"
@@ -80,6 +81,25 @@ bool Matches(QueryKind kind, const ElementSet& set, const ElementSet& query) {
     default:
       return SatisfiesEquals(obj, query);
   }
+}
+
+// Mirrors the db layer's fatality rule: these are the statuses that must
+// one-shot a flight-recorder postmortem before surfacing at the API.
+bool IsFatalCode(const Status& status) {
+  return status.code() == StatusCode::kIoError ||
+         status.code() == StatusCode::kCorruption ||
+         status.code() == StatusCode::kInternal;
+}
+
+// The telemetry contract on every crash cell: a fatal status leaves behind
+// an in-memory postmortem that round-trips through a validating JSON parser.
+void ExpectParseablePostmortem(const std::string& json, const Status& cause) {
+  EXPECT_FALSE(json.empty())
+      << "fatal status produced no postmortem: " << cause.ToString();
+  if (json.empty()) return;
+  std::string error;
+  EXPECT_TRUE(testjson::IsValidJson(json, &error))
+      << "postmortem does not parse: " << error;
 }
 
 struct Step {
@@ -311,14 +331,21 @@ class CrashRecoveryTest : public ::testing::Test {
       }
       if (!status.ok()) {
         out.failing_step = si;
+        if (cfg.options.enable_telemetry && IsFatalCode(status)) {
+          ExpectParseablePostmortem(index->last_postmortem_json(), status);
+        }
         break;
       }
     }
     return out;
   }
 
-  // The full harness for one configuration.
-  static void RunConfig(const CrashConfig& cfg) {
+  // The full harness for one configuration.  Telemetry rides along in every
+  // cell: it must not disturb the fault schedule (same T, same OIDs — the
+  // page-count differential made bit-exact by telemetry_test), and every
+  // fatal failing step must leave a parseable postmortem.
+  static void RunConfig(CrashConfig cfg) {
+    cfg.options.enable_telemetry = true;
     SCOPED_TRACE(cfg.name + ": seed " + std::to_string(cfg.seed));
     const std::vector<Step> steps = MakeWorkload(cfg);
 
@@ -552,6 +579,7 @@ TEST_F(CrashRecoveryTest, DatabaseEveryIoIndex) {
   attr_b.sig = {64, 2};
   options.attributes = {attr_a, attr_b};
   options.capacity = 128;
+  options.enable_telemetry = true;
 
   constexpr uint64_t kV = 40;
   constexpr uint64_t kDt = 5;
@@ -594,8 +622,18 @@ TEST_F(CrashRecoveryTest, DatabaseEveryIoIndex) {
     }
     Database* db = db_or->get();
     std::set<size_t> live;
+    auto fail = [&](const Status& status) {
+      if (IsFatalCode(status)) {
+        ExpectParseablePostmortem(db->last_postmortem_json(), status);
+      }
+      out.failed = true;
+    };
     auto checkpoint = [&]() {
-      if (!db->Checkpoint().ok()) return false;
+      Status status = db->Checkpoint();
+      if (!status.ok()) {
+        fail(status);
+        return false;
+      }
       out.has_ckpt = true;
       out.ckpt_count = db->num_objects();
       out.ckpt_live.assign(live.begin(), live.end());
@@ -608,27 +646,25 @@ TEST_F(CrashRecoveryTest, DatabaseEveryIoIndex) {
       if (out.has_ckpt) out.post_inserts.insert(i);
       auto oid = db->Insert(values[i]);
       if (!oid.ok()) {
-        out.failed = true;
+        fail(oid.status());
         return out;
       }
       out.oids.push_back(*oid);
       live.insert(i);
       if (i == kInserts / 2 - 1 || i == kInserts - 1) {
-        if (!checkpoint()) {
-          out.failed = true;
-          return out;
-        }
+        if (!checkpoint()) return out;
       }
     }
     out.delete_attempted = true;
-    if (!db->Delete(out.oids[1]).ok()) {
-      out.failed = true;
+    Status del_status = db->Delete(out.oids[1]);
+    if (!del_status.ok()) {
+      fail(del_status);
       return out;
     }
     out.delete_executed = true;
     auto result = db->Query({{"a", QueryKind::kSuperset, probe}});
     if (!result.ok()) {
-      out.failed = true;
+      fail(result.status());
       return out;
     }
     return out;
@@ -875,7 +911,12 @@ WalLedger RunWalWorkload(StorageManager* storage,
         status = index->Compact();
         break;
     }
-    if (!status.ok()) return led;
+    if (!status.ok()) {
+      if (options.enable_telemetry && IsFatalCode(status)) {
+        ExpectParseablePostmortem(index->last_postmortem_json(), status);
+      }
+      return led;
+    }
   }
   led.finished = true;
   return led;
@@ -1053,6 +1094,7 @@ class WalCrashMatrixTest : public ::testing::Test {
     options.maintain_nix = nix;
     options.sig = {64, 2};
     options.capacity = 128;
+    options.enable_telemetry = true;  // every WAL cell checks postmortems too
     return options;
   }
 };
@@ -1122,6 +1164,7 @@ class WalDatabaseMatrixTest : public WalCrashMatrixTest {
     options.attributes = {attr_a, attr_b};
     options.capacity = 128;
     options.enable_wal = true;
+    options.enable_telemetry = true;
     return options;
   }
 
@@ -1194,7 +1237,12 @@ class WalDatabaseMatrixTest : public WalCrashMatrixTest {
           status = db->Compact();
           break;
       }
-      if (!status.ok()) return led;
+      if (!status.ok()) {
+        if (options.enable_telemetry && IsFatalCode(status)) {
+          ExpectParseablePostmortem(db->last_postmortem_json(), status);
+        }
+        return led;
+      }
     }
     led.finished = true;
     return led;

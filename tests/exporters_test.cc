@@ -1,0 +1,274 @@
+// Exporters: the OpenMetrics text exposition and the Chrome trace-event
+// (Perfetto) JSON writer.  Both are held to the round-trip standard — the
+// exposition passes a line-level format lint implementing the OpenMetrics
+// grammar subset we emit, and every trace document passes the strict JSON
+// validator.
+
+#include "obs/openmetrics.h"
+#include "obs/trace_event.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "json_validate.h"
+#include "obs/metrics.h"
+#include "obs/trace.h"
+
+namespace sigsetdb {
+namespace {
+
+// Line-level lint of the OpenMetrics exposition: every line must be a
+// comment ("# TYPE <name> <type>" or "# EOF"), or a sample
+// "<name>[{le=\"<bound>\"}] <value>"; histogram buckets must be cumulative
+// (non-decreasing, ending in the +Inf bucket == _count); the exposition
+// must end with exactly one "# EOF".
+void LintOpenMetrics(const std::string& body) {
+  std::istringstream in(body);
+  std::string line;
+  bool saw_eof = false;
+  std::map<std::string, uint64_t> last_bucket;  // metric -> last cumulative
+  std::map<std::string, uint64_t> inf_bucket;
+  std::map<std::string, uint64_t> count_sample;
+  while (std::getline(in, line)) {
+    ASSERT_FALSE(saw_eof) << "content after # EOF: " << line;
+    ASSERT_FALSE(line.empty()) << "blank line in exposition";
+    if (line[0] == '#') {
+      if (line == "# EOF") {
+        saw_eof = true;
+        continue;
+      }
+      std::istringstream fields(line);
+      std::string hash, keyword, name, type;
+      fields >> hash >> keyword >> name >> type;
+      EXPECT_EQ(keyword, "TYPE") << line;
+      EXPECT_TRUE(type == "counter" || type == "gauge" || type == "histogram")
+          << line;
+      EXPECT_EQ(name.find_first_not_of(
+                    "abcdefghijklmnopqrstuvwxyz"
+                    "ABCDEFGHIJKLMNOPQRSTUVWXYZ0123456789_"),
+                std::string::npos)
+          << "bad metric charset: " << name;
+      continue;
+    }
+    // Sample line: name or name{le="bound"}, one space, one value.
+    const size_t space = line.rfind(' ');
+    ASSERT_NE(space, std::string::npos) << line;
+    const std::string name_part = line.substr(0, space);
+    const std::string value_part = line.substr(space + 1);
+    ASSERT_FALSE(value_part.empty()) << line;
+    char* end = nullptr;
+    const double value = std::strtod(value_part.c_str(), &end);
+    EXPECT_EQ(*end, '\0') << "unparseable sample value: " << line;
+
+    const size_t brace = name_part.find('{');
+    if (brace != std::string::npos) {
+      // Our only label is le="..." on _bucket samples.
+      const std::string base = name_part.substr(0, brace);
+      EXPECT_TRUE(base.size() > 7 &&
+                  base.compare(base.size() - 7, 7, "_bucket") == 0)
+          << line;
+      const std::string label = name_part.substr(brace);
+      EXPECT_EQ(label.find("{le=\""), 0u) << line;
+      EXPECT_EQ(label.back(), '}') << line;
+      const std::string metric = base.substr(0, base.size() - 7);
+      const uint64_t cumulative = static_cast<uint64_t>(value);
+      if (last_bucket.count(metric) != 0) {
+        EXPECT_GE(cumulative, last_bucket[metric])
+            << "non-cumulative bucket: " << line;
+      }
+      last_bucket[metric] = cumulative;
+      if (label == "{le=\"+Inf\"}") inf_bucket[metric] = cumulative;
+    } else if (name_part.size() > 6 &&
+               name_part.compare(name_part.size() - 6, 6, "_count") == 0) {
+      count_sample[name_part.substr(0, name_part.size() - 6)] =
+          static_cast<uint64_t>(value);
+    }
+  }
+  EXPECT_TRUE(saw_eof) << "exposition does not end with # EOF";
+  for (const auto& [metric, count] : count_sample) {
+    if (inf_bucket.count(metric) != 0) {
+      EXPECT_EQ(inf_bucket[metric], count)
+          << metric << ": +Inf bucket must equal _count";
+    }
+  }
+}
+
+TEST(SanitizeMetricNameTest, MapsOutOfCharsetToUnderscore) {
+  EXPECT_EQ(SanitizeMetricName("query.bssf.count"), "query_bssf_count");
+  EXPECT_EQ(SanitizeMetricName("a-b c/d"), "a_b_c_d");
+  EXPECT_EQ(SanitizeMetricName("Already_OK_9"), "Already_OK_9");
+}
+
+TEST(OpenMetricsTest, ExportsAllKindsAndLints) {
+  MetricsRegistry registry;
+  registry.counter("query.count")->Increment(3);
+  registry.gauge("epoch.pins")->Set(2.5);
+  Histogram* h = registry.histogram("op.insert.latency_us");
+  for (uint64_t v : {0ull, 1ull, 2ull, 3ull, 1024ull}) h->Record(v);
+
+  const std::string body = ExportOpenMetrics(registry);
+  LintOpenMetrics(body);
+  EXPECT_NE(body.find("# TYPE sigset_query_count counter\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_query_count_total 3\n"), std::string::npos);
+  EXPECT_NE(body.find("# TYPE sigset_epoch_pins gauge\n"), std::string::npos);
+  EXPECT_NE(body.find("sigset_epoch_pins 2.5\n"), std::string::npos);
+  EXPECT_NE(
+      body.find("# TYPE sigset_op_insert_latency_us histogram\n"),
+      std::string::npos);
+  // Value 0 -> bucket le="0" count 1; values 1,2,3 cumulative by 2^i-1;
+  // 1024 lands at le="2047"; +Inf repeats the total.
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_bucket{le=\"0\"} 1\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_bucket{le=\"1\"} 2\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_bucket{le=\"3\"} 4\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_bucket{le=\"2047\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_bucket{le=\"+Inf\"} 5\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_sum 1030\n"),
+            std::string::npos);
+  EXPECT_NE(body.find("sigset_op_insert_latency_us_count 5\n"),
+            std::string::npos);
+  EXPECT_EQ(body.rfind("# EOF\n"), body.size() - 6);
+}
+
+TEST(OpenMetricsTest, EmptyRegistryIsJustEof) {
+  MetricsRegistry registry;
+  EXPECT_EQ(ExportOpenMetrics(registry), "# EOF\n");
+}
+
+TEST(OpenMetricsTest, CustomPrefixAndFile) {
+  MetricsRegistry registry;
+  registry.counter("hits")->Increment();
+  const std::string body = ExportOpenMetrics(registry, "acme");
+  EXPECT_NE(body.find("acme_hits_total 1\n"), std::string::npos);
+  LintOpenMetrics(body);
+
+  const std::string path = ::testing::TempDir() + "exporters_test.om";
+  ASSERT_TRUE(WriteOpenMetricsFile(registry, path, "acme").ok());
+  std::ifstream in(path);
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(), body);
+  std::remove(path.c_str());
+}
+
+// A synthetic two-stage trace with parallel worker children, the shape the
+// db layer produces with num_threads > 1.
+QueryTrace MakeWorkerTrace() {
+  QueryTrace trace;
+  trace.plan = "bssf plain";
+  trace.kind = "superset";
+  trace.dq = 3;
+  trace.predicted_total = 8.25;
+  TraceSpan* selection = trace.AddStage("candidate selection");
+  selection->page_reads = 6;
+  selection->wall_ms = 0.4;
+  selection->candidates = 10;
+  TraceSpan untimed;
+  untimed.name = "bssf.slices";
+  untimed.page_reads = 6;
+  selection->children.push_back(untimed);
+  TraceSpan* resolution = trace.AddStage("resolution");
+  resolution->page_reads = 10;
+  resolution->wall_ms = 1.2;
+  resolution->candidates = 10;
+  resolution->false_drops = 2;
+  for (int w = 0; w < 3; ++w) {
+    TraceSpan child;
+    child.name = "worker " + std::to_string(w);
+    child.page_reads = 3;
+    child.wall_ms = 0.3 + 0.1 * w;
+    child.candidates = 3;
+    resolution->children.push_back(child);
+  }
+  return trace;
+}
+
+TEST(TraceEventTest, DocumentValidatesAndNamesWorkerTracks) {
+  TraceEventWriter writer;
+  writer.AddTrace(MakeWorkerTrace());
+  // 2 stages + 3 worker children + 1 query parent.
+  EXPECT_EQ(writer.num_events(), 6u);
+  const std::string json = writer.ToJson();
+  std::string error;
+  ASSERT_TRUE(testjson::IsValidJson(json, &error)) << error << "\n" << json;
+  EXPECT_NE(json.find("\"traceEvents\""), std::string::npos);
+  EXPECT_NE(json.find("\"displayTimeUnit\":\"ms\""), std::string::npos);
+  // Thread-name metadata for the query track and each worker track.
+  EXPECT_NE(json.find("\"thread_name\""), std::string::npos);
+  EXPECT_NE(json.find("\"queries\""), std::string::npos);
+  EXPECT_NE(json.find("\"resolve worker 0\""), std::string::npos);
+  EXPECT_NE(json.find("\"resolve worker 2\""), std::string::npos);
+  // Span args carry the measurements and the attached prediction.
+  EXPECT_NE(json.find("\"predicted_pages\":8.25"), std::string::npos);
+  EXPECT_NE(json.find("\"false_drops\":2"), std::string::npos);
+  // The untimed per-file child folds into its stage's args.
+  EXPECT_NE(json.find("\"pages.bssf.slices\":6"), std::string::npos);
+}
+
+TEST(TraceEventTest, TracesLayOutSequentiallyWithoutOverlap) {
+  TraceEventWriter writer;
+  writer.AddTrace(MakeWorkerTrace());
+  writer.AddTrace(MakeWorkerTrace());
+  const std::string json = writer.ToJson();
+  std::string error;
+  ASSERT_TRUE(testjson::IsValidJson(json, &error)) << error;
+  // Two queries: every event name appears twice.
+  size_t count = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"candidate selection\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 2u);
+  // Worker tracks are shared between traces (stable tids), so the metadata
+  // lists each once.
+  count = 0;
+  for (size_t pos = 0;
+       (pos = json.find("\"resolve worker 0\"", pos)) != std::string::npos;
+       ++pos) {
+    ++count;
+  }
+  EXPECT_EQ(count, 1u);
+}
+
+TEST(TraceEventTest, OneShotAndFileRoundTrip) {
+  const QueryTrace trace = MakeWorkerTrace();
+  const std::string json = TraceEventJson(trace);
+  std::string error;
+  ASSERT_TRUE(testjson::IsValidJson(json, &error)) << error;
+
+  TraceEventWriter writer;
+  writer.AddTrace(trace);
+  const std::string path = ::testing::TempDir() + "exporters_test.trace.json";
+  ASSERT_TRUE(writer.WriteFile(path).ok());
+  std::ifstream in(path);
+  std::stringstream read_back;
+  read_back << in.rdbuf();
+  EXPECT_EQ(read_back.str(), writer.ToJson());
+  std::remove(path.c_str());
+}
+
+TEST(TraceEventTest, EmptyTraceStillEmitsQuerySpan) {
+  QueryTrace trace;
+  TraceEventWriter writer;
+  writer.AddTrace(trace);
+  EXPECT_EQ(writer.num_events(), 1u);
+  const std::string json = writer.ToJson();
+  std::string error;
+  ASSERT_TRUE(testjson::IsValidJson(json, &error)) << error;
+  EXPECT_NE(json.find("\"query\""), std::string::npos);
+}
+
+}  // namespace
+}  // namespace sigsetdb

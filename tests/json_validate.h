@@ -1,0 +1,233 @@
+// A strict, dependency-free JSON syntax validator shared by the telemetry
+// tests: the exporters' contract is "round-trips through a validating
+// parser", and this is that parser.  It checks structure only (objects,
+// arrays, strings with escapes, numbers, literals) — no DOM is built.
+
+#ifndef SIGSET_TESTS_JSON_VALIDATE_H_
+#define SIGSET_TESTS_JSON_VALIDATE_H_
+
+#include <cctype>
+#include <string>
+
+namespace sigsetdb {
+namespace testjson {
+
+class Validator {
+ public:
+  explicit Validator(const std::string& text) : text_(text) {}
+
+  // True iff `text` is exactly one valid JSON value (plus whitespace).
+  bool Valid() {
+    SkipWs();
+    if (!Value()) return false;
+    SkipWs();
+    if (pos_ != text_.size()) return Fail("trailing bytes");
+    return true;
+  }
+
+  const std::string& error() const { return error_; }
+  size_t error_pos() const { return error_pos_; }
+
+ private:
+  bool Fail(const char* why) {
+    if (error_.empty()) {
+      error_ = why;
+      error_pos_ = pos_;
+    }
+    return false;
+  }
+
+  void SkipWs() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' ||
+            text_[pos_] == '\n' || text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Literal(const char* word) {
+    size_t len = std::string(word).size();
+    if (text_.compare(pos_, len, word) != 0) return Fail("bad literal");
+    pos_ += len;
+    return true;
+  }
+
+  bool String() {
+    if (pos_ >= text_.size() || text_[pos_] != '"') return Fail("expected \"");
+    ++pos_;
+    while (pos_ < text_.size()) {
+      unsigned char c = static_cast<unsigned char>(text_[pos_]);
+      if (c == '"') {
+        ++pos_;
+        return true;
+      }
+      if (c == '\\') {
+        ++pos_;
+        if (pos_ >= text_.size()) return Fail("truncated escape");
+        char e = text_[pos_];
+        if (e == 'u') {
+          for (int i = 0; i < 4; ++i) {
+            ++pos_;
+            if (pos_ >= text_.size() ||
+                !std::isxdigit(static_cast<unsigned char>(text_[pos_]))) {
+              return Fail("bad \\u escape");
+            }
+          }
+        } else if (e != '"' && e != '\\' && e != '/' && e != 'b' &&
+                   e != 'f' && e != 'n' && e != 'r' && e != 't') {
+          return Fail("bad escape character");
+        }
+        ++pos_;
+      } else if (c < 0x20) {
+        return Fail("raw control character in string");
+      } else {
+        ++pos_;
+      }
+    }
+    return Fail("unterminated string");
+  }
+
+  bool Number() {
+    size_t start = pos_;
+    if (pos_ < text_.size() && text_[pos_] == '-') ++pos_;
+    if (pos_ >= text_.size() ||
+        !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      return Fail("bad number");
+    }
+    if (text_[pos_] == '0') {
+      ++pos_;
+    } else {
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && text_[pos_] == '.') {
+      ++pos_;
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad fraction");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    if (pos_ < text_.size() && (text_[pos_] == 'e' || text_[pos_] == 'E')) {
+      ++pos_;
+      if (pos_ < text_.size() && (text_[pos_] == '+' || text_[pos_] == '-')) {
+        ++pos_;
+      }
+      if (pos_ >= text_.size() ||
+          !std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        return Fail("bad exponent");
+      }
+      while (pos_ < text_.size() &&
+             std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+        ++pos_;
+      }
+    }
+    return pos_ > start;
+  }
+
+  bool Value() {
+    if (++depth_ > 256) return Fail("nesting too deep");
+    SkipWs();
+    if (pos_ >= text_.size()) return Fail("truncated value");
+    bool ok = false;
+    switch (text_[pos_]) {
+      case '{':
+        ok = Object();
+        break;
+      case '[':
+        ok = Array();
+        break;
+      case '"':
+        ok = String();
+        break;
+      case 't':
+        ok = Literal("true");
+        break;
+      case 'f':
+        ok = Literal("false");
+        break;
+      case 'n':
+        ok = Literal("null");
+        break;
+      default:
+        ok = Number();
+        break;
+    }
+    --depth_;
+    return ok;
+  }
+
+  bool Object() {
+    ++pos_;  // '{'
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == '}') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      SkipWs();
+      if (!String()) return false;
+      SkipWs();
+      if (pos_ >= text_.size() || text_[pos_] != ':') return Fail("expected :");
+      ++pos_;
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == '}') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected , or }");
+    }
+  }
+
+  bool Array() {
+    ++pos_;  // '['
+    SkipWs();
+    if (pos_ < text_.size() && text_[pos_] == ']') {
+      ++pos_;
+      return true;
+    }
+    while (true) {
+      if (!Value()) return false;
+      SkipWs();
+      if (pos_ < text_.size() && text_[pos_] == ',') {
+        ++pos_;
+        continue;
+      }
+      if (pos_ < text_.size() && text_[pos_] == ']') {
+        ++pos_;
+        return true;
+      }
+      return Fail("expected , or ]");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+  int depth_ = 0;
+  std::string error_;
+  size_t error_pos_ = 0;
+};
+
+inline bool IsValidJson(const std::string& text, std::string* error = nullptr) {
+  Validator v(text);
+  bool ok = v.Valid();
+  if (!ok && error != nullptr) {
+    *error = v.error() + " at byte " + std::to_string(v.error_pos());
+  }
+  return ok;
+}
+
+}  // namespace testjson
+}  // namespace sigsetdb
+
+#endif  // SIGSET_TESTS_JSON_VALIDATE_H_

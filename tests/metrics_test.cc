@@ -6,6 +6,9 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <functional>
+#include <random>
 #include <sstream>
 #include <thread>
 #include <vector>
@@ -57,6 +60,88 @@ TEST(HistogramTest, PercentileIsLogScaleUpperBound) {
   EXPECT_GE(h.Percentile(0.5), 4u);
   EXPECT_LE(h.Percentile(0.5), 8u);
   EXPECT_GE(h.Percentile(1.0), 1u << 20);
+}
+
+// The log-scale bucket contract as a quantile error bound: for any
+// distribution, Percentile(p) returns the upper bound of the bucket holding
+// the exact rank-p sample, so for exact quantile q >= 1 it satisfies
+// q <= Percentile(p) <= 2q (and equals 0 exactly when q == 0).  Checked on
+// seeded heavy-tailed distributions shaped like real latency data.
+TEST(HistogramTest, QuantilesStayWithinLogBucketBounds) {
+  struct Case {
+    const char* name;
+    std::function<uint64_t(std::mt19937_64&)> draw;
+  };
+  std::vector<Case> cases;
+  cases.push_back(
+      {"exponential", [](std::mt19937_64& rng) {
+         std::exponential_distribution<double> d(1.0 / 150.0);
+         return static_cast<uint64_t>(d(rng));
+       }});
+  cases.push_back(
+      {"lognormal", [](std::mt19937_64& rng) {
+         std::lognormal_distribution<double> d(5.0, 1.5);
+         return static_cast<uint64_t>(d(rng));
+       }});
+  cases.push_back(
+      {"bimodal fast/slow", [](std::mt19937_64& rng) {
+         std::uniform_real_distribution<double> coin(0.0, 1.0);
+         if (coin(rng) < 0.95) {
+           std::uniform_int_distribution<uint64_t> fast(2, 40);
+           return fast(rng);
+         }
+         std::uniform_int_distribution<uint64_t> slow(20000, 90000);
+         return slow(rng);
+       }});
+
+  std::mt19937_64 rng(19930526);
+  for (const Case& c : cases) {
+    Histogram h;
+    std::vector<uint64_t> samples;
+    for (int i = 0; i < 20000; ++i) {
+      uint64_t v = c.draw(rng);
+      samples.push_back(v);
+      h.Record(v);
+    }
+    std::sort(samples.begin(), samples.end());
+    for (double p : {0.5, 0.95, 0.99}) {
+      // Same rank convention as Histogram::Percentile (1-based rank
+      // floor(p*(n-1))+1), so the comparison is bucket error only.
+      const uint64_t exact =
+          samples[static_cast<size_t>(p * (samples.size() - 1))];
+      const uint64_t approx = h.Percentile(p);
+      if (exact == 0) {
+        EXPECT_EQ(approx, 0u) << c.name << " p" << p;
+      } else {
+        EXPECT_GE(approx, exact) << c.name << " p" << p;
+        EXPECT_LE(approx, 2 * exact) << c.name << " p" << p;
+      }
+    }
+  }
+}
+
+TEST(MetricsRegistryTest, SnapshotCopiesEveryMetric) {
+  MetricsRegistry registry;
+  registry.counter("wal.fsyncs")->Increment(4);
+  registry.gauge("epoch.pins")->Set(1.0);
+  Histogram* h = registry.histogram("op.insert.latency_us");
+  h->Record(3);
+  h->Record(300);
+
+  MetricsSnapshot snapshot = registry.Snapshot();
+  ASSERT_EQ(snapshot.counters.size(), 1u);
+  EXPECT_EQ(snapshot.counters[0].first, "wal.fsyncs");
+  EXPECT_EQ(snapshot.counters[0].second, 4u);
+  ASSERT_EQ(snapshot.gauges.size(), 1u);
+  EXPECT_EQ(snapshot.gauges[0].first, "epoch.pins");
+  ASSERT_EQ(snapshot.histograms.size(), 1u);
+  EXPECT_EQ(snapshot.histograms[0].name, "op.insert.latency_us");
+  EXPECT_EQ(snapshot.histograms[0].count, 2u);
+  EXPECT_EQ(snapshot.histograms[0].sum, 303u);
+
+  // The snapshot is a copy: later recording does not mutate it.
+  h->Record(1000);
+  EXPECT_EQ(snapshot.histograms[0].count, 2u);
 }
 
 TEST(MetricsRegistryTest, GetOrCreateReturnsStablePointers) {

@@ -12,6 +12,7 @@
 #   tools/run_sanitizers.sh kernels    # SIMD kernel + skip-index suites
 #   tools/run_sanitizers.sh wal        # WAL group commit (TSan) + replay (ASan)
 #   tools/run_sanitizers.sh snapshots  # epoch/snapshot concurrency (TSan+ASan)
+#   tools/run_sanitizers.sh telemetry  # flight recorder seqlock + exporters
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -114,13 +115,26 @@ case "${1:-all}" in
     run_one address -R \
       'epoch_test|query_differential_fuzz|synchronized_set_index' "$@"
     ;;
+  telemetry)
+    # The flight recorder is a seqlock ring: writers claim slots with a
+    # fetch_add and publish via per-slot sequence counters while readers
+    # retry torn snapshots — TSan vets exactly that protocol (the
+    # flight_recorder stress runs 4 writers against 2 dumping readers).
+    # The telemetry integration suite then drives every wrapped entry
+    # point, and ASan sweeps the exporters' string assembly.
+    shift
+    run_one thread -R \
+      'flight_recorder|telemetry_test|metrics_test|query_trace' "$@"
+    run_one address -R \
+      'flight_recorder|telemetry_test|exporters_test|metrics_test' "$@"
+    ;;
   all)
     run_one thread
     run_one address
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots|telemetry]" \
       "[ctest args...]" >&2
     exit 1
     ;;
