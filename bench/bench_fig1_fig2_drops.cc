@@ -124,7 +124,7 @@ void RunBatchCounts() {
        {"actual_drops", static_cast<double>(actual)},
        {"false_drop_rate",
         static_cast<double>(drops - actual) / kTargets}},
-      MeasuredCost{0, 0, 0, -1});
+      MeasuredCost{.wall_ms = -1});
 }
 
 }  // namespace

@@ -4,11 +4,20 @@
 // slice accumulator (64 words) that BSSF combination ANDs/ORs per page
 // column, and a full 4 KiB page (512 words) as streamed by the SSF scan.
 //
+// A second table times intersect_u64 — the sorted posting-list intersection
+// behind NIX smart-superset candidate resolution — on balanced pairs (the
+// AVX2 block path) and a skewed pair (the galloping path), in ns per
+// intersection of the whole pair.
+//
 // Usage: bench_kernels [--json <path>] [--min-speedup <x>]
+//                      [--min-intersect-speedup <x>]
 //   --min-speedup enforces that the dispatched and_accumulate at 64 words is
-//   at least <x> times the scalar reference (exit 1 otherwise); CI smoke
-//   runs without it so shared-runner noise cannot fail the build.
+//   at least <x> times the scalar reference (exit 1 otherwise);
+//   --min-intersect-speedup enforces the same for intersect_u64 on the
+//   64k × 64k pair.  CI smoke runs without either so shared-runner noise
+//   cannot fail the build; the dedicated resolve smoke opts in.
 
+#include <algorithm>
 #include <chrono>
 #include <cstdio>
 #include <cstdlib>
@@ -90,6 +99,56 @@ KernelTimes TimeKernel(const char* kernel, const SignatureKernels& target,
   return t;
 }
 
+// Sorted, globally distinct list of `n` random uint64s (cumulative random
+// increments averaging `gap`) — the AVX2 block path's fast case, and the
+// shape real OID posting lists have (OIDs are unique within a list).
+std::vector<uint64_t> MakePostingList(size_t n, uint64_t seed, uint64_t gap) {
+  Rng rng(seed);
+  std::vector<uint64_t> v(n);
+  uint64_t x = 0;
+  for (size_t i = 0; i < n; ++i) {
+    x += 1 + (rng.Next() % (2 * gap - 1));
+    v[i] = x;
+  }
+  return v;
+}
+
+// Times intersect_u64 on an (na, nb) pair for scalar vs `target`.  The
+// small list's gap is scaled by nb/na so both lists span the same value
+// range — the shape skewed posting lists actually have (rare vs common
+// element over one OID space), and the case galloping exists for.  Without
+// it the merge early-exits after the small list's tiny prefix.
+KernelTimes TimeIntersect(const SignatureKernels& target, size_t na,
+                          size_t nb, size_t iters) {
+  const uint64_t ratio = static_cast<uint64_t>(nb / na);
+  // Cycle several distinct pairs: timing ONE pair thousands of times lets
+  // the branch predictor memorize the scalar merge's entire data-dependent
+  // branch sequence (sub-ns/element "scalar" numbers no one-shot query
+  // ever sees).  Distinct pairs per iteration keep both sides honest.
+  constexpr size_t kPairs = 4;
+  std::vector<uint64_t> a[kPairs], b[kPairs];
+  for (size_t p = 0; p < kPairs; ++p) {
+    a[p] = MakePostingList(na, 0xabcdULL + na + p * 977,
+                           8 * std::max<uint64_t>(1, ratio));
+    b[p] = MakePostingList(nb, 0x1234ULL + nb + p * 977, 8);
+  }
+  std::vector<uint64_t> out(std::min(na, nb));
+  KernelTimes t;
+  const SignatureKernels& scalar = ScalarKernels();
+  size_t pi = 0;
+  t.scalar_ns = NsPerCall(iters, [&] {
+    pi = (pi + 1) % kPairs;
+    g_sink = g_sink + scalar.intersect_u64(a[pi].data(), na, b[pi].data(), nb,
+                                           out.data());
+  });
+  t.target_ns = NsPerCall(iters, [&] {
+    pi = (pi + 1) % kPairs;
+    g_sink = g_sink + target.intersect_u64(a[pi].data(), na, b[pi].data(), nb,
+                                           out.data());
+  });
+  return t;
+}
+
 }  // namespace
 }  // namespace sigsetdb
 
@@ -97,9 +156,12 @@ int main(int argc, char** argv) {
   using namespace sigsetdb;
   BenchJson::Global().Init("kernels", argc, argv);
   double min_speedup = -1.0;
+  double min_intersect_speedup = -1.0;
   for (int i = 1; i + 1 < argc; ++i) {
     if (std::string(argv[i]) == "--min-speedup") {
       min_speedup = std::atof(argv[i + 1]);
+    } else if (std::string(argv[i]) == "--min-intersect-speedup") {
+      min_intersect_speedup = std::atof(argv[i + 1]);
     }
   }
 
@@ -139,7 +201,41 @@ int main(int argc, char** argv) {
     }
   }
 
+  // Posting-list intersection: balanced pairs exercise the AVX2 block
+  // path, the skewed pair the galloping path.  ns is per intersection of
+  // the whole pair (the unit a NIX smart-superset query pays per list).
+  std::printf("\n%-16s %8s %8s %14s %14s %9s\n", "kernel", "na", "nb",
+              "scalar ns", "active ns", "speedup");
+  const size_t pairs[][2] = {{4096, 4096}, {65536, 65536}, {256, 65536}};
+  double intersect64k_speedup = 0.0;
+  for (const auto& pair : pairs) {
+    const size_t na = pair[0], nb = pair[1];
+    const size_t iters = (na + nb) >= 65536 ? 400 : 4000;
+    KernelTimes t = TimeIntersect(active, na, nb, iters);
+    std::printf("%-16s %8zu %8zu %14.0f %14.0f %8.2fx\n", "intersect_u64",
+                na, nb, t.scalar_ns, t.target_ns, t.speedup());
+    MeasuredCost cost;
+    cost.wall_ms = t.target_ns * 1e-6;
+    EmitBenchRecord(std::string("intersect_u64.") + active.name,
+                    {{"na", static_cast<double>(na)},
+                     {"nb", static_cast<double>(nb)},
+                     {"scalar_ns", t.scalar_ns},
+                     {"active_ns", t.target_ns},
+                     {"speedup", t.speedup()}},
+                    cost);
+    if (na == 65536 && nb == 65536) intersect64k_speedup = t.speedup();
+  }
+
   std::printf("\n4096-bit and_accumulate speedup: %.2fx\n", accum64_speedup);
+  std::printf("64k x 64k intersect_u64 speedup: %.2fx\n",
+              intersect64k_speedup);
+  if (min_intersect_speedup > 0 &&
+      intersect64k_speedup < min_intersect_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: intersect_u64 @64k speedup %.2fx < required %.2fx\n",
+                 intersect64k_speedup, min_intersect_speedup);
+    return 1;
+  }
   if (min_speedup > 0 && accum64_speedup < min_speedup) {
     std::fprintf(stderr,
                  "FAIL: and_accumulate @64w speedup %.2fx < required %.2fx\n",

@@ -41,7 +41,8 @@ void Run() {
                   TablePrinter::Int(tree.height())});
     EmitBenchRecord(
         "nix.storage", {{"dt", static_cast<double>(dt)}},
-        MeasuredCost{static_cast<double>(tree.total_pages()), 0, 0, -1},
+        MeasuredCost{.pages = static_cast<double>(tree.total_pages()),
+                     .wall_ms = -1},
         static_cast<double>(NixStorageCost(db, nix, dt)));
   }
   table.Print(std::cout);

@@ -49,18 +49,18 @@ void Run() {
     const double fm = static_cast<double>(c.m);
     EmitBenchRecord(
         "ssf.storage", {{"dt", fdt}, {"f", ff}, {"m", fm}},
-        MeasuredCost{static_cast<double>(bench.ssf().StoragePages()), 0, 0,
-                     -1},
+        MeasuredCost{.pages = static_cast<double>(bench.ssf().StoragePages()),
+                     .wall_ms = -1},
         static_cast<double>(ssf_model));
     EmitBenchRecord(
         "bssf.storage", {{"dt", fdt}, {"f", ff}, {"m", fm}},
-        MeasuredCost{static_cast<double>(bench.bssf().StoragePages()), 0, 0,
-                     -1},
+        MeasuredCost{.pages = static_cast<double>(bench.bssf().StoragePages()),
+                     .wall_ms = -1},
         static_cast<double>(bssf_model));
     EmitBenchRecord(
         "nix.storage", {{"dt", fdt}},
-        MeasuredCost{static_cast<double>(bench.nix().StoragePages()), 0, 0,
-                     -1},
+        MeasuredCost{.pages = static_cast<double>(bench.nix().StoragePages()),
+                     .wall_ms = -1},
         static_cast<double>(nix_model));
   }
   table.Print(std::cout);

@@ -149,7 +149,7 @@ void Run() {
       sparse_ratio);
 
   auto per_op = [&](uint64_t w) {
-    return MeasuredCost{w / n, 0, w / n, -1};
+    return MeasuredCost{.pages = w / n, .writes = w / n, .wall_ms = -1};
   };
   EmitBenchRecord("ssf.batch_insert", {{"n", kBatch}, {"dt", dt}},
                   per_op(ssf_wb), SsfBatchInsertCost(db, sig, kBatch));
@@ -162,7 +162,7 @@ void Run() {
                   per_op(nix_wb), NixBatchInsertCost(db, nix, dt, kBatch));
   EmitBenchRecord("bssf.batch_vs_singleton",
                   {{"n", kBatch}, {"dt", dt}, {"threshold", 5}},
-                  MeasuredCost{sparse_ratio, 0, 0, -1}, 5.0);
+                  MeasuredCost{.pages = sparse_ratio, .wall_ms = -1}, 5.0);
 
   // --- batch delete: tombstone 100 of 1000 objects in one pass ---
   const int kPop = 1000;
@@ -194,8 +194,10 @@ void Run() {
       "(model (SC_OID + min(n, SC_OID))/n = %.3f)\n",
       static_cast<double>(del_io.total()) / n, del_model);
   EmitBenchRecord("ssf.batch_delete", {{"n", kBatch}, {"pop", kPop}},
-                  MeasuredCost{del_io.total() / n, del_io.page_reads / n,
-                               del_io.page_writes / n, -1},
+                  MeasuredCost{.pages = del_io.total() / n,
+                               .reads = del_io.page_reads / n,
+                               .writes = del_io.page_writes / n,
+                               .wall_ms = -1},
                   del_model);
 }
 

@@ -121,7 +121,8 @@ void Run() {
       "rc*Dt = 30)\n",
       nix_ins.writes, nix_ins.reads);
   auto insert_cost = [](const MeasuredUpdate& u) {
-    return MeasuredCost{u.writes + u.reads, u.reads, u.writes, -1};
+    return MeasuredCost{.pages = u.writes + u.reads, .reads = u.reads,
+                        .writes = u.writes, .wall_ms = -1};
   };
   EmitBenchRecord("ssf.insert", {{"dt", 10}, {"f", 250}, {"m", 2}},
                   insert_cost(ssf_ins), SsfInsertCost());
@@ -155,7 +156,8 @@ void Run() {
       scan_reads / kDeletes, SsfDeleteCost(db));
   EmitBenchRecord(
       "ssf.delete", {{"dt", 10}, {"f", 250}, {"m", 2}},
-      MeasuredCost{scan_reads / kDeletes, scan_reads / kDeletes, 0, -1},
+      MeasuredCost{.pages = scan_reads / kDeletes,
+                   .reads = scan_reads / kDeletes, .wall_ms = -1},
       SsfDeleteCost(db));
 }
 

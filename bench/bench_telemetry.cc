@@ -72,9 +72,9 @@ void RunHotPathBench() {
               hist_ns < 100.0 && ring_ns < 100.0 ? "ok" : "OVER");
 
   EmitBenchRecord("histogram.record.ns", {{"batches", 64}},
-                  MeasuredCost{0, 0, 0, 0, 0, hist_ns * 1e-6});
+                  MeasuredCost{.wall_ms = hist_ns * 1e-6});
   EmitBenchRecord("flight_recorder.record.ns", {{"batches", 64}},
-                  MeasuredCost{0, 0, 0, 0, 0, ring_ns * 1e-6});
+                  MeasuredCost{.wall_ms = ring_ns * 1e-6});
 }
 
 // Builds a small indexed workload and times `queries` mixed queries.
@@ -124,11 +124,11 @@ void RunOverheadBench(int n, int queries) {
   EmitBenchRecord("workload.telemetry_off",
                   {{"n", static_cast<double>(n)},
                    {"queries", static_cast<double>(queries)}},
-                  MeasuredCost{0, 0, 0, 0, 0, off_ms});
+                  MeasuredCost{.wall_ms = off_ms});
   EmitBenchRecord("workload.telemetry_on",
                   {{"n", static_cast<double>(n)},
                    {"queries", static_cast<double>(queries)}},
-                  MeasuredCost{0, 0, 0, 0, 0, on_ms});
+                  MeasuredCost{.wall_ms = on_ms});
 
   const FlightRecorder* rec = index_on->flight_recorder();
   std::printf("  flight events recorded: %llu (ring capacity %zu)\n",

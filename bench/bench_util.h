@@ -51,6 +51,7 @@ struct MeasuredCost {
   double writes = 0;
   double skipped = 0;  // pages elided by the slice skip index
   double cow = 0;      // copy-on-write page copies (snapshot traffic)
+  double hot = 0;      // slice reads served by the pinned hot tier
   double wall_ms = 0;
 };
 
@@ -117,6 +118,7 @@ class BenchJson {
     w.Field("writes", record.measured.writes);
     w.Field("pages_skipped", record.measured.skipped);
     w.Field("pages_cow", record.measured.cow);
+    w.Field("pages_hot", record.measured.hot);
     w.EndObject();
     w.FieldOrNull("predicted_pages", record.predicted_pages);
     w.FieldOrNull("wall_ms", record.measured.wall_ms);
@@ -161,9 +163,13 @@ class BenchDb {
     bool build_ssf = true;
     bool build_bssf = true;
     bool build_nix = true;
+    // Empty = in-memory backend; otherwise pages live in files under this
+    // directory (which must exist) and every access is a real syscall.
+    std::string directory;
   };
 
-  explicit BenchDb(const Options& options) : options_(options) {
+  explicit BenchDb(const Options& options)
+      : options_(options), storage_(options.directory) {
     WorkloadConfig wconfig{options.n, options.v,
                            CardinalitySpec::Fixed(options.dt),
                            SkewKind::kUniform, 0.99, options.seed};
@@ -301,6 +307,7 @@ class BenchDb {
       total.writes += static_cast<double>(io.writes());
       total.skipped += static_cast<double>(io.skips());
       total.cow += static_cast<double>(io.cows());
+      total.hot += static_cast<double>(io.hots());
       total.wall_ms +=
           std::chrono::duration<double, std::milli>(end - start).count();
     }
@@ -308,6 +315,7 @@ class BenchDb {
     total.writes /= trials;
     total.skipped /= trials;
     total.cow /= trials;
+    total.hot /= trials;
     total.wall_ms /= trials;
     total.pages = total.reads + total.writes;
     return total;

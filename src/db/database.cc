@@ -1357,6 +1357,7 @@ StatusOr<DatabaseQueryResult> Database::QueryInternal(
         child.page_writes = states[w].io.writes();
         child.pages_skipped = states[w].io.skips();
         child.pages_cow = states[w].io.cows();
+        child.pages_hot = states[w].io.hots();
         child.wall_ms = states[w].wall_ms;
         child.candidates = static_cast<int64_t>(states[w].processed);
         child.false_drops = static_cast<int64_t>(states[w].false_drops);

@@ -270,6 +270,8 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Create(StorageManager* storage,
         BitSlicedSignatureFile::Create(options.sig, options.capacity, slices,
                                        oid, options.bssf_mode));
     index->bssf_->set_skip_index_enabled(options.enable_skip_index);
+    index->bssf_->set_hot_tier_capacity(options.hot_tier_capacity);
+    index->bssf_->set_hot_tier_enabled(options.enable_hot_tier);
   }
   if (options.maintain_nix) {
     SIGSET_ASSIGN_OR_RETURN(
@@ -499,6 +501,8 @@ StatusOr<std::unique_ptr<SetIndex>> SetIndex::Open(StorageManager* storage,
                                   options.sig, options.capacity, slices, oid,
                                   options.bssf_mode, sigs));
       index->bssf_->set_skip_index_enabled(options.enable_skip_index);
+      index->bssf_->set_hot_tier_capacity(options.hot_tier_capacity);
+      index->bssf_->set_hot_tier_enabled(options.enable_hot_tier);
     }
   }
   if (options.maintain_nix) {
@@ -783,6 +787,8 @@ Status SetIndex::CompactImpl() {
                                 options_.sig, options_.capacity, slices, oid,
                                 options_.bssf_mode, bssf_live));
     new_bssf->set_skip_index_enabled(options_.enable_skip_index);
+    new_bssf->set_hot_tier_capacity(options_.hot_tier_capacity);
+    new_bssf->set_hot_tier_enabled(options_.enable_hot_tier);
   }
   if (ssf_ != nullptr && bssf_ != nullptr && ssf_live != bssf_live) {
     return Status::Internal("compaction live-count mismatch between facilities");
@@ -946,6 +952,8 @@ Status SetIndex::RebuildFacilitiesFromStore() {
                                        options_.sig, options_.capacity,
                                        slices, oid, options_.bssf_mode, live));
     bssf_->set_skip_index_enabled(options_.enable_skip_index);
+    bssf_->set_hot_tier_capacity(options_.hot_tier_capacity);
+    bssf_->set_hot_tier_enabled(options_.enable_hot_tier);
   }
   if (options_.maintain_nix) {
     // Reset to an empty tree (orphaning whatever pages the crashed run
@@ -1119,6 +1127,9 @@ StatusOr<SetIndexResult> SetIndex::QueryInternal(QueryKind kind,
       ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
   if (mode == PlanMode::kAuto) {
     metrics_->gauge(prefix + ".predicted_pages")->Add(plan.cost_pages);
+  }
+  if (bssf_ != nullptr && bssf_->hot_tier_enabled()) {
+    bssf_->hot_tier().ExportMetrics(metrics_, "hot_tier");
   }
 
   SetIndexResult out;

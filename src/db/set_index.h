@@ -111,6 +111,17 @@ class SetIndex {
     // pages are reported via IoStats::skips()/trace pages_skipped and query
     // results are identical.
     bool enable_skip_index = false;
+    // Let BSSF slice scans consult the pinned hot-slice tier (sig/
+    // hot_tier.h): the hottest slice pages — by access counter — are kept
+    // as cache-resident copies and served without touching the buffer
+    // pool.  Off by default: a hot hit moves a read from page_reads to
+    // pages_hot, which would change the paper-pinned access counts; when
+    // on, reads + hots equals the off-path reads and query results are
+    // identical.
+    bool enable_hot_tier = false;
+    // Pin budget of the hot tier, in slice pages (64 pages = 256 KiB).
+    // Only consulted when enable_hot_tier is set.
+    size_t hot_tier_capacity = 64;
     // Write-ahead logging: every Insert/Delete/ApplyBatch first commits a
     // logical record to "<name>.wal" (one fsync, group-committed) and is
     // acknowledged only once the record is durable; Open() replays records

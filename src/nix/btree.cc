@@ -274,8 +274,10 @@ Status BTree::RemoveFromOverflowChain(PageId first, Oid oid, bool* removed) {
     uint16_t count = page.ReadAt<uint16_t>(4);
     for (uint16_t i = 0; i < count; ++i) {
       if (page.ReadAt<uint64_t>(kOverflowHeader + i * 8) == oid.value()) {
-        // Swap in the page's last OID and shrink (order within a chain is
-        // not meaningful; readers sort postings as needed).
+        // Swap in the page's last OID and shrink.  Chains are the one place
+        // postings stay unordered on disk (swap-remove here, prepend-head in
+        // AppendToOverflowChain); Lookup sorts a chain exactly once when it
+        // materializes the list, so readers still see ascending postings.
         page.WriteAt<uint64_t>(
             kOverflowHeader + i * 8,
             page.ReadAt<uint64_t>(kOverflowHeader + (count - 1) * 8));
@@ -529,9 +531,15 @@ StatusOr<std::vector<Oid>> BTree::Lookup(uint64_t key) const {
   std::vector<LeafRecord> records = ParseLeaf(page);
   auto it = FindRecord(records, key);
   if (it == records.end() || it->key != key) return std::vector<Oid>{};
+  // Inline postings are kept sorted at write time (LeafInsert places each
+  // OID at its lower bound; LeafApply and BulkLoad sort before writing), so
+  // they return as-is.  Overflow chains are unordered on disk by design —
+  // one sort here, when the chain is materialized, is what lets every
+  // reader above assume ascending postings without re-sorting per query.
   if (!it->overflow) return std::move(it->inline_postings);
   std::vector<Oid> out;
   SIGSET_RETURN_IF_ERROR(ReadOverflowChain(it->first_page, it->total, &out));
+  std::sort(out.begin(), out.end());
   return out;
 }
 
@@ -547,7 +555,12 @@ Status BTree::LeafInsert(PageId page_id, Page* page, uint64_t key, Oid oid,
       it->first_page = first;
       ++it->total;
     } else {
-      it->inline_postings.push_back(oid);
+      // Sorted insertion keeps inline postings ascending on disk, so Lookup
+      // never has to sort them.
+      it->inline_postings.insert(
+          std::lower_bound(it->inline_postings.begin(),
+                           it->inline_postings.end(), oid),
+          oid);
       if (it->inline_postings.size() > kMaxInlinePostings) {
         // Spill the whole posting list into an overflow chain.
         SIGSET_ASSIGN_OR_RETURN(PageId first,
@@ -706,6 +719,10 @@ Status BTree::LeafApply(PageId page_id, Page* page, uint64_t key,
     postings.erase(oid_it);
   }
   postings.insert(postings.end(), adds.begin(), adds.end());
+  // Restore the on-disk ascending order broken by the appended adds (and by
+  // a materialized chain, which is unordered on disk); inline records must
+  // land sorted so Lookup can return them without sorting.
+  std::sort(postings.begin(), postings.end());
   if (had_overflow) {
     // The chain is rewritten (or dropped) below; recycle its pages first so
     // the rewrite can reuse them.
@@ -1012,6 +1029,8 @@ Status BTree::ForEachEntry(
       if (r.overflow) {
         SIGSET_RETURN_IF_ERROR(
             ReadOverflowChain(r.first_page, r.total, &entry.postings));
+        // Same contract as Lookup: postings surface in ascending order.
+        std::sort(entry.postings.begin(), entry.postings.end());
       } else {
         entry.postings = std::move(r.inline_postings);
       }

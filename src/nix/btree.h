@@ -107,8 +107,10 @@ class BTree {
   // entry when the posting empties.  kNotFound if absent.
   Status Remove(uint64_t key, Oid oid);
 
-  // Returns the posting list of `key` (empty vector when the key is absent;
-  // the traversal still costs height()+1 page reads).
+  // Returns the posting list of `key` in ascending OID order (empty vector
+  // when the key is absent; the traversal still costs height()+1 page
+  // reads).  Inline records are stored sorted so this is free; an overflow
+  // chain — unordered on disk — is sorted once here, not per reader.
   StatusOr<std::vector<Oid>> Lookup(uint64_t key) const;
 
   // Bulk-builds a packed tree from entries sorted by strictly increasing

@@ -1,26 +1,42 @@
 #include "nix/nested_index.h"
 
 #include <algorithm>
+#include <cassert>
 #include <map>
+#include <queue>
+
+#include "sig/kernels.h"
 
 namespace sigsetdb {
 
 namespace {
 
-// Sorted-vector intersection.
-std::vector<Oid> Intersect(const std::vector<Oid>& a,
-                           const std::vector<Oid>& b) {
-  std::vector<Oid> out;
-  out.reserve(std::min(a.size(), b.size()));
-  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
-                        std::back_inserter(out));
-  return out;
+// The intersection kernels run on raw uint64_t views of OID vectors; the
+// casts below are only sound while an Oid is exactly its 8-byte value.
+static_assert(sizeof(Oid) == sizeof(uint64_t));
+static_assert(alignof(Oid) == alignof(uint64_t));
+
+const uint64_t* OidWords(const std::vector<Oid>& v) {
+  return reinterpret_cast<const uint64_t*>(v.data());
 }
 
-std::vector<Oid> SortedUnique(std::vector<Oid> v) {
-  std::sort(v.begin(), v.end());
-  v.erase(std::unique(v.begin(), v.end()), v.end());
-  return v;
+// acc ∩= postings through the dispatched kernel (smallest-list-first
+// callers keep |acc| <= |postings|, but the kernel handles either order).
+void IntersectInto(std::vector<Oid>* acc, const std::vector<Oid>& postings) {
+  std::vector<Oid> out(std::min(acc->size(), postings.size()));
+  const size_t count = KernelIntersectU64(
+      OidWords(*acc), acc->size(), OidWords(postings), postings.size(),
+      reinterpret_cast<uint64_t*>(out.data()));
+  out.resize(count);
+  *acc = std::move(out);
+}
+
+Status CheckNoReservedElement(const ElementSet& set_value) {
+  if (!set_value.empty() && set_value.back() == kEmptySetKey) {
+    return Status::InvalidArgument(
+        "element value UINT64_MAX is reserved for the empty-set roster");
+  }
+  return Status::OK();
 }
 
 }  // namespace
@@ -46,10 +62,36 @@ StatusOr<std::unique_ptr<NestedIndex>> NestedIndex::CreateFromExisting(
       std::unique_ptr<BTree> tree,
       BTree::CreateFromExisting(file, max_fanout, root, height, leaf_pages,
                                 internal_pages, overflow_pages));
-  return std::unique_ptr<NestedIndex>(new NestedIndex(std::move(tree)));
+  std::unique_ptr<NestedIndex> index(new NestedIndex(std::move(tree)));
+  // Load the persisted empty-set roster into the in-memory mirror once, at
+  // open — query-time consultation is then I/O-free, so the paper-pinned
+  // rc·Dq lookup counts are untouched.  This read is setup, like the
+  // structural validation above it; reset the counters afterwards.
+  SIGSET_ASSIGN_OR_RETURN(index->empty_oids_,
+                          index->tree_->Lookup(kEmptySetKey));
+  file->stats().Reset();
+  return index;
+}
+
+void NestedIndex::RosterAdd(Oid oid) {
+  auto it = std::lower_bound(empty_oids_.begin(), empty_oids_.end(), oid);
+  if (it == empty_oids_.end() || *it != oid) empty_oids_.insert(it, oid);
+}
+
+void NestedIndex::RosterRemove(Oid oid) {
+  auto it = std::lower_bound(empty_oids_.begin(), empty_oids_.end(), oid);
+  if (it != empty_oids_.end() && *it == oid) empty_oids_.erase(it);
 }
 
 Status NestedIndex::Insert(Oid oid, const ElementSet& set_value) {
+  SIGSET_RETURN_IF_ERROR(CheckNoReservedElement(set_value));
+  if (set_value.empty()) {
+    // ∅ writes no real postings; record the OID in the roster (persisted as
+    // the sentinel key's posting list) so subset queries can surface it.
+    SIGSET_RETURN_IF_ERROR(tree_->Insert(kEmptySetKey, oid));
+    RosterAdd(oid);
+    return Status::OK();
+  }
   for (uint64_t element : set_value) {
     SIGSET_RETURN_IF_ERROR(tree_->Insert(element, oid));
   }
@@ -57,6 +99,12 @@ Status NestedIndex::Insert(Oid oid, const ElementSet& set_value) {
 }
 
 Status NestedIndex::Remove(Oid oid, const ElementSet& set_value) {
+  SIGSET_RETURN_IF_ERROR(CheckNoReservedElement(set_value));
+  if (set_value.empty()) {
+    SIGSET_RETURN_IF_ERROR(tree_->Remove(kEmptySetKey, oid));
+    RosterRemove(oid);
+    return Status::OK();
+  }
   for (uint64_t element : set_value) {
     SIGSET_RETURN_IF_ERROR(tree_->Remove(element, oid));
   }
@@ -65,14 +113,24 @@ Status NestedIndex::Remove(Oid oid, const ElementSet& set_value) {
 
 Status NestedIndex::ApplyBatch(const std::vector<BatchOp>& ops) {
   // Aggregate the batch per element value (std::map keeps keys sorted, so
-  // the descents walk the tree left to right), then apply each key's adds
-  // and removes with one descent.
+  // the descents walk the tree left to right; the sentinel roster key sorts
+  // last), then apply each key's adds and removes with one descent.
   struct KeyChanges {
     std::vector<Oid> adds;
     std::vector<Oid> removes;
   };
   std::map<uint64_t, KeyChanges> by_key;
   for (const BatchOp& op : ops) {
+    SIGSET_RETURN_IF_ERROR(CheckNoReservedElement(op.set_value));
+    if (op.set_value.empty()) {
+      KeyChanges& changes = by_key[kEmptySetKey];
+      if (op.kind == BatchOp::Kind::kInsert) {
+        changes.adds.push_back(op.oid);
+      } else {
+        changes.removes.push_back(op.oid);
+      }
+      continue;
+    }
     for (uint64_t element : op.set_value) {
       KeyChanges& changes = by_key[element];
       if (op.kind == BatchOp::Kind::kInsert) {
@@ -84,8 +142,23 @@ Status NestedIndex::ApplyBatch(const std::vector<BatchOp>& ops) {
   }
   for (const auto& [key, changes] : by_key) {
     SIGSET_RETURN_IF_ERROR(tree_->Apply(key, changes.adds, changes.removes));
+    if (key == kEmptySetKey) {
+      for (Oid oid : changes.removes) RosterRemove(oid);
+      for (Oid oid : changes.adds) RosterAdd(oid);
+    }
   }
   return Status::OK();
+}
+
+StatusOr<std::vector<Oid>> NestedIndex::LookupPostings(
+    uint64_t element) const {
+  SIGSET_ASSIGN_OR_RETURN(std::vector<Oid> postings, tree_->Lookup(element));
+  if (element == kEmptySetKey) {
+    // A query naming the reserved value must not see the roster as if it
+    // were a posting list; the descent above keeps the cost uniform.
+    postings.clear();
+  }
+  return postings;
 }
 
 StatusOr<CandidateResult> NestedIndex::CandidatesSmartSuperset(
@@ -94,18 +167,29 @@ StatusOr<CandidateResult> NestedIndex::CandidatesSmartSuperset(
   if (n == 0) {
     return Status::InvalidArgument("superset query needs >= 1 element");
   }
-  CandidateResult result;
+  // Phase 1: look up every used element in the original query order, so the
+  // I/O pattern (and the paper's rc·Dq charge) is exactly what it always
+  // was.  No early exit on an empty intersection for the same reason.
+  std::vector<std::vector<Oid>> lists;
+  lists.reserve(n);
   for (size_t i = 0; i < n; ++i) {
     SIGSET_ASSIGN_OR_RETURN(std::vector<Oid> postings,
-                            tree_->Lookup(query[i]));
-    std::sort(postings.begin(), postings.end());
-    if (i == 0) {
-      result.oids = std::move(postings);
-    } else {
-      result.oids = Intersect(result.oids, postings);
-    }
-    // No early exit on an empty intersection: the paper's cost model (and
-    // its measured reproduction) charges rc·Dq index look-ups regardless.
+                            LookupPostings(query[i]));
+    assert(std::is_sorted(postings.begin(), postings.end()) &&
+           "BTree::Lookup must return sorted postings");
+    lists.push_back(std::move(postings));
+  }
+  // Phase 2: intersect smallest-list-first — every kernel pass then runs
+  // with the shortest possible accumulator, which is where the galloping /
+  // SIMD paths earn their keep.  Pure CPU; page reads already happened.
+  std::sort(lists.begin(), lists.end(),
+            [](const std::vector<Oid>& a, const std::vector<Oid>& b) {
+              return a.size() < b.size();
+            });
+  CandidateResult result;
+  result.oids = std::move(lists.front());
+  for (size_t i = 1; i < lists.size(); ++i) {
+    IntersectInto(&result.oids, lists[i]);
   }
   result.exact = (n == query.size());
   return result;
@@ -129,21 +213,63 @@ StatusOr<CandidateResult> NestedIndex::Candidates(QueryKind kind,
     case QueryKind::kOverlaps: {
       // Union of the postings of all query elements: for kOverlaps this is
       // the exact answer; for kSubset it is a candidate set (an object can
-      // share an element with Q yet contain elements outside Q).
-      std::vector<Oid> merged;
+      // share an element with Q yet contain elements outside Q).  The
+      // sorted lists are combined with a k-way heap merge straight into the
+      // output, so the transient footprint is the union size — not the sum
+      // of posting lengths the old concat-then-sort-unique path peaked at.
+      std::vector<std::vector<Oid>> lists;
+      lists.reserve(query.size());
+      size_t longest = 0;
       for (uint64_t element : query) {
         SIGSET_ASSIGN_OR_RETURN(std::vector<Oid> postings,
-                                tree_->Lookup(element));
-        merged.insert(merged.end(), postings.begin(), postings.end());
+                                LookupPostings(element));
+        assert(std::is_sorted(postings.begin(), postings.end()) &&
+               "BTree::Lookup must return sorted postings");
+        longest = std::max(longest, postings.size());
+        if (!postings.empty()) lists.push_back(std::move(postings));
+      }
+      // Min-heap of (head value, list index); pop-advance with dedup
+      // against the last emitted OID yields the sorted-unique union.
+      using HeapEntry = std::pair<Oid, size_t>;
+      std::priority_queue<HeapEntry, std::vector<HeapEntry>,
+                          std::greater<HeapEntry>>
+          heap;
+      std::vector<size_t> cursor(lists.size(), 0);
+      for (size_t l = 0; l < lists.size(); ++l) {
+        heap.emplace(lists[l][0], l);
       }
       CandidateResult result;
-      result.oids = SortedUnique(std::move(merged));
+      result.oids.reserve(longest);
+      while (!heap.empty()) {
+        auto [oid, l] = heap.top();
+        heap.pop();
+        if (result.oids.empty() || result.oids.back() != oid) {
+          result.oids.push_back(oid);
+        }
+        if (++cursor[l] < lists[l].size()) {
+          heap.emplace(lists[l][cursor[l]], l);
+        }
+      }
+      if (kind != QueryKind::kOverlaps && !empty_oids_.empty()) {
+        // ∅ ⊆ Q (and ∅ ⊊ Q) for every non-empty Q, but empty sets write no
+        // postings, so the union alone can never surface them — this merge
+        // is the actual fix for the empty-set candidate miss.  Roster OIDs
+        // appear in no posting list, so the merge stays duplicate-free.
+        // kOverlaps excludes them: ∅ shares no element with any query.
+        std::vector<Oid> merged;
+        merged.reserve(result.oids.size() + empty_oids_.size());
+        std::merge(result.oids.begin(), result.oids.end(),
+                   empty_oids_.begin(), empty_oids_.end(),
+                   std::back_inserter(merged));
+        result.oids = std::move(merged);
+      }
       result.exact = (kind == QueryKind::kOverlaps);
       return result;  // ⊊ strictness is checked at resolution
     }
     case QueryKind::kEquals: {
       // T = Q ⟹ T ⊇ Q, so the intersection is a candidate superset; the
-      // resolution step rejects objects with extra elements.
+      // resolution step rejects objects with extra elements.  ∅ never
+      // qualifies (Q is non-empty), and it is absent here by construction.
       SIGSET_ASSIGN_OR_RETURN(CandidateResult result,
                               CandidatesSmartSuperset(query, query.size()));
       result.exact = false;
@@ -158,16 +284,29 @@ Status NestedIndex::BulkBuild(const std::vector<Oid>& oids,
   if (oids.size() != sets.size()) {
     return Status::InvalidArgument("oids/sets size mismatch");
   }
+  empty_oids_.clear();
   std::map<uint64_t, std::vector<Oid>> postings;
+  std::vector<Oid> roster;
   for (size_t i = 0; i < sets.size(); ++i) {
+    SIGSET_RETURN_IF_ERROR(CheckNoReservedElement(sets[i]));
+    if (sets[i].empty()) {
+      roster.push_back(oids[i]);
+      continue;
+    }
     for (uint64_t element : sets[i]) {
       postings[element].push_back(oids[i]);
     }
+  }
+  if (!roster.empty()) {
+    // The sentinel sorts after every real element, so appending it keeps
+    // the bulk load's strictly-increasing key order.
+    postings[kEmptySetKey] = std::move(roster);
   }
   std::vector<BTreeEntry> entries;
   entries.reserve(postings.size());
   for (auto& [key, oid_list] : postings) {
     std::sort(oid_list.begin(), oid_list.end());
+    if (key == kEmptySetKey) empty_oids_ = oid_list;
     entries.push_back(BTreeEntry{key, std::move(oid_list)});
   }
   return tree_->BulkLoad(entries);

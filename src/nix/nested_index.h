@@ -12,6 +12,27 @@
 // The smart strategy of §5.1.3 intersects the postings of just two query
 // elements and resolves the (small) remainder, capping the index cost at
 // 2·rc for any Dq ≥ 2.
+//
+// Empty stored sets.  An object whose set value is ∅ writes no postings, so
+// no tree lookup can ever surface it — yet ∅ ⊆ Q holds for every query
+// (queries are validated non-empty at the SetIndex boundary).  The index
+// therefore tracks empty-set OIDs in an explicit roster, persisted as the
+// posting list of the reserved key kEmptySetKey = UINT64_MAX (it sorts
+// after every real element value, so bulk loads stay ordered) and mirrored
+// in memory at open, so consulting it at query time costs zero page reads
+// and the paper-pinned rc·Dq counts are unchanged.  Semantics, shared by
+// every facility (the SSF/BSSF get them for free — an all-zero signature
+// passes the T ⊆ Q slice test and resolution confirms):
+//
+//   kSubset / kProperSubset   ∅ matches every (non-empty) query
+//   kSuperset / kProperSuperset / kOverlaps / kEquals
+//                             ∅ matches nothing, because each requires at
+//                             least one shared element with Q (kEquals
+//                             would need Q = ∅, which is rejected)
+//
+// Element value UINT64_MAX is reserved: inserts carrying it are refused,
+// and query lookups of it read the tree but discard the postings (the
+// descent is still charged, keeping costs uniform).
 
 #ifndef SIGSET_NIX_NESTED_INDEX_H_
 #define SIGSET_NIX_NESTED_INDEX_H_
@@ -22,6 +43,9 @@
 #include "sig/facility.h"
 
 namespace sigsetdb {
+
+// Reserved B-tree key whose posting list is the empty-set OID roster.
+inline constexpr uint64_t kEmptySetKey = ~uint64_t{0};
 
 // Nested index over one indexed set attribute.
 class NestedIndex : public SetAccessFacility {
@@ -81,11 +105,25 @@ class NestedIndex : public SetAccessFacility {
   const BTree& tree() const { return *tree_; }
   BTree& mutable_tree() { return *tree_; }
 
+  // The in-memory mirror of the empty-set roster, ascending (tests).
+  const std::vector<Oid>& empty_set_oids() const { return empty_oids_; }
+
  private:
   explicit NestedIndex(std::unique_ptr<BTree> tree) : tree_(std::move(tree)) {}
 
+  // Tree lookup that treats the reserved roster key as an ordinary absent
+  // element: the descent still happens (and is charged), the postings are
+  // discarded.  Everything query-shaped goes through here.
+  StatusOr<std::vector<Oid>> LookupPostings(uint64_t element) const;
+
+  // Roster mirror maintenance (the tree-side sentinel entry is written by
+  // the caller); keeps empty_oids_ sorted.
+  void RosterAdd(Oid oid);
+  void RosterRemove(Oid oid);
+
   std::string name_ = "nix";
   std::unique_ptr<BTree> tree_;
+  std::vector<Oid> empty_oids_;
 };
 
 }  // namespace sigsetdb

@@ -30,6 +30,9 @@ void AddSpanRow(TablePrinter* table, const TraceSpan& span, int depth) {
                  span.pages_cow > 0
                      ? TablePrinter::Int(static_cast<int64_t>(span.pages_cow))
                      : kNone,
+                 span.pages_hot > 0
+                     ? TablePrinter::Int(static_cast<int64_t>(span.pages_hot))
+                     : kNone,
                  span.wall_ms > 0.0 ? TablePrinter::Num(span.wall_ms, 3)
                                     : kNone,
                  CountCell(span.candidates), CountCell(span.false_drops)});
@@ -45,7 +48,7 @@ std::string RenderExplain(const QueryTrace& trace) {
   os << "EXPLAIN " << trace.kind << " Dq=" << trace.dq
      << " — plan: " << trace.plan << "\n";
   TablePrinter table({"stage", "pages", "predicted", "reads", "writes",
-                      "skipped", "cow", "wall_ms", "cand", "fdrops"});
+                      "skipped", "cow", "hot", "wall_ms", "cand", "fdrops"});
   for (const TraceSpan& span : trace.stages()) {
     AddSpanRow(&table, span, 0);
   }
@@ -55,6 +58,7 @@ std::string RenderExplain(const QueryTrace& trace) {
   total.page_writes = trace.TotalWrites();
   total.pages_skipped = trace.TotalSkipped();
   total.pages_cow = trace.TotalCow();
+  total.pages_hot = trace.TotalHot();
   total.wall_ms = trace.TotalWallMs();
   total.predicted_pages = trace.predicted_total;
   AddSpanRow(&table, total, 0);

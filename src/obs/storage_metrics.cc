@@ -46,6 +46,10 @@ void ExportStorageMetrics(const StorageManager& storage,
       SyncCounter(registry, "io." + file.name() + ".cow",
                   file.stats().cows());
     }
+    if (file.stats().hots() > 0) {
+      SyncCounter(registry, "io." + file.name() + ".hot",
+                  file.stats().hots());
+    }
     const auto* pool = dynamic_cast<const CachedPageFile*>(&file);
     if (pool != nullptr) {
       any_pool = true;

@@ -14,6 +14,7 @@ void WriteSpan(JsonWriter* w, const TraceSpan& span) {
   w->Field("pages", span.pages());
   if (span.pages_skipped > 0) w->Field("pages_skipped", span.pages_skipped);
   if (span.pages_cow > 0) w->Field("pages_cow", span.pages_cow);
+  if (span.pages_hot > 0) w->Field("pages_hot", span.pages_hot);
   if (span.wall_ms > 0.0) w->Field("wall_ms", span.wall_ms);
   if (span.predicted_pages >= 0.0) {
     w->Field("predicted_pages", span.predicted_pages);
@@ -56,10 +57,12 @@ TraceSpan* AddSnapshotStage(QueryTrace* trace, std::string name,
     child.page_writes = delta.writes();
     child.pages_skipped = delta.skips();
     child.pages_cow = delta.cows();
+    child.pages_hot = delta.hots();
     span->page_reads += delta.reads();
     span->page_writes += delta.writes();
     span->pages_skipped += delta.skips();
     span->pages_cow += delta.cows();
+    span->pages_hot += delta.hots();
     span->children.push_back(std::move(child));
   }
   return span;
@@ -89,6 +92,12 @@ uint64_t QueryTrace::TotalCow() const {
   return total;
 }
 
+uint64_t QueryTrace::TotalHot() const {
+  uint64_t total = 0;
+  for (const TraceSpan& s : stages_) total += s.pages_hot;
+  return total;
+}
+
 double QueryTrace::TotalWallMs() const {
   double total = 0;
   for (const TraceSpan& s : stages_) total += s.wall_ms;
@@ -106,6 +115,7 @@ std::string QueryTrace::ToJson() const {
   w.Field("measured_pages", TotalPages());
   if (TotalSkipped() > 0) w.Field("measured_skipped", TotalSkipped());
   if (TotalCow() > 0) w.Field("measured_cow", TotalCow());
+  if (TotalHot() > 0) w.Field("measured_hot", TotalHot());
   if (predicted_total >= 0.0) w.Field("predicted_total", predicted_total);
   w.Field("wall_ms", TotalWallMs());
   w.Key("stages");

@@ -42,6 +42,10 @@ struct TraceSpan {
   // storage/versioned_page_file.h).  Not part of pages(): a CoW copy is
   // version-chain bookkeeping, not a logical access the paper counts.
   uint64_t pages_cow = 0;
+  // Slice-page reads served from the pinned hot tier (hot tier enabled
+  // only; see sig/hot_tier.h).  Not part of pages(): a hot hit is served
+  // from memory, so the buffer pool never sees the access.
+  uint64_t pages_hot = 0;
   double wall_ms = 0.0;          // 0 when not timed (sub-stages)
   double predicted_pages = -1.0;  // model prediction; < 0 = none attached
   // Stage-specific counts; -1 = not applicable.
@@ -77,6 +81,7 @@ class QueryTrace {
   uint64_t TotalWrites() const;
   uint64_t TotalSkipped() const;
   uint64_t TotalCow() const;
+  uint64_t TotalHot() const;
   uint64_t TotalPages() const { return TotalReads() + TotalWrites(); }
   double TotalWallMs() const;
 

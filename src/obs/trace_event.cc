@@ -25,6 +25,7 @@ std::string SpanArgs(const TraceSpan& span) {
   w.Field("page_writes", span.page_writes);
   w.Field("pages_skipped", span.pages_skipped);
   w.Field("pages_cow", span.pages_cow);
+  w.Field("pages_hot", span.pages_hot);
   if (span.predicted_pages >= 0) {
     w.Field("predicted_pages", span.predicted_pages);
   }
@@ -93,6 +94,7 @@ void TraceEventWriter::AddTrace(const QueryTrace& trace) {
     w.Field("pages", trace.TotalPages());
     w.Field("pages_skipped", trace.TotalSkipped());
     w.Field("pages_cow", trace.TotalCow());
+    w.Field("pages_hot", trace.TotalHot());
     if (trace.predicted_total >= 0) {
       w.Field("predicted_pages", trace.predicted_total);
     }

@@ -57,7 +57,8 @@ BitSlicedSignatureFile::BitSlicedSignatureFile(const SignatureConfig& config,
       slice_file_(slice_file),
       oid_file_(oid_file),
       insert_mode_(insert_mode),
-      skip_index_(config.f, pages_per_slice_) {}
+      skip_index_(config.f, pages_per_slice_),
+      hot_tier_(static_cast<uint64_t>(config.f) * pages_per_slice_) {}
 
 Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
                                           bool set_bit) {
@@ -77,6 +78,7 @@ Status BitSlicedSignatureFile::TouchSlice(uint32_t slice, uint64_t slot,
   }
   SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
   skip_index_.Update(page_no, page);
+  hot_tier_.Update(page_no, page);
   return Status::OK();
 }
 
@@ -149,6 +151,7 @@ BitSlicedSignatureFile::CreateFromExisting(const SignatureConfig& config,
   for (uint64_t p = 0; p < expected_pages; ++p) {
     SIGSET_RETURN_IF_ERROR(slice_file->Read(static_cast<PageId>(p), &page));
     bssf->skip_index_.Update(static_cast<PageId>(p), page);
+    bssf->hot_tier_.Update(static_cast<PageId>(p), page);
   }
   slice_file->stats().Reset();
   oid_file->stats().Reset();
@@ -207,6 +210,7 @@ Status BitSlicedSignatureFile::BulkLoad(const std::vector<Oid>& oids,
     SIGSET_RETURN_IF_ERROR(slice_file_->Write(static_cast<PageId>(p),
                                               pages[p]));
     skip_index_.Update(static_cast<PageId>(p), pages[p]);
+    hot_tier_.Update(static_cast<PageId>(p), pages[p]);
   }
   for (uint64_t slot = 0; slot < oids.size(); ++slot) {
     SIGSET_ASSIGN_OR_RETURN(uint64_t oid_slot, oid_file_.Append(oids[slot]));
@@ -314,6 +318,7 @@ Status BitSlicedSignatureFile::ApplyBatch(const std::vector<BatchOp>& ops) {
     }
     SIGSET_RETURN_IF_ERROR(slice_file_->Write(page_no, page));
     skip_index_.Update(page_no, page);
+    hot_tier_.Update(page_no, page);
   }
   // Phase 4 — publish the OID entries (reused slots become live again,
   // fresh slots append page-at-a-time).
@@ -445,12 +450,26 @@ Status BitSlicedSignatureFile::CombineSlice(
     }
     PageId page_no = static_cast<PageId>(
         static_cast<uint64_t>(slice) * pages_per_slice_ + p);
-    SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page, io));
-    const uint64_t* src = reinterpret_cast<const uint64_t*>(page.data());
-    if (and_combine) {
-      kernels.and_accumulate(words + words_done, src, n);
+    // The hot tier sits after the skip checks (a skipped page is never an
+    // access, so it must not warm the counters) and before the page file: a
+    // pinned page is combined in place under the tier's shared lock — no
+    // page copy — and charged to pages_hot; a miss reads normally and
+    // offers the image for admission.
+    auto combine = [&](const uint64_t* src) {
+      if (and_combine) {
+        kernels.and_accumulate(words + words_done, src, n);
+      } else {
+        kernels.or_accumulate(words + words_done, src, n);
+      }
+    };
+    if (hot_enabled_ && hot_tier_.VisitPage(page_no, [&](const Page& pinned) {
+          combine(reinterpret_cast<const uint64_t*>(pinned.data()));
+        })) {
+      io->AddHot();
     } else {
-      kernels.or_accumulate(words + words_done, src, n);
+      SIGSET_RETURN_IF_ERROR(slice_file_->Read(page_no, &page, io));
+      if (hot_enabled_) hot_tier_.Admit(page_no, page);
+      combine(reinterpret_cast<const uint64_t*>(page.data()));
     }
     words_done += n;
   }

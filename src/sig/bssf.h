@@ -31,6 +31,7 @@
 
 #include "obj/oid_file.h"
 #include "sig/facility.h"
+#include "sig/hot_tier.h"
 #include "sig/signature.h"
 #include "sig/skip_index.h"
 #include "storage/page_file.h"
@@ -178,6 +179,18 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   bool skip_index_enabled() const { return skip_enabled_; }
   const SliceSkipIndex& skip_index() const { return skip_index_; }
 
+  // Whether scans consult the pinned hot-slice tier (copies are kept
+  // coherent by the write paths either way; only consultation and admission
+  // are switched).  Off by default so every slice access still reaches the
+  // page file and access totals stay bit-identical to the pre-tier
+  // behaviour.  When on, a scan read of a pinned page is served from the
+  // in-memory copy and charged to pages_hot instead of page_reads — so
+  // reads(on) + hots(on) == reads(off) for any query stream.
+  void set_hot_tier_enabled(bool on) { hot_enabled_ = on; }
+  bool hot_tier_enabled() const { return hot_enabled_; }
+  void set_hot_tier_capacity(size_t pages) { hot_tier_.set_capacity(pages); }
+  const HotSliceTier& hot_tier() const { return hot_tier_; }
+
  private:
   BitSlicedSignatureFile(const SignatureConfig& config, uint64_t capacity,
                          PageFile* slice_file, PageFile* oid_file,
@@ -244,6 +257,11 @@ class BitSlicedSignatureFile : public SetAccessFacility {
   // rebuilt by CreateFromExisting's recovery scan.
   SliceSkipIndex skip_index_;
   bool skip_enabled_ = false;
+  // Pinned copies of the hottest slice pages; mutable because the scan path
+  // (const) both counts accesses and admits — see sig/hot_tier.h for the
+  // concurrency discipline.
+  mutable HotSliceTier hot_tier_;
+  bool hot_enabled_ = false;
 };
 
 }  // namespace sigsetdb

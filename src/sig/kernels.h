@@ -1,4 +1,4 @@
-// Vectorized signature kernels: the four word-array operations every query
+// Vectorized signature kernels: the word-array operations every query
 // bottoms out in, behind one runtime-dispatched function table.
 //
 //   AndAccumulate  acc[i] &= src[i]        (T ⊇ Q slice combination)
@@ -6,6 +6,7 @@
 //   ContainsAll    ∀i: sub[i] & ~super[i] == 0, early exit
 //                                          (inclusion tests / SSF matching)
 //   PopcountAnd    Σ popcount(a[i] & b[i]) (signature weights, skip summaries)
+//   IntersectU64   sorted-array intersection (NIX posting-list plans)
 //
 // Three implementations of the same table:
 //
@@ -40,7 +41,7 @@
 
 namespace sigsetdb {
 
-// One dispatch target: four function pointers plus a display name
+// One dispatch target: five function pointers plus a display name
 // ("scalar", "portable", "avx2") surfaced by bench_kernels and tests.
 struct SignatureKernels {
   const char* name;
@@ -49,6 +50,12 @@ struct SignatureKernels {
   // True iff every set bit of sub[0..n) is also set in super[0..n).
   bool (*contains_all)(const uint64_t* sub, const uint64_t* super, size_t n);
   uint64_t (*popcount_and)(const uint64_t* a, const uint64_t* b, size_t n);
+  // Intersection of two ascending-sorted arrays with std::set_intersection
+  // semantics (duplicates contribute min multiplicity); writes the result
+  // to out (capacity >= min(na, nb)) and returns the count.  out must not
+  // alias either input.
+  size_t (*intersect_u64)(const uint64_t* a, size_t na, const uint64_t* b,
+                          size_t nb, uint64_t* out);
 };
 
 // The de-vectorized reference implementation (the property-test oracle).
@@ -90,6 +97,13 @@ inline bool KernelIsSubsetOf(const BitVector& sub, const BitVector& super) {
 
 inline uint64_t KernelCountAnd(const BitVector& a, const BitVector& b) {
   return ActiveKernels().popcount_and(a.words(), b.words(), a.num_words());
+}
+
+// Sorted-array intersection through the active table (see intersect_u64).
+inline size_t KernelIntersectU64(const uint64_t* a, size_t na,
+                                 const uint64_t* b, size_t nb,
+                                 uint64_t* out) {
+  return ActiveKernels().intersect_u64(a, na, b, nb, out);
 }
 
 }  // namespace sigsetdb

@@ -19,12 +19,14 @@
 
 namespace sigsetdb {
 
-// Read/write page-access counters for one file, plus two out-of-band
+// Read/write page-access counters for one file, plus three out-of-band
 // counters that are NOT part of total(): pages_skipped counts page reads the
 // slice-page skip index proved unnecessary (an access that never happened),
-// and cow_copies counts copy-on-write page duplications made by the snapshot
-// layer (in-memory copies, not page I/O — tracked separately so
-// measured-vs-model comparisons stay honest about where accesses went).
+// cow_copies counts copy-on-write page duplications made by the snapshot
+// layer (in-memory copies, not page I/O), and pages_hot counts slice-page
+// reads served from the pinned hot tier's cache-resident copies (served
+// from memory, never reaching the buffer pool) — tracked separately so
+// measured-vs-model comparisons stay honest about where accesses went.
 // Copyable (snapshots load the counters); copies are value snapshots, not
 // live views.
 struct IoStats {
@@ -32,19 +34,22 @@ struct IoStats {
   std::atomic<uint64_t> page_writes{0};
   std::atomic<uint64_t> pages_skipped{0};
   std::atomic<uint64_t> cow_copies{0};
+  std::atomic<uint64_t> pages_hot{0};
 
   IoStats() = default;
   IoStats(uint64_t reads, uint64_t writes, uint64_t skips = 0,
-          uint64_t cows = 0)
+          uint64_t cows = 0, uint64_t hots = 0)
       : page_reads(reads),
         page_writes(writes),
         pages_skipped(skips),
-        cow_copies(cows) {}
+        cow_copies(cows),
+        pages_hot(hots) {}
   IoStats(const IoStats& other)
       : page_reads(other.page_reads.load(std::memory_order_relaxed)),
         page_writes(other.page_writes.load(std::memory_order_relaxed)),
         pages_skipped(other.pages_skipped.load(std::memory_order_relaxed)),
-        cow_copies(other.cow_copies.load(std::memory_order_relaxed)) {}
+        cow_copies(other.cow_copies.load(std::memory_order_relaxed)),
+        pages_hot(other.pages_hot.load(std::memory_order_relaxed)) {}
   IoStats& operator=(const IoStats& other) {
     page_reads.store(other.page_reads.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
@@ -54,6 +59,8 @@ struct IoStats {
                         std::memory_order_relaxed);
     cow_copies.store(other.cow_copies.load(std::memory_order_relaxed),
                      std::memory_order_relaxed);
+    pages_hot.store(other.pages_hot.load(std::memory_order_relaxed),
+                    std::memory_order_relaxed);
     return *this;
   }
 
@@ -69,6 +76,9 @@ struct IoStats {
   void AddCow(uint64_t n = 1) {
     cow_copies.fetch_add(n, std::memory_order_relaxed);
   }
+  void AddHot(uint64_t n = 1) {
+    pages_hot.fetch_add(n, std::memory_order_relaxed);
+  }
 
   uint64_t reads() const { return page_reads.load(std::memory_order_relaxed); }
   uint64_t writes() const {
@@ -78,6 +88,7 @@ struct IoStats {
     return pages_skipped.load(std::memory_order_relaxed);
   }
   uint64_t cows() const { return cow_copies.load(std::memory_order_relaxed); }
+  uint64_t hots() const { return pages_hot.load(std::memory_order_relaxed); }
   uint64_t total() const { return reads() + writes(); }
 
   void Reset() {
@@ -85,23 +96,27 @@ struct IoStats {
     page_writes.store(0, std::memory_order_relaxed);
     pages_skipped.store(0, std::memory_order_relaxed);
     cow_copies.store(0, std::memory_order_relaxed);
+    pages_hot.store(0, std::memory_order_relaxed);
   }
 
   // Snapshot delta.  Saturates at zero: a delta taken across a Reset(), or
   // between snapshots captured while concurrent increments were in flight,
   // must never underflow into an astronomically large page count.
   IoStats operator-(const IoStats& other) const {
-    const uint64_t r = reads(), w = writes(), s = skips(), c = cows();
+    const uint64_t r = reads(), w = writes(), s = skips(), c = cows(),
+                   h = hots();
     const uint64_t or_ = other.reads(), ow = other.writes(),
-                   os = other.skips(), oc = other.cows();
+                   os = other.skips(), oc = other.cows(), oh = other.hots();
     return IoStats{r >= or_ ? r - or_ : 0, w >= ow ? w - ow : 0,
-                   s >= os ? s - os : 0, c >= oc ? c - oc : 0};
+                   s >= os ? s - os : 0, c >= oc ? c - oc : 0,
+                   h >= oh ? h - oh : 0};
   }
   IoStats& operator+=(const IoStats& other) {
     page_reads.fetch_add(other.reads(), std::memory_order_relaxed);
     page_writes.fetch_add(other.writes(), std::memory_order_relaxed);
     pages_skipped.fetch_add(other.skips(), std::memory_order_relaxed);
     cow_copies.fetch_add(other.cows(), std::memory_order_relaxed);
+    pages_hot.fetch_add(other.hots(), std::memory_order_relaxed);
     return *this;
   }
 };

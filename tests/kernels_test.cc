@@ -14,7 +14,9 @@
 
 #include "sig/kernels.h"
 
+#include <algorithm>
 #include <cstdint>
+#include <iterator>
 #include <vector>
 
 #include <gtest/gtest.h>
@@ -211,6 +213,157 @@ TEST(KernelPropertyTest, MisalignedViewsMatchScalar) {
                                                src_buf.data() + src_off,
                                                kSpan))
             << k->name;
+      }
+    }
+  }
+}
+
+// --- intersect_u64: sorted posting-list intersection ---
+//
+// Contract: exact std::set_intersection semantics (ascending inputs, common
+// elements with min-multiplicity on duplicates), out capacity min(na, nb),
+// out aliasing neither input.  The AVX2 target mixes three regimes — 4x4
+// block compares for balanced distinct inputs, galloping for skewed sizes,
+// branchless merge as the duplicate fallback — and each must stay
+// bit-identical to the scalar oracle.
+
+// Ascending list of n values; with_dups draws increments from {0,1,2} so
+// runs of equal values appear, otherwise increments are >= 1 (distinct).
+std::vector<uint64_t> SortedList(Rng* rng, size_t n, bool with_dups) {
+  std::vector<uint64_t> v(n);
+  uint64_t x = rng->NextBelow(8);
+  for (size_t i = 0; i < n; ++i) {
+    x += with_dups ? rng->NextBelow(3) : 1 + rng->NextBelow(4);
+    v[i] = x;
+  }
+  return v;
+}
+
+std::vector<uint64_t> OracleIntersect(const std::vector<uint64_t>& a,
+                                      const std::vector<uint64_t>& b) {
+  std::vector<uint64_t> out;
+  std::set_intersection(a.begin(), a.end(), b.begin(), b.end(),
+                        std::back_inserter(out));
+  return out;
+}
+
+// Runs `k`'s intersect into an exactly-min(na,nb)-sized buffer (ASan vets
+// the capacity contract) and compares against std::set_intersection.
+void CheckIntersect(const SignatureKernels* k,
+                    const std::vector<uint64_t>& a,
+                    const std::vector<uint64_t>& b, const char* what) {
+  const std::vector<uint64_t> expected = OracleIntersect(a, b);
+  std::vector<uint64_t> out(std::min(a.size(), b.size()));
+  const size_t n =
+      k->intersect_u64(a.data(), a.size(), b.data(), b.size(), out.data());
+  out.resize(n);
+  ASSERT_EQ(out, expected) << k->name << " " << what << " na=" << a.size()
+                           << " nb=" << b.size();
+}
+
+TEST(KernelPropertyTest, IntersectMatchesScalarOnDistinctLists) {
+  Rng rng(108);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t na : kLengths) {
+      for (size_t nb : kLengths) {
+        for (int trial = 0; trial < 4; ++trial) {
+          // Independent draws over the same dense range, so matches and
+          // misses interleave throughout both lists.
+          std::vector<uint64_t> a = SortedList(&rng, na, /*with_dups=*/false);
+          std::vector<uint64_t> b = SortedList(&rng, nb, /*with_dups=*/false);
+          CheckIntersect(k, a, b, "distinct");
+        }
+      }
+    }
+  }
+}
+
+// The AVX2 block compare is only exact on globally distinct inputs; its
+// prescan must detect duplicates in EITHER input and fall back.  These lists
+// have runs of equal values, where set_intersection semantics demand
+// min-multiplicity, not all-pairs matches.
+TEST(KernelPropertyTest, IntersectMatchesScalarWithDuplicates) {
+  Rng rng(109);
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t na : kLengths) {
+      for (size_t nb : kLengths) {
+        for (int trial = 0; trial < 4; ++trial) {
+          const bool dup_a = trial != 1;
+          const bool dup_b = trial != 2;
+          std::vector<uint64_t> a = SortedList(&rng, na, dup_a);
+          std::vector<uint64_t> b = SortedList(&rng, nb, dup_b);
+          CheckIntersect(k, a, b, "dups");
+        }
+      }
+    }
+  }
+}
+
+// Size ratios >= 32 route into the galloping path; a is built as a sampled
+// subsequence of b (plus noise) so every probe regime — hit, miss, probe
+// past the end — occurs.
+TEST(KernelPropertyTest, IntersectGallopsOnSkewedPairs) {
+  Rng rng(110);
+  const size_t skews[][2] = {{1, 64}, {3, 1000}, {7, 4096}, {100, 8192}};
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (const auto& skew : skews) {
+      const size_t na = skew[0], nb = skew[1];
+      for (int trial = 0; trial < 4; ++trial) {
+        std::vector<uint64_t> b = SortedList(&rng, nb, /*with_dups=*/false);
+        std::vector<uint64_t> a;
+        for (size_t i = 0; i < na; ++i) {
+          // Half sampled from b (guaranteed hits), half fresh (misses).
+          a.push_back(i % 2 == 0 ? b[rng.NextBelow(nb)]
+                                 : rng.Next() % (b.back() + 2));
+        }
+        std::sort(a.begin(), a.end());
+        a.erase(std::unique(a.begin(), a.end()), a.end());
+        CheckIntersect(k, a, b, "skewed");
+        CheckIntersect(k, b, a, "skewed-swapped");
+      }
+    }
+  }
+}
+
+TEST(KernelPropertyTest, IntersectEdgeCases) {
+  Rng rng(111);
+  const std::vector<uint64_t> empty;
+  const std::vector<uint64_t> some = SortedList(&rng, 64, false);
+  std::vector<uint64_t> shifted = some;
+  for (uint64_t& x : shifted) x += some.back() + 1;  // fully disjoint ranges
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    CheckIntersect(k, empty, some, "empty-left");
+    CheckIntersect(k, some, empty, "empty-right");
+    CheckIntersect(k, empty, empty, "empty-both");
+    CheckIntersect(k, some, some, "identical");
+    CheckIntersect(k, some, shifted, "disjoint");
+    CheckIntersect(k, shifted, some, "disjoint-swapped");
+  }
+}
+
+// Posting lists handed to the kernel are whatever addresses the B-tree
+// lookup buffers landed on; every relative misalignment of a, b, and out
+// against the 32-byte vector width must work.  ASan-observed.
+TEST(KernelPropertyTest, IntersectMisalignedViews) {
+  Rng rng(112);
+  constexpr size_t kSpan = 96;
+  for (const SignatureKernels* k : TargetsUnderTest()) {
+    for (size_t a_off = 0; a_off < 4; ++a_off) {
+      for (size_t b_off = 0; b_off < 4; ++b_off) {
+        std::vector<uint64_t> a_buf = SortedList(&rng, kSpan + 4, false);
+        std::vector<uint64_t> b_buf = SortedList(&rng, kSpan + 4, false);
+        const std::vector<uint64_t> a(a_buf.begin() + a_off,
+                                      a_buf.begin() + a_off + kSpan);
+        const std::vector<uint64_t> b(b_buf.begin() + b_off,
+                                      b_buf.begin() + b_off + kSpan);
+        const std::vector<uint64_t> expected = OracleIntersect(a, b);
+        std::vector<uint64_t> out(kSpan + 1);
+        const size_t n = k->intersect_u64(a_buf.data() + a_off, kSpan,
+                                          b_buf.data() + b_off, kSpan,
+                                          out.data() + 1);
+        ASSERT_EQ(std::vector<uint64_t>(out.begin() + 1, out.begin() + 1 + n),
+                  expected)
+            << k->name << " a_off=" << a_off << " b_off=" << b_off;
       }
     }
   }

@@ -1,21 +1,30 @@
 // Differential fuzz over the full write/query surface (DESIGN.md §12).
 //
-// Four SetIndex replicas — {skip index off, on} × {1 thread, 4 threads} —
-// are driven through the same seeded churn (single inserts, single deletes,
-// write batches mixing both, periodic compaction) and, after every phase,
-// queried with all six query kinds through all three forced facilities.
-// Invariants:
+// Six SetIndex replicas — {baseline, skip index, hot tier} × {1 thread,
+// 4 threads} — are driven through the same seeded churn (single inserts,
+// single deletes, write batches mixing both, periodic compaction) and,
+// after every phase, queried with all six query kinds through all three
+// forced facilities.  The churn deliberately includes EMPTY sets (∅ is a
+// legal stored value: it is a subset of every query, writes no signature
+// bits and no postings, and regression-tested here because the nested
+// index once lost ∅ objects entirely — kSubset/kProperSubset answers
+// disagreed with SSF/BSSF).  Invariants:
 //
 //   1. Every replica returns exactly the brute-force oracle's answer for
-//      every (kind, facility) pair — skipping and parallelism change cost
-//      only, never results.
-//   2. With the skip index OFF, page-access totals are identical at 1 and 4
-//      threads (the parallel scan reads every page exactly once), i.e. the
-//      pre-skip-index behaviour is bit-identical.
-//   3. With the skip index ON, page-access totals never exceed the off
-//      replica's (a skipped page is a read that no longer happens, and
+//      every (kind, facility) pair — skipping, the hot tier, and
+//      parallelism change cost only, never results.
+//   2. Page-access totals are identical at 1 and 4 threads for the
+//      baseline and skip replicas (the parallel scan reads every page
+//      exactly once).
+//   3. With the skip index ON, page-access totals never exceed the
+//      baseline's (a skipped page is a read that no longer happens, and
 //      dropped tombstone candidates can only shrink the OID look-up).
 //   4. OID assignment is deterministic: all replicas agree on every OID.
+//   5. The hot tier moves reads, it never removes them: for each hot
+//      replica, reads + hot hits equals the baseline's reads exactly, and
+//      writes are untouched.  (Raw reads may differ between the two hot
+//      replicas — eviction tie-breaks are not deterministic — but the sum
+//      identity holds for each.)
 
 #include <algorithm>
 #include <array>
@@ -101,11 +110,16 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
     struct Config {
       const char* label;
       bool skip;
+      bool hot;
       size_t threads;
     };
+    // Replica layout is positional: [0,1] baseline, [2,3] skip index on,
+    // [4,5] hot tier on.  CheckQuery's cost invariants index into it.
     for (const Config& c :
-         {Config{"off-1t", false, 1}, Config{"off-4t", false, 4},
-          Config{"on-1t", true, 1}, Config{"on-4t", true, 4}}) {
+         {Config{"off-1t", false, false, 1}, Config{"off-4t", false, false, 4},
+          Config{"on-1t", true, false, 1}, Config{"on-4t", true, false, 4},
+          Config{"hot-1t", false, true, 1},
+          Config{"hot-4t", false, true, 4}}) {
       Replica r;
       r.label = c.label;
       r.storage = std::make_unique<StorageManager>();
@@ -117,6 +131,9 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
       options.capacity = 4096;
       options.num_threads = c.threads;
       options.enable_skip_index = c.skip;
+      options.enable_hot_tier = c.hot;
+      // Smaller than the slice store so the fuzz also churns evictions.
+      options.hot_tier_capacity = 16;
       auto index = SetIndex::Create(r.storage.get(), "fuzz", options);
       ASSERT_TRUE(index.ok()) << index.status().ToString();
       r.index = std::move(*index);
@@ -182,7 +199,7 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
   }
 
   // Runs `kind` on every replica through every forced facility and checks
-  // invariants 1–3.
+  // invariants 1–3 and 5.
   void CheckQuery(QueryKind kind, const ElementSet& query,
                   const char* context) {
     const std::vector<Oid> expected = BruteForce(kind, query);
@@ -190,12 +207,15 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
     for (Oid oid : expected) oracle_values.push_back(oid.value());
     for (PlanMode mode :
          {PlanMode::kForceSsf, PlanMode::kForceBssf, PlanMode::kForceNix}) {
-      std::array<uint64_t, 4> pages{};
+      std::vector<uint64_t> pages(replicas_.size(), 0);
+      std::vector<IoStats> deltas(replicas_.size());
       for (size_t i = 0; i < replicas_.size(); ++i) {
+        const IoStats before = replicas_[i].storage->TotalStats();
         auto result = replicas_[i].index->Query(kind, query, mode);
         ASSERT_TRUE(result.ok())
             << replicas_[i].label << " " << context
             << " kind=" << QueryKindName(kind);
+        deltas[i] = replicas_[i].storage->TotalStats() - before;
         std::vector<uint64_t> got;
         for (Oid oid : result->result.oids) got.push_back(oid.value());
         std::sort(got.begin(), got.end());
@@ -212,6 +232,19 @@ class QueryDifferentialFuzzTest : public ::testing::Test {
       // Invariant 3: skipping can only remove page accesses.
       EXPECT_LE(pages[2], pages[0])
           << context << " kind=" << QueryKindName(kind);
+      // Invariant 5: the hot tier moves reads to hot hits one-for-one —
+      // the sum must equal the baseline's reads for the same query, and
+      // writes must be untouched.  Holds per hot replica even though the
+      // raw split can differ between them (eviction tie-breaks are not
+      // deterministic across replicas).
+      for (size_t i = 4; i < replicas_.size(); ++i) {
+        EXPECT_EQ(deltas[i].reads() + deltas[i].hots(), deltas[0].reads())
+            << replicas_[i].label << " " << context
+            << " kind=" << QueryKindName(kind);
+        EXPECT_EQ(deltas[i].writes(), deltas[0].writes())
+            << replicas_[i].label << " " << context
+            << " kind=" << QueryKindName(kind);
+      }
     }
   }
 
@@ -254,8 +287,11 @@ TEST_F(QueryDifferentialFuzzTest, ChurnedRepliasAgreeAcrossSkipAndThreads) {
   WorkloadConfig wconfig{64, kDomain, CardinalitySpec::Fixed(kDt),
                          SkewKind::kUniform, 0.99, 7};
   std::vector<ElementSet> seed_sets = MakeDatabase(wconfig);
-  // Phase 1 — singleton inserts.
+  // Phase 1 — singleton inserts, with ∅ objects mixed in (they write no
+  // signature bits and no postings; only the NIX roster sees them).
+  InsertEverywhere(ElementSet{});
   for (int i = 0; i < 24; ++i) InsertEverywhere(seed_sets[i]);
+  InsertEverywhere(ElementSet{});
   CheckAllKinds(&rng, "after inserts");
   // Phase 2 — delete a third (creates tombstones, empties slice bits).
   {
@@ -263,12 +299,24 @@ TEST_F(QueryDifferentialFuzzTest, ChurnedRepliasAgreeAcrossSkipAndThreads) {
     for (size_t i = 0; i < live.size(); i += 3) DeleteEverywhere(live[i]);
   }
   CheckAllKinds(&rng, "after deletes");
-  // Phase 3 — batches mixing deletes with slot-reusing inserts.
+  // Phase 3 — batches mixing deletes with slot-reusing inserts, ∅ included
+  // on both sides: one ∅ object dies, a new one is born in the same batch.
   {
     WriteBatch batch;
+    uint64_t dead_empty = ~uint64_t{0};
+    for (const auto& [oid, set] : oracle_) {
+      if (set.empty()) {
+        dead_empty = oid;
+        batch.Delete(Oid{oid});
+        break;
+      }
+    }
     std::vector<Oid> live = LiveOids();
-    for (size_t i = 0; i < live.size(); i += 4) batch.Delete(live[i]);
+    for (size_t i = 0; i < live.size(); i += 4) {
+      if (live[i].value() != dead_empty) batch.Delete(live[i]);
+    }
     for (int i = 24; i < 44; ++i) batch.Insert(seed_sets[i]);
+    batch.Insert(ElementSet{});
     BatchEverywhere(batch);
   }
   CheckAllKinds(&rng, "after batch");
@@ -284,6 +332,112 @@ TEST_F(QueryDifferentialFuzzTest, ChurnedRepliasAgreeAcrossSkipAndThreads) {
     BatchEverywhere(batch);
   }
   CheckAllKinds(&rng, "after post-compact batch");
+}
+
+// ∅ is a subset of every query: empty-set objects write no signature bits,
+// no postings, and no B-tree entries, yet must surface as kSubset and
+// kProperSubset answers from every facility.  This pins the nested-index
+// bug where ∅ objects vanished from candidate sets — SSF/BSSF zero
+// signatures pass the subset OR-scan naturally, but per-element posting
+// lists never see ∅; only the explicit roster does.  The roster must
+// survive single deletes, batch churn, and the compaction bulk-rebuild.
+TEST_F(QueryDifferentialFuzzTest, EmptySetObjectsSurviveChurnEverywhere) {
+  Rng rng(424242);
+  InsertEverywhere(ElementSet{});  // into a fresh store
+  WorkloadConfig wconfig{16, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 17};
+  std::vector<ElementSet> sets = MakeDatabase(wconfig);
+  for (int i = 0; i < 10; ++i) InsertEverywhere(sets[i]);
+  InsertEverywhere(ElementSet{});  // amid data
+  std::vector<uint64_t> empty_oids;
+  for (const auto& [oid, set] : oracle_) {
+    if (set.empty()) empty_oids.push_back(oid);
+  }
+  ASSERT_EQ(empty_oids.size(), 2u);
+  // Guard the guard: the oracle itself must classify ∅ as a subset and a
+  // proper-subset hit for any non-empty query (CheckQuery then verifies
+  // every facility × replica against it).
+  ElementSet q = rng.SampleWithoutReplacement(kDomain, 3);
+  for (QueryKind kind : {QueryKind::kSubset, QueryKind::kProperSubset}) {
+    std::vector<uint64_t> ans = OracleAnswer(oracle_, kind, q);
+    for (uint64_t oid : empty_oids) {
+      ASSERT_TRUE(std::binary_search(ans.begin(), ans.end(), oid))
+          << QueryKindName(kind);
+    }
+  }
+  CheckAllKinds(&rng, "empty-set: after inserts");
+  CheckQuery(QueryKind::kSubset, q, "empty-set: explicit subset");
+  CheckQuery(QueryKind::kProperSubset, q, "empty-set: explicit proper");
+  // Single delete of one ∅ object; the other must remain everywhere.
+  DeleteEverywhere(Oid{empty_oids[0]});
+  CheckAllKinds(&rng, "empty-set: after delete");
+  CheckQuery(QueryKind::kSubset, q, "empty-set: subset after delete");
+  // Batch: the surviving ∅ object dies and a fresh one is born in the same
+  // batch, alongside a slot-reusing data insert.
+  {
+    WriteBatch batch;
+    batch.Delete(Oid{empty_oids[1]});
+    batch.Insert(ElementSet{});
+    batch.Insert(sets[10]);
+    BatchEverywhere(batch);
+  }
+  CheckAllKinds(&rng, "empty-set: after batch");
+  CheckQuery(QueryKind::kSubset, q, "empty-set: subset after batch");
+  // The roster must survive the compaction bulk-rebuild.
+  CompactEverywhere();
+  CheckAllKinds(&rng, "empty-set: after compact");
+  CheckQuery(QueryKind::kSubset, q, "empty-set: subset after compact");
+}
+
+// Hammering one superset query warms the hot tier past its admission
+// threshold: later runs must be served partly from pinned pages (hot hits
+// strictly positive) while the identity reads + hot == baseline reads holds
+// on every run, and the write path keeps pinned copies coherent (answers
+// stay oracle-exact after churn mutates pages that are pinned).
+TEST_F(QueryDifferentialFuzzTest, HotTierMovesReadsWithoutChangingThem) {
+  Rng rng(7777);
+  WorkloadConfig wconfig{32, kDomain, CardinalitySpec::Fixed(kDt),
+                         SkewKind::kUniform, 0.99, 19};
+  std::vector<ElementSet> sets = MakeDatabase(wconfig);
+  for (int i = 0; i < 20; ++i) InsertEverywhere(sets[i]);
+  Replica& base = replicas_[0];
+  Replica& hot = replicas_[4];
+  const ElementSet probe = sets[3];
+  const ElementSet query = MakeHittingSupersetQuery(probe, 2, rng);
+  uint64_t total_hot = 0;
+  for (int round = 0; round < 6; ++round) {
+    const IoStats base_before = base.storage->TotalStats();
+    auto base_result =
+        base.index->Query(QueryKind::kSuperset, query, PlanMode::kForceBssf);
+    ASSERT_TRUE(base_result.ok()) << round;
+    const IoStats base_delta = base.storage->TotalStats() - base_before;
+    const IoStats hot_before = hot.storage->TotalStats();
+    auto hot_result =
+        hot.index->Query(QueryKind::kSuperset, query, PlanMode::kForceBssf);
+    ASSERT_TRUE(hot_result.ok()) << round;
+    const IoStats hot_delta = hot.storage->TotalStats() - hot_before;
+    std::vector<uint64_t> base_oids, hot_oids;
+    for (Oid oid : base_result->result.oids) base_oids.push_back(oid.value());
+    for (Oid oid : hot_result->result.oids) hot_oids.push_back(oid.value());
+    std::sort(base_oids.begin(), base_oids.end());
+    std::sort(hot_oids.begin(), hot_oids.end());
+    EXPECT_EQ(base_oids, hot_oids) << "round " << round;
+    EXPECT_EQ(hot_delta.reads() + hot_delta.hots(), base_delta.reads())
+        << "round " << round;
+    total_hot += hot_delta.hots();
+  }
+  // Admission threshold is 2, so round 3 onward must actually hit the tier.
+  EXPECT_GT(total_hot, 0u);
+  // Write-path coherence: deleting the probe clears its slice bits in the
+  // pinned copies too, so the hot-served scan must agree with the oracle.
+  for (const auto& [oid, set] : oracle_) {
+    if (set == probe) {
+      DeleteEverywhere(Oid{oid});
+      break;
+    }
+  }
+  CheckQuery(QueryKind::kSuperset, query, "hot tier: after probe delete");
+  CheckAllKinds(&rng, "hot tier: after probe delete");
 }
 
 // Deleting everything makes every slice page empty and every SSF page's

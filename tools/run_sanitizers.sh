@@ -13,6 +13,8 @@
 #   tools/run_sanitizers.sh wal        # WAL group commit (TSan) + replay (ASan)
 #   tools/run_sanitizers.sh snapshots  # epoch/snapshot concurrency (TSan+ASan)
 #   tools/run_sanitizers.sh telemetry  # flight recorder seqlock + exporters
+#   tools/run_sanitizers.sh resolve    # candidate resolution: intersection
+#                                      # kernels, NIX/B-tree, hot tier
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -115,6 +117,34 @@ case "${1:-all}" in
     run_one address -R \
       'epoch_test|query_differential_fuzz|synchronized_set_index' "$@"
     ;;
+  resolve)
+    # The candidate-resolution path end to end: intersect_u64 does
+    # unaligned 256-bit loads and a mask-indexed left-pack store guarded
+    # against the last 3 slots of an exactly-min(na,nb) buffer (ASan's
+    # bread and butter), the nested index merges posting lists and the ∅
+    # roster, and the hot tier's pinned map is read from 4-thread query
+    # pools while write paths refresh pinned copies (TSan's).  Both
+    # sanitizers repeat with AVX2 forced off so the portable merge and
+    # galloping paths get the same scrutiny, and the dispatched bench gate
+    # asserts the >= 2x claim on 64k posting lists where the hardware can.
+    shift
+    run_one address -R \
+      'kernels_test|btree|nested_index|query_differential_fuzz' "$@"
+    SIGSET_DISABLE_AVX2=1 run_one address -R \
+      'kernels_test|btree|nested_index|query_differential_fuzz' "$@"
+    run_one thread -R \
+      'kernels_test|nested_index|query_differential_fuzz' "$@"
+    SIGSET_DISABLE_AVX2=1 run_one thread -R \
+      'kernels_test|nested_index|query_differential_fuzz' "$@"
+    # Timing under a sanitizer is meaningless, so the speedup gate runs the
+    # regular build's bench — when it exists and the host dispatches avx2
+    # (the portable merge has no 2x bar).
+    if [[ -d build ]] && ./build-addresssan/bench/bench_kernels 2>/dev/null \
+        | grep -q "dispatched to: avx2"; then
+      cmake --build build --target bench_kernels -j "$(nproc)"
+      ./build/bench/bench_kernels --min-intersect-speedup 2
+    fi
+    ;;
   telemetry)
     # The flight recorder is a seqlock ring: writers claim slots with a
     # fetch_add and publish via per-slot sequence counters while readers
@@ -134,7 +164,7 @@ case "${1:-all}" in
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots|telemetry]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots|telemetry|resolve]" \
       "[ctest args...]" >&2
     exit 1
     ;;
