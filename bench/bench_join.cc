@@ -1,0 +1,222 @@
+// Set-containment join throughput (DESIGN.md §17): R ⋈⊆ S through all
+// three strategies over a narrow-R / wide-S workload, reporting measured
+// page accesses, wall clock, pair counts, and the join cost model's
+// predicted pages per strategy.
+//
+// Usage:
+//   bench_join [--n_r N] [--n_s N] [--dt_r D] [--dt_s D] [--v V]
+//              [--trials T] [--json out.jsonl] [--min-speedup X]
+//
+// --min-speedup X turns the bench into a CI gate: it exits non-zero unless
+// sig-hash beats nested-loop by at least X× on page accesses (the
+// deterministic, machine-independent metric; wall clock is reported but
+// never gated).
+
+#include <chrono>
+#include <cstdint>
+#include <cstdio>
+#include <cstring>
+#include <memory>
+#include <string>
+
+#include "bench_util.h"
+#include "db/set_index.h"
+#include "model/cost_join.h"
+#include "query/advisor.h"
+#include "query/join.h"
+#include "storage/storage_manager.h"
+
+namespace sigsetdb {
+namespace {
+
+struct JoinBenchConfig {
+  int64_t n_r = 1000;
+  int64_t n_s = 4000;
+  int64_t dt_r = 3;
+  int64_t dt_s = 12;
+  int64_t v = 200;
+  int trials = 3;
+  double min_speedup = 0.0;  // 0 = report only, no gate
+};
+
+struct JoinMeasurement {
+  MeasuredCost cost;       // mean over trials
+  uint64_t pairs = 0;      // identical across trials (deterministic)
+  uint64_t candidates = 0;
+  uint64_t probes = 0;
+};
+
+JoinMeasurement MeasureJoin(SetIndex* r, SetIndex* s, JoinStrategy strategy,
+                            int trials) {
+  JoinMeasurement out;
+  JoinSpec spec;
+  spec.strategy = strategy;
+  for (int t = 0; t < trials; ++t) {
+    const auto start = std::chrono::steady_clock::now();
+    auto result = ValueOrDie(r->ExecuteSetJoin(s, spec), "join");
+    const auto end = std::chrono::steady_clock::now();
+    out.cost.wall_ms +=
+        std::chrono::duration<double, std::milli>(end - start).count();
+    out.cost.pages = static_cast<double>(result.page_accesses);
+    out.pairs = result.join.pairs.size();
+    out.candidates = result.join.num_candidate_pairs;
+    out.probes = result.join.num_probes;
+  }
+  out.cost.wall_ms /= trials;
+  return out;
+}
+
+int Run(const JoinBenchConfig& config) {
+  PrintBenchHeader("bench_join", "set-containment join R \xE2\x8B\x88\xE2\x8A\x86 S");
+  std::printf("|R| = %lld (Dt = %lld), |S| = %lld (Dt = %lld), V = %lld\n\n",
+              static_cast<long long>(config.n_r),
+              static_cast<long long>(config.dt_r),
+              static_cast<long long>(config.n_s),
+              static_cast<long long>(config.dt_s),
+              static_cast<long long>(config.v));
+
+  StorageManager storage;
+  SetIndex::Options options;
+  options.maintain_ssf = true;
+  options.maintain_bssf = true;
+  options.maintain_nix = true;
+  options.sig = {250, 2};
+  options.capacity = static_cast<uint64_t>(config.n_s) + 64;
+  options.domain_estimate = config.v;
+  auto r = ValueOrDie(SetIndex::Create(&storage, "r", options), "create R");
+  auto s = ValueOrDie(SetIndex::Create(&storage, "s", options), "create S");
+
+  WorkloadConfig r_config{config.n_r, config.v,
+                          CardinalitySpec::Fixed(config.dt_r),
+                          SkewKind::kUniform, 0.99, 19930526};
+  for (const ElementSet& set : MakeDatabase(r_config)) {
+    CheckOk(r->Insert(set).status(), "insert R");
+  }
+  WorkloadConfig s_config{config.n_s, config.v,
+                          CardinalitySpec::Fixed(config.dt_s),
+                          SkewKind::kUniform, 0.99, 19930527};
+  for (const ElementSet& set : MakeDatabase(s_config)) {
+    CheckOk(s->Insert(set).status(), "insert S");
+  }
+
+  DatabaseParams db_r;
+  db_r.n = config.n_r;
+  db_r.v = config.v;
+  DatabaseParams db_s;
+  db_s.n = config.n_s;
+  db_s.v = config.v;
+  const SignatureParams sig{options.sig.f, options.sig.m};
+  NixParams nix;
+  nix.fanout = options.nix_fanout;
+
+  std::printf("%-12s %10s %10s %12s %12s %10s %10s\n", "strategy", "pages",
+              "pred", "cand-pairs", "pairs", "probes", "wall-ms");
+
+  double nl_pages = 0, sh_pages = 0;
+  double nl_wall = 0, sh_wall = 0;
+  for (JoinStrategy strategy :
+       {JoinStrategy::kNestedLoop, JoinStrategy::kSignatureHash,
+        JoinStrategy::kAdaptive}) {
+    const JoinMeasurement m =
+        MeasureJoin(r.get(), s.get(), strategy, config.trials);
+    const JoinCostBreakdown bd = ValueOrDie(
+        BreakdownForJoinStrategy(db_r, config.dt_r, db_s, config.dt_s, sig,
+                                 nix, strategy),
+        "join breakdown");
+    std::printf("%-12s %10.1f %10.1f %12llu %12llu %10llu %10.2f\n",
+                JoinStrategyName(strategy), m.cost.pages, bd.total(),
+                static_cast<unsigned long long>(m.candidates),
+                static_cast<unsigned long long>(m.pairs),
+                static_cast<unsigned long long>(m.probes), m.cost.wall_ms);
+    EmitBenchRecord(std::string("join.") + JoinStrategyName(strategy),
+                    {{"n_r", static_cast<double>(config.n_r)},
+                     {"n_s", static_cast<double>(config.n_s)},
+                     {"dt_r", static_cast<double>(config.dt_r)},
+                     {"dt_s", static_cast<double>(config.dt_s)},
+                     {"v", static_cast<double>(config.v)},
+                     {"pairs", static_cast<double>(m.pairs)},
+                     {"candidate_pairs", static_cast<double>(m.candidates)}},
+                    m.cost, bd.total());
+    if (strategy == JoinStrategy::kNestedLoop) {
+      nl_pages = m.cost.pages;
+      nl_wall = m.cost.wall_ms;
+    }
+    if (strategy == JoinStrategy::kSignatureHash) {
+      sh_pages = m.cost.pages;
+      sh_wall = m.cost.wall_ms;
+    }
+  }
+
+  const double page_speedup = sh_pages > 0 ? nl_pages / sh_pages : 0.0;
+  const double wall_speedup = sh_wall > 0 ? nl_wall / sh_wall : 0.0;
+  std::printf("\nsig-hash vs nested-loop: %.2fx pages, %.2fx wall\n",
+              page_speedup, wall_speedup);
+  MeasuredCost speedup_cost;
+  speedup_cost.pages = page_speedup;
+  speedup_cost.wall_ms = wall_speedup;
+  EmitBenchRecord("join.speedup.sig_hash_vs_nested_loop",
+                  {{"n_r", static_cast<double>(config.n_r)},
+                   {"n_s", static_cast<double>(config.n_s)}},
+                  speedup_cost);
+
+  if (config.min_speedup > 0.0 && page_speedup < config.min_speedup) {
+    std::fprintf(stderr,
+                 "FAIL: sig-hash page speedup %.2fx below required %.2fx\n",
+                 page_speedup, config.min_speedup);
+    return 1;
+  }
+  if (config.min_speedup > 0.0) {
+    std::printf("PASS: sig-hash page speedup %.2fx >= %.2fx\n", page_speedup,
+                config.min_speedup);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace sigsetdb
+
+int main(int argc, char** argv) {
+  sigsetdb::BenchJson::Global().Init("join", argc, argv);
+  sigsetdb::JoinBenchConfig config;
+  for (int i = 1; i < argc; ++i) {
+    auto next_ll = [&](long long* out) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "FATAL: %s needs a value\n", argv[i]);
+        std::exit(2);
+      }
+      *out = std::atoll(argv[++i]);
+    };
+    long long value = 0;
+    if (std::strcmp(argv[i], "--n_r") == 0) {
+      next_ll(&value);
+      config.n_r = value;
+    } else if (std::strcmp(argv[i], "--n_s") == 0) {
+      next_ll(&value);
+      config.n_s = value;
+    } else if (std::strcmp(argv[i], "--dt_r") == 0) {
+      next_ll(&value);
+      config.dt_r = value;
+    } else if (std::strcmp(argv[i], "--dt_s") == 0) {
+      next_ll(&value);
+      config.dt_s = value;
+    } else if (std::strcmp(argv[i], "--v") == 0) {
+      next_ll(&value);
+      config.v = value;
+    } else if (std::strcmp(argv[i], "--trials") == 0) {
+      next_ll(&value);
+      config.trials = static_cast<int>(value);
+    } else if (std::strcmp(argv[i], "--min-speedup") == 0) {
+      if (i + 1 >= argc) {
+        std::fprintf(stderr, "FATAL: --min-speedup needs a value\n");
+        return 2;
+      }
+      config.min_speedup = std::atof(argv[++i]);
+    } else if (std::strcmp(argv[i], "--json") == 0) {
+      ++i;  // handled by BenchJson::Init
+    } else {
+      std::fprintf(stderr, "FATAL: unknown flag %s\n", argv[i]);
+      return 2;
+    }
+  }
+  return sigsetdb::Run(config);
+}

@@ -80,6 +80,10 @@ struct Shell {
   void RunLine(const std::string& line) {
     if (line.empty()) return;
     std::printf("oql> %s\n", line.c_str());
+    if (line.rfind("join", 0) == 0) {
+      RunJoinLine(line);
+      return;
+    }
     auto result = ExecuteQueryText(line, db.get());
     if (!result.ok()) {
       std::printf("  error: %s\n", result.status().ToString().c_str());
@@ -91,6 +95,24 @@ struct Shell {
     for (Oid oid : result->oids) {
       std::printf("    %s\n", names.count(oid) ? names[oid].c_str()
                                                : oid.ToString().c_str());
+    }
+  }
+
+  void RunJoinLine(const std::string& line) {
+    auto result = ExecuteJoinQueryText(line, db.get());
+    if (!result.ok()) {
+      std::printf("  error: %s\n", result.status().ToString().c_str());
+      return;
+    }
+    std::printf("  %zu pair(s) | plan: %s | %llu page accesses\n",
+                result->join.pairs.size(), result->plan.c_str(),
+                static_cast<unsigned long long>(result->page_accesses));
+    for (const JoinPair& pair : result->join.pairs) {
+      std::printf("    %s.set \xE2\x8A\x86 %s.set\n",
+                  names.count(pair.r) ? names[pair.r].c_str()
+                                      : pair.r.ToString().c_str(),
+                  names.count(pair.s) ? names[pair.s].c_str()
+                                      : pair.s.ToString().c_str());
     }
   }
 };
@@ -130,6 +152,11 @@ int Run(int argc, char** argv) {
       "select Student where hobbies has-subset (\"Cricket\")",
       "select Student where gpa has-subset (1)",
       "select Student where hobbies resembles (\"Baseball\")",
+      // Set-containment self-join (DESIGN.md §17): whose course set is
+      // contained in whose?  (Maria ⊆ Aiko; every student ⊆ themselves.)
+      "join Student on courses in-subset courses",
+      "join Student on courses in-subset courses using sig-hash",
+      "join Student on gpa in-subset courses",
   };
   for (const char* line : kScript) shell.RunLine(line);
   return 0;

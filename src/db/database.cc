@@ -1453,4 +1453,185 @@ StatusOr<DatabaseExplainResult> Database::Explain(
   return out;
 }
 
+// --- set-containment joins (R ⋈⊆ S) ---------------------------------------
+
+StatusOr<DatabaseJoinResult> Database::JoinInternal(size_t r_attr,
+                                                    size_t s_attr,
+                                                    const JoinSpec& spec,
+                                                    QueryTrace* trace) {
+  if (!poison_.ok()) return poison_;
+
+  QueryTrace telemetry_trace;
+  if (recorder_ != nullptr && trace == nullptr) trace = &telemetry_trace;
+
+  const ModelView mv_r = ModelFor(r_attr);
+  const ModelView mv_s = ModelFor(s_attr);
+
+  JoinSpec resolved = spec;
+  if (resolved.strategy == JoinStrategy::kAuto) {
+    SIGSET_ASSIGN_OR_RETURN(JoinStrategyChoice best,
+                            BestJoinStrategy(mv_r.db, mv_r.dt, mv_s.db,
+                                             mv_s.dt, mv_r.sig, mv_s.nix));
+    resolved.strategy = best.strategy;
+  }
+
+  double probe_cost_pages = 0.0;
+  {
+    StatusOr<AccessPathChoice> probe =
+        BestAccessPath(mv_s.db, mv_s.sig, mv_s.nix, mv_s.dt, mv_r.dt,
+                       QueryKind::kSuperset, /*allow_smart=*/true);
+    if (probe.ok()) probe_cost_pages = probe->cost_pages;
+  }
+
+  // Both sides project their attribute out of the shared object store; a
+  // join scans its live objects at most twice (once per side).
+  JoinSideAccess r_acc;
+  r_acc.num_live = num_objects();
+  r_acc.scan =
+      [this, r_attr](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(
+            [&fn, r_attr](Oid oid, const std::vector<ElementSet>& attrs) {
+              return fn(oid, attrs[r_attr]);
+            });
+      };
+
+  JoinSideAccess s_acc;
+  s_acc.num_live = num_objects();
+  s_acc.scan =
+      [this, s_attr](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(
+            [&fn, s_attr](Oid oid, const std::vector<ElementSet>& attrs) {
+              return fn(oid, attrs[s_attr]);
+            });
+      };
+  s_acc.probe_cost_pages = probe_cost_pages;
+  s_acc.probe_superset =
+      [this, s_attr](const ElementSet& query) -> StatusOr<QueryResult> {
+    // One nested-loop probe = the single-predicate superset selection the
+    // conjunction evaluator would run, resolved against the store.
+    SetPredicate pred{options_.attributes[s_attr].name, QueryKind::kSuperset,
+                      query};
+    double cost = 0;
+    SIGSET_ASSIGN_OR_RETURN(AccessPathChoice plan,
+                            PlanPredicate(s_attr, pred, &cost));
+    SIGSET_ASSIGN_OR_RETURN(
+        std::vector<Oid> candidates,
+        DriverCandidates(s_attr, plan, QueryKind::kSuperset, query));
+    QueryResult qr;
+    qr.num_candidates = candidates.size();
+    for (Oid oid : candidates) {
+      StatusOr<MultiSetObject> obj = store_->Get(oid);
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kNotFound) {
+          ++qr.num_false_drops;  // same tolerance as the resolver
+          continue;
+        }
+        return obj.status();
+      }
+      if (Satisfies(obj->attrs[s_attr], QueryKind::kSuperset, query)) {
+        qr.oids.push_back(oid);
+      } else {
+        ++qr.num_false_drops;
+      }
+    }
+    return qr;
+  };
+
+  const std::function<IoStats()> total_stats = [this]() {
+    return storage_->TotalStats();
+  };
+
+  const std::string plan_name =
+      options_.attributes[r_attr].name + " in-subset " +
+      options_.attributes[s_attr].name + " via " +
+      JoinStrategyName(resolved.strategy);
+  if (trace != nullptr) {
+    trace->plan = plan_name;
+    trace->kind = "join-subset";
+    trace->dq = mv_r.dt;
+  }
+
+  TraceTimer timer;
+  IoStats before = storage_->TotalStats();
+  StatusOr<JoinResult> ran = sigsetdb::ExecuteSetJoin(
+      r_acc, s_acc, options_.attributes[r_attr].sig, resolved,
+      execution_context(), trace, total_stats);
+  if (!ran.ok()) {
+    if (recorder_ != nullptr) {
+      RecordOpTelemetry(FlightOp::kJoin, "join.latency_us", timer, before,
+                        ran.status());
+    }
+    return ran.status();
+  }
+  JoinResult result = std::move(ran).value();
+  IoStats delta = storage_->TotalStats() - before;
+
+  metrics_->counter("join.count")->Increment();
+  metrics_->counter("join.pairs")->Increment(result.pairs.size());
+  metrics_->counter("join.candidate_pairs")
+      ->Increment(result.num_candidate_pairs);
+  metrics_->counter("join.false_drop_pairs")
+      ->Increment(result.num_false_drop_pairs);
+  metrics_->counter("join.probes")->Increment(result.num_probes);
+  metrics_->histogram("join.pages")->Record(delta.total());
+  metrics_->histogram("join.latency_us")
+      ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+
+  DatabaseJoinResult out;
+  out.plan = plan_name;
+  out.page_accesses = delta.total();
+  out.join = std::move(result);
+
+  if (recorder_ != nullptr) {
+    FlightEvent event;
+    event.op = FlightOp::kJoin;
+    event.epoch = current_epoch();
+    event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
+    recorder_->Record(event);
+  }
+  if (trace != nullptr) {
+    // Per-stage predictions from the join cost model (stage names are the
+    // executor's).  The drift watchdog stays selection-only.
+    StatusOr<JoinCostBreakdown> bd = BreakdownForJoinStrategy(
+        mv_r.db, mv_r.dt, mv_s.db, mv_s.dt, mv_r.sig, mv_s.nix,
+        resolved.strategy);
+    if (bd.ok() && bd->total() > 0) {
+      trace->predicted_total = bd->total();
+      for (TraceSpan& stage : trace->mutable_stages()) {
+        if (stage.name == "r scan") {
+          stage.predicted_pages = bd->r_scan;
+        } else if (stage.name == "s scan") {
+          stage.predicted_pages = bd->s_scan;
+        } else if (stage.name == "probe loop") {
+          stage.predicted_pages = bd->probe;
+        }
+      }
+    }
+  }
+  return out;
+}
+
+StatusOr<DatabaseJoinResult> Database::ExecuteSetJoin(
+    const std::string& r_attribute, const std::string& s_attribute,
+    const JoinSpec& spec) {
+  SIGSET_ASSIGN_OR_RETURN(size_t r_attr, AttributeIndex(r_attribute));
+  SIGSET_ASSIGN_OR_RETURN(size_t s_attr, AttributeIndex(s_attribute));
+  return JoinInternal(r_attr, s_attr, spec, nullptr);
+}
+
+StatusOr<DatabaseJoinExplainResult> Database::ExplainSetJoin(
+    const std::string& r_attribute, const std::string& s_attribute,
+    const JoinSpec& spec) {
+  SIGSET_ASSIGN_OR_RETURN(size_t r_attr, AttributeIndex(r_attribute));
+  SIGSET_ASSIGN_OR_RETURN(size_t s_attr, AttributeIndex(s_attribute));
+  DatabaseJoinExplainResult out;
+  SIGSET_ASSIGN_OR_RETURN(out.result,
+                          JoinInternal(r_attr, s_attr, spec, &out.trace));
+  out.text = RenderExplain(out.trace);
+  out.json = out.trace.ToJson();
+  return out;
+}
+
 }  // namespace sigsetdb

@@ -33,6 +33,7 @@
 #include "obs/metrics.h"
 #include "obs/trace.h"
 #include "query/advisor.h"
+#include "query/join.h"
 #include "sig/bssf.h"
 #include "sig/ssf.h"
 #include "storage/storage_manager.h"
@@ -68,6 +69,21 @@ struct DatabaseExplainResult {
   QueryTrace trace;
   std::string text;  // plan-style tree (table_printer)
   std::string json;  // trace.ToJson()
+};
+
+// A set-containment join answer over two indexed attributes of one class.
+struct DatabaseJoinResult {
+  JoinResult join;
+  std::string plan;            // "courses in-subset prereqs via sig-hash"
+  uint64_t page_accesses = 0;  // measured for this join
+};
+
+// Join answer plus its per-stage trace with model predictions attached.
+struct DatabaseJoinExplainResult {
+  DatabaseJoinResult result;
+  QueryTrace trace;
+  std::string text;
+  std::string json;
 };
 
 // One OODB class with indexed set attributes.
@@ -166,6 +182,19 @@ class Database {
   // the model's predictions for the driver predicate attached.
   StatusOr<DatabaseExplainResult> Explain(
       const std::vector<SetPredicate>& predicates);
+
+  // Set-containment join R ⋈⊆ S between two indexed attributes of this
+  // class (they may be the same attribute): every object pair (r, s) with
+  // r.<r_attribute> ⊆ s.<s_attribute>.  JoinSpec::strategy kAuto lets the
+  // join cost model pick the strategy.
+  StatusOr<DatabaseJoinResult> ExecuteSetJoin(const std::string& r_attribute,
+                                              const std::string& s_attribute,
+                                              const JoinSpec& spec = {});
+
+  // EXPLAIN ANALYZE for the join (same execution + per-stage trace).
+  StatusOr<DatabaseJoinExplainResult> ExplainSetJoin(
+      const std::string& r_attribute, const std::string& s_attribute,
+      const JoinSpec& spec = {});
 
   // The registry this database reports into (configured or owned).
   MetricsRegistry* metrics() const { return metrics_; }
@@ -290,6 +319,12 @@ class Database {
                                               const AccessPathChoice& plan,
                                               QueryKind candidate_kind,
                                               const ElementSet& query);
+
+  // Shared body of ExecuteSetJoin/ExplainSetJoin (attribute indexes already
+  // resolved).
+  StatusOr<DatabaseJoinResult> JoinInternal(size_t r_attr, size_t s_attr,
+                                            const JoinSpec& spec,
+                                            QueryTrace* trace);
 
   // WAL plumbing — same contract as SetIndex: Apply* run the mutation after
   // its record is durable; a failure there calls AbortAndPoison, which logs

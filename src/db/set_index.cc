@@ -1208,4 +1208,180 @@ StatusOr<SetIndexExplainResult> SetIndex::Explain(QueryKind kind,
   return out;
 }
 
+// --- set-containment joins (R ⋈⊆ S) ---------------------------------------
+
+StatusOr<SetIndexJoinResult> SetIndex::JoinInternal(SetIndex* s_side,
+                                                    const JoinSpec& spec,
+                                                    QueryTrace* trace) {
+  if (s_side == nullptr) {
+    return Status::InvalidArgument("join S side must not be null");
+  }
+  // Either side poisoned means partially applied facility state somewhere
+  // in the join's reach; refuse to answer (reopen to recover).
+  if (!poison_.ok()) return poison_;
+  if (!s_side->poison_.ok()) return s_side->poison_;
+
+  // With telemetry on, joins run with an internal trace (same rationale as
+  // QueryInternal: stage pages for the drift artifacts, no page-count
+  // difference).
+  QueryTrace telemetry_trace;
+  if (recorder_ != nullptr && trace == nullptr) trace = &telemetry_trace;
+
+  // Model parameters, each side priced from its own live statistics.
+  const DatabaseParams db_r = LiveDbParams();
+  const DatabaseParams db_s = s_side->LiveDbParams();
+  int64_t dt_r = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (dt_r < 1) dt_r = 1;
+  int64_t dt_s =
+      static_cast<int64_t>(std::llround(s_side->mean_cardinality()));
+  if (dt_s < 1) dt_s = 1;
+  const SignatureParams sig_params{options_.sig.f, options_.sig.m};
+  NixParams nix_params;
+  nix_params.fanout = s_side->options_.nix_fanout;
+
+  JoinSpec resolved = spec;
+  if (resolved.strategy == JoinStrategy::kAuto) {
+    SIGSET_ASSIGN_OR_RETURN(
+        JoinStrategyChoice best,
+        BestJoinStrategy(db_r, dt_r, db_s, dt_s, sig_params, nix_params));
+    resolved.strategy = best.strategy;
+  }
+
+  // One nested-loop probe is the best superset selection with Dq = dt_r
+  // against the S side; its modeled pages feed the adaptive direction
+  // choice.
+  double probe_cost_pages = 0.0;
+  {
+    StatusOr<AccessPathChoice> probe =
+        BestAccessPath(db_s, sig_params, nix_params, dt_s, dt_r,
+                       QueryKind::kSuperset, /*allow_smart=*/true);
+    if (probe.ok()) probe_cost_pages = probe->cost_pages;
+  }
+
+  JoinSideAccess r_acc;
+  r_acc.num_live = num_objects();
+  r_acc.scan =
+      [this](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(fn);
+      };
+
+  JoinSideAccess s_acc;
+  s_acc.num_live = s_side->num_objects();
+  s_acc.scan =
+      [s_side](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return s_side->store_->ForEachLive(fn);
+      };
+  s_acc.probe_cost_pages = probe_cost_pages;
+  s_acc.probe_superset =
+      [s_side](const ElementSet& query) -> StatusOr<QueryResult> {
+    SIGSET_ASSIGN_OR_RETURN(
+        AccessPathChoice plan,
+        s_side->Plan(QueryKind::kSuperset,
+                     static_cast<int64_t>(query.size())));
+    return s_side->RunPlan(plan, QueryKind::kSuperset, query, nullptr);
+  };
+
+  StorageManager* r_storage = storage_;
+  StorageManager* s_storage = s_side->storage_;
+  const std::function<IoStats()> total_stats = [r_storage, s_storage]() {
+    IoStats total = r_storage->TotalStats();
+    if (s_storage != r_storage) total += s_storage->TotalStats();
+    return total;
+  };
+
+  if (trace != nullptr) {
+    trace->plan = JoinStrategyName(resolved.strategy);
+    trace->kind = "join-subset";
+    trace->dq = dt_r;
+  }
+
+  TraceTimer timer;  // feeds the latency histogram
+  IoStats before = total_stats();
+  StatusOr<JoinResult> ran =
+      sigsetdb::ExecuteSetJoin(r_acc, s_acc, options_.sig, resolved,
+                               execution_context(), trace, total_stats);
+  if (!ran.ok()) {
+    if (recorder_ != nullptr) {
+      RecordOpTelemetry(FlightOp::kJoin, "join.latency_us", timer, before,
+                        ran.status());
+    }
+    return ran.status();
+  }
+  JoinResult result = std::move(ran).value();
+  IoStats delta = total_stats() - before;
+
+  metrics_->counter("join.count")->Increment();
+  metrics_->counter("join.pairs")->Increment(result.pairs.size());
+  metrics_->counter("join.candidate_pairs")
+      ->Increment(result.num_candidate_pairs);
+  metrics_->counter("join.false_drop_pairs")
+      ->Increment(result.num_false_drop_pairs);
+  metrics_->counter("join.probes")->Increment(result.num_probes);
+  metrics_->histogram("join.pages")->Record(delta.total());
+  metrics_->histogram("join.latency_us")
+      ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+
+  SetIndexJoinResult out;
+  out.plan = JoinStrategyName(resolved.strategy);
+  out.page_accesses = delta.total();
+  out.join = std::move(result);
+
+  if (recorder_ != nullptr) {
+    FlightEvent event;
+    event.op = FlightOp::kJoin;
+    event.epoch = current_epoch();
+    event.wal_lsn = wal_ != nullptr ? wal_->last_lsn() : 0;
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
+    recorder_->Record(event);
+  }
+  // The drift watchdog is keyed on selection stage names; join stages feed
+  // EXPLAIN and the telemetry trace only.
+  if (trace != nullptr) {
+    AttachJoinPredictions(trace, s_side, resolved.strategy);
+  }
+  return out;
+}
+
+void SetIndex::AttachJoinPredictions(QueryTrace* trace, SetIndex* s_side,
+                                     JoinStrategy strategy) const {
+  const DatabaseParams db_r = LiveDbParams();
+  const DatabaseParams db_s = s_side->LiveDbParams();
+  int64_t dt_r = static_cast<int64_t>(std::llround(mean_cardinality()));
+  if (dt_r < 1) dt_r = 1;
+  int64_t dt_s =
+      static_cast<int64_t>(std::llround(s_side->mean_cardinality()));
+  if (dt_s < 1) dt_s = 1;
+  const SignatureParams sig{options_.sig.f, options_.sig.m};
+  NixParams nix;
+  nix.fanout = s_side->options_.nix_fanout;
+  StatusOr<JoinCostBreakdown> bd =
+      BreakdownForJoinStrategy(db_r, dt_r, db_s, dt_s, sig, nix, strategy);
+  if (!bd.ok() || bd->total() <= 0) return;
+  trace->predicted_total = bd->total();
+  for (TraceSpan& stage : trace->mutable_stages()) {
+    if (stage.name == "r scan") {
+      stage.predicted_pages = bd->r_scan;
+    } else if (stage.name == "s scan") {
+      stage.predicted_pages = bd->s_scan;
+    } else if (stage.name == "probe loop") {
+      stage.predicted_pages = bd->probe;
+    }
+  }
+}
+
+StatusOr<SetIndexJoinResult> SetIndex::ExecuteSetJoin(SetIndex* s_side,
+                                                      const JoinSpec& spec) {
+  return JoinInternal(s_side, spec, nullptr);
+}
+
+StatusOr<SetIndexJoinExplainResult> SetIndex::ExplainSetJoin(
+    SetIndex* s_side, const JoinSpec& spec) {
+  SetIndexJoinExplainResult out;
+  SIGSET_ASSIGN_OR_RETURN(out.result, JoinInternal(s_side, spec, &out.trace));
+  out.text = RenderExplain(out.trace);
+  out.json = out.trace.ToJson();
+  return out;
+}
+
 }  // namespace sigsetdb

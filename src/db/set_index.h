@@ -31,6 +31,7 @@
 #include "obs/metrics.h"
 #include "query/advisor.h"
 #include "query/executor.h"
+#include "query/join.h"
 #include "sig/bssf.h"
 #include "sig/ssf.h"
 #include "storage/storage_manager.h"
@@ -70,6 +71,21 @@ struct SetIndexExplainResult {
   QueryTrace trace;
   std::string text;  // plan-style tree (table_printer)
   std::string json;  // trace.ToJson()
+};
+
+// A set-containment join answer annotated with the executed strategy.
+struct SetIndexJoinResult {
+  JoinResult join;
+  std::string plan;            // e.g. "sig-hash", "nested-loop"
+  uint64_t page_accesses = 0;  // measured across both sides
+};
+
+// Join answer plus per-stage trace with model predictions attached.
+struct SetIndexJoinExplainResult {
+  SetIndexJoinResult result;
+  QueryTrace trace;
+  std::string text;
+  std::string json;
 };
 
 // End-to-end manager of one indexed set attribute.
@@ -220,6 +236,19 @@ class SetIndex {
                                           const ElementSet& query,
                                           PlanMode mode = PlanMode::kAuto);
 
+  // Set-containment join R ⋈⊆ S with this index as R and `s_side` as S
+  // (pass `this` for a self-join): every pair (r, s) with r's set a subset
+  // of s's set.  JoinSpec::strategy kAuto lets the join cost model
+  // (model/cost_join.h) pick among nested-loop-of-selections,
+  // signature-hash partitioning, and the adaptive per-partition method.
+  StatusOr<SetIndexJoinResult> ExecuteSetJoin(SetIndex* s_side,
+                                              const JoinSpec& spec = {});
+
+  // EXPLAIN ANALYZE for the join: same execution, plus the per-stage trace
+  // with the join cost model's predictions attached.
+  StatusOr<SetIndexJoinExplainResult> ExplainSetJoin(SetIndex* s_side,
+                                                     const JoinSpec& spec = {});
+
   // The registry this index reports into (configured or owned).
   MetricsRegistry* metrics() const { return metrics_; }
 
@@ -311,6 +340,18 @@ class SetIndex {
   // (shared by Explain and telemetry-internal traces).
   void AttachPredictions(QueryTrace* trace, const AccessPathChoice& chosen,
                          QueryKind kind) const;
+
+  // Shared body of ExecuteSetJoin/ExplainSetJoin: resolves kAuto against
+  // the join cost model, builds both sides' access callbacks, runs the join
+  // executor, records metrics and a flight event.
+  StatusOr<SetIndexJoinResult> JoinInternal(SetIndex* s_side,
+                                            const JoinSpec& spec,
+                                            QueryTrace* trace);
+
+  // Per-stage join predictions (r scan / s scan / probe loop), keyed by the
+  // executor's stage names.
+  void AttachJoinPredictions(QueryTrace* trace, SetIndex* s_side,
+                             JoinStrategy strategy) const;
 
   // The cost-model view of the current database state.
   DatabaseParams LiveDbParams() const;

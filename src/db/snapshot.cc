@@ -275,6 +275,97 @@ StatusOr<SetIndexResult> Snapshot::Query(QueryKind kind,
   return out;
 }
 
+StatusOr<SetIndexJoinResult> Snapshot::ExecuteSetJoin(Snapshot* s_side,
+                                                      const JoinSpec& spec) {
+  if (s_side == nullptr) {
+    return Status::InvalidArgument("join S side must not be null");
+  }
+
+  // Frozen-model planning (no live feedback): identical epochs join
+  // identically, same rule as Plan().
+  const FrozenModel mv_r = ModelFromState(*state_, *attr_);
+  const FrozenModel mv_s = ModelFromState(*s_side->state_, *s_side->attr_);
+
+  JoinSpec resolved = spec;
+  if (resolved.strategy == JoinStrategy::kAuto) {
+    SIGSET_ASSIGN_OR_RETURN(JoinStrategyChoice best,
+                            BestJoinStrategy(mv_r.db, mv_r.dt, mv_s.db,
+                                             mv_s.dt, mv_r.sig, mv_s.nix));
+    resolved.strategy = best.strategy;
+  }
+
+  double probe_cost_pages = 0.0;
+  {
+    StatusOr<AccessPathChoice> probe =
+        BestAccessPath(mv_s.db, mv_s.sig, mv_s.nix, mv_s.dt, mv_r.dt,
+                       QueryKind::kSuperset, /*allow_smart=*/true);
+    if (probe.ok()) probe_cost_pages = probe->cost_pages;
+  }
+
+  JoinSideAccess r_acc;
+  r_acc.num_live = num_objects();
+  r_acc.scan =
+      [this](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(fn);
+      };
+
+  JoinSideAccess s_acc;
+  s_acc.num_live = s_side->num_objects();
+  s_acc.scan =
+      [s_side](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return s_side->store_->ForEachLive(fn);
+      };
+  s_acc.probe_cost_pages = probe_cost_pages;
+  s_acc.probe_superset =
+      [s_side](const ElementSet& query) -> StatusOr<QueryResult> {
+    SIGSET_ASSIGN_OR_RETURN(
+        AccessPathChoice plan,
+        s_side->Plan(QueryKind::kSuperset,
+                     static_cast<int64_t>(query.size())));
+    return s_side->RunPlan(plan, QueryKind::kSuperset, query);
+  };
+
+  Snapshot* self = this;
+  const std::function<IoStats()> total_stats = [self, s_side]() {
+    IoStats total = self->TotalStats();
+    if (s_side != self) total += s_side->TotalStats();
+    return total;
+  };
+
+  TraceTimer timer(recorder_ != nullptr);
+  IoStats before = total_stats();
+  SIGSET_ASSIGN_OR_RETURN(
+      JoinResult result,
+      sigsetdb::ExecuteSetJoin(r_acc, s_acc, attr_->sig, resolved,
+                               /*ctx=*/nullptr, /*trace=*/nullptr,
+                               total_stats));
+  IoStats delta = total_stats() - before;
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("join.snapshot.count")->Increment();
+    metrics_->histogram("join.snapshot.pages")->Record(delta.total());
+  }
+
+  SetIndexJoinResult out;
+  out.plan = JoinStrategyName(resolved.strategy);
+  out.page_accesses = delta.total();
+  out.join = std::move(result);
+
+  if (recorder_ != nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->histogram("join.snapshot.latency_us")
+          ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+    }
+    FlightEvent event;
+    event.op = FlightOp::kJoin;
+    event.epoch = pin_.epoch();
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
+    recorder_->Record(event);
+  }
+  return out;
+}
+
 // ---------------------------------------------------------------------------
 // DatabaseSnapshot (multi-attribute conjunction view)
 // ---------------------------------------------------------------------------
@@ -488,6 +579,120 @@ StatusOr<DatabaseQueryResult> DatabaseSnapshot::Query(
     event.epoch = pin_.epoch();
     event.SetDelta(TotalStats() - before);
     event.SetDetail(out.driver);
+    recorder_->Record(event);
+  }
+  return out;
+}
+
+StatusOr<DatabaseJoinResult> DatabaseSnapshot::ExecuteSetJoin(
+    const std::string& r_attribute, const std::string& s_attribute,
+    const JoinSpec& spec) {
+  SIGSET_ASSIGN_OR_RETURN(size_t r_attr, AttributeIndex(r_attribute));
+  SIGSET_ASSIGN_OR_RETURN(size_t s_attr, AttributeIndex(s_attribute));
+
+  const FrozenModel mv_r = ModelFromState(*state_, state_->attrs[r_attr]);
+  const FrozenModel mv_s = ModelFromState(*state_, state_->attrs[s_attr]);
+
+  JoinSpec resolved = spec;
+  if (resolved.strategy == JoinStrategy::kAuto) {
+    SIGSET_ASSIGN_OR_RETURN(JoinStrategyChoice best,
+                            BestJoinStrategy(mv_r.db, mv_r.dt, mv_s.db,
+                                             mv_s.dt, mv_r.sig, mv_s.nix));
+    resolved.strategy = best.strategy;
+  }
+
+  double probe_cost_pages = 0.0;
+  {
+    StatusOr<AccessPathChoice> probe =
+        BestAccessPath(mv_s.db, mv_s.sig, mv_s.nix, mv_s.dt, mv_r.dt,
+                       QueryKind::kSuperset, /*allow_smart=*/true);
+    if (probe.ok()) probe_cost_pages = probe->cost_pages;
+  }
+
+  JoinSideAccess r_acc;
+  r_acc.num_live = num_objects();
+  r_acc.scan =
+      [this, r_attr](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(
+            [&fn, r_attr](Oid oid, const std::vector<ElementSet>& attrs) {
+              return fn(oid, attrs[r_attr]);
+            });
+      };
+
+  JoinSideAccess s_acc;
+  s_acc.num_live = num_objects();
+  s_acc.scan =
+      [this, s_attr](const std::function<Status(Oid, const ElementSet&)>& fn) {
+        return store_->ForEachLive(
+            [&fn, s_attr](Oid oid, const std::vector<ElementSet>& attrs) {
+              return fn(oid, attrs[s_attr]);
+            });
+      };
+  s_acc.probe_cost_pages = probe_cost_pages;
+  s_acc.probe_superset =
+      [this, s_attr](const ElementSet& query) -> StatusOr<QueryResult> {
+    SetPredicate pred{state_->attrs[s_attr].name, QueryKind::kSuperset,
+                      query};
+    SIGSET_ASSIGN_OR_RETURN(AccessPathChoice plan,
+                            PlanPredicate(s_attr, pred));
+    SIGSET_ASSIGN_OR_RETURN(std::vector<Oid> candidates,
+                            DriverCandidates(s_attr, plan, pred));
+    QueryResult qr;
+    qr.num_candidates = candidates.size();
+    for (Oid oid : candidates) {
+      StatusOr<MultiSetObject> obj = store_->Get(oid);
+      if (!obj.ok()) {
+        if (obj.status().code() == StatusCode::kNotFound) {
+          ++qr.num_false_drops;
+          continue;
+        }
+        return obj.status();
+      }
+      if (SatisfiesValue(obj->attrs[s_attr], QueryKind::kSuperset, query)) {
+        qr.oids.push_back(oid);
+      } else {
+        ++qr.num_false_drops;
+      }
+    }
+    return qr;
+  };
+
+  DatabaseSnapshot* self = this;
+  const std::function<IoStats()> total_stats = [self]() {
+    return self->TotalStats();
+  };
+
+  TraceTimer timer(recorder_ != nullptr);
+  IoStats before = TotalStats();
+  SIGSET_ASSIGN_OR_RETURN(
+      JoinResult result,
+      sigsetdb::ExecuteSetJoin(r_acc, s_acc, state_->attrs[r_attr].sig,
+                               resolved, /*ctx=*/nullptr, /*trace=*/nullptr,
+                               total_stats));
+  IoStats delta = TotalStats() - before;
+
+  if (metrics_ != nullptr) {
+    metrics_->counter("join.snapshot.count")->Increment();
+    metrics_->histogram("join.snapshot.pages")->Record(delta.total());
+  }
+
+  DatabaseJoinResult out;
+  out.plan = state_->attrs[r_attr].name + " in-subset " +
+             state_->attrs[s_attr].name + " via " +
+             JoinStrategyName(resolved.strategy);
+  out.page_accesses = delta.total();
+  out.join = std::move(result);
+
+  if (recorder_ != nullptr) {
+    if (metrics_ != nullptr) {
+      metrics_->histogram("join.snapshot.latency_us")
+          ->Record(static_cast<uint64_t>(timer.ElapsedMs() * 1000.0));
+    }
+    FlightEvent event;
+    event.op = FlightOp::kJoin;
+    event.epoch = pin_.epoch();
+    event.SetDelta(delta);
+    event.SetDetail(out.plan);
     recorder_->Record(event);
   }
   return out;

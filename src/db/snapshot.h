@@ -115,6 +115,14 @@ class Snapshot {
   StatusOr<SetIndexResult> Query(QueryKind kind, const ElementSet& query,
                                  PlanMode mode = PlanMode::kAuto);
 
+  // Set-containment join R ⋈⊆ S at the pinned epochs, with this snapshot as
+  // R and `s_side` as S (pass `this` for a self-join).  Mirrors
+  // SetIndex::ExecuteSetJoin — same strategies, same pair set — but plans
+  // from the frozen model and runs serially (one snapshot, one reader
+  // thread), charging I/O to the snapshots' own counters.
+  StatusOr<SetIndexJoinResult> ExecuteSetJoin(Snapshot* s_side,
+                                              const JoinSpec& spec = {});
+
   // Pages read by this snapshot so far (per-snapshot accounting; includes
   // no other reader's or the writer's I/O).
   IoStats TotalStats() const;
@@ -168,6 +176,13 @@ class DatabaseSnapshot {
   // Database::Query.
   StatusOr<DatabaseQueryResult> Query(
       const std::vector<SetPredicate>& predicates);
+
+  // Set-containment join between two indexed attributes at the pinned
+  // epoch; same contract as Database::ExecuteSetJoin, frozen-model planning
+  // and serial execution (one snapshot, one reader thread).
+  StatusOr<DatabaseJoinResult> ExecuteSetJoin(const std::string& r_attribute,
+                                              const std::string& s_attribute,
+                                              const JoinSpec& spec = {});
 
   IoStats TotalStats() const;
 

@@ -1,0 +1,92 @@
+#include "model/cost_join.h"
+
+#include "model/actual_drops.h"
+#include "model/false_drop.h"
+#include "util/math.h"
+
+namespace sigsetdb {
+
+namespace {
+// Slotted-page constants (storage/slotted_page.h): 4-byte header, 4-byte
+// slot-directory entry; object records serialize as 4 + 8·dt bytes.
+constexpr int64_t kPageHeaderBytes = 4;
+constexpr int64_t kSlotEntryBytes = 4;
+constexpr int64_t kRecordHeaderBytes = 4;
+constexpr int64_t kElementBytes = 8;
+}  // namespace
+
+int64_t ObjectFilePages(const DatabaseParams& db, int64_t dt) {
+  if (db.n <= 0) return 0;
+  const int64_t footprint =
+      kSlotEntryBytes + kRecordHeaderBytes + kElementBytes * (dt < 0 ? 0 : dt);
+  int64_t per_page = (db.page_bytes - kPageHeaderBytes) / footprint;
+  if (per_page < 1) per_page = 1;
+  return CeilDiv(db.n, per_page);
+}
+
+double JoinPairSelectivity(const DatabaseParams& db_s, int64_t dt_r,
+                           int64_t dt_s) {
+  if (dt_r > dt_s) return 0.0;
+  return ChooseRatio(db_s.v - dt_r, dt_s - dt_r, db_s.v, dt_s);
+}
+
+double JoinExpectedResultPairs(const DatabaseParams& db_s, int64_t dt_r,
+                               int64_t dt_s, int64_t n_r) {
+  return static_cast<double>(n_r) * static_cast<double>(db_s.n) *
+         JoinPairSelectivity(db_s, dt_r, dt_s);
+}
+
+double JoinPairFalseDropProbability(const SignatureParams& sig, int64_t dt_r,
+                                    int64_t dt_s) {
+  // r plays the query (Dq = dt_r), s the target (Dt = dt_s) in eq. 2.
+  return FalseDropSuperset(sig, dt_s, dt_r);
+}
+
+double JoinExpectedCandidatePairs(const DatabaseParams& db_s,
+                                  const SignatureParams& sig, int64_t dt_r,
+                                  int64_t dt_s, int64_t n_r) {
+  const double a = ActualDropsSuperset(db_s, dt_s, dt_r);  // per r
+  const double fd = JoinPairFalseDropProbability(sig, dt_r, dt_s);
+  return static_cast<double>(n_r) *
+         (a + fd * (static_cast<double>(db_s.n) - a));
+}
+
+JoinCostBreakdown JoinNestedLoopCost(const DatabaseParams& db_r, int64_t dt_r,
+                                     const DatabaseParams& db_s, int64_t dt_s,
+                                     double per_probe_cost,
+                                     double per_probe_candidates) {
+  JoinCostBreakdown bd;
+  bd.r_scan = static_cast<double>(ObjectFilePages(db_r, dt_r));
+  bd.probe = static_cast<double>(db_r.n) * per_probe_cost;
+  bd.expected_candidate_pairs =
+      static_cast<double>(db_r.n) * per_probe_candidates;
+  bd.expected_result_pairs =
+      JoinExpectedResultPairs(db_s, dt_r, dt_s, db_r.n);
+  return bd;
+}
+
+JoinCostBreakdown JoinSignatureHashCost(const DatabaseParams& db_r,
+                                        int64_t dt_r,
+                                        const DatabaseParams& db_s,
+                                        int64_t dt_s,
+                                        const SignatureParams& sig) {
+  JoinCostBreakdown bd;
+  bd.r_scan = static_cast<double>(ObjectFilePages(db_r, dt_r));
+  bd.s_scan = static_cast<double>(ObjectFilePages(db_s, dt_s));
+  bd.expected_candidate_pairs =
+      JoinExpectedCandidatePairs(db_s, sig, dt_r, dt_s, db_r.n);
+  bd.expected_result_pairs =
+      JoinExpectedResultPairs(db_s, dt_r, dt_s, db_r.n);
+  return bd;
+}
+
+JoinCostBreakdown JoinAdaptiveCost(const DatabaseParams& db_r, int64_t dt_r,
+                                   const DatabaseParams& db_s, int64_t dt_s,
+                                   const SignatureParams& sig) {
+  // Adaptive only leaves the in-memory direction when a probe is modeled
+  // cheaper, so sig-hash's page count bounds it; candidate pairs match the
+  // signature filter's.
+  return JoinSignatureHashCost(db_r, dt_r, db_s, dt_s, sig);
+}
+
+}  // namespace sigsetdb

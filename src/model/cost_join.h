@@ -1,0 +1,102 @@
+// Analytical costs of the set-containment join R ⋈⊆ S — the join variants
+// of the paper's eqs. 2–8.
+//
+// The selection model prices one query against N stored sets; the join
+// prices |R| such queries at once.  With both relations drawn as uniform
+// random subsets of a V-element domain (the paper's workload):
+//
+//   true-pair probability   P(r ⊆ s)      = A_s(Dt_s, Dq=Dt_r) / N_s
+//                                           (eq. 5's actual drops, per r)
+//   signature survival      Fd_join       = Fd⊇(Dt=Dt_s, Dq=Dt_r)  (eq. 2
+//                                           with the roles r → query,
+//                                           s → target)
+//   candidate pairs         |R|·(A + Fd·(N_s − A))     (eq. 5 analogue)
+//
+// Strategy page costs (eq. 7/8 analogues; the object file replaces the
+// signature file as the scanned structure):
+//
+//   nested-loop   scan(R) + |R| · RC_sel(S, Dq = Dt_r) — one selection per
+//                 outer row, priced by the selection advisor.
+//   sig-hash      scan(R) + scan(S): both sides are read once and all
+//                 partitioning/verification is in-memory (the false-drop
+//                 resolution of eq. 7's P_u·Fd·N term costs zero pages —
+//                 the scanned sets are already resident).
+//   adaptive      bounded by sig-hash (it only leaves the in-memory
+//                 direction when the modeled probe is cheaper), so it is
+//                 priced identically; the advisor ranks sig-hash first on
+//                 the tie (the plain method has no per-partition overhead).
+//
+// The model layer stays below the advisor: nested-loop takes the per-probe
+// selection cost/candidates as arguments; query/advisor.h glues them in.
+
+#ifndef SIGSET_MODEL_COST_JOIN_H_
+#define SIGSET_MODEL_COST_JOIN_H_
+
+#include <cstdint>
+
+#include "model/params.h"
+
+namespace sigsetdb {
+
+// Pages of an object file holding n objects of cardinality dt, in the
+// repo's slotted-page layout: 4-byte page header, 4-byte slot entry plus a
+// (4 + 8·dt)-byte record per object.
+int64_t ObjectFilePages(const DatabaseParams& db, int64_t dt);
+
+// P(r ⊆ s) for one uniform-random pair (r of Dt_r elements, s of Dt_s
+// elements over db_s.v): C(V−Dt_r, Dt_s−Dt_r) / C(V, Dt_s).
+double JoinPairSelectivity(const DatabaseParams& db_s, int64_t dt_r,
+                           int64_t dt_s);
+
+// Expected true join pairs: n_r · N_s · P(r ⊆ s).
+double JoinExpectedResultPairs(const DatabaseParams& db_s, int64_t dt_r,
+                               int64_t dt_s, int64_t n_r);
+
+// Probability a non-containing pair survives the full-signature filter
+// (eq. 2 with r as the query and s as the target).
+double JoinPairFalseDropProbability(const SignatureParams& sig, int64_t dt_r,
+                                    int64_t dt_s);
+
+// Expected pairs reaching exact verification under a full-signature
+// filter: n_r · (A + Fd·(N_s − A)) with A the per-r actual drops.
+double JoinExpectedCandidatePairs(const DatabaseParams& db_s,
+                                  const SignatureParams& sig, int64_t dt_r,
+                                  int64_t dt_s, int64_t n_r);
+
+// One join plan's predicted pages, stage by stage (mirrors CostBreakdown
+// for selections; total() is what the advisor ranks).
+struct JoinCostBreakdown {
+  double r_scan = 0;  // outer-relation object-file scan
+  double s_scan = 0;  // inner-relation object-file scan (0 for nested-loop)
+  double probe = 0;   // facility selections: |R| · RC_sel (0 when in-memory)
+  double expected_candidate_pairs = 0;
+  double expected_result_pairs = 0;
+
+  double total() const { return r_scan + s_scan + probe; }
+};
+
+// Nested-loop-of-selections: `per_probe_cost` and `per_probe_candidates`
+// are the advisor's RC and expected candidate count for ONE T ⊇ Q
+// selection against S at Dq = dt_r (query/advisor.h supplies them from
+// BestAccessPath/BreakdownForChoice).
+JoinCostBreakdown JoinNestedLoopCost(const DatabaseParams& db_r, int64_t dt_r,
+                                     const DatabaseParams& db_s, int64_t dt_s,
+                                     double per_probe_cost,
+                                     double per_probe_candidates);
+
+// Signature-hash join: both object files scanned once, everything else in
+// memory.
+JoinCostBreakdown JoinSignatureHashCost(const DatabaseParams& db_r,
+                                        int64_t dt_r,
+                                        const DatabaseParams& db_s,
+                                        int64_t dt_s,
+                                        const SignatureParams& sig);
+
+// Adaptive prefix/partition join: priced as sig-hash (see file comment).
+JoinCostBreakdown JoinAdaptiveCost(const DatabaseParams& db_r, int64_t dt_r,
+                                   const DatabaseParams& db_s, int64_t dt_s,
+                                   const SignatureParams& sig);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_MODEL_COST_JOIN_H_

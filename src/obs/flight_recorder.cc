@@ -30,6 +30,8 @@ const char* FlightOpName(FlightOp op) {
       return "query";
     case FlightOp::kSnapshotQuery:
       return "snapshot_query";
+    case FlightOp::kJoin:
+      return "join";
     case FlightOp::kWalCommit:
       return "wal_commit";
     case FlightOp::kDriftWarning:

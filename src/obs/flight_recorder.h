@@ -41,6 +41,7 @@ enum class FlightOp : uint8_t {
   kCheckpoint,
   kQuery,
   kSnapshotQuery,
+  kJoin,
   kWalCommit,
   kDriftWarning,
   kFatal,

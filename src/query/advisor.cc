@@ -168,4 +168,81 @@ StatusOr<AccessPathChoice> BestAccessPath(const DatabaseParams& db,
   return choices.front();
 }
 
+// --- set-containment joins (R ⋈⊆ S) ---------------------------------------
+
+StatusOr<std::vector<JoinStrategyChoice>> AdviseJoinStrategies(
+    const DatabaseParams& db_r, int64_t dt_r, const DatabaseParams& db_s,
+    int64_t dt_s, const SignatureParams& sig, const NixParams& nix) {
+  if (dt_r < 1) dt_r = 1;
+  if (dt_s < 1) dt_s = 1;
+  // One nested-loop probe is exactly the selection the executor would run
+  // for query cardinality Dq = dt_r against S.
+  SIGSET_ASSIGN_OR_RETURN(
+      AccessPathChoice probe,
+      BestAccessPath(db_s, sig, nix, dt_s, dt_r, QueryKind::kSuperset,
+                     /*allow_smart=*/true));
+  const CostBreakdown probe_bd = BreakdownForChoice(
+      db_s, sig, nix, dt_s, dt_r, QueryKind::kSuperset, probe);
+
+  std::vector<JoinStrategyChoice> choices;
+  const auto add = [&](JoinStrategy strategy, const JoinCostBreakdown& bd) {
+    choices.push_back({strategy, JoinStrategyName(strategy), bd.total(),
+                       bd.expected_candidate_pairs,
+                       bd.expected_result_pairs});
+  };
+  add(JoinStrategy::kSignatureHash,
+      JoinSignatureHashCost(db_r, dt_r, db_s, dt_s, sig));
+  add(JoinStrategy::kAdaptive,
+      JoinAdaptiveCost(db_r, dt_r, db_s, dt_s, sig));
+  add(JoinStrategy::kNestedLoop,
+      JoinNestedLoopCost(db_r, dt_r, db_s, dt_s, probe.cost_pages,
+                         probe_bd.expected_candidates));
+  std::stable_sort(choices.begin(), choices.end(),
+                   [](const JoinStrategyChoice& a,
+                      const JoinStrategyChoice& b) {
+                     return a.cost_pages < b.cost_pages;
+                   });
+  return choices;
+}
+
+StatusOr<JoinStrategyChoice> BestJoinStrategy(const DatabaseParams& db_r,
+                                              int64_t dt_r,
+                                              const DatabaseParams& db_s,
+                                              int64_t dt_s,
+                                              const SignatureParams& sig,
+                                              const NixParams& nix) {
+  SIGSET_ASSIGN_OR_RETURN(
+      std::vector<JoinStrategyChoice> choices,
+      AdviseJoinStrategies(db_r, dt_r, db_s, dt_s, sig, nix));
+  return choices.front();
+}
+
+StatusOr<JoinCostBreakdown> BreakdownForJoinStrategy(
+    const DatabaseParams& db_r, int64_t dt_r, const DatabaseParams& db_s,
+    int64_t dt_s, const SignatureParams& sig, const NixParams& nix,
+    JoinStrategy strategy) {
+  if (dt_r < 1) dt_r = 1;
+  if (dt_s < 1) dt_s = 1;
+  switch (strategy) {
+    case JoinStrategy::kSignatureHash:
+      return JoinSignatureHashCost(db_r, dt_r, db_s, dt_s, sig);
+    case JoinStrategy::kAdaptive:
+      return JoinAdaptiveCost(db_r, dt_r, db_s, dt_s, sig);
+    case JoinStrategy::kNestedLoop: {
+      SIGSET_ASSIGN_OR_RETURN(
+          AccessPathChoice probe,
+          BestAccessPath(db_s, sig, nix, dt_s, dt_r, QueryKind::kSuperset,
+                         /*allow_smart=*/true));
+      const CostBreakdown probe_bd = BreakdownForChoice(
+          db_s, sig, nix, dt_s, dt_r, QueryKind::kSuperset, probe);
+      return JoinNestedLoopCost(db_r, dt_r, db_s, dt_s, probe.cost_pages,
+                                probe_bd.expected_candidates);
+    }
+    case JoinStrategy::kAuto:
+      break;
+  }
+  return Status::InvalidArgument(
+      "kAuto has no breakdown; resolve the strategy first");
+}
+
 }  // namespace sigsetdb

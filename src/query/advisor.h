@@ -13,8 +13,10 @@
 #include <vector>
 
 #include "model/cost_breakdown.h"
+#include "model/cost_join.h"
 #include "model/params.h"
 #include "obs/metrics.h"
+#include "query/join.h"
 #include "sig/facility.h"
 
 namespace sigsetdb {
@@ -89,6 +91,43 @@ CostBreakdown BreakdownForChoice(const DatabaseParams& db,
                                  const NixParams& nix, int64_t dt, int64_t dq,
                                  QueryKind kind,
                                  const AccessPathChoice& choice);
+
+// --- set-containment joins (R ⋈⊆ S) ---------------------------------------
+
+// One join strategy with its modeled cost (model/cost_join.h).
+struct JoinStrategyChoice {
+  JoinStrategy strategy;
+  std::string name;        // JoinStrategyName(strategy)
+  double cost_pages;       // modeled total pages
+  double candidate_pairs;  // expected pairs reaching verification
+  double result_pairs;     // expected true pairs
+};
+
+// Ranks the three concrete join strategies by ascending modeled pages
+// (stable on ties, so sig-hash precedes the identically-priced adaptive).
+// (db_r, dt_r) describe the outer relation R, (db_s, dt_s) the inner S;
+// sig/nix describe the S side's facilities, which nested-loop probes via
+// the selection advisor (BestAccessPath at Dq = dt_r).  The crossover the
+// tests pin falls out of the formulas: nested-loop wins while
+// |R| · RC_sel(S) < scan(S), i.e. for small outer relations.
+StatusOr<std::vector<JoinStrategyChoice>> AdviseJoinStrategies(
+    const DatabaseParams& db_r, int64_t dt_r, const DatabaseParams& db_s,
+    int64_t dt_s, const SignatureParams& sig, const NixParams& nix);
+
+// Convenience: the cheapest join strategy.
+StatusOr<JoinStrategyChoice> BestJoinStrategy(const DatabaseParams& db_r,
+                                              int64_t dt_r,
+                                              const DatabaseParams& db_s,
+                                              int64_t dt_s,
+                                              const SignatureParams& sig,
+                                              const NixParams& nix);
+
+// The per-stage decomposition behind one concrete join strategy, matching
+// the total AdviseJoinStrategies priced it at.  kAuto is invalid here.
+StatusOr<JoinCostBreakdown> BreakdownForJoinStrategy(
+    const DatabaseParams& db_r, int64_t dt_r, const DatabaseParams& db_s,
+    int64_t dt_s, const SignatureParams& sig, const NixParams& nix,
+    JoinStrategy strategy);
 
 }  // namespace sigsetdb
 

@@ -1,0 +1,150 @@
+// Set-containment joins: R ⋈⊆ S — all pairs (r, s) with r.set ⊆ s.set
+// ("Set Containment Join Revisited", Bouros et al.; ROADMAP item 2).
+//
+// The paper evaluates signature files for set *selections*; the join lifts
+// the same machinery to a quadratic candidate space.  Three strategies:
+//
+//   nested-loop  For each r, run the T ⊇ Q selection the executor would run
+//                for query r.set against the S side's access facility and
+//                resolve its false drops — the baseline a selection-only
+//                engine produces.
+//   sig-hash     Scan both sides once, build superimposed-coding signatures
+//                in memory, partition S by the low `prefix_bits` bits of its
+//                signatures, and for each r enumerate only the buckets whose
+//                prefix is a bit-superset of r's (sub-mask enumeration).
+//                Surviving pairs are checked against the full F-bit
+//                signatures (dispatched ContainsAll kernel) and verified
+//                exactly with the sorted-array intersection kernel
+//                (|r ∩ s| = |r| ⇔ r ⊆ s).  No per-pair page I/O.
+//   adaptive     Partition R by the same signature prefix and pick, per
+//                R-partition, between the sig-probe direction and the
+//                index-probe (nested-loop) direction using the partition's
+//                compatible-S cardinality versus the modeled per-probe cost
+//                (à la Bouros et al.'s adaptive method).
+//
+// All strategies return the identical pair set, sorted by (r, s) — the
+// differential fuzz battery pins them bit-identical to a brute-force
+// O(|R|·|S|) oracle.  An r with the empty set pairs with *every* s (∅ ⊆ X
+// for all X, including ∅ ⊆ ∅); facilities reject empty queries, so the
+// nested-loop path special-cases ∅ against the live S roster.
+//
+// Parallelism: the in-memory probe/verify phases fan out over contiguous
+// R ranges via ParallelExecutionContext with per-worker accumulators merged
+// in worker order, so results are identical at any thread count.  Facility
+// probes run serially (facility query surfaces are not re-entrant), each
+// internally using `ctx` exactly as the selection executor does — page
+// totals therefore match the serial path bit for bit.
+
+#ifndef SIGSET_QUERY_JOIN_H_
+#define SIGSET_QUERY_JOIN_H_
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "obj/object.h"
+#include "obj/oid.h"
+#include "obs/trace.h"
+#include "query/executor.h"
+#include "sig/signature.h"
+#include "storage/io_stats.h"
+#include "util/status.h"
+#include "util/thread_pool.h"
+
+namespace sigsetdb {
+
+// How ExecuteSetJoin computes the pair set.
+enum class JoinStrategy {
+  kAuto,           // advisor-chosen (db layer resolves before the executor)
+  kNestedLoop,     // loop of T ⊇ Q selections against the S facility
+  kSignatureHash,  // signature-prefix partitioning, in-memory verification
+  kAdaptive,       // per-partition choice between the two probe directions
+};
+
+// Stable lower-case name ("auto", "nested-loop", "sig-hash", "adaptive").
+const char* JoinStrategyName(JoinStrategy strategy);
+
+// Parses a JoinStrategyName back; kInvalidArgument on unknown text.
+StatusOr<JoinStrategy> ParseJoinStrategy(const std::string& text);
+
+// Tuning knobs of one join execution.
+struct JoinSpec {
+  JoinStrategy strategy = JoinStrategy::kAuto;
+  // Signature-prefix bits used for partitioning (sig-hash and adaptive).
+  // Clamped to [1, min(16, F)]; the bucket table has 2^prefix_bits entries.
+  uint32_t prefix_bits = 8;
+  // Adaptive only: an R-partition switches to the index-probe direction
+  // when its compatible-S cardinality (full-signature checks one r would
+  // pay) exceeds this.  < 0 derives the threshold from the S side's modeled
+  // per-probe page cost (kSigChecksPerPage signature checks ≈ one page).
+  double adaptive_probe_threshold = -1.0;
+};
+
+// One result pair: r.set ⊆ s.set.
+struct JoinPair {
+  Oid r;
+  Oid s;
+
+  friend bool operator==(const JoinPair& a, const JoinPair& b) {
+    return a.r == b.r && a.s == b.s;
+  }
+  friend bool operator!=(const JoinPair& a, const JoinPair& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const JoinPair& a, const JoinPair& b) {
+    if (a.r.value() != b.r.value()) return a.r.value() < b.r.value();
+    return a.s.value() < b.s.value();
+  }
+};
+
+// Outcome of one join.
+struct JoinResult {
+  std::vector<JoinPair> pairs;  // sorted by (r, s), duplicate-free
+  // Pairs that reached verification (signature survivors / facility drops);
+  // ∅-set r rows count their |S| trivial pairs here too.
+  uint64_t num_candidate_pairs = 0;
+  // Candidate pairs that failed exact verification (signature false drops).
+  uint64_t num_false_drop_pairs = 0;
+  // Facility selections issued (nested-loop and adaptive's probe direction).
+  uint64_t num_probes = 0;
+};
+
+// One relation of the join, described operationally.  The db layer builds
+// these over a SetIndex, a Database attribute, or their snapshot views; the
+// executor stays independent of the storage stack.
+struct JoinSideAccess {
+  // Live-object count (sizing hint; not trusted for correctness).
+  uint64_t num_live = 0;
+  // Scans every live (oid, set) in physical order, charging that side's
+  // page I/O.  Required on both sides (the R side is always scanned; the S
+  // side for sig-hash/adaptive, and for the ∅-set roster in nested-loop).
+  std::function<Status(const std::function<Status(Oid, const ElementSet&)>&)>
+      scan;
+  // Exact T ⊇ Q selection over this side: every live t with t.set ⊇ query
+  // (resolved, no false drops in the answer).  `query` is non-empty and
+  // normalized.  Required for kNestedLoop; optional for kAdaptive (absent ⇒
+  // sig direction everywhere).  S side only.
+  std::function<StatusOr<QueryResult>(const ElementSet& query)> probe_superset;
+  // Modeled pages of one probe_superset call (advisor estimate; feeds the
+  // adaptive direction choice).  <= 0 with a usable probe means "cheap".
+  double probe_cost_pages = 0.0;
+};
+
+// Runs the join.  `spec.strategy` must not be kAuto here — strategy choice
+// belongs to the planner/advisor layer (see AdviseJoinStrategies).  `sig`
+// is the signature design used for the in-memory filter on BOTH sides (the
+// signatures are built from the scanned sets, not read from files, so any
+// single config is sound; the db layer passes the R side's).  `trace`
+// (optional) receives per-stage spans — "r scan", "s scan", "partition",
+// "probe+verify", "probe loop" — whose page deltas come from `total_stats`
+// (optional; a snapshot-able view of both sides' combined IoStats).
+StatusOr<JoinResult> ExecuteSetJoin(
+    const JoinSideAccess& r, const JoinSideAccess& s,
+    const SignatureConfig& sig, const JoinSpec& spec,
+    const ParallelExecutionContext* ctx = nullptr, QueryTrace* trace = nullptr,
+    const std::function<IoStats()>& total_stats = nullptr);
+
+}  // namespace sigsetdb
+
+#endif  // SIGSET_QUERY_JOIN_H_

@@ -96,6 +96,29 @@ class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
 
+  StatusOr<ParsedJoin> ParseJoin() {
+    ParsedJoin join;
+    SIGSET_RETURN_IF_ERROR(ExpectKeyword("join"));
+    SIGSET_ASSIGN_OR_RETURN(join.class_name, ExpectIdent("class name"));
+    SIGSET_RETURN_IF_ERROR(ExpectKeyword("on"));
+    SIGSET_ASSIGN_OR_RETURN(join.r_attribute,
+                            ExpectIdent("R-side attribute name"));
+    // The only join operator: r.<attr> in-subset s.<attr> (R ⋈⊆ S).
+    SIGSET_RETURN_IF_ERROR(ExpectKeyword("in-subset"));
+    SIGSET_ASSIGN_OR_RETURN(join.s_attribute,
+                            ExpectIdent("S-side attribute name"));
+    if (Peek().kind == TokenKind::kIdent && Peek().text == "using") {
+      ++index_;
+      SIGSET_ASSIGN_OR_RETURN(std::string name,
+                              ExpectIdent("join strategy name"));
+      SIGSET_ASSIGN_OR_RETURN(join.strategy, ParseJoinStrategy(name));
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Err("trailing input");
+    }
+    return join;
+  }
+
   StatusOr<ParsedQuery> Parse() {
     ParsedQuery query;
     SIGSET_RETURN_IF_ERROR(ExpectKeyword("select"));
@@ -256,6 +279,21 @@ StatusOr<DatabaseQueryResult> ExecuteQueryText(const std::string& text,
   SIGSET_ASSIGN_OR_RETURN(std::vector<SetPredicate> predicates,
                           BindQuery(parsed, db));
   return db->Query(predicates);
+}
+
+StatusOr<ParsedJoin> ParseJoinQuery(const std::string& text) {
+  Lexer lexer(text);
+  SIGSET_ASSIGN_OR_RETURN(std::vector<Token> tokens, lexer.Tokenize());
+  Parser parser(std::move(tokens));
+  return parser.ParseJoin();
+}
+
+StatusOr<DatabaseJoinResult> ExecuteJoinQueryText(const std::string& text,
+                                                  Database* db) {
+  SIGSET_ASSIGN_OR_RETURN(ParsedJoin parsed, ParseJoinQuery(text));
+  JoinSpec spec;
+  spec.strategy = parsed.strategy;
+  return db->ExecuteSetJoin(parsed.r_attribute, parsed.s_attribute, spec);
 }
 
 }  // namespace sigsetdb

@@ -18,6 +18,18 @@
 // ParseQuery turns text into a syntax tree; BindQuery resolves attribute
 // names and string literals against a Database (its per-attribute element
 // dictionaries) producing executable SetPredicates.
+//
+// Set-containment joins extend the grammar with a second statement form:
+//
+//   join Student on courses in-subset prereqs
+//   join Student on courses in-subset prereqs using sig-hash
+//
+//   join_query := "join" IDENT "on" IDENT "in-subset" IDENT
+//                 ("using" strategy)?
+//   strategy   := "auto" | "nested-loop" | "sig-hash" | "adaptive"
+//
+// yielding every object pair (r, s) with r.courses ⊆ s.prereqs (see
+// Database::ExecuteSetJoin).
 
 #ifndef SIGSET_QUERY_LANGUAGE_H_
 #define SIGSET_QUERY_LANGUAGE_H_
@@ -68,6 +80,22 @@ StatusOr<std::vector<SetPredicate>> BindQuery(
 // Convenience: parse, bind and execute in one step.
 StatusOr<DatabaseQueryResult> ExecuteQueryText(const std::string& text,
                                                Database* db);
+
+// A parsed join statement (attributes still unresolved names).
+struct ParsedJoin {
+  std::string class_name;
+  std::string r_attribute;  // the ⊆ side (every r.set ⊆ s.set)
+  std::string s_attribute;  // the ⊇ side
+  JoinStrategy strategy = JoinStrategy::kAuto;
+};
+
+// Parses a "join ... on ... in-subset ..." statement; kInvalidArgument with
+// a position-annotated message on syntax errors or unknown strategy names.
+StatusOr<ParsedJoin> ParseJoinQuery(const std::string& text);
+
+// Convenience: parse and execute a join statement against `db`.
+StatusOr<DatabaseJoinResult> ExecuteJoinQueryText(const std::string& text,
+                                                  Database* db);
 
 }  // namespace sigsetdb
 

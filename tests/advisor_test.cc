@@ -139,5 +139,102 @@ TEST(AdvisorTest, SmartBssfCompetitiveForMultiElementSuperset) {
   }
 }
 
+// --- set-containment join strategies ---------------------------------------
+
+TEST(JoinAdvisorTest, RanksThreeConcreteStrategiesAscending) {
+  DatabaseParams db_r = Paper();
+  DatabaseParams db_s = Paper();
+  auto choices =
+      AdviseJoinStrategies(db_r, 4, db_s, 10, {250, 2}, NixParams{});
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices->size(), 3u);
+  for (size_t i = 1; i < choices->size(); ++i) {
+    EXPECT_LE((*choices)[i - 1].cost_pages, (*choices)[i].cost_pages);
+  }
+  // All three concrete strategies are present, never kAuto.
+  bool saw_nl = false, saw_sh = false, saw_ad = false;
+  for (const JoinStrategyChoice& c : *choices) {
+    EXPECT_NE(c.strategy, JoinStrategy::kAuto);
+    EXPECT_GT(c.cost_pages, 0.0) << c.name;
+    saw_nl = saw_nl || c.strategy == JoinStrategy::kNestedLoop;
+    saw_sh = saw_sh || c.strategy == JoinStrategy::kSignatureHash;
+    saw_ad = saw_ad || c.strategy == JoinStrategy::kAdaptive;
+  }
+  EXPECT_TRUE(saw_nl && saw_sh && saw_ad);
+}
+
+TEST(JoinAdvisorTest, SigHashPrecedesIdenticallyPricedAdaptive) {
+  // Adaptive is priced as sig-hash; the stable sort must keep the plain
+  // method ahead on the tie (no per-partition overhead).
+  auto choices = AdviseJoinStrategies(Paper(), 4, Paper(), 10, {250, 2},
+                                      NixParams{});
+  ASSERT_TRUE(choices.ok());
+  size_t sh = 99, ad = 99;
+  for (size_t i = 0; i < choices->size(); ++i) {
+    if ((*choices)[i].strategy == JoinStrategy::kSignatureHash) sh = i;
+    if ((*choices)[i].strategy == JoinStrategy::kAdaptive) ad = i;
+  }
+  EXPECT_DOUBLE_EQ((*choices)[sh].cost_pages, (*choices)[ad].cost_pages);
+  EXPECT_LT(sh, ad);
+}
+
+// The crossover the model predicts: nested-loop-of-selections wins while
+// |R| · RC_sel(S) < scan(R) + scan(S), i.e. for SMALL outer relations; once
+// |R| grows past the crossover the single S scan of sig-hash is cheaper.
+// Pin both regimes and the transition's monotonicity.
+TEST(JoinAdvisorTest, NestedLoopWinsSmallOuterRelationsOnly) {
+  DatabaseParams db_s = Paper();  // N = 1,000,000 paper-sized inner side
+  const SignatureParams sig{250, 2};
+
+  DatabaseParams tiny_r = db_s;
+  tiny_r.n = 2;  // two probes against S beat scanning all of S
+  auto tiny = BestJoinStrategy(tiny_r, 4, db_s, 10, sig, NixParams{});
+  ASSERT_TRUE(tiny.ok());
+  EXPECT_EQ(tiny->strategy, JoinStrategy::kNestedLoop);
+
+  DatabaseParams big_r = db_s;
+  big_r.n = 100000;  // 100k probes dwarf one S scan
+  auto big = BestJoinStrategy(big_r, 4, db_s, 10, sig, NixParams{});
+  ASSERT_TRUE(big.ok());
+  EXPECT_EQ(big->strategy, JoinStrategy::kSignatureHash);
+
+  // Monotone crossover: once sig-hash wins at n_r, it keeps winning for
+  // every larger outer relation (nested-loop cost grows linearly in |R|
+  // while the sig-hash S-scan term is constant).
+  bool crossed = false;
+  for (int64_t n_r : {2, 8, 32, 128, 512, 2048, 8192, 32768, 131072}) {
+    DatabaseParams db_r = db_s;
+    db_r.n = n_r;
+    auto best = BestJoinStrategy(db_r, 4, db_s, 10, sig, NixParams{});
+    ASSERT_TRUE(best.ok()) << n_r;
+    const bool nl = best->strategy == JoinStrategy::kNestedLoop;
+    if (crossed) {
+      EXPECT_FALSE(nl) << "nested-loop re-won at n_r=" << n_r;
+    }
+    if (!nl) crossed = true;
+  }
+  EXPECT_TRUE(crossed);
+}
+
+TEST(JoinAdvisorTest, BreakdownMatchesRankedCostAndRejectsAuto) {
+  const SignatureParams sig{250, 2};
+  auto choices =
+      AdviseJoinStrategies(Paper(), 4, Paper(), 10, sig, NixParams{});
+  ASSERT_TRUE(choices.ok());
+  for (const JoinStrategyChoice& c : *choices) {
+    auto bd = BreakdownForJoinStrategy(Paper(), 4, Paper(), 10, sig,
+                                       NixParams{}, c.strategy);
+    ASSERT_TRUE(bd.ok()) << c.name;
+    EXPECT_NEAR(bd->total(), c.cost_pages, 1e-9) << c.name;
+    EXPECT_NEAR(bd->expected_candidate_pairs, c.candidate_pairs, 1e-9);
+    EXPECT_NEAR(bd->expected_result_pairs, c.result_pairs, 1e-9);
+  }
+  EXPECT_EQ(BreakdownForJoinStrategy(Paper(), 4, Paper(), 10, sig,
+                                     NixParams{}, JoinStrategy::kAuto)
+                .status()
+                .code(),
+            StatusCode::kInvalidArgument);
+}
+
 }  // namespace
 }  // namespace sigsetdb

@@ -1,0 +1,423 @@
+// Differential fuzz over the set-containment join surface (DESIGN.md §17).
+//
+// Four replica PAIRS (R index, S index) — {1 thread, 4 threads} ×
+// {snapshots off, on} — are driven through the same seeded churn (single
+// inserts, deletes, write batches, compaction; EMPTY sets included on both
+// sides, since ∅ ⊆ s for every s and ∅ ⊆ ∅) and, after every phase, joined
+// R ⋈⊆ S through every strategy.  Invariants:
+//
+//   1. Every strategy — nested-loop, sig-hash (two prefix widths), adaptive
+//      (cost-priced and forced to each direction), and kAuto — returns
+//      exactly the brute-force O(|R|·|S|) oracle's pair set, bit for bit,
+//      on every replica pair.  The signature filter is complete: false
+//      drops cost verification work, never results.
+//   2. The self-join R ⋈⊆ R (same index as both sides) matches the oracle's
+//      self-join; every r pairs at least with itself.
+//   3. Parallelism changes cost only: page accesses are identical at 1 and
+//      4 threads for the same strategy.
+//   4. Sig-hash accounting is exact: candidate pairs = result pairs +
+//      false-drop pairs.
+//   5. On the snapshot replicas, joins over pinned Snapshots equal the live
+//      answer — and a pair of snapshots pinned EARLY still answers for its
+//      own epoch after deletes, batches and a compaction rewrote the world.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/set_index.h"
+#include "db/snapshot.h"
+#include "db/write_batch.h"
+#include "query/join.h"
+#include "storage/storage_manager.h"
+#include "util/rng.h"
+#include "workload/generator.h"
+
+namespace sigsetdb {
+namespace {
+
+constexpr int64_t kDomain = 120;
+constexpr int64_t kDt = 6;
+
+using PairVec = std::vector<std::pair<uint64_t, uint64_t>>;
+
+// Brute-force R ⋈⊆ S over two oracle states: every (r, s) OID-value pair
+// with r's set a subset of s's set.  std::map iteration is sorted, so the
+// output is already in the executor's canonical (r, s) order.
+PairVec OracleJoin(const std::map<uint64_t, ElementSet>& r_oracle,
+                   const std::map<uint64_t, ElementSet>& s_oracle) {
+  PairVec out;
+  for (const auto& [r_oid, r_set] : r_oracle) {
+    for (const auto& [s_oid, s_set] : s_oracle) {
+      if (std::includes(s_set.begin(), s_set.end(), r_set.begin(),
+                        r_set.end())) {
+        out.emplace_back(r_oid, s_oid);
+      }
+    }
+  }
+  return out;
+}
+
+PairVec PairValues(const JoinResult& join) {
+  PairVec out;
+  out.reserve(join.pairs.size());
+  for (const JoinPair& p : join.pairs) {
+    out.emplace_back(p.r.value(), p.s.value());
+  }
+  return out;
+}
+
+// The strategy matrix every check runs.  Beyond the four public strategies,
+// adaptive is forced to each pure direction (threshold 0 sends every
+// non-empty partition to the facility; a huge threshold keeps everything on
+// the signature side) and sig-hash runs at a second prefix width.
+struct SpecCase {
+  const char* label;
+  JoinSpec spec;
+};
+
+std::vector<SpecCase> AllSpecs() {
+  std::vector<SpecCase> specs;
+  JoinSpec nl;
+  nl.strategy = JoinStrategy::kNestedLoop;
+  specs.push_back({"nested-loop", nl});
+  JoinSpec sh;
+  sh.strategy = JoinStrategy::kSignatureHash;
+  specs.push_back({"sig-hash", sh});
+  JoinSpec sh4 = sh;
+  sh4.prefix_bits = 4;
+  specs.push_back({"sig-hash/4b", sh4});
+  JoinSpec ad;
+  ad.strategy = JoinStrategy::kAdaptive;
+  specs.push_back({"adaptive", ad});
+  JoinSpec ad_probe = ad;
+  ad_probe.adaptive_probe_threshold = 0.0;  // every partition probes
+  specs.push_back({"adaptive/probe", ad_probe});
+  JoinSpec ad_sig = ad;
+  ad_sig.adaptive_probe_threshold = 1e18;  // every partition stays in-memory
+  specs.push_back({"adaptive/sig", ad_sig});
+  JoinSpec automatic;
+  automatic.strategy = JoinStrategy::kAuto;
+  specs.push_back({"auto", automatic});
+  return specs;
+}
+
+class JoinDifferentialFuzzTest : public ::testing::Test {
+ protected:
+  struct ReplicaPair {
+    std::string label;
+    bool snapshots = false;
+    std::unique_ptr<StorageManager> storage;
+    std::unique_ptr<SetIndex> r;
+    std::unique_ptr<SetIndex> s;
+  };
+
+  void SetUp() override {
+    struct Config {
+      const char* label;
+      size_t threads;
+      bool snapshots;
+    };
+    // Positional: [0,1] live-only at 1/4 threads, [2,3] snapshots on.
+    for (const Config& c :
+         {Config{"1t", 1, false}, Config{"4t", 4, false},
+          Config{"snap-1t", 1, true}, Config{"snap-4t", 4, true}}) {
+      ReplicaPair pair;
+      pair.label = c.label;
+      pair.snapshots = c.snapshots;
+      pair.storage = std::make_unique<StorageManager>();
+      SetIndex::Options options;
+      options.maintain_ssf = true;
+      options.maintain_bssf = true;
+      options.maintain_nix = true;
+      options.sig = {120, 3};
+      options.capacity = 4096;
+      options.num_threads = c.threads;
+      options.enable_snapshots = c.snapshots;
+      auto r = SetIndex::Create(pair.storage.get(), "r", options);
+      ASSERT_TRUE(r.ok()) << r.status().ToString();
+      auto s = SetIndex::Create(pair.storage.get(), "s", options);
+      ASSERT_TRUE(s.ok()) << s.status().ToString();
+      pair.r = std::move(*r);
+      pair.s = std::move(*s);
+      replicas_.push_back(std::move(pair));
+    }
+  }
+
+  // --- churn: applied to the same side of every replica pair, with OID
+  // assignment asserted identical across replicas ---
+
+  void InsertEverywhere(bool into_r, const ElementSet& set) {
+    Oid expected{};
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      SetIndex* index =
+          into_r ? replicas_[i].r.get() : replicas_[i].s.get();
+      auto oid = index->Insert(set);
+      ASSERT_TRUE(oid.ok()) << replicas_[i].label;
+      if (i == 0) {
+        expected = *oid;
+      } else {
+        ASSERT_EQ(oid->value(), expected.value()) << replicas_[i].label;
+      }
+    }
+    (into_r ? oracle_r_ : oracle_s_)[expected.value()] = set;
+  }
+
+  void DeleteEverywhere(bool from_r, Oid oid) {
+    for (ReplicaPair& pair : replicas_) {
+      SetIndex* index = from_r ? pair.r.get() : pair.s.get();
+      ASSERT_TRUE(index->Delete(oid).ok()) << pair.label;
+    }
+    (from_r ? oracle_r_ : oracle_s_).erase(oid.value());
+  }
+
+  void BatchEverywhere(bool into_r, const WriteBatch& batch) {
+    std::vector<Oid> expected;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      SetIndex* index =
+          into_r ? replicas_[i].r.get() : replicas_[i].s.get();
+      auto oids = index->ApplyBatch(batch);
+      ASSERT_TRUE(oids.ok()) << replicas_[i].label;
+      if (i == 0) {
+        expected = *oids;
+      } else {
+        ASSERT_EQ(oids->size(), expected.size());
+        for (size_t j = 0; j < expected.size(); ++j) {
+          ASSERT_EQ((*oids)[j].value(), expected[j].value())
+              << replicas_[i].label;
+        }
+      }
+    }
+    std::map<uint64_t, ElementSet>& oracle = into_r ? oracle_r_ : oracle_s_;
+    for (Oid oid : batch.deletes()) oracle.erase(oid.value());
+    for (size_t j = 0; j < batch.inserts().size(); ++j) {
+      oracle[expected[j].value()] = batch.inserts()[j];
+    }
+  }
+
+  void CompactEverywhere() {
+    for (ReplicaPair& pair : replicas_) {
+      ASSERT_TRUE(pair.r->Compact().ok()) << pair.label;
+      ASSERT_TRUE(pair.s->Compact().ok()) << pair.label;
+    }
+  }
+
+  std::vector<Oid> LiveOids(bool of_r) const {
+    std::vector<Oid> out;
+    for (const auto& [oid, set] : (of_r ? oracle_r_ : oracle_s_)) {
+      out.push_back(Oid{oid});
+    }
+    return out;
+  }
+
+  // --- the differential check: every strategy, every replica, live and
+  // snapshot, cross-join and self-join, against the brute-force oracle ---
+
+  void CheckJoins(const char* context) {
+    const PairVec want = OracleJoin(oracle_r_, oracle_s_);
+    const PairVec want_self = OracleJoin(oracle_r_, oracle_r_);
+    const std::vector<SpecCase> specs = AllSpecs();
+    // pages[spec][replica], for the thread-count invariant.
+    std::vector<std::vector<uint64_t>> pages(
+        specs.size(), std::vector<uint64_t>(replicas_.size(), 0));
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      ReplicaPair& pair = replicas_[i];
+      for (size_t k = 0; k < specs.size(); ++k) {
+        const SpecCase& sc = specs[k];
+        auto result = pair.r->ExecuteSetJoin(pair.s.get(), sc.spec);
+        ASSERT_TRUE(result.ok())
+            << pair.label << " " << context << " " << sc.label << ": "
+            << result.status().ToString();
+        EXPECT_EQ(PairValues(result->join), want)
+            << pair.label << " " << context << " " << sc.label
+            << " plan=" << result->plan;
+        EXPECT_GE(result->join.num_candidate_pairs, result->join.pairs.size())
+            << pair.label << " " << context << " " << sc.label;
+        if (sc.spec.strategy == JoinStrategy::kSignatureHash) {
+          // Invariant 4: every sig-hash candidate is a pair or a false drop.
+          EXPECT_EQ(result->join.num_candidate_pairs,
+                    result->join.pairs.size() +
+                        result->join.num_false_drop_pairs)
+              << pair.label << " " << context << " " << sc.label;
+        }
+        if (sc.spec.strategy == JoinStrategy::kAuto) {
+          EXPECT_NE(result->plan, "auto")
+              << pair.label << " " << context << ": kAuto must resolve";
+        }
+        pages[k][i] = result->page_accesses;
+
+        auto self = pair.r->ExecuteSetJoin(pair.r.get(), sc.spec);
+        ASSERT_TRUE(self.ok())
+            << pair.label << " " << context << " self " << sc.label << ": "
+            << self.status().ToString();
+        EXPECT_EQ(PairValues(self->join), want_self)
+            << pair.label << " " << context << " self " << sc.label;
+      }
+      if (pair.snapshots) CheckSnapshotJoins(&pair, want, want_self, context);
+    }
+    // Invariant 3: parallelism never changes logical page accesses.
+    for (size_t k = 0; k < specs.size(); ++k) {
+      EXPECT_EQ(pages[k][0], pages[k][1])
+          << context << " " << specs[k].label << " (live 1t vs 4t)";
+      EXPECT_EQ(pages[k][2], pages[k][3])
+          << context << " " << specs[k].label << " (snap 1t vs 4t)";
+    }
+  }
+
+  void CheckSnapshotJoins(ReplicaPair* pair, const PairVec& want,
+                          const PairVec& want_self, const char* context) {
+    auto snap_r = pair->r->GetSnapshot();
+    ASSERT_TRUE(snap_r.ok()) << pair->label << " " << context;
+    auto snap_s = pair->s->GetSnapshot();
+    ASSERT_TRUE(snap_s.ok()) << pair->label << " " << context;
+    for (const SpecCase& sc : AllSpecs()) {
+      auto result = (*snap_r)->ExecuteSetJoin(snap_s->get(), sc.spec);
+      ASSERT_TRUE(result.ok())
+          << pair->label << " " << context << " snapshot " << sc.label
+          << ": " << result.status().ToString();
+      EXPECT_EQ(PairValues(result->join), want)
+          << pair->label << " " << context << " snapshot " << sc.label;
+      auto self = (*snap_r)->ExecuteSetJoin(snap_r->get(), sc.spec);
+      ASSERT_TRUE(self.ok())
+          << pair->label << " " << context << " snapshot self " << sc.label;
+      EXPECT_EQ(PairValues(self->join), want_self)
+          << pair->label << " " << context << " snapshot self " << sc.label;
+    }
+  }
+
+  std::vector<ReplicaPair> replicas_;
+  std::map<uint64_t, ElementSet> oracle_r_;
+  std::map<uint64_t, ElementSet> oracle_s_;
+};
+
+TEST_F(JoinDifferentialFuzzTest, ChurnedJoinsMatchOracleEverywhere) {
+  Rng rng(20260809);
+  WorkloadConfig r_config{64, kDomain, CardinalitySpec::Fixed(kDt),
+                          SkewKind::kUniform, 0.99, 7};
+  // S sets are wider (kDt + 4) so subsets actually occur; same domain so
+  // the two sides genuinely collide.
+  WorkloadConfig s_config{64, kDomain, CardinalitySpec::Fixed(kDt + 4),
+                          SkewKind::kUniform, 0.99, 11};
+  std::vector<ElementSet> r_sets = MakeDatabase(r_config);
+  std::vector<ElementSet> s_sets = MakeDatabase(s_config);
+
+  // Phase 1 — inserts with ∅ on BOTH sides: an ∅ r pairs with every s
+  // (including ∅ s: ∅ ⊆ ∅), while an ∅ s pairs only with ∅ r's.  A few R
+  // sets are duplicated into S so exact-match pairs exist, and a few S sets
+  // are strict supersets of R sets.
+  InsertEverywhere(true, ElementSet{});
+  for (int i = 0; i < 14; ++i) InsertEverywhere(true, r_sets[i]);
+  InsertEverywhere(false, ElementSet{});
+  for (int i = 0; i < 10; ++i) InsertEverywhere(false, s_sets[i]);
+  for (int i = 0; i < 4; ++i) InsertEverywhere(false, r_sets[i]);  // equals
+  for (int i = 4; i < 8; ++i) {
+    // Guaranteed strict superset of r_sets[i].
+    ElementSet wide = MakeHittingSupersetQuery(r_sets[i], kDt, rng);
+    ElementSet merged = r_sets[i];
+    merged.insert(merged.end(), wide.begin(), wide.end());
+    NormalizeSet(&merged);
+    merged.push_back(static_cast<uint64_t>(kDomain) + 5 + i);
+    NormalizeSet(&merged);
+    InsertEverywhere(false, merged);
+  }
+  CheckJoins("after inserts");
+
+  // Phase 2 — deletes on both sides, including one ∅ object.
+  {
+    std::vector<Oid> live_r = LiveOids(true);
+    for (size_t i = 0; i < live_r.size(); i += 3) DeleteEverywhere(true, live_r[i]);
+    std::vector<Oid> live_s = LiveOids(false);
+    for (size_t i = 1; i < live_s.size(); i += 4) {
+      DeleteEverywhere(false, live_s[i]);
+    }
+  }
+  CheckJoins("after deletes");
+
+  // Phase 3 — batches mixing deletes with slot-reusing inserts; ∅ reborn on
+  // the R side inside the batch.
+  {
+    WriteBatch r_batch;
+    std::vector<Oid> live_r = LiveOids(true);
+    for (size_t i = 0; i < live_r.size(); i += 4) r_batch.Delete(live_r[i]);
+    for (int i = 14; i < 24; ++i) r_batch.Insert(r_sets[i]);
+    r_batch.Insert(ElementSet{});
+    BatchEverywhere(true, r_batch);
+
+    WriteBatch s_batch;
+    std::vector<Oid> live_s = LiveOids(false);
+    for (size_t i = 0; i < live_s.size(); i += 5) s_batch.Delete(live_s[i]);
+    for (int i = 10; i < 18; ++i) s_batch.Insert(s_sets[i]);
+    BatchEverywhere(false, s_batch);
+  }
+  CheckJoins("after batches");
+
+  // Phase 4 — compaction drops the tombstones and rebuilds summaries.
+  CompactEverywhere();
+  CheckJoins("after compact");
+
+  // Phase 5 — more churn on the compacted generation.
+  {
+    WriteBatch r_batch;
+    std::vector<Oid> live_r = LiveOids(true);
+    for (size_t i = 0; i < live_r.size(); i += 5) r_batch.Delete(live_r[i]);
+    for (int i = 24; i < 30; ++i) r_batch.Insert(r_sets[i]);
+    BatchEverywhere(true, r_batch);
+    for (int i = 18; i < 22; ++i) InsertEverywhere(false, s_sets[i]);
+  }
+  CheckJoins("after post-compact churn");
+}
+
+// A snapshot pair pinned early answers the join for ITS epoch — bit for bit
+// against the oracle captured at pin time — after deletes, batch churn and
+// a compaction rewrote both sides underneath it.
+TEST_F(JoinDifferentialFuzzTest, PinnedSnapshotJoinSurvivesChurn) {
+  Rng rng(424243);
+  WorkloadConfig r_config{40, kDomain, CardinalitySpec::Fixed(kDt),
+                          SkewKind::kUniform, 0.99, 13};
+  WorkloadConfig s_config{40, kDomain, CardinalitySpec::Fixed(kDt + 4),
+                          SkewKind::kUniform, 0.99, 17};
+  std::vector<ElementSet> r_sets = MakeDatabase(r_config);
+  std::vector<ElementSet> s_sets = MakeDatabase(s_config);
+
+  InsertEverywhere(true, ElementSet{});
+  for (int i = 0; i < 10; ++i) InsertEverywhere(true, r_sets[i]);
+  for (int i = 0; i < 8; ++i) InsertEverywhere(false, s_sets[i]);
+  for (int i = 0; i < 3; ++i) InsertEverywhere(false, r_sets[i]);
+
+  ReplicaPair& snap_pair = replicas_[2];
+  ASSERT_TRUE(snap_pair.snapshots);
+  auto early_r = snap_pair.r->GetSnapshot();
+  ASSERT_TRUE(early_r.ok());
+  auto early_s = snap_pair.s->GetSnapshot();
+  ASSERT_TRUE(early_s.ok());
+  const PairVec pinned_want = OracleJoin(oracle_r_, oracle_s_);
+
+  // Churn both sides hard: the pinned answer must not move.
+  {
+    std::vector<Oid> live_r = LiveOids(true);
+    for (size_t i = 0; i < live_r.size(); i += 2) DeleteEverywhere(true, live_r[i]);
+    WriteBatch s_batch;
+    std::vector<Oid> live_s = LiveOids(false);
+    for (size_t i = 0; i < live_s.size(); i += 3) s_batch.Delete(live_s[i]);
+    for (int i = 8; i < 16; ++i) s_batch.Insert(s_sets[i]);
+    BatchEverywhere(false, s_batch);
+    for (int i = 10; i < 18; ++i) InsertEverywhere(true, r_sets[i]);
+  }
+  CompactEverywhere();
+  CheckJoins("post-pin churn");  // live joins track the NEW oracle
+
+  for (const SpecCase& sc : AllSpecs()) {
+    auto result = (*early_r)->ExecuteSetJoin(early_s->get(), sc.spec);
+    ASSERT_TRUE(result.ok())
+        << "pinned " << sc.label << ": " << result.status().ToString();
+    EXPECT_EQ(PairValues(result->join), pinned_want) << "pinned " << sc.label;
+  }
+}
+
+}  // namespace
+}  // namespace sigsetdb

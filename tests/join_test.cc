@@ -1,0 +1,520 @@
+// Unit tests for the set-containment join (R ⋈⊆ S) surface: executor
+// strategies and edge cases (DESIGN.md §17), the ∅-set roster from the join
+// path, the `join ... in-subset ...` language form, Database joins between
+// attributes, EXPLAIN output with model predictions, snapshot joins, and
+// the join telemetry.
+
+#include <algorithm>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "db/database.h"
+#include "db/set_index.h"
+#include "db/snapshot.h"
+#include "obs/flight_recorder.h"
+#include "query/join.h"
+#include "query/language.h"
+#include "storage/storage_manager.h"
+
+namespace sigsetdb {
+namespace {
+
+using PairVec = std::vector<std::pair<uint64_t, uint64_t>>;
+
+PairVec PairValues(const JoinResult& join) {
+  PairVec out;
+  for (const JoinPair& p : join.pairs) {
+    out.emplace_back(p.r.value(), p.s.value());
+  }
+  return out;
+}
+
+PairVec OracleJoin(const std::map<uint64_t, ElementSet>& r_oracle,
+                   const std::map<uint64_t, ElementSet>& s_oracle) {
+  PairVec out;
+  for (const auto& [r_oid, r_set] : r_oracle) {
+    for (const auto& [s_oid, s_set] : s_oracle) {
+      if (std::includes(s_set.begin(), s_set.end(), r_set.begin(),
+                        r_set.end())) {
+        out.emplace_back(r_oid, s_oid);
+      }
+    }
+  }
+  return out;
+}
+
+// Every concrete strategy plus both forced adaptive directions.
+std::vector<JoinSpec> ConcreteSpecs() {
+  std::vector<JoinSpec> specs;
+  JoinSpec spec;
+  spec.strategy = JoinStrategy::kNestedLoop;
+  specs.push_back(spec);
+  spec = JoinSpec{};
+  spec.strategy = JoinStrategy::kSignatureHash;
+  specs.push_back(spec);
+  spec = JoinSpec{};
+  spec.strategy = JoinStrategy::kAdaptive;
+  specs.push_back(spec);
+  spec.adaptive_probe_threshold = 0.0;  // force the facility direction
+  specs.push_back(spec);
+  spec.adaptive_probe_threshold = 1e18;  // force the signature direction
+  specs.push_back(spec);
+  return specs;
+}
+
+TEST(JoinStrategyTest, NamesAndParsingRoundTrip) {
+  for (JoinStrategy s :
+       {JoinStrategy::kAuto, JoinStrategy::kNestedLoop,
+        JoinStrategy::kSignatureHash, JoinStrategy::kAdaptive}) {
+    auto parsed = ParseJoinStrategy(JoinStrategyName(s));
+    ASSERT_TRUE(parsed.ok()) << JoinStrategyName(s);
+    EXPECT_EQ(*parsed, s);
+  }
+  EXPECT_FALSE(ParseJoinStrategy("hash-join").ok());
+  EXPECT_FALSE(ParseJoinStrategy("").ok());
+}
+
+TEST(JoinExecutorTest, RejectsUnresolvedAuto) {
+  JoinSideAccess side;
+  side.scan = [](const std::function<Status(Oid, const ElementSet&)>&) {
+    return Status::OK();
+  };
+  JoinSpec spec;  // kAuto
+  auto result = ExecuteSetJoin(side, side, SignatureConfig{120, 3}, spec);
+  EXPECT_FALSE(result.ok());
+}
+
+class JoinEdgeCaseTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    SetIndex::Options options;
+    options.maintain_ssf = true;
+    options.maintain_bssf = true;
+    options.maintain_nix = true;
+    options.sig = {120, 3};
+    options.capacity = 1024;
+    auto r = SetIndex::Create(&storage_, "r", options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto s = SetIndex::Create(&storage_, "s", options);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    r_ = std::move(*r);
+    s_ = std::move(*s);
+  }
+
+  void InsertR(const ElementSet& set) {
+    auto oid = r_->Insert(set);
+    ASSERT_TRUE(oid.ok());
+    oracle_r_[oid->value()] = set;
+  }
+  void InsertS(const ElementSet& set) {
+    auto oid = s_->Insert(set);
+    ASSERT_TRUE(oid.ok());
+    oracle_s_[oid->value()] = set;
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<SetIndex> r_, s_;
+  std::map<uint64_t, ElementSet> oracle_r_, oracle_s_;
+};
+
+// ∅ ⊆ s for EVERY s, including s = ∅.  The facilities reject empty query
+// sets, so every strategy must route ∅ r-rows through the live roster (or
+// the materialized S) instead of a probe — and still count them as
+// candidate pairs.
+TEST_F(JoinEdgeCaseTest, EmptyRSetPairsWithEverySInEveryStrategy) {
+  InsertR(ElementSet{});
+  InsertR({1, 2});
+  InsertR({30});
+  InsertS(ElementSet{});
+  InsertS({1, 2, 3});
+  InsertS({40, 41});
+
+  const PairVec want = OracleJoin(oracle_r_, oracle_s_);
+  // The oracle itself: ∅ r pairs with all 3 s (∅ ⊆ ∅ included); {1,2} ⊆
+  // {1,2,3}; {30} pairs with nothing.
+  ASSERT_EQ(want.size(), 4u);
+
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    auto result = r_->ExecuteSetJoin(s_.get(), spec);
+    ASSERT_TRUE(result.ok())
+        << JoinStrategyName(spec.strategy) << ": "
+        << result.status().ToString();
+    EXPECT_EQ(PairValues(result->join), want)
+        << JoinStrategyName(spec.strategy)
+        << " threshold=" << spec.adaptive_probe_threshold;
+    // ∅ rows are trivially-verified candidates, never false drops.
+    EXPECT_GE(result->join.num_candidate_pairs, want.size());
+  }
+}
+
+// An all-∅ R side joined against an empty S side, and vice versa.
+TEST_F(JoinEdgeCaseTest, DegenerateSides) {
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    // Both sides empty: no pairs, no probes, no failure.
+    auto result = r_->ExecuteSetJoin(s_.get(), spec);
+    ASSERT_TRUE(result.ok()) << JoinStrategyName(spec.strategy);
+    EXPECT_TRUE(result->join.pairs.empty());
+    EXPECT_EQ(result->join.num_probes, 0u);
+  }
+  InsertR(ElementSet{});
+  InsertR(ElementSet{});
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    // ∅-only R against empty S: still no pairs (nothing to pair with).
+    auto result = r_->ExecuteSetJoin(s_.get(), spec);
+    ASSERT_TRUE(result.ok()) << JoinStrategyName(spec.strategy);
+    EXPECT_TRUE(result->join.pairs.empty());
+  }
+  InsertS({7});
+  const PairVec want = OracleJoin(oracle_r_, oracle_s_);
+  ASSERT_EQ(want.size(), 2u);  // both ∅ r's pair with {7}
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    auto result = r_->ExecuteSetJoin(s_.get(), spec);
+    ASSERT_TRUE(result.ok()) << JoinStrategyName(spec.strategy);
+    EXPECT_EQ(PairValues(result->join), want)
+        << JoinStrategyName(spec.strategy);
+  }
+}
+
+// The adaptive thresholds actually steer the executor: threshold 0 sends
+// every non-empty partition to the facility (probes > 0), a huge threshold
+// keeps everything on the in-memory signature side (probes == 0).
+TEST_F(JoinEdgeCaseTest, AdaptiveThresholdSteersDirections) {
+  for (int i = 0; i < 8; ++i) InsertR({uint64_t(i), uint64_t(i + 1)});
+  for (int i = 0; i < 8; ++i) {
+    InsertS({uint64_t(i), uint64_t(i + 1), uint64_t(i + 2)});
+  }
+  JoinSpec all_probe;
+  all_probe.strategy = JoinStrategy::kAdaptive;
+  all_probe.adaptive_probe_threshold = 0.0;
+  auto probed = r_->ExecuteSetJoin(s_.get(), all_probe);
+  ASSERT_TRUE(probed.ok());
+  EXPECT_GT(probed->join.num_probes, 0u);
+
+  JoinSpec all_sig = all_probe;
+  all_sig.adaptive_probe_threshold = 1e18;
+  auto sigged = r_->ExecuteSetJoin(s_.get(), all_sig);
+  ASSERT_TRUE(sigged.ok());
+  EXPECT_EQ(sigged->join.num_probes, 0u);
+
+  EXPECT_EQ(PairValues(probed->join), PairValues(sigged->join));
+  EXPECT_EQ(PairValues(probed->join), OracleJoin(oracle_r_, oracle_s_));
+}
+
+// Self-join R ⋈⊆ R with the same index object on both sides: every object
+// pairs with itself, plus any genuine subset pairs.
+TEST_F(JoinEdgeCaseTest, SelfJoinPairsEveryObjectWithItself) {
+  InsertR(ElementSet{});
+  InsertR({1, 2});
+  InsertR({1, 2, 3});
+  const PairVec want = OracleJoin(oracle_r_, oracle_r_);
+  ASSERT_EQ(want.size(), 3u + 2u + 1u);  // ∅→all, {1,2}→2, {1,2,3}→1
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    auto result = r_->ExecuteSetJoin(r_.get(), spec);
+    ASSERT_TRUE(result.ok()) << JoinStrategyName(spec.strategy);
+    EXPECT_EQ(PairValues(result->join), want)
+        << JoinStrategyName(spec.strategy);
+  }
+}
+
+// EXPLAIN for the join: the executor's stages are present with measured
+// numbers, the model's per-stage predictions are attached, and both
+// renderings are non-empty.
+TEST_F(JoinEdgeCaseTest, ExplainCarriesStagesAndPredictions) {
+  for (int i = 0; i < 12; ++i) InsertR({uint64_t(i), uint64_t(i + 3)});
+  for (int i = 0; i < 12; ++i) {
+    InsertS({uint64_t(i), uint64_t(i + 3), uint64_t(i + 6)});
+  }
+  auto HasStage = [](const QueryTrace& trace, const std::string& name) {
+    for (const TraceSpan& span : trace.stages()) {
+      if (span.name == name) return true;
+    }
+    return false;
+  };
+
+  JoinSpec sig_hash;
+  sig_hash.strategy = JoinStrategy::kSignatureHash;
+  auto explain = r_->ExplainSetJoin(s_.get(), sig_hash);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_EQ(explain->result.plan, "sig-hash");
+  EXPECT_TRUE(HasStage(explain->trace, "r scan"));
+  EXPECT_TRUE(HasStage(explain->trace, "s scan"));
+  EXPECT_TRUE(HasStage(explain->trace, "partition"));
+  EXPECT_TRUE(HasStage(explain->trace, "probe+verify"));
+  EXPECT_GT(explain->trace.predicted_total, 0.0);
+  EXPECT_FALSE(explain->text.empty());
+  EXPECT_FALSE(explain->json.empty());
+  EXPECT_EQ(explain->trace.kind, "join-subset");
+  EXPECT_EQ(PairValues(explain->result.join),
+            OracleJoin(oracle_r_, oracle_s_));
+
+  JoinSpec nested;
+  nested.strategy = JoinStrategy::kNestedLoop;
+  auto nl = r_->ExplainSetJoin(s_.get(), nested);
+  ASSERT_TRUE(nl.ok());
+  EXPECT_TRUE(HasStage(nl->trace, "r scan"));
+  EXPECT_TRUE(HasStage(nl->trace, "probe loop"));
+  EXPECT_EQ(PairValues(nl->result.join), OracleJoin(oracle_r_, oracle_s_));
+}
+
+// kAuto resolves to a concrete plan and answers exactly like the forced
+// strategies.
+TEST_F(JoinEdgeCaseTest, AutoResolvesToConcreteStrategy) {
+  for (int i = 0; i < 6; ++i) InsertR({uint64_t(i), uint64_t(i + 1)});
+  for (int i = 0; i < 6; ++i) {
+    InsertS({uint64_t(i), uint64_t(i + 1), uint64_t(i + 2)});
+  }
+  auto result = r_->ExecuteSetJoin(s_.get());  // default spec = kAuto
+  ASSERT_TRUE(result.ok());
+  EXPECT_TRUE(result->plan == "nested-loop" || result->plan == "sig-hash" ||
+              result->plan == "adaptive")
+      << result->plan;
+  EXPECT_EQ(PairValues(result->join), OracleJoin(oracle_r_, oracle_s_));
+}
+
+// With telemetry on, a join bumps join.count / join.pairs and leaves a
+// kJoin flight event carrying the plan name.
+TEST(JoinTelemetryTest, JoinRecordsMetricsAndFlightEvent) {
+  StorageManager storage;
+  SetIndex::Options options;
+  options.sig = {120, 3};
+  options.capacity = 1024;
+  options.enable_telemetry = true;
+  auto r = SetIndex::Create(&storage, "r", options);
+  ASSERT_TRUE(r.ok());
+  auto s = SetIndex::Create(&storage, "s", options);
+  ASSERT_TRUE(s.ok());
+  ASSERT_TRUE((*r)->Insert({1, 2}).ok());
+  ASSERT_TRUE((*s)->Insert({1, 2, 3}).ok());
+
+  JoinSpec spec;
+  spec.strategy = JoinStrategy::kSignatureHash;
+  auto result = (*r)->ExecuteSetJoin(s->get(), spec);
+  ASSERT_TRUE(result.ok());
+  ASSERT_EQ(result->join.pairs.size(), 1u);
+
+  EXPECT_EQ((*r)->metrics()->CounterValue("join.count"), 1u);
+  EXPECT_EQ((*r)->metrics()->CounterValue("join.pairs"), 1u);
+  ASSERT_NE((*r)->flight_recorder(), nullptr);
+  bool saw_join = false;
+  for (const FlightEvent& event : (*r)->flight_recorder()->Events()) {
+    if (event.op == FlightOp::kJoin) saw_join = true;
+  }
+  EXPECT_TRUE(saw_join);
+}
+
+// --- language ---
+
+TEST(JoinLanguageTest, ParsesJoinStatements) {
+  auto plain = ParseJoinQuery("join Student on courses in-subset prereqs");
+  ASSERT_TRUE(plain.ok()) << plain.status().ToString();
+  EXPECT_EQ(plain->class_name, "Student");
+  EXPECT_EQ(plain->r_attribute, "courses");
+  EXPECT_EQ(plain->s_attribute, "prereqs");
+  EXPECT_EQ(plain->strategy, JoinStrategy::kAuto);
+
+  auto with_using = ParseJoinQuery(
+      "join Student on courses in-subset prereqs using sig-hash");
+  ASSERT_TRUE(with_using.ok()) << with_using.status().ToString();
+  EXPECT_EQ(with_using->strategy, JoinStrategy::kSignatureHash);
+
+  auto nested = ParseJoinQuery(
+      "join Student on courses in-subset courses using nested-loop");
+  ASSERT_TRUE(nested.ok());
+  EXPECT_EQ(nested->strategy, JoinStrategy::kNestedLoop);
+  EXPECT_EQ(nested->r_attribute, nested->s_attribute);
+
+  EXPECT_FALSE(ParseJoinQuery("join").ok());
+  EXPECT_FALSE(ParseJoinQuery("join Student courses in-subset p").ok());
+  EXPECT_FALSE(  // only ⊆ joins exist
+      ParseJoinQuery("join Student on courses has-subset prereqs").ok());
+  EXPECT_FALSE(
+      ParseJoinQuery("join Student on courses in-subset prereqs using "
+                     "hash-join")
+          .ok());
+  EXPECT_FALSE(
+      ParseJoinQuery("join Student on courses in-subset prereqs extra").ok());
+  EXPECT_FALSE(ParseJoinQuery("select Student where x equals (1)").ok());
+}
+
+// --- Database joins between attributes ---
+
+class DatabaseJoinTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    Database::Options options;
+    Database::AttributeOptions courses;
+    courses.name = "courses";
+    courses.maintain_ssf = true;
+    courses.sig = {120, 3};
+    Database::AttributeOptions prereqs;
+    prereqs.name = "prereqs";
+    prereqs.maintain_ssf = true;
+    prereqs.sig = {120, 3};
+    options.attributes = {courses, prereqs};
+    options.capacity = 1024;
+    auto db = Database::Create(&storage_, "Student", options);
+    ASSERT_TRUE(db.ok()) << db.status().ToString();
+    db_ = std::move(*db);
+  }
+
+  void InsertObject(const ElementSet& courses, const ElementSet& prereqs) {
+    auto oid = db_->Insert({courses, prereqs});
+    ASSERT_TRUE(oid.ok());
+    oracle_courses_[oid->value()] = courses;
+    oracle_prereqs_[oid->value()] = prereqs;
+    // Re-normalize what the store keeps (Insert normalizes in place).
+    NormalizeSet(&oracle_courses_[oid->value()]);
+    NormalizeSet(&oracle_prereqs_[oid->value()]);
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<Database> db_;
+  std::map<uint64_t, ElementSet> oracle_courses_, oracle_prereqs_;
+};
+
+TEST_F(DatabaseJoinTest, JoinsTwoAttributesAndSelfAttribute) {
+  InsertObject(ElementSet{}, {10, 11});
+  InsertObject({1, 2}, {1, 2, 3});
+  InsertObject({1, 2, 3}, {1, 2});
+  InsertObject({5}, {5, 6});
+
+  const PairVec want = OracleJoin(oracle_courses_, oracle_prereqs_);
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    auto result = db_->ExecuteSetJoin("courses", "prereqs", spec);
+    ASSERT_TRUE(result.ok())
+        << JoinStrategyName(spec.strategy) << ": "
+        << result.status().ToString();
+    EXPECT_EQ(PairValues(result->join), want)
+        << JoinStrategyName(spec.strategy);
+  }
+  // kAuto resolves and names both attributes in the plan.
+  auto auto_result = db_->ExecuteSetJoin("courses", "prereqs");
+  ASSERT_TRUE(auto_result.ok());
+  EXPECT_NE(auto_result->plan.find("courses in-subset prereqs"),
+            std::string::npos)
+      << auto_result->plan;
+  EXPECT_EQ(PairValues(auto_result->join), want);
+
+  // Same attribute on both sides.
+  const PairVec want_self = OracleJoin(oracle_courses_, oracle_courses_);
+  auto self = db_->ExecuteSetJoin("courses", "courses");
+  ASSERT_TRUE(self.ok());
+  EXPECT_EQ(PairValues(self->join), want_self);
+
+  // Unknown attributes fail cleanly.
+  EXPECT_FALSE(db_->ExecuteSetJoin("courses", "nope").ok());
+  EXPECT_FALSE(db_->ExecuteSetJoin("nope", "prereqs").ok());
+}
+
+TEST_F(DatabaseJoinTest, JoinQueryTextExecutesEndToEnd) {
+  InsertObject({1, 2}, {1, 2, 3});
+  InsertObject({7}, {8});
+  const PairVec want = OracleJoin(oracle_courses_, oracle_prereqs_);
+
+  auto result = ExecuteJoinQueryText(
+      "join Student on courses in-subset prereqs using nested-loop",
+      db_.get());
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(PairValues(result->join), want);
+  EXPECT_NE(result->plan.find("nested-loop"), std::string::npos)
+      << result->plan;
+
+  auto auto_result = ExecuteJoinQueryText(
+      "join Student on courses in-subset prereqs", db_.get());
+  ASSERT_TRUE(auto_result.ok());
+  EXPECT_EQ(PairValues(auto_result->join), want);
+
+  EXPECT_FALSE(ExecuteJoinQueryText(
+                   "join Student on courses in-subset unknown_attr", db_.get())
+                   .ok());
+}
+
+TEST_F(DatabaseJoinTest, ExplainSetJoinCarriesTraceAndPredictions) {
+  for (int i = 0; i < 10; ++i) {
+    InsertObject({uint64_t(i), uint64_t(i + 1)},
+                 {uint64_t(i), uint64_t(i + 1), uint64_t(i + 2)});
+  }
+  JoinSpec spec;
+  spec.strategy = JoinStrategy::kSignatureHash;
+  auto explain = db_->ExplainSetJoin("courses", "prereqs", spec);
+  ASSERT_TRUE(explain.ok()) << explain.status().ToString();
+  EXPECT_FALSE(explain->trace.stages().empty());
+  EXPECT_FALSE(explain->text.empty());
+  EXPECT_FALSE(explain->json.empty());
+  EXPECT_GT(explain->trace.predicted_total, 0.0);
+  EXPECT_EQ(PairValues(explain->result.join),
+            OracleJoin(oracle_courses_, oracle_prereqs_));
+}
+
+TEST(DatabaseSnapshotJoinTest, SnapshotJoinEqualsLiveAndSurvivesChurn) {
+  StorageManager storage;
+  Database::Options options;
+  Database::AttributeOptions a;
+  a.name = "a";
+  a.sig = {120, 3};
+  Database::AttributeOptions b;
+  b.name = "b";
+  b.sig = {120, 3};
+  options.attributes = {a, b};
+  options.capacity = 1024;
+  options.enable_snapshots = true;
+  auto db_or = Database::Create(&storage, "Pairs", options);
+  ASSERT_TRUE(db_or.ok()) << db_or.status().ToString();
+  std::unique_ptr<Database> db = std::move(*db_or);
+
+  std::map<uint64_t, ElementSet> oracle_a, oracle_b;
+  std::vector<uint64_t> oids;
+  auto InsertObject = [&](const ElementSet& va, const ElementSet& vb) {
+    auto oid = db->Insert({va, vb});
+    ASSERT_TRUE(oid.ok());
+    oracle_a[oid->value()] = va;
+    oracle_b[oid->value()] = vb;
+    oids.push_back(oid->value());
+  };
+  InsertObject(ElementSet{}, {9});
+  InsertObject({1, 2}, {1, 2, 3});
+  InsertObject({4}, {4, 5});
+
+  auto snap_or = db->GetSnapshot();
+  ASSERT_TRUE(snap_or.ok()) << snap_or.status().ToString();
+  std::unique_ptr<DatabaseSnapshot> snap = std::move(*snap_or);
+  const PairVec pinned_want = OracleJoin(oracle_a, oracle_b);
+
+  for (const JoinSpec& spec : ConcreteSpecs()) {
+    auto live = db->ExecuteSetJoin("a", "b", spec);
+    ASSERT_TRUE(live.ok()) << JoinStrategyName(spec.strategy);
+    auto pinned = snap->ExecuteSetJoin("a", "b", spec);
+    ASSERT_TRUE(pinned.ok()) << JoinStrategyName(spec.strategy) << ": "
+                             << pinned.status().ToString();
+    EXPECT_EQ(PairValues(live->join), pinned_want)
+        << JoinStrategyName(spec.strategy);
+    EXPECT_EQ(PairValues(pinned->join), pinned_want)
+        << JoinStrategyName(spec.strategy);
+  }
+
+  // Churn after the pin: the snapshot's join answer must not move.
+  InsertObject({1}, {1, 2});
+  const uint64_t victim = oids[1];  // the ({1,2}, {1,2,3}) object
+  ASSERT_TRUE(db->Delete(Oid{victim}).ok());
+  oracle_a.erase(victim);
+  oracle_b.erase(victim);
+  const PairVec new_want = OracleJoin(oracle_a, oracle_b);
+  ASSERT_NE(new_want, pinned_want);
+
+  JoinSpec spec;
+  spec.strategy = JoinStrategy::kSignatureHash;
+  auto live = db->ExecuteSetJoin("a", "b", spec);
+  ASSERT_TRUE(live.ok());
+  EXPECT_EQ(PairValues(live->join), new_want);
+  auto pinned = snap->ExecuteSetJoin("a", "b", spec);
+  ASSERT_TRUE(pinned.ok());
+  EXPECT_EQ(PairValues(pinned->join), pinned_want);
+}
+
+}  // namespace
+}  // namespace sigsetdb

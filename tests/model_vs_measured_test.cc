@@ -10,11 +10,16 @@
 
 #include <gtest/gtest.h>
 
+#include "db/set_index.h"
 #include "model/actual_drops.h"
 #include "model/cost_bssf.h"
+#include "model/cost_join.h"
 #include "model/cost_nix.h"
 #include "model/cost_ssf.h"
+#include "query/advisor.h"
 #include "query/executor.h"
+#include "query/join.h"
+#include "workload/generator.h"
 #include "sig/bssf.h"
 #include "sig/ssf.h"
 #include "storage/storage_manager.h"
@@ -329,6 +334,138 @@ TEST(SsfSkipTest, FullyTombstonedScanSkipsEveryPage) {
   EXPECT_TRUE(result->oids.empty());
   EXPECT_EQ(delta.reads(), 0u);
   EXPECT_GT(delta.skips(), 0u);
+}
+
+// --- set-containment join rows (DESIGN.md §17) -----------------------------
+//
+// The join variants of eqs. 2–8: measured page reads and candidate-pair
+// counts of the real join executor against model/cost_join.h, per strategy,
+// at scaled Table-2-shaped parameters (uniform sets over V = 500, narrow R
+// against wide S so real containments occur).
+class JoinModelVsMeasuredTest : public ::testing::Test {
+ protected:
+  static constexpr int64_t kNr = 240;
+  static constexpr int64_t kNs = 800;
+  static constexpr int64_t kVj = 500;
+  static constexpr int64_t kDtR = 4;
+  static constexpr int64_t kDtS = 10;
+
+  void SetUp() override {
+    SetIndex::Options options;
+    options.maintain_ssf = true;
+    options.maintain_bssf = true;
+    options.maintain_nix = true;
+    options.sig = {250, 2};
+    options.capacity = 4096;
+    options.domain_estimate = kVj;  // pin the model's V
+    auto r = SetIndex::Create(&storage_, "r", options);
+    ASSERT_TRUE(r.ok()) << r.status().ToString();
+    auto s = SetIndex::Create(&storage_, "s", options);
+    ASSERT_TRUE(s.ok()) << s.status().ToString();
+    r_ = std::move(*r);
+    s_ = std::move(*s);
+    WorkloadConfig r_config{kNr, kVj, CardinalitySpec::Fixed(kDtR),
+                            SkewKind::kUniform, 0.99, 101};
+    for (const ElementSet& set : MakeDatabase(r_config)) {
+      ASSERT_TRUE(r_->Insert(set).ok());
+    }
+    WorkloadConfig s_config{kNs, kVj, CardinalitySpec::Fixed(kDtS),
+                            SkewKind::kUniform, 0.99, 103};
+    for (const ElementSet& set : MakeDatabase(s_config)) {
+      ASSERT_TRUE(s_->Insert(set).ok());
+    }
+    db_r_.n = kNr;
+    db_r_.v = kVj;
+    db_s_.n = kNs;
+    db_s_.v = kVj;
+  }
+
+  StatusOr<SetIndexJoinResult> RunJoin(JoinStrategy strategy) {
+    JoinSpec spec;
+    spec.strategy = strategy;
+    return r_->ExecuteSetJoin(s_.get(), spec);
+  }
+
+  JoinCostBreakdown Breakdown(JoinStrategy strategy) {
+    auto bd = BreakdownForJoinStrategy(db_r_, kDtR, db_s_, kDtS, sig_, nix_,
+                                       strategy);
+    EXPECT_TRUE(bd.ok());
+    return *bd;
+  }
+
+  StorageManager storage_;
+  std::unique_ptr<SetIndex> r_, s_;
+  DatabaseParams db_r_, db_s_;
+  SignatureParams sig_{250, 2};
+  NixParams nix_;
+};
+
+// Sig-hash: pages = the two object-file scans, candidates = the eq.-5
+// analogue n_r·(A + Fd·(N_s − A)), results = n_r·N_s·P(r ⊆ s).  Everything
+// must land within 30 % of the model (the acceptance bound).
+TEST_F(JoinModelVsMeasuredTest, SignatureHashPagesAndPairsMatchModel) {
+  const JoinCostBreakdown bd = Breakdown(JoinStrategy::kSignatureHash);
+  auto result = RunJoin(JoinStrategy::kSignatureHash);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+
+  const double measured_pages = static_cast<double>(result->page_accesses);
+  EXPECT_NEAR(measured_pages, bd.total(), 0.30 * bd.total() + 2.0);
+  // The model's scan terms individually match the object files.
+  EXPECT_NEAR(static_cast<double>(ObjectFilePages(db_r_, kDtR)), bd.r_scan,
+              0.30 * bd.r_scan + 1.0);
+
+  const double measured_candidates =
+      static_cast<double>(result->join.num_candidate_pairs);
+  EXPECT_NEAR(measured_candidates, bd.expected_candidate_pairs,
+              0.30 * bd.expected_candidate_pairs + 16.0);
+  const double measured_pairs =
+      static_cast<double>(result->join.pairs.size());
+  EXPECT_NEAR(measured_pairs, bd.expected_result_pairs,
+              0.30 * bd.expected_result_pairs + 16.0);
+}
+
+// Nested-loop: pages = scan(R) + |R|·RC_sel(S at Dq = Dt_r), with the probe
+// priced by the same advisor the executor plans with.
+TEST_F(JoinModelVsMeasuredTest, NestedLoopPagesMatchModel) {
+  const JoinCostBreakdown bd = Breakdown(JoinStrategy::kNestedLoop);
+  auto result = RunJoin(JoinStrategy::kNestedLoop);
+  ASSERT_TRUE(result.ok()) << result.status().ToString();
+  EXPECT_EQ(result->join.num_probes, static_cast<uint64_t>(kNr));
+  const double measured_pages = static_cast<double>(result->page_accesses);
+  EXPECT_NEAR(measured_pages, bd.total(), 0.30 * bd.total() + 4.0);
+}
+
+// Adaptive is priced as sig-hash (it only leaves the in-memory direction
+// when the probe is modeled cheaper), so its measured pages obey the same
+// bound — and its pair set is identical to sig-hash's.
+TEST_F(JoinModelVsMeasuredTest, AdaptivePagesBoundedByModel) {
+  const JoinCostBreakdown bd = Breakdown(JoinStrategy::kAdaptive);
+  auto adaptive = RunJoin(JoinStrategy::kAdaptive);
+  ASSERT_TRUE(adaptive.ok()) << adaptive.status().ToString();
+  auto sig_hash = RunJoin(JoinStrategy::kSignatureHash);
+  ASSERT_TRUE(sig_hash.ok());
+  ASSERT_EQ(adaptive->join.pairs.size(), sig_hash->join.pairs.size());
+  const double measured_pages = static_cast<double>(adaptive->page_accesses);
+  EXPECT_NEAR(measured_pages, bd.total(), 0.30 * bd.total() + 4.0);
+}
+
+// The advisor's ranked costs are consistent: each strategy's breakdown
+// total equals the cost AdviseJoinStrategies ranked it at, and the measured
+// winner at THESE parameters (|R| = 240 probes dwarf one S scan) is not
+// nested-loop.
+TEST_F(JoinModelVsMeasuredTest, AdvisorCostsAreConsistentWithBreakdowns) {
+  auto choices =
+      AdviseJoinStrategies(db_r_, kDtR, db_s_, kDtS, sig_, nix_);
+  ASSERT_TRUE(choices.ok());
+  ASSERT_EQ(choices->size(), 3u);
+  for (const JoinStrategyChoice& choice : *choices) {
+    const JoinCostBreakdown bd = Breakdown(choice.strategy);
+    EXPECT_NEAR(choice.cost_pages, bd.total(), 1e-9) << choice.name;
+  }
+  for (size_t i = 1; i < choices->size(); ++i) {
+    EXPECT_LE((*choices)[i - 1].cost_pages, (*choices)[i].cost_pages);
+  }
+  EXPECT_NE(choices->front().strategy, JoinStrategy::kNestedLoop);
 }
 
 TEST_F(ModelVsMeasuredTest, NixSubset) {

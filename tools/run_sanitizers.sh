@@ -15,6 +15,7 @@
 #   tools/run_sanitizers.sh telemetry  # flight recorder seqlock + exporters
 #   tools/run_sanitizers.sh resolve    # candidate resolution: intersection
 #                                      # kernels, NIX/B-tree, hot tier
+#   tools/run_sanitizers.sh joins      # set-containment join executor
 #
 # Extra arguments after the sanitizer name are passed to ctest, which is
 # how you scope a TSan run to the concurrency tests (they are the ones
@@ -145,6 +146,24 @@ case "${1:-all}" in
       ./build/bench/bench_kernels --min-intersect-speedup 2
     fi
     ;;
+  joins)
+    # The join executor partitions S by signature prefix, then probe
+    # workers verify candidates with the unaligned-load intersection
+    # kernels and merge per-worker pair vectors in worker order — ASan
+    # vets the kernel tails and partition buffers, TSan the 4-thread
+    # probe pools racing the differential fuzz's churn (both repeated
+    # with AVX2 forced off so the portable kernels get the same
+    # scrutiny).  model_vs_measured rides along so the join cost rows
+    # are exercised under both sanitizers too.
+    shift
+    run_one address -R 'join_test|join_differential_fuzz|model_vs_measured' \
+      "$@"
+    SIGSET_DISABLE_AVX2=1 run_one address \
+      -R 'join_test|join_differential_fuzz|model_vs_measured' "$@"
+    run_one thread -R 'join_test|join_differential_fuzz' "$@"
+    SIGSET_DISABLE_AVX2=1 run_one thread \
+      -R 'join_test|join_differential_fuzz' "$@"
+    ;;
   telemetry)
     # The flight recorder is a seqlock ring: writers claim slots with a
     # fetch_add and publish via per-slot sequence counters while readers
@@ -164,7 +183,7 @@ case "${1:-all}" in
     run_one undefined
     ;;
   *)
-    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots|telemetry|resolve]" \
+    echo "usage: $0 [thread|address|undefined|all|faults|obs|batch|kernels|wal|snapshots|telemetry|resolve|joins]" \
       "[ctest args...]" >&2
     exit 1
     ;;
